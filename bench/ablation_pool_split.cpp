@@ -1,0 +1,71 @@
+// Ablation A: value of the general/lengthy pool split. Runs the staged
+// server with the paper's two dynamic pools vs. a single merged dynamic pool
+// (rendering still separated), under the same connection budget.
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "src/metrics/table.h"
+
+namespace {
+
+struct Summary {
+  double quick_mean = 0;
+  double lengthy_mean = 0;
+  std::uint64_t interactions = 0;
+};
+
+Summary summarize(const tempest::tpcw::ExperimentResults& results) {
+  using tempest::tpcw::tpcw_page_paths;
+  Summary s;
+  s.interactions = results.client_interactions;
+  tempest::OnlineStats quick;
+  tempest::OnlineStats lengthy;
+  const std::set<std::string> lengthy_pages = {"/best_sellers", "/new_products",
+                                               "/execute_search",
+                                               "/admin_response"};
+  for (const auto& [page, stats] : results.client_page_stats) {
+    if (lengthy_pages.count(page)) {
+      lengthy.merge(stats);
+    } else {
+      quick.merge(stats);
+    }
+  }
+  s.quick_mean = quick.mean();
+  s.lengthy_mean = lengthy.mean();
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tempest;
+  auto run = bench::BenchRun::init(argc, argv);
+  bench::print_header("Ablation A: general/lengthy pool split", run);
+
+  auto split_config = run.experiment(true);
+  split_config.server.split_dynamic_pools = true;
+
+  auto merged_config = run.experiment(true);
+  merged_config.server.split_dynamic_pools = false;
+
+  std::printf("running staged server with split pools...\n");
+  const auto split = summarize(tpcw::run_experiment(split_config));
+  std::printf("running staged server with one merged dynamic pool...\n\n");
+  const auto merged = summarize(tpcw::run_experiment(merged_config));
+
+  metrics::Table table({"configuration", "quick mean (s)", "lengthy mean (s)",
+                        "interactions"});
+  table.add_row({"split (paper)", metrics::format_double(split.quick_mean, 3),
+                 metrics::format_double(split.lengthy_mean, 2),
+                 metrics::format_int(static_cast<std::int64_t>(split.interactions))});
+  table.add_row({"merged pool", metrics::format_double(merged.quick_mean, 3),
+                 metrics::format_double(merged.lengthy_mean, 2),
+                 metrics::format_int(static_cast<std::int64_t>(merged.interactions))});
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "expected: without the split, quick dynamic requests queue behind\n"
+      "lengthy ones in the single dynamic pool (higher quick mean),\n"
+      "which is the Shortest-Job-First-like benefit of Section 3.3.\n");
+  return 0;
+}

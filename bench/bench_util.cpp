@@ -1,0 +1,63 @@
+#include "bench/bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/clock.h"
+
+namespace tempest::bench {
+
+BenchRun BenchRun::init(int argc, char** argv) {
+  BenchRun run;
+  run.options = Options::parse(argc, argv);
+  run.csv = run.options.get_bool("csv", false);
+  TimeScale::set(run.options.get_double("scale", 0.05));
+  return run;
+}
+
+tpcw::ExperimentConfig BenchRun::experiment(bool staged) const {
+  tpcw::ExperimentConfig config;
+  config.staged = staged;
+  if (options.get_bool("paper", false)) {
+    config = tpcw::ExperimentConfig::paper_shape(staged);
+  }
+  config.clients =
+      static_cast<std::size_t>(options.get_int("clients", config.clients));
+  config.ramp_paper_s = options.get_double("ramp", config.ramp_paper_s);
+  config.measure_paper_s =
+      options.get_double("measure", config.measure_paper_s);
+  config.seed = static_cast<std::uint64_t>(options.get_int("seed", 42));
+  if (options.has("items")) {
+    // Population override; the latency model renormalizes automatically.
+    config.scale.items = options.get_int("items", config.scale.items);
+    config.scale.customers = std::max<std::int64_t>(64, config.scale.items);
+    config.scale.orders = config.scale.items * 9 / 10;
+    config.scale.best_seller_window = std::max<std::int64_t>(16, config.scale.orders / 8);
+  }
+  return config;
+}
+
+std::string page_label(const std::string& path) {
+  return tpcw::tpcw_page_name(path);
+}
+
+void print_header(const std::string& what, const BenchRun& run) {
+  const auto cfg = run.experiment(true);
+  std::printf("=== %s ===\n", what.c_str());
+  std::printf(
+      "clients=%zu  ramp=%.0f paper-s  measure=%.0f paper-s  "
+      "time-scale=%.4f (wall-s per paper-s)  seed=%llu\n\n",
+      cfg.clients, cfg.ramp_paper_s, cfg.measure_paper_s, TimeScale::get(),
+      static_cast<unsigned long long>(cfg.seed));
+}
+
+double page_mean(const tpcw::ExperimentResults& results,
+                 const std::string& path) {
+  const auto it = results.client_page_stats.find(path);
+  if (it == results.client_page_stats.end() || it->second.count() == 0) {
+    return std::nan("");
+  }
+  return it->second.mean();
+}
+
+}  // namespace tempest::bench

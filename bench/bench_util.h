@@ -1,0 +1,43 @@
+// Shared plumbing for the experiment benches: flag parsing, run-shape
+// presets, and paper-style output helpers.
+//
+// Common flags (all benches):
+//   --scale=S      wall-seconds per paper-second (default 0.01)
+//   --clients=N    emulated browsers (default 400)
+//   --ramp=SEC     ramp-up, paper-seconds, excluded from stats (default 60)
+//   --measure=SEC  measurement interval, paper-seconds (default 300)
+//   --seed=N       workload seed (default 42)
+//   --paper        full paper shape: 5-min ramp + 50-min measure
+//   --csv          also dump CSV blocks for plotting
+#pragma once
+
+#include <string>
+
+#include "src/common/config.h"
+#include "src/tpcw/experiment.h"
+#include "src/tpcw/handlers.h"
+
+namespace tempest::bench {
+
+struct BenchRun {
+  Options options;
+  bool csv = false;
+
+  // Parses flags and applies the time scale globally.
+  static BenchRun init(int argc, char** argv);
+
+  // Experiment configuration honoring the shared flags.
+  tpcw::ExperimentConfig experiment(bool staged) const;
+};
+
+// Table 3/4-style page label column ("TPC-W home interaction", ...).
+std::string page_label(const std::string& path);
+
+// Prints the paper-vs-this-run header for a bench.
+void print_header(const std::string& what, const BenchRun& run);
+
+// Mean response time for `path` from results (paper seconds), NaN if absent.
+double page_mean(const tpcw::ExperimentResults& results,
+                 const std::string& path);
+
+}  // namespace tempest::bench

@@ -1,0 +1,29 @@
+// Reproduces Figure 7: the length of the (single) request queue on the
+// unmodified thread-per-request server over the course of the run. Short
+// requests get stuck behind lengthy ones, so the queue balloons.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/metrics/series.h"
+
+int main(int argc, char** argv) {
+  using namespace tempest;
+  auto run = bench::BenchRun::init(argc, argv);
+  bench::print_header(
+      "Figure 7: dynamic-request queue length on the unmodified server", run);
+
+  const auto results = tpcw::run_experiment(run.experiment(false));
+
+  std::vector<metrics::NamedSeries> charts;
+  charts.push_back({"# of queued requests (single pool, unmodified server)",
+                    results.queue_series.count("dynamic")
+                        ? results.queue_series.at("dynamic")
+                        : std::vector<TimeSeries::Point>{}});
+  std::printf("%s", metrics::ascii_charts(charts).c_str());
+  if (run.csv) std::printf("%s\n", metrics::series_csv(charts, 10.0).c_str());
+
+  std::printf(
+      "paper shape: queue repeatedly spikes into the hundreds as short\n"
+      "requests queue behind lengthy ones (Fig. 7 peaks ~250-300).\n");
+  return 0;
+}

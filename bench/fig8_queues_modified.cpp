@@ -1,0 +1,51 @@
+// Reproduces Figure 8: queue lengths of the two dynamic-request thread pools
+// on the modified (staged) server over the course of the run — (a) the
+// general pool's queue stays near zero so quick requests execute almost
+// immediately, (b) the lengthy pool's queue absorbs the slow jobs. Also
+// charts the controller variables (tspare vs treserve, cf. Table 2 dynamics).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/metrics/series.h"
+
+int main(int argc, char** argv) {
+  using namespace tempest;
+  auto run = bench::BenchRun::init(argc, argv);
+  bench::print_header(
+      "Figure 8: dynamic-request queue lengths on the modified server", run);
+
+  const auto results = tpcw::run_experiment(run.experiment(true));
+
+  std::vector<metrics::NamedSeries> charts;
+  charts.push_back({"(a) queue on general pool",
+                    results.queue_series.count("general")
+                        ? results.queue_series.at("general")
+                        : std::vector<TimeSeries::Point>{}});
+  charts.push_back({"(b) queue on lengthy pool",
+                    results.queue_series.count("lengthy")
+                        ? results.queue_series.at("lengthy")
+                        : std::vector<TimeSeries::Point>{}});
+  charts.push_back({"tspare (spare general threads)", results.tspare_series});
+  charts.push_back({"treserve (reserved for quick)", results.treserve_series});
+  charts.push_back({"render pool queue",
+                    results.queue_series.count("render")
+                        ? results.queue_series.at("render")
+                        : std::vector<TimeSeries::Point>{}});
+  charts.push_back({"header pool queue",
+                    results.queue_series.count("header")
+                        ? results.queue_series.at("header")
+                        : std::vector<TimeSeries::Point>{}});
+  charts.push_back({"static pool queue",
+                    results.queue_series.count("static")
+                        ? results.queue_series.at("static")
+                        : std::vector<TimeSeries::Point>{}});
+  std::printf("%s", metrics::ascii_charts(charts).c_str());
+
+  if (run.csv) {
+    std::printf("%s\n", metrics::series_csv(charts, 10.0).c_str());
+  }
+  std::printf("client interactions: %llu (errors %llu)\n",
+              static_cast<unsigned long long>(results.client_interactions),
+              static_cast<unsigned long long>(results.client_errors));
+  return 0;
+}

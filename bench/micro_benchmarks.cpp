@@ -1,0 +1,199 @@
+// google-benchmark microbenchmarks for the substrates: template engine,
+// HTTP parser, SQL engine, queues and pools. These measure the real C++
+// implementation cost (no simulated paper-time latencies).
+#include <benchmark/benchmark.h>
+
+#include <future>
+
+#include "src/common/clock.h"
+#include "src/common/mpmc_queue.h"
+#include "src/common/worker_pool.h"
+#include "src/db/executor.h"
+#include "src/http/parser.h"
+#include "src/http/serializer.h"
+#include "src/server/reserve_controller.h"
+#include "src/template/loader.h"
+#include "src/tpcw/populate.h"
+#include "src/tpcw/templates.h"
+
+namespace {
+
+using namespace tempest;
+
+// --- template engine ---------------------------------------------------------
+
+void BM_TemplateCompileSmall(benchmark::State& state) {
+  const std::string source = "<h1>{{ title }}</h1>{% for x in items %}"
+                             "<li>{{ x }}</li>{% endfor %}";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tmpl::Template::compile(source));
+  }
+}
+BENCHMARK(BM_TemplateCompileSmall);
+
+void BM_TemplateRenderLoop(benchmark::State& state) {
+  const auto tmpl = tmpl::Template::compile(
+      "{% for x in items %}<li>{{ x }} ({{ forloop.counter }})</li>"
+      "{% endfor %}");
+  tmpl::List items;
+  for (int i = 0; i < state.range(0); ++i) {
+    items.push_back(tmpl::Value("item number " + std::to_string(i)));
+  }
+  tmpl::Dict data{{"items", tmpl::Value(std::move(items))}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tmpl->render(data));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TemplateRenderLoop)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_TemplateRenderTpcwHome(benchmark::State& state) {
+  const auto loader = tpcw::make_template_loader();
+  const auto tmpl = loader->load("home.html");
+  tmpl::List promos;
+  for (int i = 0; i < 5; ++i) {
+    tmpl::Dict promo;
+    promo["i_id"] = tmpl::Value(i);
+    promo["i_title"] = tmpl::Value("a book title " + std::to_string(i));
+    promo["i_cost"] = tmpl::Value(12.5);
+    promo["i_thumbnail"] = tmpl::Value("/img/thumb_1.gif");
+    promos.push_back(tmpl::Value(std::move(promo)));
+  }
+  tmpl::Dict data;
+  data["c_id"] = tmpl::Value(7);
+  data["c_fname"] = tmpl::Value("Ada");
+  data["c_lname"] = tmpl::Value("Lovelace");
+  data["promotions"] = tmpl::Value(std::move(promos));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tmpl->render(data, loader.get()));
+  }
+}
+BENCHMARK(BM_TemplateRenderTpcwHome);
+
+// --- HTTP --------------------------------------------------------------------
+
+void BM_HttpParseRequest(benchmark::State& state) {
+  const std::string raw =
+      "GET /homepage?userid=5&popups=no HTTP/1.1\r\n"
+      "Host: bookstore.example\r\nUser-Agent: tpcw-rbe/1.0\r\n"
+      "Accept: text/html\r\nAccept-Language: en\r\n\r\n";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(http::parse_request(raw));
+  }
+  state.SetBytesProcessed(state.iterations() * raw.size());
+}
+BENCHMARK(BM_HttpParseRequest);
+
+void BM_HttpParseRequestLineOnly(benchmark::State& state) {
+  const std::string raw =
+      "GET /homepage?userid=5&popups=no HTTP/1.1\r\nHost: x\r\n\r\n";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(http::parse_request_line_only(raw));
+  }
+}
+BENCHMARK(BM_HttpParseRequestLineOnly);
+
+void BM_HttpSerializeResponse(benchmark::State& state) {
+  const auto response = http::Response::make(
+      http::Status::kOk, std::string(static_cast<std::size_t>(state.range(0)), 'x'));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(http::serialize_response(response));
+  }
+}
+BENCHMARK(BM_HttpSerializeResponse)->Arg(1024)->Arg(16384);
+
+// --- SQL engine ----------------------------------------------------------------
+
+class SqlFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (!db_.has_table("item")) {
+      tpcw::populate_tpcw(db_, tpcw::Scale::tiny());
+    }
+  }
+  db::Database db_;
+};
+
+BENCHMARK_F(SqlFixture, BM_SqlPointSelect)(benchmark::State& state) {
+  db::Executor executor(db_);
+  const auto stmt = db_.cached_statement("SELECT * FROM item WHERE i_id = ?");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.execute(*stmt, {db::Value(17)}));
+  }
+}
+
+BENCHMARK_F(SqlFixture, BM_SqlScanWithLike)(benchmark::State& state) {
+  db::Executor executor(db_);
+  const auto stmt = db_.cached_statement(
+      "SELECT i_id, i_title FROM item WHERE i_title LIKE ? LIMIT 50");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.execute(*stmt, {db::Value("%river%")}));
+  }
+}
+
+BENCHMARK_F(SqlFixture, BM_SqlJoinGroupOrder)(benchmark::State& state) {
+  db::Executor executor(db_);
+  const auto stmt = db_.cached_statement(
+      "SELECT i_id, i_title, SUM(ol_qty) AS total FROM order_line "
+      "JOIN item ON ol_i_id = i_id WHERE ol_o_id > ? "
+      "GROUP BY i_id, i_title ORDER BY total DESC LIMIT 50");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.execute(*stmt, {db::Value(50)}));
+  }
+}
+
+BENCHMARK_F(SqlFixture, BM_SqlParse)(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db::parse_sql(
+        "SELECT i_id, i_title, a_fname FROM item JOIN author ON i_a_id = a_id "
+        "WHERE i_subject = ? ORDER BY i_pub_date DESC LIMIT 50"));
+  }
+}
+
+// --- queues, pools, controller -------------------------------------------------
+
+void BM_MpmcQueuePushPop(benchmark::State& state) {
+  MpmcQueue<int> queue;
+  for (auto _ : state) {
+    queue.push(1);
+    benchmark::DoNotOptimize(queue.try_pop());
+  }
+}
+BENCHMARK(BM_MpmcQueuePushPop);
+
+void BM_WorkerPoolRoundTrip(benchmark::State& state) {
+  TimeScale::set(0.005);
+  WorkerPool<std::promise<void>> pool("bench", 2, [](std::promise<void>&& p) {
+    p.set_value();
+  });
+  for (auto _ : state) {
+    std::promise<void> promise;
+    auto future = promise.get_future();
+    pool.submit(std::move(promise));
+    future.wait();
+  }
+  pool.shutdown();
+}
+BENCHMARK(BM_WorkerPoolRoundTrip);
+
+void BM_ReserveControllerTick(benchmark::State& state) {
+  server::ReserveController controller(8, 64);
+  std::int64_t tspare = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.tick(tspare % 48));
+    ++tspare;
+  }
+}
+BENCHMARK(BM_ReserveControllerTick);
+
+void BM_LikeMatch(benchmark::State& state) {
+  const std::string text = "the silent river runs through the hollow garden";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db::like_match(text, "%river%garden%"));
+  }
+}
+BENCHMARK(BM_LikeMatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Diagnostic: per-page database service times in isolation (no load, no
+// queueing). These are the raw statement costs the latency model assigns;
+// the quick/lengthy dichotomy (2 s cutoff) must be visible here for the
+// scheduler to behave as in the paper.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/clock.h"
+#include "src/db/pool.h"
+#include "src/http/parser.h"
+#include "src/metrics/table.h"
+#include "src/server/handler.h"
+#include "src/server/server_config.h"
+#include "src/tpcw/handlers.h"
+#include "src/tpcw/populate.h"
+
+int main(int argc, char** argv) {
+  using namespace tempest;
+  auto run = bench::BenchRun::init(argc, argv);
+  bench::print_header("Per-page data-generation service times (no load)", run);
+
+  db::Database db;
+  const Stopwatch populate_watch;
+  const auto pop = tpcw::populate_tpcw(db, tpcw::Scale::paper());
+  std::printf("populated in %.2f wall-s (items=%lld order_lines=%lld)\n\n",
+              populate_watch.elapsed_wall_seconds(),
+              static_cast<long long>(pop.items),
+              static_cast<long long>(pop.order_lines));
+
+  auto state = tpcw::TpcwState::from_population(tpcw::Scale::paper(), pop);
+  server::Router router;
+  tpcw::register_tpcw_routes(router, state);
+  db::ConnectionPool pool(db, 2);
+
+  const double cutoff = server::ServerConfig{}.lengthy_cutoff_paper_s;
+  metrics::Table table({"page", "service (paper-s)", "per call"});
+  for (const std::string& path : tpcw::tpcw_page_paths()) {
+    auto request = http::parse_request(
+        "GET " + path + "?c_id=17&i_id=23&subject=ARTS&type=title&term=river"
+        " HTTP/1.1\r\nHost: x\r\n\r\n");
+    request->uri.query = http::parse_query(request->uri.raw_query);
+    auto lease = pool.acquire();
+    const Stopwatch watch;
+    server::RequestContext ctx{*request, lease.get()};
+    (*router.find(path))(ctx);
+    const double service = watch.elapsed_paper();
+    table.add_row({bench::page_label(path), metrics::format_double(service, 3),
+                   service >= cutoff ? "LENGTHY" : "quick"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Table 3: per-page average web interaction response times (in
+// paper seconds) on the unmodified (thread-per-request) and modified
+// (staged) web servers, measured client-side under the TPC-W browsing mix.
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/metrics/table.h"
+
+namespace {
+
+// Paper's Table 3 values (seconds) for side-by-side comparison.
+const std::map<std::string, std::pair<double, double>> kPaperTable3 = {
+    {"/admin_request", {4.89, 0.62}},
+    {"/admin_response", {12.35, 18.85}},
+    {"/best_sellers", {18.49, 12.88}},
+    {"/buy_confirm", {3.86, 0.18}},
+    {"/buy_request", {3.74, 0.07}},
+    {"/customer_registration", {4.46, 0.01}},
+    {"/execute_search", {11.05, 13.21}},
+    {"/home", {2.54, 0.03}},
+    {"/new_products", {20.30, 21.39}},
+    {"/order_display", {2.78, 0.54}},
+    {"/order_inquiry", {4.84, 0.04}},
+    {"/product_detail", {1.10, 0.01}},
+    {"/search_request", {5.44, 0.01}},
+    {"/shopping_cart", {6.82, 0.27}},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tempest;
+  auto run = bench::BenchRun::init(argc, argv);
+  bench::print_header("Table 3: per-page average response times (seconds)",
+                      run);
+
+  std::printf("running unmodified (thread-per-request) server...\n");
+  const auto unmodified = tpcw::run_experiment(run.experiment(false));
+  std::printf("running modified (staged) server...\n\n");
+  const auto modified = tpcw::run_experiment(run.experiment(true));
+
+  metrics::Table table({"web page name", "unmod (paper)", "mod (paper)",
+                        "unmod (ours)", "mod (ours)"});
+  for (const std::string& path : tpcw::tpcw_page_paths()) {
+    const auto paper = kPaperTable3.at(path);
+    const double ours_unmod = bench::page_mean(unmodified, path);
+    const double ours_mod = bench::page_mean(modified, path);
+    table.add_row({bench::page_label(path),
+                   metrics::format_double(paper.first, 2),
+                   metrics::format_double(paper.second, 2),
+                   std::isnan(ours_unmod) ? "-" : metrics::format_double(ours_unmod, 2),
+                   std::isnan(ours_mod) ? "-" : metrics::format_double(ours_mod, 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  if (run.csv) std::printf("%s\n", table.to_csv().c_str());
+
+  std::printf(
+      "interactions measured: unmodified=%llu modified=%llu  "
+      "client errors: %llu / %llu\n",
+      static_cast<unsigned long long>(unmodified.client_interactions),
+      static_cast<unsigned long long>(modified.client_interactions),
+      static_cast<unsigned long long>(unmodified.client_errors),
+      static_cast<unsigned long long>(modified.client_errors));
+  std::printf(
+      "connection idle-while-held fraction: unmodified=%.1f%% modified=%.1f%%\n",
+      100.0 * unmodified.connection_idle_while_held_fraction,
+      100.0 * modified.connection_idle_while_held_fraction);
+  return 0;
+}

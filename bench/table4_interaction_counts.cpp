@@ -1,0 +1,71 @@
+// Reproduces Table 4: total completed web interactions per TPC-W page type
+// on the unmodified and modified servers, and the overall throughput delta
+// (the paper reports +31.3% under heavy load).
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/metrics/table.h"
+
+namespace {
+
+const std::map<std::string, std::pair<int, int>> kPaperTable4 = {
+    {"/admin_request", {74, 81}},       {"/admin_response", {71, 72}},
+    {"/best_sellers", {7602, 9646}},    {"/buy_confirm", {395, 547}},
+    {"/buy_request", {429, 596}},       {"/customer_registration", {469, 642}},
+    {"/execute_search", {7307, 9723}},  {"/home", {19586, 25608}},
+    {"/new_products", {7406, 9758}},    {"/order_display", {184, 206}},
+    {"/order_inquiry", {219, 255}},     {"/product_detail", {14002, 18608}},
+    {"/search_request", {7994, 10543}}, {"/shopping_cart", {1173, 1536}},
+};
+
+std::uint64_t count_for(const tempest::tpcw::ExperimentResults& results,
+                        const std::string& path) {
+  const auto it = results.client_page_counts.find(path);
+  return it == results.client_page_counts.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tempest;
+  auto run = bench::BenchRun::init(argc, argv);
+  bench::print_header(
+      "Table 4: completed web interactions per page type (client-side)", run);
+
+  std::printf("running unmodified (thread-per-request) server...\n");
+  const auto unmodified = tpcw::run_experiment(run.experiment(false));
+  std::printf("running modified (staged) server...\n\n");
+  const auto modified = tpcw::run_experiment(run.experiment(true));
+
+  metrics::Table table({"web page name", "unmod (paper)", "mod (paper)",
+                        "unmod (ours)", "mod (ours)"});
+  std::uint64_t total_unmod = 0;
+  std::uint64_t total_mod = 0;
+  for (const std::string& path : tpcw::tpcw_page_paths()) {
+    const auto paper = kPaperTable4.at(path);
+    const auto ours_unmod = count_for(unmodified, path);
+    const auto ours_mod = count_for(modified, path);
+    total_unmod += ours_unmod;
+    total_mod += ours_mod;
+    table.add_row({bench::page_label(path), metrics::format_int(paper.first),
+                   metrics::format_int(paper.second),
+                   metrics::format_int(static_cast<std::int64_t>(ours_unmod)),
+                   metrics::format_int(static_cast<std::int64_t>(ours_mod))});
+  }
+  table.add_row({"TOTAL", "59909", "78621",
+                 metrics::format_int(static_cast<std::int64_t>(total_unmod)),
+                 metrics::format_int(static_cast<std::int64_t>(total_mod))});
+  std::printf("%s\n", table.to_string().c_str());
+  if (run.csv) std::printf("%s\n", table.to_csv().c_str());
+
+  const double gain =
+      total_unmod ? (static_cast<double>(total_mod) / total_unmod - 1.0) : 0;
+  std::printf(
+      "overall web-server throughput: %s (paper: +31.3%%)\n"
+      "server-side completed requests (incl. statics): unmod=%llu mod=%llu\n",
+      metrics::format_percent(gain).c_str(),
+      static_cast<unsigned long long>(unmodified.server_completed_total),
+      static_cast<unsigned long long>(modified.server_completed_total));
+  return 0;
+}

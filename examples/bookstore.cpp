@@ -1,0 +1,90 @@
+// The TPC-W online bookstore served over real TCP sockets.
+//
+//   ./build/examples/bookstore [--port N] [--serve]
+//
+// Without --serve, it starts the staged server on a loopback port, walks a
+// shopper's session over real sockets (home -> search -> product -> cart ->
+// checkout), prints what happened, and exits. With --serve it keeps running
+// so you can point curl or a browser at it.
+#include <cstdio>
+#include <thread>
+
+#include "src/common/config.h"
+#include "src/common/clock.h"
+#include "src/db/database.h"
+#include "src/server/staged_server.h"
+#include "src/server/tcp.h"
+#include "src/tpcw/handlers.h"
+#include "src/tpcw/populate.h"
+
+using namespace tempest;
+
+namespace {
+
+std::string status_line(const std::string& response) {
+  return response.substr(0, response.find("\r\n"));
+}
+
+std::size_t body_size(const std::string& response) {
+  const auto pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? 0 : response.size() - pos - 4;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = Options::parse(argc, argv);
+  TimeScale::set(options.get_double("scale", 0.002));
+
+  std::printf("populating the TPC-W bookstore database...\n");
+  db::Database db;
+  const auto scale = tpcw::Scale::bench();
+  const auto pop = tpcw::populate_tpcw(db, scale);
+  std::printf("  %lld books, %lld customers, %lld orders, %lld order lines\n",
+              static_cast<long long>(pop.items),
+              static_cast<long long>(pop.customers),
+              static_cast<long long>(pop.orders),
+              static_cast<long long>(pop.order_lines));
+
+  auto app = tpcw::make_tpcw_application(
+      tpcw::TpcwState::from_population(scale, pop));
+
+  server::ServerConfig config;
+  server::StagedServer web(config, app, db);
+  server::TcpListener listener(
+      web, static_cast<std::uint16_t>(options.get_int("port", 0)));
+  std::printf("bookstore listening on http://127.0.0.1:%u/home?c_id=1\n\n",
+              listener.port());
+
+  if (options.get_bool("serve", false)) {
+    std::printf("serving until interrupted (Ctrl-C to stop)...\n");
+    while (true) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+
+  const char* session[] = {
+      "/home?c_id=42",
+      "/search_request?c_id=42",
+      "/execute_search?c_id=42&type=title&term=river",
+      "/product_detail?c_id=42&i_id=1017",
+      "/shopping_cart?c_id=42&i_id=1017&qty=2",
+      "/buy_request?c_id=42",
+      "/buy_confirm?c_id=42",
+      "/order_display?c_id=42",
+      "/img/banner.gif",
+  };
+  for (const char* url : session) {
+    const Stopwatch watch;
+    const std::string response = server::tcp_roundtrip(
+        listener.port(),
+        "GET " + std::string(url) + " HTTP/1.1\r\nHost: bookstore\r\n\r\n");
+    std::printf("GET %-55s -> %s  (%zu bytes, %.1f paper-ms)\n", url,
+                status_line(response).c_str(), body_size(response),
+                watch.elapsed_paper() * 1000);
+  }
+
+  std::printf("\norders on file after checkout: %zu (started with %lld)\n",
+              db.table("orders").row_count(), static_cast<long long>(pop.orders));
+  listener.stop();
+  web.shutdown();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Demonstrates the adaptive treserve controller (Section 3.3) reacting to a
+// traffic spike: a steady trickle of quick requests, then a burst of lengthy
+// ones. Watch tspare fall, treserve chase it up (protecting quick requests),
+// and then decay once the spike passes — the Table 2 dynamics live.
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/db/database.h"
+#include "src/server/staged_server.h"
+#include "src/server/transport.h"
+#include "src/template/loader.h"
+
+using namespace tempest;
+
+int main() {
+  TimeScale::set(0.01);  // 1 paper-second = 10 ms
+
+  db::Database db;
+  db::TableSchema schema;
+  schema.name = "data";
+  schema.columns = {{"id", db::ColumnType::kInt}, {"v", db::ColumnType::kInt}};
+  schema.primary_key = 0;
+  db.create_table(schema);
+  for (int i = 1; i <= 20000; ++i) {
+    db.table("data").insert({db::Value(i), db::Value(i % 97)});
+  }
+
+  auto app = std::make_shared<server::Application>();
+  auto templates = std::make_shared<tmpl::MemoryLoader>();
+  templates->add("n.html", "<p>{{ n }}</p>");
+  app->templates = templates;
+  // Quick: indexed point lookup. Lengthy: full scan (several paper-seconds).
+  app->router.add("/quick", [](server::RequestContext& ctx)
+                                -> server::HandlerResult {
+    auto rs = ctx.db->execute("SELECT v FROM data WHERE id = ?", {db::Value(7)});
+    return server::TemplateResponse{"n.html",
+                                    {{"n", tmpl::Value(rs.at(0, "v").as_int())}}};
+  });
+  app->router.add("/lengthy", [](server::RequestContext& ctx)
+                                  -> server::HandlerResult {
+    auto rs = ctx.db->execute("SELECT COUNT(*) AS n FROM data WHERE v = 13");
+    return server::TemplateResponse{"n.html",
+                                    {{"n", tmpl::Value(rs.at(0, "n").as_int())}}};
+  });
+
+  server::ServerConfig config;
+  config.db_connections = 20;
+  config.baseline_threads = 20;
+  config.general_threads = 16;
+  config.lengthy_threads = 4;
+  config.header_threads = 2;
+  config.static_threads = 2;
+  config.render_threads = 4;
+  config.treserve_min = 4;
+  server::StagedServer web(config, app, db);
+  server::InProcClient client(web);
+
+  // Warm the classifier so /lengthy is known lengthy.
+  client.roundtrip("GET /lengthy HTTP/1.1\r\nHost: x\r\n\r\n");
+
+  std::printf("phase 1: steady quick traffic (5 paper-seconds)...\n");
+  std::printf("%6s %8s %10s %14s\n", "t(s)", "tspare", "treserve",
+              "quick-ms");
+  std::atomic<bool> stop{false};
+  std::thread quick_traffic([&] {
+    server::InProcClient c(web);
+    while (!stop.load()) {
+      c.roundtrip("GET /quick HTTP/1.1\r\nHost: x\r\n\r\n");
+      paper_sleep_for(0.05);
+    }
+  });
+
+  const double epoch = paper_now();
+  auto sample = [&](double until_paper_s) {
+    while (paper_now() - epoch < until_paper_s) {
+      const Stopwatch probe;
+      client.roundtrip("GET /quick HTTP/1.1\r\nHost: x\r\n\r\n");
+      std::printf("%6.1f %8lld %10lld %14.1f\n", paper_now() - epoch,
+                  static_cast<long long>(web.general_spare()),
+                  static_cast<long long>(web.reserve().treserve()),
+                  probe.elapsed_paper() * 1000);
+      paper_sleep_for(1.0);
+    }
+  };
+  sample(5);
+
+  std::printf("phase 2: SPIKE — 60 lengthy requests arrive at once...\n");
+  std::vector<std::future<std::string>> spike;
+  for (int i = 0; i < 60; ++i) {
+    spike.push_back(client.send("GET /lengthy HTTP/1.1\r\nHost: x\r\n\r\n"));
+  }
+  sample(20);
+
+  std::printf("phase 3: spike served, reserve decays...\n");
+  for (auto& f : spike) f.get();
+  sample(32);
+
+  stop.store(true);
+  quick_traffic.join();
+  std::printf(
+      "\nNote how treserve rose while the spike drained (lengthy requests\n"
+      "held general-pool threads) and decayed by half-differences afterward\n"
+      "— and quick-request latency returned to its baseline within a couple\n"
+      "of ticks, because treserve kept threads reserved for quick requests.\n");
+  web.shutdown();
+  return 0;
+}

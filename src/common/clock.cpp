@@ -1,0 +1,42 @@
+#include "src/common/clock.h"
+
+#include <thread>
+
+namespace tempest {
+
+std::atomic<double> TimeScale::scale_{0.005};
+
+void TimeScale::set(double wall_seconds_per_paper_second) noexcept {
+  scale_.store(wall_seconds_per_paper_second, std::memory_order_relaxed);
+}
+
+double TimeScale::get() noexcept {
+  return scale_.load(std::memory_order_relaxed);
+}
+
+namespace {
+WallClock::time_point process_epoch() noexcept {
+  static const WallClock::time_point epoch = WallClock::now();
+  return epoch;
+}
+}  // namespace
+
+double paper_now() noexcept { return to_paper(WallClock::now() - process_epoch()); }
+
+std::chrono::nanoseconds to_wall(double paper_seconds) noexcept {
+  const double wall_s = paper_seconds * TimeScale::get();
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(wall_s * 1e9));
+}
+
+double to_paper(WallClock::duration wall) noexcept {
+  const double wall_s = std::chrono::duration<double>(wall).count();
+  const double scale = TimeScale::get();
+  return scale > 0 ? wall_s / scale : 0.0;
+}
+
+void paper_sleep_for(double paper_seconds) {
+  if (paper_seconds <= 0) return;
+  std::this_thread::sleep_for(to_wall(paper_seconds));
+}
+
+}  // namespace tempest

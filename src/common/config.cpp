@@ -1,0 +1,60 @@
+#include "src/common/config.h"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "src/common/strutil.h"
+
+namespace tempest {
+
+Options Options::parse(int argc, const char* const* argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) continue;
+    arg.remove_prefix(2);
+    bool has_eq = false;
+    auto [key, value] = split_once(arg, '=', &has_eq);
+    if (has_eq) {
+      opts.values_[std::string(key)] = std::string(value);
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      opts.values_[std::string(key)] = argv[++i];
+    } else {
+      opts.values_[std::string(key)] = "true";
+    }
+  }
+  return opts;
+}
+
+bool Options::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Options::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+void Options::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+}  // namespace tempest

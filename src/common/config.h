@@ -1,0 +1,32 @@
+// Tiny command-line option parser used by the benchmark and example binaries.
+// Accepts --key=value, --key value, and boolean --flag forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace tempest {
+
+class Options {
+ public:
+  Options() = default;
+
+  // Parses argv; unknown positional arguments are ignored.
+  static Options parse(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  void set(const std::string& key, const std::string& value);
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace tempest

@@ -1,0 +1,39 @@
+// Minimal leveled, thread-safe logger.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tempest {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Writes one line to stderr if `level` passes the filter. Thread-safe.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace tempest
+
+#define TEMPEST_LOG(level)                              \
+  if (::tempest::log_level() <= ::tempest::LogLevel::level) \
+  ::tempest::detail::LogMessage(::tempest::LogLevel::level).stream()
+
+#define LOG_DEBUG TEMPEST_LOG(kDebug)
+#define LOG_INFO TEMPEST_LOG(kInfo)
+#define LOG_WARN TEMPEST_LOG(kWarn)
+#define LOG_ERROR TEMPEST_LOG(kError)

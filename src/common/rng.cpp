@@ -1,0 +1,60 @@
+#include "src/common/rng.h"
+
+#include <stdexcept>
+
+namespace tempest {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::exponential(double mean) {
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::int64_t Rng::nurand(std::int64_t a, std::int64_t x, std::int64_t y) {
+  const std::int64_t lhs = uniform_int(0, a);
+  const std::int64_t rhs = uniform_int(x, y);
+  return ((lhs | rhs) % (y - x + 1)) + x;
+}
+
+std::string Rng::alnum_string(std::size_t min_len, std::size_t max_len) {
+  static constexpr char kChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  const auto len = static_cast<std::size_t>(
+      uniform_int(static_cast<std::int64_t>(min_len),
+                  static_cast<std::int64_t>(max_len)));
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kChars[uniform_int(0, sizeof(kChars) - 2)]);
+  }
+  return out;
+}
+
+std::size_t Rng::discrete(const std::vector<double>& weights) {
+  if (weights.empty()) throw std::invalid_argument("discrete: empty weights");
+  double total = 0;
+  for (double w : weights) total += w;
+  double r = uniform_real(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (r < weights[i]) return i;
+    r -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace tempest

@@ -1,0 +1,41 @@
+// Deterministic random utilities, including the TPC-W NURand generator and
+// discrete distributions used by the workload mix.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace tempest {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  double exponential(double mean);
+
+  bool bernoulli(double p);
+
+  // TPC-W / TPC-C non-uniform random: NURand(A, x, y).
+  std::int64_t nurand(std::int64_t a, std::int64_t x, std::int64_t y);
+
+  // Random latin alphanumeric string of length in [min_len, max_len].
+  std::string alnum_string(std::size_t min_len, std::size_t max_len);
+
+  // Sample an index from unnormalized weights.
+  std::size_t discrete(const std::vector<double>& weights);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tempest

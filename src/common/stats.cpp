@@ -1,0 +1,4 @@
+#include "src/common/stats.h"
+
+// Header-only implementations; this translation unit anchors the library and
+// provides a place for future out-of-line definitions.

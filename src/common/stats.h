@@ -1,0 +1,213 @@
+// Statistics primitives used by the measurement harness: online moments,
+// log-bucketed latency histograms, timestamped series (queue-length figures),
+// and windowed counters (throughput-per-minute figures).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tempest {
+
+// Welford online mean/variance. Not thread-safe; see ConcurrentStats.
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void merge(const OnlineStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ = (n1 * mean_ + n2 * other.mean_) / (n1 + n2);
+    m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+
+  double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Mutex-guarded OnlineStats for cross-thread recording.
+class ConcurrentStats {
+ public:
+  void add(double x) {
+    std::lock_guard lock(mu_);
+    stats_.add(x);
+  }
+
+  OnlineStats snapshot() const {
+    std::lock_guard lock(mu_);
+    return stats_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  OnlineStats stats_;
+};
+
+// Latency histogram with geometric buckets. Values are paper-seconds.
+class Histogram {
+ public:
+  // Buckets: [0, lo), [lo, lo*g), [lo*g, lo*g^2), ... up to `buckets` bins.
+  explicit Histogram(double lo = 1e-4, double growth = 1.6,
+                     std::size_t buckets = 48)
+      : lo_(lo), growth_(growth), counts_(buckets + 2, 0) {}
+
+  void add(double x) noexcept {
+    ++counts_[bucket_for(x)];
+    ++total_;
+    sum_ += x;
+  }
+
+  std::uint64_t count() const noexcept { return total_; }
+  double mean() const noexcept {
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+
+  // Approximate quantile (upper bound of containing bucket).
+  double quantile(double q) const noexcept {
+    if (total_ == 0) return 0.0;
+    const auto target =
+        static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      seen += counts_[i];
+      if (seen > target) return bucket_upper(i);
+    }
+    return bucket_upper(counts_.size() - 1);
+  }
+
+  void merge(const Histogram& other) noexcept {
+    for (std::size_t i = 0; i < counts_.size() && i < other.counts_.size();
+         ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    total_ += other.total_;
+    sum_ += other.sum_;
+  }
+
+ private:
+  std::size_t bucket_for(double x) const noexcept {
+    if (x < lo_) return 0;
+    const auto idx = static_cast<std::size_t>(
+                         std::floor(std::log(x / lo_) / std::log(growth_))) +
+                     1;
+    return std::min(idx, counts_.size() - 1);
+  }
+
+  double bucket_upper(std::size_t i) const noexcept {
+    if (i == 0) return lo_;
+    return lo_ * std::pow(growth_, static_cast<double>(i));
+  }
+
+  double lo_;
+  double growth_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+// Timestamped samples, e.g. queue length over time (Figures 7-8).
+class TimeSeries {
+ public:
+  struct Point {
+    double t;  // paper-seconds
+    double value;
+  };
+
+  void record(double t, double value) {
+    std::lock_guard lock(mu_);
+    points_.push_back({t, value});
+  }
+
+  std::vector<Point> snapshot() const {
+    std::lock_guard lock(mu_);
+    return points_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return points_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Point> points_;
+};
+
+// Counts events into fixed-width time bins, e.g. completed interactions per
+// paper-minute (Figures 9-10).
+class WindowedCounter {
+ public:
+  explicit WindowedCounter(double bin_width_paper_s = 60.0)
+      : width_(bin_width_paper_s) {}
+
+  void record(double t_paper_s, std::uint64_t n = 1) {
+    const auto bin = static_cast<std::int64_t>(t_paper_s / width_);
+    std::lock_guard lock(mu_);
+    bins_[bin] += n;
+  }
+
+  double bin_width() const noexcept { return width_; }
+
+  // (bin start time, count) pairs, sorted by time.
+  std::vector<std::pair<double, std::uint64_t>> series() const {
+    std::lock_guard lock(mu_);
+    std::vector<std::pair<double, std::uint64_t>> out;
+    out.reserve(bins_.size());
+    for (const auto& [bin, n] : bins_) {
+      out.emplace_back(static_cast<double>(bin) * width_, n);
+    }
+    return out;
+  }
+
+  std::uint64_t total() const {
+    std::lock_guard lock(mu_);
+    std::uint64_t n = 0;
+    for (const auto& [bin, c] : bins_) n += c;
+    return n;
+  }
+
+ private:
+  const double width_;
+  mutable std::mutex mu_;
+  std::map<std::int64_t, std::uint64_t> bins_;
+};
+
+}  // namespace tempest

@@ -1,0 +1,38 @@
+// Small string helpers shared by the HTTP, template, and SQL front ends.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tempest {
+
+std::string_view trim(std::string_view s);
+
+std::vector<std::string> split(std::string_view s, char sep,
+                               bool keep_empty = true);
+
+// Split on the first occurrence of `sep`; if absent, second is empty and
+// `found` (when non-null) is set accordingly.
+std::pair<std::string_view, std::string_view> split_once(std::string_view s,
+                                                         char sep,
+                                                         bool* found = nullptr);
+
+std::string to_lower(std::string_view s);
+std::string to_upper(std::string_view s);
+
+bool iequals(std::string_view a, std::string_view b);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Percent-decoding; '+' becomes space when `plus_as_space`.
+std::string url_decode(std::string_view s, bool plus_as_space = true);
+std::string url_encode(std::string_view s);
+
+// Minimal HTML escaping for template autoescape: & < > " '.
+std::string html_escape(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+}  // namespace tempest

@@ -1,0 +1,69 @@
+#include "src/db/connection.h"
+
+#include <algorithm>
+#include <mutex>
+#include <shared_mutex>
+
+namespace tempest::db {
+
+ResultSet Connection::execute(const std::string& sql,
+                              const std::vector<Value>& params) {
+  const Stopwatch watch;
+  const auto stmt = db_.cached_statement(sql);
+
+  // Collect referenced tables, deduplicated and sorted by name so every
+  // connection acquires locks in the same global order (no deadlocks).
+  std::vector<std::string> tables = stmt->referenced_tables();
+  std::sort(tables.begin(), tables.end());
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+
+  std::string write_target;
+  switch (stmt->kind) {
+    case StatementKind::kInsert: write_target = stmt->insert.table; break;
+    case StatementKind::kUpdate: write_target = stmt->update.table; break;
+    case StatementKind::kDelete: write_target = stmt->del.table; break;
+    default: break;
+  }
+
+  std::vector<std::shared_lock<std::shared_mutex>> read_locks;
+  std::vector<std::unique_lock<std::shared_mutex>> write_locks;
+  read_locks.reserve(tables.size());
+  for (const std::string& name : tables) {
+    Table& table = db_.table(name);
+    if (name == write_target) {
+      write_locks.emplace_back(table.lock());
+    } else {
+      read_locks.emplace_back(table.lock());
+    }
+  }
+
+  ResultSet result = executor_.execute(*stmt, params);
+
+  const double service =
+      charge_latency_
+          ? model_.cost(*stmt, result.rows_scanned, result.rows_probed,
+                        result.rows.size(), result.rows_affected)
+          : 0.0;
+
+  // Lock discipline (see DESIGN.md): reads are MVCC-like — the shared lock
+  // covers only the in-memory execution, and the simulated service time is
+  // charged after release, so long scans never block writers. Writes hold
+  // their exclusive lock for the full (short) statement service time, so
+  // writers serialize per table like a real engine's write path.
+  if (stmt->is_write()) {
+    paper_sleep_for(service);
+    read_locks.clear();
+    write_locks.clear();
+  } else {
+    read_locks.clear();
+    write_locks.clear();
+    paper_sleep_for(service);
+  }
+  statements_.fetch_add(1, std::memory_order_relaxed);
+  busy_paper_us_.fetch_add(
+      static_cast<std::uint64_t>(watch.elapsed_paper() * 1e6),
+      std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace tempest::db

@@ -1,0 +1,58 @@
+// Database connection: executes SQL text with bound parameters, holding the
+// referenced tables' locks (shared for reads, exclusive for writes) for the
+// statement's simulated service time — the MyISAM behaviour behind the
+// paper's admin-response anomaly (Section 4.2.1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/db/database.h"
+#include "src/db/executor.h"
+#include "src/db/latency.h"
+
+namespace tempest::db {
+
+class Connection {
+ public:
+  Connection(Database& db, LatencyModel model, int id)
+      : db_(db), executor_(db), model_(model), id_(id) {}
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  // Executes one statement. Blocks for lock acquisition plus the simulated
+  // service time (scaled to wall time). Thread-compatible: one statement at a
+  // time per connection, like a real DB-API connection.
+  ResultSet execute(const std::string& sql,
+                    const std::vector<Value>& params = {});
+
+  int id() const { return id_; }
+  std::uint64_t statements_executed() const {
+    return statements_.load(std::memory_order_relaxed);
+  }
+  // Total paper-seconds this connection spent actually executing statements
+  // (service + lock wait). Compared against checkout time by the pool to
+  // quantify the idle-while-held waste the paper targets.
+  double busy_paper_seconds() const {
+    return busy_paper_us_.load(std::memory_order_relaxed) / 1e6;
+  }
+
+  // When true (default), the statement's simulated service time is charged
+  // while table locks are held. Tests can disable the charge for speed.
+  void set_charge_latency(bool charge) { charge_latency_ = charge; }
+
+ private:
+  Database& db_;
+  Executor executor_;
+  LatencyModel model_;
+  const int id_;
+  bool charge_latency_ = true;
+  std::atomic<std::uint64_t> statements_{0};
+  std::atomic<std::uint64_t> busy_paper_us_{0};
+};
+
+}  // namespace tempest::db

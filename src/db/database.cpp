@@ -1,0 +1,55 @@
+#include "src/db/database.h"
+
+#include "src/db/sql.h"
+
+namespace tempest::db {
+
+Table& Database::create_table(TableSchema schema) {
+  std::lock_guard lock(mu_);
+  const std::string name = schema.name;
+  auto [it, inserted] =
+      tables_.emplace(name, std::make_unique<Table>(std::move(schema)));
+  if (!inserted) throw DbError("table already exists: " + name);
+  return *it->second;
+}
+
+Table& Database::table(const std::string& name) {
+  std::lock_guard lock(mu_);
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) throw DbError("no such table: " + name);
+  return *it->second;
+}
+
+const Table& Database::table(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) throw DbError("no such table: " + name);
+  return *it->second;
+}
+
+bool Database::has_table(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return tables_.count(name) > 0;
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+std::shared_ptr<const Statement> Database::cached_statement(
+    const std::string& sql) {
+  {
+    std::lock_guard lock(mu_);
+    const auto it = statements_.find(sql);
+    if (it != statements_.end()) return it->second;
+  }
+  auto stmt = parse_sql(sql);
+  std::lock_guard lock(mu_);
+  return statements_.emplace(sql, std::move(stmt)).first->second;
+}
+
+}  // namespace tempest::db

@@ -1,0 +1,40 @@
+// Database catalog: named tables plus a shared statement cache.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/db/table.h"
+
+namespace tempest::db {
+
+struct Statement;  // parsed SQL, defined in sql.h
+
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Table& create_table(TableSchema schema);
+
+  Table& table(const std::string& name);
+  const Table& table(const std::string& name) const;
+  bool has_table(const std::string& name) const;
+
+  std::vector<std::string> table_names() const;
+
+  // Parsed-statement cache keyed by SQL text (parse once per distinct query
+  // shape; TPC-W uses a fixed set of parameterized statements).
+  std::shared_ptr<const Statement> cached_statement(const std::string& sql);
+
+ private:
+  mutable std::mutex mu_;  // guards catalog mutation and the statement cache
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::shared_ptr<const Statement>> statements_;
+};
+
+}  // namespace tempest::db

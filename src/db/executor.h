@@ -1,0 +1,72 @@
+// Query executor: runs parsed statements against the catalog.
+//
+// Planning is deliberately simple but honest about cost: point lookups and
+// equality predicates use hash indexes; joins use an index on the join column
+// when one exists and otherwise build a hash table; everything else scans.
+// The executor counts `rows_examined`, which drives the latency model — the
+// source of the fast/slow page dichotomy the paper's evaluation hinges on
+// (indexed selects and inserts are fast even on huge tables; the best-seller
+// / new-products / search scans are slow).
+//
+// The executor does NOT acquire table locks; the Connection layer holds them
+// for the full (simulated) statement duration, as MyISAM does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/db/sql.h"
+
+namespace tempest::db {
+
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  // rows_examined = rows_scanned + rows_probed; kept for convenience.
+  std::uint64_t rows_examined = 0;
+  std::uint64_t rows_scanned = 0;  // touched via full scans / hash builds
+  std::uint64_t rows_probed = 0;   // touched via index lookups
+  std::uint64_t rows_affected = 0;
+
+  std::optional<std::size_t> column_index(const std::string& name) const {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] == name) return i;
+    }
+    return std::nullopt;
+  }
+
+  const Value& at(std::size_t row, const std::string& column) const {
+    const auto idx = column_index(column);
+    if (!idx) throw DbError("no result column '" + column + "'");
+    return rows.at(row)[*idx];
+  }
+
+  bool empty() const { return rows.empty(); }
+  std::size_t size() const { return rows.size(); }
+};
+
+class Executor {
+ public:
+  explicit Executor(Database& db) : db_(db) {}
+
+  // Caller must hold the referenced tables' locks (shared for SELECT,
+  // exclusive for the INSERT/UPDATE target).
+  ResultSet execute(const Statement& stmt, const std::vector<Value>& params);
+
+ private:
+  ResultSet execute_select(const SelectStatement& sel,
+                           const std::vector<Value>& params);
+  ResultSet execute_insert(const InsertStatement& ins,
+                           const std::vector<Value>& params);
+  ResultSet execute_update(const UpdateStatement& upd,
+                           const std::vector<Value>& params);
+  ResultSet execute_delete(const DeleteStatement& del,
+                           const std::vector<Value>& params);
+
+  Database& db_;
+};
+
+}  // namespace tempest::db

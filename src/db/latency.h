@@ -1,0 +1,55 @@
+// Statement service-time model.
+//
+// The paper's testbed runs MySQL 5.0 on a dedicated 8-CPU machine; queries
+// there take real time (the three heavy TPC-W queries take tens of seconds,
+// indexed lookups take milliseconds). This reproduction replaces the remote
+// DBMS with an in-memory engine, so statement *service time* is simulated: a
+// calibrated cost is computed from the work the executor actually performed
+// (rows examined / returned / affected) and charged in paper-time while the
+// connection — and, matching MyISAM, the table locks — are held.
+//
+// Calibration (defaults below, see DESIGN.md and EXPERIMENTS.md): with the
+// scaled TPC-W population, indexed point queries land at ~5-15 ms and the
+// best-sellers / new-products / search scans land in the 6-20 s band, i.e.
+// the same quick-vs-lengthy dichotomy (and ~2 s cutoff) the paper measures.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/db/sql.h"
+
+namespace tempest::db {
+
+struct LatencyModel {
+  // Paper-seconds. Full scans cost more per row than index probes (sequential
+  // reads of wide rows with predicate evaluation vs. hash lookups), which is
+  // what separates the three heavy TPC-W queries (table scans, 2.4-4.5 s)
+  // from the indexed pages (5-50 ms) — the paper's quick/lengthy dichotomy.
+  double base_select = 0.005;       // parse/plan/connection overhead
+  double base_insert = 0.008;
+  double base_update = 0.012;
+  double per_row_scanned = 5.5e-5;   // full scans / hash-join builds
+  double per_row_probed = 2.0e-5;    // index lookups
+  double per_row_returned = 2.0e-5;  // marshalling cost per result row
+  double per_row_affected = 1.0e-4;  // write amplification per changed row
+
+  // Service time in paper-seconds for a completed statement.
+  double cost(const Statement& stmt, std::uint64_t rows_scanned,
+              std::uint64_t rows_probed, std::uint64_t rows_returned,
+              std::uint64_t rows_affected) const {
+    double base = base_select;
+    if (stmt.kind == StatementKind::kInsert) base = base_insert;
+    if (stmt.kind == StatementKind::kUpdate) base = base_update;
+    if (stmt.kind == StatementKind::kBegin ||
+        stmt.kind == StatementKind::kCommit) {
+      return 0.0;
+    }
+    return base + per_row_scanned * static_cast<double>(rows_scanned) +
+           per_row_probed * static_cast<double>(rows_probed) +
+           per_row_returned * static_cast<double>(rows_returned) +
+           per_row_affected * static_cast<double>(rows_affected);
+  }
+};
+
+}  // namespace tempest::db

@@ -1,0 +1,70 @@
+#include "src/db/pool.h"
+
+namespace tempest::db {
+
+ConnectionPool::ConnectionPool(Database& db, std::size_t size,
+                               LatencyModel model) {
+  connections_.reserve(size);
+  idle_.reserve(size);
+  checked_out_at_.resize(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    connections_.push_back(
+        std::make_unique<Connection>(db, model, static_cast<int>(i)));
+    idle_.push_back(connections_.back().get());
+  }
+}
+
+ConnectionPool::Lease ConnectionPool::acquire() {
+  const Stopwatch wait;
+  std::unique_lock lock(mu_);
+  available_cv_.wait(lock, [&] { return !idle_.empty(); });
+  Connection* conn = idle_.back();
+  idle_.pop_back();
+  acquire_wait_.add(wait.elapsed_paper());
+  checked_out_at_[static_cast<std::size_t>(conn->id())] = WallClock::now();
+  return Lease(this, conn);
+}
+
+void ConnectionPool::Lease::release() {
+  if (pool_ != nullptr && conn_ != nullptr) {
+    pool_->give_back(conn_, to_paper(WallClock::now() - checkout_));
+  }
+  pool_ = nullptr;
+  conn_ = nullptr;
+}
+
+void ConnectionPool::give_back(Connection* conn, double held_paper_s) {
+  {
+    std::lock_guard lock(mu_);
+    total_held_paper_s_ += held_paper_s;
+    checked_out_at_[static_cast<std::size_t>(conn->id())] = {};
+    idle_.push_back(conn);
+  }
+  available_cv_.notify_one();
+}
+
+std::size_t ConnectionPool::available() const {
+  std::lock_guard lock(mu_);
+  return idle_.size();
+}
+
+ConnectionPool::Stats ConnectionPool::stats() const {
+  Stats out;
+  {
+    std::lock_guard lock(mu_);
+    out.acquire_wait_paper_s = acquire_wait_;
+    out.total_held_paper_s = total_held_paper_s_;
+    // Leases still outstanding (worker threads hold theirs for their whole
+    // lifetime) count from checkout to now.
+    const auto now = WallClock::now();
+    for (const auto t : checked_out_at_) {
+      if (t != WallClock::time_point{}) out.total_held_paper_s += to_paper(now - t);
+    }
+  }
+  for (const auto& conn : connections_) {
+    out.total_busy_paper_s += conn->busy_paper_seconds();
+  }
+  return out;
+}
+
+}  // namespace tempest::db

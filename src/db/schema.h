@@ -1,0 +1,42 @@
+// Table schemas: column names, types, primary key, and secondary indexes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/db/value.h"
+
+namespace tempest::db {
+
+enum class ColumnType { kInt, kDouble, kString };
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt;
+};
+
+struct TableSchema {
+  std::string name;
+  std::vector<Column> columns;
+  // Index into `columns` of the INT primary key; nullopt for keyless tables.
+  std::optional<std::size_t> primary_key;
+  // Columns with secondary (hash) indexes.
+  std::vector<std::size_t> indexed_columns;
+
+  std::optional<std::size_t> column_index(const std::string& column) const {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == column) return i;
+    }
+    return std::nullopt;
+  }
+
+  std::size_t require_column(const std::string& column) const {
+    if (auto idx = column_index(column)) return *idx;
+    throw DbError("no column '" + column + "' in table '" + name + "'");
+  }
+};
+
+using Row = std::vector<Value>;
+
+}  // namespace tempest::db

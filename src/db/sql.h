@@ -1,0 +1,139 @@
+// Parsed SQL statement representation. The dialect is the subset TPC-W's
+// page handlers need (mirroring the queries in the paper's Figures 1-2):
+//
+//   SELECT items FROM t [alias] [JOIN t2 [alias] ON a.x = b.y]...
+//     [WHERE pred AND pred ...] [GROUP BY col, ...]
+//     [ORDER BY key [DESC], ...] [LIMIT n]
+//   INSERT INTO t (col, ...) VALUES (?, ...)
+//   UPDATE t SET col = ? [, ...] [WHERE pred AND ...]
+//   DELETE FROM t [WHERE pred AND ...]
+//   BEGIN / COMMIT            (accepted, no-ops)
+//
+// Aggregates: COUNT(*) / COUNT(col) / SUM / AVG / MIN / MAX.
+// Predicates: = <> < <= > >= LIKE ('%' and '_' wildcards) IN (...), against
+// literals or '?' positional parameters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/db/value.h"
+
+namespace tempest::db {
+
+enum class StatementKind { kSelect, kInsert, kUpdate, kDelete, kBegin, kCommit };
+
+struct ColumnRef {
+  std::string table_alias;  // empty when unqualified
+  std::string column;
+
+  std::string display() const {
+    return table_alias.empty() ? column : table_alias + "." + column;
+  }
+};
+
+enum class AggFunc { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+struct SelectItem {
+  AggFunc agg = AggFunc::kNone;
+  bool star = false;  // '*' projection or COUNT(*)
+  ColumnRef column;
+  std::string alias;  // AS name; defaults to column/display name
+};
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe, kLike, kIn };
+
+// A literal or positional parameter appearing on a predicate/assignment RHS.
+struct Scalar {
+  bool is_param = false;
+  std::size_t param_index = 0;
+  Value literal;
+
+  const Value& bind(const std::vector<Value>& params) const {
+    if (!is_param) return literal;
+    if (param_index >= params.size()) {
+      throw DbError("missing bind parameter " + std::to_string(param_index));
+    }
+    return params[param_index];
+  }
+};
+
+struct Predicate {
+  ColumnRef column;
+  CmpOp op = CmpOp::kEq;
+  Scalar rhs;                    // unused when op == kIn
+  std::vector<Scalar> rhs_list;  // operands of IN (...)
+};
+
+struct JoinClause {
+  std::string table;
+  std::string alias;
+  ColumnRef left;   // refers to an earlier table in the FROM/JOIN list
+  ColumnRef right;  // refers to the joined table
+};
+
+struct OrderKey {
+  ColumnRef column;  // may also name a select-item alias
+  bool desc = false;
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::string table;
+  std::string alias;
+  std::vector<JoinClause> joins;
+  std::vector<Predicate> where;  // conjunction
+  std::vector<ColumnRef> group_by;
+  std::vector<OrderKey> order_by;
+  std::optional<std::int64_t> limit;
+};
+
+struct InsertStatement {
+  std::string table;
+  std::vector<std::string> columns;
+  std::vector<Scalar> values;
+};
+
+struct Assignment {
+  std::string column;
+  Scalar value;
+};
+
+struct UpdateStatement {
+  std::string table;
+  std::vector<Assignment> sets;
+  std::vector<Predicate> where;
+};
+
+struct DeleteStatement {
+  std::string table;
+  std::vector<Predicate> where;  // empty = delete all rows
+};
+
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+  SelectStatement select;
+  InsertStatement insert;
+  UpdateStatement update;
+  DeleteStatement del;
+  std::size_t param_count = 0;
+  std::string text;
+
+  // All tables the statement touches, with the write target (if any) first.
+  std::vector<std::string> referenced_tables() const;
+  bool is_write() const {
+    return kind == StatementKind::kInsert || kind == StatementKind::kUpdate ||
+           kind == StatementKind::kDelete;
+  }
+};
+
+// Parses `sql`; throws DbError with position info on syntax errors.
+std::shared_ptr<const Statement> parse_sql(const std::string& sql);
+
+// SQL LIKE pattern match ('%' = any run, '_' = any one char), case-sensitive.
+bool like_match(const std::string& text, const std::string& pattern);
+
+}  // namespace tempest::db

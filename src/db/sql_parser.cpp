@@ -1,0 +1,491 @@
+#include <cctype>
+#include <cstdlib>
+
+#include "src/common/strutil.h"
+#include "src/db/sql.h"
+
+namespace tempest::db {
+
+namespace {
+
+enum class TokKind { kWord, kNumber, kString, kPunct, kParam, kEnd };
+
+struct Tok {
+  TokKind kind = TokKind::kEnd;
+  std::string text;  // uppercased for words, raw for strings/numbers/punct
+  std::string raw;   // original spelling (identifiers keep their case)
+};
+
+class SqlLexer {
+ public:
+  explicit SqlLexer(const std::string& sql) : sql_(sql) { advance(); }
+
+  const Tok& peek() const { return current_; }
+
+  Tok next() {
+    Tok t = current_;
+    advance();
+    return t;
+  }
+
+  bool accept_word(const char* word) {
+    if (current_.kind == TokKind::kWord && current_.text == word) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool accept_punct(const char* p) {
+    if (current_.kind == TokKind::kPunct && current_.text == p) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_word(const char* word) {
+    if (!accept_word(word)) fail(std::string("expected ") + word);
+  }
+
+  void expect_punct(const char* p) {
+    if (!accept_punct(p)) fail(std::string("expected '") + p + "'");
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw DbError("SQL syntax error: " + message + " near '" + current_.raw +
+                  "' in: " + sql_);
+  }
+
+ private:
+  void advance() {
+    while (pos_ < sql_.size() && std::isspace(static_cast<unsigned char>(sql_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= sql_.size()) {
+      current_ = {TokKind::kEnd, "", ""};
+      return;
+    }
+    const char c = sql_[pos_];
+    if (c == '\'') {
+      std::string text;
+      ++pos_;
+      while (pos_ < sql_.size() && sql_[pos_] != '\'') {
+        text.push_back(sql_[pos_++]);
+      }
+      if (pos_ >= sql_.size()) throw DbError("unterminated string in: " + sql_);
+      ++pos_;  // closing quote
+      current_ = {TokKind::kString, text, text};
+      return;
+    }
+    if (c == '?') {
+      ++pos_;
+      current_ = {TokKind::kParam, "?", "?"};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < sql_.size() &&
+         std::isdigit(static_cast<unsigned char>(sql_[pos_ + 1])))) {
+      std::size_t j = pos_ + 1;
+      while (j < sql_.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql_[j])) || sql_[j] == '.')) {
+        ++j;
+      }
+      const std::string text = sql_.substr(pos_, j - pos_);
+      pos_ = j;
+      current_ = {TokKind::kNumber, text, text};
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = pos_ + 1;
+      while (j < sql_.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql_[j])) || sql_[j] == '_')) {
+        ++j;
+      }
+      const std::string raw = sql_.substr(pos_, j - pos_);
+      pos_ = j;
+      current_ = {TokKind::kWord, to_upper(raw), raw};
+      return;
+    }
+    // Multi-char operators.
+    static const char* kTwoChar[] = {"<=", ">=", "<>", "!="};
+    for (const char* op : kTwoChar) {
+      if (sql_.compare(pos_, 2, op) == 0) {
+        pos_ += 2;
+        current_ = {TokKind::kPunct, op, op};
+        return;
+      }
+    }
+    pos_ += 1;
+    const std::string text(1, c);
+    current_ = {TokKind::kPunct, text, text};
+  }
+
+  const std::string& sql_;
+  std::size_t pos_ = 0;
+  Tok current_;
+};
+
+class SqlParser {
+ public:
+  explicit SqlParser(const std::string& sql) : sql_(sql), lex_(sql) {}
+
+  Statement parse() {
+    Statement stmt;
+    stmt.text = sql_;
+    if (lex_.accept_word("SELECT")) {
+      stmt.kind = StatementKind::kSelect;
+      stmt.select = parse_select();
+    } else if (lex_.accept_word("INSERT")) {
+      stmt.kind = StatementKind::kInsert;
+      stmt.insert = parse_insert();
+    } else if (lex_.accept_word("UPDATE")) {
+      stmt.kind = StatementKind::kUpdate;
+      stmt.update = parse_update();
+    } else if (lex_.accept_word("DELETE")) {
+      stmt.kind = StatementKind::kDelete;
+      stmt.del = parse_delete();
+    } else if (lex_.accept_word("BEGIN")) {
+      stmt.kind = StatementKind::kBegin;
+    } else if (lex_.accept_word("COMMIT")) {
+      stmt.kind = StatementKind::kCommit;
+    } else {
+      lex_.fail("expected SELECT, INSERT, UPDATE, DELETE, BEGIN, or COMMIT");
+    }
+    if (lex_.peek().kind != TokKind::kEnd && !lex_.accept_punct(";")) {
+      lex_.fail("trailing tokens");
+    }
+    stmt.param_count = param_count_;
+    return stmt;
+  }
+
+ private:
+  ColumnRef parse_column_ref() {
+    const Tok first = lex_.next();
+    if (first.kind != TokKind::kWord) lex_.fail("expected column name");
+    ColumnRef ref;
+    if (lex_.accept_punct(".")) {
+      const Tok col = lex_.next();
+      if (col.kind != TokKind::kWord) lex_.fail("expected column after '.'");
+      ref.table_alias = first.raw;
+      ref.column = col.raw;
+    } else {
+      ref.column = first.raw;
+    }
+    return ref;
+  }
+
+  Scalar parse_scalar() {
+    const Tok tok = lex_.next();
+    Scalar s;
+    switch (tok.kind) {
+      case TokKind::kParam:
+        s.is_param = true;
+        s.param_index = param_count_++;
+        return s;
+      case TokKind::kNumber:
+        if (tok.text.find('.') != std::string::npos) {
+          s.literal = Value(std::strtod(tok.text.c_str(), nullptr));
+        } else {
+          s.literal = Value(static_cast<std::int64_t>(
+              std::strtoll(tok.text.c_str(), nullptr, 10)));
+        }
+        return s;
+      case TokKind::kString:
+        s.literal = Value(tok.text);
+        return s;
+      case TokKind::kWord:
+        if (tok.text == "NULL") {
+          s.literal = Value();
+          return s;
+        }
+        [[fallthrough]];
+      default:
+        lex_.fail("expected literal or '?'");
+    }
+  }
+
+  std::optional<AggFunc> agg_for_word(const std::string& upper) {
+    if (upper == "COUNT") return AggFunc::kCount;
+    if (upper == "SUM") return AggFunc::kSum;
+    if (upper == "AVG") return AggFunc::kAvg;
+    if (upper == "MIN") return AggFunc::kMin;
+    if (upper == "MAX") return AggFunc::kMax;
+    return std::nullopt;
+  }
+
+  SelectItem parse_select_item() {
+    SelectItem item;
+    if (lex_.accept_punct("*")) {
+      item.star = true;
+      return item;
+    }
+    const Tok first = lex_.peek();
+    if (first.kind == TokKind::kWord) {
+      if (auto agg = agg_for_word(first.text)) {
+        lex_.next();
+        if (lex_.accept_punct("(")) {
+          item.agg = *agg;
+          if (lex_.accept_punct("*")) {
+            item.star = true;
+          } else {
+            item.column = parse_column_ref();
+          }
+          lex_.expect_punct(")");
+          if (lex_.accept_word("AS")) {
+            const Tok alias = lex_.next();
+            if (alias.kind != TokKind::kWord) lex_.fail("expected alias");
+            item.alias = alias.raw;
+          }
+          return item;
+        }
+        // Not a call after all (a column named like an aggregate): treat the
+        // consumed word as the column name.
+        item.column.column = first.raw;
+        if (lex_.accept_punct(".")) {
+          const Tok col = lex_.next();
+          item.column.table_alias = first.raw;
+          item.column.column = col.raw;
+        }
+      } else {
+        item.column = parse_column_ref();
+      }
+    } else {
+      lex_.fail("expected select item");
+    }
+    if (lex_.accept_word("AS")) {
+      const Tok alias = lex_.next();
+      if (alias.kind != TokKind::kWord) lex_.fail("expected alias");
+      item.alias = alias.raw;
+    }
+    return item;
+  }
+
+  std::vector<Predicate> parse_where() {
+    std::vector<Predicate> preds;
+    do {
+      Predicate pred;
+      pred.column = parse_column_ref();
+      const Tok op = lex_.next();
+      if (op.kind == TokKind::kPunct) {
+        if (op.text == "=") pred.op = CmpOp::kEq;
+        else if (op.text == "<>" || op.text == "!=") pred.op = CmpOp::kNe;
+        else if (op.text == "<") pred.op = CmpOp::kLt;
+        else if (op.text == "<=") pred.op = CmpOp::kLe;
+        else if (op.text == ">") pred.op = CmpOp::kGt;
+        else if (op.text == ">=") pred.op = CmpOp::kGe;
+        else lex_.fail("unknown comparison operator " + op.text);
+      } else if (op.kind == TokKind::kWord && op.text == "LIKE") {
+        pred.op = CmpOp::kLike;
+      } else if (op.kind == TokKind::kWord && op.text == "IN") {
+        pred.op = CmpOp::kIn;
+      } else {
+        lex_.fail("expected comparison operator");
+      }
+      if (pred.op == CmpOp::kIn) {
+        lex_.expect_punct("(");
+        do {
+          pred.rhs_list.push_back(parse_scalar());
+        } while (lex_.accept_punct(","));
+        lex_.expect_punct(")");
+      } else {
+        pred.rhs = parse_scalar();
+      }
+      preds.push_back(std::move(pred));
+    } while (lex_.accept_word("AND"));
+    return preds;
+  }
+
+  SelectStatement parse_select() {
+    SelectStatement sel;
+    do {
+      sel.items.push_back(parse_select_item());
+    } while (lex_.accept_punct(","));
+
+    lex_.expect_word("FROM");
+    Tok table = lex_.next();
+    if (table.kind != TokKind::kWord) lex_.fail("expected table name");
+    sel.table = table.raw;
+    if (lex_.peek().kind == TokKind::kWord && !reserved(lex_.peek().text)) {
+      sel.alias = lex_.next().raw;
+    }
+
+    while (lex_.accept_word("JOIN")) {
+      JoinClause join;
+      const Tok jt = lex_.next();
+      if (jt.kind != TokKind::kWord) lex_.fail("expected join table");
+      join.table = jt.raw;
+      if (lex_.peek().kind == TokKind::kWord && lex_.peek().text != "ON") {
+        join.alias = lex_.next().raw;
+      }
+      lex_.expect_word("ON");
+      ColumnRef a = parse_column_ref();
+      lex_.expect_punct("=");
+      ColumnRef b = parse_column_ref();
+      // Normalize so `right` refers to the newly joined table.
+      const std::string joined = join.alias.empty() ? join.table : join.alias;
+      if (b.table_alias == joined) {
+        join.left = std::move(a);
+        join.right = std::move(b);
+      } else if (a.table_alias == joined) {
+        join.left = std::move(b);
+        join.right = std::move(a);
+      } else {
+        // Unqualified: assume "earlier = joined" ordering.
+        join.left = std::move(a);
+        join.right = std::move(b);
+      }
+      sel.joins.push_back(std::move(join));
+    }
+
+    if (lex_.accept_word("WHERE")) sel.where = parse_where();
+
+    if (lex_.accept_word("GROUP")) {
+      lex_.expect_word("BY");
+      do {
+        sel.group_by.push_back(parse_column_ref());
+      } while (lex_.accept_punct(","));
+    }
+
+    if (lex_.accept_word("ORDER")) {
+      lex_.expect_word("BY");
+      do {
+        OrderKey key;
+        key.column = parse_column_ref();
+        if (lex_.accept_word("DESC")) {
+          key.desc = true;
+        } else {
+          lex_.accept_word("ASC");
+        }
+        sel.order_by.push_back(std::move(key));
+      } while (lex_.accept_punct(","));
+    }
+
+    if (lex_.accept_word("LIMIT")) {
+      const Tok n = lex_.next();
+      if (n.kind != TokKind::kNumber) lex_.fail("expected LIMIT count");
+      sel.limit = std::strtoll(n.text.c_str(), nullptr, 10);
+    }
+    return sel;
+  }
+
+  InsertStatement parse_insert() {
+    lex_.expect_word("INTO");
+    InsertStatement ins;
+    const Tok table = lex_.next();
+    if (table.kind != TokKind::kWord) lex_.fail("expected table name");
+    ins.table = table.raw;
+    lex_.expect_punct("(");
+    do {
+      const Tok col = lex_.next();
+      if (col.kind != TokKind::kWord) lex_.fail("expected column name");
+      ins.columns.push_back(col.raw);
+    } while (lex_.accept_punct(","));
+    lex_.expect_punct(")");
+    lex_.expect_word("VALUES");
+    lex_.expect_punct("(");
+    do {
+      ins.values.push_back(parse_scalar());
+    } while (lex_.accept_punct(","));
+    lex_.expect_punct(")");
+    if (ins.columns.size() != ins.values.size()) {
+      lex_.fail("INSERT column/value count mismatch");
+    }
+    return ins;
+  }
+
+  DeleteStatement parse_delete() {
+    lex_.expect_word("FROM");
+    DeleteStatement del;
+    const Tok table = lex_.next();
+    if (table.kind != TokKind::kWord) lex_.fail("expected table name");
+    del.table = table.raw;
+    if (lex_.accept_word("WHERE")) del.where = parse_where();
+    return del;
+  }
+
+  UpdateStatement parse_update() {
+    UpdateStatement upd;
+    const Tok table = lex_.next();
+    if (table.kind != TokKind::kWord) lex_.fail("expected table name");
+    upd.table = table.raw;
+    lex_.expect_word("SET");
+    do {
+      Assignment assign;
+      const Tok col = lex_.next();
+      if (col.kind != TokKind::kWord) lex_.fail("expected column name");
+      assign.column = col.raw;
+      lex_.expect_punct("=");
+      assign.value = parse_scalar();
+      upd.sets.push_back(std::move(assign));
+    } while (lex_.accept_punct(","));
+    if (lex_.accept_word("WHERE")) upd.where = parse_where();
+    return upd;
+  }
+
+  static bool reserved(const std::string& upper) {
+    return upper == "JOIN" || upper == "WHERE" || upper == "GROUP" ||
+           upper == "ORDER" || upper == "LIMIT" || upper == "ON" ||
+           upper == "AND" || upper == "AS" || upper == "IN";
+  }
+
+  const std::string& sql_;
+  SqlLexer lex_;
+  std::size_t param_count_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::string> Statement::referenced_tables() const {
+  std::vector<std::string> tables;
+  switch (kind) {
+    case StatementKind::kSelect:
+      tables.push_back(select.table);
+      for (const auto& j : select.joins) tables.push_back(j.table);
+      break;
+    case StatementKind::kInsert:
+      tables.push_back(insert.table);
+      break;
+    case StatementKind::kUpdate:
+      tables.push_back(update.table);
+      break;
+    case StatementKind::kDelete:
+      tables.push_back(del.table);
+      break;
+    default:
+      break;
+  }
+  return tables;
+}
+
+std::shared_ptr<const Statement> parse_sql(const std::string& sql) {
+  SqlParser parser(sql);
+  return std::make_shared<const Statement>(parser.parse());
+}
+
+bool like_match(const std::string& text, const std::string& pattern) {
+  // Iterative glob match with backtracking on the last '%'.
+  std::size_t t = 0;
+  std::size_t p = 0;
+  std::size_t star_p = std::string::npos;
+  std::size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace tempest::db

@@ -1,0 +1,114 @@
+#include "src/db/table.h"
+
+namespace tempest::db {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  for (std::size_t col : schema_.indexed_columns) {
+    if (col >= schema_.columns.size()) {
+      throw DbError("indexed column out of range in table " + schema_.name);
+    }
+    secondary_.emplace(col,
+                       std::unordered_multimap<Value, std::size_t, ValueHash>{});
+  }
+  if (schema_.primary_key && *schema_.primary_key >= schema_.columns.size()) {
+    throw DbError("primary key column out of range in table " + schema_.name);
+  }
+}
+
+void Table::check_arity(const Row& row) const {
+  if (row.size() != schema_.columns.size()) {
+    throw DbError("row arity " + std::to_string(row.size()) +
+                  " != schema arity " + std::to_string(schema_.columns.size()) +
+                  " for table " + schema_.name);
+  }
+}
+
+std::size_t Table::insert(Row row) {
+  check_arity(row);
+  const std::size_t pos = rows_.size();
+  if (schema_.primary_key) {
+    const Value& key = row[*schema_.primary_key];
+    if (!pk_index_.emplace(key, pos).second) {
+      throw DbError("duplicate primary key " + key.str() + " in table " +
+                    schema_.name);
+    }
+  }
+  for (auto& [col, index] : secondary_) {
+    index.emplace(row[col], pos);
+  }
+  rows_.push_back(std::move(row));
+  live_.push_back(1);
+  ++live_count_;
+  return pos;
+}
+
+void Table::erase(std::size_t pos) {
+  if (pos >= rows_.size() || !live_[pos]) return;
+  const Row& row = rows_[pos];
+  if (schema_.primary_key) {
+    pk_index_.erase(row[*schema_.primary_key]);
+  }
+  for (auto& [col, index] : secondary_) {
+    auto [begin, end] = index.equal_range(row[col]);
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == pos) {
+        index.erase(it);
+        break;
+      }
+    }
+  }
+  live_[pos] = 0;
+  --live_count_;
+}
+
+void Table::update_cell(std::size_t pos, std::size_t col, Value v) {
+  if (pos >= rows_.size()) throw DbError("row position out of range");
+  if (col >= schema_.columns.size()) throw DbError("column out of range");
+  Row& row = rows_[pos];
+
+  if (schema_.primary_key && col == *schema_.primary_key) {
+    if (!(row[col] == v)) {
+      if (pk_index_.count(v)) {
+        throw DbError("duplicate primary key " + v.str() + " in table " +
+                      schema_.name);
+      }
+      pk_index_.erase(row[col]);
+      pk_index_.emplace(v, pos);
+    }
+  }
+  const auto sec = secondary_.find(col);
+  if (sec != secondary_.end() && !(row[col] == v)) {
+    auto [begin, end] = sec->second.equal_range(row[col]);
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == pos) {
+        sec->second.erase(it);
+        break;
+      }
+    }
+    sec->second.emplace(v, pos);
+  }
+  row[col] = std::move(v);
+}
+
+std::size_t Table::find_by_pk(const Value& key) const {
+  if (!schema_.primary_key) return kNotFound;
+  const auto it = pk_index_.find(key);
+  return it == pk_index_.end() ? kNotFound : it->second;
+}
+
+std::vector<std::size_t> Table::find_by_index(std::size_t col,
+                                              const Value& key) const {
+  std::vector<std::size_t> out;
+  const auto sec = secondary_.find(col);
+  if (sec == secondary_.end()) return out;
+  auto [begin, end] = sec->second.equal_range(key);
+  for (auto it = begin; it != end; ++it) out.push_back(it->second);
+  return out;
+}
+
+bool Table::has_index_on(std::size_t col) const {
+  return (schema_.primary_key && *schema_.primary_key == col) ||
+         secondary_.count(col) > 0;
+}
+
+}  // namespace tempest::db

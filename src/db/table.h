@@ -1,0 +1,88 @@
+// In-memory table: row storage, a unique primary-key index, and secondary
+// hash indexes, guarded by a per-table shared mutex.
+//
+// Locking model matches MySQL 5.0's default MyISAM engine, which the paper's
+// testbed behaviour implies (the admin-response UPDATE "must acquire a lock
+// on a database table, forcing it to wait for other threads to finish the use
+// of the table"): readers hold the table lock in shared mode for the full
+// statement duration and writers need it exclusively. The Connection layer
+// acquires/holds these locks across the simulated statement service time.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/db/schema.h"
+
+namespace tempest::db {
+
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const TableSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name; }
+
+  // --- Data operations. Callers must hold the table lock appropriately
+  // (shared for reads, exclusive for writes); see lock().
+
+  // Inserts a row (copying); throws DbError on arity mismatch or duplicate
+  // primary key. Returns the new row's position.
+  std::size_t insert(Row row);
+
+  // Live rows (excludes deleted ones).
+  std::size_t row_count() const { return live_count_; }
+
+  // Total slots ever allocated; scan loops iterate [0, slot_count()) and
+  // skip slots where !is_live(pos).
+  std::size_t slot_count() const { return rows_.size(); }
+
+  bool is_live(std::size_t pos) const {
+    return pos < live_.size() && live_[pos] != 0;
+  }
+
+  // Tombstones the row at `pos`, removing it from all indexes. No-op if the
+  // slot is already dead.
+  void erase(std::size_t pos);
+
+  const Row& row_at(std::size_t pos) const { return rows_[pos]; }
+
+  // Overwrites column `col` of row `pos`, maintaining indexes.
+  void update_cell(std::size_t pos, std::size_t col, Value v);
+
+  // Primary-key point lookup; SIZE_MAX if absent.
+  std::size_t find_by_pk(const Value& key) const;
+
+  // Positions of rows whose indexed column `col` equals `key`.
+  std::vector<std::size_t> find_by_index(std::size_t col,
+                                         const Value& key) const;
+
+  bool has_index_on(std::size_t col) const;
+
+  // The per-table statement lock (see file comment).
+  std::shared_mutex& lock() const { return mu_; }
+
+  static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
+
+ private:
+  void check_arity(const Row& row) const;
+
+  TableSchema schema_;
+  std::deque<Row> rows_;  // deque: stable growth, no reallocation of all rows
+  std::deque<char> live_;
+  std::size_t live_count_ = 0;
+  std::unordered_map<Value, std::size_t, ValueHash> pk_index_;
+  // col -> (value -> row positions)
+  std::unordered_map<std::size_t,
+                     std::unordered_multimap<Value, std::size_t, ValueHash>>
+      secondary_;
+  mutable std::shared_mutex mu_;
+};
+
+}  // namespace tempest::db

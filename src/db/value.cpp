@@ -1,0 +1,95 @@
+#include "src/db/value.h"
+
+#include <cstdio>
+
+namespace tempest::db {
+
+const char* Value::type_name() const {
+  switch (type()) {
+    case Type::kNull: return "NULL";
+    case Type::kInt: return "INT";
+    case Type::kDouble: return "DOUBLE";
+    case Type::kString: return "STRING";
+  }
+  return "?";
+}
+
+std::int64_t Value::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) return *i;
+  throw DbError(std::string("expected INT, got ") + type_name());
+}
+
+double Value::as_double() const {
+  if (const auto* d = std::get_if<double>(&data_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) {
+    return static_cast<double>(*i);
+  }
+  throw DbError(std::string("expected number, got ") + type_name());
+}
+
+const std::string& Value::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&data_)) return *s;
+  throw DbError(std::string("expected STRING, got ") + type_name());
+}
+
+std::string Value::str() const {
+  switch (type()) {
+    case Type::kNull: return "NULL";
+    case Type::kInt: return std::to_string(std::get<std::int64_t>(data_));
+    case Type::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(data_));
+      return buf;
+    }
+    case Type::kString: return std::get<std::string>(data_);
+  }
+  return "";
+}
+
+int Value::compare(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) {
+    if (a.is_null() && b.is_null()) return 0;
+    return a.is_null() ? -1 : 1;
+  }
+  if (a.is_number() && b.is_number()) {
+    const double x = a.as_double();
+    const double y = b.as_double();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a.is_string() && b.is_string()) {
+    const int c = a.as_string().compare(b.as_string());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  throw DbError(std::string("cannot compare ") + a.type_name() + " with " +
+                b.type_name());
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return a.is_null() && b.is_null();
+  if ((a.is_number() && b.is_string()) || (a.is_string() && b.is_number())) {
+    return false;
+  }
+  return Value::compare(a, b) == 0;
+}
+
+std::size_t Value::hash() const {
+  switch (type()) {
+    case Type::kNull: return 0x9e3779b97f4a7c15ULL;
+    case Type::kInt:
+      return std::hash<std::int64_t>{}(std::get<std::int64_t>(data_));
+    case Type::kDouble: {
+      // Hash doubles holding integral values the same as the int.
+      const double d = std::get<double>(data_);
+      const auto i = static_cast<std::int64_t>(d);
+      if (static_cast<double>(i) == d) return std::hash<std::int64_t>{}(i);
+      return std::hash<double>{}(d);
+    }
+    case Type::kString:
+      return std::hash<std::string>{}(std::get<std::string>(data_));
+  }
+  return 0;
+}
+
+}  // namespace tempest::db

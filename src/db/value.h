@@ -1,0 +1,66 @@
+// Typed values stored in database cells and bound as query parameters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <variant>
+
+namespace tempest::db {
+
+class DbError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Value {
+ public:
+  enum class Type { kNull, kInt, kDouble, kString };
+
+  Value() : data_(std::monostate{}) {}
+  Value(std::nullptr_t) : Value() {}
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(long i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(long long i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(unsigned u) : data_(static_cast<std::int64_t>(u)) {}
+  Value(double d) : data_(d) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+
+  Type type() const { return static_cast<Type>(data_.index()); }
+  const char* type_name() const;
+
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == Type::kString; }
+
+  std::int64_t as_int() const;
+  double as_double() const;  // accepts int
+  const std::string& as_string() const;
+
+  std::string str() const;
+
+  // SQL-style comparison; NULL sorts first, numbers coerce, mixed
+  // number/string comparison throws DbError.
+  static int compare(const Value& a, const Value& b);
+
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b) {
+    return compare(a, b) < 0;
+  }
+
+  std::size_t hash() const;
+
+ private:
+  std::variant<std::monostate, std::int64_t, double, std::string> data_;
+};
+
+struct ValueHash {
+  std::size_t operator()(const Value& v) const { return v.hash(); }
+};
+
+}  // namespace tempest::db

@@ -1,0 +1,37 @@
+#include "src/http/cookies.h"
+
+#include "src/common/strutil.h"
+
+namespace tempest::http {
+
+std::map<std::string, std::string> parse_cookie_header(std::string_view value) {
+  std::map<std::string, std::string> cookies;
+  for (const auto& pair : split(value, ';', /*keep_empty=*/false)) {
+    bool found = false;
+    auto [name, val] = split_once(trim(pair), '=', &found);
+    if (!found || trim(name).empty()) continue;
+    cookies[std::string(trim(name))] = std::string(trim(val));
+  }
+  return cookies;
+}
+
+std::map<std::string, std::string> request_cookies(const HeaderMap& headers) {
+  std::map<std::string, std::string> cookies;
+  for (const auto& value : headers.get_all("Cookie")) {
+    for (auto& [name, val] : parse_cookie_header(value)) {
+      cookies[name] = std::move(val);
+    }
+  }
+  return cookies;
+}
+
+std::string SetCookie::to_header_value() const {
+  std::string out = name + "=" + value;
+  if (!path.empty()) out += "; Path=" + path;
+  if (max_age_seconds) out += "; Max-Age=" + std::to_string(*max_age_seconds);
+  if (http_only) out += "; HttpOnly";
+  if (secure) out += "; Secure";
+  return out;
+}
+
+}  // namespace tempest::http

@@ -1,0 +1,34 @@
+// Cookie parsing and Set-Cookie formatting (RFC 6265 subset) — enough for
+// session identifiers, which real template-based applications carry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/http/headers.h"
+
+namespace tempest::http {
+
+// Parses a request "Cookie:" header value ("a=1; b=2") into a map. Malformed
+// fragments are skipped.
+std::map<std::string, std::string> parse_cookie_header(std::string_view value);
+
+// Convenience: all cookies of a request's header set.
+std::map<std::string, std::string> request_cookies(const HeaderMap& headers);
+
+struct SetCookie {
+  std::string name;
+  std::string value;
+  std::string path = "/";
+  std::optional<std::int64_t> max_age_seconds;
+  bool http_only = true;
+  bool secure = false;
+
+  // Renders the Set-Cookie header value.
+  std::string to_header_value() const;
+};
+
+}  // namespace tempest::http

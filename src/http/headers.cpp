@@ -1,0 +1,45 @@
+#include "src/http/headers.h"
+
+#include <algorithm>
+
+#include "src/common/strutil.h"
+
+namespace tempest::http {
+
+void HeaderMap::add(std::string name, std::string value) {
+  entries_.push_back({std::move(name), std::move(value)});
+}
+
+void HeaderMap::set(std::string name, std::string value) {
+  remove(name);
+  add(std::move(name), std::move(value));
+}
+
+std::optional<std::string_view> HeaderMap::get(std::string_view name) const {
+  for (const auto& e : entries_) {
+    if (iequals(e.name, name)) return e.value;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> HeaderMap::get_all(std::string_view name) const {
+  std::vector<std::string_view> out;
+  for (const auto& e : entries_) {
+    if (iequals(e.name, name)) out.push_back(e.value);
+  }
+  return out;
+}
+
+bool HeaderMap::contains(std::string_view name) const {
+  return get(name).has_value();
+}
+
+void HeaderMap::remove(std::string_view name) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) {
+                                  return iequals(e.name, name);
+                                }),
+                 entries_.end());
+}
+
+}  // namespace tempest::http

@@ -1,0 +1,41 @@
+// Case-insensitive HTTP header collection preserving insertion order.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tempest::http {
+
+class HeaderMap {
+ public:
+  void add(std::string name, std::string value);
+
+  // Replaces all existing values for `name`.
+  void set(std::string name, std::string value);
+
+  // First value for `name` (case-insensitive), if any.
+  std::optional<std::string_view> get(std::string_view name) const;
+
+  std::vector<std::string_view> get_all(std::string_view name) const;
+
+  bool contains(std::string_view name) const;
+
+  void remove(std::string_view name);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  struct Entry {
+    std::string name;
+    std::string value;
+  };
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace tempest::http

@@ -1,0 +1,27 @@
+#include "src/http/method.h"
+
+namespace tempest::http {
+
+std::optional<Method> parse_method(std::string_view token) {
+  if (token == "GET") return Method::kGet;
+  if (token == "HEAD") return Method::kHead;
+  if (token == "POST") return Method::kPost;
+  if (token == "PUT") return Method::kPut;
+  if (token == "DELETE") return Method::kDelete;
+  if (token == "OPTIONS") return Method::kOptions;
+  return std::nullopt;
+}
+
+std::string_view to_string(Method method) {
+  switch (method) {
+    case Method::kGet: return "GET";
+    case Method::kHead: return "HEAD";
+    case Method::kPost: return "POST";
+    case Method::kPut: return "PUT";
+    case Method::kDelete: return "DELETE";
+    case Method::kOptions: return "OPTIONS";
+  }
+  return "GET";
+}
+
+}  // namespace tempest::http

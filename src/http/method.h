@@ -1,0 +1,14 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tempest::http {
+
+enum class Method { kGet, kHead, kPost, kPut, kDelete, kOptions };
+
+std::optional<Method> parse_method(std::string_view token);
+std::string_view to_string(Method method);
+
+}  // namespace tempest::http

@@ -1,0 +1,22 @@
+#include "src/http/mime.h"
+
+namespace tempest::http {
+
+std::string_view mime_type_for_extension(std::string_view ext) {
+  if (ext == "html" || ext == "htm") return "text/html; charset=utf-8";
+  if (ext == "css") return "text/css";
+  if (ext == "js") return "application/javascript";
+  if (ext == "json") return "application/json";
+  if (ext == "txt") return "text/plain; charset=utf-8";
+  if (ext == "xml") return "application/xml";
+  if (ext == "gif") return "image/gif";
+  if (ext == "jpg" || ext == "jpeg") return "image/jpeg";
+  if (ext == "png") return "image/png";
+  if (ext == "svg") return "image/svg+xml";
+  if (ext == "ico") return "image/x-icon";
+  if (ext == "pdf") return "application/pdf";
+  if (ext == "csv") return "text/csv";
+  return "application/octet-stream";
+}
+
+}  // namespace tempest::http

@@ -1,0 +1,11 @@
+#pragma once
+
+#include <string_view>
+
+namespace tempest::http {
+
+// MIME type for a file extension (lowercase, no leading dot). Unknown
+// extensions map to application/octet-stream.
+std::string_view mime_type_for_extension(std::string_view ext);
+
+}  // namespace tempest::http

@@ -1,0 +1,161 @@
+#include "src/http/parser.h"
+
+#include <cstdlib>
+
+#include "src/common/strutil.h"
+
+namespace tempest::http {
+
+std::size_t RequestParser::feed(std::string_view data) {
+  std::size_t consumed = 0;
+  while (consumed < data.size() && state_ != State::kComplete &&
+         state_ != State::kError) {
+    if (state_ == State::kBody) {
+      const std::size_t take =
+          std::min(body_remaining_, data.size() - consumed);
+      request_.body.append(data.substr(consumed, take));
+      body_remaining_ -= take;
+      consumed += take;
+      if (body_remaining_ == 0) state_ = State::kComplete;
+      continue;
+    }
+
+    // Line-oriented phases: accumulate until CRLF (or bare LF, tolerated).
+    const std::size_t nl = data.find('\n', consumed);
+    if (nl == std::string_view::npos) {
+      buffer_.append(data.substr(consumed));
+      consumed = data.size();
+      const std::size_t limit = state_ == State::kRequestLine
+                                    ? kMaxRequestLine
+                                    : kMaxHeaderBytes;
+      if (buffer_.size() > limit) fail("line too long");
+      break;
+    }
+    buffer_.append(data.substr(consumed, nl - consumed));
+    consumed = nl + 1;
+    std::string_view line = buffer_;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+    if (state_ == State::kRequestLine) {
+      if (line.empty()) {
+        // Tolerate leading blank lines between keep-alive requests.
+        buffer_.clear();
+        continue;
+      }
+      if (!handle_request_line(line)) return consumed;
+    } else {  // kHeaders
+      header_bytes_ += line.size();
+      if (header_bytes_ > kMaxHeaderBytes) {
+        fail("headers too large");
+        return consumed;
+      }
+      if (line.empty()) {
+        if (!finish_headers()) return consumed;
+      } else if (!handle_header_line(line)) {
+        return consumed;
+      }
+    }
+    buffer_.clear();
+  }
+  return consumed;
+}
+
+bool RequestParser::handle_request_line(std::string_view line) {
+  if (line.size() > kMaxRequestLine) {
+    fail("request line too long");
+    return false;
+  }
+  const auto first_sp = line.find(' ');
+  const auto last_sp = line.rfind(' ');
+  if (first_sp == std::string_view::npos || last_sp == first_sp) {
+    fail("malformed request line");
+    return false;
+  }
+  const auto method = parse_method(line.substr(0, first_sp));
+  if (!method) {
+    fail("unsupported method");
+    return false;
+  }
+  const auto target =
+      parse_target(line.substr(first_sp + 1, last_sp - first_sp - 1));
+  if (!target) {
+    fail("malformed request target");
+    return false;
+  }
+  const std::string_view version = line.substr(last_sp + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    fail("unsupported HTTP version");
+    return false;
+  }
+  request_.method = *method;
+  request_.uri = *target;
+  request_.version = std::string(version);
+  state_ = State::kHeaders;
+  return true;
+}
+
+bool RequestParser::handle_header_line(std::string_view line) {
+  bool found = false;
+  auto [name, value] = split_once(line, ':', &found);
+  if (!found || name.empty()) {
+    fail("malformed header field");
+    return false;
+  }
+  request_.headers.add(std::string(trim(name)), std::string(trim(value)));
+  return true;
+}
+
+bool RequestParser::finish_headers() {
+  body_remaining_ = 0;
+  if (auto cl = request_.headers.get("Content-Length")) {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(std::string(*cl).c_str(), &end, 10);
+    if (n > kMaxBodyBytes) {
+      fail("body too large");
+      return false;
+    }
+    body_remaining_ = static_cast<std::size_t>(n);
+  }
+  state_ = body_remaining_ > 0 ? State::kBody : State::kComplete;
+  return true;
+}
+
+void RequestParser::fail(std::string message) {
+  state_ = State::kError;
+  error_ = std::move(message);
+}
+
+void RequestParser::reset() {
+  state_ = State::kRequestLine;
+  buffer_.clear();
+  error_.clear();
+  request_ = Request{};
+  body_remaining_ = 0;
+  header_bytes_ = 0;
+}
+
+std::optional<Request> parse_request(std::string_view data,
+                                     std::string* error) {
+  RequestParser parser;
+  parser.feed(data);
+  if (!parser.complete()) {
+    if (error) {
+      *error = parser.failed() ? parser.error() : "incomplete request";
+    }
+    return std::nullopt;
+  }
+  return parser.take_request();
+}
+
+std::optional<Request> parse_request_line_only(std::string_view data) {
+  const std::size_t nl = data.find('\n');
+  std::string_view line =
+      nl == std::string_view::npos ? data : data.substr(0, nl);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  RequestParser parser;
+  parser.feed(std::string(line) + "\r\n");
+  if (!parser.request_line_parsed()) return std::nullopt;
+  return parser.take_request();
+}
+
+}  // namespace tempest::http

@@ -1,0 +1,79 @@
+// Incremental HTTP/1.1 request parser.
+//
+// The parser exposes the request *line* as a separate milestone: the paper's
+// header-parsing threads first read only the first line (enough to classify a
+// request as static or dynamic) and defer the remaining header fields —
+// static requests get their headers parsed later by the static-pool thread,
+// dynamic requests get headers + query string parsed eagerly (Section 3.2).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/http/request.h"
+
+namespace tempest::http {
+
+class RequestParser {
+ public:
+  enum class State {
+    kRequestLine,  // waiting for the first CRLF
+    kHeaders,      // request line done; consuming header fields
+    kBody,         // headers done; consuming Content-Length body bytes
+    kComplete,
+    kError,
+  };
+
+  // Consumes as much of `data` as possible; returns the number of bytes
+  // consumed. Call repeatedly as bytes arrive.
+  std::size_t feed(std::string_view data);
+
+  State state() const { return state_; }
+  bool complete() const { return state_ == State::kComplete; }
+  bool failed() const { return state_ == State::kError; }
+  const std::string& error() const { return error_; }
+
+  // True once the request line (method, target, version) is available, i.e.
+  // state is past kRequestLine.
+  bool request_line_parsed() const {
+    return state_ == State::kHeaders || state_ == State::kBody ||
+           state_ == State::kComplete;
+  }
+
+  // Valid once request_line_parsed(); the full request once complete().
+  const Request& request() const { return request_; }
+  Request take_request() { return std::move(request_); }
+
+  // Resets for the next request on a keep-alive connection.
+  void reset();
+
+  // Limits (bytes) to bound memory per connection.
+  static constexpr std::size_t kMaxRequestLine = 8 * 1024;
+  static constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+  static constexpr std::size_t kMaxBodyBytes = 8 * 1024 * 1024;
+
+ private:
+  bool handle_request_line(std::string_view line);
+  bool handle_header_line(std::string_view line);
+  bool finish_headers();
+  void fail(std::string message);
+
+  State state_ = State::kRequestLine;
+  std::string buffer_;
+  std::string error_;
+  Request request_;
+  std::size_t body_remaining_ = 0;
+  std::size_t header_bytes_ = 0;
+};
+
+// Parses one complete request held fully in `data`. Returns nullopt on
+// malformed or incomplete input. Used by the in-process transport and tests.
+std::optional<Request> parse_request(std::string_view data,
+                                     std::string* error = nullptr);
+
+// Parses only the request line ("GET /path HTTP/1.1") out of `data`.
+std::optional<Request> parse_request_line_only(std::string_view data);
+
+}  // namespace tempest::http

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "src/http/headers.h"
+#include "src/http/method.h"
+#include "src/http/uri.h"
+
+namespace tempest::http {
+
+struct Request {
+  Method method = Method::kGet;
+  Uri uri;
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  bool keep_alive() const {
+    if (auto conn = headers.get("Connection")) {
+      // HTTP/1.1 defaults to keep-alive unless "close" is sent.
+      return !(*conn == "close" || *conn == "Close");
+    }
+    return version == "HTTP/1.1";
+  }
+};
+
+}  // namespace tempest::http

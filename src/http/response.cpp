@@ -1,0 +1,33 @@
+#include "src/http/response.h"
+
+#include "src/common/strutil.h"
+
+namespace tempest::http {
+
+Response Response::make(Status status, std::string body,
+                        std::string content_type) {
+  Response r;
+  r.status = status;
+  r.body = std::move(body);
+  r.headers.set("Content-Type", std::move(content_type));
+  return r;
+}
+
+Response Response::not_found(const std::string& path) {
+  return make(Status::kNotFound, "<html><body><h1>404 Not Found</h1><p>" +
+                                     html_escape(path) + "</p></body></html>");
+}
+
+Response Response::bad_request(const std::string& detail) {
+  return make(Status::kBadRequest,
+              "<html><body><h1>400 Bad Request</h1><p>" + html_escape(detail) +
+                  "</p></body></html>");
+}
+
+Response Response::server_error(const std::string& detail) {
+  return make(Status::kInternalServerError,
+              "<html><body><h1>500 Internal Server Error</h1><p>" +
+                  html_escape(detail) + "</p></body></html>");
+}
+
+}  // namespace tempest::http

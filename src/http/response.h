@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "src/http/headers.h"
+#include "src/http/status.h"
+
+namespace tempest::http {
+
+struct Response {
+  Status status = Status::kOk;
+  HeaderMap headers;
+  std::string body;
+
+  static Response make(Status status, std::string body,
+                       std::string content_type = "text/html; charset=utf-8");
+
+  static Response not_found(const std::string& path);
+  static Response bad_request(const std::string& detail = "");
+  static Response server_error(const std::string& detail = "");
+};
+
+}  // namespace tempest::http

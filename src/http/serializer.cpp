@@ -1,0 +1,72 @@
+#include "src/http/serializer.h"
+
+#include <ctime>
+
+namespace tempest::http {
+
+std::string http_date_now() {
+  char buf[64];
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  std::strftime(buf, sizeof(buf), "%a, %d %b %Y %H:%M:%S GMT", &tm_utc);
+  return buf;
+}
+
+std::string serialize_response(const Response& response, bool head_only) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(status_code(response.status));
+  out += ' ';
+  out += reason_phrase(response.status);
+  out += "\r\n";
+
+  bool has_length = false;
+  bool has_date = false;
+  bool has_server = false;
+  for (const auto& e : response.headers.entries()) {
+    out += e.name;
+    out += ": ";
+    out += e.value;
+    out += "\r\n";
+    if (e.name == "Content-Length") has_length = true;
+    if (e.name == "Date") has_date = true;
+    if (e.name == "Server") has_server = true;
+  }
+  if (!has_length) {
+    out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  }
+  if (!has_date) out += "Date: " + http_date_now() + "\r\n";
+  if (!has_server) out += "Server: tempest/1.0\r\n";
+  out += "\r\n";
+  if (!head_only) out += response.body;
+  return out;
+}
+
+std::string serialize_request(const Request& request) {
+  std::string out(to_string(request.method));
+  out += ' ';
+  out += request.uri.path;
+  if (!request.uri.raw_query.empty()) {
+    out += '?';
+    out += request.uri.raw_query;
+  }
+  out += ' ';
+  out += request.version;
+  out += "\r\n";
+  bool has_length = false;
+  for (const auto& e : request.headers.entries()) {
+    out += e.name;
+    out += ": ";
+    out += e.value;
+    out += "\r\n";
+    if (e.name == "Content-Length") has_length = true;
+  }
+  if (!request.body.empty() && !has_length) {
+    out += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += request.body;
+  return out;
+}
+
+}  // namespace tempest::http

@@ -1,0 +1,25 @@
+// Response serialization. Content-Length is set from the final body size —
+// the paper points out that rendering in a dedicated stage lets the server
+// measure output size and set this header, which streaming generators cannot.
+#pragma once
+
+#include <string>
+
+#include "src/http/request.h"
+#include "src/http/response.h"
+
+namespace tempest::http {
+
+// Serializes `response` to wire format, setting Content-Length (from body
+// size), Date, and Server headers if absent. `head_only` elides the body
+// (HEAD requests) while keeping the Content-Length of the full entity.
+std::string serialize_response(const Response& response,
+                               bool head_only = false);
+
+// Serializes a request to wire format (used by clients and tests).
+std::string serialize_request(const Request& request);
+
+// RFC 7231 IMF-fixdate for the Date header (UTC).
+std::string http_date_now();
+
+}  // namespace tempest::http

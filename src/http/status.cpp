@@ -1,0 +1,29 @@
+#include "src/http/status.h"
+
+namespace tempest::http {
+
+std::string_view reason_phrase(Status status) {
+  switch (status) {
+    case Status::kOk: return "OK";
+    case Status::kCreated: return "Created";
+    case Status::kNoContent: return "No Content";
+    case Status::kMovedPermanently: return "Moved Permanently";
+    case Status::kFound: return "Found";
+    case Status::kNotModified: return "Not Modified";
+    case Status::kBadRequest: return "Bad Request";
+    case Status::kForbidden: return "Forbidden";
+    case Status::kNotFound: return "Not Found";
+    case Status::kMethodNotAllowed: return "Method Not Allowed";
+    case Status::kRequestTimeout: return "Request Timeout";
+    case Status::kPayloadTooLarge: return "Payload Too Large";
+    case Status::kUriTooLong: return "URI Too Long";
+    case Status::kInternalServerError: return "Internal Server Error";
+    case Status::kNotImplemented: return "Not Implemented";
+    case Status::kServiceUnavailable: return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+int status_code(Status status) { return static_cast<int>(status); }
+
+}  // namespace tempest::http

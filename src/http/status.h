@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string_view>
+
+namespace tempest::http {
+
+enum class Status {
+  kOk = 200,
+  kCreated = 201,
+  kNoContent = 204,
+  kMovedPermanently = 301,
+  kFound = 302,
+  kNotModified = 304,
+  kBadRequest = 400,
+  kForbidden = 403,
+  kNotFound = 404,
+  kMethodNotAllowed = 405,
+  kRequestTimeout = 408,
+  kPayloadTooLarge = 413,
+  kUriTooLong = 414,
+  kInternalServerError = 500,
+  kNotImplemented = 501,
+  kServiceUnavailable = 503,
+};
+
+std::string_view reason_phrase(Status status);
+int status_code(Status status);
+
+}  // namespace tempest::http

@@ -1,0 +1,35 @@
+#include "src/http/uri.h"
+
+#include "src/common/strutil.h"
+
+namespace tempest::http {
+
+std::optional<Uri> parse_target(std::string_view target) {
+  if (target.empty() || target[0] != '/') return std::nullopt;
+  Uri uri;
+  bool has_query = false;
+  auto [path, query] = split_once(target, '?', &has_query);
+  uri.path = url_decode(path, /*plus_as_space=*/false);
+  if (has_query) uri.raw_query = std::string(query);
+  return uri;
+}
+
+QueryDict parse_query(std::string_view raw_query) {
+  QueryDict dict;
+  if (raw_query.empty()) return dict;
+  for (const auto& pair : split(raw_query, '&', /*keep_empty=*/false)) {
+    auto [key, value] = split_once(pair, '=');
+    dict[url_decode(key)] = url_decode(value);
+  }
+  return dict;
+}
+
+std::string path_extension(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string_view::npos) return {};
+  if (slash != std::string_view::npos && dot < slash) return {};
+  return to_lower(path.substr(dot + 1));
+}
+
+}  // namespace tempest::http

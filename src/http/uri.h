@@ -1,0 +1,35 @@
+// Request-target parsing: path, raw query string, and the query-string
+// dictionary the paper's header-parsing threads build for dynamic requests.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tempest::http {
+
+// Decoded query parameters. Last occurrence of a duplicated key wins.
+using QueryDict = std::map<std::string, std::string>;
+
+struct Uri {
+  std::string path;       // percent-decoded, always begins with '/'
+  std::string raw_query;  // undecoded text after '?', may be empty
+
+  // Lazily computed by parse_query(raw_query) at the call site; kept here for
+  // the dynamic path where the header-parse stage fills it in eagerly.
+  QueryDict query;
+};
+
+// Parses an origin-form request target ("/path?k=v"). Returns nullopt for
+// malformed targets (empty, not starting with '/').
+std::optional<Uri> parse_target(std::string_view target);
+
+// Parses "a=1&b=two" into a decoded dictionary.
+QueryDict parse_query(std::string_view raw_query);
+
+// File extension of the path ("gif" for "/img/x.gif"), lowercased; empty when
+// the final segment has no dot — the paper's static/dynamic discriminator.
+std::string path_extension(std::string_view path);
+
+}  // namespace tempest::http

@@ -1,0 +1,137 @@
+#include "src/metrics/series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "src/metrics/table.h"
+
+namespace tempest::metrics {
+
+namespace {
+
+struct Bucketed {
+  double t0 = 0;
+  double t1 = 0;
+  std::vector<double> values;  // one mean per column; NaN when empty
+};
+
+Bucketed bucketize(const std::vector<TimeSeries::Point>& points,
+                   std::size_t columns) {
+  Bucketed out;
+  out.values.assign(columns, std::numeric_limits<double>::quiet_NaN());
+  if (points.empty() || columns == 0) return out;
+  out.t0 = points.front().t;
+  out.t1 = points.back().t;
+  for (const auto& p : points) {
+    out.t0 = std::min(out.t0, p.t);
+    out.t1 = std::max(out.t1, p.t);
+  }
+  const double span = std::max(out.t1 - out.t0, 1e-9);
+  std::vector<double> sums(columns, 0.0);
+  std::vector<std::size_t> counts(columns, 0);
+  for (const auto& p : points) {
+    auto idx = static_cast<std::size_t>((p.t - out.t0) / span *
+                                        static_cast<double>(columns));
+    idx = std::min(idx, columns - 1);
+    sums[idx] += p.value;
+    ++counts[idx];
+  }
+  for (std::size_t i = 0; i < columns; ++i) {
+    if (counts[i]) out.values[i] = sums[i] / static_cast<double>(counts[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ascii_chart(const NamedSeries& series, std::size_t columns,
+                        std::size_t rows) {
+  if (series.points.empty()) {
+    return series.name + ": (no data)\n";
+  }
+  const Bucketed b = bucketize(series.points, columns);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (double v : b.values) {
+    if (std::isnan(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!(hi > lo)) hi = lo + 1.0;
+  lo = std::min(lo, 0.0);  // anchor the axis at zero like the paper's plots
+
+  std::vector<std::string> grid(rows, std::string(columns, ' '));
+  for (std::size_t c = 0; c < columns; ++c) {
+    const double v = b.values[c];
+    if (std::isnan(v)) continue;
+    auto r = static_cast<std::size_t>((v - lo) / (hi - lo) *
+                                      static_cast<double>(rows - 1));
+    r = std::min(r, rows - 1);
+    grid[rows - 1 - r][c] = '*';
+  }
+
+  std::string out = series.name + "\n";
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double axis =
+        hi - (hi - lo) * static_cast<double>(r) / static_cast<double>(rows - 1);
+    std::string label = format_double(axis, 1);
+    if (label.size() < 10) label = std::string(10 - label.size(), ' ') + label;
+    out += label + "| " + grid[r] + "\n";
+  }
+  out += std::string(10, ' ') + "+" + std::string(columns + 1, '-') + "\n";
+  out += std::string(12, ' ') + "t = " + format_double(b.t0, 0) + " .. " +
+         format_double(b.t1, 0) + " paper-seconds\n";
+  return out;
+}
+
+std::string ascii_charts(const std::vector<NamedSeries>& series,
+                         std::size_t columns, std::size_t rows) {
+  std::string out;
+  for (const auto& s : series) {
+    out += ascii_chart(s, columns, rows);
+    OnlineStats st;
+    for (const auto& p : s.points) st.add(p.value);
+    out += "  n=" + format_int(static_cast<std::int64_t>(st.count())) +
+           " min=" + format_double(st.min(), 1) +
+           " mean=" + format_double(st.mean(), 1) +
+           " max=" + format_double(st.max(), 1) + "\n\n";
+  }
+  return out;
+}
+
+std::string series_csv(const std::vector<NamedSeries>& series,
+                       double bucket_width) {
+  // Align all series on shared buckets of `bucket_width` paper-seconds.
+  std::map<std::int64_t, std::vector<double>> sums;
+  std::map<std::int64_t, std::vector<std::size_t>> counts;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    for (const auto& p : series[i].points) {
+      const auto bin = static_cast<std::int64_t>(p.t / bucket_width);
+      auto& s = sums[bin];
+      auto& c = counts[bin];
+      s.resize(series.size(), 0.0);
+      c.resize(series.size(), 0);
+      s[i] += p.value;
+      ++c[i];
+    }
+  }
+  std::string out = "t";
+  for (const auto& s : series) out += "," + s.name;
+  out += "\n";
+  for (const auto& [bin, s] : sums) {
+    out += format_double(static_cast<double>(bin) * bucket_width, 1);
+    const auto& c = counts[bin];
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      out += ",";
+      if (i < c.size() && c[i] > 0) {
+        out += format_double(s[i] / static_cast<double>(c[i]), 3);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tempest::metrics

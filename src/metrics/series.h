@@ -1,0 +1,31 @@
+// Text rendering of time series: compact ASCII sparkline plots for the
+// queue-length and throughput figures, plus CSV export.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace tempest::metrics {
+
+struct NamedSeries {
+  std::string name;
+  std::vector<TimeSeries::Point> points;
+};
+
+// Downsamples `points` into `columns` buckets (bucket mean) and renders an
+// ASCII line chart with `rows` height, labeled axes, for terminal display.
+std::string ascii_chart(const NamedSeries& series, std::size_t columns = 72,
+                        std::size_t rows = 12);
+
+// Renders several series on a shared time axis as one chart per series plus a
+// summary line (min/mean/max).
+std::string ascii_charts(const std::vector<NamedSeries>& series,
+                         std::size_t columns = 72, std::size_t rows = 12);
+
+// CSV with a `t` column and one column per series (aligned on bucketed time).
+std::string series_csv(const std::vector<NamedSeries>& series,
+                       double bucket_width);
+
+}  // namespace tempest::metrics

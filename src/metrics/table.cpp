@@ -1,0 +1,85 @@
+#include "src/metrics/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tempest::metrics {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::string& cell = row[c];
+      const std::size_t pad = widths[c] - cell.size();
+      line += ' ';
+      if (c == 0) {
+        line += cell + std::string(pad, ' ');
+      } else {
+        line += std::string(pad, ' ') + cell;
+      }
+      line += " |";
+    }
+    return line + "\n";
+  };
+
+  std::string sep = "+";
+  for (std::size_t w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep + render_row(headers_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string Table::to_csv() const {
+  auto csv_row = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) line += ',';
+      line += row[c];
+    }
+    return line + "\n";
+  };
+  std::string out = csv_row(headers_);
+  for (const auto& row : rows_) out += csv_row(row);
+  return out;
+}
+
+std::string format_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string format_int(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace tempest::metrics

@@ -1,0 +1,34 @@
+// ASCII table rendering for the paper-style result tables.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tempest::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with column alignment: first column left, the rest right.
+  std::string to_string() const;
+
+  // Comma-separated values with the header row first.
+  std::string to_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers used across bench output.
+std::string format_double(double v, int decimals);
+std::string format_int(std::int64_t v);
+std::string format_percent(double fraction, int decimals = 1);
+
+}  // namespace tempest::metrics

@@ -1,0 +1,19 @@
+// An application bundle: routes, static content, and templates. Immutable
+// once handed to a server; safe to share across all pools' threads.
+#pragma once
+
+#include <memory>
+
+#include "src/server/router.h"
+#include "src/server/static_store.h"
+#include "src/template/loader.h"
+
+namespace tempest::server {
+
+struct Application {
+  Router router;
+  StaticStore static_store;
+  std::shared_ptr<const tmpl::TemplateLoader> templates;
+};
+
+}  // namespace tempest::server

@@ -1,0 +1,109 @@
+#include "src/server/baseline_server.h"
+
+#include "src/http/parser.h"
+#include "src/http/serializer.h"
+#include "src/server/respond.h"
+#include "src/server/worker_connection.h"
+
+namespace tempest::server {
+
+BaselineServer::BaselineServer(ServerConfig config,
+                               std::shared_ptr<const Application> app,
+                               db::Database& db)
+    : config_(config),
+      app_(std::move(app)),
+      db_pool_(db, config.db_connections, config.db_latency),
+      tracker_(config.lengthy_cutoff_paper_s) {
+  if (config_.baseline_threads > config_.db_connections) {
+    throw std::invalid_argument(
+        "thread-per-request workers each hold a connection: baseline_threads "
+        "must not exceed db_connections");
+  }
+  workers_ = std::make_unique<WorkerPool<IncomingRequest>>(
+      "workers", config_.baseline_threads,
+      [this](IncomingRequest&& req) { handle(std::move(req)); },
+      [this] { worker_connection::adopt(db_pool_); },
+      [] { worker_connection::release(); });
+  sampler_ = std::thread([this] { sampler_loop(); });
+}
+
+BaselineServer::~BaselineServer() { shutdown(); }
+
+void BaselineServer::submit(IncomingRequest request) {
+  workers_->submit(std::move(request));
+}
+
+void BaselineServer::shutdown() {
+  {
+    std::lock_guard lock(stop_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    stop_.store(true);
+  }
+  stop_cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+  workers_->shutdown();
+}
+
+void BaselineServer::sampler_loop() {
+  std::unique_lock lock(stop_mu_);
+  while (!stop_.load()) {
+    stats_.sample_queue("dynamic", paper_now(), workers_->queue_length());
+    stop_cv_.wait_for(lock, to_wall(config_.controller_period_paper_s),
+                      [this] { return stop_.load(); });
+  }
+}
+
+void BaselineServer::handle(IncomingRequest&& incoming) {
+  // The worker thread does everything: parse the full request first.
+  std::string parse_error;
+  auto request = http::parse_request(incoming.raw, &parse_error);
+  if (!request) {
+    send_and_record(incoming, http::Response::bad_request(parse_error),
+                    /*head_only=*/false, stats_, RequestClass::kQuickDynamic,
+                    "malformed");
+    return;
+  }
+  const bool head_only = request->method == http::Method::kHead;
+  const std::string& path = request->uri.path;
+
+  // Static vs dynamic by path extension (Section 3.2's discriminator).
+  if (!http::path_extension(path).empty()) {
+    const StaticStore::Entry* entry = app_->static_store.find(path);
+    const http::Response response =
+        entry ? serve_static(*entry, config_) : http::Response::not_found(path);
+    send_and_record(incoming, response, head_only, stats_,
+                    RequestClass::kStatic, "static");
+    return;
+  }
+
+  request->uri.query = http::parse_query(request->uri.raw_query);
+  const Handler* handler = app_->router.find(path);
+  if (handler == nullptr) {
+    send_and_record(incoming, http::Response::not_found(path), head_only,
+                    stats_, RequestClass::kQuickDynamic, path);
+    return;
+  }
+
+  // Data generation AND rendering on this thread, with the thread's
+  // connection held throughout — the waste the paper targets.
+  const Stopwatch service_watch;
+  HandlerResult result =
+      run_handler(*handler, *request, worker_connection::current());
+
+  http::Response response;
+  if (const auto* tr = std::get_if<TemplateResponse>(&result)) {
+    response = render_template_response(*app_, config_, *tr);
+  } else {
+    response = to_response(std::get<StringResponse>(result));
+  }
+  // Reporting-only classification; measured time includes rendering because
+  // this server cannot tell the phases apart.
+  tracker_.record(path, service_watch.elapsed_paper());
+  const RequestClass cls = tracker_.is_lengthy(path)
+                               ? RequestClass::kLengthyDynamic
+                               : RequestClass::kQuickDynamic;
+  send_and_record(incoming, response, head_only, stats_, cls, path);
+}
+
+}  // namespace tempest::server

@@ -1,0 +1,56 @@
+// Thread-per-request baseline (Figure 4): a single pool of worker threads,
+// each permanently storing one database connection, each servicing an entire
+// request — header parsing, data generation, template rendering, and static
+// file serving all on the same thread. This is the "unmodified web server"
+// of the evaluation.
+#pragma once
+
+#include <memory>
+
+#include "src/common/worker_pool.h"
+#include "src/db/pool.h"
+#include "src/server/app.h"
+#include "src/server/server_config.h"
+#include "src/server/server_stats.h"
+#include "src/server/service_time_tracker.h"
+#include "src/server/transport.h"
+
+namespace tempest::server {
+
+class BaselineServer : public WebServer {
+ public:
+  BaselineServer(ServerConfig config, std::shared_ptr<const Application> app,
+                 db::Database& db);
+  ~BaselineServer() override;
+
+  void submit(IncomingRequest request) override;
+  void shutdown() override;
+
+  ServerStats& stats() { return stats_; }
+  const ServerConfig& config() const { return config_; }
+  db::ConnectionPool& connection_pool() { return db_pool_; }
+  const ServiceTimeTracker& tracker() const { return tracker_; }
+
+  std::size_t queue_length() const { return workers_->queue_length(); }
+
+ private:
+  void handle(IncomingRequest&& incoming);
+  void sampler_loop();
+
+  const ServerConfig config_;
+  const std::shared_ptr<const Application> app_;
+  db::ConnectionPool db_pool_;
+  ServerStats stats_;
+  // Classifies pages for reporting only (the baseline scheduler ignores it);
+  // tracks whole-handler time since the baseline cannot separate data
+  // generation from rendering — the measurement-accuracy point of Section 1.
+  ServiceTimeTracker tracker_;
+  std::unique_ptr<WorkerPool<IncomingRequest>> workers_;
+  std::thread sampler_;
+  std::atomic<bool> stop_{false};
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool shut_down_ = false;
+};
+
+}  // namespace tempest::server

@@ -1,0 +1,69 @@
+// Handler ABI — the paper's programming model (Section 3.1).
+//
+// A handler is a function mapped to a URL (CherryPy style: the query string
+// becomes parameters). It generates data using its thread's database
+// connection and returns EITHER
+//
+//   * a TemplateResponse{template_name, data} — the paper's modified return
+//     convention, `return ("tmpl.html", data)` — letting the server render
+//     in a separate stage; or
+//   * a pre-rendered string — the traditional convention, still accepted for
+//     backward compatibility ("even if a function returns an already-rendered
+//     template by mistake, the modified web server can still handle this").
+//
+// The thread-per-request baseline renders TemplateResponse inline on the
+// same worker thread (while it still holds the DB connection) — exactly the
+// unmodified CherryPy behaviour — so one application runs unchanged on both
+// servers and the measured delta is purely the scheduling method.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <variant>
+
+#include "src/db/connection.h"
+#include "src/http/request.h"
+#include "src/http/status.h"
+#include "src/template/value.h"
+
+namespace tempest::server {
+
+struct TemplateResponse {
+  std::string template_name;
+  tmpl::Dict data;
+  http::Status status = http::Status::kOk;
+  std::string content_type = "text/html; charset=utf-8";
+};
+
+struct StringResponse {
+  std::string body;
+  http::Status status = http::Status::kOk;
+  std::string content_type = "text/html; charset=utf-8";
+};
+
+using HandlerResult = std::variant<StringResponse, TemplateResponse>;
+
+// Context a dynamic-request thread passes to a handler. `db` is the worker
+// thread's own connection (the paper's "connection stored in each web server
+// thread"); it is only non-null on threads that own one.
+struct RequestContext {
+  const http::Request& request;
+  db::Connection* db = nullptr;
+
+  // Query-string parameter access (CherryPy maps these to function args).
+  std::string param(const std::string& key,
+                    const std::string& fallback = "") const {
+    const auto it = request.uri.query.find(key);
+    return it == request.uri.query.end() ? fallback : it->second;
+  }
+
+  std::int64_t param_int(const std::string& key, std::int64_t fallback) const {
+    const auto it = request.uri.query.find(key);
+    if (it == request.uri.query.end() || it->second.empty()) return fallback;
+    return std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+};
+
+using Handler = std::function<HandlerResult(RequestContext&)>;
+
+}  // namespace tempest::server

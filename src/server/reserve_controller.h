@@ -1,0 +1,76 @@
+// Adaptive reservation controller for quick dynamic requests (Section 3.3).
+//
+// The server keeps `treserve`, a shifting minimum number of general-pool
+// threads reserved for quick requests, and compares it with the measured
+// spare-thread count `tspare` once per (paper-)second:
+//
+//   * When tspare drops below treserve (a suspected traffic spike), treserve
+//     grows by the difference, plus the amount by which tspare fell below the
+//     configured minimum, if applicable.
+//   * When tspare rises above treserve, treserve falls by half the
+//     difference, never below the configured minimum (slow decay so a spike
+//     is not declared over prematurely).
+//
+// Dispatch (Table 1): quick -> general pool; lengthy -> general pool iff
+// tspare > treserve, else lengthy pool. The tick rule reproduces the paper's
+// Table 2 trace exactly (see tests and bench/table2_reserve_dynamics).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+namespace tempest::server {
+
+class ReserveController {
+ public:
+  // `max_reserve` bounds growth during sustained spikes (reserving more
+  // threads than the general pool has is meaningless, and the unbounded
+  // doubling would overflow); pass the general pool's size.
+  explicit ReserveController(std::int64_t min_reserve,
+                             std::int64_t max_reserve = 1 << 20)
+      : min_reserve_(min_reserve),
+        max_reserve_(std::max(min_reserve, max_reserve)),
+        treserve_(min_reserve) {}
+
+  // Applies the once-per-second update given the sampled tspare.
+  // Returns the new treserve.
+  std::int64_t tick(std::int64_t tspare) {
+    const std::int64_t reserve = treserve_.load(std::memory_order_relaxed);
+    std::int64_t next = reserve;
+    if (tspare < reserve) {
+      std::int64_t delta = reserve - tspare;
+      if (tspare < min_reserve_) delta += min_reserve_ - tspare;
+      next = std::min(reserve + delta, max_reserve_);
+    } else if (tspare > reserve) {
+      // Half the difference, but always at least one: integer halving of a
+      // difference of 1 would otherwise pin treserve forever. (This still
+      // reproduces the paper's Table 2 trace exactly — the one row with
+      // difference 1 is floored by the configured minimum.)
+      const std::int64_t delta = std::max<std::int64_t>(1, (tspare - reserve) / 2);
+      next = std::max(min_reserve_, reserve - delta);
+    }
+    treserve_.store(next, std::memory_order_relaxed);
+    return next;
+  }
+
+  // Table 1: should a *lengthy* request go to the lengthy pool?
+  // (tspare <= treserve -> lengthy pool; otherwise general pool.)
+  bool send_lengthy_to_lengthy_pool(std::int64_t tspare) const {
+    return tspare <= treserve_.load(std::memory_order_relaxed);
+  }
+
+  std::int64_t treserve() const {
+    return treserve_.load(std::memory_order_relaxed);
+  }
+
+  std::int64_t min_reserve() const { return min_reserve_; }
+  std::int64_t max_reserve() const { return max_reserve_; }
+
+ private:
+  const std::int64_t min_reserve_;
+  const std::int64_t max_reserve_;
+  std::atomic<std::int64_t> treserve_;
+};
+
+}  // namespace tempest::server

@@ -1,0 +1,68 @@
+#include "src/server/respond.h"
+
+#include "src/common/logging.h"
+#include "src/http/serializer.h"
+
+namespace tempest::server {
+
+void send_and_record(const IncomingRequest& incoming,
+                     const http::Response& response, bool head_only,
+                     ServerStats& stats, RequestClass cls,
+                     const std::string& page) {
+  std::string wire = http::serialize_response(response, head_only);
+  // Record before releasing the response to the client so anyone observing
+  // the response also observes the completion in the stats.
+  const double response_time = to_paper(WallClock::now() - incoming.accepted);
+  stats.record_completion(cls, page, paper_now(), response_time);
+  incoming.writer->send(std::move(wire));
+}
+
+http::Response render_template_response(const Application& app,
+                                        const ServerConfig& config,
+                                        const TemplateResponse& tr) {
+  if (!app.templates) {
+    return http::Response::server_error("no template loader configured");
+  }
+  try {
+    const auto compiled = app.templates->load(tr.template_name);
+    std::string body = compiled->render(tr.data, app.templates.get());
+    // Rendering in its own stage lets the server measure the output and set
+    // Content-Length (serialize_response does so from body size); charge the
+    // simulated rendering service time proportional to that output.
+    paper_sleep_for(config.render_cost(body.size()));
+    http::Response response =
+        http::Response::make(tr.status, std::move(body), tr.content_type);
+    return response;
+  } catch (const tmpl::TemplateError& e) {
+    LOG_WARN << "template error rendering " << tr.template_name << ": "
+             << e.what();
+    return http::Response::server_error(e.what());
+  }
+}
+
+http::Response serve_static(const StaticStore::Entry& entry,
+                            const ServerConfig& config) {
+  paper_sleep_for(config.static_cost(entry.content.size()));
+  return http::Response::make(http::Status::kOk, entry.content,
+                              entry.mime_type);
+}
+
+HandlerResult run_handler(const Handler& handler, const http::Request& request,
+                          db::Connection* conn) {
+  try {
+    RequestContext ctx{request, conn};
+    return handler(ctx);
+  } catch (const std::exception& e) {
+    LOG_WARN << "handler error for " << request.uri.path << ": " << e.what();
+    return StringResponse{
+        "<html><body><h1>500 Internal Server Error</h1></body></html>",
+        http::Status::kInternalServerError,
+        "text/html; charset=utf-8"};
+  }
+}
+
+http::Response to_response(const StringResponse& sr) {
+  return http::Response::make(sr.status, sr.body, sr.content_type);
+}
+
+}  // namespace tempest::server

@@ -1,0 +1,42 @@
+// Shared response-path helpers for both server variants.
+#pragma once
+
+#include <string>
+
+#include "src/http/parser.h"
+#include "src/http/response.h"
+#include "src/server/app.h"
+#include "src/server/handler.h"
+#include "src/server/server_config.h"
+#include "src/server/server_stats.h"
+#include "src/server/transport.h"
+
+namespace tempest::server {
+
+// Serializes and sends `response`, then records the completion (class, page,
+// response time measured from transport accept to send).
+void send_and_record(const IncomingRequest& incoming,
+                     const http::Response& response, bool head_only,
+                     ServerStats& stats, RequestClass cls,
+                     const std::string& page);
+
+// Renders a TemplateResponse into an http::Response using the app's loader,
+// charging the configured render cost (paper-time). The caller decides which
+// thread this runs on — worker thread (baseline) or render pool (staged).
+http::Response render_template_response(const Application& app,
+                                        const ServerConfig& config,
+                                        const TemplateResponse& tr);
+
+// Builds the response for a static-store hit, charging the static service
+// cost.
+http::Response serve_static(const StaticStore::Entry& entry,
+                            const ServerConfig& config);
+
+// Runs `handler` with the thread's connection, translating exceptions into
+// a 500 StringResponse.
+HandlerResult run_handler(const Handler& handler, const http::Request& request,
+                          db::Connection* conn);
+
+http::Response to_response(const StringResponse& sr);
+
+}  // namespace tempest::server

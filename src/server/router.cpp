@@ -1,0 +1,28 @@
+#include "src/server/router.h"
+
+#include <stdexcept>
+
+namespace tempest::server {
+
+void Router::add(std::string path, Handler handler) {
+  if (path.empty() || path[0] != '/') {
+    throw std::invalid_argument("route path must start with '/': " + path);
+  }
+  if (!routes_.emplace(std::move(path), std::move(handler)).second) {
+    throw std::invalid_argument("duplicate route");
+  }
+}
+
+const Handler* Router::find(const std::string& path) const {
+  const auto it = routes_.find(path);
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Router::paths() const {
+  std::vector<std::string> out;
+  out.reserve(routes_.size());
+  for (const auto& [path, handler] : routes_) out.push_back(path);
+  return out;
+}
+
+}  // namespace tempest::server

@@ -1,0 +1,27 @@
+// URL-to-handler routing (CherryPy maps URLs to functions; so do we).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/server/handler.h"
+
+namespace tempest::server {
+
+class Router {
+ public:
+  // Registers a handler for an exact path ("/home"). Throws on duplicates.
+  void add(std::string path, Handler handler);
+
+  // Exact-match lookup.
+  const Handler* find(const std::string& path) const;
+
+  std::size_t size() const { return routes_.size(); }
+  std::vector<std::string> paths() const;
+
+ private:
+  std::map<std::string, Handler> routes_;
+};
+
+}  // namespace tempest::server

@@ -1,0 +1,80 @@
+// Configuration shared by both server variants.
+//
+// Both servers get the SAME database connection budget so experiments
+// isolate the scheduling method:
+//   * Baseline (thread-per-request): every worker thread stores one
+//     connection, so worker count == connection budget ("the number of
+//     threads cannot exceed the number of connections", Section 1).
+//   * Staged: only general + lengthy dynamic threads store connections
+//     (general_threads + lengthy_threads == db_connections); header, static
+//     and render pools add concurrency without consuming connections.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/db/latency.h"
+
+namespace tempest::server {
+
+struct ServerConfig {
+  // Shared resource budget.
+  std::size_t db_connections = 40;
+
+  // Baseline pool (thread-per-request). Kept equal to db_connections.
+  std::size_t baseline_threads = 40;
+
+  // Staged pools (Section 3.2). The general pool has four times the lengthy
+  // pool's threads, as in the paper.
+  std::size_t header_threads = 8;
+  std::size_t static_threads = 12;
+  std::size_t general_threads = 32;
+  std::size_t lengthy_threads = 8;
+  std::size_t render_threads = 30;
+
+  // Scheduling policy (Section 3.3).
+  double lengthy_cutoff_paper_s = 1.5;     // quick/lengthy threshold
+  double controller_period_paper_s = 1.0;  // treserve update cadence
+  std::int64_t treserve_min = 4;
+
+  // Ablations. `split_dynamic_pools=false` merges general+lengthy into one
+  // dynamic pool (still separate rendering); `adaptive_reserve=false`
+  // freezes treserve at treserve_min.
+  bool split_dynamic_pools = true;
+  bool adaptive_reserve = true;
+
+  // Service-cost model for the non-database stages, in paper seconds,
+  // calibrated to the paper's 2009 CPython testbed. Static: per-request
+  // dispatch/IO overhead plus ~100 Mb/s transfer (~3 ms for a small image).
+  // Render: Django-on-CPython template throughput (0.15 s dispatch +
+  // 40 us/byte: ~0.3 s for a 4 KB page, ~0.55 s for 10 KB). These are what
+  // make the thread-per-request baseline thread-bound: worker threads burn
+  // much of their time rendering and serving images while their database
+  // connections sit idle — the waste the paper targets.
+  double static_base_cost_paper_s = 0.003;
+  double static_per_byte_paper_s = 8.0e-8;
+  double render_base_cost_paper_s = 0.150;
+  double render_per_byte_paper_s = 4.0e-5;
+
+  db::LatencyModel db_latency;
+
+  // Disable all simulated service costs (unit tests that only check
+  // functional behaviour).
+  bool charge_service_costs = true;
+
+  double static_cost(std::size_t bytes) const {
+    return charge_service_costs
+               ? static_base_cost_paper_s +
+                     static_per_byte_paper_s * static_cast<double>(bytes)
+               : 0.0;
+  }
+
+  double render_cost(std::size_t bytes) const {
+    return charge_service_costs
+               ? render_base_cost_paper_s +
+                     render_per_byte_paper_s * static_cast<double>(bytes)
+               : 0.0;
+  }
+};
+
+}  // namespace tempest::server

@@ -1,0 +1,108 @@
+#include "src/server/server_stats.h"
+
+namespace tempest::server {
+
+const char* to_string(RequestClass cls) {
+  switch (cls) {
+    case RequestClass::kStatic: return "static";
+    case RequestClass::kQuickDynamic: return "quick-dynamic";
+    case RequestClass::kLengthyDynamic: return "lengthy-dynamic";
+  }
+  return "?";
+}
+
+void ServerStats::record_completion(RequestClass cls, const std::string& page,
+                                    double t_completed_paper_s,
+                                    double response_paper_s) {
+  switch (cls) {
+    case RequestClass::kStatic:
+      static_counter_.record(t_completed_paper_s);
+      break;
+    case RequestClass::kQuickDynamic:
+      quick_counter_.record(t_completed_paper_s);
+      break;
+    case RequestClass::kLengthyDynamic:
+      lengthy_counter_.record(t_completed_paper_s);
+      break;
+  }
+  std::lock_guard lock(mu_);
+  page_response_[page].add(response_paper_s);
+  auto& counter = page_counters_[page];
+  if (!counter) counter = std::make_unique<WindowedCounter>(bin_width_);
+  counter->record(t_completed_paper_s);
+}
+
+void ServerStats::sample_queue(const std::string& pool_name, double t_paper_s,
+                               std::size_t queue_length) {
+  TimeSeries* series = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    auto& slot = queues_[pool_name];
+    if (!slot) slot = std::make_unique<TimeSeries>();
+    series = slot.get();
+  }
+  series->record(t_paper_s, static_cast<double>(queue_length));
+}
+
+void ServerStats::sample_reserve(double t_paper_s, std::int64_t tspare,
+                                 std::int64_t treserve) {
+  tspare_series_.record(t_paper_s, static_cast<double>(tspare));
+  treserve_series_.record(t_paper_s, static_cast<double>(treserve));
+}
+
+const WindowedCounter& ServerStats::counter(RequestClass cls) const {
+  switch (cls) {
+    case RequestClass::kStatic: return static_counter_;
+    case RequestClass::kQuickDynamic: return quick_counter_;
+    case RequestClass::kLengthyDynamic: return lengthy_counter_;
+  }
+  return static_counter_;
+}
+
+std::uint64_t ServerStats::completed_total() const {
+  return static_counter_.total() + quick_counter_.total() +
+         lengthy_counter_.total();
+}
+
+std::map<std::string, OnlineStats> ServerStats::page_response_stats() const {
+  std::lock_guard lock(mu_);
+  return page_response_;
+}
+
+std::map<std::string, std::uint64_t> ServerStats::page_counts() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [page, counter] : page_counters_) {
+    out[page] = counter->total();
+  }
+  return out;
+}
+
+std::vector<std::pair<double, std::uint64_t>> ServerStats::page_series(
+    const std::string& page) const {
+  std::lock_guard lock(mu_);
+  const auto it = page_counters_.find(page);
+  if (it == page_counters_.end()) return {};
+  return it->second->series();
+}
+
+std::vector<std::string> ServerStats::queue_names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, series] : queues_) names.push_back(name);
+  return names;
+}
+
+std::vector<TimeSeries::Point> ServerStats::queue_series(
+    const std::string& name) const {
+  TimeSeries* series = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = queues_.find(name);
+    if (it == queues_.end()) return {};
+    series = it->second.get();
+  }
+  return series->snapshot();
+}
+
+}  // namespace tempest::server

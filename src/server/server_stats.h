@@ -1,0 +1,82 @@
+// Server-side measurement: per-page response stats, windowed throughput by
+// request class (Figures 9-10), and queue-length time series (Figures 7-8).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace tempest::server {
+
+enum class RequestClass { kStatic, kQuickDynamic, kLengthyDynamic };
+
+const char* to_string(RequestClass cls);
+
+class ServerStats {
+ public:
+  explicit ServerStats(double throughput_bin_paper_s = 60.0)
+      : bin_width_(throughput_bin_paper_s),
+        static_counter_(throughput_bin_paper_s),
+        quick_counter_(throughput_bin_paper_s),
+        lengthy_counter_(throughput_bin_paper_s) {}
+
+  // Records a completed request: response time measured from accept to the
+  // response hitting the writer, classified and attributed to `page`
+  // ("static" for static files, the URL path for dynamic pages).
+  void record_completion(RequestClass cls, const std::string& page,
+                         double t_completed_paper_s,
+                         double response_paper_s);
+
+  // Appends a queue-length sample for pool `name`.
+  void sample_queue(const std::string& pool_name, double t_paper_s,
+                    std::size_t queue_length);
+
+  // Appends a controller sample (tspare / treserve over time).
+  void sample_reserve(double t_paper_s, std::int64_t tspare,
+                      std::int64_t treserve);
+
+  // --- Snapshots -----------------------------------------------------------
+
+  const WindowedCounter& counter(RequestClass cls) const;
+  std::uint64_t completed(RequestClass cls) const {
+    return counter(cls).total();
+  }
+  std::uint64_t completed_total() const;
+
+  std::map<std::string, OnlineStats> page_response_stats() const;
+  std::map<std::string, std::uint64_t> page_counts() const;
+  // Per-page throughput over time (for Fig. 9/10 aggregation by class).
+  std::vector<std::pair<double, std::uint64_t>> page_series(
+      const std::string& page) const;
+
+  std::vector<std::string> queue_names() const;
+  std::vector<TimeSeries::Point> queue_series(const std::string& name) const;
+
+  std::vector<TimeSeries::Point> tspare_series() const {
+    return tspare_series_.snapshot();
+  }
+  std::vector<TimeSeries::Point> treserve_series() const {
+    return treserve_series_.snapshot();
+  }
+
+  double bin_width() const { return bin_width_; }
+
+ private:
+  const double bin_width_;
+  WindowedCounter static_counter_;
+  WindowedCounter quick_counter_;
+  WindowedCounter lengthy_counter_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, OnlineStats> page_response_;
+  std::map<std::string, std::unique_ptr<WindowedCounter>> page_counters_;
+  std::map<std::string, std::unique_ptr<TimeSeries>> queues_;
+  TimeSeries tspare_series_;
+  TimeSeries treserve_series_;
+};
+
+}  // namespace tempest::server

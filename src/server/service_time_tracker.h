@@ -1,0 +1,58 @@
+// Per-page data-generation time tracking (Section 3.3).
+//
+// The modified server measures, per dynamic page, the time from when a
+// dynamic-request thread acquires the request to when the unrendered
+// template is queued for rendering — i.e. pure data-generation (database)
+// time, excluding template rendering. The running average against a cutoff
+// (2 s in the paper) classifies pages as quick or lengthy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/common/stats.h"
+
+namespace tempest::server {
+
+class ServiceTimeTracker {
+ public:
+  explicit ServiceTimeTracker(double lengthy_cutoff_paper_s = 2.0)
+      : cutoff_(lengthy_cutoff_paper_s) {}
+
+  // Records a measured data-generation time for `path` (paper seconds).
+  void record(const std::string& path, double paper_seconds) {
+    std::lock_guard lock(mu_);
+    stats_[path].add(paper_seconds);
+  }
+
+  // True when the tracked mean exceeds the cutoff. Unknown pages default to
+  // quick (they are promoted after the first slow measurements).
+  bool is_lengthy(const std::string& path) const {
+    std::lock_guard lock(mu_);
+    const auto it = stats_.find(path);
+    return it != stats_.end() && it->second.count() > 0 &&
+           it->second.mean() >= cutoff_;
+  }
+
+  double mean(const std::string& path) const {
+    std::lock_guard lock(mu_);
+    const auto it = stats_.find(path);
+    return it == stats_.end() ? 0.0 : it->second.mean();
+  }
+
+  double cutoff() const { return cutoff_; }
+
+  std::map<std::string, OnlineStats> snapshot() const {
+    std::lock_guard lock(mu_);
+    return stats_;
+  }
+
+ private:
+  const double cutoff_;
+  mutable std::mutex mu_;
+  std::map<std::string, OnlineStats> stats_;
+};
+
+}  // namespace tempest::server

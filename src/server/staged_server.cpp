@@ -1,0 +1,229 @@
+#include "src/server/staged_server.h"
+
+#include "src/http/serializer.h"
+#include "src/server/respond.h"
+#include "src/server/worker_connection.h"
+
+namespace tempest::server {
+
+StagedServer::StagedServer(ServerConfig config,
+                           std::shared_ptr<const Application> app,
+                           db::Database& db)
+    : config_(config),
+      app_(std::move(app)),
+      db_pool_(db, config.db_connections, config.db_latency),
+      tracker_(config.lengthy_cutoff_paper_s),
+      // Cap treserve at 3/4 of the general pool: reserving every thread
+      // would permanently block lengthy spillover (tspare can never exceed
+      // the pool size, so a reserve equal to it could never decay).
+      reserve_(config.treserve_min,
+               static_cast<std::int64_t>(
+                   (config.split_dynamic_pools
+                        ? config.general_threads
+                        : config.general_threads + config.lengthy_threads) *
+                   3 / 4)) {
+  const std::size_t lengthy_threads =
+      config_.split_dynamic_pools ? config_.lengthy_threads : 0;
+  const std::size_t general_threads =
+      config_.split_dynamic_pools
+          ? config_.general_threads
+          : config_.general_threads + config_.lengthy_threads;
+  if (general_threads + lengthy_threads > config_.db_connections) {
+    throw std::invalid_argument(
+        "dynamic threads each hold a connection: general + lengthy threads "
+        "must not exceed db_connections");
+  }
+
+  // Downstream pools first so upstream stages never submit into a pool that
+  // does not exist yet.
+  render_pool_ = std::make_unique<WorkerPool<RenderJob>>(
+      "render", config_.render_threads,
+      [this](RenderJob&& rj) { render_stage(std::move(rj)); });
+  static_pool_ = std::make_unique<WorkerPool<Job>>(
+      "static", config_.static_threads,
+      [this](Job&& job) { static_stage(std::move(job)); });
+  general_pool_ = std::make_unique<WorkerPool<Job>>(
+      "general", general_threads,
+      [this](Job&& job) { dynamic_stage(std::move(job)); },
+      [this] { worker_connection::adopt(db_pool_); },
+      [] { worker_connection::release(); });
+  if (lengthy_threads > 0) {
+    lengthy_pool_ = std::make_unique<WorkerPool<Job>>(
+        "lengthy", lengthy_threads,
+        [this](Job&& job) { dynamic_stage(std::move(job)); },
+        [this] { worker_connection::adopt(db_pool_); },
+        [] { worker_connection::release(); });
+  }
+  header_pool_ = std::make_unique<WorkerPool<Job>>(
+      "header", config_.header_threads,
+      [this](Job&& job) { header_stage(std::move(job)); });
+
+  controller_ = std::thread([this] { controller_loop(); });
+}
+
+StagedServer::~StagedServer() { shutdown(); }
+
+void StagedServer::submit(IncomingRequest request) {
+  Job job;
+  job.incoming = std::move(request);
+  header_pool_->submit(std::move(job));
+}
+
+void StagedServer::shutdown() {
+  {
+    std::lock_guard lock(stop_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    stop_.store(true);
+  }
+  stop_cv_.notify_all();
+  if (controller_.joinable()) controller_.join();
+  // Drain in pipeline order so every in-flight request completes.
+  header_pool_->shutdown();
+  static_pool_->shutdown();
+  general_pool_->shutdown();
+  if (lengthy_pool_) lengthy_pool_->shutdown();
+  render_pool_->shutdown();
+}
+
+std::int64_t StagedServer::general_spare() const {
+  // The paper's tspare: "the number of spare threads in the general pool" —
+  // idle threads, not discounted by queued work. (Subtracting the queue
+  // length makes tspare crater whenever a burst is admitted, which spikes
+  // treserve and locks lengthy spillover out for seconds at a time.)
+  const auto threads = static_cast<std::int64_t>(general_pool_->thread_count());
+  const auto busy = static_cast<std::int64_t>(general_pool_->busy_count());
+  return std::max<std::int64_t>(0, threads - busy);
+}
+
+void StagedServer::controller_loop() {
+  std::unique_lock lock(stop_mu_);
+  while (!stop_.load()) {
+    const double now = paper_now();
+    const std::int64_t tspare = general_spare();
+    if (config_.adaptive_reserve) {
+      reserve_.tick(tspare);
+    }
+    stats_.sample_reserve(now, tspare, reserve_.treserve());
+    stats_.sample_queue("header", now, header_pool_->queue_length());
+    stats_.sample_queue("static", now, static_pool_->queue_length());
+    stats_.sample_queue("general", now, general_pool_->queue_length());
+    if (lengthy_pool_) {
+      stats_.sample_queue("lengthy", now, lengthy_pool_->queue_length());
+    }
+    stats_.sample_queue("render", now, render_pool_->queue_length());
+    stop_cv_.wait_for(lock, to_wall(config_.controller_period_paper_s),
+                      [this] { return stop_.load(); });
+  }
+}
+
+void StagedServer::header_stage(Job&& job) {
+  // Parse only the request line: enough to route static vs dynamic.
+  auto first_line = http::parse_request_line_only(job.incoming.raw);
+  if (!first_line) {
+    send_and_record(job.incoming, http::Response::bad_request("bad request line"),
+                    false, stats_, RequestClass::kQuickDynamic, "malformed");
+    return;
+  }
+
+  if (!http::path_extension(first_line->uri.path).empty()) {
+    // Static: the static-pool thread parses its own headers (Section 3.2).
+    job.cls = RequestClass::kStatic;
+    job.request = std::move(*first_line);
+    static_pool_->submit(std::move(job));
+    return;
+  }
+
+  // Dynamic: parse the remaining header fields and the query string here, so
+  // a thread with an open database connection never spends time on parsing.
+  std::string parse_error;
+  auto request = http::parse_request(job.incoming.raw, &parse_error);
+  if (!request) {
+    send_and_record(job.incoming, http::Response::bad_request(parse_error),
+                    false, stats_, RequestClass::kQuickDynamic, "malformed");
+    return;
+  }
+  request->uri.query = http::parse_query(request->uri.raw_query);
+  job.request = std::move(*request);
+
+  const bool lengthy = tracker_.is_lengthy(job.request.uri.path);
+  job.cls = lengthy ? RequestClass::kLengthyDynamic
+                    : RequestClass::kQuickDynamic;
+
+  // Table 1 dispatch rules. The dispatch-time spare count additionally
+  // discounts work already sitting in the general queue: eight header
+  // threads dispatch concurrently, and a just-enqueued lengthy request is
+  // not yet reflected in the busy count — without the discount, bursts
+  // overshoot the reservation and quick requests queue behind them.
+  const std::int64_t dispatch_spare =
+      general_spare() -
+      static_cast<std::int64_t>(general_pool_->queue_length());
+  if (lengthy && lengthy_pool_ &&
+      reserve_.send_lengthy_to_lengthy_pool(dispatch_spare)) {
+    lengthy_pool_->submit(std::move(job));
+  } else {
+    general_pool_->submit(std::move(job));
+  }
+}
+
+void StagedServer::static_stage(Job&& job) {
+  // Parse the full request (headers were deferred for static requests).
+  std::string parse_error;
+  auto request = http::parse_request(job.incoming.raw, &parse_error);
+  if (!request) {
+    send_and_record(job.incoming, http::Response::bad_request(parse_error),
+                    false, stats_, RequestClass::kStatic, "malformed");
+    return;
+  }
+  const bool head_only = request->method == http::Method::kHead;
+  const StaticStore::Entry* entry =
+      app_->static_store.find(request->uri.path);
+  const http::Response response =
+      entry ? serve_static(*entry, config_)
+            : http::Response::not_found(request->uri.path);
+  send_and_record(job.incoming, response, head_only, stats_,
+                  RequestClass::kStatic, "static");
+}
+
+void StagedServer::dynamic_stage(Job&& job) {
+  const std::string& path = job.request.uri.path;
+  const bool head_only = job.request.method == http::Method::kHead;
+
+  const Handler* handler = app_->router.find(path);
+  if (handler == nullptr) {
+    send_and_record(job.incoming, http::Response::not_found(path), head_only,
+                    stats_, job.cls, path);
+    return;
+  }
+
+  // The paper's measurement: from acquiring the request to queueing the
+  // unrendered template — pure data-generation time.
+  const Stopwatch datagen_watch;
+  HandlerResult result =
+      run_handler(*handler, job.request, worker_connection::current());
+
+  if (auto* tr = std::get_if<TemplateResponse>(&result)) {
+    tracker_.record(path, datagen_watch.elapsed_paper());
+    RenderJob rj;
+    rj.job = std::move(job);
+    rj.tr = std::move(*tr);
+    render_pool_->submit(std::move(rj));
+    return;
+  }
+
+  // Backward compatibility: an already-rendered string is sent directly from
+  // this thread (the scheduling optimization cannot apply).
+  tracker_.record(path, datagen_watch.elapsed_paper());
+  const http::Response response = to_response(std::get<StringResponse>(result));
+  send_and_record(job.incoming, response, head_only, stats_, job.cls, path);
+}
+
+void StagedServer::render_stage(RenderJob&& rj) {
+  const bool head_only = rj.job.request.method == http::Method::kHead;
+  const http::Response response =
+      render_template_response(*app_, config_, rj.tr);
+  send_and_record(rj.job.incoming, response, head_only, stats_, rj.job.cls,
+                  rj.job.request.uri.path);
+}
+
+}  // namespace tempest::server

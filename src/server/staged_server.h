@@ -1,0 +1,83 @@
+// The paper's modified web server (Figure 5): a listener feeds five thread
+// pools — header parsing, static requests, general dynamic requests, lengthy
+// dynamic requests, and template rendering. Only the two dynamic pools'
+// threads store database connections, so connections never sit idle while
+// templates render or static files are served. Dispatch between the dynamic
+// pools follows Table 1 using the adaptive treserve controller.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "src/common/worker_pool.h"
+#include "src/db/pool.h"
+#include "src/http/parser.h"
+#include "src/server/app.h"
+#include "src/server/reserve_controller.h"
+#include "src/server/server_config.h"
+#include "src/server/server_stats.h"
+#include "src/server/service_time_tracker.h"
+#include "src/server/transport.h"
+
+namespace tempest::server {
+
+class StagedServer : public WebServer {
+ public:
+  StagedServer(ServerConfig config, std::shared_ptr<const Application> app,
+               db::Database& db);
+  ~StagedServer() override;
+
+  void submit(IncomingRequest request) override;
+  void shutdown() override;
+
+  ServerStats& stats() { return stats_; }
+  const ServerConfig& config() const { return config_; }
+  db::ConnectionPool& connection_pool() { return db_pool_; }
+  const ServiceTimeTracker& tracker() const { return tracker_; }
+  const ReserveController& reserve() const { return reserve_; }
+
+  // Spare threads in the general pool right now (tspare).
+  std::int64_t general_spare() const;
+
+ private:
+  // A request in flight between stages.
+  struct Job {
+    IncomingRequest incoming;
+    http::Request request;           // filled by the header stage
+    RequestClass cls = RequestClass::kQuickDynamic;
+  };
+  struct RenderJob {
+    Job job;
+    TemplateResponse tr;
+  };
+
+  void header_stage(Job&& job);
+  void static_stage(Job&& job);
+  void dynamic_stage(Job&& job);
+  void render_stage(RenderJob&& rj);
+  void controller_loop();
+
+  const ServerConfig config_;
+  const std::shared_ptr<const Application> app_;
+  db::ConnectionPool db_pool_;
+  ServerStats stats_;
+  ServiceTimeTracker tracker_;
+  ReserveController reserve_;
+
+  std::unique_ptr<WorkerPool<Job>> header_pool_;
+  std::unique_ptr<WorkerPool<Job>> static_pool_;
+  std::unique_ptr<WorkerPool<Job>> general_pool_;
+  std::unique_ptr<WorkerPool<Job>> lengthy_pool_;
+  std::unique_ptr<WorkerPool<RenderJob>> render_pool_;
+
+  std::thread controller_;
+  std::atomic<bool> stop_{false};
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool shut_down_ = false;
+};
+
+}  // namespace tempest::server

@@ -1,0 +1,34 @@
+#include "src/server/static_store.h"
+
+namespace tempest::server {
+
+void StaticStore::add(std::string path, std::string content,
+                      std::string mime_type) {
+  entries_[std::move(path)] = {std::move(content), std::move(mime_type)};
+}
+
+void StaticStore::add_blob(std::string path, std::size_t bytes,
+                           std::string mime_type) {
+  std::string content;
+  content.reserve(bytes);
+  std::uint32_t state = 0x1234abcd;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    state = state * 1664525u + 1013904223u;  // LCG: deterministic filler
+    content.push_back(static_cast<char>(state >> 24));
+  }
+  add(std::move(path), std::move(content), std::move(mime_type));
+}
+
+const StaticStore::Entry* StaticStore::find(const std::string& path) const {
+  const auto it = entries_.find(path);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> StaticStore::paths() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [path, entry] : entries_) out.push_back(path);
+  return out;
+}
+
+}  // namespace tempest::server

@@ -1,0 +1,35 @@
+// In-memory static content (images, CSS) keyed by path. The TPC-W app
+// registers synthetic image blobs here; examples can also load from disk.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/http/response.h"
+
+namespace tempest::server {
+
+class StaticStore {
+ public:
+  struct Entry {
+    std::string content;
+    std::string mime_type;
+  };
+
+  void add(std::string path, std::string content, std::string mime_type);
+
+  // Registers a deterministic pseudo-binary blob of `bytes` bytes.
+  void add_blob(std::string path, std::size_t bytes, std::string mime_type);
+
+  const Entry* find(const std::string& path) const;
+
+  std::size_t size() const { return entries_.size(); }
+  std::vector<std::string> paths() const;
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace tempest::server

@@ -1,0 +1,140 @@
+#include "src/server/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "src/common/logging.h"
+#include "src/http/parser.h"
+
+namespace tempest::server {
+
+namespace {
+
+// Reads until a complete HTTP request has been received (or EOF/error).
+bool read_full_request(int fd, std::string& out) {
+  http::RequestParser parser;
+  char buf[4096];
+  while (!parser.complete() && !parser.failed()) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return parser.complete();
+}
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+class SocketWriter : public ResponseWriter {
+ public:
+  explicit SocketWriter(int fd) : fd_(fd) {}
+  ~SocketWriter() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  void send(std::string bytes) override {
+    write_all(fd_, bytes);
+    ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+TcpListener::TcpListener(WebServer& server, std::uint16_t port)
+    : server_(server) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("bind() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 256) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("listen() failed");
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+TcpListener::~TcpListener() { stop(); }
+
+void TcpListener::stop() {
+  if (stop_.exchange(true)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+}
+
+void TcpListener::accept_loop() {
+  while (!stop_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stop_.load()) break;
+      continue;
+    }
+    std::string raw;
+    if (!read_full_request(fd, raw)) {
+      ::close(fd);
+      continue;
+    }
+    IncomingRequest req;
+    req.raw = std::move(raw);
+    req.writer = std::make_shared<SocketWriter>(fd);
+    req.accepted = WallClock::now();
+    server_.submit(std::move(req));
+  }
+}
+
+std::string tcp_roundtrip(std::uint16_t port, const std::string& raw_request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("connect() failed");
+  }
+  if (!write_all(fd, raw_request)) {
+    ::close(fd);
+    throw std::runtime_error("send() failed");
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+}  // namespace tempest::server

@@ -1,0 +1,48 @@
+// Real-socket transport: a TCP listener thread accepts connections, reads
+// one HTTP request per connection, and submits it to a WebServer. Used by
+// the examples and integration tests; the benchmark harness uses the
+// in-process transport for determinism.
+//
+// Connection handling is one-request-per-connection (the listener sends
+// "Connection: close" semantics); keep-alive is intentionally out of scope —
+// the paper measures request scheduling, not connection reuse.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "src/server/transport.h"
+
+namespace tempest::server {
+
+class TcpListener {
+ public:
+  // Binds to 127.0.0.1:`port` (0 picks an ephemeral port) and starts the
+  // accept loop. Throws std::runtime_error on bind failure.
+  TcpListener(WebServer& server, std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  void stop();
+
+ private:
+  void accept_loop();
+
+  WebServer& server_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread acceptor_;
+};
+
+// Minimal blocking HTTP client for tests/examples: one request per
+// connection against 127.0.0.1:`port`. Returns the raw response bytes.
+std::string tcp_roundtrip(std::uint16_t port, const std::string& raw_request);
+
+}  // namespace tempest::server

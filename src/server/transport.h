@@ -1,0 +1,69 @@
+// Transport abstraction between connection acceptors and the server cores.
+//
+// A listener (in-process or TCP) wraps each accepted request's raw bytes and
+// a ResponseWriter into an IncomingRequest and submits it to a WebServer.
+// Both server variants — thread-per-request baseline and the staged design —
+// implement WebServer, so workloads and transports compose with either.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <string>
+
+#include "src/common/clock.h"
+
+namespace tempest::server {
+
+class ResponseWriter {
+ public:
+  virtual ~ResponseWriter() = default;
+  // Delivers the serialized HTTP response. Called exactly once per request.
+  virtual void send(std::string bytes) = 0;
+};
+
+struct IncomingRequest {
+  std::string raw;  // request bytes as read from the connection
+  std::shared_ptr<ResponseWriter> writer;
+  WallClock::time_point accepted = WallClock::now();
+};
+
+class WebServer {
+ public:
+  virtual ~WebServer() = default;
+  virtual void submit(IncomingRequest request) = 0;
+  virtual void shutdown() = 0;
+};
+
+// In-process transport: the workload generator calls roundtrip() and blocks
+// until the server sends the response. Models the LAN testbed minus wire
+// latency, which the paper explicitly discounts ("we are primarily
+// interested in the decrease of database query response times rather than
+// transfer latencies").
+class InProcClient {
+ public:
+  explicit InProcClient(WebServer& server) : server_(server) {}
+
+  std::string roundtrip(std::string raw_request) {
+    return send(std::move(raw_request)).get();
+  }
+
+  std::future<std::string> send(std::string raw_request) {
+    auto writer = std::make_shared<PromiseWriter>();
+    std::future<std::string> future = writer->promise.get_future();
+    server_.submit({std::move(raw_request), std::move(writer),
+                    WallClock::now()});
+    return future;
+  }
+
+ private:
+  struct PromiseWriter : ResponseWriter {
+    std::promise<std::string> promise;
+    void send(std::string bytes) override {
+      promise.set_value(std::move(bytes));
+    }
+  };
+
+  WebServer& server_;
+};
+
+}  // namespace tempest::server

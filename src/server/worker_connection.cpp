@@ -1,0 +1,15 @@
+#include "src/server/worker_connection.h"
+
+namespace tempest::server::worker_connection {
+
+namespace {
+thread_local db::ConnectionPool::Lease t_lease;
+}  // namespace
+
+void adopt(db::ConnectionPool& pool) { t_lease = pool.acquire(); }
+
+void release() { t_lease.release(); }
+
+db::Connection* current() { return t_lease.get(); }
+
+}  // namespace tempest::server::worker_connection

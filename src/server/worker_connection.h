@@ -1,0 +1,19 @@
+// Per-worker-thread database connection — the paper's "database connection
+// stored in each web server thread". Worker pools that own connections call
+// adopt() in their thread-init hook and release() in their thread-exit hook;
+// handlers reach the connection through current().
+#pragma once
+
+#include "src/db/pool.h"
+
+namespace tempest::server::worker_connection {
+
+// Blocks until a connection is free, then binds it to this thread.
+void adopt(db::ConnectionPool& pool);
+
+void release();
+
+// Null on threads that do not own a connection (header/static/render pools).
+db::Connection* current();
+
+}  // namespace tempest::server::worker_connection

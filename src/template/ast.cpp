@@ -1,0 +1,193 @@
+#include "src/template/ast.h"
+
+#include <algorithm>
+
+#include "src/common/strutil.h"
+#include "src/template/loader.h"
+#include "src/template/template.h"
+
+namespace tempest::tmpl {
+
+void render_nodes(const NodeList& nodes, Context& ctx, RenderState& state,
+                  std::string& out) {
+  for (const NodePtr& node : nodes) {
+    node->render(ctx, state, out);
+  }
+}
+
+void VariableNode::render(Context& ctx, RenderState& state,
+                          std::string& out) const {
+  const FilterExpr::Result result = expr_.evaluate(ctx);
+  const std::string text = result.value.str();
+  if (state.autoescape && !result.safe) {
+    out += html_escape(text);
+  } else {
+    out += text;
+  }
+}
+
+void IfNode::render(Context& ctx, RenderState& state, std::string& out) const {
+  for (const Branch& branch : branches_) {
+    if (!branch.condition || branch.condition->evaluate(ctx)) {
+      render_nodes(branch.body, ctx, state, out);
+      return;
+    }
+  }
+}
+
+void ForNode::render(Context& ctx, RenderState& state,
+                     std::string& out) const {
+  const Value iterable = iterable_.evaluate(ctx).value;
+
+  // Materialize the items: lists iterate values; dicts iterate keys (one
+  // loop var) or key/value pairs (two loop vars), as in Django.
+  List items;
+  if (iterable.is_list()) {
+    items = iterable.as_list();
+  } else if (iterable.is_dict()) {
+    for (const auto& [key, value] : iterable.as_dict()) {
+      if (loop_vars_.size() >= 2) {
+        items.push_back(Value(List{Value(key), value}));
+      } else {
+        items.push_back(Value(key));
+      }
+    }
+  } else if (!iterable.is_null()) {
+    throw TemplateError(std::string("cannot iterate over ") +
+                        iterable.type_name());
+  }
+  if (reversed_) std::reverse(items.begin(), items.end());
+
+  if (items.empty()) {
+    render_nodes(empty_body_, ctx, state, out);
+    return;
+  }
+
+  Context::Scope scope(ctx);
+  const std::size_t n = items.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Dict forloop;
+    forloop["counter"] = Value(static_cast<std::int64_t>(i + 1));
+    forloop["counter0"] = Value(static_cast<std::int64_t>(i));
+    forloop["revcounter"] = Value(static_cast<std::int64_t>(n - i));
+    forloop["revcounter0"] = Value(static_cast<std::int64_t>(n - i - 1));
+    forloop["first"] = Value(i == 0);
+    forloop["last"] = Value(i == n - 1);
+    forloop["length"] = Value(static_cast<std::int64_t>(n));
+    ctx.set("forloop", Value(std::move(forloop)));
+
+    if (loop_vars_.size() >= 2) {
+      // Unpack a 2-element list into the two loop variables.
+      const Value* a = items[i].index(0);
+      const Value* b = items[i].index(1);
+      ctx.set(loop_vars_[0], a ? *a : Value());
+      ctx.set(loop_vars_[1], b ? *b : Value());
+    } else {
+      ctx.set(loop_vars_[0], items[i]);
+    }
+    render_nodes(body_, ctx, state, out);
+  }
+}
+
+void WithNode::render(Context& ctx, RenderState& state,
+                      std::string& out) const {
+  Context::Scope scope(ctx);
+  ctx.set(name_, expr_.evaluate(ctx).value);
+  render_nodes(body_, ctx, state, out);
+}
+
+void IncludeNode::render(Context& ctx, RenderState& state,
+                         std::string& out) const {
+  if (state.loader == nullptr) {
+    throw TemplateError("{% include %} used without a template loader");
+  }
+  if (++state.depth > RenderState::kMaxDepth) {
+    throw TemplateError("template include depth exceeded (circular include?)");
+  }
+  const std::string name = name_.resolve(ctx).str();
+  const auto included = state.loader->load(name);
+  included->render_into(ctx, state, out);
+  --state.depth;
+}
+
+void CycleNode::render(Context& ctx, RenderState& state,
+                       std::string& out) const {
+  if (values_.empty()) return;
+  std::size_t& position = state.cycle_positions[this];
+  const Value value = values_[position % values_.size()].resolve(ctx);
+  ++position;
+  if (state.autoescape) {
+    out += html_escape(value.str());
+  } else {
+    out += value.str();
+  }
+}
+
+void FirstOfNode::render(Context& ctx, RenderState& state,
+                         std::string& out) const {
+  for (const Operand& operand : values_) {
+    const Value value = operand.resolve(ctx);
+    if (value.truthy()) {
+      if (state.autoescape) {
+        out += html_escape(value.str());
+      } else {
+        out += value.str();
+      }
+      return;
+    }
+  }
+}
+
+void IfChangedNode::render(Context& ctx, RenderState& state,
+                           std::string& out) const {
+  std::string rendered;
+  render_nodes(body_, ctx, state, rendered);
+  std::string& last = state.ifchanged_last[this];
+  if (rendered != last) {
+    last = rendered;
+    out += rendered;
+  }
+}
+
+void SpacelessNode::render(Context& ctx, RenderState& state,
+                           std::string& out) const {
+  std::string rendered;
+  render_nodes(body_, ctx, state, rendered);
+  // Remove whitespace runs between '>' and '<', like Django's spaceless.
+  std::string squeezed;
+  squeezed.reserve(rendered.size());
+  std::size_t i = 0;
+  while (i < rendered.size()) {
+    const char c = rendered[i];
+    if (c == '>') {
+      squeezed.push_back(c);
+      std::size_t j = i + 1;
+      while (j < rendered.size() &&
+             (rendered[j] == ' ' || rendered[j] == '\t' ||
+              rendered[j] == '\n' || rendered[j] == '\r')) {
+        ++j;
+      }
+      if (j < rendered.size() && rendered[j] == '<') {
+        i = j;
+        continue;
+      }
+      ++i;
+      continue;
+    }
+    squeezed.push_back(c);
+    ++i;
+  }
+  out += trim(squeezed);
+}
+
+void BlockNode::render(Context& ctx, RenderState& state,
+                       std::string& out) const {
+  const auto it = state.block_overrides.find(name_);
+  if (it != state.block_overrides.end() && it->second != this) {
+    it->second->render_own(ctx, state, out);
+    return;
+  }
+  render_nodes(body_, ctx, state, out);
+}
+
+}  // namespace tempest::tmpl

@@ -1,0 +1,201 @@
+// Compiled template node tree. Nodes are immutable after parsing, so one
+// compiled template can be rendered concurrently from many rendering threads
+// (the modified server's template-rendering pool relies on this).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/template/context.h"
+#include "src/template/expr.h"
+
+namespace tempest::tmpl {
+
+class TemplateLoader;
+class BlockNode;
+
+// Per-render state threaded through the node tree.
+struct RenderState {
+  const TemplateLoader* loader = nullptr;  // for {% include %} / {% extends %}
+  bool autoescape = true;
+  // Child-most override for each block name (template inheritance).
+  std::map<std::string, const BlockNode*> block_overrides;
+  // Per-render node state (nodes themselves are immutable and shared across
+  // rendering threads): cycle positions and ifchanged last-outputs, keyed by
+  // node identity.
+  std::map<const void*, std::size_t> cycle_positions;
+  std::map<const void*, std::string> ifchanged_last;
+  int depth = 0;  // include/extends recursion guard
+
+  static constexpr int kMaxDepth = 32;
+};
+
+class Node {
+ public:
+  virtual ~Node() = default;
+  Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  virtual void render(Context& ctx, RenderState& state,
+                      std::string& out) const = 0;
+};
+
+using NodePtr = std::unique_ptr<Node>;
+using NodeList = std::vector<NodePtr>;
+
+void render_nodes(const NodeList& nodes, Context& ctx, RenderState& state,
+                  std::string& out);
+
+class TextNode : public Node {
+ public:
+  explicit TextNode(std::string text) : text_(std::move(text)) {}
+  void render(Context&, RenderState&, std::string& out) const override {
+    out += text_;
+  }
+
+ private:
+  std::string text_;
+};
+
+class VariableNode : public Node {
+ public:
+  explicit VariableNode(FilterExpr expr) : expr_(std::move(expr)) {}
+  void render(Context& ctx, RenderState& state,
+              std::string& out) const override;
+
+ private:
+  FilterExpr expr_;
+};
+
+class IfNode : public Node {
+ public:
+  struct Branch {
+    BoolExprPtr condition;  // null for {% else %}
+    NodeList body;
+  };
+
+  explicit IfNode(std::vector<Branch> branches)
+      : branches_(std::move(branches)) {}
+  void render(Context& ctx, RenderState& state,
+              std::string& out) const override;
+
+ private:
+  std::vector<Branch> branches_;
+};
+
+class ForNode : public Node {
+ public:
+  ForNode(std::vector<std::string> loop_vars, FilterExpr iterable,
+          bool reversed, NodeList body, NodeList empty_body)
+      : loop_vars_(std::move(loop_vars)),
+        iterable_(std::move(iterable)),
+        reversed_(reversed),
+        body_(std::move(body)),
+        empty_body_(std::move(empty_body)) {}
+
+  void render(Context& ctx, RenderState& state,
+              std::string& out) const override;
+
+ private:
+  std::vector<std::string> loop_vars_;
+  FilterExpr iterable_;
+  bool reversed_;
+  NodeList body_;
+  NodeList empty_body_;
+};
+
+class WithNode : public Node {
+ public:
+  WithNode(std::string name, FilterExpr expr, NodeList body)
+      : name_(std::move(name)), expr_(std::move(expr)), body_(std::move(body)) {}
+  void render(Context& ctx, RenderState& state,
+              std::string& out) const override;
+
+ private:
+  std::string name_;
+  FilterExpr expr_;
+  NodeList body_;
+};
+
+class IncludeNode : public Node {
+ public:
+  explicit IncludeNode(Operand name) : name_(std::move(name)) {}
+  void render(Context& ctx, RenderState& state,
+              std::string& out) const override;
+
+ private:
+  Operand name_;  // usually a string literal; may be a variable
+};
+
+// {% cycle 'a' 'b' ... %} — emits its arguments in rotation, one per render
+// encounter within a single render pass (row striping in loops).
+class CycleNode : public Node {
+ public:
+  explicit CycleNode(std::vector<Operand> values) : values_(std::move(values)) {}
+  void render(Context& ctx, RenderState& state,
+              std::string& out) const override;
+
+ private:
+  std::vector<Operand> values_;
+};
+
+// {% firstof a b 'fallback' %} — renders the first truthy operand.
+class FirstOfNode : public Node {
+ public:
+  explicit FirstOfNode(std::vector<Operand> values)
+      : values_(std::move(values)) {}
+  void render(Context& ctx, RenderState& state,
+              std::string& out) const override;
+
+ private:
+  std::vector<Operand> values_;
+};
+
+// {% ifchanged %}body{% endifchanged %} — renders body only when its output
+// differs from the previous iteration's output.
+class IfChangedNode : public Node {
+ public:
+  explicit IfChangedNode(NodeList body) : body_(std::move(body)) {}
+  void render(Context& ctx, RenderState& state,
+              std::string& out) const override;
+
+ private:
+  NodeList body_;
+};
+
+// {% spaceless %}...{% endspaceless %} — strips whitespace between tags.
+class SpacelessNode : public Node {
+ public:
+  explicit SpacelessNode(NodeList body) : body_(std::move(body)) {}
+  void render(Context& ctx, RenderState& state,
+              std::string& out) const override;
+
+ private:
+  NodeList body_;
+};
+
+class BlockNode : public Node {
+ public:
+  BlockNode(std::string name, NodeList body)
+      : name_(std::move(name)), body_(std::move(body)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Renders the child-most override if one is registered, else own body.
+  void render(Context& ctx, RenderState& state,
+              std::string& out) const override;
+
+  // Renders this block's own body, ignoring overrides.
+  void render_own(Context& ctx, RenderState& state, std::string& out) const {
+    render_nodes(body_, ctx, state, out);
+  }
+
+ private:
+  std::string name_;
+  NodeList body_;
+};
+
+}  // namespace tempest::tmpl

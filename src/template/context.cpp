@@ -1,0 +1,28 @@
+#include "src/template/context.h"
+
+#include <cstdlib>
+
+#include "src/common/strutil.h"
+
+namespace tempest::tmpl {
+
+const Value* Context::lookup_path(const std::string& dotted) const {
+  const auto segments = split(dotted, '.');
+  if (segments.empty()) return nullptr;
+  const Value* current = lookup(segments[0]);
+  for (std::size_t i = 1; current != nullptr && i < segments.size(); ++i) {
+    const std::string& seg = segments[i];
+    if (const Value* next = current->member(seg)) {
+      current = next;
+      continue;
+    }
+    if (!seg.empty() && seg.find_first_not_of("0123456789") == std::string::npos) {
+      current = current->index(std::strtoull(seg.c_str(), nullptr, 10));
+      continue;
+    }
+    return nullptr;
+  }
+  return current;
+}
+
+}  // namespace tempest::tmpl

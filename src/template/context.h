@@ -1,0 +1,56 @@
+// Rendering context: a stack of variable scopes, matching Django's Context.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/template/value.h"
+
+namespace tempest::tmpl {
+
+class Context {
+ public:
+  Context() { scopes_.emplace_back(); }
+  explicit Context(Dict initial) { scopes_.push_back(std::move(initial)); }
+
+  void push() { scopes_.emplace_back(); }
+  void pop() {
+    if (scopes_.size() > 1) scopes_.pop_back();
+  }
+
+  // Sets a variable in the innermost scope.
+  void set(const std::string& name, Value v) {
+    scopes_.back()[name] = std::move(v);
+  }
+
+  // Resolves a bare name, innermost scope first. Returns nullptr if unbound.
+  const Value* lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  // Resolves a dotted path ("order.lines.0.title"): each segment is tried as
+  // a dict key, then as a numeric list index — Django's lookup order (minus
+  // method calls). Returns nullptr (renders empty) when any hop fails.
+  const Value* lookup_path(const std::string& dotted) const;
+
+  // RAII scope guard.
+  class Scope {
+   public:
+    explicit Scope(Context& ctx) : ctx_(ctx) { ctx_.push(); }
+    ~Scope() { ctx_.pop(); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Context& ctx_;
+  };
+
+ private:
+  std::vector<Dict> scopes_;
+};
+
+}  // namespace tempest::tmpl

@@ -1,0 +1,311 @@
+#include "src/template/expr.h"
+
+#include <cstdlib>
+
+#include "src/common/strutil.h"
+#include "src/template/filters.h"
+
+namespace tempest::tmpl {
+
+namespace {
+
+bool is_word_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+}
+
+// Parses a literal token ("'s'", "\"s\"", "42", "3.5", "True"...); returns
+// nullopt if the token is a variable path instead.
+std::optional<Value> parse_literal(std::string_view tok) {
+  if (tok.empty()) return std::nullopt;
+  if ((tok.front() == '\'' && tok.back() == '\'' && tok.size() >= 2) ||
+      (tok.front() == '"' && tok.back() == '"' && tok.size() >= 2)) {
+    return Value(std::string(tok.substr(1, tok.size() - 2)));
+  }
+  if (tok == "True" || tok == "true") return Value(true);
+  if (tok == "False" || tok == "false") return Value(false);
+  if (tok == "None" || tok == "none" || tok == "null") return Value();
+  const bool neg = tok.front() == '-';
+  std::string_view digits = neg ? tok.substr(1) : tok;
+  if (digits.empty()) return std::nullopt;
+  const bool all_int = digits.find_first_not_of("0123456789") ==
+                       std::string_view::npos;
+  if (all_int) {
+    return Value(static_cast<std::int64_t>(
+        std::strtoll(std::string(tok).c_str(), nullptr, 10)));
+  }
+  const bool numeric = digits.find_first_not_of("0123456789.") ==
+                           std::string_view::npos &&
+                       digits.find('.') != std::string_view::npos;
+  if (numeric) return Value(std::strtod(std::string(tok).c_str(), nullptr));
+  return std::nullopt;
+}
+
+Operand parse_operand(std::string_view tok) {
+  Operand op;
+  if (auto lit = parse_literal(tok)) {
+    op.kind = Operand::Kind::kLiteral;
+    op.literal = std::move(*lit);
+  } else {
+    op.kind = Operand::Kind::kPath;
+    op.path = std::string(tok);
+  }
+  return op;
+}
+
+}  // namespace
+
+std::vector<std::string> tokenize_expression(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == ' ' || c == '\t') {
+      ++i;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      const std::size_t close = text.find(c, i + 1);
+      if (close == std::string_view::npos) {
+        throw TemplateError("unterminated string literal in expression");
+      }
+      tokens.emplace_back(text.substr(i, close - i + 1));
+      i = close + 1;
+      continue;
+    }
+    if (c == '|' || c == ':') {
+      tokens.emplace_back(1, c);
+      ++i;
+      continue;
+    }
+    if (c == '=' || c == '!' || c == '<' || c == '>') {
+      if (i + 1 < text.size() && text[i + 1] == '=') {
+        tokens.emplace_back(text.substr(i, 2));
+        i += 2;
+      } else {
+        tokens.emplace_back(1, c);
+        ++i;
+      }
+      continue;
+    }
+    if (is_word_char(c)) {
+      std::size_t j = i;
+      while (j < text.size() && is_word_char(text[j])) ++j;
+      tokens.emplace_back(text.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    throw TemplateError(std::string("unexpected character in expression: ") +
+                        c);
+  }
+  return tokens;
+}
+
+Value Operand::resolve(const Context& ctx) const {
+  if (kind == Kind::kLiteral) return literal;
+  const Value* v = ctx.lookup_path(path);
+  return v ? *v : Value();
+}
+
+FilterExpr::Result FilterExpr::evaluate(const Context& ctx) const {
+  Result result;
+  result.value = operand.resolve(ctx);
+  for (const auto& call : filters) {
+    std::optional<Value> arg;
+    if (call.arg) arg = call.arg->resolve(ctx);
+    result = apply_filter(call.name, std::move(result), arg);
+  }
+  return result;
+}
+
+namespace {
+
+// Token-stream based parsers -------------------------------------------------
+
+class TokenStream {
+ public:
+  explicit TokenStream(std::vector<std::string> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  bool done() const { return pos_ >= tokens_.size(); }
+
+  const std::string& peek() const {
+    static const std::string kEmpty;
+    return done() ? kEmpty : tokens_[pos_];
+  }
+
+  std::string next() {
+    if (done()) throw TemplateError("unexpected end of expression");
+    return tokens_[pos_++];
+  }
+
+  bool accept(std::string_view tok) {
+    if (!done() && tokens_[pos_] == tok) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::size_t pos_ = 0;
+};
+
+FilterExpr parse_filtered(TokenStream& ts) {
+  FilterExpr fe;
+  fe.operand = parse_operand(ts.next());
+  while (ts.accept("|")) {
+    FilterCall call;
+    call.name = ts.next();
+    if (ts.accept(":")) call.arg = parse_operand(ts.next());
+    fe.filters.push_back(std::move(call));
+  }
+  return fe;
+}
+
+class FilteredBool : public BoolExpr {
+ public:
+  explicit FilteredBool(FilterExpr fe) : fe_(std::move(fe)) {}
+  bool evaluate(const Context& ctx) const override {
+    return fe_.evaluate(ctx).value.truthy();
+  }
+
+ private:
+  FilterExpr fe_;
+};
+
+class CompareBool : public BoolExpr {
+ public:
+  CompareBool(FilterExpr lhs, std::string op, FilterExpr rhs)
+      : lhs_(std::move(lhs)), op_(std::move(op)), rhs_(std::move(rhs)) {}
+
+  bool evaluate(const Context& ctx) const override {
+    const Value a = lhs_.evaluate(ctx).value;
+    const Value b = rhs_.evaluate(ctx).value;
+    if (op_ == "==") return a == b;
+    if (op_ == "!=") return a != b;
+    if (op_ == "<") return Value::compare(a, b) < 0;
+    if (op_ == "<=") return Value::compare(a, b) <= 0;
+    if (op_ == ">") return Value::compare(a, b) > 0;
+    if (op_ == ">=") return Value::compare(a, b) >= 0;
+    if (op_ == "in" || op_ == "not_in") {
+      bool contained = false;
+      if (b.is_string()) {
+        contained = b.as_string().find(a.str()) != std::string::npos;
+      } else if (b.is_list()) {
+        for (const Value& item : b.as_list()) {
+          if (item == a) {
+            contained = true;
+            break;
+          }
+        }
+      } else if (b.is_dict()) {
+        contained = b.member(a.str()) != nullptr;
+      }
+      return op_ == "in" ? contained : !contained;
+    }
+    throw TemplateError("unknown comparison operator: " + op_);
+  }
+
+ private:
+  FilterExpr lhs_;
+  std::string op_;
+  FilterExpr rhs_;
+};
+
+class NotBool : public BoolExpr {
+ public:
+  explicit NotBool(BoolExprPtr inner) : inner_(std::move(inner)) {}
+  bool evaluate(const Context& ctx) const override {
+    return !inner_->evaluate(ctx);
+  }
+
+ private:
+  BoolExprPtr inner_;
+};
+
+class BinaryBool : public BoolExpr {
+ public:
+  BinaryBool(bool is_and, BoolExprPtr lhs, BoolExprPtr rhs)
+      : is_and_(is_and), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  bool evaluate(const Context& ctx) const override {
+    // Short-circuit like Python.
+    if (is_and_) return lhs_->evaluate(ctx) && rhs_->evaluate(ctx);
+    return lhs_->evaluate(ctx) || rhs_->evaluate(ctx);
+  }
+
+ private:
+  bool is_and_;
+  BoolExprPtr lhs_;
+  BoolExprPtr rhs_;
+};
+
+bool is_comparison_op(const std::string& tok) {
+  return tok == "==" || tok == "!=" || tok == "<" || tok == "<=" ||
+         tok == ">" || tok == ">=" || tok == "in";
+}
+
+BoolExprPtr parse_or(TokenStream& ts);
+
+BoolExprPtr parse_unary(TokenStream& ts) {
+  if (ts.accept("not")) {
+    // "not x in y" parses as not (x in y), like Python.
+    return std::make_unique<NotBool>(parse_unary(ts));
+  }
+  FilterExpr lhs = parse_filtered(ts);
+  std::string op = ts.peek();
+  if (is_comparison_op(op)) {
+    ts.next();
+    return std::make_unique<CompareBool>(std::move(lhs), std::move(op),
+                                         parse_filtered(ts));
+  }
+  if (op == "not" ) {
+    // "x not in y"
+    ts.next();
+    if (!ts.accept("in")) throw TemplateError("expected 'in' after 'not'");
+    return std::make_unique<CompareBool>(std::move(lhs), "not_in",
+                                         parse_filtered(ts));
+  }
+  return std::make_unique<FilteredBool>(std::move(lhs));
+}
+
+BoolExprPtr parse_and(TokenStream& ts) {
+  BoolExprPtr lhs = parse_unary(ts);
+  while (ts.accept("and")) {
+    lhs = std::make_unique<BinaryBool>(true, std::move(lhs), parse_unary(ts));
+  }
+  return lhs;
+}
+
+BoolExprPtr parse_or(TokenStream& ts) {
+  BoolExprPtr lhs = parse_and(ts);
+  while (ts.accept("or")) {
+    lhs = std::make_unique<BinaryBool>(false, std::move(lhs), parse_and(ts));
+  }
+  return lhs;
+}
+
+}  // namespace
+
+BoolExprPtr parse_bool_expr(std::string_view text) {
+  TokenStream ts(tokenize_expression(text));
+  if (ts.done()) throw TemplateError("empty boolean expression");
+  BoolExprPtr expr = parse_or(ts);
+  if (!ts.done()) {
+    throw TemplateError("trailing tokens in expression: " + ts.peek());
+  }
+  return expr;
+}
+
+FilterExpr parse_filter_expr(std::string_view text) {
+  TokenStream ts(tokenize_expression(text));
+  if (ts.done()) throw TemplateError("empty expression");
+  FilterExpr fe = parse_filtered(ts);
+  if (!ts.done()) {
+    throw TemplateError("trailing tokens in expression: " + ts.peek());
+  }
+  return fe;
+}
+
+}  // namespace tempest::tmpl

@@ -1,0 +1,65 @@
+// Expression mini-language used inside {{ ... }} and {% if ... %}:
+// literals, dotted variable paths, filter chains, comparisons, and boolean
+// operators — the subset Django templates provide.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/template/context.h"
+#include "src/template/value.h"
+
+namespace tempest::tmpl {
+
+// A literal or a dotted variable path.
+struct Operand {
+  enum class Kind { kLiteral, kPath };
+  Kind kind = Kind::kLiteral;
+  Value literal;
+  std::string path;
+
+  // Unbound paths resolve to null (Django renders them empty).
+  Value resolve(const Context& ctx) const;
+};
+
+struct FilterCall {
+  std::string name;
+  std::optional<Operand> arg;
+};
+
+// operand | filter:arg | filter ...
+struct FilterExpr {
+  Operand operand;
+  std::vector<FilterCall> filters;
+
+  struct Result {
+    Value value;
+    bool safe = false;  // marked by the `safe` filter; skips autoescape
+  };
+
+  Result evaluate(const Context& ctx) const;
+};
+
+// Boolean expression tree for {% if %}.
+class BoolExpr {
+ public:
+  virtual ~BoolExpr() = default;
+  virtual bool evaluate(const Context& ctx) const = 0;
+};
+
+using BoolExprPtr = std::unique_ptr<BoolExpr>;
+
+// Parses "user.age >= 18 and not user.banned". Throws TemplateError.
+BoolExprPtr parse_bool_expr(std::string_view text);
+
+// Parses "items|length" / "'lit'|upper" (no boolean operators).
+FilterExpr parse_filter_expr(std::string_view text);
+
+// Tokenizes an expression respecting quoted strings; exposed for the tag
+// parser ({% for x in expr %} needs word-level splitting).
+std::vector<std::string> tokenize_expression(std::string_view text);
+
+}  // namespace tempest::tmpl

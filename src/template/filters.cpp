@@ -1,0 +1,269 @@
+#include "src/template/filters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <map>
+
+#include "src/common/strutil.h"
+
+namespace tempest::tmpl {
+
+namespace {
+
+using Result = FilterExpr::Result;
+using FilterFn =
+    std::function<Result(Result, const std::optional<Value>&)>;
+
+Value require_arg(const std::optional<Value>& arg, const char* filter) {
+  if (!arg) {
+    throw TemplateError(std::string("filter '") + filter +
+                        "' requires an argument");
+  }
+  return *arg;
+}
+
+std::string capfirst_impl(std::string s) {
+  if (!s.empty() && s[0] >= 'a' && s[0] <= 'z') {
+    s[0] = static_cast<char>(s[0] - 'a' + 'A');
+  }
+  return s;
+}
+
+const std::map<std::string, FilterFn>& registry() {
+  static const std::map<std::string, FilterFn> kFilters = {
+      {"upper",
+       [](Result in, const auto&) {
+         in.value = Value(to_upper(in.value.str()));
+         return in;
+       }},
+      {"lower",
+       [](Result in, const auto&) {
+         in.value = Value(to_lower(in.value.str()));
+         return in;
+       }},
+      {"capfirst",
+       [](Result in, const auto&) {
+         in.value = Value(capfirst_impl(in.value.str()));
+         return in;
+       }},
+      {"title",
+       [](Result in, const auto&) {
+         std::string s = to_lower(in.value.str());
+         bool start = true;
+         for (char& c : s) {
+           if (start && c >= 'a' && c <= 'z') c = static_cast<char>(c - 32);
+           start = (c == ' ');
+         }
+         in.value = Value(std::move(s));
+         return in;
+       }},
+      {"length",
+       [](Result in, const auto&) {
+         in.value = Value(static_cast<std::int64_t>(in.value.size()));
+         in.safe = true;
+         return in;
+       }},
+      {"default",
+       [](Result in, const std::optional<Value>& arg) {
+         if (!in.value.truthy()) {
+           in.value = require_arg(arg, "default");
+         }
+         return in;
+       }},
+      {"default_if_none",
+       [](Result in, const std::optional<Value>& arg) {
+         if (in.value.is_null()) {
+           in.value = require_arg(arg, "default_if_none");
+         }
+         return in;
+       }},
+      {"join",
+       [](Result in, const std::optional<Value>& arg) {
+         const std::string sep =
+             arg ? arg->str() : std::string(", ");
+         std::string out;
+         const List& items = in.value.as_list();
+         for (std::size_t i = 0; i < items.size(); ++i) {
+           if (i) out += sep;
+           out += items[i].str();
+         }
+         in.value = Value(std::move(out));
+         return in;
+       }},
+      {"first",
+       [](Result in, const auto&) {
+         const Value* v = in.value.index(0);
+         in.value = v ? *v : Value();
+         return in;
+       }},
+      {"last",
+       [](Result in, const auto&) {
+         const std::size_t n = in.value.size();
+         const Value* v = n ? in.value.index(n - 1) : nullptr;
+         in.value = v ? *v : Value();
+         return in;
+       }},
+      {"truncatewords",
+       [](Result in, const std::optional<Value>& arg) {
+         const auto limit =
+             static_cast<std::size_t>(require_arg(arg, "truncatewords").as_int());
+         const auto words = split(in.value.str(), ' ', /*keep_empty=*/false);
+         std::string out;
+         for (std::size_t i = 0; i < words.size() && i < limit; ++i) {
+           if (i) out += ' ';
+           out += words[i];
+         }
+         if (words.size() > limit) out += " ...";
+         in.value = Value(std::move(out));
+         return in;
+       }},
+      {"floatformat",
+       [](Result in, const std::optional<Value>& arg) {
+         const int decimals = arg ? static_cast<int>(arg->as_int()) : 1;
+         char buf[64];
+         std::snprintf(buf, sizeof(buf), "%.*f", std::max(decimals, 0),
+                       in.value.as_double());
+         in.value = Value(std::string(buf));
+         in.safe = true;
+         return in;
+       }},
+      {"add",
+       [](Result in, const std::optional<Value>& arg) {
+         const Value rhs = require_arg(arg, "add");
+         if (in.value.is_number() && rhs.is_number()) {
+           if (in.value.is_int() && rhs.is_int()) {
+             in.value = Value(in.value.as_int() + rhs.as_int());
+           } else {
+             in.value = Value(in.value.as_double() + rhs.as_double());
+           }
+         } else {
+           in.value = Value(in.value.str() + rhs.str());
+         }
+         return in;
+       }},
+      {"cut",
+       [](Result in, const std::optional<Value>& arg) {
+         const std::string needle = require_arg(arg, "cut").str();
+         std::string s = in.value.str();
+         if (!needle.empty()) {
+           std::size_t pos = 0;
+           while ((pos = s.find(needle, pos)) != std::string::npos) {
+             s.erase(pos, needle.size());
+           }
+         }
+         in.value = Value(std::move(s));
+         return in;
+       }},
+      {"yesno",
+       [](Result in, const std::optional<Value>& arg) {
+         const std::string choices =
+             arg ? arg->str() : std::string("yes,no,maybe");
+         const auto parts = split(choices, ',');
+         std::string out;
+         if (in.value.is_null() && parts.size() >= 3) {
+           out = parts[2];
+         } else if (in.value.truthy()) {
+           out = parts.empty() ? "yes" : parts[0];
+         } else {
+           out = parts.size() >= 2 ? parts[1] : "no";
+         }
+         in.value = Value(std::move(out));
+         return in;
+       }},
+      {"escape",
+       [](Result in, const auto&) {
+         in.value = Value(html_escape(in.value.str()));
+         in.safe = true;
+         return in;
+       }},
+      {"safe",
+       [](Result in, const auto&) {
+         in.safe = true;
+         return in;
+       }},
+      {"urlencode",
+       [](Result in, const auto&) {
+         in.value = Value(url_encode(in.value.str()));
+         in.safe = true;
+         return in;
+       }},
+      {"pluralize",
+       [](Result in, const std::optional<Value>& arg) {
+         const std::string suffixes = arg ? arg->str() : std::string("s");
+         const auto parts = split(suffixes, ',');
+         const std::string singular = parts.size() >= 2 ? parts[0] : "";
+         const std::string plural =
+             parts.size() >= 2 ? parts[1] : (parts.empty() ? "s" : parts[0]);
+         const bool is_one = in.value.is_number() &&
+                             in.value.as_double() == 1.0;
+         in.value = Value(is_one ? singular : plural);
+         return in;
+       }},
+      {"stringformat",
+       [](Result in, const std::optional<Value>& arg) {
+         const std::string spec = "%" + require_arg(arg, "stringformat").str();
+         char buf[128];
+         if (spec.find('d') != std::string::npos) {
+           std::snprintf(buf, sizeof(buf), spec.c_str(),
+                         static_cast<long long>(in.value.as_int()));
+         } else if (spec.find('f') != std::string::npos ||
+                    spec.find('g') != std::string::npos) {
+           std::snprintf(buf, sizeof(buf), spec.c_str(), in.value.as_double());
+         } else {
+           std::snprintf(buf, sizeof(buf), spec.c_str(),
+                         in.value.str().c_str());
+         }
+         in.value = Value(std::string(buf));
+         return in;
+       }},
+      {"slice",
+       [](Result in, const std::optional<Value>& arg) {
+         // Supports ":N" and "N:" and "N:M" like Django's slice filter.
+         const std::string spec = require_arg(arg, "slice").str();
+         const auto [lo_s, hi_s] = split_once(spec, ':');
+         const List& items = in.value.as_list();
+         std::size_t lo = lo_s.empty()
+                              ? 0
+                              : std::strtoull(std::string(lo_s).c_str(), nullptr, 10);
+         std::size_t hi = hi_s.empty()
+                              ? items.size()
+                              : std::strtoull(std::string(hi_s).c_str(), nullptr, 10);
+         lo = std::min(lo, items.size());
+         hi = std::min(hi, items.size());
+         List out;
+         for (std::size_t i = lo; i < hi; ++i) out.push_back(items[i]);
+         in.value = Value(std::move(out));
+         return in;
+       }},
+      {"divisibleby",
+       [](Result in, const std::optional<Value>& arg) {
+         const std::int64_t d = require_arg(arg, "divisibleby").as_int();
+         in.value = Value(d != 0 && in.value.as_int() % d == 0);
+         return in;
+       }},
+  };
+  return kFilters;
+}
+
+}  // namespace
+
+FilterExpr::Result apply_filter(const std::string& name,
+                                FilterExpr::Result input,
+                                const std::optional<Value>& arg) {
+  const auto& filters = registry();
+  const auto it = filters.find(name);
+  if (it == filters.end()) {
+    throw TemplateError("unknown filter: " + name);
+  }
+  return it->second(std::move(input), arg);
+}
+
+std::vector<std::string> registered_filter_names() {
+  std::vector<std::string> names;
+  for (const auto& [name, fn] : registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace tempest::tmpl

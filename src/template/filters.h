@@ -1,0 +1,23 @@
+// Django-compatible template filters. Filters transform values inside
+// {{ var|filter:arg }} chains; `safe` and `escape` manage autoescaping.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/template/expr.h"
+#include "src/template/value.h"
+
+namespace tempest::tmpl {
+
+// Applies filter `name` to `input`; throws TemplateError for unknown filters
+// or invalid arguments. The `safe` flag on the result is propagated/updated.
+FilterExpr::Result apply_filter(const std::string& name,
+                                FilterExpr::Result input,
+                                const std::optional<Value>& arg);
+
+// Names of all registered filters (for documentation and tests).
+std::vector<std::string> registered_filter_names();
+
+}  // namespace tempest::tmpl

@@ -1,0 +1,75 @@
+#include "src/template/lexer.h"
+
+#include "src/common/strutil.h"
+
+namespace tempest::tmpl {
+
+namespace {
+std::size_t count_lines(std::string_view s, std::size_t upto) {
+  std::size_t lines = 1;
+  for (std::size_t i = 0; i < upto && i < s.size(); ++i) {
+    if (s[i] == '\n') ++lines;
+  }
+  return lines;
+}
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t pos = 0;
+  while (pos < source.size()) {
+    const std::size_t open = source.find('{', pos);
+    if (open == std::string_view::npos || open + 1 >= source.size()) {
+      tokens.push_back(
+          {TokenKind::kText, std::string(source.substr(pos)), count_lines(source, pos)});
+      break;
+    }
+    const char next = source[open + 1];
+    if (next != '{' && next != '%' && next != '#') {
+      // Not a tag opener; include the '{' in the preceding text.
+      const std::size_t scan_from = open + 1;
+      if (scan_from >= source.size()) {
+        tokens.push_back({TokenKind::kText, std::string(source.substr(pos)),
+                          count_lines(source, pos)});
+        break;
+      }
+      // Emit text up to and including this '{' then continue scanning.
+      tokens.push_back({TokenKind::kText,
+                        std::string(source.substr(pos, scan_from - pos)),
+                        count_lines(source, pos)});
+      pos = scan_from;
+      continue;
+    }
+    if (open > pos) {
+      tokens.push_back({TokenKind::kText,
+                        std::string(source.substr(pos, open - pos)),
+                        count_lines(source, pos)});
+    }
+    const char* close_seq = next == '{' ? "}}" : (next == '%' ? "%}" : "#}");
+    const TokenKind kind = next == '{'   ? TokenKind::kVariable
+                           : next == '%' ? TokenKind::kTag
+                                         : TokenKind::kComment;
+    const std::size_t close = source.find(close_seq, open + 2);
+    if (close == std::string_view::npos) {
+      throw TemplateError("unterminated tag at line " +
+                          std::to_string(count_lines(source, open)));
+    }
+    const std::string_view inner = source.substr(open + 2, close - open - 2);
+    tokens.push_back(
+        {kind, std::string(trim(inner)), count_lines(source, open)});
+    pos = close + 2;
+  }
+  // Merge adjacent text tokens produced by lone '{' handling.
+  std::vector<Token> merged;
+  for (auto& t : tokens) {
+    if (t.kind == TokenKind::kText && !merged.empty() &&
+        merged.back().kind == TokenKind::kText) {
+      merged.back().content += t.content;
+    } else {
+      merged.push_back(std::move(t));
+    }
+  }
+  return merged;
+}
+
+}  // namespace tempest::tmpl

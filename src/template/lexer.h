@@ -1,0 +1,24 @@
+// Template lexer: splits source into literal text, {{ variable }} tags,
+// {% block %} tags, and {# comment #} tags.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/template/value.h"
+
+namespace tempest::tmpl {
+
+enum class TokenKind { kText, kVariable, kTag, kComment };
+
+struct Token {
+  TokenKind kind;
+  std::string content;  // inner content, trimmed for non-text tokens
+  std::size_t line;     // 1-based line of the token start, for diagnostics
+};
+
+// Throws TemplateError on unterminated tags.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace tempest::tmpl

@@ -1,0 +1,57 @@
+#include "src/template/loader.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace tempest::tmpl {
+
+void MemoryLoader::add(std::string name, std::string source) {
+  std::lock_guard lock(mu_);
+  cache_.erase(name);
+  sources_[std::move(name)] = std::move(source);
+}
+
+std::shared_ptr<const Template> MemoryLoader::load(
+    const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto cached = cache_.find(name);
+  if (cached != cache_.end()) return cached->second;
+  const auto src = sources_.find(name);
+  if (src == sources_.end()) {
+    throw TemplateError("template not found: " + name);
+  }
+  auto compiled = Template::compile(src->second, name);
+  cache_[name] = compiled;
+  return compiled;
+}
+
+bool MemoryLoader::contains(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return sources_.count(name) > 0;
+}
+
+std::size_t MemoryLoader::size() const {
+  std::lock_guard lock(mu_);
+  return sources_.size();
+}
+
+std::shared_ptr<const Template> DirectoryLoader::load(
+    const std::string& name) const {
+  if (name.find("..") != std::string::npos) {
+    throw TemplateError("invalid template name: " + name);
+  }
+  std::lock_guard lock(mu_);
+  const auto cached = cache_.find(name);
+  if (cached != cache_.end()) return cached->second;
+  std::ifstream file(root_ + "/" + name);
+  if (!file) {
+    throw TemplateError("template not found: " + root_ + "/" + name);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  auto compiled = Template::compile(buffer.str(), name);
+  cache_[name] = compiled;
+  return compiled;
+}
+
+}  // namespace tempest::tmpl

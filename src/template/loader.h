@@ -1,0 +1,60 @@
+// Template loaders: resolve template names to compiled templates, with a
+// thread-safe compilation cache (CherryPy/Django keep compiled templates
+// cached across requests; so do we).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/template/template.h"
+
+namespace tempest::tmpl {
+
+class TemplateLoader {
+ public:
+  virtual ~TemplateLoader() = default;
+
+  // Throws TemplateError if the template does not exist or fails to compile.
+  virtual std::shared_ptr<const Template> load(
+      const std::string& name) const = 0;
+};
+
+// In-memory source registry; the TPC-W application registers its 14 page
+// templates here.
+class MemoryLoader : public TemplateLoader {
+ public:
+  void add(std::string name, std::string source);
+
+  std::shared_ptr<const Template> load(const std::string& name) const override;
+
+  bool contains(const std::string& name) const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> sources_;
+  mutable std::map<std::string, std::shared_ptr<const Template>> cache_;
+};
+
+// Reads templates from a directory tree; caches compiled templates.
+class DirectoryLoader : public TemplateLoader {
+ public:
+  explicit DirectoryLoader(std::string root) : root_(std::move(root)) {}
+
+  std::shared_ptr<const Template> load(const std::string& name) const override;
+
+ private:
+  const std::string root_;
+  mutable std::mutex mu_;
+  mutable std::map<std::string, std::shared_ptr<const Template>> cache_;
+};
+
+// Django's get_template(), against an explicit loader.
+inline std::shared_ptr<const Template> get_template(
+    const TemplateLoader& loader, const std::string& name) {
+  return loader.load(name);
+}
+
+}  // namespace tempest::tmpl

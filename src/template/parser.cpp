@@ -1,0 +1,250 @@
+#include "src/template/parser.h"
+
+#include <algorithm>
+
+#include "src/common/strutil.h"
+#include "src/template/lexer.h"
+
+namespace tempest::tmpl {
+
+namespace {
+
+// First word of a tag's content ("if" of "if a and b").
+std::pair<std::string_view, std::string_view> tag_parts(
+    std::string_view content) {
+  const std::size_t sp = content.find(' ');
+  if (sp == std::string_view::npos) return {content, {}};
+  return {content.substr(0, sp), trim(content.substr(sp + 1))};
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::string template_name)
+      : tokens_(std::move(tokens)), name_(std::move(template_name)) {}
+
+  ParsedTemplate parse() {
+    ParsedTemplate out;
+    out.nodes = parse_list({}, nullptr);
+    out.parent = std::move(parent_);
+    out.blocks = std::move(blocks_);
+    return out;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message, std::size_t line) {
+    throw TemplateError(name_ + ":" + std::to_string(line) + ": " + message);
+  }
+
+  bool done() const { return pos_ >= tokens_.size(); }
+
+  const Token& peek() const { return tokens_[pos_]; }
+
+  Token next() { return tokens_[pos_++]; }
+
+  // Parses nodes until one of `stop_tags` is seen (consumed; its name is
+  // written to *stopped_at) or the stream ends (requires empty stop set).
+  NodeList parse_list(const std::vector<std::string>& stop_tags,
+                      std::string* stopped_at) {
+    NodeList nodes;
+    while (!done()) {
+      Token token = next();
+      switch (token.kind) {
+        case TokenKind::kText:
+          nodes.push_back(std::make_unique<TextNode>(std::move(token.content)));
+          break;
+        case TokenKind::kComment:
+          break;  // dropped
+        case TokenKind::kVariable:
+          if (token.content.empty()) fail("empty variable tag", token.line);
+          nodes.push_back(std::make_unique<VariableNode>(
+              parse_filter_expr(token.content)));
+          break;
+        case TokenKind::kTag: {
+          const auto [tag, rest] = tag_parts(token.content);
+          if (std::find(stop_tags.begin(), stop_tags.end(), tag) !=
+              stop_tags.end()) {
+            if (stopped_at) *stopped_at = std::string(tag);
+            last_tag_rest_ = std::string(rest);
+            return nodes;
+          }
+          nodes.push_back(parse_tag(std::string(tag), rest, token.line));
+          break;
+        }
+      }
+    }
+    if (!stop_tags.empty()) {
+      std::string expected;
+      for (const auto& t : stop_tags) expected += (expected.empty() ? "" : "/") + t;
+      throw TemplateError(name_ + ": unexpected end of template, expected {% " +
+                          expected + " %}");
+    }
+    return nodes;
+  }
+
+  NodePtr parse_tag(const std::string& tag, std::string_view rest,
+                    std::size_t line) {
+    if (tag == "if") return parse_if(rest, line);
+    if (tag == "for") return parse_for(rest, line);
+    if (tag == "with") return parse_with(rest, line);
+    if (tag == "block") return parse_block(rest, line);
+    if (tag == "include") {
+      if (rest.empty()) fail("include requires a template name", line);
+      const auto toks = tokenize_expression(rest);
+      FilterExpr fe = parse_filter_expr(toks[0]);
+      return std::make_unique<IncludeNode>(std::move(fe.operand));
+    }
+    if (tag == "extends") {
+      if (parent_) fail("multiple {% extends %} tags", line);
+      const auto toks = tokenize_expression(rest);
+      if (toks.empty()) fail("extends requires a template name", line);
+      FilterExpr fe = parse_filter_expr(toks[0]);
+      Context empty;
+      parent_ = fe.operand.resolve(empty).str();
+      if (parent_->empty()) fail("extends requires a literal name", line);
+      return std::make_unique<TextNode>("");
+    }
+    if (tag == "cycle" || tag == "firstof") {
+      std::vector<Operand> operands;
+      for (const std::string& token : tokenize_expression(rest)) {
+        FilterExpr fe = parse_filter_expr(token);
+        operands.push_back(std::move(fe.operand));
+      }
+      if (operands.empty()) fail(tag + " requires arguments", line);
+      if (tag == "cycle") {
+        return std::make_unique<CycleNode>(std::move(operands));
+      }
+      return std::make_unique<FirstOfNode>(std::move(operands));
+    }
+    if (tag == "ifchanged") {
+      std::string stopped;
+      NodeList body = parse_list({"endifchanged"}, &stopped);
+      return std::make_unique<IfChangedNode>(std::move(body));
+    }
+    if (tag == "spaceless") {
+      std::string stopped;
+      NodeList body = parse_list({"endspaceless"}, &stopped);
+      return std::make_unique<SpacelessNode>(std::move(body));
+    }
+    if (tag == "comment") {
+      // Swallow everything until endcomment.
+      std::string stopped;
+      parse_list({"endcomment"}, &stopped);
+      return std::make_unique<TextNode>("");
+    }
+    fail("unknown tag: " + tag, line);
+  }
+
+  NodePtr parse_if(std::string_view condition, std::size_t line) {
+    if (condition.empty()) fail("if requires a condition", line);
+    std::vector<IfNode::Branch> branches;
+    std::string condition_text(condition);
+    while (true) {
+      IfNode::Branch branch;
+      branch.condition = parse_bool_expr(condition_text);
+      std::string stopped;
+      branch.body = parse_list({"elif", "else", "endif"}, &stopped);
+      branches.push_back(std::move(branch));
+      if (stopped == "endif") break;
+      if (stopped == "else") {
+        IfNode::Branch else_branch;
+        std::string stopped2;
+        else_branch.body = parse_list({"endif"}, &stopped2);
+        branches.push_back(std::move(else_branch));
+        break;
+      }
+      // elif: its condition is the rest of the tag we consumed inside
+      // parse_list — but parse_list only returned the tag name. Re-read it.
+      condition_text = last_tag_rest_;
+      if (condition_text.empty()) fail("elif requires a condition", line);
+    }
+    return std::make_unique<IfNode>(std::move(branches));
+  }
+
+  NodePtr parse_for(std::string_view rest, std::size_t line) {
+    // "<var>[, <var2>] in <expr> [reversed]"
+    const std::size_t in_pos = find_word(rest, "in");
+    if (in_pos == std::string_view::npos) {
+      fail("for tag requires 'in'", line);
+    }
+    std::string vars_part(trim(rest.substr(0, in_pos)));
+    std::string_view expr_part = trim(rest.substr(in_pos + 2));
+    bool reversed = false;
+    if (ends_with(expr_part, " reversed")) {
+      reversed = true;
+      expr_part = trim(expr_part.substr(0, expr_part.size() - 9));
+    }
+    std::vector<std::string> loop_vars;
+    for (const auto& v : split(vars_part, ',', /*keep_empty=*/false)) {
+      loop_vars.emplace_back(trim(v));
+    }
+    if (loop_vars.empty()) fail("for tag requires a loop variable", line);
+    FilterExpr iterable = parse_filter_expr(expr_part);
+
+    std::string stopped;
+    NodeList body = parse_list({"empty", "endfor"}, &stopped);
+    NodeList empty_body;
+    if (stopped == "empty") {
+      std::string stopped2;
+      empty_body = parse_list({"endfor"}, &stopped2);
+    }
+    return std::make_unique<ForNode>(std::move(loop_vars), std::move(iterable),
+                                     reversed, std::move(body),
+                                     std::move(empty_body));
+  }
+
+  NodePtr parse_with(std::string_view rest, std::size_t line) {
+    // "name=expr"
+    bool found = false;
+    const auto [name, expr] = split_once(rest, '=', &found);
+    if (!found || trim(name).empty()) {
+      fail("with tag requires name=expression", line);
+    }
+    std::string stopped;
+    NodeList body = parse_list({"endwith"}, &stopped);
+    return std::make_unique<WithNode>(std::string(trim(name)),
+                                      parse_filter_expr(trim(expr)),
+                                      std::move(body));
+  }
+
+  NodePtr parse_block(std::string_view rest, std::size_t line) {
+    const std::string block_name(trim(rest));
+    if (block_name.empty()) fail("block requires a name", line);
+    std::string stopped;
+    NodeList body = parse_list({"endblock"}, &stopped);
+    auto node = std::make_unique<BlockNode>(block_name, std::move(body));
+    if (blocks_.count(block_name)) {
+      fail("duplicate block name: " + block_name, line);
+    }
+    blocks_[block_name] = node.get();
+    return node;
+  }
+
+  static std::size_t find_word(std::string_view text, std::string_view word) {
+    std::size_t pos = 0;
+    while ((pos = text.find(word, pos)) != std::string_view::npos) {
+      const bool left_ok = pos == 0 || text[pos - 1] == ' ';
+      const bool right_ok = pos + word.size() == text.size() ||
+                            text[pos + word.size()] == ' ';
+      if (left_ok && right_ok) return pos;
+      ++pos;
+    }
+    return std::string_view::npos;
+  }
+
+  std::vector<Token> tokens_;
+  std::string name_;
+  std::size_t pos_ = 0;
+  std::optional<std::string> parent_;
+  std::map<std::string, const BlockNode*> blocks_;
+  std::string last_tag_rest_;  // rest-of-tag of the last stop tag consumed
+};
+
+}  // namespace
+
+ParsedTemplate parse_template(std::string_view source,
+                              const std::string& name) {
+  Parser parser(lex(source), name);
+  return parser.parse();
+}
+
+}  // namespace tempest::tmpl

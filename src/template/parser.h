@@ -1,0 +1,22 @@
+// Tag parser: builds the node tree from the lexer's token stream.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/template/ast.h"
+
+namespace tempest::tmpl {
+
+struct ParsedTemplate {
+  NodeList nodes;
+  std::optional<std::string> parent;             // from {% extends %}
+  std::map<std::string, const BlockNode*> blocks;  // name -> node in `nodes`
+};
+
+// Throws TemplateError (with `name` and line numbers) on malformed input.
+ParsedTemplate parse_template(std::string_view source, const std::string& name);
+
+}  // namespace tempest::tmpl

@@ -1,0 +1,75 @@
+#include "src/template/template.h"
+
+#include "src/template/loader.h"
+#include "src/template/parser.h"
+
+namespace tempest::tmpl {
+
+namespace {
+// Grants access to Template's private constructor/members for assembly.
+struct Builder;
+}  // namespace
+
+struct TemplateBuilder {
+  static std::shared_ptr<const Template> build(ParsedTemplate parsed,
+                                               std::string name) {
+    auto tmpl = std::shared_ptr<Template>(new Template());
+    tmpl->nodes_ = std::move(parsed.nodes);
+    tmpl->parent_ = std::move(parsed.parent);
+    tmpl->blocks_ = std::move(parsed.blocks);
+    tmpl->name_ = std::move(name);
+    return tmpl;
+  }
+};
+
+std::shared_ptr<const Template> Template::compile(std::string_view source,
+                                                  std::string name) {
+  ParsedTemplate parsed = parse_template(source, name);
+  return TemplateBuilder::build(std::move(parsed), std::move(name));
+}
+
+std::string Template::render(const Dict& data, const TemplateLoader* loader,
+                             bool autoescape) const {
+  Context ctx(data);
+  return render(ctx, loader, autoescape);
+}
+
+std::string Template::render(Context& ctx, const TemplateLoader* loader,
+                             bool autoescape) const {
+  RenderState state;
+  state.loader = loader;
+  state.autoescape = autoescape;
+
+  // Template inheritance: walk up the {% extends %} chain, recording the
+  // child-most override for each block name, then render the root ancestor.
+  const Template* current = this;
+  std::shared_ptr<const Template> held;  // keeps ancestors alive
+  std::vector<std::shared_ptr<const Template>> chain;
+  while (current->parent_) {
+    for (const auto& [block_name, node] : current->blocks_) {
+      state.block_overrides.emplace(block_name, node);  // child-most wins
+    }
+    if (loader == nullptr) {
+      throw TemplateError("{% extends %} used without a template loader");
+    }
+    if (++state.depth > RenderState::kMaxDepth) {
+      throw TemplateError("template inheritance depth exceeded");
+    }
+    held = loader->load(*current->parent_);
+    chain.push_back(held);
+    current = held.get();
+  }
+  state.depth = 0;
+
+  std::string out;
+  out.reserve(1024);
+  current->render_into(ctx, state, out);
+  return out;
+}
+
+void Template::render_into(Context& ctx, RenderState& state,
+                           std::string& out) const {
+  render_nodes(nodes_, ctx, state, out);
+}
+
+}  // namespace tempest::tmpl

@@ -1,0 +1,57 @@
+// Compiled template and the rendering entry points.
+//
+// Usage mirrors the paper's Django examples (Figures 2-3):
+//
+//   auto tmpl = Template::compile("<h1>{{ heading }}</h1>");
+//   std::string html = tmpl->render({{"heading", Value("Hello")}});
+//
+// Templates are immutable after compilation and safe to render from many
+// threads concurrently.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/template/ast.h"
+
+namespace tempest::tmpl {
+
+class TemplateLoader;
+
+class Template {
+ public:
+  // Compiles `source`; throws TemplateError with `name` in diagnostics.
+  static std::shared_ptr<const Template> compile(
+      std::string_view source, std::string name = "<string>");
+
+  // Renders with a fresh context seeded from `data`. The loader is needed
+  // only when the template uses {% include %} or {% extends %}.
+  std::string render(const Dict& data,
+                     const TemplateLoader* loader = nullptr,
+                     bool autoescape = true) const;
+
+  std::string render(Context& ctx, const TemplateLoader* loader = nullptr,
+                     bool autoescape = true) const;
+
+  const std::string& name() const { return name_; }
+  const std::optional<std::string>& parent_name() const { return parent_; }
+  const std::map<std::string, const BlockNode*>& blocks() const {
+    return blocks_;
+  }
+
+  // Internal: renders into `out` with existing state (include/extends).
+  void render_into(Context& ctx, RenderState& state, std::string& out) const;
+
+ private:
+  friend struct TemplateBuilder;
+  Template() = default;
+
+  NodeList nodes_;
+  std::string name_;
+  std::optional<std::string> parent_;
+  std::map<std::string, const BlockNode*> blocks_;
+};
+
+}  // namespace tempest::tmpl

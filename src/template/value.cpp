@@ -1,0 +1,187 @@
+#include "src/template/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tempest::tmpl {
+
+Value::Type Value::type() const {
+  return static_cast<Type>(data_.index());
+}
+
+const char* Value::type_name() const {
+  switch (type()) {
+    case Type::kNull: return "null";
+    case Type::kBool: return "bool";
+    case Type::kInt: return "int";
+    case Type::kDouble: return "double";
+    case Type::kString: return "string";
+    case Type::kList: return "list";
+    case Type::kDict: return "dict";
+  }
+  return "?";
+}
+
+bool Value::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&data_)) return *b;
+  throw TemplateError(std::string("expected bool, got ") + type_name());
+}
+
+std::int64_t Value::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) return *i;
+  throw TemplateError(std::string("expected int, got ") + type_name());
+}
+
+double Value::as_double() const {
+  if (const auto* d = std::get_if<double>(&data_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) {
+    return static_cast<double>(*i);
+  }
+  throw TemplateError(std::string("expected number, got ") + type_name());
+}
+
+const std::string& Value::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&data_)) return *s;
+  throw TemplateError(std::string("expected string, got ") + type_name());
+}
+
+const List& Value::as_list() const {
+  if (const auto* l = std::get_if<std::shared_ptr<List>>(&data_)) return **l;
+  throw TemplateError(std::string("expected list, got ") + type_name());
+}
+
+const Dict& Value::as_dict() const {
+  if (const auto* d = std::get_if<std::shared_ptr<Dict>>(&data_)) return **d;
+  throw TemplateError(std::string("expected dict, got ") + type_name());
+}
+
+bool Value::truthy() const {
+  switch (type()) {
+    case Type::kNull: return false;
+    case Type::kBool: return std::get<bool>(data_);
+    case Type::kInt: return std::get<std::int64_t>(data_) != 0;
+    case Type::kDouble: return std::get<double>(data_) != 0.0;
+    case Type::kString: return !std::get<std::string>(data_).empty();
+    case Type::kList: return !as_list().empty();
+    case Type::kDict: return !as_dict().empty();
+  }
+  return false;
+}
+
+std::string Value::str() const {
+  switch (type()) {
+    case Type::kNull: return "";
+    case Type::kBool: return std::get<bool>(data_) ? "True" : "False";
+    case Type::kInt: return std::to_string(std::get<std::int64_t>(data_));
+    case Type::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(data_));
+      return buf;
+    }
+    case Type::kString: return std::get<std::string>(data_);
+    case Type::kList: {
+      std::string out = "[";
+      const List& l = as_list();
+      for (std::size_t i = 0; i < l.size(); ++i) {
+        if (i) out += ", ";
+        out += l[i].str();
+      }
+      return out + "]";
+    }
+    case Type::kDict: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [k, v] : as_dict()) {
+        if (!first) out += ", ";
+        first = false;
+        out += k + ": " + v.str();
+      }
+      return out + "}";
+    }
+  }
+  return "";
+}
+
+const Value* Value::member(const std::string& key) const {
+  if (const auto* d = std::get_if<std::shared_ptr<Dict>>(&data_)) {
+    const auto it = (*d)->find(key);
+    if (it != (*d)->end()) return &it->second;
+  }
+  return nullptr;
+}
+
+const Value* Value::index(std::size_t i) const {
+  if (const auto* l = std::get_if<std::shared_ptr<List>>(&data_)) {
+    if (i < (*l)->size()) return &(**l)[i];
+  }
+  return nullptr;
+}
+
+std::size_t Value::size() const {
+  switch (type()) {
+    case Type::kString: return std::get<std::string>(data_).size();
+    case Type::kList: return as_list().size();
+    case Type::kDict: return as_dict().size();
+    default: return 0;
+  }
+}
+
+void Value::set(const std::string& key, Value v) {
+  if (auto* d = std::get_if<std::shared_ptr<Dict>>(&data_)) {
+    (**d)[key] = std::move(v);
+    return;
+  }
+  if (is_null()) {
+    data_ = std::make_shared<Dict>();
+    (*std::get<std::shared_ptr<Dict>>(data_))[key] = std::move(v);
+    return;
+  }
+  throw TemplateError(std::string("set() on non-dict value: ") + type_name());
+}
+
+void Value::push_back(Value v) {
+  if (auto* l = std::get_if<std::shared_ptr<List>>(&data_)) {
+    (*l)->push_back(std::move(v));
+    return;
+  }
+  if (is_null()) {
+    data_ = std::make_shared<List>();
+    std::get<std::shared_ptr<List>>(data_)->push_back(std::move(v));
+    return;
+  }
+  throw TemplateError(std::string("push_back() on non-list value: ") +
+                      type_name());
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.is_number() && b.is_number()) {
+    if (a.is_int() && b.is_int()) return a.as_int() == b.as_int();
+    return a.as_double() == b.as_double();
+  }
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case Value::Type::kNull: return true;
+    case Value::Type::kBool: return a.as_bool() == b.as_bool();
+    case Value::Type::kString: return a.as_string() == b.as_string();
+    case Value::Type::kList: return a.as_list() == b.as_list();
+    case Value::Type::kDict: return a.as_dict() == b.as_dict();
+    default: return false;
+  }
+}
+
+int Value::compare(const Value& a, const Value& b) {
+  if (a.is_number() && b.is_number()) {
+    const double x = a.as_double();
+    const double y = b.as_double();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a.is_string() && b.is_string()) {
+    return a.as_string().compare(b.as_string());
+  }
+  throw TemplateError(std::string("cannot order ") + a.type_name() + " vs " +
+                      b.type_name());
+}
+
+}  // namespace tempest::tmpl

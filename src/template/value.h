@@ -1,0 +1,93 @@
+// Dynamic value model for template rendering contexts — the C++ analogue of
+// the Python dict the paper's handlers return alongside a template name
+// ("return (\"tmpl.html\", data)", Section 3.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tempest::tmpl {
+
+class TemplateError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Value;
+
+using List = std::vector<Value>;
+using Dict = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kList, kDict };
+
+  Value() : data_(std::monostate{}) {}
+  Value(std::nullptr_t) : Value() {}
+  Value(bool b) : data_(b) {}
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(long i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(long long i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(unsigned u) : data_(static_cast<std::int64_t>(u)) {}
+  Value(double d) : data_(d) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(List l) : data_(std::make_shared<List>(std::move(l))) {}
+  Value(Dict d) : data_(std::make_shared<Dict>(std::move(d))) {}
+
+  Type type() const;
+  const char* type_name() const;
+
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_list() const { return type() == Type::kList; }
+  bool is_dict() const { return type() == Type::kDict; }
+
+  // Checked accessors; throw TemplateError on type mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;  // accepts int too
+  const std::string& as_string() const;
+  const List& as_list() const;
+  const Dict& as_dict() const;
+
+  // Django truthiness: null/false/0/""/empty containers are falsy.
+  bool truthy() const;
+
+  // Display form used when substituting into output.
+  std::string str() const;
+
+  // Container helpers. Return nullptr when absent / wrong type.
+  const Value* member(const std::string& key) const;
+  const Value* index(std::size_t i) const;
+  std::size_t size() const;
+
+  // Mutating helpers for building contexts (dict/list are shared; mutation is
+  // only safe before the value is handed to a renderer).
+  void set(const std::string& key, Value v);
+  void push_back(Value v);
+
+  // Deep structural equality with int/double numeric coercion.
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  // Orders numbers numerically and strings lexicographically; throws
+  // TemplateError for unordered type pairs.
+  static int compare(const Value& a, const Value& b);
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string,
+               std::shared_ptr<List>, std::shared_ptr<Dict>>
+      data_;
+};
+
+}  // namespace tempest::tmpl

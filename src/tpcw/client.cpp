@@ -1,0 +1,105 @@
+#include "src/tpcw/client.h"
+
+#include <algorithm>
+
+#include "src/common/clock.h"
+#include "src/common/strutil.h"
+#include "src/tpcw/mix.h"
+
+namespace tempest::tpcw {
+
+namespace {
+
+std::string make_get(const std::string& url) {
+  return "GET " + url +
+         " HTTP/1.1\r\n"
+         "Host: bookstore.example\r\n"
+         "User-Agent: tpcw-rbe/1.0\r\n"
+         "Accept: text/html\r\n"
+         "\r\n";
+}
+
+bool response_ok(const std::string& response) {
+  return starts_with(response, "HTTP/1.1 200") ||
+         starts_with(response, "HTTP/1.0 200");
+}
+
+}  // namespace
+
+ClientFleet::ClientFleet(server::WebServer& server, ClientConfig config)
+    : server_(server), config_(std::move(config)) {}
+
+ClientFleet::~ClientFleet() { stop_and_join(); }
+
+void ClientFleet::start() {
+  fleet_epoch_ = paper_now();
+  browsers_.reserve(config_.num_clients);
+  for (std::size_t id = 0; id < config_.num_clients; ++id) {
+    browsers_.emplace_back([this, id] { browser_loop(id); });
+  }
+}
+
+void ClientFleet::stop_and_join() {
+  stop_.store(true);
+  for (auto& browser : browsers_) {
+    if (browser.joinable()) browser.join();
+  }
+  browsers_.clear();
+}
+
+void ClientFleet::browser_loop(std::size_t id) {
+  Rng rng(config_.seed * 7919 + id);
+  server::InProcClient client(server_);
+  const std::int64_t c_id = rng.uniform_int(1, config_.scale.customers);
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const std::string& page = sample_page(rng);
+    const std::string url = build_url(page, rng, config_.scale, c_id);
+
+    // One web interaction: the dynamic page plus its embedded images, timed
+    // first byte out to last byte in.
+    const Stopwatch interaction;
+    bool ok = response_ok(client.roundtrip(make_get(url)));
+    if (ok && config_.fetch_images) {
+      for (const std::string& img : embedded_images(page, rng)) {
+        if (stop_.load(std::memory_order_relaxed)) break;
+        ok = response_ok(client.roundtrip(make_get(img))) && ok;
+      }
+    }
+    const double response_time = interaction.elapsed_paper();
+    if (!ok) errors_.fetch_add(1, std::memory_order_relaxed);
+
+    const double t = paper_now() - fleet_epoch_;
+    if (t >= config_.measure_start_paper_s &&
+        t < config_.measure_end_paper_s) {
+      std::lock_guard lock(mu_);
+      page_stats_[page].add(response_time);
+    }
+
+    const double think =
+        std::clamp(rng.exponential(config_.think_mean_paper_s),
+                   config_.think_min_paper_s, config_.think_cap_paper_s);
+    paper_sleep_for(think);
+  }
+}
+
+std::map<std::string, OnlineStats> ClientFleet::page_response_stats() const {
+  std::lock_guard lock(mu_);
+  return page_stats_;
+}
+
+std::map<std::string, std::uint64_t> ClientFleet::page_counts() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [page, stats] : page_stats_) out[page] = stats.count();
+  return out;
+}
+
+std::uint64_t ClientFleet::total_interactions() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [page, stats] : page_stats_) total += stats.count();
+  return total;
+}
+
+}  // namespace tempest::tpcw

@@ -1,0 +1,72 @@
+// Emulated-browser workload generator (the TPC-W RBE): a fleet of closed-
+// loop clients, each thinking 0.7-7 paper-seconds between interactions
+// (Section 4.1), loading a page and its embedded images, and measuring the
+// client-side web interaction response time — first request byte to last
+// response byte — which is what Table 3 reports.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/server/transport.h"
+#include "src/tpcw/schema.h"
+
+namespace tempest::tpcw {
+
+struct ClientConfig {
+  std::size_t num_clients = 400;
+  // TPC-W think time: negative exponential with the standard 7 s mean,
+  // clamped to [0.7, 70] paper-seconds (the paper quotes the standard 0.7-7 s
+  // range; the TPC-W generator draws -7 ln U truncated at 70 s).
+  double think_mean_paper_s = 7.0;
+  double think_min_paper_s = 0.7;
+  double think_cap_paper_s = 70.0;
+  // Interactions completing inside [measure_start, measure_end) (paper
+  // seconds since fleet start) count toward the reported statistics — the
+  // paper's ramp-up/cool-down exclusion.
+  double measure_start_paper_s = 0.0;
+  double measure_end_paper_s = 1e18;
+  std::uint64_t seed = 1;
+  Scale scale;
+  bool fetch_images = true;
+};
+
+class ClientFleet {
+ public:
+  ClientFleet(server::WebServer& server, ClientConfig config);
+  ~ClientFleet();
+
+  void start();
+
+  // Signals all browsers to finish their current interaction and joins them.
+  void stop_and_join();
+
+  // --- measured within the window ---
+  std::map<std::string, OnlineStats> page_response_stats() const;
+  std::map<std::string, std::uint64_t> page_counts() const;
+  std::uint64_t total_interactions() const;
+  std::uint64_t error_count() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void browser_loop(std::size_t id);
+
+  server::WebServer& server_;
+  const ClientConfig config_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> errors_{0};
+  double fleet_epoch_ = 0;  // paper_now() at start()
+  std::vector<std::thread> browsers_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, OnlineStats> page_stats_;
+};
+
+}  // namespace tempest::tpcw

@@ -1,0 +1,138 @@
+#include "src/tpcw/experiment.h"
+
+#include <thread>
+
+#include "src/common/logging.h"
+#include "src/db/database.h"
+#include "src/server/baseline_server.h"
+#include "src/server/staged_server.h"
+#include "src/tpcw/handlers.h"
+#include "src/tpcw/populate.h"
+
+namespace tempest::tpcw {
+
+ExperimentConfig ExperimentConfig::paper_shape(bool staged) {
+  ExperimentConfig config;
+  config.staged = staged;
+  config.clients = 400;
+  config.ramp_paper_s = 300.0;      // 5-minute ramp-up
+  config.measure_paper_s = 3000.0;  // 50-minute measurement interval
+  return config;
+}
+
+namespace {
+
+std::map<std::string, std::uint64_t> to_counts(
+    const std::map<std::string, OnlineStats>& stats) {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [key, value] : stats) out[key] = value.count();
+  return out;
+}
+
+template <typename Server>
+void collect_server_side(Server& server, ExperimentResults& results) {
+  auto& stats = server.stats();
+  results.server_page_stats = stats.page_response_stats();
+  results.server_page_counts = stats.page_counts();
+  results.server_completed_total = stats.completed_total();
+  for (const std::string& name : stats.queue_names()) {
+    results.queue_series[name] = stats.queue_series(name);
+  }
+  results.tspare_series = stats.tspare_series();
+  results.treserve_series = stats.treserve_series();
+  results.static_throughput =
+      stats.counter(server::RequestClass::kStatic).series();
+  results.quick_throughput =
+      stats.counter(server::RequestClass::kQuickDynamic).series();
+  results.lengthy_throughput =
+      stats.counter(server::RequestClass::kLengthyDynamic).series();
+  for (const std::string& path : tpcw_page_paths()) {
+    results.page_throughput[path] = stats.page_series(path);
+  }
+
+  const auto pool_stats = server.connection_pool().stats();
+  results.connection_idle_while_held_fraction =
+      pool_stats.idle_while_held_fraction();
+  results.connection_acquire_wait_mean_paper_s =
+      pool_stats.acquire_wait_paper_s.mean();
+}
+
+}  // namespace
+
+ExperimentResults run_experiment(const ExperimentConfig& raw_config) {
+  const Stopwatch wall;
+
+  ExperimentConfig config = raw_config;
+  if (config.auto_latency) {
+    config.server.db_latency = latency_model_for(config.scale);
+  }
+
+  db::Database db;
+  const PopulationSummary pop = populate_tpcw(db, config.scale, config.seed);
+  auto state = TpcwState::from_population(config.scale, pop);
+  auto app = make_tpcw_application(state);
+
+  ExperimentResults results;
+
+  ClientConfig client_config;
+  client_config.num_clients = config.clients;
+  client_config.think_mean_paper_s = config.think_mean_paper_s;
+  client_config.measure_start_paper_s = config.ramp_paper_s;
+  client_config.measure_end_paper_s =
+      config.ramp_paper_s + config.measure_paper_s;
+  client_config.seed = config.seed;
+  client_config.scale = config.scale;
+  client_config.fetch_images = config.fetch_images;
+
+  auto drive = [&](server::WebServer& web) {
+    if (config.warm_tracker) {
+      // One sequential crawl of every page before load arrives: the
+      // service-time tracker learns each page's class, so the measured run
+      // does not start with lengthy queries misrouted into the general pool
+      // (and the startup transient stops seeding run-to-run variance).
+      server::InProcClient warmup(web);
+      for (const std::string& path : tpcw_page_paths()) {
+        warmup.roundtrip("GET " + path +
+                         "?c_id=1&i_id=1&subject=ARTS&type=title&term=river"
+                         " HTTP/1.1\r\nHost: warmup\r\n\r\n");
+      }
+    }
+    ClientFleet fleet(web, client_config);
+    fleet.start();
+    std::this_thread::sleep_for(
+        to_wall(config.ramp_paper_s + config.measure_paper_s));
+    fleet.stop_and_join();
+    results.client_page_stats = fleet.page_response_stats();
+    results.client_page_counts = to_counts(results.client_page_stats);
+    results.client_interactions = fleet.total_interactions();
+    results.client_errors = fleet.error_count();
+  };
+
+  if (config.staged) {
+    server::StagedServer web(config.server, app, db);
+    drive(web);
+    collect_server_side(web, results);
+    web.shutdown();
+  } else {
+    server::BaselineServer web(config.server, app, db);
+    drive(web);
+    collect_server_side(web, results);
+    web.shutdown();
+  }
+
+  results.wall_seconds = wall.elapsed_wall_seconds();
+  results.measured_paper_seconds = config.measure_paper_s;
+  return results;
+}
+
+std::vector<std::pair<double, std::uint64_t>>
+ExperimentResults::overall_throughput() const {
+  std::map<double, std::uint64_t> bins;
+  for (const auto* series :
+       {&static_throughput, &quick_throughput, &lengthy_throughput}) {
+    for (const auto& [t, n] : *series) bins[t] += n;
+  }
+  return {bins.begin(), bins.end()};
+}
+
+}  // namespace tempest::tpcw

@@ -1,0 +1,80 @@
+// End-to-end experiment runner: builds a populated TPC-W database, starts
+// one server variant, drives it with the emulated-browser fleet, and
+// collects everything the paper's tables and figures need.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/server/server_config.h"
+#include "src/tpcw/client.h"
+#include "src/tpcw/schema.h"
+
+namespace tempest::tpcw {
+
+struct ExperimentConfig {
+  bool staged = true;  // false = thread-per-request baseline
+  server::ServerConfig server;
+  Scale scale = Scale::bench();
+  // Normalize the DB latency model to `scale` so paper-time service times
+  // are population-invariant (latency_model_for). Disable to use
+  // server.db_latency as given.
+  bool auto_latency = true;
+  std::size_t clients = 400;
+  double ramp_paper_s = 60.0;
+  double measure_paper_s = 300.0;
+  double think_mean_paper_s = 7.0;
+  std::uint64_t seed = 42;
+  bool fetch_images = true;
+  // Crawl every page once before starting the fleet so the quick/lengthy
+  // classifier starts warm (kills the startup transient).
+  bool warm_tracker = true;
+
+  // Convenience: the paper's full-size run shape (still time-scaled).
+  static ExperimentConfig paper_shape(bool staged);
+};
+
+struct ExperimentResults {
+  // Client-side (Table 3 / Table 4).
+  std::map<std::string, OnlineStats> client_page_stats;
+  std::map<std::string, std::uint64_t> client_page_counts;
+  std::uint64_t client_interactions = 0;
+  std::uint64_t client_errors = 0;
+
+  // Server-side.
+  std::map<std::string, OnlineStats> server_page_stats;
+  std::map<std::string, std::uint64_t> server_page_counts;
+  std::uint64_t server_completed_total = 0;
+
+  // Queue-length series per pool (Figures 7-8); the baseline has a single
+  // "dynamic" queue.
+  std::map<std::string, std::vector<TimeSeries::Point>> queue_series;
+
+  // Controller series (staged only).
+  std::vector<TimeSeries::Point> tspare_series;
+  std::vector<TimeSeries::Point> treserve_series;
+
+  // Throughput per paper-minute by request class (Figures 9-10) and per page.
+  std::vector<std::pair<double, std::uint64_t>> static_throughput;
+  std::vector<std::pair<double, std::uint64_t>> quick_throughput;
+  std::vector<std::pair<double, std::uint64_t>> lengthy_throughput;
+  std::map<std::string, std::vector<std::pair<double, std::uint64_t>>>
+      page_throughput;
+
+  // Resource accounting.
+  double connection_idle_while_held_fraction = 0;
+  double connection_acquire_wait_mean_paper_s = 0;
+
+  double wall_seconds = 0;
+  double measured_paper_seconds = 0;
+
+  // Sum of per-minute throughput of all classes, i.e. Fig. 9's series.
+  std::vector<std::pair<double, std::uint64_t>> overall_throughput() const;
+};
+
+ExperimentResults run_experiment(const ExperimentConfig& config);
+
+}  // namespace tempest::tpcw

@@ -1,0 +1,549 @@
+#include "src/tpcw/handlers.h"
+
+#include <algorithm>
+
+#include "src/tpcw/templates.h"
+
+namespace tempest::tpcw {
+
+namespace {
+
+using server::Handler;
+using server::HandlerResult;
+using server::RequestContext;
+using server::TemplateResponse;
+
+// --- db::Value -> tmpl::Value bridging --------------------------------------
+
+tmpl::Value to_tmpl(const db::Value& v) {
+  switch (v.type()) {
+    case db::Value::Type::kNull: return tmpl::Value();
+    case db::Value::Type::kInt: return tmpl::Value(v.as_int());
+    case db::Value::Type::kDouble: return tmpl::Value(v.as_double());
+    case db::Value::Type::kString: return tmpl::Value(v.as_string());
+  }
+  return tmpl::Value();
+}
+
+tmpl::Dict row_to_dict(const db::ResultSet& rs, std::size_t row) {
+  tmpl::Dict dict;
+  for (std::size_t c = 0; c < rs.columns.size(); ++c) {
+    dict[rs.columns[c]] = to_tmpl(rs.rows[row][c]);
+  }
+  return dict;
+}
+
+tmpl::Value rows_to_list(const db::ResultSet& rs) {
+  tmpl::List list;
+  list.reserve(rs.rows.size());
+  for (std::size_t r = 0; r < rs.rows.size(); ++r) {
+    list.push_back(tmpl::Value(row_to_dict(rs, r)));
+  }
+  return tmpl::Value(std::move(list));
+}
+
+db::Connection& conn(RequestContext& ctx) {
+  if (ctx.db == nullptr) {
+    throw db::DbError("handler invoked on a thread without a DB connection");
+  }
+  return *ctx.db;
+}
+
+std::int64_t clamp_id(std::int64_t id, std::int64_t max) {
+  if (max <= 0) return 1;
+  if (id < 1 || id > max) return ((id % max) + max) % max + 1;
+  return id;
+}
+
+// --- The 14 handlers ---------------------------------------------------------
+
+HandlerResult home(RequestContext& ctx, TpcwState& state) {
+  const std::int64_t c_id =
+      clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
+  tmpl::Dict data;
+  data["c_id"] = tmpl::Value(c_id);
+
+  auto customer = conn(ctx).execute(
+      "SELECT c_fname, c_lname FROM customer WHERE c_id = ?",
+      {db::Value(c_id)});
+  if (!customer.empty()) {
+    data["c_fname"] = to_tmpl(customer.at(0, "c_fname"));
+    data["c_lname"] = to_tmpl(customer.at(0, "c_lname"));
+  }
+
+  // Five promotional items, one indexed lookup each (all quick).
+  tmpl::List promos;
+  for (int k = 0; k < 5; ++k) {
+    const std::int64_t i_id =
+        clamp_id(c_id * 7 + k * 1009, state.scale.items);
+    auto item = conn(ctx).execute(
+        "SELECT i_id, i_title, i_cost, i_thumbnail FROM item WHERE i_id = ?",
+        {db::Value(i_id)});
+    if (!item.empty()) promos.push_back(tmpl::Value(row_to_dict(item, 0)));
+  }
+  data["promotions"] = tmpl::Value(std::move(promos));
+  return TemplateResponse{"home.html", std::move(data)};
+}
+
+HandlerResult product_detail(RequestContext& ctx, TpcwState& state) {
+  const std::int64_t i_id =
+      clamp_id(ctx.param_int("i_id", 1), state.scale.items);
+  auto item =
+      conn(ctx).execute("SELECT * FROM item WHERE i_id = ?", {db::Value(i_id)});
+  tmpl::Dict data;
+  data["c_id"] = tmpl::Value(ctx.param_int("c_id", 0));
+  if (!item.empty()) {
+    data = row_to_dict(item, 0);
+    data["c_id"] = tmpl::Value(ctx.param_int("c_id", 0));
+    data["savings"] = tmpl::Value(item.at(0, "i_srp").as_double() -
+                                  item.at(0, "i_cost").as_double());
+    auto author = conn(ctx).execute(
+        "SELECT a_fname, a_lname FROM author WHERE a_id = ?",
+        {item.at(0, "i_a_id")});
+    if (!author.empty()) {
+      data["a_fname"] = to_tmpl(author.at(0, "a_fname"));
+      data["a_lname"] = to_tmpl(author.at(0, "a_lname"));
+    }
+  }
+  return TemplateResponse{"product_detail.html", std::move(data)};
+}
+
+HandlerResult search_request(RequestContext& ctx, TpcwState&) {
+  tmpl::Dict data;
+  data["c_id"] = tmpl::Value(ctx.param_int("c_id", 0));
+  tmpl::List subjects;
+  for (int s = 0; s < kNumSubjects; ++s) {
+    subjects.push_back(tmpl::Value(subject_name(s)));
+  }
+  data["subjects"] = tmpl::Value(std::move(subjects));
+  return TemplateResponse{"search_request.html", std::move(data)};
+}
+
+HandlerResult execute_search(RequestContext& ctx, TpcwState&) {
+  const std::string type = ctx.param("type", "title");
+  const std::string term = ctx.param("term", "river");
+  tmpl::Dict data;
+  data["c_id"] = tmpl::Value(ctx.param_int("c_id", 0));
+  data["term"] = tmpl::Value(term);
+  data["search_type"] = tmpl::Value(type);
+
+  // Both forms LIKE-scan an unindexed column — one of the paper's three
+  // inherently slow pages.
+  db::ResultSet results;
+  if (type == "author") {
+    results = conn(ctx).execute(
+        "SELECT i_id, i_title, a_fname, a_lname FROM author "
+        "JOIN item ON i_a_id = a_id WHERE a_lname LIKE ? LIMIT 50",
+        {db::Value("%" + term + "%")});
+  } else {
+    results = conn(ctx).execute(
+        "SELECT i_id, i_title, a_fname, a_lname FROM item "
+        "JOIN author ON i_a_id = a_id WHERE i_title LIKE ? LIMIT 50",
+        {db::Value("%" + term + "%")});
+  }
+  data["results"] = rows_to_list(results);
+  return TemplateResponse{"execute_search.html", std::move(data)};
+}
+
+HandlerResult new_products(RequestContext& ctx, TpcwState&) {
+  const std::string subject = ctx.param("subject", "ARTS");
+  // Full item scan (i_subject unindexed) + ORDER BY — slow page #2.
+  auto books = conn(ctx).execute(
+      "SELECT i_id, i_title, i_pub_date, a_fname, a_lname FROM item "
+      "JOIN author ON i_a_id = a_id WHERE i_subject = ? "
+      "ORDER BY i_pub_date DESC, i_title ASC LIMIT 50",
+      {db::Value(subject)});
+  tmpl::Dict data;
+  data["c_id"] = tmpl::Value(ctx.param_int("c_id", 0));
+  data["subject"] = tmpl::Value(subject);
+  data["books"] = rows_to_list(books);
+  return TemplateResponse{"new_products.html", std::move(data)};
+}
+
+HandlerResult best_sellers(RequestContext& ctx, TpcwState& state) {
+  const std::string subject = ctx.param("subject", "ARTS");
+  // Aggregates the most recent orders' lines: range predicate over ol_o_id
+  // defeats the hash index, so this scans order_line — slow page #3.
+  const std::int64_t cutoff =
+      state.next_order_id.load(std::memory_order_relaxed) -
+      state.scale.best_seller_window;
+  auto books = conn(ctx).execute(
+      "SELECT i_id, i_title, a_fname, a_lname, SUM(ol_qty) AS total "
+      "FROM order_line JOIN item ON ol_i_id = i_id "
+      "JOIN author ON i_a_id = a_id "
+      "WHERE ol_o_id > ? AND i_subject = ? "
+      "GROUP BY i_id, i_title, a_fname, a_lname "
+      "ORDER BY total DESC LIMIT 50",
+      {db::Value(cutoff), db::Value(subject)});
+  tmpl::Dict data;
+  data["c_id"] = tmpl::Value(ctx.param_int("c_id", 0));
+  data["subject"] = tmpl::Value(subject);
+  data["books"] = rows_to_list(books);
+  return TemplateResponse{"best_sellers.html", std::move(data)};
+}
+
+HandlerResult shopping_cart(RequestContext& ctx, TpcwState& state) {
+  const std::int64_t c_id =
+      clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
+  const std::int64_t i_id = ctx.param_int("i_id", 0);
+  const std::int64_t qty = std::max<std::int64_t>(1, ctx.param_int("qty", 1));
+
+  if (i_id > 0) {
+    const std::int64_t item_id = clamp_id(i_id, state.scale.items);
+    auto existing = conn(ctx).execute(
+        "SELECT scl_id, scl_qty FROM shopping_cart_line "
+        "WHERE scl_sc_id = ? AND scl_i_id = ?",
+        {db::Value(c_id), db::Value(item_id)});
+    if (existing.empty()) {
+      const std::int64_t scl_id =
+          state.next_cart_line_id.fetch_add(1, std::memory_order_relaxed);
+      conn(ctx).execute(
+          "INSERT INTO shopping_cart_line (scl_id, scl_sc_id, scl_i_id, "
+          "scl_qty) VALUES (?, ?, ?, ?)",
+          {db::Value(scl_id), db::Value(c_id), db::Value(item_id),
+           db::Value(qty)});
+    } else {
+      conn(ctx).execute(
+          "UPDATE shopping_cart_line SET scl_qty = ? WHERE scl_id = ?",
+          {db::Value(existing.at(0, "scl_qty").as_int() + qty),
+           existing.at(0, "scl_id")});
+    }
+  }
+
+  auto lines = conn(ctx).execute(
+      "SELECT scl_qty, i_title, i_cost FROM shopping_cart_line "
+      "JOIN item ON scl_i_id = i_id WHERE scl_sc_id = ?",
+      {db::Value(c_id)});
+  double subtotal = 0;
+  for (std::size_t r = 0; r < lines.size(); ++r) {
+    subtotal += lines.at(r, "i_cost").as_double() *
+                static_cast<double>(lines.at(r, "scl_qty").as_int());
+  }
+  tmpl::Dict data;
+  data["c_id"] = tmpl::Value(c_id);
+  data["lines"] = rows_to_list(lines);
+  data["subtotal"] = tmpl::Value(subtotal);
+  return TemplateResponse{"shopping_cart.html", std::move(data)};
+}
+
+HandlerResult customer_registration(RequestContext& ctx, TpcwState& state) {
+  const std::int64_t c_id =
+      clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
+  auto customer = conn(ctx).execute(
+      "SELECT c_uname, c_fname, c_lname, c_email FROM customer WHERE c_id = ?",
+      {db::Value(c_id)});
+  tmpl::Dict data;
+  data["c_id"] = tmpl::Value(c_id);
+  data["returning"] = tmpl::Value(!customer.empty());
+  if (!customer.empty()) {
+    data["c_uname"] = to_tmpl(customer.at(0, "c_uname"));
+    data["c_fname"] = to_tmpl(customer.at(0, "c_fname"));
+    data["c_lname"] = to_tmpl(customer.at(0, "c_lname"));
+    data["c_email"] = to_tmpl(customer.at(0, "c_email"));
+  }
+  return TemplateResponse{"customer_registration.html", std::move(data)};
+}
+
+// Cart lines for checkout pages, with item info joined in.
+db::ResultSet checkout_lines(RequestContext& ctx, std::int64_t c_id) {
+  return conn(ctx).execute(
+      "SELECT scl_i_id, scl_qty, i_title, i_cost, i_stock "
+      "FROM shopping_cart_line JOIN item ON scl_i_id = i_id "
+      "WHERE scl_sc_id = ?",
+      {db::Value(c_id)});
+}
+
+HandlerResult buy_request(RequestContext& ctx, TpcwState& state) {
+  const std::int64_t c_id =
+      clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
+  tmpl::Dict data;
+  data["c_id"] = tmpl::Value(c_id);
+
+  auto customer = conn(ctx).execute(
+      "SELECT c_fname, c_lname, c_addr_id, c_discount FROM customer "
+      "WHERE c_id = ?",
+      {db::Value(c_id)});
+  if (!customer.empty()) {
+    data["c_fname"] = to_tmpl(customer.at(0, "c_fname"));
+    data["c_lname"] = to_tmpl(customer.at(0, "c_lname"));
+    auto address = conn(ctx).execute(
+        "SELECT addr_street1, addr_city, addr_zip, addr_co_id FROM address "
+        "WHERE addr_id = ?",
+        {customer.at(0, "c_addr_id")});
+    if (!address.empty()) {
+      data["addr_street1"] = to_tmpl(address.at(0, "addr_street1"));
+      data["addr_city"] = to_tmpl(address.at(0, "addr_city"));
+      data["addr_zip"] = to_tmpl(address.at(0, "addr_zip"));
+      auto country = conn(ctx).execute(
+          "SELECT co_name FROM country WHERE co_id = ?",
+          {address.at(0, "addr_co_id")});
+      if (!country.empty()) data["co_name"] = to_tmpl(country.at(0, "co_name"));
+    }
+  }
+
+  auto lines = checkout_lines(ctx, c_id);
+  double subtotal = 0;
+  for (std::size_t r = 0; r < lines.size(); ++r) {
+    subtotal += lines.at(r, "i_cost").as_double() *
+                static_cast<double>(lines.at(r, "scl_qty").as_int());
+  }
+  data["lines"] = rows_to_list(lines);
+  data["subtotal"] = tmpl::Value(subtotal);
+  data["tax"] = tmpl::Value(subtotal * 0.0825);
+  data["total"] = tmpl::Value(subtotal * 1.0825);
+  return TemplateResponse{"buy_request.html", std::move(data)};
+}
+
+HandlerResult buy_confirm(RequestContext& ctx, TpcwState& state) {
+  const std::int64_t c_id =
+      clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
+  auto lines = checkout_lines(ctx, c_id);
+
+  // TPC-W browsers can reach buy-confirm without having built a cart in this
+  // session; buy a default item then (keeps the write path exercised).
+  struct Line {
+    std::int64_t i_id;
+    std::int64_t qty;
+    std::int64_t stock;
+    std::string title;
+    double cost;
+  };
+  std::vector<Line> to_buy;
+  for (std::size_t r = 0; r < lines.size(); ++r) {
+    to_buy.push_back({lines.at(r, "scl_i_id").as_int(),
+                      lines.at(r, "scl_qty").as_int(),
+                      lines.at(r, "i_stock").as_int(),
+                      lines.at(r, "i_title").as_string(),
+                      lines.at(r, "i_cost").as_double()});
+  }
+  if (to_buy.empty()) {
+    const std::int64_t i_id = clamp_id(c_id * 13 + 7, state.scale.items);
+    auto item = conn(ctx).execute(
+        "SELECT i_title, i_cost, i_stock FROM item WHERE i_id = ?",
+        {db::Value(i_id)});
+    if (!item.empty()) {
+      to_buy.push_back({i_id, 1, item.at(0, "i_stock").as_int(),
+                        item.at(0, "i_title").as_string(),
+                        item.at(0, "i_cost").as_double()});
+    }
+  }
+
+  double subtotal = 0;
+  for (const Line& line : to_buy) {
+    subtotal += line.cost * static_cast<double>(line.qty);
+  }
+  const double total = subtotal * 1.0825;
+
+  const std::int64_t o_id =
+      state.next_order_id.fetch_add(1, std::memory_order_relaxed);
+  conn(ctx).execute(
+      "INSERT INTO orders (o_id, o_c_id, o_date, o_sub_total, o_tax, o_total, "
+      "o_ship_type, o_ship_date, o_status) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+      {db::Value(o_id), db::Value(c_id), db::Value(20090701),
+       db::Value(subtotal), db::Value(subtotal * 0.0825), db::Value(total),
+       db::Value("AIR"), db::Value(20090708), db::Value("PENDING")});
+
+  tmpl::List line_dicts;
+  for (const Line& line : to_buy) {
+    const std::int64_t ol_id =
+        state.next_order_line_id.fetch_add(1, std::memory_order_relaxed);
+    conn(ctx).execute(
+        "INSERT INTO order_line (ol_id, ol_o_id, ol_i_id, ol_qty, "
+        "ol_discount, ol_comment) VALUES (?, ?, ?, ?, ?, ?)",
+        {db::Value(ol_id), db::Value(o_id), db::Value(line.i_id),
+         db::Value(line.qty), db::Value(0.0), db::Value("")});
+    // Restock at 21 when the shelf would run empty, like the TPC-W kit.
+    const std::int64_t new_stock =
+        line.stock - line.qty < 10 ? line.stock - line.qty + 21
+                                   : line.stock - line.qty;
+    conn(ctx).execute("UPDATE item SET i_stock = ? WHERE i_id = ?",
+                      {db::Value(new_stock), db::Value(line.i_id)});
+    tmpl::Dict d;
+    d["i_title"] = tmpl::Value(line.title);
+    d["scl_qty"] = tmpl::Value(line.qty);
+    line_dicts.push_back(tmpl::Value(std::move(d)));
+  }
+
+  conn(ctx).execute(
+      "INSERT INTO cc_xacts (cx_o_id, cx_type, cx_num, cx_name, cx_expire, "
+      "cx_auth_id, cx_xact_amt, cx_xact_date, cx_co_id) "
+      "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+      {db::Value(o_id), db::Value("VISA"), db::Value("4111111111111111"),
+       db::Value("CARD HOLDER"), db::Value(20121231), db::Value("AUTH"),
+       db::Value(total), db::Value(20090701), db::Value(1)});
+
+  auto customer = conn(ctx).execute(
+      "SELECT c_fname, c_lname FROM customer WHERE c_id = ?",
+      {db::Value(c_id)});
+
+  tmpl::Dict data;
+  data["c_id"] = tmpl::Value(c_id);
+  data["o_id"] = tmpl::Value(o_id);
+  data["total"] = tmpl::Value(total);
+  data["lines"] = tmpl::Value(std::move(line_dicts));
+  if (!customer.empty()) {
+    data["c_fname"] = to_tmpl(customer.at(0, "c_fname"));
+    data["c_lname"] = to_tmpl(customer.at(0, "c_lname"));
+  }
+  return TemplateResponse{"buy_confirm.html", std::move(data)};
+}
+
+HandlerResult order_inquiry(RequestContext& ctx, TpcwState& state) {
+  const std::int64_t c_id =
+      clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
+  auto customer = conn(ctx).execute(
+      "SELECT c_uname FROM customer WHERE c_id = ?", {db::Value(c_id)});
+  tmpl::Dict data;
+  data["c_id"] = tmpl::Value(c_id);
+  if (!customer.empty()) data["c_uname"] = to_tmpl(customer.at(0, "c_uname"));
+  return TemplateResponse{"order_inquiry.html", std::move(data)};
+}
+
+HandlerResult order_display(RequestContext& ctx, TpcwState& state) {
+  const std::int64_t c_id =
+      clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
+  auto order = conn(ctx).execute(
+      "SELECT o_id, o_date, o_status, o_total FROM orders WHERE o_c_id = ? "
+      "ORDER BY o_id DESC LIMIT 1",
+      {db::Value(c_id)});
+  tmpl::Dict data;
+  data["c_id"] = tmpl::Value(c_id);
+  data["found"] = tmpl::Value(!order.empty());
+  if (!order.empty()) {
+    data["o_id"] = to_tmpl(order.at(0, "o_id"));
+    data["o_date"] = to_tmpl(order.at(0, "o_date"));
+    data["o_status"] = to_tmpl(order.at(0, "o_status"));
+    data["o_total"] = to_tmpl(order.at(0, "o_total"));
+    auto lines = conn(ctx).execute(
+        "SELECT ol_qty, i_title FROM order_line JOIN item ON ol_i_id = i_id "
+        "WHERE ol_o_id = ?",
+        {order.at(0, "o_id")});
+    data["lines"] = rows_to_list(lines);
+  }
+  return TemplateResponse{"order_display.html", std::move(data)};
+}
+
+HandlerResult admin_request(RequestContext& ctx, TpcwState& state) {
+  const std::int64_t i_id =
+      clamp_id(ctx.param_int("i_id", 1), state.scale.items);
+  auto item = conn(ctx).execute(
+      "SELECT i_id, i_title, i_image, i_thumbnail, i_cost FROM item "
+      "WHERE i_id = ?",
+      {db::Value(i_id)});
+  tmpl::Dict data = item.empty() ? tmpl::Dict{} : row_to_dict(item, 0);
+  data["i_id"] = tmpl::Value(i_id);
+  return TemplateResponse{"admin_request.html", std::move(data)};
+}
+
+HandlerResult admin_response(RequestContext& ctx, TpcwState& state) {
+  const std::int64_t i_id =
+      clamp_id(ctx.param_int("i_id", 1), state.scale.items);
+  const std::string image =
+      ctx.param("image", "/img/image_" + std::to_string(i_id % 100) + ".gif");
+  const std::string thumbnail = ctx.param(
+      "thumbnail", "/img/thumb_" + std::to_string(i_id % 100) + ".gif");
+
+  // TPC-W's admin confirm recomputes the item's "related" recommendations
+  // from recent order history — a scan-and-aggregate over order_line — and
+  // then updates the hot `item` table. That combination is what makes this
+  // "the only page to experience a significant slowdown" in the paper: it is
+  // inherently lengthy AND serializes on the most-used table's write path.
+  const std::int64_t cutoff =
+      state.next_order_id.load(std::memory_order_relaxed) - 10000;
+  auto related = conn(ctx).execute(
+      "SELECT ol_i_id, SUM(ol_qty) AS total FROM order_line "
+      "WHERE ol_o_id > ? GROUP BY ol_i_id ORDER BY total DESC LIMIT 5",
+      {db::Value(cutoff)});
+  const std::int64_t related1 =
+      related.empty() ? i_id : related.at(0, "ol_i_id").as_int();
+
+  conn(ctx).execute(
+      "UPDATE item SET i_image = ?, i_thumbnail = ?, i_pub_date = ?, "
+      "i_related1 = ? WHERE i_id = ?",
+      {db::Value(image), db::Value(thumbnail), db::Value(20090704),
+       db::Value(related1), db::Value(i_id)});
+
+  auto item = conn(ctx).execute(
+      "SELECT i_title, i_cost FROM item WHERE i_id = ?", {db::Value(i_id)});
+  tmpl::Dict data;
+  data["i_id"] = tmpl::Value(i_id);
+  data["i_image"] = tmpl::Value(image);
+  if (!item.empty()) {
+    data["i_title"] = to_tmpl(item.at(0, "i_title"));
+    data["i_cost"] = to_tmpl(item.at(0, "i_cost"));
+  }
+  return TemplateResponse{"admin_response.html", std::move(data)};
+}
+
+Handler bind(HandlerResult (*fn)(RequestContext&, TpcwState&),
+             std::shared_ptr<TpcwState> state) {
+  return [fn, state = std::move(state)](RequestContext& ctx) {
+    return fn(ctx, *state);
+  };
+}
+
+}  // namespace
+
+void register_tpcw_routes(server::Router& router,
+                          std::shared_ptr<TpcwState> state) {
+  router.add("/home", bind(home, state));
+  router.add("/new_products", bind(new_products, state));
+  router.add("/best_sellers", bind(best_sellers, state));
+  router.add("/product_detail", bind(product_detail, state));
+  router.add("/search_request", bind(search_request, state));
+  router.add("/execute_search", bind(execute_search, state));
+  router.add("/shopping_cart", bind(shopping_cart, state));
+  router.add("/customer_registration", bind(customer_registration, state));
+  router.add("/buy_request", bind(buy_request, state));
+  router.add("/buy_confirm", bind(buy_confirm, state));
+  router.add("/order_inquiry", bind(order_inquiry, state));
+  router.add("/order_display", bind(order_display, state));
+  router.add("/admin_request", bind(admin_request, state));
+  router.add("/admin_response", bind(admin_response, state));
+}
+
+void register_tpcw_static(server::StaticStore& store) {
+  store.add_blob("/img/banner.gif", 5000, "image/gif");
+  store.add_blob("/img/logo.gif", 2500, "image/gif");
+  for (const char* button : {"home", "search", "new", "best", "cart", "order"}) {
+    store.add_blob("/img/button_" + std::string(button) + ".gif", 1000,
+                   "image/gif");
+  }
+  for (int i = 0; i < 100; ++i) {
+    store.add_blob("/img/thumb_" + std::to_string(i) + ".gif", 3000,
+                   "image/gif");
+    store.add_blob("/img/image_" + std::to_string(i) + ".gif", 8000,
+                   "image/gif");
+  }
+}
+
+std::shared_ptr<const server::Application> make_tpcw_application(
+    std::shared_ptr<TpcwState> state) {
+  auto app = std::make_shared<server::Application>();
+  register_tpcw_routes(app->router, std::move(state));
+  register_tpcw_static(app->static_store);
+  app->templates = make_template_loader();
+  return app;
+}
+
+const std::vector<std::string>& tpcw_page_paths() {
+  static const std::vector<std::string> kPaths = {
+      "/admin_request",  "/admin_response", "/best_sellers",
+      "/buy_confirm",    "/buy_request",    "/customer_registration",
+      "/execute_search", "/home",           "/new_products",
+      "/order_display",  "/order_inquiry",  "/product_detail",
+      "/search_request", "/shopping_cart"};
+  return kPaths;
+}
+
+std::string tpcw_page_name(const std::string& path) {
+  if (path == "/home") return "TPC-W home interaction";
+  if (path == "/shopping_cart") return "TPC-W shopping cart interaction";
+  std::string name = path.substr(1);
+  for (char& c : name) {
+    if (c == '_') c = ' ';
+  }
+  return "TPC-W " + name;
+}
+
+}  // namespace tempest::tpcw

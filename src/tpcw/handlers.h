@@ -1,0 +1,55 @@
+// The 14 TPC-W page handlers, each written exactly in the paper's modified
+// CherryPy style (Figure 2 + Section 3.1): generate data through the worker
+// thread's database connection, then `return ("tmpl.html", data)` — an
+// unrendered template name plus the rendering data. The same handlers run on
+// both servers; the thread-per-request baseline renders the template inline
+// on the worker thread (the unmodified behaviour), the staged server hands
+// it to the template-rendering pool.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/server/app.h"
+#include "src/tpcw/populate.h"
+#include "src/tpcw/schema.h"
+
+namespace tempest::tpcw {
+
+// Mutable application state shared by handlers (id allocation for writes).
+struct TpcwState {
+  Scale scale;
+  std::atomic<std::int64_t> next_order_id{1};
+  std::atomic<std::int64_t> next_order_line_id{1};
+  std::atomic<std::int64_t> next_cart_line_id{1};
+
+  static std::shared_ptr<TpcwState> from_population(
+      const Scale& scale, const PopulationSummary& summary) {
+    auto state = std::make_shared<TpcwState>();
+    state->scale = scale;
+    state->next_order_id.store(summary.next_order_id);
+    state->next_order_line_id.store(summary.order_lines + 1);
+    state->next_cart_line_id.store(1'000'000'000);  // distinct id space
+    return state;
+  }
+};
+
+// Registers all 14 routes on `router`.
+void register_tpcw_routes(server::Router& router,
+                          std::shared_ptr<TpcwState> state);
+
+// Registers the banner/buttons/thumbnail images referenced by the templates.
+void register_tpcw_static(server::StaticStore& store);
+
+// Full application bundle: routes + static images + the Django templates.
+std::shared_ptr<const server::Application> make_tpcw_application(
+    std::shared_ptr<TpcwState> state);
+
+// The 14 page paths in Table 3/4 order.
+const std::vector<std::string>& tpcw_page_paths();
+
+// Human-readable TPC-W page name for a path ("/home" -> "home interaction").
+std::string tpcw_page_name(const std::string& path);
+
+}  // namespace tempest::tpcw

@@ -1,0 +1,80 @@
+#include "src/tpcw/mix.h"
+
+namespace tempest::tpcw {
+
+namespace {
+const char* kSearchTerms[] = {"silent", "river", "golden", "night", "garden",
+                              "winter", "stone", "ember", "falcon", "cedar"};
+}  // namespace
+
+const std::vector<MixEntry>& browsing_mix() {
+  static const std::vector<MixEntry> kMix = {
+      {"/home", 29.00},
+      {"/new_products", 11.00},
+      {"/best_sellers", 11.00},
+      {"/product_detail", 21.00},
+      {"/search_request", 12.00},
+      {"/execute_search", 11.00},
+      {"/shopping_cart", 2.00},
+      {"/customer_registration", 0.82},
+      {"/buy_request", 0.75},
+      {"/buy_confirm", 0.69},
+      {"/order_inquiry", 0.30},
+      {"/order_display", 0.25},
+      {"/admin_request", 0.10},
+      {"/admin_response", 0.09},
+  };
+  return kMix;
+}
+
+const std::string& sample_page(Rng& rng) {
+  const auto& mix = browsing_mix();
+  static thread_local std::vector<double> weights;
+  if (weights.empty()) {
+    for (const auto& entry : mix) weights.push_back(entry.weight);
+  }
+  return mix[rng.discrete(weights)].path;
+}
+
+std::string build_url(const std::string& path, Rng& rng, const Scale& scale,
+                      std::int64_t c_id) {
+  std::string url = path + "?c_id=" + std::to_string(c_id);
+  if (path == "/product_detail" || path == "/admin_request" ||
+      path == "/admin_response") {
+    url += "&i_id=" + std::to_string(rng.nurand(1023, 1, scale.items));
+  } else if (path == "/new_products" || path == "/best_sellers") {
+    url += "&subject=";
+    url += subject_name(static_cast<int>(rng.uniform_int(0, kNumSubjects - 1)));
+  } else if (path == "/execute_search") {
+    url += rng.bernoulli(0.5) ? "&type=title" : "&type=author";
+    url += "&term=";
+    url += kSearchTerms[rng.uniform_int(
+        0, sizeof(kSearchTerms) / sizeof(kSearchTerms[0]) - 1)];
+  } else if (path == "/shopping_cart") {
+    // Usually adds an item; occasionally just views the cart.
+    if (rng.bernoulli(0.8)) {
+      url += "&i_id=" + std::to_string(rng.nurand(1023, 1, scale.items));
+      url += "&qty=" + std::to_string(rng.uniform_int(1, 3));
+    }
+  }
+  return url;
+}
+
+std::vector<std::string> embedded_images(const std::string& path, Rng& rng) {
+  std::vector<std::string> images = {
+      "/img/banner.gif",      "/img/logo.gif",        "/img/button_home.gif",
+      "/img/button_search.gif", "/img/button_new.gif", "/img/button_best.gif",
+      "/img/button_cart.gif", "/img/button_order.gif"};
+  const int thumbs = path == "/home" ? 5 : 4;
+  for (int k = 0; k < thumbs; ++k) {
+    images.push_back("/img/thumb_" + std::to_string(rng.uniform_int(0, 99)) +
+                     ".gif");
+  }
+  images.push_back("/img/image_" + std::to_string(rng.uniform_int(0, 99)) +
+                   ".gif");
+  images.push_back("/img/thumb_" + std::to_string(rng.uniform_int(0, 99)) +
+                   ".gif");
+  return images;  // 14-15 objects per interaction
+}
+
+}  // namespace tempest::tpcw

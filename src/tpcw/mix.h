@@ -1,0 +1,36 @@
+// The TPC-W browsing mix: per-interaction page weights and URL synthesis.
+// All experiments in the paper use the standard browsing mix (Section 4.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tpcw/schema.h"
+
+namespace tempest::tpcw {
+
+struct MixEntry {
+  std::string path;
+  double weight;  // percent of interactions
+};
+
+// Standard TPC-W browsing-mix weights (sum to 100).
+const std::vector<MixEntry>& browsing_mix();
+
+// Samples a page path from the mix.
+const std::string& sample_page(Rng& rng);
+
+// Builds the request URL (path + query string) for one interaction of
+// `path`, with parameters drawn the way the TPC-W remote browser emulator
+// would (customer/item ids, subjects, search terms).
+std::string build_url(const std::string& path, Rng& rng, const Scale& scale,
+                      std::int64_t c_id);
+
+// Static images an emulated browser fetches after loading a page: the shared
+// banner/logo/buttons plus a few item thumbnails (14 objects — the paper's
+// server-side throughput figures count these, which is why Figure 9 peaks
+// more than an order of magnitude above the dynamic-only Figure 10(b)).
+std::vector<std::string> embedded_images(const std::string& path, Rng& rng);
+
+}  // namespace tempest::tpcw

@@ -1,0 +1,161 @@
+#include "src/tpcw/populate.h"
+
+#include "src/common/rng.h"
+
+namespace tempest::tpcw {
+
+namespace {
+
+// A fixed pool of word fragments keeps titles/names compressible and
+// deterministic while still exercising LIKE scans realistically.
+const char* kWords[] = {
+    "silent", "river",  "golden", "night", "garden", "winter", "crimson",
+    "hollow", "broken", "summer", "stone", "ember",  "velvet", "northern",
+    "falcon", "harbor", "willow", "cedar", "autumn", "morning"};
+constexpr std::size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+std::string make_phrase(tempest::Rng& rng, int words) {
+  std::string out;
+  for (int w = 0; w < words; ++w) {
+    if (w) out += ' ';
+    out += kWords[rng.uniform_int(0, kNumWords - 1)];
+  }
+  return out;
+}
+
+}  // namespace
+
+PopulationSummary populate_tpcw(db::Database& db, const Scale& scale,
+                                std::uint64_t seed) {
+  if (!db.has_table("item")) create_tpcw_tables(db);
+  Rng rng(seed);
+  PopulationSummary summary;
+
+  // Countries (fixed 92 like TPC-W).
+  {
+    auto& country = db.table("country");
+    for (std::int64_t id = 1; id <= 92; ++id) {
+      country.insert({db::Value(id), db::Value("country-" + std::to_string(id)),
+                      db::Value("CUR"), db::Value(rng.uniform_real(0.1, 10.0))});
+      ++summary.countries;
+    }
+  }
+
+  // Authors.
+  {
+    auto& author = db.table("author");
+    for (std::int64_t id = 1; id <= scale.authors(); ++id) {
+      author.insert({db::Value(id), db::Value(make_phrase(rng, 1)),
+                     db::Value(make_phrase(rng, 1) + std::to_string(id)),
+                     db::Value(make_phrase(rng, 8))});
+      ++summary.authors;
+    }
+  }
+
+  // Items.
+  {
+    auto& item = db.table("item");
+    for (std::int64_t id = 1; id <= scale.items; ++id) {
+      const double srp = rng.uniform_real(5.0, 120.0);
+      item.insert({
+          db::Value(id),
+          db::Value(make_phrase(rng, 3) + " " + std::to_string(id)),
+          db::Value(rng.uniform_int(1, scale.authors())),
+          db::Value(rng.uniform_int(19300101, 20091231)),  // i_pub_date
+          db::Value(make_phrase(rng, 2)),
+          db::Value(subject_name(static_cast<int>(rng.uniform_int(0, kNumSubjects - 1)))),
+          db::Value(make_phrase(rng, 12)),
+          db::Value(srp),
+          db::Value(srp * rng.uniform_real(0.5, 1.0)),  // i_cost
+          db::Value(rng.uniform_int(10, 30)),            // i_stock
+          db::Value(rng.alnum_string(13, 13)),            // i_isbn
+          db::Value("/img/thumb_" + std::to_string(id % 100) + ".gif"),
+          db::Value("/img/image_" + std::to_string(id % 100) + ".gif"),
+          db::Value(rng.uniform_int(1, scale.items)),
+      });
+      ++summary.items;
+    }
+  }
+
+  // Addresses.
+  {
+    auto& address = db.table("address");
+    for (std::int64_t id = 1; id <= scale.addresses(); ++id) {
+      address.insert({db::Value(id), db::Value(make_phrase(rng, 2)),
+                      db::Value(make_phrase(rng, 1)),
+                      db::Value(make_phrase(rng, 1)),
+                      db::Value(rng.alnum_string(2, 2)),
+                      db::Value(rng.alnum_string(5, 5)),
+                      db::Value(rng.uniform_int(1, 92))});
+      ++summary.addresses;
+    }
+  }
+
+  // Customers, each with a pre-created shopping cart (sc_id == c_id).
+  {
+    auto& customer = db.table("customer");
+    auto& cart = db.table("shopping_cart");
+    for (std::int64_t id = 1; id <= scale.customers; ++id) {
+      customer.insert({db::Value(id),
+                       db::Value("user" + std::to_string(id)),
+                       db::Value(rng.alnum_string(8, 12)),
+                       db::Value(make_phrase(rng, 1)),
+                       db::Value(make_phrase(rng, 1) + std::to_string(id)),
+                       db::Value(rng.uniform_int(1, scale.addresses())),
+                       db::Value(rng.alnum_string(10, 10)),
+                       db::Value("user" + std::to_string(id) + "@example.com"),
+                       db::Value(rng.uniform_int(19980101, 20090101)),
+                       db::Value(rng.uniform_real(0.0, 0.5)),
+                       db::Value(rng.uniform_real(-100.0, 100.0)),
+                       db::Value(rng.uniform_real(0.0, 10000.0))});
+      cart.insert({db::Value(id), db::Value(rng.uniform_int(20080101, 20090101)),
+                   db::Value(0.0)});
+      ++summary.customers;
+      ++summary.carts;
+    }
+  }
+
+  // Orders, order lines, credit-card transactions.
+  {
+    auto& orders = db.table("orders");
+    auto& order_line = db.table("order_line");
+    auto& cc = db.table("cc_xacts");
+    std::int64_t ol_id = 1;
+    for (std::int64_t id = 1; id <= scale.orders; ++id) {
+      const double subtotal = rng.uniform_real(10.0, 500.0);
+      orders.insert({db::Value(id),
+                     db::Value(rng.uniform_int(1, scale.customers)),
+                     db::Value(rng.uniform_int(20080101, 20090630)),
+                     db::Value(subtotal), db::Value(subtotal * 0.0825),
+                     db::Value(subtotal * 1.0825),
+                     db::Value(rng.bernoulli(0.5) ? "AIR" : "GROUND"),
+                     db::Value(rng.uniform_int(20080101, 20090630)),
+                     db::Value(rng.bernoulli(0.8) ? "SHIPPED" : "PENDING")});
+      const std::int64_t lines = rng.uniform_int(1, 3);
+      for (std::int64_t l = 0; l < lines; ++l) {
+        order_line.insert({db::Value(ol_id++), db::Value(id),
+                           db::Value(rng.nurand(1023, 1, scale.items)),
+                           db::Value(rng.uniform_int(1, 5)),
+                           db::Value(rng.uniform_real(0.0, 0.3)),
+                           db::Value(make_phrase(rng, 4))});
+        ++summary.order_lines;
+      }
+      cc.insert({db::Value(id), db::Value("VISA"),
+                 db::Value(rng.alnum_string(16, 16)),
+                 db::Value(make_phrase(rng, 2)),
+                 db::Value(rng.uniform_int(20100101, 20151231)),
+                 db::Value(rng.alnum_string(15, 15)),
+                 db::Value(subtotal * 1.0825),
+                 db::Value(rng.uniform_int(20080101, 20090630)),
+                 db::Value(rng.uniform_int(1, 92))});
+      ++summary.orders;
+      ++summary.cc_xacts;
+    }
+    summary.next_order_id = scale.orders + 1;
+    summary.next_cart_line_id = ol_id;  // shares the id space; fine for tests
+  }
+
+  return summary;
+}
+
+}  // namespace tempest::tpcw

@@ -1,0 +1,33 @@
+// Deterministic TPC-W data population. Writes rows directly into the table
+// storage (bypassing the connection layer so no simulated latency is charged
+// during setup).
+#pragma once
+
+#include <cstdint>
+
+#include "src/db/database.h"
+#include "src/tpcw/schema.h"
+
+namespace tempest::tpcw {
+
+struct PopulationSummary {
+  std::int64_t items = 0;
+  std::int64_t authors = 0;
+  std::int64_t customers = 0;
+  std::int64_t addresses = 0;
+  std::int64_t countries = 0;
+  std::int64_t orders = 0;
+  std::int64_t order_lines = 0;
+  std::int64_t cc_xacts = 0;
+  std::int64_t carts = 0;
+  // First unassigned order id (buy-confirm allocates from here).
+  std::int64_t next_order_id = 0;
+  std::int64_t next_cart_line_id = 0;
+};
+
+// Creates tables (if absent) and fills them per `scale` with seed-determined
+// contents. Idempotent only on a fresh database.
+PopulationSummary populate_tpcw(db::Database& db, const Scale& scale,
+                                std::uint64_t seed = 42);
+
+}  // namespace tempest::tpcw

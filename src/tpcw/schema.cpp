@@ -1,0 +1,125 @@
+#include "src/tpcw/schema.h"
+
+#include <algorithm>
+
+namespace tempest::tpcw {
+
+namespace {
+
+using db::Column;
+using db::ColumnType;
+using db::TableSchema;
+
+TableSchema make_schema(std::string name, std::vector<Column> columns,
+                        std::optional<std::size_t> pk,
+                        std::vector<std::size_t> indexed) {
+  TableSchema schema;
+  schema.name = std::move(name);
+  schema.columns = std::move(columns);
+  schema.primary_key = pk;
+  schema.indexed_columns = std::move(indexed);
+  return schema;
+}
+
+}  // namespace
+
+void create_tpcw_tables(db::Database& db) {
+  const auto kInt = ColumnType::kInt;
+  const auto kDouble = ColumnType::kDouble;
+  const auto kString = ColumnType::kString;
+
+  db.create_table(make_schema(
+      "item",
+      {{"i_id", kInt},        {"i_title", kString},   {"i_a_id", kInt},
+       {"i_pub_date", kInt},  {"i_publisher", kString}, {"i_subject", kString},
+       {"i_desc", kString},   {"i_srp", kDouble},     {"i_cost", kDouble},
+       {"i_stock", kInt},     {"i_isbn", kString},    {"i_thumbnail", kString},
+       {"i_image", kString},  {"i_related1", kInt}},
+      /*pk=*/0,
+      // i_a_id and i_subject deliberately unindexed: new-products, search and
+      // best-sellers must scan (the paper's lengthy pages).
+      /*indexed=*/{}));
+
+  db.create_table(make_schema(
+      "author",
+      {{"a_id", kInt}, {"a_fname", kString}, {"a_lname", kString},
+       {"a_bio", kString}},
+      /*pk=*/0, {}));
+
+  db.create_table(make_schema(
+      "customer",
+      {{"c_id", kInt},       {"c_uname", kString}, {"c_passwd", kString},
+       {"c_fname", kString}, {"c_lname", kString}, {"c_addr_id", kInt},
+       {"c_phone", kString}, {"c_email", kString}, {"c_since", kInt},
+       {"c_discount", kDouble}, {"c_balance", kDouble}, {"c_ytd_pmt", kDouble}},
+      /*pk=*/0, /*indexed=*/{1}));  // c_uname
+
+  db.create_table(make_schema(
+      "address",
+      {{"addr_id", kInt},      {"addr_street1", kString},
+       {"addr_street2", kString}, {"addr_city", kString},
+       {"addr_state", kString}, {"addr_zip", kString}, {"addr_co_id", kInt}},
+      /*pk=*/0, {}));
+
+  db.create_table(make_schema(
+      "country",
+      {{"co_id", kInt}, {"co_name", kString}, {"co_currency", kString},
+       {"co_exchange", kDouble}},
+      /*pk=*/0, {}));
+
+  db.create_table(make_schema(
+      "orders",
+      {{"o_id", kInt},        {"o_c_id", kInt},     {"o_date", kInt},
+       {"o_sub_total", kDouble}, {"o_tax", kDouble}, {"o_total", kDouble},
+       {"o_ship_type", kString}, {"o_ship_date", kInt}, {"o_status", kString}},
+      /*pk=*/0, /*indexed=*/{1}));  // o_c_id: order inquiry/display are quick
+
+  db.create_table(make_schema(
+      "order_line",
+      {{"ol_id", kInt}, {"ol_o_id", kInt}, {"ol_i_id", kInt},
+       {"ol_qty", kInt}, {"ol_discount", kDouble}, {"ol_comment", kString}},
+      /*pk=*/0,
+      // ol_o_id indexed for order display (equality); best sellers uses a
+      // RANGE over ol_o_id, which a hash index cannot serve -> full scan.
+      /*indexed=*/{1}));
+
+  db.create_table(make_schema(
+      "cc_xacts",
+      {{"cx_o_id", kInt}, {"cx_type", kString}, {"cx_num", kString},
+       {"cx_name", kString}, {"cx_expire", kInt}, {"cx_auth_id", kString},
+       {"cx_xact_amt", kDouble}, {"cx_xact_date", kInt}, {"cx_co_id", kInt}},
+      /*pk=*/0, {}));
+
+  db.create_table(make_schema(
+      "shopping_cart",
+      {{"sc_id", kInt}, {"sc_time", kInt}, {"sc_total", kDouble}},
+      /*pk=*/0, {}));
+
+  db.create_table(make_schema(
+      "shopping_cart_line",
+      {{"scl_id", kInt}, {"scl_sc_id", kInt}, {"scl_i_id", kInt},
+       {"scl_qty", kInt}},
+      /*pk=*/0, /*indexed=*/{1}));  // scl_sc_id
+}
+
+db::LatencyModel latency_model_for(const Scale& scale) {
+  db::LatencyModel model;
+  const double ratio = static_cast<double>(Scale::paper().items) /
+                       static_cast<double>(std::max<std::int64_t>(1, scale.items));
+  model.per_row_scanned *= ratio;
+  model.per_row_probed *= ratio;
+  return model;
+}
+
+const char* subject_name(int index) {
+  static const char* kSubjects[kNumSubjects] = {
+      "ARTS",        "BIOGRAPHIES", "BUSINESS",  "CHILDREN",
+      "COMPUTERS",   "COOKING",     "HEALTH",    "HISTORY",
+      "HOME",        "HUMOR",       "LITERATURE", "MYSTERY",
+      "NON-FICTION", "PARENTING",   "POLITICS",  "REFERENCE",
+      "RELIGION",    "ROMANCE",     "SELF-HELP", "SCIENCE-NATURE",
+      "SCIENCE-FICTION", "SPORTS",  "TRAVEL",    "YOUTH"};
+  return kSubjects[((index % kNumSubjects) + kNumSubjects) % kNumSubjects];
+}
+
+}  // namespace tempest::tpcw

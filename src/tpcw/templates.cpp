@@ -1,0 +1,307 @@
+#include "src/tpcw/templates.h"
+
+namespace tempest::tpcw {
+
+namespace {
+
+constexpr const char* kBase = R"HTML(<html>
+<head>
+  <title>{% block title %}TPC-W Bookstore{% endblock %}</title>
+</head>
+<body>
+<img src="/img/banner.gif" alt="banner">
+<img src="/img/logo.gif" alt="logo">
+<table width="100%"><tr>
+  <td><a href="/home?c_id={{ c_id|default:0 }}"><img src="/img/button_home.gif"></a></td>
+  <td><a href="/search_request"><img src="/img/button_search.gif"></a></td>
+  <td><a href="/new_products?subject=ARTS"><img src="/img/button_new.gif"></a></td>
+  <td><a href="/best_sellers?subject=ARTS"><img src="/img/button_best.gif"></a></td>
+  <td><a href="/shopping_cart?c_id={{ c_id|default:0 }}"><img src="/img/button_cart.gif"></a></td>
+  <td><a href="/order_inquiry?c_id={{ c_id|default:0 }}"><img src="/img/button_order.gif"></a></td>
+</tr></table>
+<hr>
+{% block content %}{% endblock %}
+<hr>
+<p align="center">Copyright 2009 TPC-W reproduction — served by tempest</p>
+</body>
+</html>
+)HTML";
+
+constexpr const char* kHome = R"HTML({% extends 'base.html' %}
+{% block title %}TPC-W Home{% endblock %}
+{% block content %}
+<h2 align="center">Welcome back, {{ c_fname }} {{ c_lname }}!</h2>
+<p>Today's promotions, selected for customer #{{ c_id }}:</p>
+<table border="1" cellpadding="4">
+{% for promo in promotions %}
+  <tr>
+    <td><img src="{{ promo.i_thumbnail }}" alt="thumb"></td>
+    <td><a href="/product_detail?i_id={{ promo.i_id }}">{{ promo.i_title }}</a></td>
+    <td>${{ promo.i_cost|floatformat:2 }}</td>
+  </tr>
+{% empty %}
+  <tr><td>No promotions today.</td></tr>
+{% endfor %}
+</table>
+{% endblock %}
+)HTML";
+
+constexpr const char* kNewProducts = R"HTML({% extends 'base.html' %}
+{% block title %}New Products: {{ subject }}{% endblock %}
+{% block content %}
+<h2 align="center">New {{ subject }} releases</h2>
+<ol>
+{% for book in books %}
+  <li>
+    <a href="/product_detail?i_id={{ book.i_id }}">{{ book.i_title }}</a>
+    by {{ book.a_fname }} {{ book.a_lname }}
+    (published {{ book.i_pub_date }})
+  </li>
+{% empty %}
+  <li>No new releases under {{ subject }}.</li>
+{% endfor %}
+</ol>
+{% endblock %}
+)HTML";
+
+constexpr const char* kBestSellers = R"HTML({% extends 'base.html' %}
+{% block title %}Best Sellers: {{ subject }}{% endblock %}
+{% block content %}
+<h2 align="center">Best selling {{ subject }} books</h2>
+<table border="1" cellpadding="4">
+  <tr><th>#</th><th>Title</th><th>Author</th><th>Sold</th></tr>
+{% for book in books %}
+  <tr>
+    <td>{{ forloop.counter }}</td>
+    <td><a href="/product_detail?i_id={{ book.i_id }}">{{ book.i_title }}</a></td>
+    <td>{{ book.a_fname }} {{ book.a_lname }}</td>
+    <td>{{ book.total }}</td>
+  </tr>
+{% empty %}
+  <tr><td colspan="4">No sales recorded for {{ subject }}.</td></tr>
+{% endfor %}
+</table>
+{% endblock %}
+)HTML";
+
+constexpr const char* kProductDetail = R"HTML({% extends 'base.html' %}
+{% block title %}{{ i_title }}{% endblock %}
+{% block content %}
+<h2 align="center">{{ i_title }}</h2>
+<img src="{{ i_image }}" alt="cover">
+<p>by {{ a_fname }} {{ a_lname }}</p>
+<ul>
+  <li>Subject: {{ i_subject }}</li>
+  <li>Publisher: {{ i_publisher }}</li>
+  <li>ISBN: {{ i_isbn }}</li>
+  <li>List price: ${{ i_srp|floatformat:2 }}</li>
+  <li>Our price: <b>${{ i_cost|floatformat:2 }}</b>
+      {% if i_cost < i_srp %}(you save ${{ savings|floatformat:2 }}){% endif %}</li>
+  <li>In stock: {{ i_stock }}</li>
+</ul>
+<p>{{ i_desc }}</p>
+<form action="/shopping_cart" method="GET">
+  <input type="hidden" name="c_id" value="{{ c_id }}">
+  <input type="hidden" name="i_id" value="{{ i_id }}">
+  <input type="submit" value="Add to cart">
+</form>
+{% endblock %}
+)HTML";
+
+constexpr const char* kSearchRequest = R"HTML({% extends 'base.html' %}
+{% block title %}Search{% endblock %}
+{% block content %}
+<h2 align="center">Search the store</h2>
+<form action="/execute_search" method="GET">
+  <input type="hidden" name="c_id" value="{{ c_id }}">
+  <select name="type">
+    <option value="title">Title</option>
+    <option value="author">Author</option>
+  </select>
+  <input type="text" name="term">
+  <input type="submit" value="Search">
+</form>
+<p>Browse by subject:</p>
+<ul>
+{% for subject in subjects %}
+  <li><a href="/new_products?subject={{ subject|urlencode }}">{{ subject }}</a></li>
+{% endfor %}
+</ul>
+{% endblock %}
+)HTML";
+
+constexpr const char* kExecuteSearch = R"HTML({% extends 'base.html' %}
+{% block title %}Search results{% endblock %}
+{% block content %}
+<h2 align="center">Results for "{{ term }}" ({{ search_type }})</h2>
+<ol>
+{% for book in results %}
+  <li><a href="/product_detail?i_id={{ book.i_id }}">{{ book.i_title }}</a>
+      by {{ book.a_fname }} {{ book.a_lname }}</li>
+{% empty %}
+  <li>Nothing matched "{{ term }}".</li>
+{% endfor %}
+</ol>
+{% endblock %}
+)HTML";
+
+constexpr const char* kShoppingCart = R"HTML({% extends 'base.html' %}
+{% block title %}Shopping Cart{% endblock %}
+{% block content %}
+<h2 align="center">Your shopping cart</h2>
+<table border="1" cellpadding="4">
+  <tr><th>Title</th><th>Qty</th><th>Price</th></tr>
+{% for line in lines %}
+  <tr>
+    <td>{{ line.i_title }}</td>
+    <td>{{ line.scl_qty }}</td>
+    <td>${{ line.i_cost|floatformat:2 }}</td>
+  </tr>
+{% empty %}
+  <tr><td colspan="3">Your cart is empty.</td></tr>
+{% endfor %}
+</table>
+<p>Subtotal: <b>${{ subtotal|floatformat:2 }}</b>
+   ({{ lines|length }} line{{ lines|length|pluralize }})</p>
+<p><a href="/buy_request?c_id={{ c_id }}">Proceed to checkout</a></p>
+{% endblock %}
+)HTML";
+
+constexpr const char* kCustomerRegistration = R"HTML({% extends 'base.html' %}
+{% block title %}Customer Registration{% endblock %}
+{% block content %}
+<h2 align="center">Customer registration</h2>
+{% if returning %}
+<p>Welcome back {{ c_fname }} {{ c_lname }} ({{ c_uname }}).</p>
+{% else %}
+<p>Create a new account:</p>
+{% endif %}
+<form action="/buy_request" method="GET">
+  <input type="hidden" name="c_id" value="{{ c_id }}">
+  <table>
+    <tr><td>First name</td><td><input name="fname" value="{{ c_fname }}"></td></tr>
+    <tr><td>Last name</td><td><input name="lname" value="{{ c_lname }}"></td></tr>
+    <tr><td>Email</td><td><input name="email" value="{{ c_email }}"></td></tr>
+  </table>
+  <input type="submit" value="Continue">
+</form>
+{% endblock %}
+)HTML";
+
+constexpr const char* kBuyRequest = R"HTML({% extends 'base.html' %}
+{% block title %}Checkout{% endblock %}
+{% block content %}
+<h2 align="center">Confirm your order</h2>
+<p>Shipping to: {{ c_fname }} {{ c_lname }},
+   {{ addr_street1 }}, {{ addr_city }} {{ addr_zip }} ({{ co_name }})</p>
+<table border="1" cellpadding="4">
+{% for line in lines %}
+  <tr><td>{{ line.i_title }}</td><td>{{ line.scl_qty }}</td>
+      <td>${{ line.i_cost|floatformat:2 }}</td></tr>
+{% endfor %}
+</table>
+<p>Subtotal ${{ subtotal|floatformat:2 }}, tax ${{ tax|floatformat:2 }},
+   total <b>${{ total|floatformat:2 }}</b></p>
+<form action="/buy_confirm" method="GET">
+  <input type="hidden" name="c_id" value="{{ c_id }}">
+  <input type="submit" value="Buy now">
+</form>
+{% endblock %}
+)HTML";
+
+constexpr const char* kBuyConfirm = R"HTML({% extends 'base.html' %}
+{% block title %}Order Confirmed{% endblock %}
+{% block content %}
+<h2 align="center">Thank you for your order!</h2>
+<p>Order <b>#{{ o_id }}</b> has been placed for {{ c_fname }} {{ c_lname }}.</p>
+<table border="1" cellpadding="4">
+{% for line in lines %}
+  <tr><td>{{ line.i_title }}</td><td>{{ line.scl_qty }}</td></tr>
+{% endfor %}
+</table>
+<p>Total charged: <b>${{ total|floatformat:2 }}</b></p>
+<p><a href="/order_display?c_id={{ c_id }}">View order status</a></p>
+{% endblock %}
+)HTML";
+
+constexpr const char* kOrderInquiry = R"HTML({% extends 'base.html' %}
+{% block title %}Order Inquiry{% endblock %}
+{% block content %}
+<h2 align="center">Order inquiry</h2>
+<p>Look up recent orders for {{ c_uname }}:</p>
+<form action="/order_display" method="GET">
+  <input type="hidden" name="c_id" value="{{ c_id }}">
+  <input type="submit" value="Display last order">
+</form>
+{% endblock %}
+)HTML";
+
+constexpr const char* kOrderDisplay = R"HTML({% extends 'base.html' %}
+{% block title %}Order Status{% endblock %}
+{% block content %}
+<h2 align="center">Your most recent order</h2>
+{% if found %}
+<p>Order #{{ o_id }} placed {{ o_date }} — status <b>{{ o_status }}</b>,
+   total ${{ o_total|floatformat:2 }}</p>
+<table border="1" cellpadding="4">
+  <tr><th>Title</th><th>Qty</th></tr>
+{% for line in lines %}
+  <tr><td>{{ line.i_title }}</td><td>{{ line.ol_qty }}</td></tr>
+{% endfor %}
+</table>
+{% else %}
+<p>No orders on record for customer #{{ c_id }}.</p>
+{% endif %}
+{% endblock %}
+)HTML";
+
+constexpr const char* kAdminRequest = R"HTML({% extends 'base.html' %}
+{% block title %}Admin: Edit Item{% endblock %}
+{% block content %}
+<h2 align="center">Edit product #{{ i_id }}</h2>
+<form action="/admin_response" method="GET">
+  <input type="hidden" name="i_id" value="{{ i_id }}">
+  <table>
+    <tr><td>Title</td><td>{{ i_title }}</td></tr>
+    <tr><td>Image</td><td><input name="image" value="{{ i_image }}"></td></tr>
+    <tr><td>Thumbnail</td><td><input name="thumbnail" value="{{ i_thumbnail }}"></td></tr>
+    <tr><td>Cost</td><td><input name="cost" value="{{ i_cost|floatformat:2 }}"></td></tr>
+  </table>
+  <input type="submit" value="Update">
+</form>
+{% endblock %}
+)HTML";
+
+constexpr const char* kAdminResponse = R"HTML({% extends 'base.html' %}
+{% block title %}Admin: Item Updated{% endblock %}
+{% block content %}
+<h2 align="center">Product #{{ i_id }} updated</h2>
+<p>{{ i_title }} now costs ${{ i_cost|floatformat:2 }};
+   image set to {{ i_image }}.</p>
+<p><a href="/admin_request?i_id={{ i_id }}">Edit again</a></p>
+{% endblock %}
+)HTML";
+
+}  // namespace
+
+std::shared_ptr<tmpl::MemoryLoader> make_template_loader() {
+  auto loader = std::make_shared<tmpl::MemoryLoader>();
+  loader->add("base.html", kBase);
+  loader->add("home.html", kHome);
+  loader->add("new_products.html", kNewProducts);
+  loader->add("best_sellers.html", kBestSellers);
+  loader->add("product_detail.html", kProductDetail);
+  loader->add("search_request.html", kSearchRequest);
+  loader->add("execute_search.html", kExecuteSearch);
+  loader->add("shopping_cart.html", kShoppingCart);
+  loader->add("customer_registration.html", kCustomerRegistration);
+  loader->add("buy_request.html", kBuyRequest);
+  loader->add("buy_confirm.html", kBuyConfirm);
+  loader->add("order_inquiry.html", kOrderInquiry);
+  loader->add("order_display.html", kOrderDisplay);
+  loader->add("admin_request.html", kAdminRequest);
+  loader->add("admin_response.html", kAdminResponse);
+  return loader;
+}
+
+}  // namespace tempest::tpcw

@@ -1,0 +1,16 @@
+// The 14 TPC-W page templates, written in the Django template language the
+// paper's benchmark used (Section 4.1: "455 lines of Python code and 704
+// lines of template code"). All pages extend a shared base layout and
+// reference the static images the emulated browser fetches per interaction.
+#pragma once
+
+#include <memory>
+
+#include "src/template/loader.h"
+
+namespace tempest::tpcw {
+
+// Builds a loader containing base.html plus one template per TPC-W page.
+std::shared_ptr<tmpl::MemoryLoader> make_template_loader();
+
+}  // namespace tempest::tpcw

@@ -1,0 +1,71 @@
+#include "src/common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace tempest {
+namespace {
+
+class ClockTest : public ::testing::Test {
+ protected:
+  void TearDown() override { TimeScale::set(0.005); }
+};
+
+TEST_F(ClockTest, ScaleRoundTrips) {
+  TimeScale::set(0.25);
+  EXPECT_DOUBLE_EQ(TimeScale::get(), 0.25);
+}
+
+TEST_F(ClockTest, ToWallScalesPaperSeconds) {
+  TimeScale::set(0.5);
+  EXPECT_EQ(to_wall(2.0), std::chrono::nanoseconds(1'000'000'000));
+  EXPECT_EQ(to_wall(0.0), std::chrono::nanoseconds(0));
+}
+
+TEST_F(ClockTest, ToPaperInvertsToWall) {
+  TimeScale::set(0.01);
+  const double paper = 123.456;
+  EXPECT_NEAR(to_paper(to_wall(paper)), paper, 1e-6);
+}
+
+TEST_F(ClockTest, NegativeSleepIsNoOp) {
+  TimeScale::set(1.0);
+  const auto start = WallClock::now();
+  paper_sleep_for(-5.0);
+  EXPECT_LT(std::chrono::duration<double>(WallClock::now() - start).count(),
+            0.05);
+}
+
+TEST_F(ClockTest, SleepTakesAtLeastScaledDuration) {
+  TimeScale::set(0.001);  // 1 paper-s = 1 ms wall
+  const auto start = WallClock::now();
+  paper_sleep_for(10.0);  // 10 ms wall
+  const double wall =
+      std::chrono::duration<double>(WallClock::now() - start).count();
+  EXPECT_GE(wall, 0.009);
+}
+
+TEST_F(ClockTest, PaperNowIsMonotonic) {
+  const double a = paper_now();
+  const double b = paper_now();
+  EXPECT_LE(a, b);
+}
+
+TEST_F(ClockTest, StopwatchMeasuresPaperTime) {
+  TimeScale::set(0.001);
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(watch.elapsed_paper(), 4.0);
+  EXPECT_GE(watch.elapsed_wall_seconds(), 0.004);
+  watch.restart();
+  EXPECT_LT(watch.elapsed_paper(), 2.0);
+}
+
+TEST_F(ClockTest, ZeroScaleDoesNotDivideByZero) {
+  TimeScale::set(0.0);
+  EXPECT_EQ(to_paper(std::chrono::seconds(1)), 0.0);
+}
+
+}  // namespace
+}  // namespace tempest

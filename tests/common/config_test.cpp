@@ -1,0 +1,64 @@
+#include "src/common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace tempest {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(OptionsTest, EqualsForm) {
+  const auto opts = parse({"--clients=200", "--scale=0.02"});
+  EXPECT_EQ(opts.get_int("clients", 0), 200);
+  EXPECT_DOUBLE_EQ(opts.get_double("scale", 0), 0.02);
+}
+
+TEST(OptionsTest, SpaceSeparatedForm) {
+  const auto opts = parse({"--seed", "99"});
+  EXPECT_EQ(opts.get_int("seed", 0), 99);
+}
+
+TEST(OptionsTest, BareFlagIsTrue) {
+  const auto opts = parse({"--paper"});
+  EXPECT_TRUE(opts.get_bool("paper", false));
+  EXPECT_TRUE(opts.has("paper"));
+}
+
+TEST(OptionsTest, MissingKeysUseFallbacks) {
+  const auto opts = parse({});
+  EXPECT_EQ(opts.get_int("nope", 7), 7);
+  EXPECT_EQ(opts.get_string("nope", "x"), "x");
+  EXPECT_FALSE(opts.get_bool("nope", false));
+  EXPECT_FALSE(opts.has("nope"));
+}
+
+TEST(OptionsTest, BoolSpellings) {
+  EXPECT_TRUE(parse({"--a=true"}).get_bool("a", false));
+  EXPECT_TRUE(parse({"--a=1"}).get_bool("a", false));
+  EXPECT_TRUE(parse({"--a=yes"}).get_bool("a", false));
+  EXPECT_FALSE(parse({"--a=false"}).get_bool("a", true));
+  EXPECT_FALSE(parse({"--a=0"}).get_bool("a", true));
+}
+
+TEST(OptionsTest, LastOccurrenceWins) {
+  const auto opts = parse({"--n=1", "--n=2"});
+  EXPECT_EQ(opts.get_int("n", 0), 2);
+}
+
+TEST(OptionsTest, SetOverrides) {
+  auto opts = parse({"--n=1"});
+  opts.set("n", "5");
+  EXPECT_EQ(opts.get_int("n", 0), 5);
+}
+
+TEST(OptionsTest, NonFlagArgumentsIgnored) {
+  const auto opts = parse({"positional", "--k=v"});
+  EXPECT_EQ(opts.get_string("k", ""), "v");
+}
+
+}  // namespace
+}  // namespace tempest

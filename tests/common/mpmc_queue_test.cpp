@@ -1,0 +1,138 @@
+#include "src/common/mpmc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace tempest {
+namespace {
+
+TEST(MpmcQueueTest, FifoOrder) {
+  MpmcQueue<int> queue;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(queue.push(i));
+  for (int i = 0; i < 10; ++i) {
+    auto v = queue.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(MpmcQueueTest, SizeTracksContents) {
+  MpmcQueue<int> queue;
+  EXPECT_TRUE(queue.empty());
+  queue.push(1);
+  queue.push(2);
+  EXPECT_EQ(queue.size(), 2u);
+  queue.pop();
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(MpmcQueueTest, TryPopOnEmptyReturnsNullopt) {
+  MpmcQueue<int> queue;
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(MpmcQueueTest, CloseDrainsRemainingItems) {
+  MpmcQueue<int> queue;
+  queue.push(1);
+  queue.push(2);
+  queue.close();
+  EXPECT_FALSE(queue.push(3));
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(MpmcQueueTest, PopBlocksUntilPush) {
+  MpmcQueue<int> queue;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    queue.push(42);
+  });
+  EXPECT_EQ(queue.pop(), 42);
+  producer.join();
+}
+
+TEST(MpmcQueueTest, CloseWakesBlockedConsumers) {
+  MpmcQueue<int> queue;
+  std::atomic<int> finished{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 4; ++i) {
+    consumers.emplace_back([&] {
+      while (queue.pop().has_value()) {
+      }
+      ++finished;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(finished.load(), 4);
+}
+
+TEST(MpmcQueueTest, BoundedTryPushFailsWhenFull) {
+  MpmcQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));
+  queue.pop();
+  EXPECT_TRUE(queue.try_push(3));
+}
+
+TEST(MpmcQueueTest, BoundedPushBlocksUntilSpace) {
+  MpmcQueue<int> queue(1);
+  queue.push(1);
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    queue.pop();
+  });
+  EXPECT_TRUE(queue.push(2));  // must wait for the pop
+  consumer.join();
+  EXPECT_EQ(queue.pop(), 2);
+}
+
+TEST(MpmcQueueTest, ManyProducersManyConsumersDeliverEverythingOnce) {
+  MpmcQueue<int> queue;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::mutex seen_mu;
+  std::multiset<int> seen;
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = queue.pop()) {
+        std::lock_guard lock(seen_mu);
+        seen.insert(*v);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) queue.push(p * kPerProducer + i);
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  for (int v = 0; v < kProducers * kPerProducer; ++v) {
+    EXPECT_EQ(seen.count(v), 1u) << v;
+  }
+}
+
+TEST(MpmcQueueTest, MoveOnlyTypesSupported) {
+  MpmcQueue<std::unique_ptr<int>> queue;
+  queue.push(std::make_unique<int>(7));
+  auto v = queue.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 7);
+}
+
+}  // namespace
+}  // namespace tempest

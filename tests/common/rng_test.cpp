@@ -1,0 +1,121 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace tempest {
+namespace {
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(1);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  EXPECT_THROW(rng.uniform_int(6, 5), std::invalid_argument);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform_int(0, 1 << 30) != b.uniform_int(0, 1 << 30)) ++differences;
+  }
+  EXPECT_GT(differences, 40);
+}
+
+TEST(RngTest, UniformRealWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(-1.0, 1.0);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(5);
+  double sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(7.0);
+  EXPECT_NEAR(sum / kSamples, 7.0, 0.3);
+}
+
+TEST(RngTest, NurandWithinRange) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.nurand(1023, 1, 30000);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 30000);
+  }
+}
+
+TEST(RngTest, NurandIsNonUniform) {
+  // NURand concentrates mass; the chi-square vs uniform should be large.
+  Rng rng(13);
+  std::map<std::int64_t, int> buckets;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    buckets[rng.nurand(255, 1, 1000) / 100]++;
+  }
+  int max_bucket = 0;
+  int min_bucket = kSamples;
+  for (const auto& [k, n] : buckets) {
+    max_bucket = std::max(max_bucket, n);
+    min_bucket = std::min(min_bucket, n);
+  }
+  // A uniform distribution over 10 buckets would give ~2000 each.
+  EXPECT_GT(max_bucket - min_bucket, 200);
+}
+
+TEST(RngTest, AlnumStringLengthAndCharset) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const std::string s = rng.alnum_string(5, 12);
+    EXPECT_GE(s.size(), 5u);
+    EXPECT_LE(s.size(), 12u);
+    for (char c : s) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c))) << s;
+    }
+  }
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(17);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[rng.discrete({1.0, 0.0, 9.0})]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0] * 5);
+}
+
+TEST(RngTest, DiscreteThrowsOnEmpty) {
+  Rng rng(1);
+  EXPECT_THROW(rng.discrete({}), std::invalid_argument);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace tempest

@@ -1,0 +1,157 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace tempest {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.min(), 0.0);
+  EXPECT_EQ(stats.max(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+}
+
+TEST(OnlineStatsTest, MeanMinMax) {
+  OnlineStats stats;
+  for (double v : {4.0, 2.0, 6.0, 8.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 8.0);
+}
+
+TEST(OnlineStatsTest, VarianceMatchesTwoPassFormula) {
+  const std::vector<double> values = {1.5, 2.5, 3.5, 9.0, -1.0, 0.25};
+  OnlineStats stats;
+  double sum = 0;
+  for (double v : values) {
+    stats.add(v);
+    sum += v;
+  }
+  const double mean = sum / values.size();
+  double ss = 0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  EXPECT_NEAR(stats.variance(), ss / (values.size() - 1), 1e-12);
+}
+
+TEST(OnlineStatsTest, MergeEqualsCombinedStream) {
+  OnlineStats a;
+  OnlineStats b;
+  OnlineStats combined;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10;
+    (i % 2 ? a : b).add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmptySides) {
+  OnlineStats a;
+  OnlineStats empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(ConcurrentStatsTest, ThreadedAddsAllCounted) {
+  ConcurrentStats stats;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) stats.add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(stats.snapshot().count(), 4000u);
+  EXPECT_DOUBLE_EQ(stats.snapshot().mean(), 1.0);
+}
+
+TEST(HistogramTest, CountAndMean) {
+  Histogram h;
+  h.add(0.1);
+  h.add(0.3);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_NEAR(h.mean(), 0.2, 1e-12);
+}
+
+TEST(HistogramTest, QuantilesAreMonotonic) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(i * 0.001);
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+  EXPECT_LE(h.quantile(0.9), h.quantile(0.99));
+}
+
+TEST(HistogramTest, QuantileBracketsTrueValue) {
+  Histogram h;
+  for (int i = 0; i < 10000; ++i) h.add(1.0);  // everything in one bucket
+  const double q = h.quantile(0.5);
+  EXPECT_GE(q, 1.0);
+  EXPECT_LE(q, 2.0);  // geometric bucket upper bound
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a;
+  Histogram b;
+  a.add(0.5);
+  b.add(1.5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_NEAR(a.mean(), 1.0, 1e-12);
+}
+
+TEST(TimeSeriesTest, RecordsInOrder) {
+  TimeSeries series;
+  series.record(1.0, 10.0);
+  series.record(2.0, 20.0);
+  const auto points = series.snapshot();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].t, 1.0);
+  EXPECT_EQ(points[1].value, 20.0);
+  EXPECT_EQ(series.size(), 2u);
+}
+
+TEST(WindowedCounterTest, BinsByTime) {
+  WindowedCounter counter(60.0);
+  counter.record(5.0);
+  counter.record(59.0);
+  counter.record(61.0, 3);
+  const auto series = counter.series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].first, 0.0);
+  EXPECT_EQ(series[0].second, 2u);
+  EXPECT_EQ(series[1].first, 60.0);
+  EXPECT_EQ(series[1].second, 3u);
+  EXPECT_EQ(counter.total(), 5u);
+}
+
+TEST(WindowedCounterTest, ThreadedRecording) {
+  WindowedCounter counter(1.0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 250; ++i) counter.record(t * 1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.total(), 1000u);
+}
+
+}  // namespace
+}  // namespace tempest

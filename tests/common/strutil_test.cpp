@@ -1,0 +1,100 @@
+#include "src/common/strutil.h"
+
+#include <gtest/gtest.h>
+
+namespace tempest {
+namespace {
+
+TEST(StrUtilTest, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\r\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(StrUtilTest, SplitBasic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrUtilTest, SplitKeepsOrDropsEmpty) {
+  EXPECT_EQ(split("a,,b", ',').size(), 3u);
+  EXPECT_EQ(split("a,,b", ',', /*keep_empty=*/false).size(), 2u);
+  EXPECT_EQ(split("", ',').size(), 1u);
+  EXPECT_EQ(split("", ',', false).size(), 0u);
+}
+
+TEST(StrUtilTest, SplitOnce) {
+  bool found = false;
+  auto [k, v] = split_once("key=value=more", '=', &found);
+  EXPECT_TRUE(found);
+  EXPECT_EQ(k, "key");
+  EXPECT_EQ(v, "value=more");
+
+  auto [whole, empty] = split_once("nodelim", '=', &found);
+  EXPECT_FALSE(found);
+  EXPECT_EQ(whole, "nodelim");
+  EXPECT_EQ(empty, "");
+}
+
+TEST(StrUtilTest, CaseConversion) {
+  EXPECT_EQ(to_lower("HeLLo-123"), "hello-123");
+  EXPECT_EQ(to_upper("HeLLo-123"), "HELLO-123");
+}
+
+TEST(StrUtilTest, CaseInsensitiveEquality) {
+  EXPECT_TRUE(iequals("Content-Length", "content-length"));
+  EXPECT_FALSE(iequals("Content-Length", "content_length"));
+  EXPECT_FALSE(iequals("abc", "abcd"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StrUtilTest, UrlDecodeBasics) {
+  EXPECT_EQ(url_decode("hello%20world"), "hello world");
+  EXPECT_EQ(url_decode("a+b"), "a b");
+  EXPECT_EQ(url_decode("a+b", /*plus_as_space=*/false), "a+b");
+  EXPECT_EQ(url_decode("%41%42%43"), "ABC");
+}
+
+TEST(StrUtilTest, UrlDecodeMalformedPercentIsLiteral) {
+  EXPECT_EQ(url_decode("100%"), "100%");
+  EXPECT_EQ(url_decode("%zz"), "%zz");
+  EXPECT_EQ(url_decode("%4"), "%4");
+}
+
+TEST(StrUtilTest, UrlEncodeRoundTrip) {
+  const std::string original = "a b&c=d/é?#";
+  EXPECT_EQ(url_decode(url_encode(original)), original);
+}
+
+TEST(StrUtilTest, UrlEncodePreservesUnreserved) {
+  EXPECT_EQ(url_encode("AZaz09-_.~"), "AZaz09-_.~");
+  EXPECT_EQ(url_encode(" "), "+");
+  EXPECT_EQ(url_encode("&"), "%26");
+}
+
+TEST(StrUtilTest, HtmlEscape) {
+  EXPECT_EQ(html_escape("<b>&\"'</b>"),
+            "&lt;b&gt;&amp;&quot;&#x27;&lt;/b&gt;");
+  EXPECT_EQ(html_escape("plain"), "plain");
+}
+
+TEST(StrUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("ar", "bar"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+}  // namespace
+}  // namespace tempest

@@ -1,0 +1,115 @@
+#include "src/common/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+
+namespace tempest {
+namespace {
+
+TEST(WorkerPoolTest, ProcessesAllSubmittedItems) {
+  std::atomic<int> sum{0};
+  {
+    WorkerPool<int> pool("adders", 4, [&](int&& v) { sum += v; });
+    for (int i = 1; i <= 100; ++i) pool.submit(i);
+    pool.shutdown();
+  }
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(WorkerPoolTest, ProcessedCounterMatches) {
+  WorkerPool<int> pool("count", 2, [](int&&) {});
+  for (int i = 0; i < 37; ++i) pool.submit(i);
+  pool.shutdown();
+  EXPECT_EQ(pool.processed(), 37u);
+}
+
+TEST(WorkerPoolTest, ThreadInitAndExitRunOncePerThread) {
+  std::atomic<int> inits{0};
+  std::atomic<int> exits{0};
+  {
+    WorkerPool<int> pool(
+        "hooks", 3, [](int&&) {}, [&] { ++inits; }, [&] { ++exits; });
+    pool.submit(1);
+    pool.shutdown();
+  }
+  EXPECT_EQ(inits.load(), 3);
+  EXPECT_EQ(exits.load(), 3);
+}
+
+TEST(WorkerPoolTest, SpareCountReflectsBusyThreads) {
+  std::atomic<bool> release{false};
+  WorkerPool<int> pool("busy", 4, [&](int&&) {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  EXPECT_EQ(pool.spare_count(), 4u);
+  pool.submit(1);
+  pool.submit(2);
+  // Wait for both to be picked up.
+  for (int i = 0; i < 200 && pool.busy_count() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.busy_count(), 2u);
+  EXPECT_EQ(pool.spare_count(), 2u);
+  release.store(true);
+  pool.shutdown();
+  EXPECT_EQ(pool.spare_count(), 4u);
+}
+
+TEST(WorkerPoolTest, QueueLengthVisibleWhileWorkersBusy) {
+  std::atomic<bool> release{false};
+  WorkerPool<int> pool("queued", 1, [&](int&&) {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  pool.submit(1);
+  for (int i = 0; i < 200 && pool.busy_count() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  pool.submit(2);
+  pool.submit(3);
+  EXPECT_EQ(pool.queue_length(), 2u);
+  release.store(true);
+  pool.shutdown();
+  EXPECT_EQ(pool.queue_length(), 0u);
+}
+
+TEST(WorkerPoolTest, ShutdownIsIdempotent) {
+  WorkerPool<int> pool("idem", 2, [](int&&) {});
+  pool.submit(1);
+  pool.shutdown();
+  pool.shutdown();
+  EXPECT_EQ(pool.processed(), 1u);
+}
+
+TEST(WorkerPoolTest, WorkRunsOnMultipleThreads) {
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  std::atomic<int> in_flight{0};
+  {
+    WorkerPool<int> pool("spread", 4, [&](int&&) {
+      ++in_flight;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      std::lock_guard lock(mu);
+      ids.insert(std::this_thread::get_id());
+    });
+    for (int i = 0; i < 16; ++i) pool.submit(i);
+    pool.shutdown();
+  }
+  EXPECT_GE(ids.size(), 2u);
+}
+
+TEST(WorkerPoolTest, NameAndThreadCountAccessors) {
+  WorkerPool<int> pool("named", 5, [](int&&) {});
+  EXPECT_EQ(pool.name(), "named");
+  EXPECT_EQ(pool.thread_count(), 5u);
+  pool.shutdown();
+}
+
+}  // namespace
+}  // namespace tempest

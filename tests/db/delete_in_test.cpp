@@ -1,0 +1,148 @@
+// DELETE statements, IN (...) predicates, and tombstone semantics.
+#include <gtest/gtest.h>
+
+#include "src/db/executor.h"
+
+namespace tempest::db {
+namespace {
+
+class DeleteInTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableSchema schema;
+    schema.name = "t";
+    schema.columns = {{"id", ColumnType::kInt},
+                      {"grp", ColumnType::kInt},
+                      {"name", ColumnType::kString}};
+    schema.primary_key = 0;
+    schema.indexed_columns = {1};
+    db_.create_table(schema);
+    auto& table = db_.table("t");
+    for (int i = 1; i <= 10; ++i) {
+      table.insert({Value(i), Value(i % 3), Value("row" + std::to_string(i))});
+    }
+  }
+
+  ResultSet run(const std::string& sql, std::vector<Value> params = {}) {
+    Executor executor(db_);
+    return executor.execute(*parse_sql(sql), params);
+  }
+
+  db::Database db_;
+};
+
+TEST_F(DeleteInTest, DeleteByPk) {
+  const auto rs = run("DELETE FROM t WHERE id = 4");
+  EXPECT_EQ(rs.rows_affected, 1u);
+  EXPECT_EQ(db_.table("t").row_count(), 9u);
+  EXPECT_TRUE(run("SELECT id FROM t WHERE id = 4").empty());
+}
+
+TEST_F(DeleteInTest, DeleteByIndexedColumn) {
+  const auto rs = run("DELETE FROM t WHERE grp = 0");
+  EXPECT_EQ(rs.rows_affected, 3u);  // ids 3, 6, 9
+  EXPECT_EQ(run("SELECT id FROM t").size(), 7u);
+}
+
+TEST_F(DeleteInTest, DeleteWithScanPredicate) {
+  const auto rs = run("DELETE FROM t WHERE id > 7");
+  EXPECT_EQ(rs.rows_affected, 3u);
+  EXPECT_GT(rs.rows_scanned, 0u);
+}
+
+TEST_F(DeleteInTest, DeleteAllRows) {
+  const auto rs = run("DELETE FROM t");
+  EXPECT_EQ(rs.rows_affected, 10u);
+  EXPECT_EQ(db_.table("t").row_count(), 0u);
+  EXPECT_TRUE(run("SELECT id FROM t").empty());
+}
+
+TEST_F(DeleteInTest, DeletedRowsInvisibleToScansAndJoins) {
+  run("DELETE FROM t WHERE id = 1");
+  const auto rs = run("SELECT COUNT(*) AS n FROM t");
+  EXPECT_EQ(rs.at(0, "n").as_int(), 9);
+}
+
+TEST_F(DeleteInTest, DeletedPkCanBeReinserted) {
+  run("DELETE FROM t WHERE id = 5");
+  EXPECT_NO_THROW(
+      run("INSERT INTO t (id, grp, name) VALUES (5, 1, 'again')"));
+  EXPECT_EQ(run("SELECT name FROM t WHERE id = 5").at(0, "name").as_string(),
+            "again");
+}
+
+TEST_F(DeleteInTest, DeleteIsIdempotentPerRow) {
+  run("DELETE FROM t WHERE id = 2");
+  const auto rs = run("DELETE FROM t WHERE id = 2");
+  EXPECT_EQ(rs.rows_affected, 0u);
+}
+
+TEST_F(DeleteInTest, UpdateSkipsDeletedRows) {
+  run("DELETE FROM t WHERE grp = 1");
+  const auto rs = run("UPDATE t SET name = 'x' WHERE grp = 1");
+  EXPECT_EQ(rs.rows_affected, 0u);
+}
+
+TEST_F(DeleteInTest, InPredicateWithLiterals) {
+  const auto rs = run("SELECT id FROM t WHERE id IN (2, 4, 99)");
+  EXPECT_EQ(rs.size(), 2u);
+}
+
+TEST_F(DeleteInTest, InPredicateWithParams) {
+  const auto rs = run("SELECT id FROM t WHERE id IN (?, ?, ?)",
+                      {Value(1), Value(3), Value(5)});
+  EXPECT_EQ(rs.size(), 3u);
+}
+
+TEST_F(DeleteInTest, InWithStringsAndConjunction) {
+  const auto rs = run(
+      "SELECT id FROM t WHERE name IN ('row1', 'row2', 'row3') AND grp = 1");
+  // row1 (grp 1), row2 (grp 2), row3 (grp 0) -> only row1.
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 1);
+}
+
+TEST_F(DeleteInTest, InOnJoinedTable) {
+  TableSchema other;
+  other.name = "o";
+  other.columns = {{"oid", ColumnType::kInt}, {"ref", ColumnType::kInt}};
+  other.primary_key = 0;
+  db_.create_table(other);
+  db_.table("o").insert({Value(1), Value(2)});
+  db_.table("o").insert({Value(2), Value(3)});
+  const auto rs = run(
+      "SELECT oid FROM o JOIN t ON ref = id WHERE grp IN (0, 2)");
+  // ref 2 -> grp 2 (in), ref 3 -> grp 0 (in).
+  EXPECT_EQ(rs.size(), 2u);
+}
+
+TEST_F(DeleteInTest, DeleteInPredicate) {
+  const auto rs = run("DELETE FROM t WHERE id IN (1, 2, 3)");
+  EXPECT_EQ(rs.rows_affected, 3u);
+  EXPECT_EQ(db_.table("t").row_count(), 7u);
+}
+
+TEST_F(DeleteInTest, ParserErrors) {
+  EXPECT_THROW(run("DELETE t WHERE id = 1"), DbError);      // missing FROM
+  EXPECT_THROW(run("SELECT id FROM t WHERE id IN ()"), DbError);
+  EXPECT_THROW(run("SELECT id FROM t WHERE id IN 1"), DbError);
+}
+
+TEST_F(DeleteInTest, TableSlotAccounting) {
+  auto& table = db_.table("t");
+  EXPECT_EQ(table.slot_count(), 10u);
+  run("DELETE FROM t WHERE id = 7");
+  EXPECT_EQ(table.slot_count(), 10u);  // tombstoned, slot remains
+  EXPECT_EQ(table.row_count(), 9u);
+  EXPECT_FALSE(table.is_live(6));  // id 7 was at position 6
+}
+
+TEST_F(DeleteInTest, DeleteIsWriteStatement) {
+  const auto stmt = parse_sql("DELETE FROM t WHERE id = 1");
+  EXPECT_TRUE(stmt->is_write());
+  ASSERT_EQ(stmt->referenced_tables().size(), 1u);
+  EXPECT_EQ(stmt->referenced_tables()[0], "t");
+}
+
+}  // namespace
+}  // namespace tempest::db

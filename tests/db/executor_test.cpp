@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "src/db/executor.h"
+
+namespace tempest::db {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableSchema book;
+    book.name = "book";
+    book.columns = {{"id", ColumnType::kInt},
+                    {"author_id", ColumnType::kInt},
+                    {"title", ColumnType::kString},
+                    {"price", ColumnType::kDouble},
+                    {"year", ColumnType::kInt}};
+    book.primary_key = 0;
+    db_.create_table(book);
+
+    TableSchema author;
+    author.name = "writer";
+    author.columns = {{"id", ColumnType::kInt}, {"name", ColumnType::kString}};
+    author.primary_key = 0;
+    db_.create_table(author);
+
+    TableSchema sale;  // deliberately no indexes: forces scans/hash joins
+    sale.name = "sale";
+    sale.columns = {{"book_id", ColumnType::kInt}, {"qty", ColumnType::kInt}};
+    db_.create_table(sale);
+
+    auto& writers = db_.table("writer");
+    writers.insert({Value(1), Value("alice")});
+    writers.insert({Value(2), Value("bob")});
+
+    auto& books = db_.table("book");
+    books.insert({Value(1), Value(1), Value("war"), Value(10.0), Value(2001)});
+    books.insert({Value(2), Value(1), Value("peace"), Value(12.5), Value(2003)});
+    books.insert({Value(3), Value(2), Value("crime"), Value(8.0), Value(2002)});
+    books.insert({Value(4), Value(2), Value("punishment"), Value(30.0),
+                  Value(2001)});
+
+    auto& sales = db_.table("sale");
+    sales.insert({Value(1), Value(3)});
+    sales.insert({Value(2), Value(5)});
+    sales.insert({Value(1), Value(2)});
+    sales.insert({Value(4), Value(7)});
+  }
+
+  ResultSet run(const std::string& sql, std::vector<Value> params = {}) {
+    Executor executor(db_);
+    return executor.execute(*parse_sql(sql), params);
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorTest, PkLookupUsesIndex) {
+  const auto rs = run("SELECT title FROM book WHERE id = ?", {Value(3)});
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.at(0, "title").as_string(), "crime");
+  EXPECT_EQ(rs.rows_scanned, 0u);
+  EXPECT_LE(rs.rows_probed, 2u);
+}
+
+TEST_F(ExecutorTest, FullScanCountsScannedRows) {
+  const auto rs = run("SELECT title FROM book WHERE year = 2001");
+  EXPECT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs.rows_scanned, 4u);
+}
+
+TEST_F(ExecutorTest, SelectStarProjectsAllColumns) {
+  const auto rs = run("SELECT * FROM book WHERE id = 1");
+  EXPECT_EQ(rs.columns.size(), 5u);
+  EXPECT_EQ(rs.at(0, "price").as_double(), 10.0);
+}
+
+TEST_F(ExecutorTest, ComparisonOperators) {
+  EXPECT_EQ(run("SELECT id FROM book WHERE price > 10").size(), 2u);
+  EXPECT_EQ(run("SELECT id FROM book WHERE price >= 10").size(), 3u);
+  EXPECT_EQ(run("SELECT id FROM book WHERE price < 10").size(), 1u);
+  EXPECT_EQ(run("SELECT id FROM book WHERE year <> 2001").size(), 2u);
+  // peace, crime, punishment all contain an 'e'.
+  EXPECT_EQ(run("SELECT id FROM book WHERE title LIKE '%e%'").size(), 3u);
+}
+
+TEST_F(ExecutorTest, ConjunctionNarrows) {
+  const auto rs =
+      run("SELECT id FROM book WHERE year = 2001 AND price > 20");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 4);
+}
+
+TEST_F(ExecutorTest, JoinViaPrimaryKey) {
+  const auto rs = run(
+      "SELECT title, name FROM book JOIN writer ON author_id = id "
+      "WHERE year = 2001");
+  EXPECT_EQ(rs.size(), 2u);
+  // Probed rows counted for the indexed join.
+  EXPECT_GT(rs.rows_probed, 0u);
+}
+
+TEST_F(ExecutorTest, HashJoinOnUnindexedColumn) {
+  const auto rs = run(
+      "SELECT title, qty FROM book JOIN sale ON id = book_id "
+      "WHERE id = 1");
+  EXPECT_EQ(rs.size(), 2u);  // two sales of book 1
+  EXPECT_GE(rs.rows_scanned, 4u);  // hash build over sale
+}
+
+TEST_F(ExecutorTest, ThreeWayJoin) {
+  const auto rs = run(
+      "SELECT name, qty FROM sale JOIN book ON book_id = book.id "
+      "JOIN writer ON author_id = writer.id");
+  EXPECT_EQ(rs.size(), 4u);
+}
+
+TEST_F(ExecutorTest, OrderByAscDesc) {
+  const auto asc = run("SELECT id FROM book ORDER BY price");
+  EXPECT_EQ(asc.rows.front()[0].as_int(), 3);
+  EXPECT_EQ(asc.rows.back()[0].as_int(), 4);
+  const auto desc = run("SELECT id FROM book ORDER BY price DESC");
+  EXPECT_EQ(desc.rows.front()[0].as_int(), 4);
+}
+
+TEST_F(ExecutorTest, OrderByUnprojectedColumn) {
+  // ORDER BY works on columns that are not in the SELECT list.
+  const auto rs = run("SELECT title FROM book ORDER BY year DESC, title ASC");
+  EXPECT_EQ(rs.rows[0][0].as_string(), "peace");  // 2003
+}
+
+TEST_F(ExecutorTest, MultiKeyOrderIsStable) {
+  const auto rs = run("SELECT id FROM book ORDER BY year ASC, price DESC");
+  // year 2001: ids 4 (30.0) then 1 (10.0); then 2002 id 3; then 2003 id 2.
+  ASSERT_EQ(rs.size(), 4u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 4);
+  EXPECT_EQ(rs.rows[1][0].as_int(), 1);
+  EXPECT_EQ(rs.rows[2][0].as_int(), 3);
+  EXPECT_EQ(rs.rows[3][0].as_int(), 2);
+}
+
+TEST_F(ExecutorTest, LimitTruncates) {
+  const auto rs = run("SELECT id FROM book ORDER BY id LIMIT 2");
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs.rows[1][0].as_int(), 2);
+}
+
+TEST_F(ExecutorTest, GroupByWithAggregates) {
+  const auto rs = run(
+      "SELECT author_id, COUNT(*) AS n, SUM(price) AS total, "
+      "MIN(price) AS lo, MAX(price) AS hi, AVG(year) AS avg_year "
+      "FROM book GROUP BY author_id ORDER BY author_id");
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs.at(0, "n").as_int(), 2);
+  EXPECT_DOUBLE_EQ(rs.at(0, "total").as_double(), 22.5);
+  EXPECT_DOUBLE_EQ(rs.at(1, "lo").as_double(), 8.0);
+  EXPECT_DOUBLE_EQ(rs.at(1, "hi").as_double(), 30.0);
+  EXPECT_DOUBLE_EQ(rs.at(0, "avg_year").as_double(), 2002.0);
+}
+
+TEST_F(ExecutorTest, GroupByOrderByAggregateAlias) {
+  const auto rs = run(
+      "SELECT book_id, SUM(qty) AS total FROM sale GROUP BY book_id "
+      "ORDER BY total DESC LIMIT 2");
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs.at(0, "book_id").as_int(), 4);  // qty 7
+  EXPECT_EQ(rs.at(1, "book_id").as_int(), 1);  // qty 5 combined
+  EXPECT_EQ(rs.at(1, "total").as_double(), 5.0);
+}
+
+TEST_F(ExecutorTest, AggregateWithoutGroupByIsOneRow) {
+  const auto rs = run("SELECT COUNT(*) AS n, SUM(price) AS s FROM book");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.at(0, "n").as_int(), 4);
+  EXPECT_DOUBLE_EQ(rs.at(0, "s").as_double(), 60.5);
+}
+
+TEST_F(ExecutorTest, EmptyResultHasColumns) {
+  const auto rs = run("SELECT title FROM book WHERE id = 999");
+  EXPECT_TRUE(rs.empty());
+  EXPECT_EQ(rs.columns.size(), 1u);
+}
+
+TEST_F(ExecutorTest, InsertAddsRow) {
+  const auto rs = run(
+      "INSERT INTO book (id, author_id, title, price, year) "
+      "VALUES (?, 1, 'new', 5.0, 2009)",
+      {Value(9)});
+  EXPECT_EQ(rs.rows_affected, 1u);
+  EXPECT_EQ(db_.table("book").row_count(), 5u);
+  EXPECT_EQ(run("SELECT title FROM book WHERE id = 9").at(0, "title").as_string(),
+            "new");
+}
+
+TEST_F(ExecutorTest, InsertMissingColumnsDefaultToNull) {
+  run("INSERT INTO sale (book_id) VALUES (2)");
+  const auto rs = run("SELECT qty FROM sale WHERE book_id = 2 AND qty = 5");
+  EXPECT_EQ(rs.size(), 1u);  // the NULL-qty row does not match qty = 5
+}
+
+TEST_F(ExecutorTest, UpdateByPk) {
+  const auto rs =
+      run("UPDATE book SET price = ? WHERE id = ?", {Value(99.0), Value(1)});
+  EXPECT_EQ(rs.rows_affected, 1u);
+  EXPECT_DOUBLE_EQ(
+      run("SELECT price FROM book WHERE id = 1").at(0, "price").as_double(),
+      99.0);
+}
+
+TEST_F(ExecutorTest, UpdateWithScanPredicate) {
+  const auto rs = run("UPDATE book SET year = 2010 WHERE price < 11");
+  EXPECT_EQ(rs.rows_affected, 2u);
+  EXPECT_GT(rs.rows_scanned, 0u);
+}
+
+TEST_F(ExecutorTest, UpdateNoMatchesAffectsNothing) {
+  EXPECT_EQ(run("UPDATE book SET year = 1 WHERE id = 999").rows_affected, 0u);
+}
+
+TEST_F(ExecutorTest, MissingParameterRejected) {
+  EXPECT_THROW(run("SELECT id FROM book WHERE id = ?"), DbError);
+}
+
+TEST_F(ExecutorTest, UnknownColumnOrTableRejected) {
+  EXPECT_THROW(run("SELECT nope FROM book"), DbError);
+  EXPECT_THROW(run("SELECT id FROM nope"), DbError);
+  EXPECT_THROW(run("SELECT id FROM book WHERE nope = 1"), DbError);
+}
+
+TEST_F(ExecutorTest, AmbiguousColumnRejected) {
+  // `id` exists in both book and writer.
+  EXPECT_THROW(
+      run("SELECT id FROM book JOIN writer ON author_id = id WHERE id = 1"),
+      DbError);
+}
+
+TEST_F(ExecutorTest, QualifiedColumnsDisambiguate) {
+  const auto rs = run(
+      "SELECT book.id FROM book JOIN writer ON author_id = writer.id "
+      "WHERE writer.id = 1");
+  EXPECT_EQ(rs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tempest::db

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "src/db/sql.h"
+
+namespace tempest::db {
+namespace {
+
+TEST(SqlParserTest, SimpleSelect) {
+  const auto stmt = parse_sql("SELECT a, b FROM t");
+  EXPECT_EQ(stmt->kind, StatementKind::kSelect);
+  ASSERT_EQ(stmt->select.items.size(), 2u);
+  EXPECT_EQ(stmt->select.items[0].column.column, "a");
+  EXPECT_EQ(stmt->select.table, "t");
+  EXPECT_EQ(stmt->param_count, 0u);
+}
+
+TEST(SqlParserTest, SelectStar) {
+  const auto stmt = parse_sql("SELECT * FROM item WHERE i_id = ?");
+  EXPECT_TRUE(stmt->select.items[0].star);
+  ASSERT_EQ(stmt->select.where.size(), 1u);
+  EXPECT_TRUE(stmt->select.where[0].rhs.is_param);
+  EXPECT_EQ(stmt->param_count, 1u);
+}
+
+TEST(SqlParserTest, WhereConjunctionsAndOperators) {
+  const auto stmt = parse_sql(
+      "SELECT a FROM t WHERE x = 1 AND y <> 2 AND z < 3 AND w >= ? AND "
+      "s LIKE '%term%'");
+  ASSERT_EQ(stmt->select.where.size(), 5u);
+  EXPECT_EQ(stmt->select.where[0].op, CmpOp::kEq);
+  EXPECT_EQ(stmt->select.where[1].op, CmpOp::kNe);
+  EXPECT_EQ(stmt->select.where[2].op, CmpOp::kLt);
+  EXPECT_EQ(stmt->select.where[3].op, CmpOp::kGe);
+  EXPECT_EQ(stmt->select.where[4].op, CmpOp::kLike);
+  EXPECT_EQ(stmt->select.where[4].rhs.literal.as_string(), "%term%");
+}
+
+TEST(SqlParserTest, JoinOnNormalization) {
+  const auto stmt = parse_sql(
+      "SELECT i_title FROM item JOIN author ON i_a_id = a_id");
+  ASSERT_EQ(stmt->select.joins.size(), 1u);
+  EXPECT_EQ(stmt->select.joins[0].table, "author");
+  EXPECT_EQ(stmt->select.joins[0].left.column, "i_a_id");
+  EXPECT_EQ(stmt->select.joins[0].right.column, "a_id");
+}
+
+TEST(SqlParserTest, AliasedJoinNormalizesByAlias) {
+  const auto stmt = parse_sql(
+      "SELECT x FROM t1 a JOIN t2 b ON b.k = a.k");
+  ASSERT_EQ(stmt->select.joins.size(), 1u);
+  // `right` must reference the joined table's alias b.
+  EXPECT_EQ(stmt->select.joins[0].right.table_alias, "b");
+  EXPECT_EQ(stmt->select.joins[0].left.table_alias, "a");
+}
+
+TEST(SqlParserTest, GroupByOrderByLimit) {
+  const auto stmt = parse_sql(
+      "SELECT i_id, SUM(ol_qty) AS total FROM order_line "
+      "GROUP BY i_id ORDER BY total DESC, i_id ASC LIMIT 50");
+  EXPECT_EQ(stmt->select.items[1].agg, AggFunc::kSum);
+  EXPECT_EQ(stmt->select.items[1].alias, "total");
+  ASSERT_EQ(stmt->select.group_by.size(), 1u);
+  ASSERT_EQ(stmt->select.order_by.size(), 2u);
+  EXPECT_TRUE(stmt->select.order_by[0].desc);
+  EXPECT_FALSE(stmt->select.order_by[1].desc);
+  EXPECT_EQ(stmt->select.limit, 50);
+}
+
+TEST(SqlParserTest, AggregateForms) {
+  const auto stmt = parse_sql(
+      "SELECT COUNT(*), COUNT(a), AVG(b), MIN(c), MAX(d) FROM t");
+  EXPECT_EQ(stmt->select.items[0].agg, AggFunc::kCount);
+  EXPECT_TRUE(stmt->select.items[0].star);
+  EXPECT_EQ(stmt->select.items[1].agg, AggFunc::kCount);
+  EXPECT_FALSE(stmt->select.items[1].star);
+  EXPECT_EQ(stmt->select.items[2].agg, AggFunc::kAvg);
+  EXPECT_EQ(stmt->select.items[3].agg, AggFunc::kMin);
+  EXPECT_EQ(stmt->select.items[4].agg, AggFunc::kMax);
+}
+
+TEST(SqlParserTest, QualifiedColumns) {
+  const auto stmt = parse_sql("SELECT t.a FROM t WHERE t.b = 1");
+  EXPECT_EQ(stmt->select.items[0].column.table_alias, "t");
+  EXPECT_EQ(stmt->select.where[0].column.table_alias, "t");
+}
+
+TEST(SqlParserTest, Insert) {
+  const auto stmt =
+      parse_sql("INSERT INTO t (a, b, c) VALUES (?, 2, 'x')");
+  EXPECT_EQ(stmt->kind, StatementKind::kInsert);
+  EXPECT_EQ(stmt->insert.table, "t");
+  ASSERT_EQ(stmt->insert.columns.size(), 3u);
+  EXPECT_TRUE(stmt->insert.values[0].is_param);
+  EXPECT_EQ(stmt->insert.values[1].literal.as_int(), 2);
+  EXPECT_EQ(stmt->insert.values[2].literal.as_string(), "x");
+}
+
+TEST(SqlParserTest, InsertColumnValueMismatchRejected) {
+  EXPECT_THROW(parse_sql("INSERT INTO t (a, b) VALUES (1)"), DbError);
+}
+
+TEST(SqlParserTest, Update) {
+  const auto stmt =
+      parse_sql("UPDATE t SET a = ?, b = 'x' WHERE id = ?");
+  EXPECT_EQ(stmt->kind, StatementKind::kUpdate);
+  ASSERT_EQ(stmt->update.sets.size(), 2u);
+  EXPECT_EQ(stmt->update.sets[0].column, "a");
+  EXPECT_EQ(stmt->param_count, 2u);
+  EXPECT_EQ(stmt->update.where[0].column.column, "id");
+}
+
+TEST(SqlParserTest, BeginCommitNoOps) {
+  EXPECT_EQ(parse_sql("BEGIN")->kind, StatementKind::kBegin);
+  EXPECT_EQ(parse_sql("COMMIT")->kind, StatementKind::kCommit);
+}
+
+TEST(SqlParserTest, CaseInsensitiveKeywordsCaseSensitiveIdentifiers) {
+  const auto stmt = parse_sql("select MyCol from MyTable where MyCol = 1");
+  EXPECT_EQ(stmt->select.items[0].column.column, "MyCol");
+  EXPECT_EQ(stmt->select.table, "MyTable");
+}
+
+TEST(SqlParserTest, NegativeAndFloatLiterals) {
+  const auto stmt = parse_sql("SELECT a FROM t WHERE x = -5 AND y = 2.75");
+  EXPECT_EQ(stmt->select.where[0].rhs.literal.as_int(), -5);
+  EXPECT_DOUBLE_EQ(stmt->select.where[1].rhs.literal.as_double(), 2.75);
+}
+
+TEST(SqlParserTest, NullLiteral) {
+  const auto stmt = parse_sql("UPDATE t SET a = NULL");
+  EXPECT_TRUE(stmt->update.sets[0].value.literal.is_null());
+}
+
+TEST(SqlParserTest, SyntaxErrors) {
+  EXPECT_THROW(parse_sql(""), DbError);
+  EXPECT_THROW(parse_sql("DROP TABLE t"), DbError);
+  EXPECT_THROW(parse_sql("SELECT FROM t"), DbError);
+  EXPECT_THROW(parse_sql("SELECT a FROM"), DbError);
+  EXPECT_THROW(parse_sql("SELECT a FROM t WHERE"), DbError);
+  EXPECT_THROW(parse_sql("SELECT a FROM t LIMIT x"), DbError);
+  EXPECT_THROW(parse_sql("SELECT a FROM t trailing garbage ("), DbError);
+  EXPECT_THROW(parse_sql("SELECT a FROM t WHERE s = 'unterminated"), DbError);
+}
+
+TEST(SqlParserTest, ReferencedTables) {
+  const auto stmt = parse_sql(
+      "SELECT a FROM t1 JOIN t2 ON t1.x = t2.y JOIN t3 ON t2.z = t3.w");
+  const auto tables = stmt->referenced_tables();
+  ASSERT_EQ(tables.size(), 3u);
+  EXPECT_EQ(tables[0], "t1");
+  EXPECT_FALSE(stmt->is_write());
+  EXPECT_TRUE(parse_sql("UPDATE t SET a = 1")->is_write());
+  EXPECT_TRUE(parse_sql("INSERT INTO t (a) VALUES (1)")->is_write());
+}
+
+struct LikeCase {
+  const char* text;
+  const char* pattern;
+  bool expected;
+};
+
+class LikeTest : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeTest, Matches) {
+  const auto& c = GetParam();
+  EXPECT_EQ(like_match(c.text, c.pattern), c.expected)
+      << c.text << " LIKE " << c.pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, LikeTest,
+    ::testing::Values(LikeCase{"hello", "hello", true},
+                      LikeCase{"hello", "h%", true},
+                      LikeCase{"hello", "%o", true},
+                      LikeCase{"hello", "%ell%", true},
+                      LikeCase{"hello", "%", true},
+                      LikeCase{"", "%", true},
+                      LikeCase{"hello", "h_llo", true},
+                      LikeCase{"hello", "h__lo", true},
+                      LikeCase{"hello", "h_lo", false},
+                      LikeCase{"hello", "", false},
+                      LikeCase{"abcabc", "%abc", true},
+                      LikeCase{"abcabd", "%abc", false},
+                      LikeCase{"aXbYc", "a%b%c", true},
+                      LikeCase{"ac", "a%b%c", false},
+                      LikeCase{"Hello", "hello", false},  // case-sensitive
+                      LikeCase{"a", "%%", true},
+                      LikeCase{"mississippi", "%iss%ppi", true}));
+
+}  // namespace
+}  // namespace tempest::db

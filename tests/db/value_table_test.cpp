@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "src/db/table.h"
+
+namespace tempest::db {
+namespace {
+
+TEST(DbValueTest, TypePredicatesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(1).is_int());
+  EXPECT_TRUE(Value(1.5).is_double());
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_EQ(Value(7).as_int(), 7);
+  EXPECT_DOUBLE_EQ(Value(7).as_double(), 7.0);
+  EXPECT_EQ(Value("abc").as_string(), "abc");
+  EXPECT_THROW(Value("x").as_int(), DbError);
+  EXPECT_THROW(Value().as_double(), DbError);
+}
+
+TEST(DbValueTest, SqlComparisonSemantics) {
+  EXPECT_EQ(Value::compare(Value(1), Value(1.0)), 0);
+  EXPECT_LT(Value::compare(Value(), Value(0)), 0);  // NULL sorts first
+  EXPECT_LT(Value::compare(Value("a"), Value("b")), 0);
+  EXPECT_THROW(Value::compare(Value(1), Value("1")), DbError);
+}
+
+TEST(DbValueTest, EqualityAndHashCoherence) {
+  EXPECT_EQ(Value(3), Value(3.0));
+  EXPECT_EQ(Value(3).hash(), Value(3.0).hash());
+  EXPECT_NE(Value(3), Value("3"));
+  EXPECT_EQ(Value(), Value());
+  EXPECT_NE(Value(), Value(0));
+}
+
+TableSchema make_schema() {
+  TableSchema schema;
+  schema.name = "t";
+  schema.columns = {{"id", ColumnType::kInt},
+                    {"group_id", ColumnType::kInt},
+                    {"name", ColumnType::kString}};
+  schema.primary_key = 0;
+  schema.indexed_columns = {1};
+  return schema;
+}
+
+TEST(TableTest, InsertAndPkLookup) {
+  Table table(make_schema());
+  table.insert({Value(1), Value(10), Value("a")});
+  table.insert({Value(2), Value(10), Value("b")});
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.find_by_pk(Value(2)), 1u);
+  EXPECT_EQ(table.find_by_pk(Value(9)), Table::kNotFound);
+}
+
+TEST(TableTest, DuplicatePkRejected) {
+  Table table(make_schema());
+  table.insert({Value(1), Value(10), Value("a")});
+  EXPECT_THROW(table.insert({Value(1), Value(11), Value("b")}), DbError);
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table table(make_schema());
+  EXPECT_THROW(table.insert({Value(1)}), DbError);
+}
+
+TEST(TableTest, SecondaryIndexLookup) {
+  Table table(make_schema());
+  table.insert({Value(1), Value(10), Value("a")});
+  table.insert({Value(2), Value(20), Value("b")});
+  table.insert({Value(3), Value(10), Value("c")});
+  const auto hits = table.find_by_index(1, Value(10));
+  EXPECT_EQ(hits.size(), 2u);
+  EXPECT_TRUE(table.find_by_index(1, Value(99)).empty());
+}
+
+TEST(TableTest, HasIndexOn) {
+  Table table(make_schema());
+  EXPECT_TRUE(table.has_index_on(0));  // pk
+  EXPECT_TRUE(table.has_index_on(1));  // secondary
+  EXPECT_FALSE(table.has_index_on(2));
+}
+
+TEST(TableTest, UpdateCellMaintainsSecondaryIndex) {
+  Table table(make_schema());
+  table.insert({Value(1), Value(10), Value("a")});
+  table.update_cell(0, 1, Value(30));
+  EXPECT_TRUE(table.find_by_index(1, Value(10)).empty());
+  EXPECT_EQ(table.find_by_index(1, Value(30)).size(), 1u);
+  EXPECT_EQ(table.row_at(0)[1].as_int(), 30);
+}
+
+TEST(TableTest, UpdateCellMaintainsPkIndex) {
+  Table table(make_schema());
+  table.insert({Value(1), Value(10), Value("a")});
+  table.insert({Value(2), Value(10), Value("b")});
+  table.update_cell(0, 0, Value(5));
+  EXPECT_EQ(table.find_by_pk(Value(5)), 0u);
+  EXPECT_EQ(table.find_by_pk(Value(1)), Table::kNotFound);
+  EXPECT_THROW(table.update_cell(0, 0, Value(2)), DbError);  // duplicate
+}
+
+TEST(TableTest, UpdateCellBoundsChecked) {
+  Table table(make_schema());
+  table.insert({Value(1), Value(10), Value("a")});
+  EXPECT_THROW(table.update_cell(5, 0, Value(9)), DbError);
+  EXPECT_THROW(table.update_cell(0, 9, Value(9)), DbError);
+}
+
+TEST(TableTest, SchemaValidation) {
+  TableSchema bad = make_schema();
+  bad.primary_key = 99;
+  EXPECT_THROW(Table{bad}, DbError);
+  TableSchema bad2 = make_schema();
+  bad2.indexed_columns = {99};
+  EXPECT_THROW(Table{bad2}, DbError);
+}
+
+TEST(SchemaTest, ColumnLookup) {
+  const TableSchema schema = make_schema();
+  EXPECT_EQ(schema.column_index("name"), 2u);
+  EXPECT_FALSE(schema.column_index("missing").has_value());
+  EXPECT_EQ(schema.require_column("id"), 0u);
+  EXPECT_THROW(schema.require_column("missing"), DbError);
+}
+
+}  // namespace
+}  // namespace tempest::db

@@ -1,0 +1,73 @@
+#include "src/http/cookies.h"
+
+#include <gtest/gtest.h>
+
+namespace tempest::http {
+namespace {
+
+TEST(CookieTest, ParsesSimplePairs) {
+  const auto cookies = parse_cookie_header("sid=abc123; theme=dark");
+  EXPECT_EQ(cookies.at("sid"), "abc123");
+  EXPECT_EQ(cookies.at("theme"), "dark");
+}
+
+TEST(CookieTest, TrimsWhitespaceAroundPairs) {
+  const auto cookies = parse_cookie_header("  a = 1 ;b=2;  c=3  ");
+  EXPECT_EQ(cookies.at("a"), "1");
+  EXPECT_EQ(cookies.at("b"), "2");
+  EXPECT_EQ(cookies.at("c"), "3");
+}
+
+TEST(CookieTest, SkipsMalformedFragments) {
+  const auto cookies = parse_cookie_header("novalue; =orphan; ok=1;;");
+  EXPECT_EQ(cookies.size(), 1u);
+  EXPECT_EQ(cookies.at("ok"), "1");
+}
+
+TEST(CookieTest, EmptyHeaderYieldsNothing) {
+  EXPECT_TRUE(parse_cookie_header("").empty());
+}
+
+TEST(CookieTest, ValueMayContainEquals) {
+  const auto cookies = parse_cookie_header("token=a=b=c");
+  EXPECT_EQ(cookies.at("token"), "a=b=c");
+}
+
+TEST(CookieTest, RequestCookiesMergesMultipleHeaders) {
+  HeaderMap headers;
+  headers.add("Cookie", "a=1");
+  headers.add("Cookie", "b=2; a=overridden");
+  const auto cookies = request_cookies(headers);
+  EXPECT_EQ(cookies.at("a"), "overridden");
+  EXPECT_EQ(cookies.at("b"), "2");
+}
+
+TEST(CookieTest, NoCookieHeaderIsEmpty) {
+  HeaderMap headers;
+  EXPECT_TRUE(request_cookies(headers).empty());
+}
+
+TEST(SetCookieTest, MinimalForm) {
+  SetCookie cookie{"sid", "xyz"};
+  cookie.http_only = false;
+  EXPECT_EQ(cookie.to_header_value(), "sid=xyz; Path=/");
+}
+
+TEST(SetCookieTest, AllAttributes) {
+  SetCookie cookie{"sid", "xyz", "/shop"};
+  cookie.max_age_seconds = 3600;
+  cookie.http_only = true;
+  cookie.secure = true;
+  EXPECT_EQ(cookie.to_header_value(),
+            "sid=xyz; Path=/shop; Max-Age=3600; HttpOnly; Secure");
+}
+
+TEST(SetCookieTest, RoundTripsThroughParser) {
+  SetCookie cookie{"session", "tok-42"};
+  const auto parsed = parse_cookie_header(
+      cookie.name + "=" + cookie.value);  // client echoes name=value only
+  EXPECT_EQ(parsed.at("session"), "tok-42");
+}
+
+}  // namespace
+}  // namespace tempest::http

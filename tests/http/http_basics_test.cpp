@@ -1,0 +1,99 @@
+// Methods, statuses, headers, MIME types.
+#include <gtest/gtest.h>
+
+#include "src/http/headers.h"
+#include "src/http/method.h"
+#include "src/http/mime.h"
+#include "src/http/status.h"
+
+namespace tempest::http {
+namespace {
+
+TEST(MethodTest, ParseKnownMethods) {
+  EXPECT_EQ(parse_method("GET"), Method::kGet);
+  EXPECT_EQ(parse_method("HEAD"), Method::kHead);
+  EXPECT_EQ(parse_method("POST"), Method::kPost);
+  EXPECT_EQ(parse_method("PUT"), Method::kPut);
+  EXPECT_EQ(parse_method("DELETE"), Method::kDelete);
+  EXPECT_EQ(parse_method("OPTIONS"), Method::kOptions);
+}
+
+TEST(MethodTest, RejectsUnknownAndLowercase) {
+  EXPECT_FALSE(parse_method("get").has_value());
+  EXPECT_FALSE(parse_method("FETCH").has_value());
+  EXPECT_FALSE(parse_method("").has_value());
+}
+
+TEST(MethodTest, RoundTripsToString) {
+  for (Method m : {Method::kGet, Method::kHead, Method::kPost, Method::kPut,
+                   Method::kDelete, Method::kOptions}) {
+    EXPECT_EQ(parse_method(to_string(m)), m);
+  }
+}
+
+TEST(StatusTest, CodesAndReasons) {
+  EXPECT_EQ(status_code(Status::kOk), 200);
+  EXPECT_EQ(status_code(Status::kNotFound), 404);
+  EXPECT_EQ(reason_phrase(Status::kOk), "OK");
+  EXPECT_EQ(reason_phrase(Status::kInternalServerError),
+            "Internal Server Error");
+  EXPECT_EQ(reason_phrase(Status::kServiceUnavailable), "Service Unavailable");
+}
+
+TEST(HeaderMapTest, CaseInsensitiveGet) {
+  HeaderMap headers;
+  headers.add("Content-Type", "text/html");
+  EXPECT_EQ(headers.get("content-type"), "text/html");
+  EXPECT_EQ(headers.get("CONTENT-TYPE"), "text/html");
+  EXPECT_FALSE(headers.get("content_type").has_value());
+}
+
+TEST(HeaderMapTest, FirstValueWinsOnGet) {
+  HeaderMap headers;
+  headers.add("Accept", "text/html");
+  headers.add("Accept", "image/gif");
+  EXPECT_EQ(headers.get("accept"), "text/html");
+  EXPECT_EQ(headers.get_all("Accept").size(), 2u);
+}
+
+TEST(HeaderMapTest, SetReplacesAll) {
+  HeaderMap headers;
+  headers.add("X", "1");
+  headers.add("x", "2");
+  headers.set("X", "3");
+  EXPECT_EQ(headers.get_all("x").size(), 1u);
+  EXPECT_EQ(headers.get("x"), "3");
+}
+
+TEST(HeaderMapTest, RemoveAndContains) {
+  HeaderMap headers;
+  headers.add("A", "1");
+  EXPECT_TRUE(headers.contains("a"));
+  headers.remove("A");
+  EXPECT_FALSE(headers.contains("a"));
+  EXPECT_TRUE(headers.empty());
+}
+
+TEST(HeaderMapTest, PreservesInsertionOrder) {
+  HeaderMap headers;
+  headers.add("B", "1");
+  headers.add("A", "2");
+  ASSERT_EQ(headers.entries().size(), 2u);
+  EXPECT_EQ(headers.entries()[0].name, "B");
+  EXPECT_EQ(headers.entries()[1].name, "A");
+}
+
+TEST(MimeTest, CommonTypes) {
+  EXPECT_EQ(mime_type_for_extension("gif"), "image/gif");
+  EXPECT_EQ(mime_type_for_extension("html"), "text/html; charset=utf-8");
+  EXPECT_EQ(mime_type_for_extension("css"), "text/css");
+  EXPECT_EQ(mime_type_for_extension("js"), "application/javascript");
+}
+
+TEST(MimeTest, UnknownFallsBackToOctetStream) {
+  EXPECT_EQ(mime_type_for_extension("zzz"), "application/octet-stream");
+  EXPECT_EQ(mime_type_for_extension(""), "application/octet-stream");
+}
+
+}  // namespace
+}  // namespace tempest::http

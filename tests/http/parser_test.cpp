@@ -1,0 +1,144 @@
+#include "src/http/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace tempest::http {
+namespace {
+
+constexpr const char* kSimpleGet =
+    "GET /homepage?userid=5&popups=no HTTP/1.1\r\n"
+    "User-Agent: Mozilla/1.7\r\n"
+    "Accept: text/html\r\n"
+    "\r\n";
+
+TEST(ParserTest, ParsesThePaperExample) {
+  const auto request = parse_request(kSimpleGet);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->method, Method::kGet);
+  EXPECT_EQ(request->uri.path, "/homepage");
+  EXPECT_EQ(request->uri.raw_query, "userid=5&popups=no");
+  EXPECT_EQ(request->version, "HTTP/1.1");
+  EXPECT_EQ(request->headers.get("User-Agent"), "Mozilla/1.7");
+  EXPECT_EQ(request->headers.get("accept"), "text/html");
+}
+
+TEST(ParserTest, RequestLineMilestoneBeforeHeaders) {
+  RequestParser parser;
+  parser.feed("GET /img/flowers.gif HTTP/1.1\r\n");
+  EXPECT_TRUE(parser.request_line_parsed());
+  EXPECT_FALSE(parser.complete());
+  EXPECT_EQ(parser.request().uri.path, "/img/flowers.gif");
+  parser.feed("\r\n");
+  EXPECT_TRUE(parser.complete());
+}
+
+TEST(ParserTest, ParseRequestLineOnlyHelper) {
+  const auto request = parse_request_line_only(kSimpleGet);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->uri.path, "/homepage");
+  EXPECT_TRUE(request->headers.empty());
+}
+
+TEST(ParserTest, IncrementalByteAtATime) {
+  RequestParser parser;
+  const std::string raw = kSimpleGet;
+  for (char c : raw) parser.feed(std::string_view(&c, 1));
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.request().headers.size(), 2u);
+}
+
+TEST(ParserTest, BodyWithContentLength) {
+  const std::string raw =
+      "POST /submit HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+  const auto request = parse_request(raw);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->body, "hello");
+}
+
+TEST(ParserTest, BodySplitAcrossFeeds) {
+  RequestParser parser;
+  parser.feed("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nhel");
+  EXPECT_EQ(parser.state(), RequestParser::State::kBody);
+  parser.feed("lo worl");
+  EXPECT_TRUE(parser.complete());
+  EXPECT_EQ(parser.request().body, "hello worl");
+}
+
+TEST(ParserTest, ExcessBytesAfterCompleteNotConsumed) {
+  RequestParser parser;
+  const std::string two = std::string(kSimpleGet) + "GET /next HTTP/1.1\r\n";
+  const std::size_t consumed = parser.feed(two);
+  EXPECT_TRUE(parser.complete());
+  EXPECT_EQ(consumed, std::string(kSimpleGet).size());
+}
+
+TEST(ParserTest, ResetAllowsNextRequest) {
+  RequestParser parser;
+  parser.feed(kSimpleGet);
+  ASSERT_TRUE(parser.complete());
+  parser.reset();
+  parser.feed("GET /second HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.request().uri.path, "/second");
+}
+
+TEST(ParserTest, ToleratesBareLf) {
+  const auto request = parse_request("GET /x HTTP/1.1\nHost: a\n\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->headers.get("Host"), "a");
+}
+
+TEST(ParserTest, ToleratesLeadingBlankLines) {
+  const auto request = parse_request("\r\n\r\nGET /x HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->uri.path, "/x");
+}
+
+TEST(ParserTest, RejectsMalformedRequestLine) {
+  std::string error;
+  EXPECT_FALSE(parse_request("GARBAGE\r\n\r\n", &error).has_value());
+  EXPECT_FALSE(parse_request("GET /x\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_request("FETCH /x HTTP/1.1\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_request("GET relative HTTP/1.1\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_request("GET /x HTTP/2.0\r\n\r\n").has_value());
+}
+
+TEST(ParserTest, RejectsMalformedHeader) {
+  EXPECT_FALSE(
+      parse_request("GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n").has_value());
+}
+
+TEST(ParserTest, RejectsOversizedBody) {
+  const std::string raw =
+      "POST /x HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n";
+  RequestParser parser;
+  parser.feed(raw);
+  EXPECT_TRUE(parser.failed());
+}
+
+TEST(ParserTest, HeaderValuesAreTrimmed) {
+  const auto request =
+      parse_request("GET /x HTTP/1.1\r\nHost:   spaced   \r\n\r\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->headers.get("Host"), "spaced");
+}
+
+TEST(ParserTest, IncompleteRequestReportsAsSuch) {
+  std::string error;
+  EXPECT_FALSE(parse_request("GET /x HTTP/1.1\r\nHost: a\r\n", &error));
+  EXPECT_EQ(error, "incomplete request");
+}
+
+TEST(RequestTest, KeepAliveDefaults) {
+  Request r;
+  r.version = "HTTP/1.1";
+  EXPECT_TRUE(r.keep_alive());
+  r.headers.set("Connection", "close");
+  EXPECT_FALSE(r.keep_alive());
+  Request r10;
+  r10.version = "HTTP/1.0";
+  EXPECT_FALSE(r10.keep_alive());
+}
+
+}  // namespace
+}  // namespace tempest::http

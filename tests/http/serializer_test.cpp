@@ -1,0 +1,94 @@
+#include "src/http/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/http/parser.h"
+
+namespace tempest::http {
+namespace {
+
+TEST(SerializerTest, StatusLineAndBody) {
+  const Response response = Response::make(Status::kOk, "hello");
+  const std::string wire = serialize_response(response);
+  EXPECT_EQ(wire.find("HTTP/1.1 200 OK\r\n"), 0u);
+  EXPECT_NE(wire.find("\r\n\r\nhello"), std::string::npos);
+}
+
+TEST(SerializerTest, ContentLengthSetFromBody) {
+  // The paper highlights that rendering in its own stage lets the server
+  // measure output size and set Content-Length.
+  const Response response = Response::make(Status::kOk, std::string(1234, 'x'));
+  const std::string wire = serialize_response(response);
+  EXPECT_NE(wire.find("Content-Length: 1234\r\n"), std::string::npos);
+}
+
+TEST(SerializerTest, ExplicitContentLengthNotOverridden) {
+  Response response = Response::make(Status::kOk, "abc");
+  response.headers.set("Content-Length", "3");
+  const std::string wire = serialize_response(response);
+  EXPECT_EQ(wire.find("Content-Length: 3\r\n") != std::string::npos, true);
+  // Exactly one occurrence.
+  const auto first = wire.find("Content-Length:");
+  EXPECT_EQ(wire.find("Content-Length:", first + 1), std::string::npos);
+}
+
+TEST(SerializerTest, HeadElidesBodyButKeepsLength) {
+  const Response response = Response::make(Status::kOk, "hello");
+  const std::string wire = serialize_response(response, /*head_only=*/true);
+  EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_EQ(wire.find("\r\n\r\n"), wire.size() - 4);
+}
+
+TEST(SerializerTest, DateAndServerHeadersPresent) {
+  const std::string wire =
+      serialize_response(Response::make(Status::kOk, ""));
+  EXPECT_NE(wire.find("Date: "), std::string::npos);
+  EXPECT_NE(wire.find("Server: tempest"), std::string::npos);
+  EXPECT_NE(wire.find(" GMT\r\n"), std::string::npos);
+}
+
+TEST(SerializerTest, ErrorHelpers) {
+  EXPECT_EQ(serialize_response(Response::not_found("/x")).find("HTTP/1.1 404"),
+            0u);
+  EXPECT_EQ(serialize_response(Response::bad_request("b")).find("HTTP/1.1 400"),
+            0u);
+  EXPECT_EQ(
+      serialize_response(Response::server_error("e")).find("HTTP/1.1 500"),
+      0u);
+}
+
+TEST(SerializerTest, ErrorPagesEscapeDetail) {
+  const Response response = Response::not_found("/<script>");
+  EXPECT_EQ(response.body.find("<script>"), std::string::npos);
+  EXPECT_NE(response.body.find("&lt;script&gt;"), std::string::npos);
+}
+
+TEST(SerializerTest, RequestRoundTripsThroughParser) {
+  Request request;
+  request.method = Method::kGet;
+  request.uri.path = "/search";
+  request.uri.raw_query = "q=books";
+  request.headers.add("Host", "example.com");
+  const std::string wire = serialize_request(request);
+
+  const auto reparsed = parse_request(wire);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->uri.path, "/search");
+  EXPECT_EQ(reparsed->uri.raw_query, "q=books");
+  EXPECT_EQ(reparsed->headers.get("Host"), "example.com");
+}
+
+TEST(SerializerTest, RequestBodyGetsContentLength) {
+  Request request;
+  request.method = Method::kPost;
+  request.uri.path = "/submit";
+  request.body = "payload";
+  const std::string wire = serialize_request(request);
+  EXPECT_NE(wire.find("Content-Length: 7\r\n"), std::string::npos);
+  const auto reparsed = parse_request(wire);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->body, "payload");
+}
+
+}  // namespace
+}  // namespace tempest::http

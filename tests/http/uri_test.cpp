@@ -1,0 +1,79 @@
+#include "src/http/uri.h"
+
+#include <gtest/gtest.h>
+
+namespace tempest::http {
+namespace {
+
+TEST(UriTest, PathOnly) {
+  const auto uri = parse_target("/home");
+  ASSERT_TRUE(uri.has_value());
+  EXPECT_EQ(uri->path, "/home");
+  EXPECT_TRUE(uri->raw_query.empty());
+}
+
+TEST(UriTest, PathWithQuery) {
+  const auto uri = parse_target("/homepage?userid=5&popups=no");
+  ASSERT_TRUE(uri.has_value());
+  EXPECT_EQ(uri->path, "/homepage");
+  EXPECT_EQ(uri->raw_query, "userid=5&popups=no");
+}
+
+TEST(UriTest, PercentDecodedPath) {
+  const auto uri = parse_target("/a%20b/c");
+  ASSERT_TRUE(uri.has_value());
+  EXPECT_EQ(uri->path, "/a b/c");
+}
+
+TEST(UriTest, RejectsNonOriginForm) {
+  EXPECT_FALSE(parse_target("").has_value());
+  EXPECT_FALSE(parse_target("http://host/x").has_value());
+  EXPECT_FALSE(parse_target("relative").has_value());
+}
+
+TEST(UriTest, EmptyQueryAfterQuestionMark) {
+  const auto uri = parse_target("/p?");
+  ASSERT_TRUE(uri.has_value());
+  EXPECT_EQ(uri->raw_query, "");
+}
+
+TEST(QueryTest, ParsesPairs) {
+  const auto q = parse_query("userid=5&popups=no");
+  EXPECT_EQ(q.at("userid"), "5");
+  EXPECT_EQ(q.at("popups"), "no");
+}
+
+TEST(QueryTest, DecodesValues) {
+  const auto q = parse_query("term=hello+world&x=a%26b");
+  EXPECT_EQ(q.at("term"), "hello world");
+  EXPECT_EQ(q.at("x"), "a&b");
+}
+
+TEST(QueryTest, ValuelessKeyIsEmpty) {
+  const auto q = parse_query("flag&k=v");
+  EXPECT_EQ(q.at("flag"), "");
+  EXPECT_EQ(q.at("k"), "v");
+}
+
+TEST(QueryTest, LastDuplicateWins) {
+  const auto q = parse_query("a=1&a=2");
+  EXPECT_EQ(q.at("a"), "2");
+}
+
+TEST(QueryTest, EmptyString) { EXPECT_TRUE(parse_query("").empty()); }
+
+TEST(ExtensionTest, PaperExamples) {
+  // The paper's own discriminator examples (Section 3.2).
+  EXPECT_EQ(path_extension("/img/flowers.gif"), "gif");
+  EXPECT_EQ(path_extension("/homepage"), "");
+}
+
+TEST(ExtensionTest, EdgeCases) {
+  EXPECT_EQ(path_extension("/a.b/c"), "");       // dot in a directory only
+  EXPECT_EQ(path_extension("/a.b/c.HTML"), "html");
+  EXPECT_EQ(path_extension("/x."), "");
+  EXPECT_EQ(path_extension("/"), "");
+}
+
+}  // namespace
+}  // namespace tempest::http

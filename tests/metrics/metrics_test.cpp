@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "src/metrics/series.h"
+#include "src/metrics/table.h"
+
+namespace tempest::metrics {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"a-much-longer-name", "23456"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha "), std::string::npos);
+  // Numeric columns right-aligned: "1" padded to width of "23456".
+  EXPECT_NE(out.find("|     1 |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TableTest, ShortRowsPaddedToHeaderArity) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("only,,"), std::string::npos);
+}
+
+TEST(TableTest, CsvHasHeaderFirst) {
+  Table table({"x", "y"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(TableTest, EmptyHeadersRejected) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(FormatTest, Doubles) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(FormatTest, Ints) {
+  EXPECT_EQ(format_int(42), "42");
+  EXPECT_EQ(format_int(-7), "-7");
+}
+
+TEST(FormatTest, Percent) {
+  EXPECT_EQ(format_percent(0.313), "+31.3%");
+  EXPECT_EQ(format_percent(-0.05), "-5.0%");
+}
+
+TEST(AsciiChartTest, EmptySeriesSaysSo) {
+  const std::string out = ascii_chart({"empty", {}});
+  EXPECT_NE(out.find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiChartTest, PlotsPointsWithinAxes) {
+  NamedSeries series{"ramp", {}};
+  for (int i = 0; i <= 100; ++i) {
+    series.points.push_back({static_cast<double>(i), static_cast<double>(i)});
+  }
+  const std::string out = ascii_chart(series, 40, 8);
+  EXPECT_NE(out.find("ramp"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("t = 0 .. 100"), std::string::npos);
+}
+
+TEST(AsciiChartTest, SummaryStatsAppended) {
+  NamedSeries series{"s", {{0, 1}, {1, 3}, {2, 5}}};
+  const std::string out = ascii_charts({series});
+  EXPECT_NE(out.find("n=3"), std::string::npos);
+  EXPECT_NE(out.find("mean=3.0"), std::string::npos);
+  EXPECT_NE(out.find("max=5.0"), std::string::npos);
+}
+
+TEST(SeriesCsvTest, AlignsSeriesOnSharedBuckets) {
+  NamedSeries a{"a", {{0, 1}, {10, 2}}};
+  NamedSeries b{"b", {{10, 4}}};
+  const std::string csv = series_csv({a, b}, 10.0);
+  EXPECT_NE(csv.find("t,a,b"), std::string::npos);
+  EXPECT_NE(csv.find("0.0,1.000,"), std::string::npos);
+  EXPECT_NE(csv.find("10.0,2.000,4.000"), std::string::npos);
+}
+
+TEST(SeriesCsvTest, BucketMeansAveraged) {
+  NamedSeries a{"a", {{0, 2}, {1, 4}}};  // same bucket at width 10
+  const std::string csv = series_csv({a}, 10.0);
+  EXPECT_NE(csv.find("0.0,3.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tempest::metrics

@@ -1,0 +1,100 @@
+// The adaptive treserve controller (Section 3.3, Tables 1 and 2).
+#include "src/server/reserve_controller.h"
+
+#include <gtest/gtest.h>
+
+namespace tempest::server {
+namespace {
+
+TEST(ReserveControllerTest, ReproducesPaperTableTwoExactly) {
+  // Table 2: min treserve = 20; the tspare sequence and resulting treserve.
+  ReserveController controller(20, /*max_reserve=*/1000);
+  struct Row {
+    std::int64_t tspare;
+    std::int64_t treserve_before;
+    std::int64_t delta;
+  };
+  const Row kTable2[] = {
+      {35, 20, 0}, {24, 20, 0},  {17, 20, 6},  {21, 26, 5},  {30, 31, 1},
+      {36, 32, -2}, {38, 30, -4}, {37, 26, -5}, {35, 21, -1}, {39, 20, 0},
+  };
+  for (const Row& row : kTable2) {
+    ASSERT_EQ(controller.treserve(), row.treserve_before)
+        << "before tick with tspare=" << row.tspare;
+    const std::int64_t next = controller.tick(row.tspare);
+    EXPECT_EQ(next, row.treserve_before + row.delta)
+        << "after tick with tspare=" << row.tspare;
+  }
+}
+
+TEST(ReserveControllerTest, TableOneDispatchRules) {
+  ReserveController controller(20, 1000);
+  // treserve == 20. Lengthy requests go to the lengthy pool iff
+  // tspare <= treserve.
+  EXPECT_FALSE(controller.send_lengthy_to_lengthy_pool(35));  // spare: general
+  EXPECT_TRUE(controller.send_lengthy_to_lengthy_pool(20));   // equal: lengthy
+  EXPECT_TRUE(controller.send_lengthy_to_lengthy_pool(5));    // short: lengthy
+}
+
+TEST(ReserveControllerTest, IncreaseIsDifferencePlusBelowMinAmount) {
+  ReserveController controller(20, 1000);
+  // tspare 17 < treserve 20: diff 3, below-min amount 3 -> +6 (Table 2 row 3).
+  EXPECT_EQ(controller.tick(17), 26);
+  // tspare 25 < treserve 26 but above min: diff only -> +1.
+  EXPECT_EQ(controller.tick(25), 27);
+}
+
+TEST(ReserveControllerTest, DecreaseIsHalfTheDifference) {
+  ReserveController controller(10, 1000);
+  controller.tick(0);  // 10 -> 10+10+10 = 30
+  EXPECT_EQ(controller.treserve(), 30);
+  EXPECT_EQ(controller.tick(40), 25);  // -(40-30)/2
+  EXPECT_EQ(controller.tick(40), 18);  // -(40-25)/2 = -7
+}
+
+TEST(ReserveControllerTest, DecayAlwaysAtLeastOne) {
+  // Integer halving of a difference of 1 must still make progress, or the
+  // reserve pins forever once it reaches tspare-1.
+  ReserveController controller(4, 1000);
+  controller.tick(0);  // 4 -> 12
+  ASSERT_EQ(controller.treserve(), 12);
+  EXPECT_EQ(controller.tick(13), 11);  // diff 1 -> still decays by 1
+}
+
+TEST(ReserveControllerTest, NeverDropsBelowMinimum) {
+  ReserveController controller(20, 1000);
+  for (int i = 0; i < 50; ++i) controller.tick(1000);
+  EXPECT_EQ(controller.treserve(), 20);
+}
+
+TEST(ReserveControllerTest, CappedDuringSustainedSpike) {
+  ReserveController controller(8, 30);
+  for (int i = 0; i < 50; ++i) controller.tick(0);
+  EXPECT_EQ(controller.treserve(), 30);  // no overflow, clamped
+}
+
+TEST(ReserveControllerTest, RecoversFromCapWhenSpareExceedsIt) {
+  ReserveController controller(8, 30);
+  for (int i = 0; i < 50; ++i) controller.tick(0);
+  ASSERT_EQ(controller.treserve(), 30);
+  // Pool fully idle: tspare (36) > cap (30) must decay, never deadlock.
+  controller.tick(36);
+  EXPECT_LT(controller.treserve(), 30);
+  for (int i = 0; i < 50; ++i) controller.tick(36);
+  EXPECT_EQ(controller.treserve(), 8);
+}
+
+TEST(ReserveControllerTest, EqualSpareIsSteadyState) {
+  ReserveController controller(20, 1000);
+  EXPECT_EQ(controller.tick(20), 20);
+  EXPECT_EQ(controller.tick(20), 20);
+}
+
+TEST(ReserveControllerTest, MaxClampedToAtLeastMin) {
+  ReserveController controller(50, 10);
+  EXPECT_EQ(controller.max_reserve(), 50);
+  EXPECT_EQ(controller.min_reserve(), 50);
+}
+
+}  // namespace
+}  // namespace tempest::server

@@ -1,0 +1,277 @@
+// Behavioural tests of both server variants against a small custom app:
+// handler ABI (unrendered-template vs string returns), dispatch between
+// pools, per-thread connections, Content-Length, HEAD, and error paths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/common/clock.h"
+#include "src/http/parser.h"
+#include "src/server/baseline_server.h"
+#include "src/server/staged_server.h"
+#include "src/server/transport.h"
+
+namespace tempest::server {
+namespace {
+
+class ServerBehaviorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TimeScale::set(0.0002);
+
+    db::TableSchema schema;
+    schema.name = "kv";
+    schema.columns = {{"k", db::ColumnType::kInt},
+                      {"v", db::ColumnType::kString}};
+    schema.primary_key = 0;
+    db_.create_table(schema);
+    db_.table("kv").insert({db::Value(1), db::Value("one")});
+
+    auto app = std::make_shared<Application>();
+    auto loader = std::make_shared<tmpl::MemoryLoader>();
+    loader->add("page.html", "<p>{{ value }}</p>");
+    app->templates = loader;
+
+    // Paper-style handler: query then return the unrendered template + data.
+    app->router.add("/templated", [](RequestContext& ctx) -> HandlerResult {
+      auto rs = ctx.db->execute("SELECT v FROM kv WHERE k = ?",
+                                {db::Value(ctx.param_int("k", 1))});
+      tmpl::Dict data;
+      data["value"] =
+          rs.empty() ? tmpl::Value("?") : tmpl::Value(rs.at(0, "v").as_string());
+      return TemplateResponse{"page.html", std::move(data)};
+    });
+
+    // Backward-compatible handler: returns an already-rendered string.
+    app->router.add("/legacy", [](RequestContext&) -> HandlerResult {
+      return StringResponse{"<p>legacy</p>"};
+    });
+
+    app->router.add("/boom", [](RequestContext&) -> HandlerResult {
+      throw std::runtime_error("kaboom");
+    });
+
+    app->router.add("/badtemplate", [](RequestContext&) -> HandlerResult {
+      return TemplateResponse{"missing.html", {}};
+    });
+
+    // Records whether the handler thread had a DB connection.
+    app->router.add("/hasconn", [this](RequestContext& ctx) -> HandlerResult {
+      handler_had_connection_.store(ctx.db != nullptr);
+      return StringResponse{"checked"};
+    });
+
+    app->static_store.add("/style.css", "body{color:red}", "text/css");
+    app_ = app;
+
+    config_.db_connections = 6;
+    config_.baseline_threads = 6;
+    config_.header_threads = 2;
+    config_.static_threads = 2;
+    config_.general_threads = 4;
+    config_.lengthy_threads = 1;
+    config_.render_threads = 2;
+    config_.treserve_min = 1;
+  }
+
+  void TearDown() override { TimeScale::set(0.005); }
+
+  static std::string get(WebServer& server, const std::string& url,
+                         const std::string& method = "GET") {
+    InProcClient client(server);
+    return client.roundtrip(method + " " + url + " HTTP/1.1\r\nHost: x\r\n\r\n");
+  }
+
+  db::Database db_;
+  std::shared_ptr<const Application> app_;
+  ServerConfig config_;
+  std::atomic<bool> handler_had_connection_{false};
+};
+
+template <typename T>
+std::unique_ptr<WebServer> make_server(ServerConfig config,
+                                       std::shared_ptr<const Application> app,
+                                       db::Database& db) {
+  return std::make_unique<T>(config, std::move(app), db);
+}
+
+TEST_F(ServerBehaviorTest, TemplatedHandlerRendersOnBothServers) {
+  for (const bool staged : {false, true}) {
+    std::unique_ptr<WebServer> server =
+        staged ? make_server<StagedServer>(config_, app_, db_)
+               : make_server<BaselineServer>(config_, app_, db_);
+    const std::string response = get(*server, "/templated?k=1");
+    EXPECT_EQ(response.find("HTTP/1.1 200"), 0u) << staged;
+    EXPECT_NE(response.find("<p>one</p>"), std::string::npos) << staged;
+    server->shutdown();
+  }
+}
+
+TEST_F(ServerBehaviorTest, LegacyStringHandlerStillWorks) {
+  // Section 3.1: a handler returning an already-rendered string must be
+  // handled properly (without the render-stage optimization).
+  for (const bool staged : {false, true}) {
+    std::unique_ptr<WebServer> server =
+        staged ? make_server<StagedServer>(config_, app_, db_)
+               : make_server<BaselineServer>(config_, app_, db_);
+    const std::string response = get(*server, "/legacy");
+    EXPECT_NE(response.find("<p>legacy</p>"), std::string::npos);
+    server->shutdown();
+  }
+}
+
+TEST_F(ServerBehaviorTest, ContentLengthMatchesRenderedBody) {
+  StagedServer server(config_, app_, db_);
+  const std::string response = get(server, "/templated?k=1");
+  const auto parsed_body_pos = response.find("\r\n\r\n");
+  ASSERT_NE(parsed_body_pos, std::string::npos);
+  const std::string body = response.substr(parsed_body_pos + 4);
+  const std::string expected = "Content-Length: " + std::to_string(body.size());
+  EXPECT_NE(response.find(expected), std::string::npos) << response;
+  server.shutdown();
+}
+
+TEST_F(ServerBehaviorTest, HeadRequestOmitsBody) {
+  StagedServer server(config_, app_, db_);
+  const std::string response = get(server, "/templated?k=1", "HEAD");
+  EXPECT_EQ(response.find("HTTP/1.1 200"), 0u);
+  EXPECT_NE(response.find("Content-Length:"), std::string::npos);
+  EXPECT_EQ(response.find("\r\n\r\n"), response.size() - 4);
+  server.shutdown();
+}
+
+TEST_F(ServerBehaviorTest, DynamicThreadsHaveConnectionsOnStagedServer) {
+  StagedServer server(config_, app_, db_);
+  get(server, "/hasconn");
+  EXPECT_TRUE(handler_had_connection_.load());
+  server.shutdown();
+}
+
+TEST_F(ServerBehaviorTest, WorkerThreadsHaveConnectionsOnBaseline) {
+  BaselineServer server(config_, app_, db_);
+  get(server, "/hasconn");
+  EXPECT_TRUE(handler_had_connection_.load());
+  server.shutdown();
+}
+
+TEST_F(ServerBehaviorTest, OnlyDynamicThreadsConsumeConnections) {
+  // Staged: general(4) + lengthy(1) of 6 connections are held; header,
+  // static, and render threads must not take any.
+  StagedServer server(config_, app_, db_);
+  get(server, "/templated");  // ensure pools are up
+  EXPECT_EQ(server.connection_pool().available(), 1u);
+  server.shutdown();
+}
+
+TEST_F(ServerBehaviorTest, BaselineHoldsAllConnections) {
+  BaselineServer server(config_, app_, db_);
+  get(server, "/legacy");
+  EXPECT_EQ(server.connection_pool().available(), 0u);
+  server.shutdown();
+}
+
+TEST_F(ServerBehaviorTest, HandlerExceptionYields500) {
+  for (const bool staged : {false, true}) {
+    std::unique_ptr<WebServer> server =
+        staged ? make_server<StagedServer>(config_, app_, db_)
+               : make_server<BaselineServer>(config_, app_, db_);
+    EXPECT_EQ(get(*server, "/boom").find("HTTP/1.1 500"), 0u);
+    server->shutdown();
+  }
+}
+
+TEST_F(ServerBehaviorTest, MissingTemplateYields500) {
+  StagedServer server(config_, app_, db_);
+  EXPECT_EQ(get(server, "/badtemplate").find("HTTP/1.1 500"), 0u);
+  server.shutdown();
+}
+
+TEST_F(ServerBehaviorTest, MalformedRequestYields400) {
+  for (const bool staged : {false, true}) {
+    std::unique_ptr<WebServer> server =
+        staged ? make_server<StagedServer>(config_, app_, db_)
+               : make_server<BaselineServer>(config_, app_, db_);
+    InProcClient client(*server);
+    EXPECT_EQ(client.roundtrip("NONSENSE\r\n\r\n").find("HTTP/1.1 400"), 0u);
+    server->shutdown();
+  }
+}
+
+TEST_F(ServerBehaviorTest, StaticServedWithMimeType) {
+  StagedServer server(config_, app_, db_);
+  const std::string response = get(server, "/style.css");
+  EXPECT_EQ(response.find("HTTP/1.1 200"), 0u);
+  EXPECT_NE(response.find("text/css"), std::string::npos);
+  EXPECT_NE(response.find("body{color:red}"), std::string::npos);
+  server.shutdown();
+}
+
+TEST_F(ServerBehaviorTest, StaticCountedAsStaticClass) {
+  StagedServer server(config_, app_, db_);
+  get(server, "/style.css");
+  get(server, "/templated");
+  EXPECT_EQ(server.stats().completed(RequestClass::kStatic), 1u);
+  EXPECT_EQ(server.stats().completed(RequestClass::kQuickDynamic), 1u);
+  server.shutdown();
+}
+
+TEST_F(ServerBehaviorTest, TrackerLearnsFromDataGenerationOnly) {
+  StagedServer server(config_, app_, db_);
+  get(server, "/templated?k=1");
+  // Data generation for this page is a single indexed select: far below the
+  // lengthy cutoff, so the page must be classified quick even though the
+  // whole-request latency includes rendering.
+  EXPECT_FALSE(server.tracker().is_lengthy("/templated"));
+  EXPECT_GT(server.tracker().mean("/templated"), 0.0);
+  server.shutdown();
+}
+
+TEST_F(ServerBehaviorTest, ManyConcurrentRequestsAllAnswered) {
+  StagedServer server(config_, app_, db_);
+  InProcClient client(server);
+  std::vector<std::future<std::string>> futures;
+  for (int i = 0; i < 100; ++i) {
+    const std::string url =
+        i % 3 == 0 ? "/style.css" : (i % 3 == 1 ? "/templated?k=1" : "/legacy");
+    futures.push_back(
+        client.send("GET " + url + " HTTP/1.1\r\nHost: x\r\n\r\n"));
+  }
+  int ok = 0;
+  for (auto& f : futures) {
+    if (f.get().find("HTTP/1.1 200") == 0) ++ok;
+  }
+  EXPECT_EQ(ok, 100);
+  server.shutdown();
+}
+
+TEST_F(ServerBehaviorTest, ShutdownIsIdempotentAndDrains) {
+  auto server = std::make_unique<StagedServer>(config_, app_, db_);
+  get(*server, "/templated");
+  server->shutdown();
+  server->shutdown();
+  server.reset();  // destructor after explicit shutdown must be safe
+}
+
+TEST_F(ServerBehaviorTest, BaselineRejectsMoreThreadsThanConnections) {
+  ServerConfig bad = config_;
+  bad.baseline_threads = bad.db_connections + 1;
+  EXPECT_THROW(BaselineServer(bad, app_, db_), std::invalid_argument);
+}
+
+TEST_F(ServerBehaviorTest, StagedRejectsDynamicThreadsExceedingConnections) {
+  ServerConfig bad = config_;
+  bad.general_threads = 10;
+  bad.lengthy_threads = 10;
+  EXPECT_THROW(StagedServer(bad, app_, db_), std::invalid_argument);
+}
+
+TEST_F(ServerBehaviorTest, MergedPoolAblationServesRequests) {
+  ServerConfig merged = config_;
+  merged.split_dynamic_pools = false;
+  StagedServer server(merged, app_, db_);
+  EXPECT_EQ(get(server, "/templated?k=1").find("HTTP/1.1 200"), 0u);
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace tempest::server

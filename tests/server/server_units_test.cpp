@@ -1,0 +1,142 @@
+// Router, static store, service-time tracker, server stats.
+#include <gtest/gtest.h>
+
+#include "src/server/router.h"
+#include "src/server/server_stats.h"
+#include "src/server/service_time_tracker.h"
+#include "src/server/static_store.h"
+
+namespace tempest::server {
+namespace {
+
+HandlerResult dummy_handler(RequestContext&) {
+  return StringResponse{"ok"};
+}
+
+TEST(RouterTest, ExactMatchLookup) {
+  Router router;
+  router.add("/home", dummy_handler);
+  EXPECT_NE(router.find("/home"), nullptr);
+  EXPECT_EQ(router.find("/home/"), nullptr);
+  EXPECT_EQ(router.find("/nope"), nullptr);
+  EXPECT_EQ(router.size(), 1u);
+}
+
+TEST(RouterTest, RejectsBadPathsAndDuplicates) {
+  Router router;
+  EXPECT_THROW(router.add("relative", dummy_handler), std::invalid_argument);
+  EXPECT_THROW(router.add("", dummy_handler), std::invalid_argument);
+  router.add("/a", dummy_handler);
+  EXPECT_THROW(router.add("/a", dummy_handler), std::invalid_argument);
+}
+
+TEST(RouterTest, PathsListing) {
+  Router router;
+  router.add("/b", dummy_handler);
+  router.add("/a", dummy_handler);
+  const auto paths = router.paths();
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], "/a");  // sorted (map order)
+}
+
+TEST(StaticStoreTest, AddAndFind) {
+  StaticStore store;
+  store.add("/x.css", "body{}", "text/css");
+  const auto* entry = store.find("/x.css");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->content, "body{}");
+  EXPECT_EQ(entry->mime_type, "text/css");
+  EXPECT_EQ(store.find("/nope.css"), nullptr);
+}
+
+TEST(StaticStoreTest, BlobsAreDeterministicAndSized) {
+  StaticStore a;
+  StaticStore b;
+  a.add_blob("/img.gif", 500, "image/gif");
+  b.add_blob("/img.gif", 500, "image/gif");
+  EXPECT_EQ(a.find("/img.gif")->content.size(), 500u);
+  EXPECT_EQ(a.find("/img.gif")->content, b.find("/img.gif")->content);
+}
+
+TEST(ServiceTimeTrackerTest, UnknownPagesDefaultToQuick) {
+  ServiceTimeTracker tracker(2.0);
+  EXPECT_FALSE(tracker.is_lengthy("/new"));
+}
+
+TEST(ServiceTimeTrackerTest, MeanCrossingCutoffFlipsClass) {
+  ServiceTimeTracker tracker(2.0);
+  tracker.record("/p", 1.0);
+  EXPECT_FALSE(tracker.is_lengthy("/p"));
+  tracker.record("/p", 5.0);  // mean 3.0
+  EXPECT_TRUE(tracker.is_lengthy("/p"));
+  EXPECT_DOUBLE_EQ(tracker.mean("/p"), 3.0);
+}
+
+TEST(ServiceTimeTrackerTest, PagesTrackedIndependently) {
+  ServiceTimeTracker tracker(2.0);
+  tracker.record("/slow", 10.0);
+  tracker.record("/fast", 0.01);
+  EXPECT_TRUE(tracker.is_lengthy("/slow"));
+  EXPECT_FALSE(tracker.is_lengthy("/fast"));
+  EXPECT_EQ(tracker.snapshot().size(), 2u);
+}
+
+TEST(ServiceTimeTrackerTest, ExactCutoffIsLengthy) {
+  ServiceTimeTracker tracker(2.0);
+  tracker.record("/edge", 2.0);
+  EXPECT_TRUE(tracker.is_lengthy("/edge"));
+}
+
+TEST(ServerStatsTest, CompletionCountersByClass) {
+  ServerStats stats(60.0);
+  stats.record_completion(RequestClass::kStatic, "static", 10.0, 0.01);
+  stats.record_completion(RequestClass::kStatic, "static", 20.0, 0.01);
+  stats.record_completion(RequestClass::kQuickDynamic, "/home", 30.0, 0.5);
+  stats.record_completion(RequestClass::kLengthyDynamic, "/best", 40.0, 9.0);
+  EXPECT_EQ(stats.completed(RequestClass::kStatic), 2u);
+  EXPECT_EQ(stats.completed(RequestClass::kQuickDynamic), 1u);
+  EXPECT_EQ(stats.completed(RequestClass::kLengthyDynamic), 1u);
+  EXPECT_EQ(stats.completed_total(), 4u);
+}
+
+TEST(ServerStatsTest, PerPageStatsAndCounts) {
+  ServerStats stats(60.0);
+  stats.record_completion(RequestClass::kQuickDynamic, "/home", 1.0, 0.4);
+  stats.record_completion(RequestClass::kQuickDynamic, "/home", 2.0, 0.6);
+  const auto page_stats = stats.page_response_stats();
+  ASSERT_TRUE(page_stats.count("/home"));
+  EXPECT_DOUBLE_EQ(page_stats.at("/home").mean(), 0.5);
+  EXPECT_EQ(stats.page_counts().at("/home"), 2u);
+  EXPECT_EQ(stats.page_series("/home").size(), 1u);
+  EXPECT_TRUE(stats.page_series("/nope").empty());
+}
+
+TEST(ServerStatsTest, QueueSeriesNamedPerPool) {
+  ServerStats stats;
+  stats.sample_queue("general", 1.0, 5);
+  stats.sample_queue("general", 2.0, 7);
+  stats.sample_queue("lengthy", 1.0, 100);
+  EXPECT_EQ(stats.queue_names().size(), 2u);
+  ASSERT_EQ(stats.queue_series("general").size(), 2u);
+  EXPECT_EQ(stats.queue_series("general")[1].value, 7.0);
+  EXPECT_TRUE(stats.queue_series("nope").empty());
+}
+
+TEST(ServerStatsTest, ReserveSeries) {
+  ServerStats stats;
+  stats.sample_reserve(1.0, 35, 20);
+  const auto tspare = stats.tspare_series();
+  const auto treserve = stats.treserve_series();
+  ASSERT_EQ(tspare.size(), 1u);
+  EXPECT_EQ(tspare[0].value, 35.0);
+  EXPECT_EQ(treserve[0].value, 20.0);
+}
+
+TEST(ServerStatsTest, ClassNames) {
+  EXPECT_STREQ(to_string(RequestClass::kStatic), "static");
+  EXPECT_STREQ(to_string(RequestClass::kQuickDynamic), "quick-dynamic");
+  EXPECT_STREQ(to_string(RequestClass::kLengthyDynamic), "lengthy-dynamic");
+}
+
+}  // namespace
+}  // namespace tempest::server

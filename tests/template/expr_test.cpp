@@ -1,0 +1,128 @@
+#include "src/template/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace tempest::tmpl {
+namespace {
+
+Context make_context() {
+  Dict d;
+  d["age"] = Value(21);
+  d["name"] = Value("ada");
+  d["flag"] = Value(true);
+  d["zero"] = Value(0);
+  d["items"] = Value(List{Value(1), Value(2), Value(3)});
+  d["user"] = Value(Dict{{"email", Value("a@b.c")},
+                         {"roles", Value(List{Value("admin")})}});
+  return Context(d);
+}
+
+bool eval(const std::string& text) {
+  Context ctx = make_context();
+  return parse_bool_expr(text)->evaluate(ctx);
+}
+
+Value eval_filter(const std::string& text) {
+  Context ctx = make_context();
+  return parse_filter_expr(text).evaluate(ctx).value;
+}
+
+TEST(ExprTest, TruthinessOfBareVariables) {
+  EXPECT_TRUE(eval("flag"));
+  EXPECT_FALSE(eval("zero"));
+  EXPECT_FALSE(eval("missing"));
+  EXPECT_TRUE(eval("items"));
+}
+
+TEST(ExprTest, Comparisons) {
+  EXPECT_TRUE(eval("age == 21"));
+  EXPECT_TRUE(eval("age != 20"));
+  EXPECT_TRUE(eval("age >= 21"));
+  EXPECT_TRUE(eval("age > 20"));
+  EXPECT_FALSE(eval("age < 21"));
+  EXPECT_TRUE(eval("age <= 21"));
+  EXPECT_TRUE(eval("name == 'ada'"));
+  EXPECT_TRUE(eval("name < 'bob'"));
+}
+
+TEST(ExprTest, BooleanOperatorsAndPrecedence) {
+  EXPECT_TRUE(eval("flag and age == 21"));
+  EXPECT_FALSE(eval("flag and zero"));
+  EXPECT_TRUE(eval("zero or flag"));
+  EXPECT_TRUE(eval("not zero"));
+  // 'and' binds tighter than 'or'.
+  EXPECT_TRUE(eval("flag or zero and zero"));
+  EXPECT_TRUE(eval("not zero and flag"));
+}
+
+TEST(ExprTest, InOperator) {
+  EXPECT_TRUE(eval("2 in items"));
+  EXPECT_FALSE(eval("9 in items"));
+  EXPECT_TRUE(eval("'da' in name"));
+  EXPECT_TRUE(eval("'admin' in user.roles"));
+  EXPECT_TRUE(eval("'email' in user"));
+}
+
+TEST(ExprTest, NotInOperator) {
+  EXPECT_TRUE(eval("9 not in items"));
+  EXPECT_FALSE(eval("2 not in items"));
+  EXPECT_TRUE(eval("not 9 in items"));
+}
+
+TEST(ExprTest, DottedPathResolution) {
+  EXPECT_EQ(eval_filter("user.email").str(), "a@b.c");
+  EXPECT_EQ(eval_filter("user.roles.0").str(), "admin");
+  EXPECT_TRUE(eval_filter("user.missing").is_null());
+  EXPECT_TRUE(eval_filter("user.roles.9").is_null());
+}
+
+TEST(ExprTest, Literals) {
+  EXPECT_EQ(eval_filter("42").as_int(), 42);
+  EXPECT_EQ(eval_filter("-3").as_int(), -3);
+  EXPECT_DOUBLE_EQ(eval_filter("2.5").as_double(), 2.5);
+  EXPECT_EQ(eval_filter("'quoted'").str(), "quoted");
+  EXPECT_EQ(eval_filter("\"double\"").str(), "double");
+  EXPECT_TRUE(eval_filter("True").as_bool());
+  EXPECT_FALSE(eval_filter("False").as_bool());
+  EXPECT_TRUE(eval_filter("None").is_null());
+}
+
+TEST(ExprTest, FilterChains) {
+  EXPECT_EQ(eval_filter("name|upper").str(), "ADA");
+  EXPECT_EQ(eval_filter("items|length").as_int(), 3);
+  EXPECT_EQ(eval_filter("missing|default:'fallback'").str(), "fallback");
+  EXPECT_EQ(eval_filter("name|upper|lower").str(), "ada");
+}
+
+TEST(ExprTest, FilterInCondition) {
+  EXPECT_TRUE(eval("items|length == 3"));
+  EXPECT_TRUE(eval("name|upper == 'ADA'"));
+}
+
+TEST(ExprTest, ComparisonOfUnorderableTypesThrows) {
+  EXPECT_THROW(eval("name < 5"), TemplateError);
+}
+
+TEST(ExprTest, SyntaxErrors) {
+  EXPECT_THROW(parse_bool_expr(""), TemplateError);
+  EXPECT_THROW(parse_bool_expr("a =="), TemplateError);
+  EXPECT_THROW(parse_bool_expr("a b"), TemplateError);
+  EXPECT_THROW(parse_bool_expr("a ==== b"), TemplateError);
+  EXPECT_THROW(parse_filter_expr("x|"), TemplateError);
+  EXPECT_THROW(parse_filter_expr("'unterminated"), TemplateError);
+}
+
+TEST(ExprTest, UnknownFilterThrowsAtEvaluation) {
+  Context ctx = make_context();
+  const FilterExpr fe = parse_filter_expr("name|nosuchfilter");
+  EXPECT_THROW(fe.evaluate(ctx), TemplateError);
+}
+
+TEST(TokenizeTest, RespectsQuotedStrings) {
+  const auto tokens = tokenize_expression("a == 'b c' and d");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[2], "'b c'");
+}
+
+}  // namespace
+}  // namespace tempest::tmpl

@@ -1,0 +1,107 @@
+// {% cycle %}, {% firstof %}, {% ifchanged %}, {% spaceless %}.
+#include <gtest/gtest.h>
+
+#include "src/template/template.h"
+
+namespace tempest::tmpl {
+namespace {
+
+std::string render(const std::string& source, Dict data = {}) {
+  return Template::compile(source)->render(data);
+}
+
+TEST(CycleTest, RotatesThroughValues) {
+  const char* source =
+      "{% for x in xs %}{% cycle 'odd' 'even' %};{% endfor %}";
+  EXPECT_EQ(render(source, {{"xs", Value(List{Value(1), Value(2), Value(3),
+                                              Value(4), Value(5)})}}),
+            "odd;even;odd;even;odd;");
+}
+
+TEST(CycleTest, ResolvesVariables) {
+  const char* source = "{% for x in xs %}{% cycle a b %}{% endfor %}";
+  Dict data;
+  data["xs"] = Value(List{Value(1), Value(2), Value(3)});
+  data["a"] = Value("A");
+  data["b"] = Value("B");
+  EXPECT_EQ(render(source, data), "ABA");
+}
+
+TEST(CycleTest, IndependentAcrossRenders) {
+  const auto tmpl = Template::compile(
+      "{% for x in xs %}{% cycle '1' '2' %}{% endfor %}");
+  Dict data{{"xs", Value(List{Value(0), Value(0), Value(0)})}};
+  // Each render starts at the beginning (state is per-render, not per-node).
+  EXPECT_EQ(tmpl->render(data), "121");
+  EXPECT_EQ(tmpl->render(data), "121");
+}
+
+TEST(CycleTest, EscapesOutput) {
+  EXPECT_EQ(render("{% for x in xs %}{% cycle v %}{% endfor %}",
+                   {{"xs", Value(List{Value(1)})}, {"v", Value("<b>")}}),
+            "&lt;b&gt;");
+}
+
+TEST(FirstOfTest, PicksFirstTruthy) {
+  const char* source = "{% firstof a b 'fallback' %}";
+  EXPECT_EQ(render(source, {{"b", Value("second")}}), "second");
+  EXPECT_EQ(render(source, {{"a", Value("first")}, {"b", Value("second")}}),
+            "first");
+  EXPECT_EQ(render(source), "fallback");
+}
+
+TEST(FirstOfTest, FalsyValuesSkipped) {
+  const char* source = "{% firstof zero empty flag %}";
+  Dict data;
+  data["zero"] = Value(0);
+  data["empty"] = Value("");
+  data["flag"] = Value(true);
+  EXPECT_EQ(render(source, data), "True");
+}
+
+TEST(FirstOfTest, AllFalsyRendersNothing) {
+  EXPECT_EQ(render("[{% firstof a b %}]"), "[]");
+}
+
+TEST(IfChangedTest, SuppressesRepeats) {
+  const char* source =
+      "{% for x in xs %}{% ifchanged %}{{ x }}{% endifchanged %}{% endfor %}";
+  EXPECT_EQ(render(source, {{"xs", Value(List{Value("a"), Value("a"),
+                                              Value("b"), Value("b"),
+                                              Value("a")})}}),
+            "aba");
+}
+
+TEST(IfChangedTest, GroupHeadersUseCase) {
+  const char* source =
+      "{% for book in books %}"
+      "{% ifchanged %}[{{ book.subject }}]{% endifchanged %}"
+      "{{ book.id }};{% endfor %}";
+  List books;
+  books.push_back(Value(Dict{{"subject", Value("ARTS")}, {"id", Value(1)}}));
+  books.push_back(Value(Dict{{"subject", Value("ARTS")}, {"id", Value(2)}}));
+  books.push_back(Value(Dict{{"subject", Value("HUMOR")}, {"id", Value(3)}}));
+  EXPECT_EQ(render(source, {{"books", Value(std::move(books))}}),
+            "[ARTS]1;2;[HUMOR]3;");
+}
+
+TEST(SpacelessTest, RemovesInterTagWhitespace) {
+  EXPECT_EQ(render("{% spaceless %}<ul>\n  <li>x</li>\n  "
+                   "<li>y</li>\n</ul>{% endspaceless %}"),
+            "<ul><li>x</li><li>y</li></ul>");
+}
+
+TEST(SpacelessTest, KeepsTextWhitespace) {
+  EXPECT_EQ(render("{% spaceless %}<p>a b</p> text <p>c</p>{% endspaceless %}"),
+            "<p>a b</p> text <p>c</p>");
+}
+
+TEST(ExtraTagErrors, ArgumentsRequired) {
+  EXPECT_THROW(Template::compile("{% cycle %}"), TemplateError);
+  EXPECT_THROW(Template::compile("{% firstof %}"), TemplateError);
+  EXPECT_THROW(Template::compile("{% ifchanged %}x"), TemplateError);
+  EXPECT_THROW(Template::compile("{% spaceless %}x"), TemplateError);
+}
+
+}  // namespace
+}  // namespace tempest::tmpl

@@ -1,0 +1,127 @@
+// Parameterized coverage of every registered filter.
+#include "src/template/filters.h"
+
+#include <gtest/gtest.h>
+
+#include "src/template/template.h"
+
+namespace tempest::tmpl {
+namespace {
+
+// Each case: template source + context + expected output.
+struct FilterCase {
+  const char* name;
+  const char* source;
+  Dict data;
+  const char* expected;
+};
+
+class FilterTest : public ::testing::TestWithParam<FilterCase> {};
+
+TEST_P(FilterTest, RendersExpected) {
+  const FilterCase& c = GetParam();
+  const auto tmpl = Template::compile(c.source);
+  EXPECT_EQ(tmpl->render(c.data), c.expected) << c.name;
+}
+
+Dict with(const char* key, Value v) {
+  Dict d;
+  d[key] = std::move(v);
+  return d;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFilters, FilterTest,
+    ::testing::Values(
+        FilterCase{"upper", "{{ v|upper }}", with("v", Value("abc")), "ABC"},
+        FilterCase{"lower", "{{ v|lower }}", with("v", Value("AbC")), "abc"},
+        FilterCase{"capfirst", "{{ v|capfirst }}", with("v", Value("hello")),
+                   "Hello"},
+        FilterCase{"title", "{{ v|title }}", with("v", Value("war and peace")),
+                   "War And Peace"},
+        FilterCase{"length_list", "{{ v|length }}",
+                   with("v", Value(List{Value(1), Value(2)})), "2"},
+        FilterCase{"length_string", "{{ v|length }}", with("v", Value("abcd")),
+                   "4"},
+        FilterCase{"default_used", "{{ v|default:'x' }}", with("v", Value("")),
+                   "x"},
+        FilterCase{"default_skipped", "{{ v|default:'x' }}",
+                   with("v", Value("set")), "set"},
+        FilterCase{"default_if_none_used", "{{ v|default_if_none:'x' }}",
+                   with("v", Value()), "x"},
+        FilterCase{"default_if_none_skips_falsy", "{{ v|default_if_none:'x' }}",
+                   with("v", Value(0)), "0"},
+        FilterCase{"join", "{{ v|join:', ' }}",
+                   with("v", Value(List{Value("a"), Value("b")})), "a, b"},
+        FilterCase{"first", "{{ v|first }}",
+                   with("v", Value(List{Value(7), Value(8)})), "7"},
+        FilterCase{"last", "{{ v|last }}",
+                   with("v", Value(List{Value(7), Value(8)})), "8"},
+        FilterCase{"first_empty", "{{ v|first }}", with("v", Value(List{})),
+                   ""},
+        FilterCase{"truncatewords", "{{ v|truncatewords:2 }}",
+                   with("v", Value("one two three four")), "one two ..."},
+        FilterCase{"truncatewords_short", "{{ v|truncatewords:9 }}",
+                   with("v", Value("one two")), "one two"},
+        FilterCase{"floatformat", "{{ v|floatformat:2 }}",
+                   with("v", Value(3.14159)), "3.14"},
+        FilterCase{"floatformat_int_input", "{{ v|floatformat:1 }}",
+                   with("v", Value(4)), "4.0"},
+        FilterCase{"add_ints", "{{ v|add:3 }}", with("v", Value(4)), "7"},
+        FilterCase{"add_strings", "{{ v|add:'ing' }}", with("v", Value("test")),
+                   "testing"},
+        FilterCase{"cut", "{{ v|cut:' ' }}", with("v", Value("a b c")), "abc"},
+        FilterCase{"yesno_true", "{{ v|yesno:'aye,nay' }}",
+                   with("v", Value(true)), "aye"},
+        FilterCase{"yesno_false", "{{ v|yesno:'aye,nay' }}",
+                   with("v", Value(false)), "nay"},
+        FilterCase{"yesno_null", "{{ v|yesno:'aye,nay,dunno' }}",
+                   with("v", Value()), "dunno"},
+        FilterCase{"pluralize_one", "{{ v|pluralize }}", with("v", Value(1)),
+                   ""},
+        FilterCase{"pluralize_many", "{{ v|pluralize }}", with("v", Value(3)),
+                   "s"},
+        FilterCase{"pluralize_suffixes", "{{ v|pluralize:'y,ies' }}",
+                   with("v", Value(2)), "ies"},
+        FilterCase{"stringformat_d", "{{ v|stringformat:'05d' }}",
+                   with("v", Value(42)), "00042"},
+        FilterCase{"slice_front", "{{ v|slice:':2'|join:'' }}",
+                   with("v", Value(List{Value("a"), Value("b"), Value("c")})),
+                   "ab"},
+        FilterCase{"slice_back", "{{ v|slice:'1:'|join:'' }}",
+                   with("v", Value(List{Value("a"), Value("b"), Value("c")})),
+                   "bc"},
+        FilterCase{"divisibleby_yes", "{{ v|divisibleby:3 }}",
+                   with("v", Value(9)), "True"},
+        FilterCase{"divisibleby_no", "{{ v|divisibleby:4 }}",
+                   with("v", Value(9)), "False"},
+        FilterCase{"urlencode", "{{ v|urlencode }}",
+                   with("v", Value("a b&c")), "a+b%26c"}),
+    [](const ::testing::TestParamInfo<FilterCase>& info) {
+      return info.param.name;
+    });
+
+TEST(FilterRegistryTest, ReportsRegisteredNames) {
+  const auto names = registered_filter_names();
+  EXPECT_GE(names.size(), 20u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "upper"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "safe"), names.end());
+}
+
+TEST(FilterRegistryTest, MissingRequiredArgumentThrows) {
+  const auto tmpl = Template::compile("{{ v|default }}");
+  EXPECT_THROW(tmpl->render(Dict{{"v", Value("")}}), TemplateError);
+}
+
+TEST(FilterEscapeTest, EscapeForcesEntityEncoding) {
+  const auto tmpl = Template::compile("{{ v|escape }}");
+  EXPECT_EQ(tmpl->render(Dict{{"v", Value("<b>")}}), "&lt;b&gt;");
+}
+
+TEST(FilterEscapeTest, SafeSuppressesAutoescape) {
+  const auto tmpl = Template::compile("{{ v|safe }}");
+  EXPECT_EQ(tmpl->render(Dict{{"v", Value("<b>")}}), "<b>");
+}
+
+}  // namespace
+}  // namespace tempest::tmpl

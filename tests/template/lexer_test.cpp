@@ -1,0 +1,75 @@
+#include "src/template/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace tempest::tmpl {
+namespace {
+
+TEST(LexerTest, PlainTextIsOneToken) {
+  const auto tokens = lex("hello world");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[0].content, "hello world");
+}
+
+TEST(LexerTest, VariableTag) {
+  const auto tokens = lex("a {{ name }} b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kVariable);
+  EXPECT_EQ(tokens[1].content, "name");
+}
+
+TEST(LexerTest, BlockTag) {
+  const auto tokens = lex("{% if x %}");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kTag);
+  EXPECT_EQ(tokens[0].content, "if x");
+}
+
+TEST(LexerTest, CommentTag) {
+  const auto tokens = lex("{# note #}");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kComment);
+}
+
+TEST(LexerTest, LoneBracesAreText) {
+  const auto tokens = lex("function() { return 1; }");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[0].content, "function() { return 1; }");
+}
+
+TEST(LexerTest, BraceAtEndOfInput) {
+  const auto tokens = lex("trailing {");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].content, "trailing {");
+}
+
+TEST(LexerTest, UnterminatedTagThrows) {
+  EXPECT_THROW(lex("{{ name"), TemplateError);
+  EXPECT_THROW(lex("{% if"), TemplateError);
+  EXPECT_THROW(lex("{# c"), TemplateError);
+}
+
+TEST(LexerTest, LineNumbersInTokens) {
+  const auto tokens = lex("line1\nline2 {{ v }}\n{% tag %}");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].line, 2u);  // {{ v }}
+  EXPECT_EQ(tokens[3].line, 3u);  // {% tag %}
+}
+
+TEST(LexerTest, AdjacentTags) {
+  const auto tokens = lex("{{ a }}{{ b }}{% c %}");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].content, "a");
+  EXPECT_EQ(tokens[1].content, "b");
+  EXPECT_EQ(tokens[2].content, "c");
+}
+
+TEST(LexerTest, WhitespaceInsideTagsIsTrimmed) {
+  const auto tokens = lex("{{   spaced   }}");
+  EXPECT_EQ(tokens[0].content, "spaced");
+}
+
+}  // namespace
+}  // namespace tempest::tmpl

@@ -1,0 +1,280 @@
+// Template rendering: tags, loops, conditionals, inheritance, autoescape.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/template/loader.h"
+#include "src/template/template.h"
+
+namespace tempest::tmpl {
+namespace {
+
+std::string render(const std::string& source, Dict data = {},
+                   const TemplateLoader* loader = nullptr) {
+  return Template::compile(source)->render(data, loader);
+}
+
+TEST(RenderTest, PlainTextPassthrough) {
+  EXPECT_EQ(render("hello <b>world</b>"), "hello <b>world</b>");
+}
+
+TEST(RenderTest, VariableSubstitution) {
+  EXPECT_EQ(render("Hi {{ name }}!", {{"name", Value("Ada")}}), "Hi Ada!");
+}
+
+TEST(RenderTest, MissingVariableRendersEmpty) {
+  EXPECT_EQ(render("[{{ nope }}]"), "[]");
+}
+
+TEST(RenderTest, PaperFigureThreeTemplate) {
+  // The exact template of the paper's Figure 3.
+  const char* source =
+      "<html>\n"
+      "<head> <title> {{ title }} </title> </head>\n"
+      "<body>\n"
+      "<h2 align=\"center\"> {{ heading }} </h2>\n"
+      "<ul>\n"
+      "{% for item in listitems %}\n"
+      "<li> {{ item }} </li>\n"
+      "{% endfor %}\n"
+      "</ul>\n"
+      "</body>\n"
+      "</html>\n";
+  Dict data;
+  data["title"] = Value("My Title");
+  data["heading"] = Value("A Heading");
+  data["listitems"] = Value(List{Value("one"), Value("two")});
+  const std::string html = render(source, data);
+  EXPECT_NE(html.find("<title> My Title </title>"), std::string::npos);
+  EXPECT_NE(html.find("<h2 align=\"center\"> A Heading </h2>"),
+            std::string::npos);
+  EXPECT_NE(html.find("<li> one </li>"), std::string::npos);
+  EXPECT_NE(html.find("<li> two </li>"), std::string::npos);
+}
+
+TEST(RenderTest, IfElifElse) {
+  const char* source =
+      "{% if n > 10 %}big{% elif n > 5 %}medium{% else %}small{% endif %}";
+  EXPECT_EQ(render(source, {{"n", Value(20)}}), "big");
+  EXPECT_EQ(render(source, {{"n", Value(7)}}), "medium");
+  EXPECT_EQ(render(source, {{"n", Value(1)}}), "small");
+}
+
+TEST(RenderTest, IfWithoutElseRendersNothing) {
+  EXPECT_EQ(render("{% if missing %}x{% endif %}"), "");
+}
+
+TEST(RenderTest, ForLoopWithForloopVariables) {
+  const char* source =
+      "{% for x in items %}{{ forloop.counter }}:{{ x }}"
+      "{% if not forloop.last %},{% endif %}{% endfor %}";
+  const std::string out = render(
+      source, {{"items", Value(List{Value("a"), Value("b"), Value("c")})}});
+  EXPECT_EQ(out, "1:a,2:b,3:c");
+}
+
+TEST(RenderTest, ForloopFirstAndRevcounter) {
+  const char* source =
+      "{% for x in items %}{% if forloop.first %}>{% endif %}"
+      "{{ forloop.revcounter0 }}{% endfor %}";
+  EXPECT_EQ(render(source,
+                   {{"items", Value(List{Value(1), Value(2), Value(3)})}}),
+            ">210");
+}
+
+TEST(RenderTest, ForEmptyClause) {
+  const char* source = "{% for x in items %}{{ x }}{% empty %}none{% endfor %}";
+  EXPECT_EQ(render(source, {{"items", Value(List{})}}), "none");
+  EXPECT_EQ(render(source), "none");  // missing variable iterates empty
+  EXPECT_EQ(render(source, {{"items", Value(List{Value(1)})}}), "1");
+}
+
+TEST(RenderTest, ForReversed) {
+  const char* source = "{% for x in items reversed %}{{ x }}{% endfor %}";
+  EXPECT_EQ(render(source,
+                   {{"items", Value(List{Value(1), Value(2), Value(3)})}}),
+            "321");
+}
+
+TEST(RenderTest, ForOverDictYieldsKeys) {
+  const char* source = "{% for k in d %}{{ k }};{% endfor %}";
+  EXPECT_EQ(render(source,
+                   {{"d", Value(Dict{{"a", Value(1)}, {"b", Value(2)}})}}),
+            "a;b;");
+}
+
+TEST(RenderTest, ForTwoVarsOverDict) {
+  const char* source = "{% for k, v in d %}{{ k }}={{ v }};{% endfor %}";
+  EXPECT_EQ(render(source,
+                   {{"d", Value(Dict{{"a", Value(1)}, {"b", Value(2)}})}}),
+            "a=1;b=2;");
+}
+
+TEST(RenderTest, NestedLoops) {
+  const char* source =
+      "{% for row in grid %}{% for cell in row %}{{ cell }}{% endfor %}|"
+      "{% endfor %}";
+  Value grid(List{Value(List{Value(1), Value(2)}),
+                  Value(List{Value(3), Value(4)})});
+  EXPECT_EQ(render(source, {{"grid", grid}}), "12|34|");
+}
+
+TEST(RenderTest, LoopVariableScopedToLoop) {
+  const char* source = "{% for x in items %}{{ x }}{% endfor %}[{{ x }}]";
+  EXPECT_EQ(render(source, {{"items", Value(List{Value(1)})}}), "1[]");
+}
+
+TEST(RenderTest, WithTag) {
+  const char* source =
+      "{% with total=items|length %}{{ total }}/{{ total }}{% endwith %}"
+      "[{{ total }}]";
+  EXPECT_EQ(render(source,
+                   {{"items", Value(List{Value(1), Value(2)})}}),
+            "2/2[]");
+}
+
+TEST(RenderTest, CommentsProduceNothing) {
+  EXPECT_EQ(render("a{# hidden #}b"), "ab");
+  EXPECT_EQ(render("a{% comment %}lots {{ of }} stuff{% endcomment %}b"),
+            "ab");
+}
+
+TEST(RenderTest, AutoescapeOnByDefault) {
+  EXPECT_EQ(render("{{ v }}", {{"v", Value("<script>")}}),
+            "&lt;script&gt;");
+}
+
+TEST(RenderTest, AutoescapeCanBeDisabled) {
+  const auto tmpl = Template::compile("{{ v }}");
+  EXPECT_EQ(tmpl->render({{"v", Value("<b>")}}, nullptr, /*autoescape=*/false),
+            "<b>");
+}
+
+TEST(RenderTest, IterationOverScalarThrows) {
+  EXPECT_THROW(render("{% for x in n %}{% endfor %}", {{"n", Value(5)}}),
+               TemplateError);
+}
+
+TEST(RenderTest, ParserErrors) {
+  EXPECT_THROW(Template::compile("{% endif %}"), TemplateError);
+  EXPECT_THROW(Template::compile("{% if x %}unclosed"), TemplateError);
+  EXPECT_THROW(Template::compile("{% for x %}{% endfor %}"), TemplateError);
+  EXPECT_THROW(Template::compile("{% unknown %}"), TemplateError);
+  EXPECT_THROW(Template::compile("{{ }}"), TemplateError);
+  EXPECT_THROW(Template::compile("{% block %}{% endblock %}"), TemplateError);
+}
+
+TEST(RenderTest, ErrorsIncludeTemplateNameAndLine) {
+  try {
+    Template::compile("line1\n{% bogus %}", "page.html");
+    FAIL() << "expected TemplateError";
+  } catch (const TemplateError& e) {
+    EXPECT_NE(std::string(e.what()).find("page.html:2"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --- include / extends -------------------------------------------------------
+
+TEST(InheritanceTest, IncludeInjectsTemplate) {
+  MemoryLoader loader;
+  loader.add("partial.html", "[{{ name }}]");
+  loader.add("page.html", "before {% include 'partial.html' %} after");
+  const auto page = loader.load("page.html");
+  EXPECT_EQ(page->render({{"name", Value("x")}}, &loader),
+            "before [x] after");
+}
+
+TEST(InheritanceTest, IncludeWithoutLoaderThrows) {
+  const auto tmpl = Template::compile("{% include 'x.html' %}");
+  EXPECT_THROW(tmpl->render({}), TemplateError);
+}
+
+TEST(InheritanceTest, CircularIncludeDetected) {
+  MemoryLoader loader;
+  loader.add("a.html", "{% include 'b.html' %}");
+  loader.add("b.html", "{% include 'a.html' %}");
+  EXPECT_THROW(loader.load("a.html")->render({}, &loader), TemplateError);
+}
+
+TEST(InheritanceTest, ChildOverridesBlocks) {
+  MemoryLoader loader;
+  loader.add("base.html",
+             "<title>{% block title %}Default{% endblock %}</title>"
+             "<main>{% block content %}{% endblock %}</main>");
+  loader.add("child.html",
+             "{% extends 'base.html' %}"
+             "{% block content %}Hello {{ who }}{% endblock %}");
+  const auto child = loader.load("child.html");
+  EXPECT_EQ(child->render({{"who", Value("World")}}, &loader),
+            "<title>Default</title><main>Hello World</main>");
+}
+
+TEST(InheritanceTest, GrandchildOverridesWin) {
+  MemoryLoader loader;
+  loader.add("base.html", "{% block b %}base{% endblock %}");
+  loader.add("mid.html",
+             "{% extends 'base.html' %}{% block b %}mid{% endblock %}");
+  loader.add("leaf.html",
+             "{% extends 'mid.html' %}{% block b %}leaf{% endblock %}");
+  EXPECT_EQ(loader.load("leaf.html")->render({}, &loader), "leaf");
+  EXPECT_EQ(loader.load("mid.html")->render({}, &loader), "mid");
+}
+
+TEST(InheritanceTest, MidLevelBlockSurvivesWhenLeafDoesNotOverride) {
+  MemoryLoader loader;
+  loader.add("base.html",
+             "{% block a %}A{% endblock %}-{% block b %}B{% endblock %}");
+  loader.add("mid.html",
+             "{% extends 'base.html' %}{% block a %}MID{% endblock %}");
+  loader.add("leaf.html", "{% extends 'mid.html' %}");
+  EXPECT_EQ(loader.load("leaf.html")->render({}, &loader), "MID-B");
+}
+
+TEST(InheritanceTest, DuplicateBlockNamesRejected) {
+  EXPECT_THROW(Template::compile(
+                   "{% block x %}{% endblock %}{% block x %}{% endblock %}"),
+               TemplateError);
+}
+
+TEST(LoaderTest, MemoryLoaderCachesCompiledTemplates) {
+  MemoryLoader loader;
+  loader.add("t.html", "v1 {{ x }}");
+  const auto first = loader.load("t.html");
+  const auto second = loader.load("t.html");
+  EXPECT_EQ(first.get(), second.get());
+  loader.add("t.html", "v2 {{ x }}");  // invalidates the cache entry
+  const auto third = loader.load("t.html");
+  EXPECT_NE(first.get(), third.get());
+  EXPECT_EQ(third->render({{"x", Value(1)}}), "v2 1");
+}
+
+TEST(LoaderTest, MissingTemplateThrows) {
+  MemoryLoader loader;
+  EXPECT_THROW(loader.load("nope.html"), TemplateError);
+}
+
+TEST(LoaderTest, ConcurrentRendersOfSharedTemplate) {
+  // Compiled templates must be safely shareable across rendering threads —
+  // the render pool depends on this.
+  MemoryLoader loader;
+  loader.add("t.html", "{% for x in items %}{{ x }}{% endfor %}");
+  const auto tmpl = loader.load("t.html");
+  Dict data{{"items", Value(List{Value(1), Value(2), Value(3)})}};
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        if (tmpl->render(data, &loader) != "123") ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace tempest::tmpl

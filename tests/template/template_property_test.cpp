@@ -1,0 +1,126 @@
+// Property-style checks on the template engine: escaping safety, loop
+// cardinality, idempotent compilation, and structural invariants over
+// randomized inputs.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/common/rng.h"
+#include "src/common/strutil.h"
+#include "src/template/template.h"
+
+namespace tempest::tmpl {
+namespace {
+
+class TemplatePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TemplatePropertyTest, AutoescapedOutputNeverContainsRawMarkup) {
+  Rng rng(GetParam());
+  const auto tmpl = Template::compile("{{ v }}");
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random strings salted with dangerous characters.
+    std::string payload = rng.alnum_string(0, 10);
+    const char* kDanger[] = {"<", ">", "&", "\"", "'", "<script>"};
+    for (int i = 0; i < 3; ++i) {
+      payload += kDanger[rng.uniform_int(0, 5)];
+      payload += rng.alnum_string(0, 5);
+    }
+    const std::string out = tmpl->render({{"v", Value(payload)}});
+    EXPECT_EQ(out.find('<'), std::string::npos) << payload;
+    EXPECT_EQ(out.find('>'), std::string::npos) << payload;
+    EXPECT_EQ(out.find('"'), std::string::npos) << payload;
+  }
+}
+
+TEST_P(TemplatePropertyTest, EscapedOutputRoundTripsThroughUnescape) {
+  Rng rng(GetParam() + 17);
+  const auto tmpl = Template::compile("{{ v }}");
+  auto unescape = [](std::string s) {
+    const std::pair<const char*, const char*> reps[] = {
+        {"&lt;", "<"}, {"&gt;", ">"}, {"&quot;", "\""},
+        {"&#x27;", "'"}, {"&amp;", "&"}};  // &amp; last
+    for (const auto& [from, to] : reps) {
+      std::size_t pos = 0;
+      while ((pos = s.find(from, pos)) != std::string::npos) {
+        s.replace(pos, strlen(from), to);
+        pos += strlen(to);
+      }
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string payload;
+    for (int i = 0; i < 12; ++i) {
+      const char c = static_cast<char>(rng.uniform_int(32, 126));
+      payload.push_back(c);
+    }
+    const std::string out = tmpl->render({{"v", Value(payload)}});
+    EXPECT_EQ(unescape(out), payload);
+  }
+}
+
+TEST_P(TemplatePropertyTest, ForLoopEmitsExactlyOneMarkerPerItem) {
+  Rng rng(GetParam() + 99);
+  const auto tmpl = Template::compile("{% for x in xs %}#{% endfor %}");
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 200));
+    List xs;
+    for (std::size_t i = 0; i < n; ++i) xs.push_back(Value(1));
+    const std::string out = tmpl->render({{"xs", Value(std::move(xs))}});
+    EXPECT_EQ(out.size(), n);
+  }
+}
+
+TEST_P(TemplatePropertyTest, CounterSequenceIsOneToN) {
+  Rng rng(GetParam() + 5);
+  const auto tmpl =
+      Template::compile("{% for x in xs %}{{ forloop.counter }},{% endfor %}");
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 50));
+  List xs(n, Value(0));
+  const std::string out = tmpl->render({{"xs", Value(std::move(xs))}});
+  const auto parts = split(out, ',', /*keep_empty=*/false);
+  ASSERT_EQ(parts.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(parts[i], std::to_string(i + 1));
+  }
+}
+
+TEST_P(TemplatePropertyTest, ReversedIsExactReverse) {
+  Rng rng(GetParam() + 31);
+  List xs;
+  const auto n = static_cast<std::size_t>(rng.uniform_int(0, 40));
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(Value(static_cast<std::int64_t>(rng.uniform_int(0, 99))));
+  }
+  const auto fwd = Template::compile("{% for x in xs %}{{ x }};{% endfor %}");
+  const auto rev =
+      Template::compile("{% for x in xs reversed %}{{ x }};{% endfor %}");
+  Dict data{{"xs", Value(xs)}};
+  auto split_out = [](const std::string& s) {
+    return split(s, ';', /*keep_empty=*/false);
+  };
+  auto f = split_out(fwd->render(data));
+  auto r = split_out(rev->render(data));
+  std::reverse(r.begin(), r.end());
+  EXPECT_EQ(f, r);
+}
+
+TEST_P(TemplatePropertyTest, CompileIsDeterministic) {
+  Rng rng(GetParam() + 63);
+  const std::string source =
+      "{% if a %}{{ b|upper }}{% else %}{{ c|default:'x' }}{% endif %}"
+      "{% for i in xs %}{{ i }}{% endfor %}";
+  Dict data;
+  data["a"] = Value(rng.bernoulli(0.5));
+  data["b"] = Value(rng.alnum_string(0, 8));
+  data["xs"] = Value(List{Value(1), Value(2)});
+  const auto t1 = Template::compile(source);
+  const auto t2 = Template::compile(source);
+  EXPECT_EQ(t1->render(data), t2->render(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TemplatePropertyTest,
+                         ::testing::Values(1, 2, 3, 71, 2026));
+
+}  // namespace
+}  // namespace tempest::tmpl

@@ -1,0 +1,118 @@
+#include "src/template/value.h"
+
+#include <gtest/gtest.h>
+
+namespace tempest::tmpl {
+namespace {
+
+TEST(ValueTest, TypesAndPredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(42).is_int());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value(3.5).is_number());
+  EXPECT_TRUE(Value(42).is_number());
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_TRUE(Value(List{}).is_list());
+  EXPECT_TRUE(Value(Dict{}).is_dict());
+}
+
+TEST(ValueTest, AccessorsThrowOnWrongType) {
+  EXPECT_THROW(Value("x").as_int(), TemplateError);
+  EXPECT_THROW(Value(1).as_string(), TemplateError);
+  EXPECT_THROW(Value(1).as_list(), TemplateError);
+  EXPECT_NO_THROW(Value(1).as_double());  // int widens to double
+  EXPECT_DOUBLE_EQ(Value(3).as_double(), 3.0);
+}
+
+TEST(ValueTest, DjangoTruthiness) {
+  EXPECT_FALSE(Value().truthy());
+  EXPECT_FALSE(Value(false).truthy());
+  EXPECT_FALSE(Value(0).truthy());
+  EXPECT_FALSE(Value(0.0).truthy());
+  EXPECT_FALSE(Value("").truthy());
+  EXPECT_FALSE(Value(List{}).truthy());
+  EXPECT_FALSE(Value(Dict{}).truthy());
+  EXPECT_TRUE(Value(1).truthy());
+  EXPECT_TRUE(Value("x").truthy());
+  EXPECT_TRUE(Value(List{Value(0)}).truthy());
+}
+
+TEST(ValueTest, DisplayStrings) {
+  EXPECT_EQ(Value().str(), "");
+  EXPECT_EQ(Value(true).str(), "True");
+  EXPECT_EQ(Value(false).str(), "False");
+  EXPECT_EQ(Value(42).str(), "42");
+  EXPECT_EQ(Value("text").str(), "text");
+  EXPECT_EQ(Value(List{Value(1), Value(2)}).str(), "[1, 2]");
+}
+
+TEST(ValueTest, MemberAndIndexLookups) {
+  Value dict(Dict{{"a", Value(1)}});
+  ASSERT_NE(dict.member("a"), nullptr);
+  EXPECT_EQ(dict.member("a")->as_int(), 1);
+  EXPECT_EQ(dict.member("missing"), nullptr);
+  EXPECT_EQ(Value(7).member("a"), nullptr);
+
+  Value list(List{Value("x"), Value("y")});
+  ASSERT_NE(list.index(1), nullptr);
+  EXPECT_EQ(list.index(1)->str(), "y");
+  EXPECT_EQ(list.index(5), nullptr);
+}
+
+TEST(ValueTest, SizeSemantics) {
+  EXPECT_EQ(Value("abc").size(), 3u);
+  EXPECT_EQ(Value(List{Value(1)}).size(), 1u);
+  EXPECT_EQ(Value(Dict{{"a", Value(1)}}).size(), 1u);
+  EXPECT_EQ(Value(5).size(), 0u);
+}
+
+TEST(ValueTest, SetBuildsDictFromNull) {
+  Value v;
+  v.set("k", Value(9));
+  EXPECT_TRUE(v.is_dict());
+  EXPECT_EQ(v.member("k")->as_int(), 9);
+  EXPECT_THROW(Value(1).set("k", Value(0)), TemplateError);
+}
+
+TEST(ValueTest, PushBackBuildsListFromNull) {
+  Value v;
+  v.push_back(Value(1));
+  v.push_back(Value(2));
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_THROW(Value("s").push_back(Value(0)), TemplateError);
+}
+
+TEST(ValueTest, NumericEqualityCoerces) {
+  EXPECT_EQ(Value(2), Value(2.0));
+  EXPECT_NE(Value(2), Value(2.5));
+  EXPECT_NE(Value(2), Value("2"));
+  EXPECT_EQ(Value(), Value(nullptr));
+}
+
+TEST(ValueTest, DeepEquality) {
+  Value a(List{Value(Dict{{"k", Value(1)}})});
+  Value b(List{Value(Dict{{"k", Value(1)}})});
+  Value c(List{Value(Dict{{"k", Value(2)}})});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(ValueTest, CompareOrdersNumbersAndStrings) {
+  EXPECT_LT(Value::compare(Value(1), Value(2)), 0);
+  EXPECT_GT(Value::compare(Value(2.5), Value(2)), 0);
+  EXPECT_EQ(Value::compare(Value("a"), Value("a")), 0);
+  EXPECT_LT(Value::compare(Value("a"), Value("b")), 0);
+  EXPECT_THROW(Value::compare(Value(1), Value("1")), TemplateError);
+  EXPECT_THROW(Value::compare(Value(List{}), Value(List{})), TemplateError);
+}
+
+TEST(ValueTest, SharedContainersAreCheapCopies) {
+  Value list(List{Value(1)});
+  Value copy = list;  // shares storage
+  EXPECT_EQ(copy.size(), 1u);
+  EXPECT_EQ(copy, list);
+}
+
+}  // namespace
+}  // namespace tempest::tmpl

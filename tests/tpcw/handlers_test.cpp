@@ -1,0 +1,269 @@
+// Direct handler-level tests: each of the 14 pages generates the right data
+// and returns the paper's (template, data) pair.
+#include <gtest/gtest.h>
+
+#include "src/common/clock.h"
+#include "src/db/pool.h"
+#include "src/http/parser.h"
+#include "src/server/router.h"
+#include "src/tpcw/handlers.h"
+#include "src/tpcw/populate.h"
+#include "src/tpcw/templates.h"
+
+namespace tempest::tpcw {
+namespace {
+
+class HandlersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TimeScale::set(0.00005);
+    scale_ = Scale::tiny();
+    pop_ = populate_tpcw(db_, scale_);
+    state_ = TpcwState::from_population(scale_, pop_);
+    register_tpcw_routes(router_, state_);
+    pool_ = std::make_unique<db::ConnectionPool>(db_, 2);
+    loader_ = make_template_loader();
+  }
+
+  void TearDown() override { TimeScale::set(0.005); }
+
+  // Invokes the handler for `url` and requires a TemplateResponse.
+  server::TemplateResponse call(const std::string& url) {
+    auto request = http::parse_request("GET " + url +
+                                       " HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_TRUE(request.has_value()) << url;
+    request->uri.query = http::parse_query(request->uri.raw_query);
+    auto lease = pool_->acquire();
+    server::RequestContext ctx{*request, lease.get()};
+    const std::string path = request->uri.path;
+    auto* handler = router_.find(path);
+    EXPECT_NE(handler, nullptr) << path;
+    server::HandlerResult result = (*handler)(ctx);
+    auto* tr = std::get_if<server::TemplateResponse>(&result);
+    EXPECT_NE(tr, nullptr) << path << " did not return a template";
+    return std::move(*tr);
+  }
+
+  // Renders the handler result as the render stage would.
+  std::string render(const server::TemplateResponse& tr) {
+    return loader_->load(tr.template_name)->render(tr.data, loader_.get());
+  }
+
+  db::Database db_;
+  Scale scale_;
+  PopulationSummary pop_;
+  std::shared_ptr<TpcwState> state_;
+  server::Router router_;
+  std::unique_ptr<db::ConnectionPool> pool_;
+  std::shared_ptr<tmpl::MemoryLoader> loader_;
+};
+
+TEST_F(HandlersTest, AllFourteenRoutesRegistered) {
+  EXPECT_EQ(router_.size(), 14u);
+  for (const auto& path : tpcw_page_paths()) {
+    EXPECT_NE(router_.find(path), nullptr) << path;
+  }
+}
+
+TEST_F(HandlersTest, EveryPageReturnsUnrenderedTemplateWithData) {
+  for (const auto& path : tpcw_page_paths()) {
+    const auto tr = call(path + "?c_id=5&i_id=7&subject=ARTS&term=river");
+    EXPECT_FALSE(tr.template_name.empty()) << path;
+    EXPECT_TRUE(loader_->contains(tr.template_name)) << tr.template_name;
+    const std::string html = render(tr);
+    EXPECT_NE(html.find("TPC-W"), std::string::npos) << path;
+  }
+}
+
+TEST_F(HandlersTest, HomeLoadsCustomerAndFivePromotions) {
+  const auto tr = call("/home?c_id=3");
+  EXPECT_EQ(tr.template_name, "home.html");
+  EXPECT_EQ(tr.data.at("c_id").as_int(), 3);
+  EXPECT_FALSE(tr.data.at("c_fname").str().empty());
+  EXPECT_EQ(tr.data.at("promotions").size(), 5u);
+}
+
+TEST_F(HandlersTest, HomeClampsOutOfRangeCustomer) {
+  const auto tr = call("/home?c_id=999999");
+  const auto id = tr.data.at("c_id").as_int();
+  EXPECT_GE(id, 1);
+  EXPECT_LE(id, scale_.customers);
+}
+
+TEST_F(HandlersTest, ProductDetailIncludesAuthorAndSavings) {
+  const auto tr = call("/product_detail?i_id=5");
+  EXPECT_EQ(tr.data.at("i_id").as_int(), 5);
+  EXPECT_FALSE(tr.data.at("a_lname").str().empty());
+  EXPECT_GE(tr.data.at("savings").as_double(), 0.0);
+  const std::string html = render(tr);
+  EXPECT_NE(html.find("Our price"), std::string::npos);
+}
+
+TEST_F(HandlersTest, SearchRequestListsAllSubjects) {
+  const auto tr = call("/search_request");
+  EXPECT_EQ(tr.data.at("subjects").size(),
+            static_cast<std::size_t>(kNumSubjects));
+}
+
+TEST_F(HandlersTest, ExecuteSearchByTitleFindsMatches) {
+  const auto tr = call("/execute_search?type=title&term=river");
+  const auto& results = tr.data.at("results");
+  EXPECT_GT(results.size(), 0u);
+  EXPECT_LE(results.size(), 50u);
+  // Every hit's title contains the term.
+  for (const auto& hit : results.as_list()) {
+    EXPECT_NE(hit.member("i_title")->str().find("river"), std::string::npos);
+  }
+}
+
+TEST_F(HandlersTest, ExecuteSearchByAuthor) {
+  const auto tr = call("/execute_search?type=author&term=river");
+  for (const auto& hit : tr.data.at("results").as_list()) {
+    EXPECT_NE(hit.member("a_lname")->str().find("river"), std::string::npos);
+  }
+}
+
+TEST_F(HandlersTest, NewProductsFiltersBySubjectSortedByDate) {
+  const auto tr = call("/new_products?subject=ARTS");
+  const auto& books = tr.data.at("books").as_list();
+  ASSERT_GT(books.size(), 0u);
+  std::int64_t last_date = std::numeric_limits<std::int64_t>::max();
+  for (const auto& book : books) {
+    const auto date = book.member("i_pub_date")->as_int();
+    EXPECT_LE(date, last_date);  // descending
+    last_date = date;
+  }
+}
+
+TEST_F(HandlersTest, BestSellersAggregatesRecentSales) {
+  const auto tr = call("/best_sellers?subject=ARTS");
+  const auto& books = tr.data.at("books").as_list();
+  EXPECT_LE(books.size(), 50u);
+  // Totals must be non-increasing.
+  double last = 1e18;
+  for (const auto& book : books) {
+    const double total = book.member("total")->as_double();
+    EXPECT_LE(total, last);
+    last = total;
+    EXPECT_GT(total, 0.0);
+  }
+}
+
+TEST_F(HandlersTest, ShoppingCartAddThenView) {
+  auto add = call("/shopping_cart?c_id=4&i_id=10&qty=2");
+  EXPECT_EQ(add.data.at("lines").size(), 1u);
+  EXPECT_GT(add.data.at("subtotal").as_double(), 0.0);
+
+  // Adding the same item again merges quantities.
+  auto again = call("/shopping_cart?c_id=4&i_id=10&qty=3");
+  EXPECT_EQ(again.data.at("lines").size(), 1u);
+  const auto& line = again.data.at("lines").as_list()[0];
+  EXPECT_EQ(line.member("scl_qty")->as_int(), 5);
+
+  // A different item adds a second line.
+  auto more = call("/shopping_cart?c_id=4&i_id=11");
+  EXPECT_EQ(more.data.at("lines").size(), 2u);
+
+  // Pure view (no i_id) leaves the cart unchanged.
+  auto view = call("/shopping_cart?c_id=4");
+  EXPECT_EQ(view.data.at("lines").size(), 2u);
+}
+
+TEST_F(HandlersTest, CartsArePerCustomer) {
+  call("/shopping_cart?c_id=6&i_id=3");
+  const auto other = call("/shopping_cart?c_id=7");
+  EXPECT_EQ(other.data.at("lines").size(), 0u);
+}
+
+TEST_F(HandlersTest, CustomerRegistrationShowsReturningCustomer) {
+  const auto tr = call("/customer_registration?c_id=2");
+  EXPECT_TRUE(tr.data.at("returning").truthy());
+  EXPECT_EQ(tr.data.at("c_uname").str(), "user2");
+}
+
+TEST_F(HandlersTest, BuyRequestComputesTotalsFromCart) {
+  call("/shopping_cart?c_id=8&i_id=20&qty=1");
+  const auto tr = call("/buy_request?c_id=8");
+  const double subtotal = tr.data.at("subtotal").as_double();
+  EXPECT_GT(subtotal, 0.0);
+  EXPECT_NEAR(tr.data.at("total").as_double(), subtotal * 1.0825, 1e-9);
+  EXPECT_FALSE(tr.data.at("co_name").str().empty());
+}
+
+TEST_F(HandlersTest, BuyConfirmWritesOrderLinesAndPayment) {
+  call("/shopping_cart?c_id=9&i_id=30&qty=2");
+  const auto orders_before = db_.table("orders").row_count();
+  const auto lines_before = db_.table("order_line").row_count();
+  const auto cc_before = db_.table("cc_xacts").row_count();
+
+  const auto tr = call("/buy_confirm?c_id=9");
+  EXPECT_EQ(db_.table("orders").row_count(), orders_before + 1);
+  EXPECT_EQ(db_.table("order_line").row_count(), lines_before + 1);
+  EXPECT_EQ(db_.table("cc_xacts").row_count(), cc_before + 1);
+  EXPECT_GT(tr.data.at("o_id").as_int(), scale_.orders);
+}
+
+TEST_F(HandlersTest, BuyConfirmWithEmptyCartBuysDefaultItem) {
+  const auto orders_before = db_.table("orders").row_count();
+  const auto tr = call("/buy_confirm?c_id=12");
+  EXPECT_EQ(db_.table("orders").row_count(), orders_before + 1);
+  EXPECT_EQ(tr.data.at("lines").size(), 1u);
+}
+
+TEST_F(HandlersTest, BuyConfirmDecrementsStock) {
+  // Put a known item in a fresh cart and buy it.
+  call("/shopping_cart?c_id=14&i_id=25&qty=1");
+  const auto& items = db_.table("item");
+  const std::size_t pos = items.find_by_pk(db::Value(25));
+  const auto stock_col = items.schema().require_column("i_stock");
+  const auto before = items.row_at(pos)[stock_col].as_int();
+  call("/buy_confirm?c_id=14");
+  const auto after = items.row_at(pos)[stock_col].as_int();
+  EXPECT_TRUE(after == before - 1 || after == before - 1 + 21) << after;
+}
+
+TEST_F(HandlersTest, OrderDisplayShowsMostRecentOrder) {
+  call("/shopping_cart?c_id=10&i_id=40");
+  const auto confirm = call("/buy_confirm?c_id=10");
+  const auto o_id = confirm.data.at("o_id").as_int();
+  const auto tr = call("/order_display?c_id=10");
+  EXPECT_TRUE(tr.data.at("found").truthy());
+  EXPECT_EQ(tr.data.at("o_id").as_int(), o_id);
+  EXPECT_GT(tr.data.at("lines").size(), 0u);
+}
+
+TEST_F(HandlersTest, OrderInquiryShowsUsername) {
+  const auto tr = call("/order_inquiry?c_id=5");
+  EXPECT_EQ(tr.data.at("c_uname").str(), "user5");
+}
+
+TEST_F(HandlersTest, AdminRequestShowsItem) {
+  const auto tr = call("/admin_request?i_id=8");
+  EXPECT_EQ(tr.data.at("i_id").as_int(), 8);
+  EXPECT_FALSE(tr.data.at("i_title").str().empty());
+}
+
+TEST_F(HandlersTest, AdminResponseUpdatesImageAndRelated) {
+  const auto tr =
+      call("/admin_response?i_id=8&image=/img/image_1.gif&thumbnail=/img/thumb_1.gif");
+  const auto& items = db_.table("item");
+  const std::size_t pos = items.find_by_pk(db::Value(8));
+  EXPECT_EQ(items.row_at(pos)[items.schema().require_column("i_image")]
+                .as_string(),
+            "/img/image_1.gif");
+  // i_related1 recomputed from recent order lines.
+  const auto related =
+      items.row_at(pos)[items.schema().require_column("i_related1")].as_int();
+  EXPECT_GE(related, 1);
+  EXPECT_EQ(tr.data.at("i_image").str(), "/img/image_1.gif");
+}
+
+TEST_F(HandlersTest, PageNamesForTables) {
+  EXPECT_EQ(tpcw_page_name("/home"), "TPC-W home interaction");
+  EXPECT_EQ(tpcw_page_name("/best_sellers"), "TPC-W best sellers");
+  EXPECT_EQ(tpcw_page_name("/shopping_cart"),
+            "TPC-W shopping cart interaction");
+}
+
+}  // namespace
+}  // namespace tempest::tpcw

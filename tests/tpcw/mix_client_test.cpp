@@ -1,0 +1,156 @@
+// Workload generator: browsing mix, URL synthesis, emulated browsers, and a
+// miniature end-to-end experiment.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/clock.h"
+#include "src/tpcw/experiment.h"
+#include "src/tpcw/mix.h"
+
+namespace tempest::tpcw {
+namespace {
+
+TEST(MixTest, WeightsSumToOneHundred) {
+  double total = 0;
+  for (const auto& entry : browsing_mix()) total += entry.weight;
+  EXPECT_NEAR(total, 100.0, 1e-9);
+  EXPECT_EQ(browsing_mix().size(), 14u);
+}
+
+TEST(MixTest, SampledFrequenciesTrackWeights) {
+  Rng rng(123);
+  std::map<std::string, int> counts;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) counts[sample_page(rng)]++;
+  // Home is 29%: expect within a couple points.
+  EXPECT_NEAR(counts["/home"] * 100.0 / kSamples, 29.0, 2.0);
+  EXPECT_NEAR(counts["/product_detail"] * 100.0 / kSamples, 21.0, 2.0);
+  // Rare pages still appear.
+  EXPECT_GT(counts["/admin_response"], 0);
+  EXPECT_LT(counts["/admin_response"], kSamples / 100);
+}
+
+TEST(MixTest, UrlsCarryPageSpecificParameters) {
+  Rng rng(5);
+  const Scale scale = Scale::tiny();
+  EXPECT_NE(build_url("/product_detail", rng, scale, 3).find("i_id="),
+            std::string::npos);
+  EXPECT_NE(build_url("/new_products", rng, scale, 3).find("subject="),
+            std::string::npos);
+  EXPECT_NE(build_url("/execute_search", rng, scale, 3).find("term="),
+            std::string::npos);
+  const std::string home = build_url("/home", rng, scale, 3);
+  EXPECT_NE(home.find("c_id=3"), std::string::npos);
+}
+
+TEST(MixTest, ItemIdsStayInRange) {
+  Rng rng(9);
+  const Scale scale = Scale::tiny();
+  for (int i = 0; i < 200; ++i) {
+    const std::string url = build_url("/product_detail", rng, scale, 1);
+    const auto pos = url.find("i_id=");
+    const long id = std::strtol(url.c_str() + pos + 5, nullptr, 10);
+    EXPECT_GE(id, 1);
+    EXPECT_LE(id, scale.items);
+  }
+}
+
+TEST(MixTest, EmbeddedImagesIncludeChromeAndThumbnails) {
+  Rng rng(2);
+  const auto images = embedded_images("/home", rng);
+  EXPECT_GE(images.size(), 12u);
+  EXPECT_EQ(images[0], "/img/banner.gif");
+  int thumbs = 0;
+  for (const auto& img : images) {
+    if (img.find("/img/thumb_") == 0) ++thumbs;
+  }
+  EXPECT_GE(thumbs, 4);
+}
+
+TEST(ExperimentTest, MiniRunProducesAllArtifacts) {
+  TimeScale::set(0.002);
+  ExperimentConfig config;
+  config.staged = true;
+  config.scale = Scale::tiny();
+  config.clients = 24;
+  config.ramp_paper_s = 5;
+  config.measure_paper_s = 40;
+  config.server.db_connections = 10;
+  config.server.baseline_threads = 10;
+  config.server.header_threads = 2;
+  config.server.static_threads = 2;
+  config.server.general_threads = 8;
+  config.server.lengthy_threads = 2;
+  config.server.render_threads = 3;
+  config.server.treserve_min = 2;
+
+  const auto results = run_experiment(config);
+  TimeScale::set(0.005);
+
+  EXPECT_GT(results.client_interactions, 20u);
+  EXPECT_EQ(results.client_errors, 0u);
+  EXPECT_FALSE(results.client_page_stats.empty());
+  EXPECT_GT(results.server_completed_total, results.client_interactions);
+  EXPECT_FALSE(results.queue_series.empty());
+  EXPECT_TRUE(results.queue_series.count("general"));
+  EXPECT_TRUE(results.queue_series.count("lengthy"));
+  EXPECT_FALSE(results.tspare_series.empty());
+  EXPECT_FALSE(results.treserve_series.empty());
+  EXPECT_FALSE(results.overall_throughput().empty());
+  EXPECT_GE(results.connection_idle_while_held_fraction, 0.0);
+  EXPECT_LE(results.connection_idle_while_held_fraction, 1.0);
+}
+
+TEST(ExperimentTest, BaselineVariantRunsToo) {
+  TimeScale::set(0.002);
+  ExperimentConfig config;
+  config.staged = false;
+  config.scale = Scale::tiny();
+  config.clients = 12;
+  config.ramp_paper_s = 5;
+  config.measure_paper_s = 25;
+  config.server.db_connections = 8;
+  config.server.baseline_threads = 8;
+
+  const auto results = run_experiment(config);
+  TimeScale::set(0.005);
+
+  EXPECT_GT(results.client_interactions, 5u);
+  EXPECT_EQ(results.client_errors, 0u);
+  // The baseline samples its single queue under the name "dynamic".
+  EXPECT_TRUE(results.queue_series.count("dynamic"));
+  // No controller on the baseline.
+  EXPECT_TRUE(results.tspare_series.empty());
+}
+
+TEST(ExperimentTest, MeasurementWindowExcludesRamp) {
+  TimeScale::set(0.002);
+  ExperimentConfig config;
+  config.staged = true;
+  config.scale = Scale::tiny();
+  config.clients = 8;
+  config.ramp_paper_s = 30;
+  config.measure_paper_s = 1;  // nearly everything lands in the ramp
+  config.server.db_connections = 8;
+  config.server.baseline_threads = 8;
+  config.server.general_threads = 6;
+  config.server.lengthy_threads = 2;
+
+  const auto results = run_experiment(config);
+  TimeScale::set(0.005);
+  // Few-to-no interactions within the tiny window; far fewer than the ~8*30/9
+  // the ramp produced.
+  EXPECT_LT(results.client_interactions, 30u);
+}
+
+TEST(ExperimentTest, PaperShapeUsesPaperParameters) {
+  const auto config = ExperimentConfig::paper_shape(true);
+  EXPECT_EQ(config.clients, 400u);
+  EXPECT_DOUBLE_EQ(config.measure_paper_s, 3000.0);
+  EXPECT_DOUBLE_EQ(config.ramp_paper_s, 300.0);
+  EXPECT_TRUE(config.staged);
+}
+
+}  // namespace
+}  // namespace tempest::tpcw

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "src/tpcw/populate.h"
+
+namespace tempest::tpcw {
+namespace {
+
+TEST(PopulateTest, CardinalitiesMatchScale) {
+  db::Database db;
+  const Scale scale = Scale::tiny();
+  const auto summary = populate_tpcw(db, scale);
+  EXPECT_EQ(summary.items, scale.items);
+  EXPECT_EQ(summary.authors, scale.authors());
+  EXPECT_EQ(summary.customers, scale.customers);
+  EXPECT_EQ(summary.orders, scale.orders);
+  EXPECT_EQ(summary.countries, 92);
+  EXPECT_EQ(summary.carts, scale.customers);
+  EXPECT_EQ(db.table("item").row_count(),
+            static_cast<std::size_t>(scale.items));
+  EXPECT_EQ(db.table("customer").row_count(),
+            static_cast<std::size_t>(scale.customers));
+  EXPECT_EQ(db.table("order_line").row_count(),
+            static_cast<std::size_t>(summary.order_lines));
+}
+
+TEST(PopulateTest, OrderLinesBetweenOneAndThreePerOrder) {
+  db::Database db;
+  const Scale scale = Scale::tiny();
+  const auto summary = populate_tpcw(db, scale);
+  EXPECT_GE(summary.order_lines, scale.orders);
+  EXPECT_LE(summary.order_lines, scale.orders * 3);
+}
+
+TEST(PopulateTest, DeterministicForSameSeed) {
+  db::Database a;
+  db::Database b;
+  populate_tpcw(a, Scale::tiny(), 7);
+  populate_tpcw(b, Scale::tiny(), 7);
+  const auto& row_a = a.table("item").row_at(10);
+  const auto& row_b = b.table("item").row_at(10);
+  EXPECT_EQ(row_a[1].as_string(), row_b[1].as_string());  // i_title
+}
+
+TEST(PopulateTest, DifferentSeedsDiffer) {
+  db::Database a;
+  db::Database b;
+  populate_tpcw(a, Scale::tiny(), 7);
+  populate_tpcw(b, Scale::tiny(), 8);
+  int differing = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    if (a.table("item").row_at(i)[1].as_string() !=
+        b.table("item").row_at(i)[1].as_string()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 10);
+}
+
+TEST(PopulateTest, ForeignKeysResolve) {
+  db::Database db;
+  const Scale scale = Scale::tiny();
+  populate_tpcw(db, scale);
+  const auto& items = db.table("item");
+  const auto& authors = db.table("author");
+  for (std::size_t i = 0; i < items.row_count(); i += 37) {
+    const auto author_pos = authors.find_by_pk(items.row_at(i)[2]);  // i_a_id
+    EXPECT_NE(author_pos, db::Table::kNotFound);
+  }
+  const auto& orders = db.table("orders");
+  const auto& customers = db.table("customer");
+  for (std::size_t i = 0; i < orders.row_count(); i += 17) {
+    EXPECT_NE(customers.find_by_pk(orders.row_at(i)[1]),
+              db::Table::kNotFound);  // o_c_id
+  }
+}
+
+TEST(PopulateTest, SubjectsDrawnFromCatalog) {
+  db::Database db;
+  populate_tpcw(db, Scale::tiny());
+  const auto& items = db.table("item");
+  const std::size_t subject_col = items.schema().require_column("i_subject");
+  for (std::size_t i = 0; i < items.row_count(); i += 11) {
+    const std::string subject = items.row_at(i)[subject_col].as_string();
+    bool known = false;
+    for (int s = 0; s < kNumSubjects; ++s) {
+      if (subject == subject_name(s)) {
+        known = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(known) << subject;
+  }
+}
+
+TEST(PopulateTest, NextIdsFollowPopulatedRanges) {
+  db::Database db;
+  const Scale scale = Scale::tiny();
+  const auto summary = populate_tpcw(db, scale);
+  EXPECT_EQ(summary.next_order_id, scale.orders + 1);
+}
+
+TEST(SchemaTest, SubjectNamesWrapAround) {
+  EXPECT_STREQ(subject_name(0), subject_name(kNumSubjects));
+  EXPECT_STREQ(subject_name(-1), subject_name(kNumSubjects - 1));
+}
+
+TEST(SchemaTest, LatencyModelNormalizesWithScale) {
+  const auto paper = latency_model_for(Scale::paper());
+  const auto bench = latency_model_for(Scale::bench());
+  // 10x smaller population -> 10x larger per-row cost.
+  EXPECT_NEAR(bench.per_row_scanned / paper.per_row_scanned, 10.0, 1e-9);
+  EXPECT_NEAR(bench.per_row_probed / paper.per_row_probed, 10.0, 1e-9);
+}
+
+TEST(SchemaTest, HotColumnsDeliberatelyUnindexed) {
+  db::Database db;
+  create_tpcw_tables(db);
+  const auto& item = db.table("item");
+  EXPECT_FALSE(item.has_index_on(item.schema().require_column("i_subject")));
+  EXPECT_FALSE(item.has_index_on(item.schema().require_column("i_a_id")));
+  EXPECT_TRUE(item.has_index_on(item.schema().require_column("i_id")));
+  const auto& ol = db.table("order_line");
+  EXPECT_TRUE(ol.has_index_on(ol.schema().require_column("ol_o_id")));
+  EXPECT_FALSE(ol.has_index_on(ol.schema().require_column("ol_i_id")));
+}
+
+}  // namespace
+}  // namespace tempest::tpcw

@@ -1,0 +1,104 @@
+// End-to-end smoke: populated TPC-W app served by both server variants.
+#include <gtest/gtest.h>
+
+#include "src/common/clock.h"
+#include "src/db/database.h"
+#include "src/server/baseline_server.h"
+#include "src/server/staged_server.h"
+#include "src/server/transport.h"
+#include "src/tpcw/handlers.h"
+#include "src/tpcw/populate.h"
+
+namespace tempest {
+namespace {
+
+using tpcw::Scale;
+
+class SmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TimeScale::set(0.0001);  // keep simulated service times tiny
+    scale_ = Scale::tiny();
+    pop_ = tpcw::populate_tpcw(db_, scale_);
+    state_ = tpcw::TpcwState::from_population(scale_, pop_);
+    app_ = tpcw::make_tpcw_application(state_);
+    config_.db_connections = 8;
+    config_.baseline_threads = 8;
+    config_.header_threads = 2;
+    config_.static_threads = 2;
+    config_.general_threads = 6;
+    config_.lengthy_threads = 2;
+    config_.render_threads = 2;
+  }
+
+  static std::string get(server::WebServer& server, const std::string& url) {
+    server::InProcClient client(server);
+    return client.roundtrip("GET " + url + " HTTP/1.1\r\nHost: x\r\n\r\n");
+  }
+
+  db::Database db_;
+  Scale scale_;
+  tpcw::PopulationSummary pop_;
+  std::shared_ptr<tpcw::TpcwState> state_;
+  std::shared_ptr<const server::Application> app_;
+  server::ServerConfig config_;
+};
+
+TEST_F(SmokeTest, StagedServerServesAllFourteenPages) {
+  server::StagedServer server(config_, app_, db_);
+  for (const std::string& path : tpcw::tpcw_page_paths()) {
+    const std::string response = get(server, path + "?c_id=3&i_id=5");
+    EXPECT_TRUE(response.find("HTTP/1.1 200") == 0)
+        << path << " -> " << response.substr(0, 200);
+    EXPECT_NE(response.find("TPC-W"), std::string::npos) << path;
+    EXPECT_NE(response.find("Content-Length:"), std::string::npos) << path;
+  }
+  server.shutdown();
+}
+
+TEST_F(SmokeTest, BaselineServerServesAllFourteenPages) {
+  server::BaselineServer server(config_, app_, db_);
+  for (const std::string& path : tpcw::tpcw_page_paths()) {
+    const std::string response = get(server, path + "?c_id=3&i_id=5");
+    EXPECT_TRUE(response.find("HTTP/1.1 200") == 0)
+        << path << " -> " << response.substr(0, 200);
+  }
+  server.shutdown();
+}
+
+TEST_F(SmokeTest, StaticImagesAreServedByBothServers) {
+  server::StagedServer staged(config_, app_, db_);
+  server::BaselineServer baseline(config_, app_, db_);
+  for (auto* server :
+       std::initializer_list<server::WebServer*>{&staged, &baseline}) {
+    const std::string response = get(*server, "/img/banner.gif");
+    EXPECT_TRUE(response.find("HTTP/1.1 200") == 0);
+    EXPECT_NE(response.find("image/gif"), std::string::npos);
+  }
+}
+
+TEST_F(SmokeTest, UnknownPathsReturn404) {
+  server::StagedServer server(config_, app_, db_);
+  EXPECT_TRUE(get(server, "/nope").find("HTTP/1.1 404") == 0);
+  EXPECT_TRUE(get(server, "/img/nope.gif").find("HTTP/1.1 404") == 0);
+}
+
+TEST_F(SmokeTest, HomePageRendersCustomerAndPromotions) {
+  server::StagedServer server(config_, app_, db_);
+  const std::string response = get(server, "/home?c_id=7");
+  EXPECT_NE(response.find("Welcome back"), std::string::npos);
+  EXPECT_NE(response.find("/img/thumb_"), std::string::npos);
+}
+
+TEST_F(SmokeTest, BuyConfirmCreatesAnOrder) {
+  server::StagedServer server(config_, app_, db_);
+  const auto orders_before = db_.table("orders").row_count();
+  const std::string add = get(server, "/shopping_cart?c_id=5&i_id=9&qty=2");
+  EXPECT_NE(add.find("HTTP/1.1 200"), std::string::npos);
+  const std::string response = get(server, "/buy_confirm?c_id=5");
+  EXPECT_NE(response.find("Thank you for your order"), std::string::npos);
+  EXPECT_EQ(db_.table("orders").row_count(), orders_before + 1);
+}
+
+}  // namespace
+}  // namespace tempest
