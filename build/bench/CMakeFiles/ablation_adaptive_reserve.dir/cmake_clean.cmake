@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_reserve.dir/ablation_adaptive_reserve.cpp.o"
+  "CMakeFiles/ablation_adaptive_reserve.dir/ablation_adaptive_reserve.cpp.o.d"
+  "ablation_adaptive_reserve"
+  "ablation_adaptive_reserve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_reserve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

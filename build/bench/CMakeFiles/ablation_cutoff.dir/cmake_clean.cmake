@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cutoff.dir/ablation_cutoff.cpp.o"
+  "CMakeFiles/ablation_cutoff.dir/ablation_cutoff.cpp.o.d"
+  "ablation_cutoff"
+  "ablation_cutoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cutoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

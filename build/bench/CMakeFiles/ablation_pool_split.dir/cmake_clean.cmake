@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pool_split.dir/ablation_pool_split.cpp.o"
+  "CMakeFiles/ablation_pool_split.dir/ablation_pool_split.cpp.o.d"
+  "ablation_pool_split"
+  "ablation_pool_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pool_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

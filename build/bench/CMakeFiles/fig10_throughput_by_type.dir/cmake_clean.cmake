@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_throughput_by_type.dir/fig10_throughput_by_type.cpp.o"
+  "CMakeFiles/fig10_throughput_by_type.dir/fig10_throughput_by_type.cpp.o.d"
+  "fig10_throughput_by_type"
+  "fig10_throughput_by_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_throughput_by_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_queue_unmodified.dir/fig7_queue_unmodified.cpp.o"
+  "CMakeFiles/fig7_queue_unmodified.dir/fig7_queue_unmodified.cpp.o.d"
+  "fig7_queue_unmodified"
+  "fig7_queue_unmodified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_queue_unmodified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

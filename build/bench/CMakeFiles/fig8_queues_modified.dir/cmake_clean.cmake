@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_queues_modified.dir/fig8_queues_modified.cpp.o"
+  "CMakeFiles/fig8_queues_modified.dir/fig8_queues_modified.cpp.o.d"
+  "fig8_queues_modified"
+  "fig8_queues_modified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_queues_modified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

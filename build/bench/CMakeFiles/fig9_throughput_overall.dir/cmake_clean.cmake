@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_throughput_overall.dir/fig9_throughput_overall.cpp.o"
+  "CMakeFiles/fig9_throughput_overall.dir/fig9_throughput_overall.cpp.o.d"
+  "fig9_throughput_overall"
+  "fig9_throughput_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_throughput_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_query_costs.dir/micro_query_costs.cpp.o"
+  "CMakeFiles/micro_query_costs.dir/micro_query_costs.cpp.o.d"
+  "micro_query_costs"
+  "micro_query_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_query_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_reserve_dynamics.dir/table2_reserve_dynamics.cpp.o"
+  "CMakeFiles/table2_reserve_dynamics.dir/table2_reserve_dynamics.cpp.o.d"
+  "table2_reserve_dynamics"
+  "table2_reserve_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_reserve_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

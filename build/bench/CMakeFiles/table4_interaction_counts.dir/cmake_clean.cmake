@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_interaction_counts.dir/table4_interaction_counts.cpp.o"
+  "CMakeFiles/table4_interaction_counts.dir/table4_interaction_counts.cpp.o.d"
+  "table4_interaction_counts"
+  "table4_interaction_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_interaction_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

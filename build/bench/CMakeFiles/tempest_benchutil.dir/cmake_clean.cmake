@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_benchutil.dir/bench_util.cpp.o"
+  "CMakeFiles/tempest_benchutil.dir/bench_util.cpp.o.d"
+  "libtempest_benchutil.a"
+  "libtempest_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/template_demo.cpp" "examples/CMakeFiles/template_demo.dir/template_demo.cpp.o" "gcc" "examples/CMakeFiles/template_demo.dir/template_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tpcw/CMakeFiles/tempest_tpcw.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/tempest_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/template/CMakeFiles/tempest_template.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/tempest_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tempest_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/tempest_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

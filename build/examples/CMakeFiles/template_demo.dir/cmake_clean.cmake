@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_demo.dir/template_demo.cpp.o"
+  "CMakeFiles/template_demo.dir/template_demo.cpp.o.d"
+  "template_demo"
+  "template_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

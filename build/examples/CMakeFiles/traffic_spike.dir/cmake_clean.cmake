@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_spike.dir/traffic_spike.cpp.o"
+  "CMakeFiles/traffic_spike.dir/traffic_spike.cpp.o.d"
+  "traffic_spike"
+  "traffic_spike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_spike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

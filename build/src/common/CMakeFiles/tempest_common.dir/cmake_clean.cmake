@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_common.dir/clock.cpp.o"
+  "CMakeFiles/tempest_common.dir/clock.cpp.o.d"
+  "CMakeFiles/tempest_common.dir/config.cpp.o"
+  "CMakeFiles/tempest_common.dir/config.cpp.o.d"
+  "CMakeFiles/tempest_common.dir/logging.cpp.o"
+  "CMakeFiles/tempest_common.dir/logging.cpp.o.d"
+  "CMakeFiles/tempest_common.dir/rng.cpp.o"
+  "CMakeFiles/tempest_common.dir/rng.cpp.o.d"
+  "CMakeFiles/tempest_common.dir/stats.cpp.o"
+  "CMakeFiles/tempest_common.dir/stats.cpp.o.d"
+  "CMakeFiles/tempest_common.dir/strutil.cpp.o"
+  "CMakeFiles/tempest_common.dir/strutil.cpp.o.d"
+  "libtempest_common.a"
+  "libtempest_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/connection.cpp" "src/db/CMakeFiles/tempest_db.dir/connection.cpp.o" "gcc" "src/db/CMakeFiles/tempest_db.dir/connection.cpp.o.d"
+  "/root/repo/src/db/database.cpp" "src/db/CMakeFiles/tempest_db.dir/database.cpp.o" "gcc" "src/db/CMakeFiles/tempest_db.dir/database.cpp.o.d"
+  "/root/repo/src/db/executor.cpp" "src/db/CMakeFiles/tempest_db.dir/executor.cpp.o" "gcc" "src/db/CMakeFiles/tempest_db.dir/executor.cpp.o.d"
+  "/root/repo/src/db/pool.cpp" "src/db/CMakeFiles/tempest_db.dir/pool.cpp.o" "gcc" "src/db/CMakeFiles/tempest_db.dir/pool.cpp.o.d"
+  "/root/repo/src/db/sql_parser.cpp" "src/db/CMakeFiles/tempest_db.dir/sql_parser.cpp.o" "gcc" "src/db/CMakeFiles/tempest_db.dir/sql_parser.cpp.o.d"
+  "/root/repo/src/db/table.cpp" "src/db/CMakeFiles/tempest_db.dir/table.cpp.o" "gcc" "src/db/CMakeFiles/tempest_db.dir/table.cpp.o.d"
+  "/root/repo/src/db/value.cpp" "src/db/CMakeFiles/tempest_db.dir/value.cpp.o" "gcc" "src/db/CMakeFiles/tempest_db.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tempest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

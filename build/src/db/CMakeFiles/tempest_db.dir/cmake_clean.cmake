@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_db.dir/connection.cpp.o"
+  "CMakeFiles/tempest_db.dir/connection.cpp.o.d"
+  "CMakeFiles/tempest_db.dir/database.cpp.o"
+  "CMakeFiles/tempest_db.dir/database.cpp.o.d"
+  "CMakeFiles/tempest_db.dir/executor.cpp.o"
+  "CMakeFiles/tempest_db.dir/executor.cpp.o.d"
+  "CMakeFiles/tempest_db.dir/pool.cpp.o"
+  "CMakeFiles/tempest_db.dir/pool.cpp.o.d"
+  "CMakeFiles/tempest_db.dir/sql_parser.cpp.o"
+  "CMakeFiles/tempest_db.dir/sql_parser.cpp.o.d"
+  "CMakeFiles/tempest_db.dir/table.cpp.o"
+  "CMakeFiles/tempest_db.dir/table.cpp.o.d"
+  "CMakeFiles/tempest_db.dir/value.cpp.o"
+  "CMakeFiles/tempest_db.dir/value.cpp.o.d"
+  "libtempest_db.a"
+  "libtempest_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

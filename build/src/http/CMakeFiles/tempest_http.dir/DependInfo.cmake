@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/cookies.cpp" "src/http/CMakeFiles/tempest_http.dir/cookies.cpp.o" "gcc" "src/http/CMakeFiles/tempest_http.dir/cookies.cpp.o.d"
+  "/root/repo/src/http/headers.cpp" "src/http/CMakeFiles/tempest_http.dir/headers.cpp.o" "gcc" "src/http/CMakeFiles/tempest_http.dir/headers.cpp.o.d"
+  "/root/repo/src/http/method.cpp" "src/http/CMakeFiles/tempest_http.dir/method.cpp.o" "gcc" "src/http/CMakeFiles/tempest_http.dir/method.cpp.o.d"
+  "/root/repo/src/http/mime.cpp" "src/http/CMakeFiles/tempest_http.dir/mime.cpp.o" "gcc" "src/http/CMakeFiles/tempest_http.dir/mime.cpp.o.d"
+  "/root/repo/src/http/parser.cpp" "src/http/CMakeFiles/tempest_http.dir/parser.cpp.o" "gcc" "src/http/CMakeFiles/tempest_http.dir/parser.cpp.o.d"
+  "/root/repo/src/http/response.cpp" "src/http/CMakeFiles/tempest_http.dir/response.cpp.o" "gcc" "src/http/CMakeFiles/tempest_http.dir/response.cpp.o.d"
+  "/root/repo/src/http/serializer.cpp" "src/http/CMakeFiles/tempest_http.dir/serializer.cpp.o" "gcc" "src/http/CMakeFiles/tempest_http.dir/serializer.cpp.o.d"
+  "/root/repo/src/http/status.cpp" "src/http/CMakeFiles/tempest_http.dir/status.cpp.o" "gcc" "src/http/CMakeFiles/tempest_http.dir/status.cpp.o.d"
+  "/root/repo/src/http/uri.cpp" "src/http/CMakeFiles/tempest_http.dir/uri.cpp.o" "gcc" "src/http/CMakeFiles/tempest_http.dir/uri.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tempest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_http.dir/cookies.cpp.o"
+  "CMakeFiles/tempest_http.dir/cookies.cpp.o.d"
+  "CMakeFiles/tempest_http.dir/headers.cpp.o"
+  "CMakeFiles/tempest_http.dir/headers.cpp.o.d"
+  "CMakeFiles/tempest_http.dir/method.cpp.o"
+  "CMakeFiles/tempest_http.dir/method.cpp.o.d"
+  "CMakeFiles/tempest_http.dir/mime.cpp.o"
+  "CMakeFiles/tempest_http.dir/mime.cpp.o.d"
+  "CMakeFiles/tempest_http.dir/parser.cpp.o"
+  "CMakeFiles/tempest_http.dir/parser.cpp.o.d"
+  "CMakeFiles/tempest_http.dir/response.cpp.o"
+  "CMakeFiles/tempest_http.dir/response.cpp.o.d"
+  "CMakeFiles/tempest_http.dir/serializer.cpp.o"
+  "CMakeFiles/tempest_http.dir/serializer.cpp.o.d"
+  "CMakeFiles/tempest_http.dir/status.cpp.o"
+  "CMakeFiles/tempest_http.dir/status.cpp.o.d"
+  "CMakeFiles/tempest_http.dir/uri.cpp.o"
+  "CMakeFiles/tempest_http.dir/uri.cpp.o.d"
+  "libtempest_http.a"
+  "libtempest_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

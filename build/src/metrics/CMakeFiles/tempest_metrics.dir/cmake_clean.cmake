@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_metrics.dir/series.cpp.o"
+  "CMakeFiles/tempest_metrics.dir/series.cpp.o.d"
+  "CMakeFiles/tempest_metrics.dir/table.cpp.o"
+  "CMakeFiles/tempest_metrics.dir/table.cpp.o.d"
+  "libtempest_metrics.a"
+  "libtempest_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

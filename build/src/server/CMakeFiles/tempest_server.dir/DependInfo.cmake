@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/baseline_server.cpp" "src/server/CMakeFiles/tempest_server.dir/baseline_server.cpp.o" "gcc" "src/server/CMakeFiles/tempest_server.dir/baseline_server.cpp.o.d"
+  "/root/repo/src/server/respond.cpp" "src/server/CMakeFiles/tempest_server.dir/respond.cpp.o" "gcc" "src/server/CMakeFiles/tempest_server.dir/respond.cpp.o.d"
+  "/root/repo/src/server/router.cpp" "src/server/CMakeFiles/tempest_server.dir/router.cpp.o" "gcc" "src/server/CMakeFiles/tempest_server.dir/router.cpp.o.d"
+  "/root/repo/src/server/server_stats.cpp" "src/server/CMakeFiles/tempest_server.dir/server_stats.cpp.o" "gcc" "src/server/CMakeFiles/tempest_server.dir/server_stats.cpp.o.d"
+  "/root/repo/src/server/staged_server.cpp" "src/server/CMakeFiles/tempest_server.dir/staged_server.cpp.o" "gcc" "src/server/CMakeFiles/tempest_server.dir/staged_server.cpp.o.d"
+  "/root/repo/src/server/static_store.cpp" "src/server/CMakeFiles/tempest_server.dir/static_store.cpp.o" "gcc" "src/server/CMakeFiles/tempest_server.dir/static_store.cpp.o.d"
+  "/root/repo/src/server/tcp.cpp" "src/server/CMakeFiles/tempest_server.dir/tcp.cpp.o" "gcc" "src/server/CMakeFiles/tempest_server.dir/tcp.cpp.o.d"
+  "/root/repo/src/server/worker_connection.cpp" "src/server/CMakeFiles/tempest_server.dir/worker_connection.cpp.o" "gcc" "src/server/CMakeFiles/tempest_server.dir/worker_connection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tempest_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/tempest_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/template/CMakeFiles/tempest_template.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/tempest_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

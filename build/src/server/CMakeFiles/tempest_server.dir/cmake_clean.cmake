@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_server.dir/baseline_server.cpp.o"
+  "CMakeFiles/tempest_server.dir/baseline_server.cpp.o.d"
+  "CMakeFiles/tempest_server.dir/respond.cpp.o"
+  "CMakeFiles/tempest_server.dir/respond.cpp.o.d"
+  "CMakeFiles/tempest_server.dir/router.cpp.o"
+  "CMakeFiles/tempest_server.dir/router.cpp.o.d"
+  "CMakeFiles/tempest_server.dir/server_stats.cpp.o"
+  "CMakeFiles/tempest_server.dir/server_stats.cpp.o.d"
+  "CMakeFiles/tempest_server.dir/staged_server.cpp.o"
+  "CMakeFiles/tempest_server.dir/staged_server.cpp.o.d"
+  "CMakeFiles/tempest_server.dir/static_store.cpp.o"
+  "CMakeFiles/tempest_server.dir/static_store.cpp.o.d"
+  "CMakeFiles/tempest_server.dir/tcp.cpp.o"
+  "CMakeFiles/tempest_server.dir/tcp.cpp.o.d"
+  "CMakeFiles/tempest_server.dir/worker_connection.cpp.o"
+  "CMakeFiles/tempest_server.dir/worker_connection.cpp.o.d"
+  "libtempest_server.a"
+  "libtempest_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

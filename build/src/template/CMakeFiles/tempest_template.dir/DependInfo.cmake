@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/template/ast.cpp" "src/template/CMakeFiles/tempest_template.dir/ast.cpp.o" "gcc" "src/template/CMakeFiles/tempest_template.dir/ast.cpp.o.d"
+  "/root/repo/src/template/context.cpp" "src/template/CMakeFiles/tempest_template.dir/context.cpp.o" "gcc" "src/template/CMakeFiles/tempest_template.dir/context.cpp.o.d"
+  "/root/repo/src/template/expr.cpp" "src/template/CMakeFiles/tempest_template.dir/expr.cpp.o" "gcc" "src/template/CMakeFiles/tempest_template.dir/expr.cpp.o.d"
+  "/root/repo/src/template/filters.cpp" "src/template/CMakeFiles/tempest_template.dir/filters.cpp.o" "gcc" "src/template/CMakeFiles/tempest_template.dir/filters.cpp.o.d"
+  "/root/repo/src/template/lexer.cpp" "src/template/CMakeFiles/tempest_template.dir/lexer.cpp.o" "gcc" "src/template/CMakeFiles/tempest_template.dir/lexer.cpp.o.d"
+  "/root/repo/src/template/loader.cpp" "src/template/CMakeFiles/tempest_template.dir/loader.cpp.o" "gcc" "src/template/CMakeFiles/tempest_template.dir/loader.cpp.o.d"
+  "/root/repo/src/template/parser.cpp" "src/template/CMakeFiles/tempest_template.dir/parser.cpp.o" "gcc" "src/template/CMakeFiles/tempest_template.dir/parser.cpp.o.d"
+  "/root/repo/src/template/template.cpp" "src/template/CMakeFiles/tempest_template.dir/template.cpp.o" "gcc" "src/template/CMakeFiles/tempest_template.dir/template.cpp.o.d"
+  "/root/repo/src/template/value.cpp" "src/template/CMakeFiles/tempest_template.dir/value.cpp.o" "gcc" "src/template/CMakeFiles/tempest_template.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tempest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

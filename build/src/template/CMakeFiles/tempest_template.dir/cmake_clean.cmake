@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_template.dir/ast.cpp.o"
+  "CMakeFiles/tempest_template.dir/ast.cpp.o.d"
+  "CMakeFiles/tempest_template.dir/context.cpp.o"
+  "CMakeFiles/tempest_template.dir/context.cpp.o.d"
+  "CMakeFiles/tempest_template.dir/expr.cpp.o"
+  "CMakeFiles/tempest_template.dir/expr.cpp.o.d"
+  "CMakeFiles/tempest_template.dir/filters.cpp.o"
+  "CMakeFiles/tempest_template.dir/filters.cpp.o.d"
+  "CMakeFiles/tempest_template.dir/lexer.cpp.o"
+  "CMakeFiles/tempest_template.dir/lexer.cpp.o.d"
+  "CMakeFiles/tempest_template.dir/loader.cpp.o"
+  "CMakeFiles/tempest_template.dir/loader.cpp.o.d"
+  "CMakeFiles/tempest_template.dir/parser.cpp.o"
+  "CMakeFiles/tempest_template.dir/parser.cpp.o.d"
+  "CMakeFiles/tempest_template.dir/template.cpp.o"
+  "CMakeFiles/tempest_template.dir/template.cpp.o.d"
+  "CMakeFiles/tempest_template.dir/value.cpp.o"
+  "CMakeFiles/tempest_template.dir/value.cpp.o.d"
+  "libtempest_template.a"
+  "libtempest_template.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_template.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpcw/client.cpp" "src/tpcw/CMakeFiles/tempest_tpcw.dir/client.cpp.o" "gcc" "src/tpcw/CMakeFiles/tempest_tpcw.dir/client.cpp.o.d"
+  "/root/repo/src/tpcw/experiment.cpp" "src/tpcw/CMakeFiles/tempest_tpcw.dir/experiment.cpp.o" "gcc" "src/tpcw/CMakeFiles/tempest_tpcw.dir/experiment.cpp.o.d"
+  "/root/repo/src/tpcw/handlers.cpp" "src/tpcw/CMakeFiles/tempest_tpcw.dir/handlers.cpp.o" "gcc" "src/tpcw/CMakeFiles/tempest_tpcw.dir/handlers.cpp.o.d"
+  "/root/repo/src/tpcw/mix.cpp" "src/tpcw/CMakeFiles/tempest_tpcw.dir/mix.cpp.o" "gcc" "src/tpcw/CMakeFiles/tempest_tpcw.dir/mix.cpp.o.d"
+  "/root/repo/src/tpcw/populate.cpp" "src/tpcw/CMakeFiles/tempest_tpcw.dir/populate.cpp.o" "gcc" "src/tpcw/CMakeFiles/tempest_tpcw.dir/populate.cpp.o.d"
+  "/root/repo/src/tpcw/schema.cpp" "src/tpcw/CMakeFiles/tempest_tpcw.dir/schema.cpp.o" "gcc" "src/tpcw/CMakeFiles/tempest_tpcw.dir/schema.cpp.o.d"
+  "/root/repo/src/tpcw/templates.cpp" "src/tpcw/CMakeFiles/tempest_tpcw.dir/templates.cpp.o" "gcc" "src/tpcw/CMakeFiles/tempest_tpcw.dir/templates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/tempest_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/tempest_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/template/CMakeFiles/tempest_template.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tempest_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/tempest_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

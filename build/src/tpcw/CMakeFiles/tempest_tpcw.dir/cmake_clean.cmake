@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tempest_tpcw.dir/client.cpp.o"
+  "CMakeFiles/tempest_tpcw.dir/client.cpp.o.d"
+  "CMakeFiles/tempest_tpcw.dir/experiment.cpp.o"
+  "CMakeFiles/tempest_tpcw.dir/experiment.cpp.o.d"
+  "CMakeFiles/tempest_tpcw.dir/handlers.cpp.o"
+  "CMakeFiles/tempest_tpcw.dir/handlers.cpp.o.d"
+  "CMakeFiles/tempest_tpcw.dir/mix.cpp.o"
+  "CMakeFiles/tempest_tpcw.dir/mix.cpp.o.d"
+  "CMakeFiles/tempest_tpcw.dir/populate.cpp.o"
+  "CMakeFiles/tempest_tpcw.dir/populate.cpp.o.d"
+  "CMakeFiles/tempest_tpcw.dir/schema.cpp.o"
+  "CMakeFiles/tempest_tpcw.dir/schema.cpp.o.d"
+  "CMakeFiles/tempest_tpcw.dir/templates.cpp.o"
+  "CMakeFiles/tempest_tpcw.dir/templates.cpp.o.d"
+  "libtempest_tpcw.a"
+  "libtempest_tpcw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tempest_tpcw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtempest_tpcw.a"
+)

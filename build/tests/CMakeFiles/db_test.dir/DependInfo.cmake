@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/db/connection_pool_test.cpp" "tests/CMakeFiles/db_test.dir/db/connection_pool_test.cpp.o" "gcc" "tests/CMakeFiles/db_test.dir/db/connection_pool_test.cpp.o.d"
+  "/root/repo/tests/db/delete_in_test.cpp" "tests/CMakeFiles/db_test.dir/db/delete_in_test.cpp.o" "gcc" "tests/CMakeFiles/db_test.dir/db/delete_in_test.cpp.o.d"
+  "/root/repo/tests/db/executor_property_test.cpp" "tests/CMakeFiles/db_test.dir/db/executor_property_test.cpp.o" "gcc" "tests/CMakeFiles/db_test.dir/db/executor_property_test.cpp.o.d"
+  "/root/repo/tests/db/executor_test.cpp" "tests/CMakeFiles/db_test.dir/db/executor_test.cpp.o" "gcc" "tests/CMakeFiles/db_test.dir/db/executor_test.cpp.o.d"
+  "/root/repo/tests/db/sql_parser_test.cpp" "tests/CMakeFiles/db_test.dir/db/sql_parser_test.cpp.o" "gcc" "tests/CMakeFiles/db_test.dir/db/sql_parser_test.cpp.o.d"
+  "/root/repo/tests/db/value_table_test.cpp" "tests/CMakeFiles/db_test.dir/db/value_table_test.cpp.o" "gcc" "tests/CMakeFiles/db_test.dir/db/value_table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tpcw/CMakeFiles/tempest_tpcw.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/tempest_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/tempest_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/template/CMakeFiles/tempest_template.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/tempest_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tempest_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tempest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

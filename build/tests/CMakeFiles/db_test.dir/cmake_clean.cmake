@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_test.dir/db/connection_pool_test.cpp.o"
+  "CMakeFiles/db_test.dir/db/connection_pool_test.cpp.o.d"
+  "CMakeFiles/db_test.dir/db/delete_in_test.cpp.o"
+  "CMakeFiles/db_test.dir/db/delete_in_test.cpp.o.d"
+  "CMakeFiles/db_test.dir/db/executor_property_test.cpp.o"
+  "CMakeFiles/db_test.dir/db/executor_property_test.cpp.o.d"
+  "CMakeFiles/db_test.dir/db/executor_test.cpp.o"
+  "CMakeFiles/db_test.dir/db/executor_test.cpp.o.d"
+  "CMakeFiles/db_test.dir/db/sql_parser_test.cpp.o"
+  "CMakeFiles/db_test.dir/db/sql_parser_test.cpp.o.d"
+  "CMakeFiles/db_test.dir/db/value_table_test.cpp.o"
+  "CMakeFiles/db_test.dir/db/value_table_test.cpp.o.d"
+  "db_test"
+  "db_test.pdb"
+  "db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_test.dir/server/reserve_controller_test.cpp.o"
+  "CMakeFiles/server_test.dir/server/reserve_controller_test.cpp.o.d"
+  "CMakeFiles/server_test.dir/server/server_behavior_test.cpp.o"
+  "CMakeFiles/server_test.dir/server/server_behavior_test.cpp.o.d"
+  "CMakeFiles/server_test.dir/server/server_units_test.cpp.o"
+  "CMakeFiles/server_test.dir/server/server_units_test.cpp.o.d"
+  "CMakeFiles/server_test.dir/server/tcp_test.cpp.o"
+  "CMakeFiles/server_test.dir/server/tcp_test.cpp.o.d"
+  "server_test"
+  "server_test.pdb"
+  "server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

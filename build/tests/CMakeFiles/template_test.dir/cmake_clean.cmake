@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_test.dir/template/expr_test.cpp.o"
+  "CMakeFiles/template_test.dir/template/expr_test.cpp.o.d"
+  "CMakeFiles/template_test.dir/template/extra_tags_test.cpp.o"
+  "CMakeFiles/template_test.dir/template/extra_tags_test.cpp.o.d"
+  "CMakeFiles/template_test.dir/template/filters_test.cpp.o"
+  "CMakeFiles/template_test.dir/template/filters_test.cpp.o.d"
+  "CMakeFiles/template_test.dir/template/lexer_test.cpp.o"
+  "CMakeFiles/template_test.dir/template/lexer_test.cpp.o.d"
+  "CMakeFiles/template_test.dir/template/render_test.cpp.o"
+  "CMakeFiles/template_test.dir/template/render_test.cpp.o.d"
+  "CMakeFiles/template_test.dir/template/template_property_test.cpp.o"
+  "CMakeFiles/template_test.dir/template/template_property_test.cpp.o.d"
+  "CMakeFiles/template_test.dir/template/value_test.cpp.o"
+  "CMakeFiles/template_test.dir/template/value_test.cpp.o.d"
+  "template_test"
+  "template_test.pdb"
+  "template_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tpcw/handlers_test.cpp" "tests/CMakeFiles/tpcw_test.dir/tpcw/handlers_test.cpp.o" "gcc" "tests/CMakeFiles/tpcw_test.dir/tpcw/handlers_test.cpp.o.d"
+  "/root/repo/tests/tpcw/mix_client_test.cpp" "tests/CMakeFiles/tpcw_test.dir/tpcw/mix_client_test.cpp.o" "gcc" "tests/CMakeFiles/tpcw_test.dir/tpcw/mix_client_test.cpp.o.d"
+  "/root/repo/tests/tpcw/populate_test.cpp" "tests/CMakeFiles/tpcw_test.dir/tpcw/populate_test.cpp.o" "gcc" "tests/CMakeFiles/tpcw_test.dir/tpcw/populate_test.cpp.o.d"
+  "/root/repo/tests/tpcw/smoke_test.cpp" "tests/CMakeFiles/tpcw_test.dir/tpcw/smoke_test.cpp.o" "gcc" "tests/CMakeFiles/tpcw_test.dir/tpcw/smoke_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tpcw/CMakeFiles/tempest_tpcw.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/tempest_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/tempest_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/template/CMakeFiles/tempest_template.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/tempest_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tempest_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tempest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
