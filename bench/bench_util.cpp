@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "src/common/clock.h"
+#include "src/metrics/table.h"
 
 namespace tempest::bench {
 
@@ -49,6 +50,33 @@ void print_header(const std::string& what, const BenchRun& run) {
       "time-scale=%.4f (wall-s per paper-s)  seed=%llu\n\n",
       cfg.clients, cfg.ramp_paper_s, cfg.measure_paper_s, TimeScale::get(),
       static_cast<unsigned long long>(cfg.seed));
+}
+
+void print_stage_breakdown(const std::string& title,
+                           const tpcw::ExperimentResults& results) {
+  std::printf("--- per-stage latency breakdown: %s ---\n", title.c_str());
+  if (results.stage_breakdown.empty()) {
+    std::printf("(no stage traces recorded)\n\n");
+    return;
+  }
+  metrics::Table table({"stage", "class", "requests", "qwait p50", "qwait p95",
+                        "qwait p99", "svc p50", "svc p95", "svc p99"});
+  for (const auto& row : results.stage_breakdown) {
+    table.add_row({server::to_string(row.stage), server::to_string(row.cls),
+                   metrics::format_int(static_cast<std::int64_t>(
+                       row.queue_wait.count)),
+                   metrics::format_double(row.queue_wait.p50, 3),
+                   metrics::format_double(row.queue_wait.p95, 3),
+                   metrics::format_double(row.queue_wait.p99, 3),
+                   metrics::format_double(row.service.p50, 3),
+                   metrics::format_double(row.service.p95, 3),
+                   metrics::format_double(row.service.p99, 3)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "(paper-seconds; qwait = enqueue->dequeue, svc = dequeue->completion; "
+      "shed 503s: %llu)\n\n",
+      static_cast<unsigned long long>(results.server_shed_total));
 }
 
 double page_mean(const tpcw::ExperimentResults& results,

@@ -36,6 +36,12 @@ std::string page_label(const std::string& path);
 // Prints the paper-vs-this-run header for a bench.
 void print_header(const std::string& what, const BenchRun& run);
 
+// Prints the per-stage latency breakdown table (queue wait and service time
+// p50/p95/p99 per pool per request class, in paper-seconds) plus the shed
+// count — the server-side decomposition behind Figures 7-10.
+void print_stage_breakdown(const std::string& title,
+                           const tpcw::ExperimentResults& results);
+
 // Mean response time for `path` from results (paper seconds), NaN if absent.
 double page_mean(const tpcw::ExperimentResults& results,
                  const std::string& path);

@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
   std::printf("%s", metrics::ascii_charts(charts).c_str());
   if (run.csv) std::printf("%s\n", metrics::series_csv(charts, 10.0).c_str());
 
+  bench::print_stage_breakdown("unmodified (single worker pool)", results);
+
   std::printf(
       "paper shape: queue repeatedly spikes into the hundreds as short\n"
       "requests queue behind lengthy ones (Fig. 7 peaks ~250-300).\n");

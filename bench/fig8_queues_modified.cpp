@@ -44,6 +44,8 @@ int main(int argc, char** argv) {
   if (run.csv) {
     std::printf("%s\n", metrics::series_csv(charts, 10.0).c_str());
   }
+
+  bench::print_stage_breakdown("modified (staged pipeline)", results);
   std::printf("client interactions: %llu (errors %llu)\n",
               static_cast<unsigned long long>(results.client_interactions),
               static_cast<unsigned long long>(results.client_errors));

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     request->uri.query = http::parse_query(request->uri.raw_query);
     auto lease = pool.acquire();
     const Stopwatch watch;
-    server::RequestContext ctx{*request, lease.get()};
+    server::HandlerContext ctx{*request, lease.get()};
     (*router.find(path))(ctx);
     const double service = watch.elapsed_paper();
     table.add_row({bench::page_label(path), metrics::format_double(service, 3),

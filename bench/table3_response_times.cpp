@@ -56,6 +56,9 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.to_string().c_str());
   if (run.csv) std::printf("%s\n", table.to_csv().c_str());
 
+  bench::print_stage_breakdown("unmodified (thread-per-request)", unmodified);
+  bench::print_stage_breakdown("modified (staged)", modified);
+
   std::printf(
       "interactions measured: unmodified=%llu modified=%llu  "
       "client errors: %llu / %llu\n",

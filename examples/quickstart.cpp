@@ -43,7 +43,7 @@ int main() {
                  "{% endfor %}</ul></body></html>\n");
   app->templates = templates;
 
-  app->router.add("/example", [](server::RequestContext& ctx)
+  app->router.add("/example", [](server::HandlerContext& ctx)
                                   -> server::HandlerResult {
     // Data generation on a dynamic-pool thread holding a DB connection...
     auto rs = ctx.db->execute("SELECT title, heading FROM page WHERE pageid = ?",

@@ -33,13 +33,13 @@ int main() {
   templates->add("n.html", "<p>{{ n }}</p>");
   app->templates = templates;
   // Quick: indexed point lookup. Lengthy: full scan (several paper-seconds).
-  app->router.add("/quick", [](server::RequestContext& ctx)
+  app->router.add("/quick", [](server::HandlerContext& ctx)
                                 -> server::HandlerResult {
     auto rs = ctx.db->execute("SELECT v FROM data WHERE id = ?", {db::Value(7)});
     return server::TemplateResponse{"n.html",
                                     {{"n", tmpl::Value(rs.at(0, "v").as_int())}}};
   });
-  app->router.add("/lengthy", [](server::RequestContext& ctx)
+  app->router.add("/lengthy", [](server::HandlerContext& ctx)
                                   -> server::HandlerResult {
     auto rs = ctx.db->execute("SELECT COUNT(*) AS n FROM data WHERE v = 13");
     return server::TemplateResponse{"n.html",

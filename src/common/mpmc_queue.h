@@ -23,8 +23,9 @@ class MpmcQueue {
   MpmcQueue(const MpmcQueue&) = delete;
   MpmcQueue& operator=(const MpmcQueue&) = delete;
 
-  // Blocks while full (bounded queues). Returns false if the queue is closed.
-  bool push(T item) {
+  // Blocks while full (bounded queues). Returns false if the queue is closed;
+  // `item` is only moved from on success, so a refused item stays usable.
+  bool push(T&& item) {
     std::unique_lock lock(mu_);
     not_full_.wait(lock, [&] {
       return closed_ || capacity_ == 0 || items_.size() < capacity_;
@@ -36,8 +37,10 @@ class MpmcQueue {
     return true;
   }
 
-  // Non-blocking push; returns false if full or closed.
-  bool try_push(T item) {
+  // Non-blocking push; returns false if full or closed. Takes an rvalue
+  // reference and only moves from `item` on success, so a rejected item is
+  // left intact for the caller to shed (e.g. answer 503).
+  bool try_push(T&& item) {
     {
       std::lock_guard lock(mu_);
       if (closed_ || (capacity_ != 0 && items_.size() >= capacity_)) {
@@ -51,11 +54,21 @@ class MpmcQueue {
 
   // Blocks until an item is available or the queue is closed and drained.
   std::optional<T> pop() {
+    return pop([] {});
+  }
+
+  // As pop(), but invokes `on_take` while still holding the queue lock when
+  // an item is dequeued. Consumers use this to update their own accounting
+  // (e.g. a busy-thread counter) atomically with the dequeue, so no observer
+  // can see the item gone from the queue but not yet counted as in service.
+  template <typename OnTake>
+  std::optional<T> pop(OnTake&& on_take) {
     std::unique_lock lock(mu_);
     not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;  // closed and drained
     T item = std::move(items_.front());
     items_.pop_front();
+    on_take();
     lock.unlock();
     not_full_.notify_one();
     return item;

@@ -81,6 +81,17 @@ class ConcurrentStats {
   OnlineStats stats_;
 };
 
+// Fixed-percentile digest of a latency distribution (paper-seconds). This is
+// what the per-stage breakdown tables report for queue-wait and service time.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
 // Latency histogram with geometric buckets. Values are paper-seconds.
 class Histogram {
  public:
@@ -93,11 +104,26 @@ class Histogram {
     ++counts_[bucket_for(x)];
     ++total_;
     sum_ += x;
+    max_ = std::max(max_, x);
   }
 
   std::uint64_t count() const noexcept { return total_; }
   double mean() const noexcept {
     return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+  double max() const noexcept { return total_ ? max_ : 0.0; }
+
+  LatencySummary summary() const noexcept {
+    LatencySummary s;
+    s.count = total_;
+    s.mean = mean();
+    s.max = max();
+    // quantile() reports the containing bucket's upper bound, which can
+    // overshoot the largest observed value; clamp so p99 <= max always holds.
+    s.p50 = std::min(quantile(0.50), s.max);
+    s.p95 = std::min(quantile(0.95), s.max);
+    s.p99 = std::min(quantile(0.99), s.max);
+    return s;
   }
 
   // Approximate quantile (upper bound of containing bucket).
@@ -120,6 +146,7 @@ class Histogram {
     }
     total_ += other.total_;
     sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
   }
 
  private:
@@ -141,6 +168,7 @@ class Histogram {
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
   double sum_ = 0.0;
+  double max_ = 0.0;
 };
 
 // Timestamped samples, e.g. queue length over time (Figures 7-8).

@@ -5,12 +5,18 @@
 // single pool of the thread-per-request baseline is an instance of this class.
 // The pool tracks its busy-thread count, which is how the scheduler observes
 // tspare (spare threads in the general pool, Section 3.3).
+//
+// The queue may be capacity-bounded. When full, the configured overflow
+// policy decides what happens to a new submission: kBlock parks the producer
+// until a slot frees up (upstream backpressure), kReject hands the item back
+// to the caller so it can shed load explicitly (the servers answer 503).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -19,6 +25,14 @@
 #include "src/common/mpmc_queue.h"
 
 namespace tempest {
+
+// What a bounded pool does with a submission that finds the queue full.
+enum class OverflowPolicy { kBlock, kReject };
+
+struct WorkerPoolOptions {
+  std::size_t queue_capacity = 0;  // 0 = unbounded
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+};
 
 template <typename T>
 class WorkerPool {
@@ -30,8 +44,12 @@ class WorkerPool {
   // use them to acquire/release the per-thread database connection the paper
   // describes (a connection is "stored in each web server thread").
   WorkerPool(std::string name, std::size_t num_threads, Handler handler,
-             ThreadHook thread_init = {}, ThreadHook thread_exit = {})
-      : name_(std::move(name)), handler_(std::move(handler)) {
+             ThreadHook thread_init = {}, ThreadHook thread_exit = {},
+             WorkerPoolOptions options = {})
+      : name_(std::move(name)),
+        handler_(std::move(handler)),
+        options_(options),
+        queue_(options.queue_capacity) {
     threads_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i) {
       threads_.emplace_back([this, thread_init, thread_exit] {
@@ -47,7 +65,21 @@ class WorkerPool {
 
   ~WorkerPool() { shutdown(); }
 
-  void submit(T item) { queue_.push(std::move(item)); }
+  // Enqueues `item` for a worker. Returns std::nullopt when the item was
+  // accepted. Returns the item back to the caller when it was NOT accepted:
+  // a full queue under OverflowPolicy::kReject, or a closed (shut down)
+  // queue under either policy — so the caller can still answer the request
+  // instead of silently dropping it.
+  std::optional<T> submit(T item) {
+    if (options_.overflow == OverflowPolicy::kReject) {
+      if (queue_.try_push(std::move(item))) return std::nullopt;
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return item;
+    }
+    if (queue_.push(std::move(item))) return std::nullopt;
+    // push() only fails on a closed queue, and then it never moved from item.
+    return item;
+  }
 
   // Closes the queue, lets workers drain it, and joins them. Idempotent.
   void shutdown() {
@@ -60,12 +92,17 @@ class WorkerPool {
   const std::string& name() const { return name_; }
   std::size_t thread_count() const { return threads_.size(); }
   std::size_t queue_length() const { return queue_.size(); }
+  std::size_t queue_capacity() const { return queue_.capacity(); }
+  OverflowPolicy overflow_policy() const { return options_.overflow; }
 
   std::size_t busy_count() const {
     return busy_.load(std::memory_order_relaxed);
   }
 
   // tspare in the paper's terms: threads neither executing nor assigned work.
+  // A thread counts as busy from the instant it takes an item off the queue
+  // (the increment happens under the queue lock), so a dequeued-but-not-yet-
+  // running item can never be observed as a spare thread.
   std::size_t spare_count() const {
     const std::size_t busy = busy_count();
     return busy >= threads_.size() ? 0 : threads_.size() - busy;
@@ -75,10 +112,19 @@ class WorkerPool {
     return processed_.load(std::memory_order_relaxed);
   }
 
+  // Submissions bounced by a full queue under OverflowPolicy::kReject.
+  std::uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
  private:
   void run() {
-    while (auto item = queue_.pop()) {
-      busy_.fetch_add(1, std::memory_order_relaxed);
+    // Counting busy inside the dequeue's critical section closes the race
+    // where an item had left the queue but the thread was not yet counted:
+    // during that window spare_count() overcounted, which could mis-dispatch
+    // a lengthy request into the reserved general-pool headroom (Table 1).
+    while (auto item = queue_.pop(
+               [this] { busy_.fetch_add(1, std::memory_order_relaxed); })) {
       handler_(std::move(*item));
       busy_.fetch_sub(1, std::memory_order_relaxed);
       processed_.fetch_add(1, std::memory_order_relaxed);
@@ -87,9 +133,11 @@ class WorkerPool {
 
   const std::string name_;
   Handler handler_;
+  const WorkerPoolOptions options_;
   MpmcQueue<T> queue_;
   std::atomic<std::size_t> busy_{0};
   std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
   std::vector<std::thread> threads_;
 };
 

@@ -19,18 +19,24 @@ BaselineServer::BaselineServer(ServerConfig config,
         "thread-per-request workers each hold a connection: baseline_threads "
         "must not exceed db_connections");
   }
-  workers_ = std::make_unique<WorkerPool<IncomingRequest>>(
+  workers_ = std::make_unique<WorkerPool<RequestContext>>(
       "workers", config_.baseline_threads,
-      [this](IncomingRequest&& req) { handle(std::move(req)); },
+      [this](RequestContext&& ctx) { handle(std::move(ctx)); },
       [this] { worker_connection::adopt(db_pool_); },
-      [] { worker_connection::release(); });
+      [] { worker_connection::release(); },
+      WorkerPoolOptions{config_.baseline_queue_capacity,
+                        config_.overflow_policy});
   sampler_ = std::thread([this] { sampler_loop(); });
 }
 
 BaselineServer::~BaselineServer() { shutdown(); }
 
 void BaselineServer::submit(IncomingRequest request) {
-  workers_->submit(std::move(request));
+  RequestContext ctx(std::move(request));
+  ctx.trace.enqueue(Stage::kWorker);
+  if (auto refused = workers_->submit(std::move(ctx))) {
+    shed_request(std::move(*refused), config_, stats_);
+  }
 }
 
 void BaselineServer::shutdown() {
@@ -54,34 +60,34 @@ void BaselineServer::sampler_loop() {
   }
 }
 
-void BaselineServer::handle(IncomingRequest&& incoming) {
+void BaselineServer::handle(RequestContext&& ctx) {
+  ctx.trace.dequeue();
   // The worker thread does everything: parse the full request first.
   std::string parse_error;
-  auto request = http::parse_request(incoming.raw, &parse_error);
+  auto request = http::parse_request(ctx.incoming.raw, &parse_error);
   if (!request) {
-    send_and_record(incoming, http::Response::bad_request(parse_error),
-                    /*head_only=*/false, stats_, RequestClass::kQuickDynamic,
-                    "malformed");
+    send_and_record(std::move(ctx), http::Response::bad_request(parse_error),
+                    stats_, "malformed");
     return;
   }
-  const bool head_only = request->method == http::Method::kHead;
-  const std::string& path = request->uri.path;
+  ctx.request = std::move(*request);
+  const std::string path = ctx.request.uri.path;
 
   // Static vs dynamic by path extension (Section 3.2's discriminator).
   if (!http::path_extension(path).empty()) {
+    ctx.cls = RequestClass::kStatic;
     const StaticStore::Entry* entry = app_->static_store.find(path);
     const http::Response response =
         entry ? serve_static(*entry, config_) : http::Response::not_found(path);
-    send_and_record(incoming, response, head_only, stats_,
-                    RequestClass::kStatic, "static");
+    send_and_record(std::move(ctx), response, stats_, "static");
     return;
   }
 
-  request->uri.query = http::parse_query(request->uri.raw_query);
+  ctx.request.uri.query = http::parse_query(ctx.request.uri.raw_query);
   const Handler* handler = app_->router.find(path);
   if (handler == nullptr) {
-    send_and_record(incoming, http::Response::not_found(path), head_only,
-                    stats_, RequestClass::kQuickDynamic, path);
+    send_and_record(std::move(ctx), http::Response::not_found(path), stats_,
+                    path);
     return;
   }
 
@@ -89,7 +95,7 @@ void BaselineServer::handle(IncomingRequest&& incoming) {
   // connection held throughout — the waste the paper targets.
   const Stopwatch service_watch;
   HandlerResult result =
-      run_handler(*handler, *request, worker_connection::current());
+      run_handler(*handler, ctx.request, worker_connection::current());
 
   http::Response response;
   if (const auto* tr = std::get_if<TemplateResponse>(&result)) {
@@ -100,10 +106,9 @@ void BaselineServer::handle(IncomingRequest&& incoming) {
   // Reporting-only classification; measured time includes rendering because
   // this server cannot tell the phases apart.
   tracker_.record(path, service_watch.elapsed_paper());
-  const RequestClass cls = tracker_.is_lengthy(path)
-                               ? RequestClass::kLengthyDynamic
-                               : RequestClass::kQuickDynamic;
-  send_and_record(incoming, response, head_only, stats_, cls, path);
+  ctx.cls = tracker_.is_lengthy(path) ? RequestClass::kLengthyDynamic
+                                      : RequestClass::kQuickDynamic;
+  send_and_record(std::move(ctx), response, stats_, path);
 }
 
 }  // namespace tempest::server

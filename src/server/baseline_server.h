@@ -3,6 +3,11 @@
 // request — header parsing, data generation, template rendering, and static
 // file serving all on the same thread. This is the "unmodified web server"
 // of the evaluation.
+//
+// It shares the RequestContext pipeline with the staged server: the context
+// makes exactly one stage visit (Stage::kWorker), so its trace decomposes
+// end-to-end latency into queue wait vs whole-request service time, and the
+// same bounded-queue/overflow machinery applies to its single queue.
 #pragma once
 
 #include <memory>
@@ -10,6 +15,7 @@
 #include "src/common/worker_pool.h"
 #include "src/db/pool.h"
 #include "src/server/app.h"
+#include "src/server/request_context.h"
 #include "src/server/server_config.h"
 #include "src/server/server_stats.h"
 #include "src/server/service_time_tracker.h"
@@ -34,7 +40,7 @@ class BaselineServer : public WebServer {
   std::size_t queue_length() const { return workers_->queue_length(); }
 
  private:
-  void handle(IncomingRequest&& incoming);
+  void handle(RequestContext&& ctx);
   void sampler_loop();
 
   const ServerConfig config_;
@@ -45,7 +51,7 @@ class BaselineServer : public WebServer {
   // tracks whole-handler time since the baseline cannot separate data
   // generation from rendering — the measurement-accuracy point of Section 1.
   ServiceTimeTracker tracker_;
-  std::unique_ptr<WorkerPool<IncomingRequest>> workers_;
+  std::unique_ptr<WorkerPool<RequestContext>> workers_;
   std::thread sampler_;
   std::atomic<bool> stop_{false};
   std::mutex stop_mu_;

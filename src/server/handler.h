@@ -45,8 +45,10 @@ using HandlerResult = std::variant<StringResponse, TemplateResponse>;
 
 // Context a dynamic-request thread passes to a handler. `db` is the worker
 // thread's own connection (the paper's "connection stored in each web server
-// thread"); it is only non-null on threads that own one.
-struct RequestContext {
+// thread"); it is only non-null on threads that own one. (Distinct from
+// RequestContext in request_context.h, which is the pipeline's unit of work;
+// a HandlerContext is a short-lived view handed to application code.)
+struct HandlerContext {
   const http::Request& request;
   db::Connection* db = nullptr;
 
@@ -64,6 +66,6 @@ struct RequestContext {
   }
 };
 
-using Handler = std::function<HandlerResult(RequestContext&)>;
+using Handler = std::function<HandlerResult(HandlerContext&)>;
 
 }  // namespace tempest::server

@@ -1,0 +1,132 @@
+// The unit of work that flows through a server, from accept to response.
+//
+// A RequestContext is created when the transport hands the server an accepted
+// request and is MOVED — never copied — through every stage it visits:
+//
+//   baseline:  worker
+//   staged:    header -> static
+//              header -> general|lengthy [-> render]
+//
+// It carries the raw bytes, the (progressively parsed) http::Request, the
+// request's class, the unrendered template between the dynamic and render
+// stages, and a per-stage trace. The trace stamps three wall-clock instants
+// per visited pool — enqueue, dequeue, stage completion — so queue-wait and
+// service time are measured separately per stage and per request class
+// (the decomposition behind the paper's Figures 7-10).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "src/common/clock.h"
+#include "src/server/handler.h"
+#include "src/server/transport.h"
+
+namespace tempest::server {
+
+enum class RequestClass { kStatic, kQuickDynamic, kLengthyDynamic };
+
+const char* to_string(RequestClass cls);
+
+// One stage pool per enumerator. kWorker is the baseline server's single
+// do-everything pool; the rest are the staged server's five pools.
+enum class Stage : std::uint8_t {
+  kHeader = 0,
+  kStatic,
+  kGeneral,
+  kLengthy,
+  kRender,
+  kWorker,
+};
+
+inline constexpr std::size_t kNumStages = 6;
+
+const char* to_string(Stage stage);
+
+// Timestamps for one pass through one stage pool. `enqueued` is stamped when
+// the request is submitted to the pool, `dequeued` when a worker thread takes
+// it, `completed` when the stage hands off downstream (or the response is
+// sent). dequeued - enqueued is the stage's queue wait; completed - dequeued
+// its service time.
+struct StageVisit {
+  Stage stage = Stage::kHeader;
+  WallClock::time_point enqueued{};
+  WallClock::time_point dequeued{};
+  WallClock::time_point completed{};
+
+  bool dequeued_set() const { return dequeued != WallClock::time_point{}; }
+  bool completed_set() const { return completed != WallClock::time_point{}; }
+
+  double queue_wait_paper_s() const {
+    return dequeued_set() ? to_paper(dequeued - enqueued) : 0.0;
+  }
+  double service_paper_s() const {
+    return (dequeued_set() && completed_set()) ? to_paper(completed - dequeued)
+                                               : 0.0;
+  }
+};
+
+// Fixed-capacity trace of the pools a request visited, in order. The longest
+// real path is header -> dynamic -> render (3 visits); one slot is headroom
+// for future pipeline stages. All stamps take an explicit `now` so tests can
+// replay synthetic timelines.
+class StageTrace {
+ public:
+  static constexpr std::size_t kMaxVisits = 4;
+
+  void enqueue(Stage stage, WallClock::time_point now = WallClock::now()) {
+    if (count_ >= kMaxVisits) return;
+    visits_[count_] = StageVisit{stage, now, {}, {}};
+    ++count_;
+  }
+
+  // Stamps the dequeue instant of the most recent visit.
+  void dequeue(WallClock::time_point now = WallClock::now()) {
+    if (count_ > 0) visits_[count_ - 1].dequeued = now;
+  }
+
+  // Stamps the completion instant of the most recent visit (idempotent: the
+  // first stamp wins, so a shed after handoff cannot rewrite history).
+  void complete(WallClock::time_point now = WallClock::now()) {
+    if (count_ > 0 && !visits_[count_ - 1].completed_set()) {
+      visits_[count_ - 1].completed = now;
+    }
+  }
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  const StageVisit& operator[](std::size_t i) const { return visits_[i]; }
+
+  const StageVisit* begin() const { return visits_.data(); }
+  const StageVisit* end() const { return visits_.data() + count_; }
+
+ private:
+  std::array<StageVisit, kMaxVisits> visits_{};
+  std::size_t count_ = 0;
+};
+
+// Move-only: the request body and response writer travel between stages by
+// handoff, never by copy.
+struct RequestContext {
+  IncomingRequest incoming;
+  http::Request request;  // filled in by whichever stage parses headers
+  RequestClass cls = RequestClass::kQuickDynamic;
+  // Set by a dynamic stage whose handler returned an unrendered template;
+  // consumed by the render stage.
+  std::optional<TemplateResponse> render;
+  StageTrace trace;
+
+  RequestContext() = default;
+  explicit RequestContext(IncomingRequest in) : incoming(std::move(in)) {}
+
+  RequestContext(RequestContext&&) = default;
+  RequestContext& operator=(RequestContext&&) = default;
+  RequestContext(const RequestContext&) = delete;
+  RequestContext& operator=(const RequestContext&) = delete;
+
+  bool head_only() const { return request.method == http::Method::kHead; }
+};
+
+}  // namespace tempest::server

@@ -1,20 +1,37 @@
 #include "src/server/respond.h"
 
+#include <cmath>
+
 #include "src/common/logging.h"
 #include "src/http/serializer.h"
 
 namespace tempest::server {
 
-void send_and_record(const IncomingRequest& incoming,
-                     const http::Response& response, bool head_only,
-                     ServerStats& stats, RequestClass cls,
-                     const std::string& page) {
-  std::string wire = http::serialize_response(response, head_only);
+void send_and_record(RequestContext&& ctx, const http::Response& response,
+                     ServerStats& stats, const std::string& page) {
+  ctx.trace.complete();
+  std::string wire = http::serialize_response(response, ctx.head_only());
   // Record before releasing the response to the client so anyone observing
   // the response also observes the completion in the stats.
-  const double response_time = to_paper(WallClock::now() - incoming.accepted);
-  stats.record_completion(cls, page, paper_now(), response_time);
-  incoming.writer->send(std::move(wire));
+  const double response_time = to_paper(WallClock::now() - ctx.incoming.accepted);
+  stats.record_completion(ctx.cls, page, paper_now(), response_time);
+  stats.record_trace(ctx.trace, ctx.cls);
+  ctx.incoming.writer->send(std::move(wire));
+}
+
+void shed_request(RequestContext&& ctx, const ServerConfig& config,
+                  ServerStats& stats) {
+  http::Response response = http::Response::make(
+      http::Status::kServiceUnavailable,
+      "<html><body><h1>503 Service Unavailable</h1>"
+      "<p>server overloaded, retry shortly</p></body></html>");
+  const auto retry_after = static_cast<long long>(
+      std::max(1.0, std::ceil(config.retry_after_paper_s)));
+  response.headers.set("Retry-After", std::to_string(retry_after));
+  stats.record_shed(ctx.cls);
+  // Sheds are not completions: they must not inflate the throughput figures.
+  ctx.incoming.writer->send(
+      http::serialize_response(response, ctx.head_only()));
 }
 
 http::Response render_template_response(const Application& app,
@@ -50,7 +67,7 @@ http::Response serve_static(const StaticStore::Entry& entry,
 HandlerResult run_handler(const Handler& handler, const http::Request& request,
                           db::Connection* conn) {
   try {
-    RequestContext ctx{request, conn};
+    HandlerContext ctx{request, conn};
     return handler(ctx);
   } catch (const std::exception& e) {
     LOG_WARN << "handler error for " << request.uri.path << ": " << e.what();

@@ -7,18 +7,25 @@
 #include "src/http/response.h"
 #include "src/server/app.h"
 #include "src/server/handler.h"
+#include "src/server/request_context.h"
 #include "src/server/server_config.h"
 #include "src/server/server_stats.h"
 #include "src/server/transport.h"
 
 namespace tempest::server {
 
-// Serializes and sends `response`, then records the completion (class, page,
-// response time measured from transport accept to send).
-void send_and_record(const IncomingRequest& incoming,
-                     const http::Response& response, bool head_only,
-                     ServerStats& stats, RequestClass cls,
-                     const std::string& page);
+// Completes a request: stamps the final stage-completion instant, serializes
+// and sends `response`, and records the completion (class, page, response
+// time from transport accept to send) plus the per-stage latency trace.
+void send_and_record(RequestContext&& ctx, const http::Response& response,
+                     ServerStats& stats, const std::string& page);
+
+// Sheds a request that a bounded stage queue refused: answers 503 with a
+// Retry-After header (config.retry_after_paper_s, whole paper-seconds) and
+// counts the shed per request class. Used when OverflowPolicy::kReject is
+// configured and a pool's queue is full.
+void shed_request(RequestContext&& ctx, const ServerConfig& config,
+                  ServerStats& stats);
 
 // Renders a TemplateResponse into an http::Response using the app's loader,
 // charging the configured render cost (paper-time). The caller decides which

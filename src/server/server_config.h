@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/common/worker_pool.h"
 #include "src/db/latency.h"
 
 namespace tempest::server {
@@ -42,6 +43,21 @@ struct ServerConfig {
   // freezes treserve at treserve_min.
   bool split_dynamic_pools = true;
   bool adaptive_reserve = true;
+
+  // Backpressure: per-stage queue capacity bounds (0 = unbounded) and what
+  // to do when a bounded queue is full. kBlock parks the submitting thread
+  // (upstream backpressure, today's behaviour); kReject sheds the request
+  // with 503 + Retry-After so overload degrades by controlled shedding
+  // instead of unbounded queueing.
+  std::size_t header_queue_capacity = 0;
+  std::size_t static_queue_capacity = 0;
+  std::size_t general_queue_capacity = 0;
+  std::size_t lengthy_queue_capacity = 0;
+  std::size_t render_queue_capacity = 0;
+  std::size_t baseline_queue_capacity = 0;
+  OverflowPolicy overflow_policy = OverflowPolicy::kBlock;
+  // Advertised in the 503 Retry-After header (whole paper-seconds, >= 1).
+  double retry_after_paper_s = 1.0;
 
   // Service-cost model for the non-database stages, in paper seconds,
   // calibrated to the paper's 2009 CPython testbed. Static: per-request

@@ -11,6 +11,68 @@ const char* to_string(RequestClass cls) {
   return "?";
 }
 
+const char* to_string(Stage stage) {
+  switch (stage) {
+    case Stage::kHeader: return "header";
+    case Stage::kStatic: return "static";
+    case Stage::kGeneral: return "general";
+    case Stage::kLengthy: return "lengthy";
+    case Stage::kRender: return "render";
+    case Stage::kWorker: return "worker";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t class_index(RequestClass cls) {
+  return static_cast<std::size_t>(cls);
+}
+
+std::size_t stage_index(Stage stage) { return static_cast<std::size_t>(stage); }
+
+}  // namespace
+
+void StageMetrics::record(const StageTrace& trace, RequestClass cls) {
+  std::lock_guard lock(mu_);
+  for (const StageVisit& visit : trace) {
+    // A visit that was never dequeued (e.g. still enqueued when the request
+    // was shed) has no measurable wait or service interval.
+    if (!visit.dequeued_set()) continue;
+    Cell& cell = cells_[stage_index(visit.stage)][class_index(cls)];
+    cell.queue_wait.add(visit.queue_wait_paper_s());
+    if (visit.completed_set()) cell.service.add(visit.service_paper_s());
+  }
+}
+
+LatencySummary StageMetrics::queue_wait(Stage stage, RequestClass cls) const {
+  std::lock_guard lock(mu_);
+  return cells_[stage_index(stage)][class_index(cls)].queue_wait.summary();
+}
+
+LatencySummary StageMetrics::service(Stage stage, RequestClass cls) const {
+  std::lock_guard lock(mu_);
+  return cells_[stage_index(stage)][class_index(cls)].service.summary();
+}
+
+std::vector<StageMetrics::Row> StageMetrics::breakdown() const {
+  std::lock_guard lock(mu_);
+  std::vector<Row> rows;
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
+      const Cell& cell = cells_[s][c];
+      if (cell.queue_wait.count() == 0) continue;
+      Row row;
+      row.stage = static_cast<Stage>(s);
+      row.cls = static_cast<RequestClass>(c);
+      row.queue_wait = cell.queue_wait.summary();
+      row.service = cell.service.summary();
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
 void ServerStats::record_completion(RequestClass cls, const std::string& page,
                                     double t_completed_paper_s,
                                     double response_paper_s) {
@@ -30,6 +92,20 @@ void ServerStats::record_completion(RequestClass cls, const std::string& page,
   auto& counter = page_counters_[page];
   if (!counter) counter = std::make_unique<WindowedCounter>(bin_width_);
   counter->record(t_completed_paper_s);
+}
+
+void ServerStats::record_shed(RequestClass cls) {
+  shed_[static_cast<std::size_t>(cls)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t ServerStats::shed(RequestClass cls) const {
+  return shed_[static_cast<std::size_t>(cls)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t ServerStats::shed_total() const {
+  std::uint64_t n = 0;
+  for (const auto& c : shed_) n += c.load(std::memory_order_relaxed);
+  return n;
 }
 
 void ServerStats::sample_queue(const std::string& pool_name, double t_paper_s,

@@ -1,7 +1,11 @@
 // Server-side measurement: per-page response stats, windowed throughput by
-// request class (Figures 9-10), and queue-length time series (Figures 7-8).
+// request class (Figures 9-10), queue-length time series (Figures 7-8), and
+// per-stage latency decomposition (queue wait vs service time per pool per
+// request class, from RequestContext stage traces).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -9,12 +13,42 @@
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/server/request_context.h"
 
 namespace tempest::server {
 
-enum class RequestClass { kStatic, kQuickDynamic, kLengthyDynamic };
+// Per-stage, per-class latency decomposition aggregated from StageTrace
+// stamps. Queue wait (enqueue -> dequeue) and service time (dequeue ->
+// completion) are kept in separate histograms so the breakdown tables can
+// report p50/p95/p99 of each independently.
+class StageMetrics {
+ public:
+  void record(const StageTrace& trace, RequestClass cls);
 
-const char* to_string(RequestClass cls);
+  LatencySummary queue_wait(Stage stage, RequestClass cls) const;
+  LatencySummary service(Stage stage, RequestClass cls) const;
+
+  struct Row {
+    Stage stage = Stage::kHeader;
+    RequestClass cls = RequestClass::kQuickDynamic;
+    LatencySummary queue_wait;
+    LatencySummary service;
+  };
+
+  // Every (stage, class) cell that saw at least one request, ordered by
+  // pipeline stage then class.
+  std::vector<Row> breakdown() const;
+
+ private:
+  struct Cell {
+    Histogram queue_wait;
+    Histogram service;
+  };
+
+  static constexpr std::size_t kNumClasses = 3;
+  mutable std::mutex mu_;
+  std::array<std::array<Cell, kNumClasses>, kNumStages> cells_;
+};
 
 class ServerStats {
  public:
@@ -31,6 +65,14 @@ class ServerStats {
                          double t_completed_paper_s,
                          double response_paper_s);
 
+  // Folds a completed request's stage trace into the per-stage metrics.
+  void record_trace(const StageTrace& trace, RequestClass cls) {
+    stage_metrics_.record(trace, cls);
+  }
+
+  // Records a request shed with 503 because a bounded stage queue was full.
+  void record_shed(RequestClass cls);
+
   // Appends a queue-length sample for pool `name`.
   void sample_queue(const std::string& pool_name, double t_paper_s,
                     std::size_t queue_length);
@@ -46,6 +88,14 @@ class ServerStats {
     return counter(cls).total();
   }
   std::uint64_t completed_total() const;
+
+  const StageMetrics& stage_metrics() const { return stage_metrics_; }
+  std::vector<StageMetrics::Row> stage_breakdown() const {
+    return stage_metrics_.breakdown();
+  }
+
+  std::uint64_t shed(RequestClass cls) const;
+  std::uint64_t shed_total() const;
 
   std::map<std::string, OnlineStats> page_response_stats() const;
   std::map<std::string, std::uint64_t> page_counts() const;
@@ -70,6 +120,8 @@ class ServerStats {
   WindowedCounter static_counter_;
   WindowedCounter quick_counter_;
   WindowedCounter lengthy_counter_;
+  StageMetrics stage_metrics_;
+  std::array<std::atomic<std::uint64_t>, 3> shed_{};
 
   mutable std::mutex mu_;
   std::map<std::string, OnlineStats> page_response_;

@@ -34,29 +34,44 @@ StagedServer::StagedServer(ServerConfig config,
         "must not exceed db_connections");
   }
 
+  const auto pool_options = [this](std::size_t capacity) {
+    return WorkerPoolOptions{capacity, config_.overflow_policy};
+  };
+
   // Downstream pools first so upstream stages never submit into a pool that
   // does not exist yet.
-  render_pool_ = std::make_unique<WorkerPool<RenderJob>>(
+  render_pool_ = std::make_unique<WorkerPool<RequestContext>>(
       "render", config_.render_threads,
-      [this](RenderJob&& rj) { render_stage(std::move(rj)); });
-  static_pool_ = std::make_unique<WorkerPool<Job>>(
+      [this](RequestContext&& ctx) { render_stage(std::move(ctx)); },
+      WorkerPool<RequestContext>::ThreadHook{},
+      WorkerPool<RequestContext>::ThreadHook{},
+      pool_options(config_.render_queue_capacity));
+  static_pool_ = std::make_unique<WorkerPool<RequestContext>>(
       "static", config_.static_threads,
-      [this](Job&& job) { static_stage(std::move(job)); });
-  general_pool_ = std::make_unique<WorkerPool<Job>>(
+      [this](RequestContext&& ctx) { static_stage(std::move(ctx)); },
+      WorkerPool<RequestContext>::ThreadHook{},
+      WorkerPool<RequestContext>::ThreadHook{},
+      pool_options(config_.static_queue_capacity));
+  general_pool_ = std::make_unique<WorkerPool<RequestContext>>(
       "general", general_threads,
-      [this](Job&& job) { dynamic_stage(std::move(job)); },
+      [this](RequestContext&& ctx) { dynamic_stage(std::move(ctx)); },
       [this] { worker_connection::adopt(db_pool_); },
-      [] { worker_connection::release(); });
+      [] { worker_connection::release(); },
+      pool_options(config_.general_queue_capacity));
   if (lengthy_threads > 0) {
-    lengthy_pool_ = std::make_unique<WorkerPool<Job>>(
+    lengthy_pool_ = std::make_unique<WorkerPool<RequestContext>>(
         "lengthy", lengthy_threads,
-        [this](Job&& job) { dynamic_stage(std::move(job)); },
+        [this](RequestContext&& ctx) { dynamic_stage(std::move(ctx)); },
         [this] { worker_connection::adopt(db_pool_); },
-        [] { worker_connection::release(); });
+        [] { worker_connection::release(); },
+        pool_options(config_.lengthy_queue_capacity));
   }
-  header_pool_ = std::make_unique<WorkerPool<Job>>(
+  header_pool_ = std::make_unique<WorkerPool<RequestContext>>(
       "header", config_.header_threads,
-      [this](Job&& job) { header_stage(std::move(job)); });
+      [this](RequestContext&& ctx) { header_stage(std::move(ctx)); },
+      WorkerPool<RequestContext>::ThreadHook{},
+      WorkerPool<RequestContext>::ThreadHook{},
+      pool_options(config_.header_queue_capacity));
 
   controller_ = std::thread([this] { controller_loop(); });
 }
@@ -64,9 +79,20 @@ StagedServer::StagedServer(ServerConfig config,
 StagedServer::~StagedServer() { shutdown(); }
 
 void StagedServer::submit(IncomingRequest request) {
-  Job job;
-  job.incoming = std::move(request);
-  header_pool_->submit(std::move(job));
+  RequestContext ctx(std::move(request));
+  ctx.trace.enqueue(Stage::kHeader);
+  if (auto refused = header_pool_->submit(std::move(ctx))) {
+    shed_request(std::move(*refused), config_, stats_);
+  }
+}
+
+void StagedServer::forward(RequestContext&& ctx,
+                           WorkerPool<RequestContext>& pool, Stage stage) {
+  ctx.trace.complete();
+  ctx.trace.enqueue(stage);
+  if (auto refused = pool.submit(std::move(ctx))) {
+    shed_request(std::move(*refused), config_, stats_);
+  }
 }
 
 void StagedServer::shutdown() {
@@ -117,37 +143,39 @@ void StagedServer::controller_loop() {
   }
 }
 
-void StagedServer::header_stage(Job&& job) {
+void StagedServer::header_stage(RequestContext&& ctx) {
+  ctx.trace.dequeue();
   // Parse only the request line: enough to route static vs dynamic.
-  auto first_line = http::parse_request_line_only(job.incoming.raw);
+  auto first_line = http::parse_request_line_only(ctx.incoming.raw);
   if (!first_line) {
-    send_and_record(job.incoming, http::Response::bad_request("bad request line"),
-                    false, stats_, RequestClass::kQuickDynamic, "malformed");
+    send_and_record(std::move(ctx),
+                    http::Response::bad_request("bad request line"), stats_,
+                    "malformed");
     return;
   }
 
   if (!http::path_extension(first_line->uri.path).empty()) {
     // Static: the static-pool thread parses its own headers (Section 3.2).
-    job.cls = RequestClass::kStatic;
-    job.request = std::move(*first_line);
-    static_pool_->submit(std::move(job));
+    ctx.cls = RequestClass::kStatic;
+    ctx.request = std::move(*first_line);
+    forward(std::move(ctx), *static_pool_, Stage::kStatic);
     return;
   }
 
   // Dynamic: parse the remaining header fields and the query string here, so
   // a thread with an open database connection never spends time on parsing.
   std::string parse_error;
-  auto request = http::parse_request(job.incoming.raw, &parse_error);
+  auto request = http::parse_request(ctx.incoming.raw, &parse_error);
   if (!request) {
-    send_and_record(job.incoming, http::Response::bad_request(parse_error),
-                    false, stats_, RequestClass::kQuickDynamic, "malformed");
+    send_and_record(std::move(ctx), http::Response::bad_request(parse_error),
+                    stats_, "malformed");
     return;
   }
   request->uri.query = http::parse_query(request->uri.raw_query);
-  job.request = std::move(*request);
+  ctx.request = std::move(*request);
 
-  const bool lengthy = tracker_.is_lengthy(job.request.uri.path);
-  job.cls = lengthy ? RequestClass::kLengthyDynamic
+  const bool lengthy = tracker_.is_lengthy(ctx.request.uri.path);
+  ctx.cls = lengthy ? RequestClass::kLengthyDynamic
                     : RequestClass::kQuickDynamic;
 
   // Table 1 dispatch rules. The dispatch-time spare count additionally
@@ -160,39 +188,39 @@ void StagedServer::header_stage(Job&& job) {
       static_cast<std::int64_t>(general_pool_->queue_length());
   if (lengthy && lengthy_pool_ &&
       reserve_.send_lengthy_to_lengthy_pool(dispatch_spare)) {
-    lengthy_pool_->submit(std::move(job));
+    forward(std::move(ctx), *lengthy_pool_, Stage::kLengthy);
   } else {
-    general_pool_->submit(std::move(job));
+    forward(std::move(ctx), *general_pool_, Stage::kGeneral);
   }
 }
 
-void StagedServer::static_stage(Job&& job) {
+void StagedServer::static_stage(RequestContext&& ctx) {
+  ctx.trace.dequeue();
   // Parse the full request (headers were deferred for static requests).
   std::string parse_error;
-  auto request = http::parse_request(job.incoming.raw, &parse_error);
+  auto request = http::parse_request(ctx.incoming.raw, &parse_error);
   if (!request) {
-    send_and_record(job.incoming, http::Response::bad_request(parse_error),
-                    false, stats_, RequestClass::kStatic, "malformed");
+    send_and_record(std::move(ctx), http::Response::bad_request(parse_error),
+                    stats_, "malformed");
     return;
   }
-  const bool head_only = request->method == http::Method::kHead;
+  ctx.request = std::move(*request);
   const StaticStore::Entry* entry =
-      app_->static_store.find(request->uri.path);
+      app_->static_store.find(ctx.request.uri.path);
   const http::Response response =
       entry ? serve_static(*entry, config_)
-            : http::Response::not_found(request->uri.path);
-  send_and_record(job.incoming, response, head_only, stats_,
-                  RequestClass::kStatic, "static");
+            : http::Response::not_found(ctx.request.uri.path);
+  send_and_record(std::move(ctx), response, stats_, "static");
 }
 
-void StagedServer::dynamic_stage(Job&& job) {
-  const std::string& path = job.request.uri.path;
-  const bool head_only = job.request.method == http::Method::kHead;
+void StagedServer::dynamic_stage(RequestContext&& ctx) {
+  ctx.trace.dequeue();
+  const std::string path = ctx.request.uri.path;
 
   const Handler* handler = app_->router.find(path);
   if (handler == nullptr) {
-    send_and_record(job.incoming, http::Response::not_found(path), head_only,
-                    stats_, job.cls, path);
+    send_and_record(std::move(ctx), http::Response::not_found(path), stats_,
+                    path);
     return;
   }
 
@@ -200,30 +228,28 @@ void StagedServer::dynamic_stage(Job&& job) {
   // unrendered template — pure data-generation time.
   const Stopwatch datagen_watch;
   HandlerResult result =
-      run_handler(*handler, job.request, worker_connection::current());
+      run_handler(*handler, ctx.request, worker_connection::current());
+  tracker_.record(path, datagen_watch.elapsed_paper());
 
   if (auto* tr = std::get_if<TemplateResponse>(&result)) {
-    tracker_.record(path, datagen_watch.elapsed_paper());
-    RenderJob rj;
-    rj.job = std::move(job);
-    rj.tr = std::move(*tr);
-    render_pool_->submit(std::move(rj));
+    ctx.render = std::move(*tr);
+    forward(std::move(ctx), *render_pool_, Stage::kRender);
     return;
   }
 
   // Backward compatibility: an already-rendered string is sent directly from
   // this thread (the scheduling optimization cannot apply).
-  tracker_.record(path, datagen_watch.elapsed_paper());
   const http::Response response = to_response(std::get<StringResponse>(result));
-  send_and_record(job.incoming, response, head_only, stats_, job.cls, path);
+  send_and_record(std::move(ctx), response, stats_, path);
 }
 
-void StagedServer::render_stage(RenderJob&& rj) {
-  const bool head_only = rj.job.request.method == http::Method::kHead;
+void StagedServer::render_stage(RequestContext&& ctx) {
+  ctx.trace.dequeue();
   const http::Response response =
-      render_template_response(*app_, config_, rj.tr);
-  send_and_record(rj.job.incoming, response, head_only, stats_, rj.job.cls,
-                  rj.job.request.uri.path);
+      ctx.render ? render_template_response(*app_, config_, *ctx.render)
+                 : http::Response::server_error("render stage without template");
+  const std::string page = ctx.request.uri.path;
+  send_and_record(std::move(ctx), response, stats_, page);
 }
 
 }  // namespace tempest::server

@@ -4,6 +4,11 @@
 // threads store database connections, so connections never sit idle while
 // templates render or static files are served. Dispatch between the dynamic
 // pools follows Table 1 using the adaptive treserve controller.
+//
+// A single move-only RequestContext flows through every stage, stamping its
+// per-stage trace (queue wait vs service time) as it goes. Stage queues may
+// be capacity-bounded; with OverflowPolicy::kReject a full queue sheds the
+// request with 503 + Retry-After instead of queueing without bound.
 #pragma once
 
 #include <atomic>
@@ -16,6 +21,7 @@
 #include "src/db/pool.h"
 #include "src/http/parser.h"
 #include "src/server/app.h"
+#include "src/server/request_context.h"
 #include "src/server/reserve_controller.h"
 #include "src/server/server_config.h"
 #include "src/server/server_stats.h"
@@ -41,24 +47,21 @@ class StagedServer : public WebServer {
 
   // Spare threads in the general pool right now (tspare).
   std::int64_t general_spare() const;
+  std::size_t general_queue_length() const {
+    return general_pool_->queue_length();
+  }
 
  private:
-  // A request in flight between stages.
-  struct Job {
-    IncomingRequest incoming;
-    http::Request request;           // filled by the header stage
-    RequestClass cls = RequestClass::kQuickDynamic;
-  };
-  struct RenderJob {
-    Job job;
-    TemplateResponse tr;
-  };
-
-  void header_stage(Job&& job);
-  void static_stage(Job&& job);
-  void dynamic_stage(Job&& job);
-  void render_stage(RenderJob&& rj);
+  void header_stage(RequestContext&& ctx);
+  void static_stage(RequestContext&& ctx);
+  void dynamic_stage(RequestContext&& ctx);
+  void render_stage(RequestContext&& ctx);
   void controller_loop();
+
+  // Stamps the handoff (complete current stage, enqueue into `stage`) and
+  // submits; sheds with 503 if the target pool's bounded queue refuses.
+  void forward(RequestContext&& ctx, WorkerPool<RequestContext>& pool,
+               Stage stage);
 
   const ServerConfig config_;
   const std::shared_ptr<const Application> app_;
@@ -67,11 +70,11 @@ class StagedServer : public WebServer {
   ServiceTimeTracker tracker_;
   ReserveController reserve_;
 
-  std::unique_ptr<WorkerPool<Job>> header_pool_;
-  std::unique_ptr<WorkerPool<Job>> static_pool_;
-  std::unique_ptr<WorkerPool<Job>> general_pool_;
-  std::unique_ptr<WorkerPool<Job>> lengthy_pool_;
-  std::unique_ptr<WorkerPool<RenderJob>> render_pool_;
+  std::unique_ptr<WorkerPool<RequestContext>> header_pool_;
+  std::unique_ptr<WorkerPool<RequestContext>> static_pool_;
+  std::unique_ptr<WorkerPool<RequestContext>> general_pool_;
+  std::unique_ptr<WorkerPool<RequestContext>> lengthy_pool_;
+  std::unique_ptr<WorkerPool<RequestContext>> render_pool_;
 
   std::thread controller_;
   std::atomic<bool> stop_{false};

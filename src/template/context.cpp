@@ -1,23 +1,40 @@
 #include "src/template/context.h"
 
-#include <cstdlib>
-
-#include "src/common/strutil.h"
+#include <charconv>
 
 namespace tempest::tmpl {
 
-const Value* Context::lookup_path(const std::string& dotted) const {
-  const auto segments = split(dotted, '.');
-  if (segments.empty()) return nullptr;
-  const Value* current = lookup(segments[0]);
-  for (std::size_t i = 1; current != nullptr && i < segments.size(); ++i) {
-    const std::string& seg = segments[i];
+namespace {
+
+// A segment that is all digits addresses a list index (Django's lookup order
+// tries dict keys first, numeric indexes second).
+bool parse_index(std::string_view seg, std::size_t* out) {
+  if (seg.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(seg.data(), seg.data() + seg.size(), *out);
+  return ec == std::errc{} && ptr == seg.data() + seg.size();
+}
+
+}  // namespace
+
+const Value* Context::lookup_path(std::string_view dotted) const {
+  if (dotted.empty()) return nullptr;
+  std::size_t pos = dotted.find('.');
+  const Value* current =
+      lookup(pos == std::string_view::npos ? dotted : dotted.substr(0, pos));
+  while (current != nullptr && pos != std::string_view::npos) {
+    const std::size_t start = pos + 1;
+    pos = dotted.find('.', start);
+    const std::string_view seg =
+        pos == std::string_view::npos ? dotted.substr(start)
+                                      : dotted.substr(start, pos - start);
     if (const Value* next = current->member(seg)) {
       current = next;
       continue;
     }
-    if (!seg.empty() && seg.find_first_not_of("0123456789") == std::string::npos) {
-      current = current->index(std::strtoull(seg.c_str(), nullptr, 10));
+    std::size_t index = 0;
+    if (parse_index(seg, &index)) {
+      current = current->index(index);
       continue;
     }
     return nullptr;

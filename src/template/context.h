@@ -2,6 +2,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/template/value.h"
@@ -24,7 +25,9 @@ class Context {
   }
 
   // Resolves a bare name, innermost scope first. Returns nullptr if unbound.
-  const Value* lookup(const std::string& name) const {
+  // Heterogeneous (string_view) lookup: the scope maps use std::less<>, so
+  // probing never allocates a temporary std::string on the render hot path.
+  const Value* lookup(std::string_view name) const {
     for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
       const auto found = it->find(name);
       if (found != it->end()) return &found->second;
@@ -35,7 +38,8 @@ class Context {
   // Resolves a dotted path ("order.lines.0.title"): each segment is tried as
   // a dict key, then as a numeric list index — Django's lookup order (minus
   // method calls). Returns nullptr (renders empty) when any hop fails.
-  const Value* lookup_path(const std::string& dotted) const;
+  // Segments are walked as string_views; no per-segment allocation.
+  const Value* lookup_path(std::string_view dotted) const;
 
   // RAII scope guard.
   class Scope {

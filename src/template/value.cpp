@@ -102,7 +102,7 @@ std::string Value::str() const {
   return "";
 }
 
-const Value* Value::member(const std::string& key) const {
+const Value* Value::member(std::string_view key) const {
   if (const auto* d = std::get_if<std::shared_ptr<Dict>>(&data_)) {
     const auto it = (*d)->find(key);
     if (it != (*d)->end()) return &it->second;

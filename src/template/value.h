@@ -8,6 +8,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -21,7 +22,9 @@ class TemplateError : public std::runtime_error {
 class Value;
 
 using List = std::vector<Value>;
-using Dict = std::map<std::string, Value>;
+// Transparent comparator: lets the render hot path probe scope maps with
+// std::string_view keys without materializing a temporary std::string.
+using Dict = std::map<std::string, Value, std::less<>>;
 
 class Value {
  public:
@@ -67,7 +70,7 @@ class Value {
   std::string str() const;
 
   // Container helpers. Return nullptr when absent / wrong type.
-  const Value* member(const std::string& key) const;
+  const Value* member(std::string_view key) const;
   const Value* index(std::size_t i) const;
   std::size_t size() const;
 

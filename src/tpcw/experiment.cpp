@@ -35,6 +35,8 @@ void collect_server_side(Server& server, ExperimentResults& results) {
   results.server_page_stats = stats.page_response_stats();
   results.server_page_counts = stats.page_counts();
   results.server_completed_total = stats.completed_total();
+  results.server_shed_total = stats.shed_total();
+  results.stage_breakdown = stats.stage_breakdown();
   for (const std::string& name : stats.queue_names()) {
     results.queue_series[name] = stats.queue_series(name);
   }

@@ -10,6 +10,7 @@
 
 #include "src/common/stats.h"
 #include "src/server/server_config.h"
+#include "src/server/server_stats.h"
 #include "src/tpcw/client.h"
 #include "src/tpcw/schema.h"
 
@@ -48,6 +49,12 @@ struct ExperimentResults {
   std::map<std::string, OnlineStats> server_page_stats;
   std::map<std::string, std::uint64_t> server_page_counts;
   std::uint64_t server_completed_total = 0;
+  // Requests shed with 503 by bounded stage queues (OverflowPolicy::kReject).
+  std::uint64_t server_shed_total = 0;
+
+  // Per-stage queue-wait / service-time decomposition (from RequestContext
+  // stage traces): the server-side explanation of Figures 7-10.
+  std::vector<server::StageMetrics::Row> stage_breakdown;
 
   // Queue-length series per pool (Figures 7-8); the baseline has a single
   // "dynamic" queue.

@@ -10,7 +10,7 @@ namespace {
 
 using server::Handler;
 using server::HandlerResult;
-using server::RequestContext;
+using server::HandlerContext;
 using server::TemplateResponse;
 
 // --- db::Value -> tmpl::Value bridging --------------------------------------
@@ -42,7 +42,7 @@ tmpl::Value rows_to_list(const db::ResultSet& rs) {
   return tmpl::Value(std::move(list));
 }
 
-db::Connection& conn(RequestContext& ctx) {
+db::Connection& conn(HandlerContext& ctx) {
   if (ctx.db == nullptr) {
     throw db::DbError("handler invoked on a thread without a DB connection");
   }
@@ -57,7 +57,7 @@ std::int64_t clamp_id(std::int64_t id, std::int64_t max) {
 
 // --- The 14 handlers ---------------------------------------------------------
 
-HandlerResult home(RequestContext& ctx, TpcwState& state) {
+HandlerResult home(HandlerContext& ctx, TpcwState& state) {
   const std::int64_t c_id =
       clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
   tmpl::Dict data;
@@ -85,7 +85,7 @@ HandlerResult home(RequestContext& ctx, TpcwState& state) {
   return TemplateResponse{"home.html", std::move(data)};
 }
 
-HandlerResult product_detail(RequestContext& ctx, TpcwState& state) {
+HandlerResult product_detail(HandlerContext& ctx, TpcwState& state) {
   const std::int64_t i_id =
       clamp_id(ctx.param_int("i_id", 1), state.scale.items);
   auto item =
@@ -108,7 +108,7 @@ HandlerResult product_detail(RequestContext& ctx, TpcwState& state) {
   return TemplateResponse{"product_detail.html", std::move(data)};
 }
 
-HandlerResult search_request(RequestContext& ctx, TpcwState&) {
+HandlerResult search_request(HandlerContext& ctx, TpcwState&) {
   tmpl::Dict data;
   data["c_id"] = tmpl::Value(ctx.param_int("c_id", 0));
   tmpl::List subjects;
@@ -119,7 +119,7 @@ HandlerResult search_request(RequestContext& ctx, TpcwState&) {
   return TemplateResponse{"search_request.html", std::move(data)};
 }
 
-HandlerResult execute_search(RequestContext& ctx, TpcwState&) {
+HandlerResult execute_search(HandlerContext& ctx, TpcwState&) {
   const std::string type = ctx.param("type", "title");
   const std::string term = ctx.param("term", "river");
   tmpl::Dict data;
@@ -145,7 +145,7 @@ HandlerResult execute_search(RequestContext& ctx, TpcwState&) {
   return TemplateResponse{"execute_search.html", std::move(data)};
 }
 
-HandlerResult new_products(RequestContext& ctx, TpcwState&) {
+HandlerResult new_products(HandlerContext& ctx, TpcwState&) {
   const std::string subject = ctx.param("subject", "ARTS");
   // Full item scan (i_subject unindexed) + ORDER BY — slow page #2.
   auto books = conn(ctx).execute(
@@ -160,7 +160,7 @@ HandlerResult new_products(RequestContext& ctx, TpcwState&) {
   return TemplateResponse{"new_products.html", std::move(data)};
 }
 
-HandlerResult best_sellers(RequestContext& ctx, TpcwState& state) {
+HandlerResult best_sellers(HandlerContext& ctx, TpcwState& state) {
   const std::string subject = ctx.param("subject", "ARTS");
   // Aggregates the most recent orders' lines: range predicate over ol_o_id
   // defeats the hash index, so this scans order_line — slow page #3.
@@ -182,7 +182,7 @@ HandlerResult best_sellers(RequestContext& ctx, TpcwState& state) {
   return TemplateResponse{"best_sellers.html", std::move(data)};
 }
 
-HandlerResult shopping_cart(RequestContext& ctx, TpcwState& state) {
+HandlerResult shopping_cart(HandlerContext& ctx, TpcwState& state) {
   const std::int64_t c_id =
       clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
   const std::int64_t i_id = ctx.param_int("i_id", 0);
@@ -226,7 +226,7 @@ HandlerResult shopping_cart(RequestContext& ctx, TpcwState& state) {
   return TemplateResponse{"shopping_cart.html", std::move(data)};
 }
 
-HandlerResult customer_registration(RequestContext& ctx, TpcwState& state) {
+HandlerResult customer_registration(HandlerContext& ctx, TpcwState& state) {
   const std::int64_t c_id =
       clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
   auto customer = conn(ctx).execute(
@@ -245,7 +245,7 @@ HandlerResult customer_registration(RequestContext& ctx, TpcwState& state) {
 }
 
 // Cart lines for checkout pages, with item info joined in.
-db::ResultSet checkout_lines(RequestContext& ctx, std::int64_t c_id) {
+db::ResultSet checkout_lines(HandlerContext& ctx, std::int64_t c_id) {
   return conn(ctx).execute(
       "SELECT scl_i_id, scl_qty, i_title, i_cost, i_stock "
       "FROM shopping_cart_line JOIN item ON scl_i_id = i_id "
@@ -253,7 +253,7 @@ db::ResultSet checkout_lines(RequestContext& ctx, std::int64_t c_id) {
       {db::Value(c_id)});
 }
 
-HandlerResult buy_request(RequestContext& ctx, TpcwState& state) {
+HandlerResult buy_request(HandlerContext& ctx, TpcwState& state) {
   const std::int64_t c_id =
       clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
   tmpl::Dict data;
@@ -294,7 +294,7 @@ HandlerResult buy_request(RequestContext& ctx, TpcwState& state) {
   return TemplateResponse{"buy_request.html", std::move(data)};
 }
 
-HandlerResult buy_confirm(RequestContext& ctx, TpcwState& state) {
+HandlerResult buy_confirm(HandlerContext& ctx, TpcwState& state) {
   const std::int64_t c_id =
       clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
   auto lines = checkout_lines(ctx, c_id);
@@ -388,7 +388,7 @@ HandlerResult buy_confirm(RequestContext& ctx, TpcwState& state) {
   return TemplateResponse{"buy_confirm.html", std::move(data)};
 }
 
-HandlerResult order_inquiry(RequestContext& ctx, TpcwState& state) {
+HandlerResult order_inquiry(HandlerContext& ctx, TpcwState& state) {
   const std::int64_t c_id =
       clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
   auto customer = conn(ctx).execute(
@@ -399,7 +399,7 @@ HandlerResult order_inquiry(RequestContext& ctx, TpcwState& state) {
   return TemplateResponse{"order_inquiry.html", std::move(data)};
 }
 
-HandlerResult order_display(RequestContext& ctx, TpcwState& state) {
+HandlerResult order_display(HandlerContext& ctx, TpcwState& state) {
   const std::int64_t c_id =
       clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
   auto order = conn(ctx).execute(
@@ -423,7 +423,7 @@ HandlerResult order_display(RequestContext& ctx, TpcwState& state) {
   return TemplateResponse{"order_display.html", std::move(data)};
 }
 
-HandlerResult admin_request(RequestContext& ctx, TpcwState& state) {
+HandlerResult admin_request(HandlerContext& ctx, TpcwState& state) {
   const std::int64_t i_id =
       clamp_id(ctx.param_int("i_id", 1), state.scale.items);
   auto item = conn(ctx).execute(
@@ -435,7 +435,7 @@ HandlerResult admin_request(RequestContext& ctx, TpcwState& state) {
   return TemplateResponse{"admin_request.html", std::move(data)};
 }
 
-HandlerResult admin_response(RequestContext& ctx, TpcwState& state) {
+HandlerResult admin_response(HandlerContext& ctx, TpcwState& state) {
   const std::int64_t i_id =
       clamp_id(ctx.param_int("i_id", 1), state.scale.items);
   const std::string image =
@@ -475,9 +475,9 @@ HandlerResult admin_response(RequestContext& ctx, TpcwState& state) {
   return TemplateResponse{"admin_response.html", std::move(data)};
 }
 
-Handler bind(HandlerResult (*fn)(RequestContext&, TpcwState&),
+Handler bind(HandlerResult (*fn)(HandlerContext&, TpcwState&),
              std::shared_ptr<TpcwState> state) {
-  return [fn, state = std::move(state)](RequestContext& ctx) {
+  return [fn, state = std::move(state)](HandlerContext& ctx) {
     return fn(ctx, *state);
   };
 }

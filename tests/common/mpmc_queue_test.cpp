@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <set>
 #include <thread>
 #include <vector>
@@ -12,7 +13,7 @@ namespace {
 
 TEST(MpmcQueueTest, FifoOrder) {
   MpmcQueue<int> queue;
-  for (int i = 0; i < 10; ++i) EXPECT_TRUE(queue.push(i));
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(queue.push(int{i}));
   for (int i = 0; i < 10; ++i) {
     auto v = queue.pop();
     ASSERT_TRUE(v.has_value());
@@ -132,6 +133,112 @@ TEST(MpmcQueueTest, MoveOnlyTypesSupported) {
   auto v = queue.pop();
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(**v, 7);
+}
+
+TEST(MpmcQueueTest, TryPushLeavesRejectedItemIntact) {
+  MpmcQueue<std::unique_ptr<int>> queue(1);
+  auto first = std::make_unique<int>(1);
+  auto second = std::make_unique<int>(2);
+  EXPECT_TRUE(queue.try_push(std::move(first)));
+  // The refused item must not be moved from: the caller still owns it and
+  // needs it to answer the request it is about to shed.
+  EXPECT_FALSE(queue.try_push(std::move(second)));
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(*second, 2);
+  queue.close();
+  EXPECT_FALSE(queue.try_push(std::move(second)));
+  ASSERT_NE(second, nullptr);  // closed-queue refusal keeps it intact too
+}
+
+TEST(MpmcQueueTest, PopCallbackRunsBeforeSizeShrinkIsObservable) {
+  MpmcQueue<int> queue;
+  queue.push(5);
+  bool taken = false;
+  auto v = queue.pop([&] {
+    taken = true;
+    // Still inside the queue's critical section here: the item is off the
+    // deque but no other thread can observe size() until we return.
+  });
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 5);
+  EXPECT_TRUE(taken);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(MpmcQueueTest, BoundedBlockingNeverExceedsCapacityUnderContention) {
+  constexpr std::size_t kCapacity = 4;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  MpmcQueue<int> queue(kCapacity);
+  std::atomic<bool> overflow_seen{false};
+  std::atomic<int> consumed{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = queue.pop()) {
+        if (queue.size() > kCapacity) overflow_seen.store(true);
+        ++consumed;
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(queue.push(p * kPerProducer + i));
+        if (queue.size() > kCapacity) overflow_seen.store(true);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_FALSE(overflow_seen.load());
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+}
+
+TEST(MpmcQueueTest, BoundedRejectingDeliversExactlyTheAcceptedItems) {
+  constexpr std::size_t kCapacity = 2;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  MpmcQueue<int> queue(kCapacity);
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> consumed{0};
+  std::atomic<bool> overflow_seen{false};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = queue.pop()) {
+        if (queue.size() > kCapacity) overflow_seen.store(true);
+        ++consumed;
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (queue.try_push(p * kPerProducer + i)) {
+          ++accepted;
+        } else {
+          ++rejected;
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_FALSE(overflow_seen.load());
+  EXPECT_EQ(accepted.load() + rejected.load(), kProducers * kPerProducer);
+  // Every accepted item reaches a consumer; rejected ones never do.
+  EXPECT_EQ(consumed.load(), accepted.load());
+  EXPECT_GT(accepted.load(), 0);
 }
 
 }  // namespace

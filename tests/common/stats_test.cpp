@@ -116,6 +116,41 @@ TEST(HistogramTest, MergeAddsCounts) {
   EXPECT_NEAR(a.mean(), 1.0, 1e-12);
 }
 
+TEST(HistogramTest, TracksMaxAcrossAddAndMerge) {
+  Histogram a;
+  EXPECT_EQ(a.max(), 0.0);  // empty histogram reports zero, not -inf
+  a.add(0.5);
+  a.add(3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+  Histogram b;
+  b.add(7.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.max(), 7.0);
+}
+
+TEST(HistogramTest, SummaryClampsPercentilesToObservedMax) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.add(1.0);
+  const LatencySummary s = h.summary();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.mean, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.max, 1.0);
+  // Bucket upper bounds overshoot; the summary clamps so p99 <= max.
+  EXPECT_DOUBLE_EQ(s.p50, 1.0);
+  EXPECT_DOUBLE_EQ(s.p95, 1.0);
+  EXPECT_DOUBLE_EQ(s.p99, 1.0);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+}
+
+TEST(HistogramTest, EmptySummaryIsAllZero) {
+  const LatencySummary s = Histogram().summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
 TEST(TimeSeriesTest, RecordsInOrder) {
   TimeSeries series;
   series.record(1.0, 10.0);

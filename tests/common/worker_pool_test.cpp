@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
+#include <semaphore>
 #include <set>
 
 namespace tempest {
@@ -109,6 +111,105 @@ TEST(WorkerPoolTest, NameAndThreadCountAccessors) {
   EXPECT_EQ(pool.name(), "named");
   EXPECT_EQ(pool.thread_count(), 5u);
   pool.shutdown();
+}
+
+// Regression test for the tspare accounting race: a worker used to increment
+// its busy counter only after pop() returned, so there was a window where an
+// item had left the queue but the thread was not yet counted busy. During
+// that window spare_count() read one too high, which could admit a lengthy
+// request into the general pool's reserved headroom. The fix counts the
+// thread busy inside the dequeue's critical section, so once the queue is
+// observed empty the thread must already be counted.
+TEST(WorkerPoolTest, DequeuedItemNeverObservableAsSpareThread) {
+  std::counting_semaphore<> gate(0);
+  std::atomic<bool> started{false};
+  WorkerPool<int> pool("race", 1, [&](int&&) {
+    started.store(true);
+    gate.acquire();
+  });
+
+  constexpr int kIterations = 300;
+  for (int i = 0; i < kIterations; ++i) {
+    started.store(false);
+    pool.submit(i);
+    // Spin until the item has left the queue...
+    while (pool.queue_length() != 0) {
+      std::this_thread::yield();
+    }
+    // ...at which point the worker must already be accounted busy. Before
+    // the fix this intermittently read busy=0 / spare=1.
+    EXPECT_EQ(pool.busy_count(), 1u) << "iteration " << i;
+    EXPECT_EQ(pool.spare_count(), 0u) << "iteration " << i;
+    gate.release();
+    while (pool.processed() != static_cast<std::uint64_t>(i) + 1) {
+      std::this_thread::yield();
+    }
+  }
+  pool.shutdown();
+}
+
+TEST(WorkerPoolTest, RejectPolicyReturnsItemWhenQueueFull) {
+  std::counting_semaphore<> gate(0);
+  WorkerPool<std::unique_ptr<int>> pool(
+      "reject", 1, [&](std::unique_ptr<int>&&) { gate.acquire(); },
+      WorkerPool<std::unique_ptr<int>>::ThreadHook{},
+      WorkerPool<std::unique_ptr<int>>::ThreadHook{},
+      WorkerPoolOptions{/*queue_capacity=*/1, OverflowPolicy::kReject});
+  EXPECT_EQ(pool.queue_capacity(), 1u);
+  EXPECT_EQ(pool.overflow_policy(), OverflowPolicy::kReject);
+
+  // First item occupies the worker, second fills the queue.
+  EXPECT_FALSE(pool.submit(std::make_unique<int>(1)).has_value());
+  while (pool.busy_count() != 1) std::this_thread::yield();
+  EXPECT_FALSE(pool.submit(std::make_unique<int>(2)).has_value());
+
+  // Third finds the queue full: it must come back intact, not be dropped.
+  auto refused = pool.submit(std::make_unique<int>(3));
+  ASSERT_TRUE(refused.has_value());
+  ASSERT_NE(*refused, nullptr);
+  EXPECT_EQ(**refused, 3);
+  EXPECT_EQ(pool.rejected(), 1u);
+
+  gate.release(2);
+  pool.shutdown();
+  EXPECT_EQ(pool.processed(), 2u);
+  EXPECT_EQ(pool.rejected(), 1u);
+}
+
+TEST(WorkerPoolTest, BlockPolicyParksProducerUntilSpaceFrees) {
+  std::counting_semaphore<> gate(0);
+  WorkerPool<int> pool(
+      "block", 1, [&](int&&) { gate.acquire(); },
+      WorkerPool<int>::ThreadHook{}, WorkerPool<int>::ThreadHook{},
+      WorkerPoolOptions{/*queue_capacity=*/1, OverflowPolicy::kBlock});
+
+  pool.submit(1);
+  while (pool.busy_count() != 1) std::this_thread::yield();
+  pool.submit(2);  // fills the queue
+  EXPECT_EQ(pool.queue_length(), 1u);
+
+  std::atomic<bool> third_accepted{false};
+  std::thread producer([&] {
+    EXPECT_FALSE(pool.submit(3).has_value());  // blocks until a slot frees
+    third_accepted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_accepted.load());  // still parked: queue is full
+
+  gate.release(3);  // worker drains; the blocked producer gets its slot
+  producer.join();
+  EXPECT_TRUE(third_accepted.load());
+  pool.shutdown();
+  EXPECT_EQ(pool.processed(), 3u);
+  EXPECT_EQ(pool.rejected(), 0u);
+}
+
+TEST(WorkerPoolTest, SubmitAfterShutdownReturnsItemBack) {
+  WorkerPool<int> pool("closed", 1, [](int&&) {});
+  pool.shutdown();
+  auto refused = pool.submit(41);
+  ASSERT_TRUE(refused.has_value());
+  EXPECT_EQ(*refused, 41);
 }
 
 }  // namespace

@@ -33,7 +33,7 @@ class ServerBehaviorTest : public ::testing::Test {
     app->templates = loader;
 
     // Paper-style handler: query then return the unrendered template + data.
-    app->router.add("/templated", [](RequestContext& ctx) -> HandlerResult {
+    app->router.add("/templated", [](HandlerContext& ctx) -> HandlerResult {
       auto rs = ctx.db->execute("SELECT v FROM kv WHERE k = ?",
                                 {db::Value(ctx.param_int("k", 1))});
       tmpl::Dict data;
@@ -43,20 +43,20 @@ class ServerBehaviorTest : public ::testing::Test {
     });
 
     // Backward-compatible handler: returns an already-rendered string.
-    app->router.add("/legacy", [](RequestContext&) -> HandlerResult {
+    app->router.add("/legacy", [](HandlerContext&) -> HandlerResult {
       return StringResponse{"<p>legacy</p>"};
     });
 
-    app->router.add("/boom", [](RequestContext&) -> HandlerResult {
+    app->router.add("/boom", [](HandlerContext&) -> HandlerResult {
       throw std::runtime_error("kaboom");
     });
 
-    app->router.add("/badtemplate", [](RequestContext&) -> HandlerResult {
+    app->router.add("/badtemplate", [](HandlerContext&) -> HandlerResult {
       return TemplateResponse{"missing.html", {}};
     });
 
     // Records whether the handler thread had a DB connection.
-    app->router.add("/hasconn", [this](RequestContext& ctx) -> HandlerResult {
+    app->router.add("/hasconn", [this](HandlerContext& ctx) -> HandlerResult {
       handler_had_connection_.store(ctx.db != nullptr);
       return StringResponse{"checked"};
     });

@@ -1,6 +1,9 @@
 // Router, static store, service-time tracker, server stats.
 #include <gtest/gtest.h>
 
+#include <chrono>
+
+#include "src/common/clock.h"
 #include "src/server/router.h"
 #include "src/server/server_stats.h"
 #include "src/server/service_time_tracker.h"
@@ -9,7 +12,7 @@
 namespace tempest::server {
 namespace {
 
-HandlerResult dummy_handler(RequestContext&) {
+HandlerResult dummy_handler(HandlerContext&) {
   return StringResponse{"ok"};
 }
 
@@ -136,6 +139,126 @@ TEST(ServerStatsTest, ClassNames) {
   EXPECT_STREQ(to_string(RequestClass::kStatic), "static");
   EXPECT_STREQ(to_string(RequestClass::kQuickDynamic), "quick-dynamic");
   EXPECT_STREQ(to_string(RequestClass::kLengthyDynamic), "lengthy-dynamic");
+}
+
+TEST(ServerStatsTest, StageNames) {
+  EXPECT_STREQ(to_string(Stage::kHeader), "header");
+  EXPECT_STREQ(to_string(Stage::kGeneral), "general");
+  EXPECT_STREQ(to_string(Stage::kRender), "render");
+  EXPECT_STREQ(to_string(Stage::kWorker), "worker");
+}
+
+// Pins TimeScale to 1.0 (paper seconds == wall seconds) so synthetic stage
+// traces built from explicit time_points produce exact paper-second numbers.
+class StageTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TimeScale::set(1.0); }
+  void TearDown() override { TimeScale::set(0.005); }
+
+  static WallClock::time_point at(double seconds) {
+    return WallClock::time_point{} + std::chrono::duration_cast<
+        WallClock::duration>(std::chrono::duration<double>(seconds));
+  }
+};
+
+TEST_F(StageTraceTest, StampsSeparateQueueWaitAndServiceTimePerVisit) {
+  StageTrace trace;
+  trace.enqueue(Stage::kHeader, at(1.0));
+  trace.dequeue(at(1.5));
+  trace.complete(at(2.0));   // header: wait 0.5, service 0.5
+  trace.enqueue(Stage::kGeneral, at(2.0));
+  trace.dequeue(at(4.0));
+  trace.complete(at(7.0));   // general: wait 2.0, service 3.0
+
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].stage, Stage::kHeader);
+  EXPECT_DOUBLE_EQ(trace[0].queue_wait_paper_s(), 0.5);
+  EXPECT_DOUBLE_EQ(trace[0].service_paper_s(), 0.5);
+  EXPECT_EQ(trace[1].stage, Stage::kGeneral);
+  EXPECT_DOUBLE_EQ(trace[1].queue_wait_paper_s(), 2.0);
+  EXPECT_DOUBLE_EQ(trace[1].service_paper_s(), 3.0);
+}
+
+TEST_F(StageTraceTest, CompleteIsFirstStampWins) {
+  StageTrace trace;
+  trace.enqueue(Stage::kGeneral, at(0.0));
+  trace.dequeue(at(1.0));
+  trace.complete(at(2.0));
+  trace.complete(at(99.0));  // a later stamp must not rewrite history
+  EXPECT_DOUBLE_EQ(trace[0].service_paper_s(), 1.0);
+}
+
+TEST_F(StageTraceTest, VisitNeverDequeuedReportsZeroAndIsSkippedByMetrics) {
+  StageTrace trace;
+  trace.enqueue(Stage::kGeneral, at(1.0));  // shed while still queued
+  EXPECT_FALSE(trace[0].dequeued_set());
+  EXPECT_DOUBLE_EQ(trace[0].queue_wait_paper_s(), 0.0);
+
+  StageMetrics metrics;
+  metrics.record(trace, RequestClass::kQuickDynamic);
+  EXPECT_TRUE(metrics.breakdown().empty());
+}
+
+TEST_F(StageTraceTest, StageMetricsAggregatesPerStageAndClass) {
+  StageMetrics metrics;
+  for (int i = 1; i <= 4; ++i) {
+    StageTrace trace;
+    trace.enqueue(Stage::kHeader, at(0.0));
+    trace.dequeue(at(0.1 * i));               // waits 0.1..0.4
+    trace.complete(at(0.1 * i + 0.2));        // service always 0.2
+    trace.enqueue(Stage::kGeneral, at(1.0));
+    trace.dequeue(at(1.0 + i));               // waits 1..4
+    trace.complete(at(1.0 + i + 2.0 * i));    // service 2..8
+    metrics.record(trace, RequestClass::kQuickDynamic);
+  }
+  // One lengthy request through the general pool lands in a separate cell.
+  StageTrace lengthy;
+  lengthy.enqueue(Stage::kGeneral, at(0.0));
+  lengthy.dequeue(at(0.5));
+  lengthy.complete(at(10.5));
+  metrics.record(lengthy, RequestClass::kLengthyDynamic);
+
+  const auto wait = metrics.queue_wait(Stage::kGeneral,
+                                       RequestClass::kQuickDynamic);
+  EXPECT_EQ(wait.count, 4u);
+  EXPECT_DOUBLE_EQ(wait.mean, 2.5);
+  EXPECT_DOUBLE_EQ(wait.max, 4.0);
+  const auto service = metrics.service(Stage::kGeneral,
+                                       RequestClass::kQuickDynamic);
+  EXPECT_DOUBLE_EQ(service.mean, 5.0);
+  EXPECT_DOUBLE_EQ(service.max, 8.0);
+  // Percentiles are clamped to the observed maximum.
+  EXPECT_LE(service.p99, service.max);
+
+  const auto lengthy_service =
+      metrics.service(Stage::kGeneral, RequestClass::kLengthyDynamic);
+  EXPECT_EQ(lengthy_service.count, 1u);
+  EXPECT_DOUBLE_EQ(lengthy_service.max, 10.0);
+
+  // breakdown(): only populated cells, ordered by stage then class.
+  const auto rows = metrics.breakdown();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].stage, Stage::kHeader);
+  EXPECT_EQ(rows[0].cls, RequestClass::kQuickDynamic);
+  EXPECT_EQ(rows[1].stage, Stage::kGeneral);
+  EXPECT_EQ(rows[1].cls, RequestClass::kQuickDynamic);
+  EXPECT_EQ(rows[2].stage, Stage::kGeneral);
+  EXPECT_EQ(rows[2].cls, RequestClass::kLengthyDynamic);
+  EXPECT_EQ(rows[0].queue_wait.count, 4u);
+}
+
+TEST(ServerStatsTest, ShedCountersPerClass) {
+  ServerStats stats;
+  EXPECT_EQ(stats.shed_total(), 0u);
+  stats.record_shed(RequestClass::kQuickDynamic);
+  stats.record_shed(RequestClass::kQuickDynamic);
+  stats.record_shed(RequestClass::kStatic);
+  EXPECT_EQ(stats.shed(RequestClass::kQuickDynamic), 2u);
+  EXPECT_EQ(stats.shed(RequestClass::kStatic), 1u);
+  EXPECT_EQ(stats.shed(RequestClass::kLengthyDynamic), 0u);
+  EXPECT_EQ(stats.shed_total(), 3u);
+  // Sheds are not completions.
+  EXPECT_EQ(stats.completed_total(), 0u);
 }
 
 }  // namespace

@@ -34,7 +34,7 @@ class HandlersTest : public ::testing::Test {
     EXPECT_TRUE(request.has_value()) << url;
     request->uri.query = http::parse_query(request->uri.raw_query);
     auto lease = pool_->acquire();
-    server::RequestContext ctx{*request, lease.get()};
+    server::HandlerContext ctx{*request, lease.get()};
     const std::string path = request->uri.path;
     auto* handler = router_.find(path);
     EXPECT_NE(handler, nullptr) << path;
