@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "src/common/clock.h"
 #include "src/metrics/table.h"
@@ -12,6 +14,7 @@ BenchRun BenchRun::init(int argc, char** argv) {
   BenchRun run;
   run.options = Options::parse(argc, argv);
   run.csv = run.options.get_bool("csv", false);
+  run.json_dir = run.options.get_string("json", "");
   TimeScale::set(run.options.get_double("scale", 0.05));
   return run;
 }
@@ -77,6 +80,105 @@ void print_stage_breakdown(const std::string& title,
       "(paper-seconds; qwait = enqueue->dequeue, svc = dequeue->completion; "
       "shed 503s: %llu)\n\n",
       static_cast<unsigned long long>(results.server_shed_total));
+}
+
+namespace {
+
+std::string json_double(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  std::ostringstream out;
+  out.precision(9);
+  out << v;
+  return out.str();
+}
+
+std::string json_summary(const LatencySummary& s) {
+  std::ostringstream out;
+  out << "{\"count\": " << s.count << ", \"mean\": " << json_double(s.mean)
+      << ", \"p50\": " << json_double(s.p50)
+      << ", \"p95\": " << json_double(s.p95)
+      << ", \"p99\": " << json_double(s.p99)
+      << ", \"max\": " << json_double(s.max) << "}";
+  return out.str();
+}
+
+}  // namespace
+
+BenchJson::BenchJson(const BenchRun& run, std::string bench_name)
+    : dir_(run.json_dir), name_(std::move(bench_name)) {}
+
+std::vector<std::pair<std::string, std::string>>& BenchJson::variant(
+    const std::string& name) {
+  for (auto& [existing, fields] : variants_) {
+    if (existing == name) return fields;
+  }
+  variants_.emplace_back(name,
+                         std::vector<std::pair<std::string, std::string>>{});
+  return variants_.back().second;
+}
+
+void BenchJson::add_experiment(const std::string& name,
+                               const tpcw::ExperimentResults& results) {
+  if (!enabled()) return;
+  auto& fields = variant(name);
+  fields.emplace_back(
+      "completed_total", std::to_string(results.server_completed_total));
+  fields.emplace_back("shed_total", std::to_string(results.server_shed_total));
+  fields.emplace_back("client_errors",
+                      std::to_string(results.client_errors));
+  const double minutes = results.measured_paper_seconds / 60.0;
+  fields.emplace_back(
+      "throughput_per_paper_min",
+      json_double(minutes > 0
+                      ? static_cast<double>(results.server_completed_total) /
+                            minutes
+                      : 0.0));
+  static constexpr const char* kClassNames[] = {"static", "quick_dynamic",
+                                                "lengthy_dynamic"};
+  std::ostringstream classes;
+  classes << "{";
+  for (std::size_t c = 0; c < results.response_by_class.size(); ++c) {
+    if (c) classes << ", ";
+    classes << "\"" << kClassNames[c]
+            << "\": " << json_summary(results.response_by_class[c]);
+  }
+  classes << "}";
+  fields.emplace_back("response_paper_s_by_class", classes.str());
+}
+
+void BenchJson::add_scalar(const std::string& name, const std::string& key,
+                           double value) {
+  if (!enabled()) return;
+  variant(name).emplace_back(key, json_double(value));
+}
+
+std::string BenchJson::write() {
+  if (!enabled() || written_) return "";
+  written_ = true;
+  const std::string path = dir_ + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return "";
+  }
+  out << "{\n  \"bench\": \"" << name_ << "\",\n"
+      << "  \"time_scale\": " << json_double(TimeScale::get()) << ",\n"
+      << "  \"variants\": {";
+  bool first_variant = true;
+  for (const auto& [name, fields] : variants_) {
+    out << (first_variant ? "\n" : ",\n") << "    \"" << name << "\": {";
+    first_variant = false;
+    bool first_field = true;
+    for (const auto& [key, value] : fields) {
+      out << (first_field ? "\n" : ",\n") << "      \"" << key
+          << "\": " << value;
+      first_field = false;
+    }
+    out << "\n    }";
+  }
+  out << "\n  }\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+  return path;
 }
 
 double page_mean(const tpcw::ExperimentResults& results,

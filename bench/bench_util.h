@@ -9,9 +9,14 @@
 //   --seed=N       workload seed (default 42)
 //   --paper        full paper shape: 5-min ramp + 50-min measure
 //   --csv          also dump CSV blocks for plotting
+//   --json=DIR     also write BENCH_<name>.json into DIR (machine-readable
+//                  throughput + response-time percentiles, for tracking the
+//                  perf trajectory across PRs)
 #pragma once
 
+#include <map>
 #include <string>
+#include <vector>
 
 #include "src/common/config.h"
 #include "src/tpcw/experiment.h"
@@ -22,12 +27,49 @@ namespace tempest::bench {
 struct BenchRun {
   Options options;
   bool csv = false;
+  std::string json_dir;  // empty = JSON output disabled
 
   // Parses flags and applies the time scale globally.
   static BenchRun init(int argc, char** argv);
 
   // Experiment configuration honoring the shared flags.
   tpcw::ExperimentConfig experiment(bool staged) const;
+};
+
+// Machine-readable bench output: collects per-variant metrics and writes
+// BENCH_<name>.json when the run was started with --json=DIR. Numbers are
+// paper-seconds / per-paper-minute, matching the printed tables.
+class BenchJson {
+ public:
+  BenchJson(const BenchRun& run, std::string bench_name);
+
+  bool enabled() const { return !dir_.empty(); }
+
+  // Folds an experiment's headline numbers into variant `variant`:
+  // total/shed counts, throughput per paper-minute, and response-time
+  // count/mean/p50/p95/p99 per request class.
+  void add_experiment(const std::string& variant,
+                      const tpcw::ExperimentResults& results);
+
+  // Records a single named number under variant `variant` (for benches whose
+  // metrics are not an ExperimentResults, e.g. fig11's transport rates).
+  void add_scalar(const std::string& variant, const std::string& key,
+                  double value);
+
+  // Writes BENCH_<name>.json. Returns the path written, or "" when disabled.
+  // No-op if called twice.
+  std::string write();
+
+ private:
+  std::string dir_;
+  std::string name_;
+  bool written_ = false;
+  // variant -> ordered key/json-value pairs (insertion order preserved).
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::string, std::string>>>>
+      variants_;
+  std::vector<std::pair<std::string, std::string>>& variant(
+      const std::string& name);
 };
 
 // Table 3/4-style page label column ("TPC-W home interaction", ...).

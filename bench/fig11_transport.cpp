@@ -1,0 +1,289 @@
+// Figure 11 (ours, not in the paper): transport A/B — the seed's blocking
+// accept-read-respond listener vs the epoll reactor — under two loads:
+//
+//  1. Throughput: 64 concurrent clients hammering a static page for a fixed
+//     wall window. Most clients are fast (they still send the request in two
+//     segments ~1 ms apart, as any non-loopback network does); a handful are
+//     slow, trickling their request bytes out over ~200 ms — the mix every
+//     public-facing server sees. The blocking listener's single acceptor
+//     thread must finish reading each slow request before it can accept
+//     anyone else, so a few slow clients collapse throughput for all; the
+//     reactor just parks slow connections between events and serves the
+//     fast ones at full rate over keep-alive connections.
+//  2. Slow-client isolation: one client trickles its request at 1 byte per
+//     100 ms while a probe client measures per-request latency. The blocking
+//     acceptor thread is wedged reading the trickler, so the probe stalls;
+//     the reactor just waits for the trickler's bytes between events.
+//
+// Extra flags: --conns=N (default 64), --window=SEC wall (default 1.0),
+// --gap-us=N segment gap (default 1000; 0 = whole request in one write),
+// --slow=N slow clients among conns (default 4, trickling 1 byte/5ms).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/clock.h"
+#include "src/db/database.h"
+#include "src/metrics/table.h"
+#include "src/server/baseline_server.h"
+#include "src/server/staged_server.h"
+#include "src/server/tcp.h"
+#include "src/tpcw/populate.h"
+
+namespace {
+
+using namespace tempest;
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kRequest =
+    "GET /img/logo.gif HTTP/1.1\r\nHost: bench\r\n\r\n";
+// Request line in the first segment, remaining headers in the second —
+// the split every incremental parser must handle and every blocking
+// full-request read stalls on.
+constexpr std::size_t kSegmentSplit = 28;  // after "...HTTP/1.1\r\n"
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Sends kRequest in two segments `gap_us` apart and reads one framed
+// response. Returns true on a 200.
+bool segmented_request(server::TcpClient& client, int gap_us) {
+  const std::string request = kRequest;
+  if (gap_us <= 0) {
+    return client.request(request).find("HTTP/1.1 200") == 0;
+  }
+  client.send_raw(request.substr(0, kSegmentSplit));
+  std::this_thread::sleep_for(std::chrono::microseconds(gap_us));
+  client.send_raw(request.substr(kSegmentSplit));
+  return client.read_response().find("HTTP/1.1 200") == 0;
+}
+
+// A slow client: request bytes trickle out at 1 byte / 5 ms (~200 ms per
+// request), repeatedly, until the window closes. One connection per request
+// so both transports face the same behavior.
+void slow_client_loop(std::uint16_t port, const std::atomic<bool>& stop,
+                      std::atomic<std::uint64_t>& completed) {
+  const std::string request = kRequest;
+  while (!stop.load(std::memory_order_relaxed)) {
+    try {
+      server::TcpClient client(port);
+      for (std::size_t i = 0; i < request.size(); ++i) {
+        if (stop.load(std::memory_order_relaxed)) return;
+        client.send_raw(request.substr(i, 1));
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      if (client.read_response().find("HTTP/1.1 200") == 0) {
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    } catch (const std::runtime_error&) {
+      // evicted or reset; try again
+    }
+  }
+}
+
+// Keep-alive clients against the reactor: each fast thread owns one
+// connection for the whole window; `slow` of the conns trickle.
+double epoll_throughput(std::uint16_t port, int conns, int slow,
+                        double window_s, int gap_us) {
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  const auto start = Clock::now();
+  for (int i = 0; i < conns; ++i) {
+    threads.emplace_back([&, i] {
+      if (i < slow) return slow_client_loop(port, stop, completed);
+      while (!stop.load(std::memory_order_relaxed)) {
+        try {
+          server::TcpClient client(port);
+          while (!stop.load(std::memory_order_relaxed)) {
+            if (!segmented_request(client, gap_us)) break;
+            completed.fetch_add(1, std::memory_order_relaxed);
+          }
+        } catch (const std::runtime_error&) {
+          // reconnect unless the window already closed
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(window_s));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  return static_cast<double>(completed.load()) / seconds_since(start);
+}
+
+// One-shot connections against the blocking listener (its only mode: it
+// answers Connection: close and serializes accept+read on one thread).
+double blocking_throughput(std::uint16_t port, int conns, int slow,
+                           double window_s, int gap_us) {
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  const auto start = Clock::now();
+  for (int i = 0; i < conns; ++i) {
+    threads.emplace_back([&, i] {
+      if (i < slow) return slow_client_loop(port, stop, completed);
+      while (!stop.load(std::memory_order_relaxed)) {
+        try {
+          server::TcpClient client(port);
+          if (segmented_request(client, gap_us)) {
+            completed.fetch_add(1, std::memory_order_relaxed);
+          }
+        } catch (const std::runtime_error&) {
+          // connection refused/reset under churn: not a completion
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(window_s));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  return static_cast<double>(completed.load()) / seconds_since(start);
+}
+
+// One client trickles a request at 1 byte / 100 ms while a probe measures
+// per-request latency. Returns the probe's worst request latency in ms.
+double slow_client_probe_ms(std::uint16_t port) {
+  std::atomic<bool> done{false};
+  std::thread trickler([&] {
+    try {
+      server::TcpClient slow(port, /*io_timeout_ms=*/30000);
+      const std::string request = kRequest;
+      for (std::size_t i = 0; i < request.size() && !done.load(); ++i) {
+        slow.send_raw(request.substr(i, 1));
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    } catch (const std::runtime_error&) {
+      // server may evict the trickler (reactor write/header timeout) — the
+      // point of the bench is what happens to everyone else meanwhile
+    }
+  });
+  // Let the trickler get accepted (and, on the blocking listener, wedge the
+  // acceptor mid-read) before probing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+
+  double worst_ms = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto start = Clock::now();
+    const std::string response = server::tcp_roundtrip(port, kRequest);
+    double ms = seconds_since(start) * 1e3;
+    if (response.find("HTTP/1.1 200") != 0) ms = 1e9;  // stalled out entirely
+    if (ms > worst_ms) worst_ms = ms;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  done.store(true);
+  trickler.join();
+  return worst_ms;
+}
+
+struct TransportRow {
+  std::string server;
+  double blocking_rps = 0;
+  double epoll_rps = 0;
+  double blocking_stall_ms = 0;
+  double epoll_stall_ms = 0;
+};
+
+template <typename Server>
+TransportRow measure(const char* name, const server::ServerConfig& config,
+                     std::shared_ptr<const server::Application> app,
+                     db::Database& db, int conns, int slow, double window_s,
+                     int gap_us) {
+  TransportRow row;
+  row.server = name;
+  {
+    Server web(config, app, db);
+    server::BlockingTcpListener listener(web, 0);
+    row.blocking_rps =
+        blocking_throughput(listener.port(), conns, slow, window_s, gap_us);
+    row.blocking_stall_ms = slow_client_probe_ms(listener.port());
+    listener.stop();
+    web.shutdown();
+  }
+  {
+    Server web(config, app, db);
+    server::TcpListener listener(web, 0, config.transport, &web.stats());
+    row.epoll_rps =
+        epoll_throughput(listener.port(), conns, slow, window_s, gap_us);
+    row.epoll_stall_ms = slow_client_probe_ms(listener.port());
+    listener.stop();
+    web.shutdown();
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto run = bench::BenchRun::init(argc, argv);
+  // Transport bench: wall-clock rates, so compress paper time hard unless
+  // the user asked for a specific scale.
+  if (!run.options.has("scale")) TimeScale::set(0.001);
+  const int conns = run.options.get_int("conns", 64);
+  const double window_s = run.options.get_double("window", 1.0);
+  const int gap_us = run.options.get_int("gap-us", 1000);
+  const int slow = run.options.get_int("slow", 4);
+
+  std::printf(
+      "=== Figure 11: transport throughput and slow-client isolation ===\n"
+      "%d concurrent clients (%d slow, trickling 1 byte/5ms), %.1fs wall "
+      "window per cell;\nfast requests arrive in 2 segments %dus apart; "
+      "stall probe runs against a 1 byte/100ms trickler\n\n",
+      conns, slow, window_s, gap_us);
+
+  db::Database db;
+  const auto pop = tpcw::populate_tpcw(db, tpcw::Scale::tiny());
+  auto app = tpcw::make_tpcw_application(
+      tpcw::TpcwState::from_population(tpcw::Scale::tiny(), pop));
+  server::ServerConfig config;
+  config.db_connections = 16;
+  config.baseline_threads = 16;
+  config.header_threads = 2;
+  config.static_threads = 4;
+  config.general_threads = 12;
+  config.lengthy_threads = 4;
+  config.render_threads = 4;
+
+  const TransportRow staged = measure<server::StagedServer>(
+      "staged", config, app, db, conns, slow, window_s, gap_us);
+  const TransportRow baseline = measure<server::BaselineServer>(
+      "baseline", config, app, db, conns, slow, window_s, gap_us);
+
+  metrics::Table table({"server", "blocking req/s", "epoll req/s", "speedup",
+                        "blocking stall ms", "epoll stall ms"});
+  bench::BenchJson json(run, "fig11_transport");
+  for (const TransportRow& row : {staged, baseline}) {
+    table.add_row({row.server, metrics::format_double(row.blocking_rps, 0),
+                   metrics::format_double(row.epoll_rps, 0),
+                   metrics::format_double(row.epoll_rps / row.blocking_rps, 2),
+                   metrics::format_double(row.blocking_stall_ms, 1),
+                   metrics::format_double(row.epoll_stall_ms, 1)});
+    json.add_scalar(row.server, "blocking_rps", row.blocking_rps);
+    json.add_scalar(row.server, "epoll_rps", row.epoll_rps);
+    json.add_scalar(row.server, "epoll_speedup",
+                    row.epoll_rps / row.blocking_rps);
+    json.add_scalar(row.server, "blocking_slow_client_stall_ms",
+                    row.blocking_stall_ms);
+    json.add_scalar(row.server, "epoll_slow_client_stall_ms",
+                    row.epoll_stall_ms);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const bool speedup_ok = staged.epoll_rps >= 4.0 * staged.blocking_rps &&
+                          baseline.epoll_rps >= 4.0 * baseline.blocking_rps;
+  const bool isolation_ok =
+      staged.epoll_stall_ms * 10 < staged.blocking_stall_ms &&
+      baseline.epoll_stall_ms * 10 < baseline.blocking_stall_ms;
+  std::printf(
+      "epoll >= 4x blocking throughput: %s\n"
+      "slow client isolated (>=10x less probe stall than blocking): %s\n",
+      speedup_ok ? "yes" : "NO", isolation_ok ? "yes" : "NO");
+  json.write();
+  return speedup_ok && isolation_ok ? 0 : 1;
+}

@@ -47,5 +47,10 @@ int main(int argc, char** argv) {
       "modified curve sits consistently above the unmodified one)\n",
       unmod_total, mod_total,
       metrics::format_percent(mod_total / unmod_total - 1.0).c_str());
+
+  bench::BenchJson json(run, "fig9_throughput_overall");
+  json.add_experiment("unmodified", unmodified);
+  json.add_experiment("modified", modified);
+  json.write();
   return 0;
 }

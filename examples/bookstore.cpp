@@ -52,7 +52,8 @@ int main(int argc, char** argv) {
   server::ServerConfig config;
   server::StagedServer web(config, app, db);
   server::TcpListener listener(
-      web, static_cast<std::uint16_t>(options.get_int("port", 0)));
+      web, static_cast<std::uint16_t>(options.get_int("port", 0)),
+      config.transport, &web.stats());
   std::printf("bookstore listening on http://127.0.0.1:%u/home?c_id=1\n\n",
               listener.port());
 
@@ -72,10 +73,11 @@ int main(int argc, char** argv) {
       "/order_display?c_id=42",
       "/img/banner.gif",
   };
+  // The whole session rides one keep-alive connection, like a browser would.
+  server::TcpClient shopper(listener.port());
   for (const char* url : session) {
     const Stopwatch watch;
-    const std::string response = server::tcp_roundtrip(
-        listener.port(),
+    const std::string response = shopper.request(
         "GET " + std::string(url) + " HTTP/1.1\r\nHost: bookstore\r\n\r\n");
     std::printf("GET %-55s -> %s  (%zu bytes, %.1f paper-ms)\n", url,
                 status_line(response).c_str(), body_size(response),
@@ -84,6 +86,13 @@ int main(int argc, char** argv) {
 
   std::printf("\norders on file after checkout: %zu (started with %lld)\n",
               db.table("orders").row_count(), static_cast<long long>(pop.orders));
+  const auto transport = listener.counters().snapshot();
+  std::printf(
+      "transport: %llu connection(s), %llu requests (%llu on reused "
+      "keep-alive connections)\n",
+      static_cast<unsigned long long>(transport.accepted),
+      static_cast<unsigned long long>(transport.requests),
+      static_cast<unsigned long long>(transport.keepalive_reuse));
   listener.stop();
   web.shutdown();
   return 0;

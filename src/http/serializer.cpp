@@ -13,7 +13,8 @@ std::string http_date_now() {
   return buf;
 }
 
-std::string serialize_response(const Response& response, bool head_only) {
+std::string serialize_response(const Response& response, bool head_only,
+                               ConnectionDirective conn) {
   std::string out = "HTTP/1.1 ";
   out += std::to_string(status_code(response.status));
   out += ' ';
@@ -23,6 +24,7 @@ std::string serialize_response(const Response& response, bool head_only) {
   bool has_length = false;
   bool has_date = false;
   bool has_server = false;
+  bool has_connection = false;
   for (const auto& e : response.headers.entries()) {
     out += e.name;
     out += ": ";
@@ -31,12 +33,18 @@ std::string serialize_response(const Response& response, bool head_only) {
     if (e.name == "Content-Length") has_length = true;
     if (e.name == "Date") has_date = true;
     if (e.name == "Server") has_server = true;
+    if (e.name == "Connection") has_connection = true;
   }
   if (!has_length) {
     out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
   }
   if (!has_date) out += "Date: " + http_date_now() + "\r\n";
   if (!has_server) out += "Server: tempest/1.0\r\n";
+  if (!has_connection && conn != ConnectionDirective::kNone) {
+    out += conn == ConnectionDirective::kKeepAlive
+               ? "Connection: keep-alive\r\n"
+               : "Connection: close\r\n";
+  }
   out += "\r\n";
   if (!head_only) out += response.body;
   return out;

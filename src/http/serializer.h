@@ -10,11 +10,24 @@
 
 namespace tempest::http {
 
+// What the serializer should say in the Connection response header. The
+// transport decides connection lifetime; framing by Content-Length is what
+// makes reuse possible at all (a response of known length needs no
+// close-delimited body).
+enum class ConnectionDirective {
+  kNone,       // emit no Connection header (legacy/in-process callers)
+  kKeepAlive,  // "Connection: keep-alive" — transport keeps the socket open
+  kClose,      // "Connection: close" — transport closes after this response
+};
+
 // Serializes `response` to wire format, setting Content-Length (from body
 // size), Date, and Server headers if absent. `head_only` elides the body
 // (HEAD requests) while keeping the Content-Length of the full entity.
+// `conn` adds a Connection header (unless the response already set one).
 std::string serialize_response(const Response& response,
-                               bool head_only = false);
+                               bool head_only = false,
+                               ConnectionDirective conn =
+                                   ConnectionDirective::kNone);
 
 // Serializes a request to wire format (used by clients and tests).
 std::string serialize_request(const Request& request);

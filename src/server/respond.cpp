@@ -7,10 +7,22 @@
 
 namespace tempest::server {
 
+namespace {
+
+// The transport decided connection lifetime at dispatch; advertise it so
+// clients know whether to reuse the socket.
+http::ConnectionDirective directive(const RequestContext& ctx) {
+  return ctx.incoming.keep_alive ? http::ConnectionDirective::kKeepAlive
+                                 : http::ConnectionDirective::kClose;
+}
+
+}  // namespace
+
 void send_and_record(RequestContext&& ctx, const http::Response& response,
                      ServerStats& stats, const std::string& page) {
   ctx.trace.complete();
-  std::string wire = http::serialize_response(response, ctx.head_only());
+  std::string wire =
+      http::serialize_response(response, ctx.head_only(), directive(ctx));
   // Record before releasing the response to the client so anyone observing
   // the response also observes the completion in the stats.
   const double response_time = to_paper(WallClock::now() - ctx.incoming.accepted);
@@ -31,7 +43,7 @@ void shed_request(RequestContext&& ctx, const ServerConfig& config,
   stats.record_shed(ctx.cls);
   // Sheds are not completions: they must not inflate the throughput figures.
   ctx.incoming.writer->send(
-      http::serialize_response(response, ctx.head_only()));
+      http::serialize_response(response, ctx.head_only(), directive(ctx)));
 }
 
 http::Response render_template_response(const Application& app,

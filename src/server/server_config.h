@@ -18,6 +18,41 @@
 
 namespace tempest::server {
 
+// Knobs for the socket transport (the epoll reactor in src/server/tcp.h).
+//
+// Unlike the scheduling knobs, the timeouts here are WALL milliseconds, not
+// paper seconds: they guard the event loop against real-world slow or dead
+// clients, a hazard that exists independently of the paper-time compression
+// the experiments run under (a test at TimeScale 0.0001 still needs real
+// milliseconds to shuffle bytes through loopback).
+struct TransportConfig {
+  // Serve multiple HTTP/1.1 requests per connection. When false every
+  // response closes the connection (the seed transport's behaviour and the
+  // paper's simplification).
+  bool keep_alive = true;
+  // Max requests served on one connection before the transport closes it
+  // (0 = unlimited). Bounds per-connection resource pinning.
+  std::size_t max_requests_per_connection = 0;
+  // Concurrent connection cap; accepts beyond it are closed immediately.
+  std::size_t max_connections = 1024;
+  // Reject requests whose accumulated bytes (request line + headers + body)
+  // exceed this with 413 and a close.
+  std::size_t max_request_bytes = 1 << 20;
+  // listen(2) backlog.
+  int listen_backlog = 512;
+
+  // Wall-clock guards (milliseconds; 0 disables the guard).
+  // A connection that has sent part of a request but not completed it.
+  int header_timeout_ms = 5000;
+  // A keep-alive connection sitting between requests (also covers a fresh
+  // connection that has sent nothing at all).
+  int idle_timeout_ms = 15000;
+  // A connection with a pending response that accepts no bytes — the
+  // slow-client eviction threshold, refreshed on every write that makes
+  // progress.
+  int write_timeout_ms = 5000;
+};
+
 struct ServerConfig {
   // Shared resource budget.
   std::size_t db_connections = 40;
@@ -73,6 +108,11 @@ struct ServerConfig {
   double render_per_byte_paper_s = 4.0e-5;
 
   db::LatencyModel db_latency;
+
+  // Socket-transport knobs (keep-alive, timeouts, connection caps). Only
+  // consulted by the TCP transports; the in-process transport has no
+  // connections to manage.
+  TransportConfig transport;
 
   // Disable all simulated service costs (unit tests that only check
   // functional behaviour).

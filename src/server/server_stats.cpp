@@ -89,9 +89,15 @@ void ServerStats::record_completion(RequestClass cls, const std::string& page,
   }
   std::lock_guard lock(mu_);
   page_response_[page].add(response_paper_s);
+  response_hist_[static_cast<std::size_t>(cls)].add(response_paper_s);
   auto& counter = page_counters_[page];
   if (!counter) counter = std::make_unique<WindowedCounter>(bin_width_);
   counter->record(t_completed_paper_s);
+}
+
+LatencySummary ServerStats::response_summary(RequestClass cls) const {
+  std::lock_guard lock(mu_);
+  return response_hist_[static_cast<std::size_t>(cls)].summary();
 }
 
 void ServerStats::record_shed(RequestClass cls) {

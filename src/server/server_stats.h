@@ -50,6 +50,65 @@ class StageMetrics {
   std::array<std::array<Cell, kNumClasses>, kNumStages> cells_;
 };
 
+// Connection-layer counters maintained by the socket transports (tcp.h).
+// All fields are monotonically increasing and safe to read concurrently;
+// snapshot() gives a plain-struct copy for reporting.
+class TransportCounters {
+ public:
+  struct Snapshot {
+    std::uint64_t accepted = 0;          // connections accepted
+    std::uint64_t closed = 0;            // connections closed (any reason)
+    std::uint64_t requests = 0;          // requests dispatched into a server
+    std::uint64_t keepalive_reuse = 0;   // requests served on a reused conn
+    std::uint64_t idle_timeouts = 0;     // closed idle between requests
+    std::uint64_t header_timeouts = 0;   // closed mid-request-read
+    std::uint64_t slow_client_evictions = 0;  // closed stalled mid-write
+    std::uint64_t refused_max_connections = 0;
+    std::uint64_t oversized_rejected = 0;  // 413: request bytes over cap
+    std::uint64_t parse_errors = 0;        // 400 answered by the transport
+  };
+
+  void on_accept() { accepted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_close() { closed_.fetch_add(1, std::memory_order_relaxed); }
+  void on_request(bool reused) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (reused) keepalive_reuse_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_idle_timeout() { idle_.fetch_add(1, std::memory_order_relaxed); }
+  void on_header_timeout() { header_.fetch_add(1, std::memory_order_relaxed); }
+  void on_slow_eviction() { slow_.fetch_add(1, std::memory_order_relaxed); }
+  void on_refused() { refused_.fetch_add(1, std::memory_order_relaxed); }
+  void on_oversized() { oversized_.fetch_add(1, std::memory_order_relaxed); }
+  void on_parse_error() { parse_.fetch_add(1, std::memory_order_relaxed); }
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    s.accepted = accepted_.load(std::memory_order_relaxed);
+    s.closed = closed_.load(std::memory_order_relaxed);
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.keepalive_reuse = keepalive_reuse_.load(std::memory_order_relaxed);
+    s.idle_timeouts = idle_.load(std::memory_order_relaxed);
+    s.header_timeouts = header_.load(std::memory_order_relaxed);
+    s.slow_client_evictions = slow_.load(std::memory_order_relaxed);
+    s.refused_max_connections = refused_.load(std::memory_order_relaxed);
+    s.oversized_rejected = oversized_.load(std::memory_order_relaxed);
+    s.parse_errors = parse_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> keepalive_reuse_{0};
+  std::atomic<std::uint64_t> idle_{0};
+  std::atomic<std::uint64_t> header_{0};
+  std::atomic<std::uint64_t> slow_{0};
+  std::atomic<std::uint64_t> refused_{0};
+  std::atomic<std::uint64_t> oversized_{0};
+  std::atomic<std::uint64_t> parse_{0};
+};
+
 class ServerStats {
  public:
   explicit ServerStats(double throughput_bin_paper_s = 60.0)
@@ -94,6 +153,14 @@ class ServerStats {
     return stage_metrics_.breakdown();
   }
 
+  // End-to-end response-time percentiles (accept -> writer) per class, in
+  // paper-seconds. Backing data for machine-readable bench output.
+  LatencySummary response_summary(RequestClass cls) const;
+
+  // Counters maintained by the socket transport serving this server.
+  TransportCounters& transport() { return transport_; }
+  const TransportCounters& transport() const { return transport_; }
+
   std::uint64_t shed(RequestClass cls) const;
   std::uint64_t shed_total() const;
 
@@ -122,8 +189,10 @@ class ServerStats {
   WindowedCounter lengthy_counter_;
   StageMetrics stage_metrics_;
   std::array<std::atomic<std::uint64_t>, 3> shed_{};
+  TransportCounters transport_;
 
   mutable std::mutex mu_;
+  std::array<Histogram, 3> response_hist_{};
   std::map<std::string, OnlineStats> page_response_;
   std::map<std::string, std::unique_ptr<WindowedCounter>> page_counters_;
   std::map<std::string, std::unique_ptr<TimeSeries>> queues_;

@@ -1,17 +1,633 @@
 #include "src/server/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
+#include <vector>
 
 #include "src/common/logging.h"
 #include "src/http/parser.h"
+#include "src/http/response.h"
+#include "src/http/serializer.h"
 
 namespace tempest::server {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+// Retries on EINTR; returns false on any other error (e.g. EPIPE from a
+// client that went away — the caller drops the connection either way).
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_all(int fd, const std::string& data) {
+  return send_all(fd, data.data(), data.size());
+}
+
+int make_listen_socket(std::uint16_t port, int backlog, std::uint16_t* bound) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("bind() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  *bound = ntohs(addr.sin_port);
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    throw std::runtime_error("listen() failed");
+  }
+  return fd;
+}
+
+std::string transport_error_wire(http::Response response) {
+  return http::serialize_response(response, /*head_only=*/false,
+                                  http::ConnectionDirective::kClose);
+}
+
+// epoll user-data tags for the two non-connection fds; connection ids start
+// above these.
+constexpr std::uint64_t kListenTag = 0;
+constexpr std::uint64_t kWakeTag = 1;
+constexpr std::uint64_t kFirstConnId = 2;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Reactor internals
+// ---------------------------------------------------------------------------
+
+// A finished response travelling from a pool thread back to the reactor.
+struct Completion {
+  std::uint64_t conn_id = 0;
+  std::string bytes;
+  bool close_after = false;
+};
+
+// State shared between the reactor thread and ResponseWriters living on pool
+// threads: the outbound completion queue and the eventfd that wakes the
+// reactor when something lands in it.
+struct TransportShared {
+  std::mutex mu;
+  std::vector<Completion> queue;
+  bool stopped = false;
+  int wake_fd = -1;
+
+  void post(Completion completion) {
+    std::lock_guard lock(mu);
+    if (stopped) return;  // listener gone: drop the response bytes
+    queue.push_back(std::move(completion));
+    wake_locked();
+  }
+
+  void wake() {
+    std::lock_guard lock(mu);
+    if (!stopped) wake_locked();
+  }
+
+ private:
+  void wake_locked() {
+    if (wake_fd < 0) return;
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd, &one, sizeof(one));
+  }
+};
+
+namespace {
+
+// Hands the serialized response from a pool thread to the reactor. One
+// writer per request; if the server ever drops a request without sending
+// (it shouldn't — pools drain on shutdown), the destructor posts an empty
+// close so the connection is torn down instead of leaking until stop().
+class ReactorWriter : public ResponseWriter {
+ public:
+  ReactorWriter(std::shared_ptr<TransportShared> shared,
+                std::uint64_t conn_id, bool close_after)
+      : shared_(std::move(shared)),
+        conn_id_(conn_id),
+        close_after_(close_after) {}
+
+  ~ReactorWriter() override {
+    if (!sent_) shared_->post({conn_id_, std::string(), true});
+  }
+
+  void send(std::string bytes) override {
+    sent_ = true;
+    shared_->post({conn_id_, std::move(bytes), close_after_});
+  }
+
+ private:
+  std::shared_ptr<TransportShared> shared_;
+  std::uint64_t conn_id_;
+  bool close_after_;
+  bool sent_ = false;
+};
+
+}  // namespace
+
+// Per-connection state machine. All fields are reactor-thread-only.
+struct TcpListener::Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+
+  http::RequestParser parser;
+  std::string inbuf;  // read but not yet consumed by the parser
+  std::string raw;    // wire bytes of the request currently being assembled
+
+  std::string outbuf;  // serialized response(s) awaiting write
+  std::size_t out_off = 0;
+
+  std::uint32_t events = 0;  // currently-registered epoll interest
+  bool read_closed = false;  // client half-closed its sending side
+  bool in_flight = false;    // a request is inside the server pipeline
+  bool close_after_flush = false;
+  bool header_armed = false;  // header timeout set for the current request
+  std::uint64_t served = 0;   // requests dispatched on this connection
+
+  bool timer_armed = false;
+  SteadyClock::time_point deadline{};
+
+  bool idle() const {
+    return raw.empty() &&
+           parser.state() == http::RequestParser::State::kRequestLine;
+  }
+};
+
+// Hashed timer wheel. Deadlines are bucketed into kTickMs slots; entries are
+// lazily validated against the connection's live deadline when their slot
+// drains, so re-arming never needs removal.
+class TcpListener::Wheel {
+ public:
+  static constexpr int kTickMs = 20;
+  static constexpr std::size_t kSlots = 256;
+
+  explicit Wheel(SteadyClock::time_point now) : last_tick_(tick_of(now)) {}
+
+  void schedule(std::uint64_t id, SteadyClock::time_point deadline) {
+    slots_[static_cast<std::size_t>(tick_of(deadline)) % kSlots].push_back(id);
+  }
+
+  // Drains every slot whose tick has passed into `out` (candidates only —
+  // the caller re-checks each connection's current deadline).
+  void advance(SteadyClock::time_point now, std::vector<std::uint64_t>& out) {
+    const std::int64_t now_tick = tick_of(now);
+    const std::int64_t span = now_tick - last_tick_;
+    if (span <= 0) return;
+    const std::int64_t steps =
+        std::min<std::int64_t>(span, static_cast<std::int64_t>(kSlots));
+    for (std::int64_t i = 1; i <= steps; ++i) {
+      auto& slot = slots_[static_cast<std::size_t>(last_tick_ + i) % kSlots];
+      out.insert(out.end(), slot.begin(), slot.end());
+      slot.clear();
+    }
+    last_tick_ = now_tick;
+  }
+
+ private:
+  static std::int64_t tick_of(SteadyClock::time_point t) {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               t.time_since_epoch())
+               .count() /
+           kTickMs;
+  }
+
+  std::array<std::vector<std::uint64_t>, kSlots> slots_;
+  std::int64_t last_tick_;
+};
+
+struct TcpListener::Impl {
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
+  std::uint64_t next_id = kFirstConnId;
+  std::vector<std::uint64_t> expired;  // scratch for wheel drains
+};
+
+// ---------------------------------------------------------------------------
+// TcpListener
+// ---------------------------------------------------------------------------
+
+TcpListener::TcpListener(WebServer& server, std::uint16_t port,
+                         TransportConfig config, ServerStats* stats)
+    : server_(server), config_(config) {
+  if (stats != nullptr) {
+    counters_ = &stats->transport();
+  } else {
+    owned_counters_ = std::make_unique<TransportCounters>();
+    counters_ = owned_counters_.get();
+  }
+
+  listen_fd_ = make_listen_socket(port, config_.listen_backlog, &port_);
+  const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
+  ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("epoll_create1() failed");
+  }
+
+  shared_ = std::make_shared<TransportShared>();
+  shared_->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (shared_->wake_fd < 0) {
+    ::close(epoll_fd_);
+    ::close(listen_fd_);
+    throw std::runtime_error("eventfd() failed");
+  }
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, shared_->wake_fd, &ev);
+
+  wheel_ = std::make_unique<Wheel>(SteadyClock::now());
+  impl_ = std::make_unique<Impl>();
+  reactor_ = std::thread([this] { reactor_loop(); });
+}
+
+TcpListener::~TcpListener() { stop(); }
+
+void TcpListener::stop() {
+  if (stop_.exchange(true)) return;
+  shared_->wake();
+  if (reactor_.joinable()) reactor_.join();
+}
+
+void TcpListener::reactor_loop() {
+  std::array<epoll_event, 128> events;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int timeout_ms = impl_->conns.empty() ? -1 : Wheel::kTickMs;
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      LOG_WARN << "epoll_wait failed: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n && !stop_.load(std::memory_order_acquire); ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      const std::uint32_t ev = events[i].events;
+      if (tag == kListenTag) {
+        accept_ready();
+        continue;
+      }
+      if (tag == kWakeTag) {
+        std::uint64_t drain = 0;
+        while (::read(shared_->wake_fd, &drain, sizeof(drain)) > 0) {
+        }
+        drain_completions();
+        continue;
+      }
+      auto it = impl_->conns.find(tag);
+      if (it == impl_->conns.end()) continue;  // closed earlier in this batch
+      if (ev & (EPOLLERR | EPOLLHUP)) {
+        close_conn(tag);
+        continue;
+      }
+      if (ev & EPOLLOUT) {
+        on_writable(*it->second);
+        it = impl_->conns.find(tag);  // may have closed during the write
+        if (it == impl_->conns.end()) continue;
+      }
+      if (ev & (EPOLLIN | EPOLLRDHUP)) on_readable(*it->second);
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+
+    impl_->expired.clear();
+    wheel_->advance(SteadyClock::now(), impl_->expired);
+    for (const std::uint64_t id : impl_->expired) expire(id);
+  }
+
+  // Teardown (reactor thread still owns everything here). Mark the shared
+  // state stopped first so pool threads stop posting, then release fds.
+  {
+    std::lock_guard lock(shared_->mu);
+    shared_->stopped = true;
+    ::close(shared_->wake_fd);
+    shared_->wake_fd = -1;
+  }
+  for (auto& [id, conn] : impl_->conns) {
+    ::close(conn->fd);
+    counters_->on_close();
+  }
+  impl_->conns.clear();
+  open_connections_.store(0, std::memory_order_relaxed);
+  ::close(epoll_fd_);
+  ::close(listen_fd_);
+}
+
+void TcpListener::accept_ready() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (stop_.load(std::memory_order_acquire)) break;
+      continue;  // ECONNABORTED etc. — keep accepting
+    }
+    if (impl_->conns.size() >= config_.max_connections) {
+      counters_->on_refused();
+      ::close(fd);
+      continue;
+    }
+    counters_->on_accept();
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->id = impl_->next_id++;
+
+    epoll_event ev{};
+    ev.events = conn->events = EPOLLIN | EPOLLRDHUP;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      counters_->on_close();
+      continue;
+    }
+    arm(*conn, config_.idle_timeout_ms);  // nothing received yet
+    impl_->conns.emplace(conn->id, std::move(conn));
+    open_connections_.store(impl_->conns.size(), std::memory_order_relaxed);
+  }
+}
+
+void TcpListener::drain_completions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard lock(shared_->mu);
+    batch.swap(shared_->queue);
+  }
+  for (Completion& completion : batch) {
+    auto it = impl_->conns.find(completion.conn_id);
+    if (it == impl_->conns.end()) continue;  // client already went away
+    Conn& conn = *it->second;
+    conn.in_flight = false;
+    conn.close_after_flush |= completion.close_after;
+    conn.outbuf.append(completion.bytes);
+    try_flush(conn);
+  }
+}
+
+void TcpListener::on_readable(Conn& conn) {
+  const std::uint64_t id = conn.id;
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.inbuf.append(buf, static_cast<std::size_t>(n));
+      // While a request is in flight we still drain pipelined bytes, but a
+      // flood beyond the request cap means a misbehaving client: bail. When
+      // no response is pending, process_input gets to answer with a 413
+      // first; mid-response the ordering guarantee forbids that, so close.
+      if (conn.inbuf.size() > config_.max_request_bytes + 1) {
+        if (conn.in_flight || !conn.outbuf.empty()) {
+          counters_->on_oversized();
+          close_conn(id);
+          return;
+        }
+        break;
+      }
+      continue;
+    }
+    if (n == 0) {
+      conn.read_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close_conn(id);  // ECONNRESET and friends
+    return;
+  }
+  if (conn.read_closed) {
+    // Nothing more will arrive; keep only write interest (responses for
+    // requests already received may still need delivery).
+    update_interest(conn, false, !conn.outbuf.empty());
+  }
+  process_input(conn);
+}
+
+void TcpListener::process_input(Conn& conn) {
+  const std::uint64_t id = conn.id;
+  // One request at a time per connection: responses must leave in request
+  // order, so the next request is parsed only once the previous response
+  // has fully flushed. (Pipelined bytes wait in inbuf.)
+  while (!conn.in_flight && conn.outbuf.empty() && !conn.close_after_flush &&
+         !conn.inbuf.empty()) {
+    const std::size_t n = conn.parser.feed(conn.inbuf);
+    conn.raw.append(conn.inbuf, 0, n);
+    conn.inbuf.erase(0, n);
+    if (conn.parser.failed()) {
+      counters_->on_parse_error();
+      respond_directly(
+          conn, transport_error_wire(
+                    http::Response::bad_request(conn.parser.error())));
+      return;
+    }
+    if (conn.raw.size() > config_.max_request_bytes) {
+      counters_->on_oversized();
+      respond_directly(conn,
+                       transport_error_wire(http::Response::make(
+                           http::Status::kPayloadTooLarge,
+                           "<html><body><h1>413 Payload Too Large</h1>"
+                           "</body></html>")));
+      return;
+    }
+    if (conn.parser.complete()) {
+      dispatch(conn);
+    } else {
+      break;  // need more bytes
+    }
+  }
+
+  if (conn.read_closed && !conn.in_flight && conn.outbuf.empty()) {
+    // EOF with nothing pending: either a clean close between requests or an
+    // incomplete request we will never be able to answer.
+    close_conn(id);
+    return;
+  }
+
+  if (!conn.in_flight && conn.outbuf.empty()) {
+    if (conn.idle()) {
+      conn.header_armed = false;
+      arm(conn, config_.idle_timeout_ms);
+    } else if (!conn.header_armed) {
+      // The header clock starts when a request starts and is NOT refreshed
+      // per byte — a trickling client cannot hold a connection forever.
+      conn.header_armed = true;
+      arm(conn, config_.header_timeout_ms);
+    }
+  }
+}
+
+void TcpListener::dispatch(Conn& conn) {
+  const http::Request& request = conn.parser.request();
+  ++conn.served;
+  counters_->on_request(conn.served > 1);
+
+  const bool keep_alive =
+      config_.keep_alive && request.keep_alive() && !conn.read_closed &&
+      (config_.max_requests_per_connection == 0 ||
+       conn.served < config_.max_requests_per_connection);
+
+  IncomingRequest incoming;
+  incoming.raw = std::move(conn.raw);
+  incoming.keep_alive = keep_alive;
+  incoming.writer =
+      std::make_shared<ReactorWriter>(shared_, conn.id, !keep_alive);
+  incoming.accepted = WallClock::now();
+  conn.raw.clear();
+  conn.parser.reset();
+  conn.in_flight = true;
+  conn.header_armed = false;
+  disarm(conn);  // server-side processing time is the pools' business
+  update_interest(conn, false, false);
+  server_.submit(std::move(incoming));
+}
+
+void TcpListener::respond_directly(Conn& conn, const std::string& wire) {
+  conn.close_after_flush = true;
+  conn.outbuf.append(wire);
+  try_flush(conn);
+}
+
+void TcpListener::try_flush(Conn& conn) {
+  const std::uint64_t id = conn.id;
+  while (conn.out_off < conn.outbuf.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbuf.data() + conn.out_off,
+               conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Socket buffer full: hand the rest to EPOLLOUT and start the
+      // slow-client clock (every later write that makes progress re-arms it
+      // on its next EAGAIN, so only a genuinely stalled peer expires).
+      update_interest(conn, !conn.read_closed && !conn.in_flight, true);
+      arm(conn, config_.write_timeout_ms);
+      return;
+    }
+    close_conn(id);  // EPIPE / ECONNRESET: client is gone
+    return;
+  }
+  conn.outbuf.clear();
+  conn.out_off = 0;
+  after_flush(conn);
+}
+
+void TcpListener::after_flush(Conn& conn) {
+  if (conn.close_after_flush) {
+    close_conn(conn.id);
+    return;
+  }
+  update_interest(conn, !conn.read_closed, false);
+  // A pipelined next request may already be buffered; this also handles the
+  // EOF-after-response case and re-arms the idle timer.
+  process_input(conn);
+}
+
+void TcpListener::on_writable(Conn& conn) { try_flush(conn); }
+
+void TcpListener::update_interest(Conn& conn, bool want_read,
+                                  bool want_write) {
+  std::uint32_t events = 0;
+  if (want_read && !conn.read_closed) events |= EPOLLIN;
+  if (want_write) events |= EPOLLOUT;
+  if (!conn.read_closed) events |= EPOLLRDHUP;
+  if (events == conn.events) return;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = conn.id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  conn.events = events;
+}
+
+void TcpListener::arm(Conn& conn, int timeout_ms) {
+  if (timeout_ms <= 0) {
+    conn.timer_armed = false;
+    return;
+  }
+  conn.timer_armed = true;
+  conn.deadline = SteadyClock::now() + std::chrono::milliseconds(timeout_ms);
+  wheel_->schedule(conn.id, conn.deadline);
+}
+
+void TcpListener::disarm(Conn& conn) { conn.timer_armed = false; }
+
+void TcpListener::expire(std::uint64_t id) {
+  auto it = impl_->conns.find(id);
+  if (it == impl_->conns.end()) return;
+  Conn& conn = *it->second;
+  if (!conn.timer_armed) return;  // stale wheel entry
+  const auto now = SteadyClock::now();
+  if (conn.deadline > now) {
+    wheel_->schedule(id, conn.deadline);  // re-armed since scheduling
+    return;
+  }
+  if (!conn.outbuf.empty()) {
+    counters_->on_slow_eviction();
+  } else if (conn.idle()) {
+    counters_->on_idle_timeout();
+  } else {
+    counters_->on_header_timeout();
+  }
+  close_conn(id);
+}
+
+void TcpListener::close_conn(std::uint64_t id) {
+  auto it = impl_->conns.find(id);
+  if (it == impl_->conns.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  ::close(it->second->fd);
+  impl_->conns.erase(it);
+  open_connections_.store(impl_->conns.size(), std::memory_order_relaxed);
+  counters_->on_close();
+}
+
+// ---------------------------------------------------------------------------
+// BlockingTcpListener (the seed transport, kept as the A/B baseline)
+// ---------------------------------------------------------------------------
 
 namespace {
 
@@ -21,22 +637,15 @@ bool read_full_request(int fd, std::string& out) {
   char buf[4096];
   while (!parser.complete() && !parser.failed()) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;  // a signal is not a dead client
+      return false;
+    }
+    if (n == 0) return false;
     parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
     out.append(buf, static_cast<std::size_t>(n));
   }
   return parser.complete();
-}
-
-bool write_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
 }
 
 class SocketWriter : public ResponseWriter {
@@ -46,7 +655,7 @@ class SocketWriter : public ResponseWriter {
     if (fd_ >= 0) ::close(fd_);
   }
   void send(std::string bytes) override {
-    write_all(fd_, bytes);
+    send_all(fd_, bytes);
     ::close(fd_);
     fd_ = -1;
   }
@@ -57,84 +666,203 @@ class SocketWriter : public ResponseWriter {
 
 }  // namespace
 
-TcpListener::TcpListener(WebServer& server, std::uint16_t port)
+BlockingTcpListener::BlockingTcpListener(WebServer& server, std::uint16_t port,
+                                         ServerStats* stats)
     : server_(server) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(listen_fd_);
-    throw std::runtime_error("bind() failed");
+  if (stats != nullptr) {
+    counters_ = &stats->transport();
+  } else {
+    owned_counters_ = std::make_unique<TransportCounters>();
+    counters_ = owned_counters_.get();
   }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 256) != 0) {
-    ::close(listen_fd_);
-    throw std::runtime_error("listen() failed");
-  }
+  listen_fd_ = make_listen_socket(port, 256, &port_);
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
-TcpListener::~TcpListener() { stop(); }
+BlockingTcpListener::~BlockingTcpListener() { stop(); }
 
-void TcpListener::stop() {
+void BlockingTcpListener::stop() {
   if (stop_.exchange(true)) return;
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
   if (acceptor_.joinable()) acceptor_.join();
 }
 
-void TcpListener::accept_loop() {
+void BlockingTcpListener::accept_loop() {
   while (!stop_.load()) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (stop_.load()) break;
       continue;
     }
+    counters_->on_accept();
     std::string raw;
     if (!read_full_request(fd, raw)) {
       ::close(fd);
+      counters_->on_close();
       continue;
     }
+    counters_->on_request(false);
     IncomingRequest req;
     req.raw = std::move(raw);
     req.writer = std::make_shared<SocketWriter>(fd);
     req.accepted = WallClock::now();
     server_.submit(std::move(req));
+    counters_->on_close();  // SocketWriter closes after the response
   }
 }
 
-std::string tcp_roundtrip(std::uint16_t port, const std::string& raw_request) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw std::runtime_error("socket() failed");
+// ---------------------------------------------------------------------------
+// TcpClient / tcp_roundtrip
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void set_io_timeouts(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+// Content-Length out of a response header block (case-insensitive), or 0.
+std::size_t parse_content_length(std::string_view headers) {
+  std::size_t pos = 0;
+  while (pos < headers.size()) {
+    std::size_t eol = headers.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = headers.size();
+    std::string_view line = headers.substr(pos, eol - pos);
+    constexpr std::string_view kName = "content-length:";
+    if (line.size() > kName.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < kName.size(); ++i) {
+        const char c = line[i];
+        const char lower =
+            (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+        if (lower != kName[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        return static_cast<std::size_t>(
+            std::strtoull(std::string(line.substr(kName.size())).c_str(),
+                          nullptr, 10));
+      }
+    }
+    pos = eol + 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+TcpClient::TcpClient(std::uint16_t port, int io_timeout_ms) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  set_io_timeouts(fd_, io_timeout_ms);
+  // Without this, a fragmented send on a long-lived connection stalls on
+  // Nagle waiting for the server's delayed ACK (~40ms per request).
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
     throw std::runtime_error("connect() failed");
   }
-  if (!write_all(fd, raw_request)) {
-    ::close(fd);
-    throw std::runtime_error("send() failed");
+  connected_ = true;
+}
+
+TcpClient::~TcpClient() { close(); }
+
+void TcpClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
   }
-  ::shutdown(fd, SHUT_WR);
-  std::string response;
-  char buf[4096];
-  ssize_t n;
-  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
-    response.append(buf, static_cast<std::size_t>(n));
+  connected_ = false;
+}
+
+void TcpClient::send_raw(const std::string& bytes) {
+  if (fd_ < 0 || !send_all(fd_, bytes)) {
+    connected_ = false;
+    throw std::runtime_error("send() failed (connection closed?)");
   }
-  ::close(fd);
+}
+
+std::string TcpClient::request(const std::string& raw_request) {
+  send_raw(raw_request);
+  return read_response();
+}
+
+std::string TcpClient::read_response() {
+  // Read until the header block is complete.
+  std::size_t header_end;
+  while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    char buf[8192];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      buffer_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      connected_ = false;
+      throw std::runtime_error("connection closed before response headers");
+    }
+    if (errno == EINTR) continue;
+    connected_ = false;
+    throw std::runtime_error("recv() failed or timed out");
+  }
+  const std::size_t body_len = parse_content_length(
+      std::string_view(buffer_).substr(0, header_end + 2));
+  const std::size_t total = header_end + 4 + body_len;
+  while (buffer_.size() < total) {
+    char buf[8192];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      buffer_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      connected_ = false;
+      throw std::runtime_error("connection closed mid-body");
+    }
+    if (errno == EINTR) continue;
+    connected_ = false;
+    throw std::runtime_error("recv() failed or timed out");
+  }
+  std::string response = buffer_.substr(0, total);
+  buffer_.erase(0, total);
   return response;
+}
+
+bool TcpClient::server_closed(int wait_ms) {
+  if (fd_ < 0) return true;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int n = ::poll(&pfd, 1, wait_ms);
+  if (n <= 0) return false;  // timeout: still open (or poll error)
+  char probe;
+  const ssize_t r = ::recv(fd_, &probe, 1, MSG_PEEK);
+  if (r == 0) {
+    connected_ = false;
+    return true;
+  }
+  return false;
+}
+
+std::string tcp_roundtrip(std::uint16_t port, const std::string& raw_request) {
+  TcpClient client(port);
+  client.send_raw(raw_request);
+  try {
+    return client.read_response();
+  } catch (const std::runtime_error&) {
+    return std::string();  // closed without a (complete) response
+  }
 }
 
 }  // namespace tempest::server

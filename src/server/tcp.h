@@ -1,27 +1,46 @@
-// Real-socket transport: a TCP listener thread accepts connections, reads
-// one HTTP request per connection, and submits it to a WebServer. Used by
-// the examples and integration tests; the benchmark harness uses the
-// in-process transport for determinism.
+// Real-socket transports.
 //
-// Connection handling is one-request-per-connection (the listener sends
-// "Connection: close" semantics); keep-alive is intentionally out of scope —
-// the paper measures request scheduling, not connection reuse.
+// TcpListener is an epoll-based reactor: one event-loop thread does
+// non-blocking accept4, feeds arriving bytes incrementally into a
+// per-connection http::RequestParser, and hands complete requests to the
+// WebServer's pools. Worker threads never touch the socket — completed
+// responses come back through an eventfd-woken outbound queue and are
+// written non-blockingly, driven by EPOLLOUT, so a slow-reading client can
+// never stall a pool thread. Connections are HTTP/1.1 keep-alive by default
+// (Connection: close honored, per-connection request caps configurable) and
+// guarded by a timer wheel: header-read, keep-alive-idle, and write-stall
+// timeouts, plus max-connection and max-request-size limits.
+//
+// BlockingTcpListener is the seed transport — a single acceptor thread doing
+// blocking reads of one request per connection — kept as the comparison
+// baseline for bench/fig11_transport (it head-of-line-blocks every accept
+// behind the slowest client; the bench shows exactly that).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <thread>
 
+#include "src/server/server_config.h"
+#include "src/server/server_stats.h"
 #include "src/server/transport.h"
 
 namespace tempest::server {
 
+// State shared between the reactor thread and in-flight ResponseWriters:
+// the outbound completion queue and its wake eventfd. Defined in tcp.cpp.
+struct TransportShared;
+
 class TcpListener {
  public:
   // Binds to 127.0.0.1:`port` (0 picks an ephemeral port) and starts the
-  // accept loop. Throws std::runtime_error on bind failure.
-  TcpListener(WebServer& server, std::uint16_t port);
+  // reactor thread. Counters are recorded into `stats->transport()` when a
+  // ServerStats is supplied, else into an internal instance (see counters()).
+  // Throws std::runtime_error on socket/bind/epoll failure.
+  TcpListener(WebServer& server, std::uint16_t port,
+              TransportConfig config = {}, ServerStats* stats = nullptr);
   ~TcpListener();
 
   TcpListener(const TcpListener&) = delete;
@@ -29,20 +48,130 @@ class TcpListener {
 
   std::uint16_t port() const { return port_; }
 
+  const TransportCounters& counters() const { return *counters_; }
+
+  // Connections currently open (reactor-thread-maintained, racy-read ok).
+  std::size_t open_connections() const {
+    return open_connections_.load(std::memory_order_relaxed);
+  }
+
+  void stop();
+
+ private:
+  struct Conn;
+  class Wheel;
+
+  void reactor_loop();
+  void accept_ready();
+  void drain_completions();
+  void on_readable(Conn& conn);
+  void on_writable(Conn& conn);
+  void process_input(Conn& conn);
+  void dispatch(Conn& conn);
+  void respond_directly(Conn& conn, const std::string& wire);
+  void try_flush(Conn& conn);
+  void after_flush(Conn& conn);
+  void update_interest(Conn& conn, bool want_read, bool want_write);
+  void arm(Conn& conn, int timeout_ms);
+  void disarm(Conn& conn);
+  void expire(std::uint64_t id);
+  void close_conn(std::uint64_t id);
+
+  WebServer& server_;
+  const TransportConfig config_;
+  TransportCounters* counters_;  // stats->transport() or owned_counters_
+  std::unique_ptr<TransportCounters> owned_counters_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> open_connections_{0};
+  std::shared_ptr<TransportShared> shared_;  // outbound queue + wake eventfd
+  std::unique_ptr<Wheel> wheel_;
+
+  // Reactor-thread-only state, defined in tcp.cpp.
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+
+  std::thread reactor_;
+};
+
+// The seed transport: accepts one connection at a time, blocking-reads the
+// full request on the acceptor thread, and answers with Connection: close.
+// Retained for A/B benchmarks against the reactor; new code should use
+// TcpListener.
+class BlockingTcpListener {
+ public:
+  BlockingTcpListener(WebServer& server, std::uint16_t port,
+                      ServerStats* stats = nullptr);
+  ~BlockingTcpListener();
+
+  BlockingTcpListener(const BlockingTcpListener&) = delete;
+  BlockingTcpListener& operator=(const BlockingTcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  const TransportCounters& counters() const { return *counters_; }
+
   void stop();
 
  private:
   void accept_loop();
 
   WebServer& server_;
+  TransportCounters* counters_;
+  std::unique_ptr<TransportCounters> owned_counters_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
   std::thread acceptor_;
 };
 
+// Blocking HTTP/1.1 test client for 127.0.0.1:`port`. Unlike tcp_roundtrip
+// it keeps the connection open between request() calls, so it exercises
+// keep-alive reuse, and it reads exactly one response per request by HTTP
+// framing (status line + headers + Content-Length body) instead of reading
+// to EOF. Send/recv use SO_SNDTIMEO/SO_RCVTIMEO so a wedged server fails a
+// test instead of hanging it.
+class TcpClient {
+ public:
+  // Connects immediately. Throws std::runtime_error on failure.
+  explicit TcpClient(std::uint16_t port, int io_timeout_ms = 10000);
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  // Sends `raw_request` and returns one complete framed response. Throws on
+  // send failure, malformed framing, timeout, or server close mid-response.
+  std::string request(const std::string& raw_request);
+
+  // Sends raw bytes without waiting for a response (for fragmented-send and
+  // slow-client tests). Throws on failure.
+  void send_raw(const std::string& bytes);
+
+  // Reads one framed response for a request already sent via send_raw.
+  std::string read_response();
+
+  // True while the server has not closed its end. Updated when a read sees
+  // EOF; probe() can detect a close proactively.
+  bool connected() const { return connected_; }
+
+  // Non-destructive close probe: peeks the socket with a short timeout and
+  // returns true if the server closed the connection.
+  bool server_closed(int wait_ms = 500);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;  // bytes read beyond the previous response
+};
+
 // Minimal blocking HTTP client for tests/examples: one request per
-// connection against 127.0.0.1:`port`. Returns the raw response bytes.
+// connection against 127.0.0.1:`port`. Returns the raw response bytes
+// (one framed response; empty on connection close without a response).
 std::string tcp_roundtrip(std::uint16_t port, const std::string& raw_request);
 
 }  // namespace tempest::server

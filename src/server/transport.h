@@ -25,6 +25,10 @@ struct IncomingRequest {
   std::string raw;  // request bytes as read from the connection
   std::shared_ptr<ResponseWriter> writer;
   WallClock::time_point accepted = WallClock::now();
+  // Set by the transport when the connection stays open after this response
+  // (client asked for keep-alive AND the transport granted it). The
+  // completion path advertises it back via the Connection response header.
+  bool keep_alive = false;
 };
 
 class WebServer {

@@ -37,6 +37,10 @@ void collect_server_side(Server& server, ExperimentResults& results) {
   results.server_completed_total = stats.completed_total();
   results.server_shed_total = stats.shed_total();
   results.stage_breakdown = stats.stage_breakdown();
+  for (std::size_t c = 0; c < results.response_by_class.size(); ++c) {
+    results.response_by_class[c] =
+        stats.response_summary(static_cast<server::RequestClass>(c));
+  }
   for (const std::string& name : stats.queue_names()) {
     results.queue_series[name] = stats.queue_series(name);
   }

@@ -3,6 +3,7 @@
 // collects everything the paper's tables and figures need.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -55,6 +56,10 @@ struct ExperimentResults {
   // Per-stage queue-wait / service-time decomposition (from RequestContext
   // stage traces): the server-side explanation of Figures 7-10.
   std::vector<server::StageMetrics::Row> stage_breakdown;
+
+  // End-to-end response-time digests per request class (accept -> writer),
+  // indexed by server::RequestClass. Feeds the machine-readable bench output.
+  std::array<LatencySummary, 3> response_by_class{};
 
   // Queue-length series per pool (Figures 7-8); the baseline has a single
   // "dynamic" queue.

@@ -129,6 +129,91 @@ TEST(ParserTest, IncompleteRequestReportsAsSuch) {
   EXPECT_EQ(error, "incomplete request");
 }
 
+// --- adversarial fragmentation: how the epoll transport actually delivers
+// bytes. Splits land mid-token, mid-CRLF, and across the header/body
+// boundary; the parser must produce the same request regardless.
+
+TEST(ParserTest, SplitInsideCrlfPair) {
+  RequestParser parser;
+  parser.feed("GET /x HTTP/1.1\r");
+  EXPECT_EQ(parser.state(), RequestParser::State::kRequestLine);
+  parser.feed("\n");
+  EXPECT_TRUE(parser.request_line_parsed());
+  parser.feed("Host: a\r");
+  parser.feed("\n\r");
+  EXPECT_FALSE(parser.complete());
+  parser.feed("\n");
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.request().headers.get("Host"), "a");
+}
+
+TEST(ParserTest, SplitInsideHeaderName) {
+  RequestParser parser;
+  parser.feed("GET /x HTTP/1.1\r\nUser-Ag");
+  parser.feed("ent: tester\r\nAcc");
+  parser.feed("ept: text/html\r\n\r\n");
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.request().headers.get("User-Agent"), "tester");
+  EXPECT_EQ(parser.request().headers.get("Accept"), "text/html");
+}
+
+TEST(ParserTest, EveryPossibleSplitPointYieldsSameRequest) {
+  const std::string raw =
+      "POST /submit?a=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+  for (std::size_t cut = 1; cut < raw.size(); ++cut) {
+    RequestParser parser;
+    parser.feed(std::string_view(raw).substr(0, cut));
+    EXPECT_FALSE(parser.failed()) << "cut=" << cut;
+    parser.feed(std::string_view(raw).substr(cut));
+    ASSERT_TRUE(parser.complete()) << "cut=" << cut;
+    EXPECT_EQ(parser.request().uri.path, "/submit") << "cut=" << cut;
+    EXPECT_EQ(parser.request().body, "body") << "cut=" << cut;
+  }
+}
+
+TEST(ParserTest, BodySplitByteAtATime) {
+  RequestParser parser;
+  parser.feed("POST /x HTTP/1.1\r\nContent-Length: 6\r\n\r\n");
+  const std::string body = "abcdef";
+  for (char c : body) {
+    EXPECT_FALSE(parser.complete());
+    parser.feed(std::string_view(&c, 1));
+  }
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.request().body, "abcdef");
+}
+
+TEST(ParserTest, RejectsOversizedRequestLine) {
+  RequestParser parser;
+  // Feed an endless request line in chunks; the parser must fail once the
+  // kMaxRequestLine cap is crossed, not buffer forever waiting for CRLF.
+  const std::string chunk(1024, 'a');
+  parser.feed("GET /");
+  for (int i = 0; i < 10 && !parser.failed(); ++i) parser.feed(chunk);
+  EXPECT_TRUE(parser.failed());
+}
+
+TEST(ParserTest, RejectsOversizedHeaderBlock) {
+  RequestParser parser;
+  parser.feed("GET /x HTTP/1.1\r\n");
+  std::size_t fed = 0;
+  for (int i = 0; i < 100 && !parser.failed(); ++i) {
+    parser.feed("X-Pad-" + std::to_string(i) + ": " + std::string(1024, 'p') +
+                "\r\n");
+    fed += 1024;
+  }
+  EXPECT_TRUE(parser.failed());
+  EXPECT_LE(fed, RequestParser::kMaxHeaderBytes + 2048);
+}
+
+TEST(ParserTest, FailedParserStaysFailedOnMoreInput) {
+  RequestParser parser;
+  parser.feed("GARBAGE\r\n");
+  ASSERT_TRUE(parser.failed());
+  parser.feed("GET /x HTTP/1.1\r\n\r\n");
+  EXPECT_TRUE(parser.failed());  // requires reset() to recover
+}
+
 TEST(RequestTest, KeepAliveDefaults) {
   Request r;
   r.version = "HTTP/1.1";

@@ -1,0 +1,325 @@
+// The epoll reactor transport: keep-alive reuse, Connection: close,
+// fragmented sends, timeouts, connection caps, transport-level errors, and
+// the counters behind them — against both server variants.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/server/baseline_server.h"
+#include "src/server/staged_server.h"
+#include "src/server/tcp.h"
+#include "src/tpcw/handlers.h"
+#include "src/tpcw/populate.h"
+
+namespace tempest::server {
+namespace {
+
+std::string get(const std::string& path, bool close = false) {
+  std::string req = "GET " + path + " HTTP/1.1\r\nHost: x\r\n";
+  if (close) req += "Connection: close\r\n";
+  req += "\r\n";
+  return req;
+}
+
+class TransportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TimeScale::set(0.0001);
+    pop_ = tpcw::populate_tpcw(db_, tpcw::Scale::tiny());
+    app_ = tpcw::make_tpcw_application(
+        tpcw::TpcwState::from_population(tpcw::Scale::tiny(), pop_));
+    config_.db_connections = 8;
+    config_.baseline_threads = 8;
+    config_.header_threads = 2;
+    config_.static_threads = 2;
+    config_.general_threads = 6;
+    config_.lengthy_threads = 2;
+    config_.render_threads = 2;
+  }
+
+  void TearDown() override { TimeScale::set(0.005); }
+
+  db::Database db_;
+  tpcw::PopulationSummary pop_;
+  std::shared_ptr<const Application> app_;
+  ServerConfig config_;
+};
+
+// --- keep-alive ------------------------------------------------------------
+
+TEST_F(TransportTest, StagedServerServesManyRequestsOnOneConnection) {
+  StagedServer server(config_, app_, db_);
+  TcpListener listener(server, 0, config_.transport, &server.stats());
+
+  TcpClient client(listener.port());
+  for (int i = 0; i < 12; ++i) {
+    const std::string url =
+        i % 2 ? "/home?c_id=" + std::to_string(i + 1) : "/img/logo.gif";
+    const std::string response = client.request(get(url));
+    EXPECT_EQ(response.find("HTTP/1.1 200"), 0u) << "request " << i;
+    EXPECT_NE(response.find("Connection: keep-alive"), std::string::npos);
+  }
+  const auto counters = listener.counters().snapshot();
+  EXPECT_EQ(counters.accepted, 1u);
+  EXPECT_EQ(counters.requests, 12u);
+  EXPECT_EQ(counters.keepalive_reuse, 11u);
+
+  listener.stop();
+  server.shutdown();
+}
+
+TEST_F(TransportTest, BaselineServerServesManyRequestsOnOneConnection) {
+  BaselineServer server(config_, app_, db_);
+  TcpListener listener(server, 0, config_.transport, &server.stats());
+
+  TcpClient client(listener.port());
+  for (int i = 0; i < 10; ++i) {
+    const std::string response = client.request(get("/home?c_id=2"));
+    EXPECT_EQ(response.find("HTTP/1.1 200"), 0u) << "request " << i;
+  }
+  const auto counters = server.stats().transport().snapshot();
+  EXPECT_EQ(counters.accepted, 1u);
+  EXPECT_EQ(counters.keepalive_reuse, 9u);
+
+  listener.stop();
+  server.shutdown();
+}
+
+TEST_F(TransportTest, ConnectionCloseIsHonored) {
+  StagedServer server(config_, app_, db_);
+  TcpListener listener(server, 0, config_.transport, &server.stats());
+
+  TcpClient client(listener.port());
+  const std::string response =
+      client.request(get("/home?c_id=1", /*close=*/true));
+  EXPECT_EQ(response.find("HTTP/1.1 200"), 0u);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_TRUE(client.server_closed(2000));
+
+  listener.stop();
+  server.shutdown();
+}
+
+TEST_F(TransportTest, Http10DefaultsToClose) {
+  StagedServer server(config_, app_, db_);
+  TcpListener listener(server, 0, config_.transport, &server.stats());
+
+  TcpClient client(listener.port());
+  const std::string response =
+      client.request("GET /home?c_id=1 HTTP/1.0\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(response.find("HTTP/1.1 200"), 0u);
+  EXPECT_TRUE(client.server_closed(2000));
+
+  listener.stop();
+  server.shutdown();
+}
+
+TEST_F(TransportTest, MaxRequestsPerConnectionCapsReuse) {
+  TransportConfig transport;
+  transport.max_requests_per_connection = 3;
+  StagedServer server(config_, app_, db_);
+  TcpListener listener(server, 0, transport, &server.stats());
+
+  TcpClient client(listener.port());
+  for (int i = 0; i < 3; ++i) {
+    const std::string response = client.request(get("/img/logo.gif"));
+    EXPECT_EQ(response.find("HTTP/1.1 200"), 0u);
+    const bool last = i == 2;
+    EXPECT_EQ(response.find("Connection: close") != std::string::npos, last)
+        << "request " << i;
+  }
+  EXPECT_TRUE(client.server_closed(2000));
+
+  listener.stop();
+  server.shutdown();
+}
+
+// --- incremental parsing over the wire -------------------------------------
+
+TEST_F(TransportTest, FragmentedRequestBytesAreAssembled) {
+  StagedServer server(config_, app_, db_);
+  TcpListener listener(server, 0, config_.transport, &server.stats());
+
+  TcpClient client(listener.port());
+  const std::string request = get("/home?c_id=3");
+  // Trickle the request a few bytes at a time with real pauses: every chunk
+  // arrives as its own epoll event and feeds the parser incrementally.
+  for (std::size_t i = 0; i < request.size(); i += 7) {
+    client.send_raw(request.substr(i, 7));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::string response = client.read_response();
+  EXPECT_EQ(response.find("HTTP/1.1 200"), 0u);
+  EXPECT_NE(response.find("Welcome back"), std::string::npos);
+
+  listener.stop();
+  server.shutdown();
+}
+
+TEST_F(TransportTest, PipelinedRequestsAnsweredInOrder) {
+  StagedServer server(config_, app_, db_);
+  TcpListener listener(server, 0, config_.transport, &server.stats());
+
+  TcpClient client(listener.port());
+  // Send two requests back-to-back before reading anything; responses must
+  // arrive in request order (the reactor serializes per connection).
+  client.send_raw(get("/home?c_id=4") + get("/img/logo.gif"));
+  const std::string first = client.read_response();
+  const std::string second = client.read_response();
+  EXPECT_NE(first.find("Welcome back"), std::string::npos);
+  EXPECT_EQ(second.find("HTTP/1.1 200"), 0u);
+  EXPECT_NE(second.find("Content-Type: image/gif"), std::string::npos);
+
+  listener.stop();
+  server.shutdown();
+}
+
+// --- transport-level rejections --------------------------------------------
+
+TEST_F(TransportTest, MalformedRequestGets400FromTransport) {
+  StagedServer server(config_, app_, db_);
+  TcpListener listener(server, 0, config_.transport, &server.stats());
+
+  TcpClient client(listener.port());
+  const std::string response = client.request("GARBAGE\r\n\r\n");
+  EXPECT_EQ(response.find("HTTP/1.1 400"), 0u);
+  EXPECT_TRUE(client.server_closed(2000));
+  EXPECT_GE(listener.counters().snapshot().parse_errors, 1u);
+
+  listener.stop();
+  server.shutdown();
+}
+
+TEST_F(TransportTest, OversizedRequestGets413) {
+  TransportConfig transport;
+  transport.max_request_bytes = 256;
+  StagedServer server(config_, app_, db_);
+  TcpListener listener(server, 0, transport, &server.stats());
+
+  TcpClient client(listener.port());
+  client.send_raw("GET /home HTTP/1.1\r\nX-Filler: " +
+                  std::string(400, 'x'));
+  const std::string response = client.read_response();
+  EXPECT_EQ(response.find("HTTP/1.1 413"), 0u);
+  EXPECT_GE(listener.counters().snapshot().oversized_rejected, 1u);
+
+  listener.stop();
+  server.shutdown();
+}
+
+TEST_F(TransportTest, MaxConnectionsRefusesExtraClients) {
+  TransportConfig transport;
+  transport.max_connections = 2;
+  StagedServer server(config_, app_, db_);
+  TcpListener listener(server, 0, transport, &server.stats());
+
+  TcpClient first(listener.port());
+  TcpClient second(listener.port());
+  // Make sure both connections are registered before the third arrives.
+  EXPECT_EQ(first.request(get("/img/logo.gif")).find("HTTP/1.1 200"), 0u);
+  EXPECT_EQ(second.request(get("/img/logo.gif")).find("HTTP/1.1 200"), 0u);
+
+  TcpClient third(listener.port());
+  EXPECT_TRUE(third.server_closed(3000));
+  EXPECT_GE(listener.counters().snapshot().refused_max_connections, 1u);
+
+  listener.stop();
+  server.shutdown();
+}
+
+// --- timeouts --------------------------------------------------------------
+
+TEST_F(TransportTest, IdleConnectionIsTimedOut) {
+  TransportConfig transport;
+  transport.idle_timeout_ms = 100;
+  StagedServer server(config_, app_, db_);
+  TcpListener listener(server, 0, transport, &server.stats());
+
+  TcpClient client(listener.port());
+  EXPECT_TRUE(client.server_closed(3000));
+  EXPECT_GE(listener.counters().snapshot().idle_timeouts, 1u);
+
+  listener.stop();
+  server.shutdown();
+}
+
+TEST_F(TransportTest, StalledHeaderReadIsTimedOut) {
+  TransportConfig transport;
+  transport.header_timeout_ms = 100;
+  StagedServer server(config_, app_, db_);
+  TcpListener listener(server, 0, transport, &server.stats());
+
+  TcpClient client(listener.port());
+  client.send_raw("GET /home HTTP/1.1\r\nHost: x\r\n");  // never finishes
+  EXPECT_TRUE(client.server_closed(3000));
+  EXPECT_GE(listener.counters().snapshot().header_timeouts, 1u);
+
+  listener.stop();
+  server.shutdown();
+}
+
+// --- shutdown and lifetime -------------------------------------------------
+
+TEST_F(TransportTest, StopWithOpenConnectionsDoesNotHang) {
+  StagedServer server(config_, app_, db_);
+  auto listener = std::make_unique<TcpListener>(server, 0, config_.transport,
+                                                &server.stats());
+  TcpClient idle(listener->port());
+  TcpClient busy(listener->port());
+  EXPECT_EQ(busy.request(get("/img/logo.gif")).find("HTTP/1.1 200"), 0u);
+  listener->stop();
+  listener.reset();  // must not hang or crash with conns open
+  server.shutdown();
+  SUCCEED();
+}
+
+TEST_F(TransportTest, ConcurrentKeepAliveClients) {
+  StagedServer server(config_, app_, db_);
+  TcpListener listener(server, 0, config_.transport, &server.stats());
+
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back([&, i] {
+      TcpClient client(listener.port());
+      for (int j = 0; j < 5; ++j) {
+        const std::string url = (i + j) % 2
+                                    ? "/product_detail?i_id=" +
+                                          std::to_string(i + 1)
+                                    : "/img/logo.gif";
+        if (client.request(get(url)).find("HTTP/1.1 200") == 0) ++ok;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), 40);
+  const auto counters = listener.counters().snapshot();
+  EXPECT_EQ(counters.accepted, 8u);
+  EXPECT_EQ(counters.requests, 40u);
+  EXPECT_EQ(counters.keepalive_reuse, 32u);
+
+  listener.stop();
+  server.shutdown();
+}
+
+// --- the blocking baseline still works (bench comparison path) -------------
+
+TEST_F(TransportTest, BlockingListenerStillServes) {
+  StagedServer server(config_, app_, db_);
+  BlockingTcpListener listener(server, 0);
+  const std::string response = tcp_roundtrip(
+      listener.port(), get("/home?c_id=3"));
+  EXPECT_EQ(response.find("HTTP/1.1 200"), 0u);
+  EXPECT_NE(response.find("Welcome back"), std::string::npos);
+  listener.stop();
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace tempest::server
