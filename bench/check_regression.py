@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff fresh BENCH_*.json files against committed
+baselines and fail on large throughput regressions.
+
+Usage:
+    bench/check_regression.py --current-dir DIR [--baseline-dir bench/baselines]
+                              [--threshold 0.25]
+
+Only throughput-like metrics gate the build (keys matching THROUGHPUT_KEYS,
+where higher is better). Everything else -- latencies, stall times, counters
+-- is environment-noisy and reported for information only. A benchmark or
+metric present in the baseline but missing from the current run fails (a
+silently-dropped bench must not pass the gate); new benches/metrics with no
+baseline are reported and skipped.
+
+Thresholds are generous (default: fail below 75% of baseline) because CI
+machines differ from the machines that produced the baselines; this is a
+catch-the-cliff gate, not a profiler.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+# Higher-is-better metrics that gate the build.
+THROUGHPUT_KEYS = re.compile(
+    r"(_rps$|_speedup$|^hit_rate$|^throughput_per_paper_min$|^completed_total$)"
+)
+
+
+def flatten(bench: dict) -> dict:
+    """{variant.key: number} for every scalar metric in a BENCH json."""
+    flat = {}
+    for variant, fields in bench.get("variants", {}).items():
+        for key, value in fields.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                flat[f"{variant}.{key}"] = float(value)
+    return flat
+
+
+def gated(metric: str) -> bool:
+    return bool(THROUGHPUT_KEYS.search(metric.rsplit(".", 1)[-1]))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--current-dir", required=True)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed fractional drop (0.25 = 25%%)")
+    args = parser.parse_args()
+
+    baseline_dir = pathlib.Path(args.baseline_dir)
+    current_dir = pathlib.Path(args.current_dir)
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no baselines under {baseline_dir}; nothing to gate")
+        return 0
+
+    failures = []
+    for baseline_path in baselines:
+        current_path = current_dir / baseline_path.name
+        if not current_path.exists():
+            failures.append(f"{baseline_path.name}: missing from current run")
+            continue
+        base = flatten(json.loads(baseline_path.read_text()))
+        cur = flatten(json.loads(current_path.read_text()))
+        print(f"== {baseline_path.name}")
+        for metric, base_value in sorted(base.items()):
+            if metric not in cur:
+                if gated(metric):
+                    failures.append(f"{baseline_path.name}: {metric} missing")
+                continue
+            cur_value = cur[metric]
+            ratio = cur_value / base_value if base_value else float("inf")
+            flag = ""
+            if gated(metric):
+                if base_value > 0 and ratio < 1.0 - args.threshold:
+                    flag = "  <-- REGRESSION"
+                    failures.append(
+                        f"{baseline_path.name}: {metric} fell to "
+                        f"{ratio:.0%} of baseline "
+                        f"({cur_value:.3g} vs {base_value:.3g})")
+            else:
+                flag = "  (informational)"
+            print(f"  {metric}: {cur_value:.6g} vs baseline "
+                  f"{base_value:.6g} ({ratio:.0%} of baseline){flag}")
+        for metric in sorted(set(cur) - set(base)):
+            print(f"  {metric}: {cur[metric]:.6g} (no baseline, skipped)")
+
+    if failures:
+        print("\nFAIL: bench regression gate")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: no throughput regressions beyond "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

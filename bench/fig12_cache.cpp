@@ -1,0 +1,194 @@
+// Figure 12 (ours, not in the paper): what the render-output cache buys.
+//
+//  1. Hot-page hammer: closed-loop clients all fetching the same lengthy
+//     catalog page (/best_sellers) through the staged server, cache off vs
+//     on. Uncached, every request pays the order_line scan on a dynamic-pool
+//     thread plus a render-pool pass; cached, everything after the first
+//     request is a header-stage memcpy that touches no database connection.
+//  2. TPC-W mix A/B: the full emulated-browser workload, cache off vs on.
+//     Browsing-heavy interactions hit the cached catalog pages while the
+//     buy/admin write paths invalidate them, so this measures the cache
+//     under churn rather than a best case.
+//
+// Extra flags: --window=SEC wall hammer window (default 1.0),
+// --hammer-threads=N closed-loop clients in part 1 (default 16).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/clock.h"
+#include "src/db/database.h"
+#include "src/metrics/table.h"
+#include "src/server/staged_server.h"
+#include "src/server/transport.h"
+#include "src/tpcw/populate.h"
+
+namespace {
+
+using namespace tempest;
+using Clock = std::chrono::steady_clock;
+
+// The three hot catalog pages the hammer cycles through (all cacheable; the
+// third is the paper's slowest page class).
+constexpr const char* kHotPages[] = {
+    "/best_sellers?subject=ARTS&c_id=1",
+    "/new_products?subject=ARTS&c_id=1",
+    "/home?c_id=1",
+};
+
+double hammer_rps(server::StagedServer& server, int threads, double window_s) {
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> fleet;
+  fleet.reserve(threads);
+  const auto start = Clock::now();
+  for (int t = 0; t < threads; ++t) {
+    fleet.emplace_back([&, t] {
+      server::InProcClient client(server);
+      std::size_t i = t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string url = kHotPages[i++ % std::size(kHotPages)];
+        const std::string response = client.roundtrip(
+            "GET " + url + " HTTP/1.1\r\nHost: bench\r\n\r\n");
+        if (response.find("HTTP/1.1 200") == 0) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(window_s));
+  stop.store(true);
+  for (auto& t : fleet) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return static_cast<double>(completed.load()) / elapsed;
+}
+
+server::ServerConfig hammer_config(bool cache_on) {
+  server::ServerConfig config;
+  config.db_connections = 16;
+  config.header_threads = 4;
+  config.static_threads = 2;
+  config.general_threads = 12;
+  config.lengthy_threads = 4;
+  config.render_threads = 8;
+  config.cache.enabled = cache_on;
+  return config;
+}
+
+double hit_rate(const server::CacheCounters::Snapshot& cache) {
+  const double lookups =
+      static_cast<double>(cache.hits_total() + cache.misses);
+  return lookups > 0 ? static_cast<double>(cache.hits_total()) / lookups : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto run = bench::BenchRun::init(argc, argv);
+  // The hammer measures wall rates; compress paper time hard unless the user
+  // picked a scale (same convention as fig11).
+  if (!run.options.has("scale")) TimeScale::set(0.001);
+  const double window_s = run.options.get_double("window", 1.0);
+  const int hammer_threads = run.options.get_int("hammer-threads", 16);
+
+  std::printf(
+      "=== Figure 12: render-output cache, off vs on ===\n"
+      "part 1: %d closed-loop clients cycling %zu hot catalog pages, "
+      "%.1fs wall window per cell\n"
+      "part 2: full TPC-W mix with buy/admin invalidation\n\n",
+      hammer_threads, std::size(kHotPages), window_s);
+
+  db::Database db;
+  const auto scale = tpcw::Scale::tiny();
+  const auto pop = tpcw::populate_tpcw(db, scale);
+  auto app = tpcw::make_tpcw_application(
+      tpcw::TpcwState::from_population(scale, pop));
+
+  bench::BenchJson json(run, "fig12_cache");
+
+  // --- Part 1: hot-page hammer ----------------------------------------------
+  double off_rps = 0;
+  double on_rps = 0;
+  server::CacheCounters::Snapshot hammer_cache;
+  {
+    server::StagedServer web(hammer_config(false), app, db);
+    off_rps = hammer_rps(web, hammer_threads, window_s);
+    web.shutdown();
+  }
+  {
+    server::StagedServer web(hammer_config(true), app, db);
+    on_rps = hammer_rps(web, hammer_threads, window_s);
+    hammer_cache = web.stats().cache().snapshot();
+    web.shutdown();
+  }
+  const double speedup = off_rps > 0 ? on_rps / off_rps : 0.0;
+
+  metrics::Table hammer_table(
+      {"cache", "req/s", "speedup", "hit rate", "hits", "misses"});
+  hammer_table.add_row({"off", metrics::format_double(off_rps, 0), "1.00",
+                        "-", "-", "-"});
+  hammer_table.add_row(
+      {"on", metrics::format_double(on_rps, 0),
+       metrics::format_double(speedup, 2),
+       metrics::format_double(hit_rate(hammer_cache), 3),
+       metrics::format_int(
+           static_cast<std::int64_t>(hammer_cache.hits_total())),
+       metrics::format_int(static_cast<std::int64_t>(hammer_cache.misses))});
+  std::printf("%s\n", hammer_table.to_string().c_str());
+
+  json.add_scalar("hot_page_off", "hammer_rps", off_rps);
+  json.add_scalar("hot_page_on", "hammer_rps", on_rps);
+  json.add_scalar("hot_page_on", "hammer_speedup", speedup);
+  json.add_scalar("hot_page_on", "hit_rate", hit_rate(hammer_cache));
+
+  // --- Part 2: full TPC-W mix -----------------------------------------------
+  auto experiment = [&](bool cache_on) {
+    auto config = run.experiment(/*staged=*/true);
+    config.server.cache.enabled = cache_on;
+    return tpcw::run_experiment(config);
+  };
+  const auto mix_off = experiment(false);
+  const auto mix_on = experiment(true);
+
+  metrics::Table mix_table({"cache", "completed", "thr/paper-min", "hit rate",
+                            "hits", "invalidations", "304s"});
+  for (const auto* row : {&mix_off, &mix_on}) {
+    const bool on = row == &mix_on;
+    const double minutes = row->measured_paper_seconds / 60.0;
+    mix_table.add_row(
+        {on ? "on" : "off",
+         metrics::format_int(
+             static_cast<std::int64_t>(row->server_completed_total)),
+         metrics::format_double(
+             minutes > 0 ? row->server_completed_total / minutes : 0.0, 0),
+         metrics::format_double(hit_rate(row->cache), 3),
+         metrics::format_int(static_cast<std::int64_t>(
+             row->cache.hits_total())),
+         metrics::format_int(
+             static_cast<std::int64_t>(row->cache.invalidations)),
+         metrics::format_int(
+             static_cast<std::int64_t>(row->cache.not_modified))});
+  }
+  std::printf("%s\n", mix_table.to_string().c_str());
+  bench::print_stage_breakdown("TPC-W mix, cache on", mix_on);
+
+  json.add_experiment("mix_cache_off", mix_off);
+  json.add_experiment("mix_cache_on", mix_on);
+  json.add_scalar("mix_cache_on", "hit_rate", hit_rate(mix_on.cache));
+  json.add_scalar("mix_cache_on", "invalidations",
+                  static_cast<double>(mix_on.cache.invalidations));
+
+  // The hammer is the gate. The mix is report-only: at smoke scale the write
+  // paths invalidate faster than browse repeats arrive, so its hit count and
+  // completed delta are noise — run with --paper for a meaningful mix A/B.
+  const bool hammer_ok = speedup >= 2.0;
+  std::printf("hot-page speedup >= 2x with cache on: %s (%.2fx)\n",
+              hammer_ok ? "yes" : "NO", speedup);
+  json.write();
+  return hammer_ok ? 0 : 1;
+}

@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
       tpcw::TpcwState::from_population(scale, pop));
 
   server::ServerConfig config;
+  config.cache.enabled = true;  // catalog routes opt in; X-Cache shows hit/miss
   server::StagedServer web(config, app, db);
   server::TcpListener listener(
       web, static_cast<std::uint16_t>(options.get_int("port", 0)),

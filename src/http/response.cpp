@@ -1,5 +1,8 @@
 #include "src/http/response.h"
 
+#include <cstdint>
+#include <cstdio>
+
 #include "src/common/strutil.h"
 
 namespace tempest::http {
@@ -28,6 +31,63 @@ Response Response::server_error(const std::string& detail) {
   return make(Status::kInternalServerError,
               "<html><body><h1>500 Internal Server Error</h1><p>" +
                   html_escape(detail) + "</p></body></html>");
+}
+
+Response Response::not_modified(std::string etag, std::string last_modified) {
+  Response r;
+  r.status = Status::kNotModified;
+  if (!etag.empty()) r.headers.set("ETag", std::move(etag));
+  if (!last_modified.empty()) {
+    r.headers.set("Last-Modified", std::move(last_modified));
+  }
+  return r;
+}
+
+std::string strong_etag(std::string_view body) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (const char c : body) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  char buf[2 * sizeof(h) + 1];
+  static const char* hex = "0123456789abcdef";
+  for (std::size_t i = 0; i < 2 * sizeof(h); ++i) {
+    buf[i] = hex[(h >> (60 - 4 * i)) & 0xf];
+  }
+  buf[2 * sizeof(h)] = '\0';
+  std::string tag = "\"";
+  tag += buf;
+  tag += '-';
+  char size_hex[2 * sizeof(std::size_t) + 1];
+  std::snprintf(size_hex, sizeof(size_hex), "%zx", body.size());
+  tag += size_hex;
+  tag += '"';
+  return tag;
+}
+
+bool etag_matches(std::string_view if_none_match, std::string_view etag) {
+  if (etag.empty()) return false;
+  std::size_t pos = 0;
+  while (pos < if_none_match.size()) {
+    // Next comma-separated candidate, trimmed.
+    std::size_t comma = if_none_match.find(',', pos);
+    if (comma == std::string_view::npos) comma = if_none_match.size();
+    std::string_view candidate = if_none_match.substr(pos, comma - pos);
+    while (!candidate.empty() && (candidate.front() == ' ' ||
+                                  candidate.front() == '\t')) {
+      candidate.remove_prefix(1);
+    }
+    while (!candidate.empty() &&
+           (candidate.back() == ' ' || candidate.back() == '\t')) {
+      candidate.remove_suffix(1);
+    }
+    if (candidate == "*") return true;
+    // If-None-Match uses weak comparison: a W/ prefix is ignored.
+    if (candidate.substr(0, 2) == "W/") candidate.remove_prefix(2);
+    if (candidate == etag) return true;
+    pos = comma + 1;
+  }
+  return false;
 }
 
 }  // namespace tempest::http

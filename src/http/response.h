@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "src/http/headers.h"
 #include "src/http/status.h"
@@ -18,6 +19,18 @@ struct Response {
   static Response not_found(const std::string& path);
   static Response bad_request(const std::string& detail = "");
   static Response server_error(const std::string& detail = "");
+
+  // An empty-body 304 carrying the entity's validators, for conditional GET
+  // (If-None-Match / If-Modified-Since). `last_modified` may be empty.
+  static Response not_modified(std::string etag, std::string last_modified);
 };
+
+// Strong entity tag for a response body: "\"<64-bit hash hex>-<size hex>\"".
+// Deterministic across processes, so validators survive server restarts.
+std::string strong_etag(std::string_view body);
+
+// True when an If-None-Match header value (a "*" wildcard or a comma-
+// separated list of entity tags, possibly W/-prefixed) matches `etag`.
+bool etag_matches(std::string_view if_none_match, std::string_view etag);
 
 }  // namespace tempest::http

@@ -78,7 +78,8 @@ void BaselineServer::handle(RequestContext&& ctx) {
     ctx.cls = RequestClass::kStatic;
     const StaticStore::Entry* entry = app_->static_store.find(path);
     const http::Response response =
-        entry ? serve_static(*entry, config_) : http::Response::not_found(path);
+        entry ? serve_static(*entry, config_, ctx.request)
+              : http::Response::not_found(path);
     send_and_record(std::move(ctx), response, stats_, "static");
     return;
   }

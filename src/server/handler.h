@@ -19,11 +19,13 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <variant>
 
 #include "src/db/connection.h"
 #include "src/http/request.h"
 #include "src/http/status.h"
+#include "src/server/response_cache.h"
 #include "src/template/value.h"
 
 namespace tempest::server {
@@ -51,6 +53,17 @@ using HandlerResult = std::variant<StringResponse, TemplateResponse>;
 struct HandlerContext {
   const http::Request& request;
   db::Connection* db = nullptr;
+  // The server's render-output cache, or nullptr when caching is disabled.
+  // Write paths call invalidate() so stale catalog pages never outlive the
+  // writes that made them stale.
+  ResponseCache* cache = nullptr;
+
+  // Drops every cached response whose key starts with `path_prefix` (keys
+  // start with the route path, so "/best_sellers" clears all its variants).
+  // Returns the number of entries dropped; safe no-op without a cache.
+  std::size_t invalidate(std::string_view path_prefix) const {
+    return cache ? cache->invalidate(path_prefix) : 0;
+  }
 
   // Query-string parameter access (CherryPy maps these to function args).
   std::string param(const std::string& key,

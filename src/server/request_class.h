@@ -1,0 +1,17 @@
+// Request classification shared across the server layer. Split out of
+// request_context.h so low-level subsystems (e.g. the response cache's
+// per-class hit counters) can name a class without pulling in the pipeline
+// types — request_context.h includes handler.h, which includes the cache.
+#pragma once
+
+#include <cstddef>
+
+namespace tempest::server {
+
+enum class RequestClass { kStatic, kQuickDynamic, kLengthyDynamic };
+
+inline constexpr std::size_t kNumRequestClasses = 3;
+
+const char* to_string(RequestClass cls);
+
+}  // namespace tempest::server

@@ -19,21 +19,23 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "src/common/clock.h"
 #include "src/server/handler.h"
+#include "src/server/request_class.h"
 #include "src/server/transport.h"
 
 namespace tempest::server {
 
-enum class RequestClass { kStatic, kQuickDynamic, kLengthyDynamic };
-
-const char* to_string(RequestClass cls);
-
 // One stage pool per enumerator. kWorker is the baseline server's single
-// do-everything pool; the rest are the staged server's five pools.
+// do-everything pool; the rest are the staged server's five pools. kCache is
+// not a pool: it is the virtual stage stamped when a response-cache hit
+// short-circuits the pipeline in the header stage, so hits appear in the
+// per-stage breakdown alongside the pools they bypassed.
 enum class Stage : std::uint8_t {
   kHeader = 0,
+  kCache,
   kStatic,
   kGeneral,
   kLengthy,
@@ -41,7 +43,7 @@ enum class Stage : std::uint8_t {
   kWorker,
 };
 
-inline constexpr std::size_t kNumStages = 6;
+inline constexpr std::size_t kNumStages = 7;
 
 const char* to_string(Stage stage);
 
@@ -116,6 +118,10 @@ struct RequestContext {
   // Set by a dynamic stage whose handler returned an unrendered template;
   // consumed by the render stage.
   std::optional<TemplateResponse> render;
+  // Set by the header stage when the route is cacheable and the lookup
+  // missed: the render stage stores its output under this key. Empty
+  // otherwise (cache disabled, uncacheable route, or a hit was served).
+  std::string cache_key;
   StageTrace trace;
 
   RequestContext() = default;

@@ -70,16 +70,36 @@ http::Response render_template_response(const Application& app,
 }
 
 http::Response serve_static(const StaticStore::Entry& entry,
-                            const ServerConfig& config) {
+                            const ServerConfig& config,
+                            const http::Request& request) {
+  // If-None-Match takes precedence over If-Modified-Since (RFC 9110 §13.1.3:
+  // a recipient MUST ignore If-Modified-Since when the request contains an
+  // If-None-Match field). Dates compare by exact octet match — entries stamp
+  // IMF-fixdate at registration, so an echoed validator matches byte-for-byte.
+  bool not_modified = false;
+  if (const auto inm = request.headers.get("If-None-Match")) {
+    not_modified = http::etag_matches(*inm, entry.etag);
+  } else if (const auto ims = request.headers.get("If-Modified-Since")) {
+    not_modified = !entry.last_modified.empty() && *ims == entry.last_modified;
+  }
+  if (not_modified) {
+    // No body crosses the wire, so charge only the per-request dispatch cost.
+    paper_sleep_for(config.static_cost(0));
+    return http::Response::not_modified(entry.etag, entry.last_modified);
+  }
   paper_sleep_for(config.static_cost(entry.content.size()));
-  return http::Response::make(http::Status::kOk, entry.content,
-                              entry.mime_type);
+  http::Response response = http::Response::make(http::Status::kOk,
+                                                 entry.content,
+                                                 entry.mime_type);
+  response.headers.set("ETag", entry.etag);
+  response.headers.set("Last-Modified", entry.last_modified);
+  return response;
 }
 
 HandlerResult run_handler(const Handler& handler, const http::Request& request,
-                          db::Connection* conn) {
+                          db::Connection* conn, ResponseCache* cache) {
   try {
-    HandlerContext ctx{request, conn};
+    HandlerContext ctx{request, conn, cache};
     return handler(ctx);
   } catch (const std::exception& e) {
     LOG_WARN << "handler error for " << request.uri.path << ": " << e.what();

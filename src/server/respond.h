@@ -34,15 +34,20 @@ http::Response render_template_response(const Application& app,
                                         const ServerConfig& config,
                                         const TemplateResponse& tr);
 
-// Builds the response for a static-store hit, charging the static service
-// cost.
+// Builds the response for a static-store hit, honoring conditional-GET
+// validators: a matching If-None-Match (or, absent that header, an exact
+// If-Modified-Since match) yields a body-less 304 charged at the zero-byte
+// static cost; otherwise a 200 carrying the entry's ETag and Last-Modified.
 http::Response serve_static(const StaticStore::Entry& entry,
-                            const ServerConfig& config);
+                            const ServerConfig& config,
+                            const http::Request& request);
 
 // Runs `handler` with the thread's connection, translating exceptions into
-// a 500 StringResponse.
+// a 500 StringResponse. `cache` (nullable) is exposed to the handler so
+// write paths can invalidate cached pages.
 HandlerResult run_handler(const Handler& handler, const http::Request& request,
-                          db::Connection* conn);
+                          db::Connection* conn,
+                          ResponseCache* cache = nullptr);
 
 http::Response to_response(const StringResponse& sr);
 

@@ -1,0 +1,157 @@
+#include "src/server/response_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace tempest::server {
+
+ResponseCache::ResponseCache(CacheConfig config, CacheCounters* counters)
+    : config_(config),
+      per_shard_entries_(std::max<std::size_t>(
+          1, config.max_entries / std::max<std::size_t>(1, config.shards))),
+      per_shard_bytes_(std::max<std::size_t>(
+          1, config.max_bytes / std::max<std::size_t>(1, config.shards))),
+      counters_(counters) {
+  const std::size_t n = std::max<std::size_t>(1, config.shards);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::string ResponseCache::make_key(std::string_view path,
+                                    const http::QueryDict& query,
+                                    const CachePolicy& policy) {
+  std::string key(path);
+  if (!policy.vary_on_query || query.empty()) return key;
+  key += '?';
+  bool first = true;
+  if (policy.vary_params.empty()) {
+    for (const auto& [k, v] : query) {
+      if (!first) key += '&';
+      first = false;
+      key += k;
+      key += '=';
+      key += v;
+    }
+    return key;
+  }
+  // Canonical order comes from the (sorted) QueryDict, not the vary list, so
+  // two policies listing the same params in different orders agree on keys.
+  for (const auto& [k, v] : query) {
+    if (std::find(policy.vary_params.begin(), policy.vary_params.end(), k) ==
+        policy.vary_params.end()) {
+      continue;
+    }
+    if (!first) key += '&';
+    first = false;
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+ResponseCache::Shard& ResponseCache::shard_for(std::string_view key) {
+  return *shards_[std::hash<std::string_view>{}(key) % shards_.size()];
+}
+
+void ResponseCache::erase_locked(Shard& shard, LruList::iterator it) {
+  shard.index.erase(std::string_view(it->key));
+  shard.bytes -= it->bytes;
+  shard.lru.erase(it);
+}
+
+std::shared_ptr<const ResponseCache::CachedResponse> ResponseCache::find(
+    std::string_view key, double now_paper_s) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) return nullptr;
+  LruList::iterator node = it->second;
+  if (now_paper_s >= node->expires_paper_s) {
+    erase_locked(shard, node);
+    if (counters_) counters_->on_expire();
+    return nullptr;
+  }
+  // Refresh recency: splice the node to the front without invalidating the
+  // index (list iterators survive splice).
+  shard.lru.splice(shard.lru.begin(), shard.lru, node);
+  return node->response;
+}
+
+void ResponseCache::insert(std::string_view key, CachedResponse response,
+                           const CachePolicy& policy, double now_paper_s) {
+  const double ttl = policy.ttl_paper_s > 0 ? policy.ttl_paper_s
+                                            : config_.default_ttl_paper_s;
+  Node node;
+  node.key = std::string(key);
+  node.bytes = node.key.size() + response.body.size();
+  node.expires_paper_s = now_paper_s + ttl;
+  node.response =
+      std::make_shared<const CachedResponse>(std::move(response));
+  if (node.bytes > per_shard_bytes_) return;  // bigger than a whole shard
+
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mu);
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    // Replace in place (a fresher render of the same inputs).
+    erase_locked(shard, it->second);
+  }
+  while (shard.lru.size() >= per_shard_entries_ ||
+         shard.bytes + node.bytes > per_shard_bytes_) {
+    erase_locked(shard, std::prev(shard.lru.end()));
+    if (counters_) counters_->on_evict();
+  }
+  shard.lru.push_front(std::move(node));
+  shard.bytes += shard.lru.front().bytes;
+  shard.index.emplace(std::string_view(shard.lru.front().key),
+                      shard.lru.begin());
+  if (counters_) counters_->on_insert();
+}
+
+std::size_t ResponseCache::invalidate(std::string_view prefix) {
+  std::size_t removed = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      const auto next = std::next(it);
+      if (std::string_view(it->key).substr(0, prefix.size()) == prefix) {
+        erase_locked(*shard, it);
+        ++removed;
+      }
+      it = next;
+    }
+  }
+  if (counters_ && removed > 0) counters_->on_invalidate(removed);
+  return removed;
+}
+
+void ResponseCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    shard->index.clear();
+    shard->lru.clear();
+    shard->bytes = 0;
+  }
+}
+
+std::size_t ResponseCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    n += shard->lru.size();
+  }
+  return n;
+}
+
+std::size_t ResponseCache::bytes() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    n += shard->bytes;
+  }
+  return n;
+}
+
+}  // namespace tempest::server

@@ -1,0 +1,197 @@
+// Render-output cache: a sharded TTL + LRU cache for *rendered* dynamic
+// responses (Vcache's insight applied to the paper's pipeline: the expensive
+// part of a dynamic page is data generation + template rendering, and both
+// are pure functions of the request inputs until a write invalidates them).
+//
+// Entries are keyed by the canonical (path, query) pair a route's CachePolicy
+// derives, and carry the template name and a fingerprint of the rendering
+// data so a cached page remains attributable to the inputs that produced it.
+// Lookups happen in the header stage — BEFORE the dynamic pools — so a hot
+// page is served without consuming a database connection, which is what
+// preserves the paper's thread-pool accounting (see DESIGN.md §10).
+//
+// Time is paper-time: callers pass `paper_now()` explicitly so unit tests can
+// replay synthetic timelines, the same convention as StageTrace.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/http/status.h"
+#include "src/http/uri.h"
+#include "src/server/request_class.h"
+
+namespace tempest::server {
+
+// Per-route opt-in, supplied at route registration (Router::add). A route
+// without a policy is never cached.
+struct CachePolicy {
+  // Entry lifetime in paper-seconds; <= 0 falls back to
+  // CacheConfig::default_ttl_paper_s.
+  double ttl_paper_s = 0.0;
+  // Include the query string in the cache key. When false the path alone
+  // identifies the page (one entry regardless of parameters).
+  bool vary_on_query = true;
+  // When non-empty, only these query parameters enter the key (canonical
+  // order); others are ignored. Empty = every parameter varies the key.
+  std::vector<std::string> vary_params;
+};
+
+// Server-wide knobs, carried in ServerConfig::cache.
+struct CacheConfig {
+  // Master switch: when false the staged server builds no cache at all and
+  // the request path is byte-for-byte the uncached pipeline.
+  bool enabled = false;
+  // Lock shards. More shards = less contention on the hot hit path.
+  std::size_t shards = 8;
+  // Capacity caps, summed across shards (each shard gets an equal slice).
+  std::size_t max_entries = 4096;
+  std::size_t max_bytes = 16 << 20;
+  // TTL for routes whose policy does not set one, paper-seconds.
+  double default_ttl_paper_s = 30.0;
+};
+
+// Monotonic cache counters, mirroring TransportCounters: the servers count
+// hits/misses/304s as they serve, the cache itself counts insertions,
+// evictions, expirations, and invalidations. Safe for concurrent use;
+// snapshot() gives a plain-struct copy for reporting.
+class CacheCounters {
+ public:
+  struct Snapshot {
+    std::uint64_t hits[kNumRequestClasses] = {0, 0, 0};
+    std::uint64_t misses = 0;          // cacheable lookups that found nothing
+    std::uint64_t inserts = 0;         // entries stored after a render
+    std::uint64_t evictions = 0;       // LRU departures at entry/byte cap
+    std::uint64_t expirations = 0;     // TTL deaths observed at lookup
+    std::uint64_t invalidations = 0;   // entries removed by invalidate()
+    std::uint64_t not_modified = 0;    // 304s (conditional GET, any layer)
+
+    std::uint64_t hits_total() const {
+      return hits[0] + hits[1] + hits[2];
+    }
+  };
+
+  void on_hit(RequestClass cls) {
+    hits_[static_cast<std::size_t>(cls)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  }
+  void on_miss() { misses_.fetch_add(1, std::memory_order_relaxed); }
+  void on_insert() { inserts_.fetch_add(1, std::memory_order_relaxed); }
+  void on_evict() { evictions_.fetch_add(1, std::memory_order_relaxed); }
+  void on_expire() { expirations_.fetch_add(1, std::memory_order_relaxed); }
+  void on_invalidate(std::uint64_t n) {
+    invalidations_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void on_not_modified() {
+    not_modified_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    for (std::size_t c = 0; c < kNumRequestClasses; ++c) {
+      s.hits[c] = hits_[c].load(std::memory_order_relaxed);
+    }
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.inserts = inserts_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.expirations = expirations_.load(std::memory_order_relaxed);
+    s.invalidations = invalidations_.load(std::memory_order_relaxed);
+    s.not_modified = not_modified_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<std::uint64_t> hits_[kNumRequestClasses] = {};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> expirations_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+  std::atomic<std::uint64_t> not_modified_{0};
+};
+
+class ResponseCache {
+ public:
+  // A cached rendered response. Shared out by find() so invalidation can
+  // drop an entry while an earlier hit is still being serialized.
+  struct CachedResponse {
+    http::Status status = http::Status::kOk;
+    std::string body;
+    std::string content_type;
+    std::string etag;           // strong validator over the rendered body
+    std::string template_name;  // template that produced the body
+    std::uint64_t data_fingerprint = 0;  // fingerprint of the render data
+  };
+
+  // `counters` (optional) receives insert/evict/expire/invalidate events.
+  explicit ResponseCache(CacheConfig config, CacheCounters* counters = nullptr);
+
+  // Canonical cache key for a request: the path, then '?' and the varying
+  // parameters in sorted k=v form (QueryDict is ordered, so equal inputs
+  // always produce the same key regardless of raw query order).
+  static std::string make_key(std::string_view path,
+                              const http::QueryDict& query,
+                              const CachePolicy& policy);
+
+  // Returns the live entry for `key`, refreshing its LRU position, or null.
+  // An entry past its deadline is removed (counted as an expiration) and
+  // reported as a miss.
+  std::shared_ptr<const CachedResponse> find(std::string_view key,
+                                             double now_paper_s);
+
+  // Stores `response` under `key` with the policy's TTL (falling back to the
+  // config default), evicting LRU entries to respect the per-shard entry and
+  // byte caps. A response bigger than a whole shard's byte budget is not
+  // cached at all.
+  void insert(std::string_view key, CachedResponse response,
+              const CachePolicy& policy, double now_paper_s);
+
+  // Removes every entry whose key starts with `prefix` (keys start with the
+  // path, so a path prefix invalidates all query variants of a page — the
+  // app-facing write-path hook). Returns the number of entries removed.
+  std::size_t invalidate(std::string_view prefix);
+
+  // Drops everything (keeps counters).
+  void clear();
+
+  std::size_t size() const;   // live entries across shards
+  std::size_t bytes() const;  // cached body+key bytes across shards
+
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Node {
+    std::string key;
+    std::shared_ptr<const CachedResponse> response;
+    double expires_paper_s = 0;
+    std::size_t bytes = 0;
+  };
+  using LruList = std::list<Node>;
+
+  struct Shard {
+    mutable std::mutex mu;
+    LruList lru;  // front = most recently used
+    // Views point into the owning Node's `key`; list nodes never relocate.
+    std::unordered_map<std::string_view, LruList::iterator> index;
+    std::size_t bytes = 0;
+  };
+
+  Shard& shard_for(std::string_view key);
+  // Removes `it` from `shard`. Caller holds the shard lock.
+  void erase_locked(Shard& shard, LruList::iterator it);
+
+  const CacheConfig config_;
+  const std::size_t per_shard_entries_;
+  const std::size_t per_shard_bytes_;
+  CacheCounters* const counters_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace tempest::server

@@ -8,20 +8,39 @@ void Router::add(std::string path, Handler handler) {
   if (path.empty() || path[0] != '/') {
     throw std::invalid_argument("route path must start with '/': " + path);
   }
-  if (!routes_.emplace(std::move(path), std::move(handler)).second) {
+  if (!routes_.emplace(std::move(path), Route{std::move(handler), std::nullopt})
+           .second) {
     throw std::invalid_argument("duplicate route");
   }
 }
 
-const Handler* Router::find(const std::string& path) const {
+void Router::add(std::string path, Handler handler, CachePolicy policy) {
+  if (path.empty() || path[0] != '/') {
+    throw std::invalid_argument("route path must start with '/': " + path);
+  }
+  if (!routes_
+           .emplace(std::move(path),
+                    Route{std::move(handler), std::move(policy)})
+           .second) {
+    throw std::invalid_argument("duplicate route");
+  }
+}
+
+const Handler* Router::find(std::string_view path) const {
   const auto it = routes_.find(path);
-  return it == routes_.end() ? nullptr : &it->second;
+  return it == routes_.end() ? nullptr : &it->second.handler;
+}
+
+const CachePolicy* Router::cache_policy(std::string_view path) const {
+  const auto it = routes_.find(path);
+  if (it == routes_.end() || !it->second.cache) return nullptr;
+  return &*it->second.cache;
 }
 
 std::vector<std::string> Router::paths() const {
   std::vector<std::string> out;
   out.reserve(routes_.size());
-  for (const auto& [path, handler] : routes_) out.push_back(path);
+  for (const auto& [path, route] : routes_) out.push_back(path);
   return out;
 }
 

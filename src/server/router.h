@@ -1,11 +1,17 @@
 // URL-to-handler routing (CherryPy maps URLs to functions; so do we).
+// A route may opt into the render-output cache by registering with a
+// CachePolicy; the staged server consults cache_policy() in the header
+// stage to decide whether a request is cacheable at all.
 #pragma once
 
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "src/server/handler.h"
+#include "src/server/response_cache.h"
 
 namespace tempest::server {
 
@@ -14,14 +20,26 @@ class Router {
   // Registers a handler for an exact path ("/home"). Throws on duplicates.
   void add(std::string path, Handler handler);
 
-  // Exact-match lookup.
-  const Handler* find(const std::string& path) const;
+  // Registers a handler whose rendered output may be cached under `policy`.
+  void add(std::string path, Handler handler, CachePolicy policy);
+
+  // Exact-match lookup (heterogeneous: string_view probes don't allocate).
+  const Handler* find(std::string_view path) const;
+
+  // The route's cache policy, or nullptr when the route is absent or did not
+  // opt in.
+  const CachePolicy* cache_policy(std::string_view path) const;
 
   std::size_t size() const { return routes_.size(); }
   std::vector<std::string> paths() const;
 
  private:
-  std::map<std::string, Handler> routes_;
+  struct Route {
+    Handler handler;
+    std::optional<CachePolicy> cache;
+  };
+
+  std::map<std::string, Route, std::less<>> routes_;
 };
 
 }  // namespace tempest::server

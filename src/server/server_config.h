@@ -15,6 +15,7 @@
 
 #include "src/common/worker_pool.h"
 #include "src/db/latency.h"
+#include "src/server/response_cache.h"
 
 namespace tempest::server {
 
@@ -113,6 +114,11 @@ struct ServerConfig {
   // consulted by the TCP transports; the in-process transport has no
   // connections to manage.
   TransportConfig transport;
+
+  // Render-output cache (response_cache.h). Off by default so the paper's
+  // reproduction figures measure the uncached pipeline; fig12 and the
+  // cache tests flip it on. Routes opt in via a CachePolicy at registration.
+  CacheConfig cache;
 
   // Disable all simulated service costs (unit tests that only check
   // functional behaviour).

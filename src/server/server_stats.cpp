@@ -14,6 +14,7 @@ const char* to_string(RequestClass cls) {
 const char* to_string(Stage stage) {
   switch (stage) {
     case Stage::kHeader: return "header";
+    case Stage::kCache: return "cache";
     case Stage::kStatic: return "static";
     case Stage::kGeneral: return "general";
     case Stage::kLengthy: return "lengthy";

@@ -14,6 +14,7 @@
 
 #include "src/common/stats.h"
 #include "src/server/request_context.h"
+#include "src/server/response_cache.h"
 
 namespace tempest::server {
 
@@ -161,6 +162,12 @@ class ServerStats {
   TransportCounters& transport() { return transport_; }
   const TransportCounters& transport() const { return transport_; }
 
+  // Render-output cache counters: hits per class and 304s are counted by the
+  // serving path; inserts/evictions/expirations/invalidations by the cache
+  // itself (the server hands the cache `&stats.cache()` as its sink).
+  CacheCounters& cache() { return cache_; }
+  const CacheCounters& cache() const { return cache_; }
+
   std::uint64_t shed(RequestClass cls) const;
   std::uint64_t shed_total() const;
 
@@ -190,9 +197,10 @@ class ServerStats {
   StageMetrics stage_metrics_;
   std::array<std::atomic<std::uint64_t>, 3> shed_{};
   TransportCounters transport_;
+  CacheCounters cache_;
 
   mutable std::mutex mu_;
-  std::array<Histogram, 3> response_hist_{};
+  std::array<Histogram, 3> response_hist_;
   std::map<std::string, OnlineStats> page_response_;
   std::map<std::string, std::unique_ptr<WindowedCounter>> page_counters_;
   std::map<std::string, std::unique_ptr<TimeSeries>> queues_;

@@ -34,6 +34,10 @@ StagedServer::StagedServer(ServerConfig config,
         "must not exceed db_connections");
   }
 
+  if (config_.cache.enabled) {
+    cache_ = std::make_unique<ResponseCache>(config_.cache, &stats_.cache());
+  }
+
   const auto pool_options = [this](std::size_t capacity) {
     return WorkerPoolOptions{capacity, config_.overflow_policy};
   };
@@ -178,6 +182,24 @@ void StagedServer::header_stage(RequestContext&& ctx) {
   ctx.cls = lengthy ? RequestClass::kLengthyDynamic
                     : RequestClass::kQuickDynamic;
 
+  // Cache probe — before the dynamic pools, so a hit never consumes a
+  // database connection (the resource the paper's scheduling protects).
+  // Only GETs on routes that opted in via a CachePolicy are cacheable.
+  if (cache_ && ctx.request.method == http::Method::kGet) {
+    if (const CachePolicy* policy =
+            app_->router.cache_policy(ctx.request.uri.path)) {
+      std::string key = ResponseCache::make_key(
+          ctx.request.uri.path, ctx.request.uri.query, *policy);
+      if (auto hit = cache_->find(key, paper_now())) {
+        serve_cache_hit(std::move(ctx), *hit);
+        return;
+      }
+      stats_.cache().on_miss();
+      // Remember the key so the render stage can store the output.
+      ctx.cache_key = std::move(key);
+    }
+  }
+
   // Table 1 dispatch rules. The dispatch-time spare count additionally
   // discounts work already sitting in the general queue: eight header
   // threads dispatch concurrently, and a just-enqueued lengthy request is
@@ -194,6 +216,30 @@ void StagedServer::header_stage(RequestContext&& ctx) {
   }
 }
 
+void StagedServer::serve_cache_hit(RequestContext&& ctx,
+                                   const ResponseCache::CachedResponse& hit) {
+  stats_.cache().on_hit(ctx.cls);
+  // The hit is served right here on the header-pool thread, but it gets its
+  // own virtual stage visit so cache service shows up in the stage metrics
+  // (enqueue and dequeue coincide: a hit never waits in a queue).
+  ctx.trace.complete();
+  ctx.trace.enqueue(Stage::kCache);
+  ctx.trace.dequeue();
+  const std::string page = ctx.request.uri.path;
+  if (const auto inm = ctx.request.headers.get("If-None-Match");
+      inm && http::etag_matches(*inm, hit.etag)) {
+    stats_.cache().on_not_modified();
+    send_and_record(std::move(ctx),
+                    http::Response::not_modified(hit.etag, ""), stats_, page);
+    return;
+  }
+  http::Response response =
+      http::Response::make(hit.status, hit.body, hit.content_type);
+  response.headers.set("ETag", hit.etag);
+  response.headers.set("X-Cache", "hit");
+  send_and_record(std::move(ctx), response, stats_, page);
+}
+
 void StagedServer::static_stage(RequestContext&& ctx) {
   ctx.trace.dequeue();
   // Parse the full request (headers were deferred for static requests).
@@ -208,8 +254,11 @@ void StagedServer::static_stage(RequestContext&& ctx) {
   const StaticStore::Entry* entry =
       app_->static_store.find(ctx.request.uri.path);
   const http::Response response =
-      entry ? serve_static(*entry, config_)
+      entry ? serve_static(*entry, config_, ctx.request)
             : http::Response::not_found(ctx.request.uri.path);
+  if (entry && response.status == http::Status::kNotModified) {
+    stats_.cache().on_not_modified();
+  }
   send_and_record(std::move(ctx), response, stats_, "static");
 }
 
@@ -227,8 +276,9 @@ void StagedServer::dynamic_stage(RequestContext&& ctx) {
   // The paper's measurement: from acquiring the request to queueing the
   // unrendered template — pure data-generation time.
   const Stopwatch datagen_watch;
-  HandlerResult result =
-      run_handler(*handler, ctx.request, worker_connection::current());
+  HandlerResult result = run_handler(*handler, ctx.request,
+                                     worker_connection::current(),
+                                     cache_.get());
   tracker_.record(path, datagen_watch.elapsed_paper());
 
   if (auto* tr = std::get_if<TemplateResponse>(&result)) {
@@ -245,9 +295,27 @@ void StagedServer::dynamic_stage(RequestContext&& ctx) {
 
 void StagedServer::render_stage(RequestContext&& ctx) {
   ctx.trace.dequeue();
-  const http::Response response =
+  http::Response response =
       ctx.render ? render_template_response(*app_, config_, *ctx.render)
                  : http::Response::server_error("render stage without template");
+  // A header-stage miss left the key behind: store the rendered page so the
+  // next request short-circuits. Only clean 200s are cacheable.
+  if (cache_ && !ctx.cache_key.empty() && ctx.render &&
+      response.status == http::Status::kOk) {
+    if (const CachePolicy* policy =
+            app_->router.cache_policy(ctx.request.uri.path)) {
+      ResponseCache::CachedResponse cached;
+      cached.status = response.status;
+      cached.body = response.body;
+      cached.content_type = ctx.render->content_type;
+      cached.etag = http::strong_etag(response.body);
+      cached.template_name = ctx.render->template_name;
+      cached.data_fingerprint = tmpl::fingerprint(ctx.render->data);
+      response.headers.set("ETag", cached.etag);
+      response.headers.set("X-Cache", "miss");
+      cache_->insert(ctx.cache_key, std::move(cached), *policy, paper_now());
+    }
+  }
   const std::string page = ctx.request.uri.path;
   send_and_record(std::move(ctx), response, stats_, page);
 }

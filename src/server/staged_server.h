@@ -51,8 +51,15 @@ class StagedServer : public WebServer {
     return general_pool_->queue_length();
   }
 
+  // The render-output cache, or nullptr when config.cache.enabled is false.
+  ResponseCache* cache() { return cache_.get(); }
+
  private:
   void header_stage(RequestContext&& ctx);
+  // Serves a cache hit inline on the header-pool thread (no DB connection is
+  // consumed), answering conditional GETs with 304.
+  void serve_cache_hit(RequestContext&& ctx,
+                       const ResponseCache::CachedResponse& hit);
   void static_stage(RequestContext&& ctx);
   void dynamic_stage(RequestContext&& ctx);
   void render_stage(RequestContext&& ctx);
@@ -67,6 +74,9 @@ class StagedServer : public WebServer {
   const std::shared_ptr<const Application> app_;
   db::ConnectionPool db_pool_;
   ServerStats stats_;
+  // After stats_: the cache reports events into stats_.cache() for its whole
+  // lifetime, so it must be destroyed first.
+  std::unique_ptr<ResponseCache> cache_;
   ServiceTimeTracker tracker_;
   ReserveController reserve_;
 

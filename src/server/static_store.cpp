@@ -1,10 +1,15 @@
 #include "src/server/static_store.h"
 
+#include "src/http/serializer.h"
+
 namespace tempest::server {
 
 void StaticStore::add(std::string path, std::string content,
                       std::string mime_type) {
-  entries_[std::move(path)] = {std::move(content), std::move(mime_type)};
+  Entry entry{std::move(content), std::move(mime_type), "", ""};
+  entry.etag = http::strong_etag(entry.content);
+  entry.last_modified = http::http_date_now();
+  entries_[std::move(path)] = std::move(entry);
 }
 
 void StaticStore::add_blob(std::string path, std::size_t bytes,
@@ -19,7 +24,7 @@ void StaticStore::add_blob(std::string path, std::size_t bytes,
   add(std::move(path), std::move(content), std::move(mime_type));
 }
 
-const StaticStore::Entry* StaticStore::find(const std::string& path) const {
+const StaticStore::Entry* StaticStore::find(std::string_view path) const {
   const auto it = entries_.find(path);
   return it == entries_.end() ? nullptr : &it->second;
 }

@@ -1,11 +1,15 @@
 // In-memory static content (images, CSS) keyed by path. The TPC-W app
 // registers synthetic image blobs here; examples can also load from disk.
+// Every entry carries precomputed conditional-GET validators (a strong ETag
+// over the content and a Last-Modified stamp from registration time) so the
+// serving path can answer If-None-Match / If-Modified-Since with 304s
+// without hashing on the hot path.
 #pragma once
 
 #include <map>
-#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/http/response.h"
 
@@ -16,6 +20,8 @@ class StaticStore {
   struct Entry {
     std::string content;
     std::string mime_type;
+    std::string etag;           // strong validator over `content`
+    std::string last_modified;  // IMF-fixdate stamped at add() time
   };
 
   void add(std::string path, std::string content, std::string mime_type);
@@ -23,13 +29,15 @@ class StaticStore {
   // Registers a deterministic pseudo-binary blob of `bytes` bytes.
   void add_blob(std::string path, std::size_t bytes, std::string mime_type);
 
-  const Entry* find(const std::string& path) const;
+  // Heterogeneous lookup: string_view callers (the transport parses paths as
+  // views) probe without materializing a temporary std::string.
+  const Entry* find(std::string_view path) const;
 
   std::size_t size() const { return entries_.size(); }
   std::vector<std::string> paths() const;
 
  private:
-  std::map<std::string, Entry> entries_;
+  std::map<std::string, Entry, std::less<>> entries_;
 };
 
 }  // namespace tempest::server

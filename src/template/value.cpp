@@ -184,4 +184,72 @@ int Value::compare(const Value& a, const Value& b) {
                       b.type_name());
 }
 
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_value(std::uint64_t& h, const Value& v) {
+  const auto tag = static_cast<unsigned char>(v.type());
+  fnv_bytes(h, &tag, 1);
+  switch (v.type()) {
+    case Value::Type::kNull:
+      break;
+    case Value::Type::kBool: {
+      const unsigned char b = v.as_bool() ? 1 : 0;
+      fnv_bytes(h, &b, 1);
+      break;
+    }
+    case Value::Type::kInt: {
+      const std::int64_t i = v.as_int();
+      fnv_bytes(h, &i, sizeof(i));
+      break;
+    }
+    case Value::Type::kDouble: {
+      const double d = v.as_double();
+      fnv_bytes(h, &d, sizeof(d));
+      break;
+    }
+    case Value::Type::kString:
+      fnv_bytes(h, v.as_string().data(), v.as_string().size());
+      break;
+    case Value::Type::kList:
+      for (const Value& item : v.as_list()) fnv_value(h, item);
+      break;
+    case Value::Type::kDict:
+      for (const auto& [key, item] : v.as_dict()) {
+        fnv_bytes(h, key.data(), key.size());
+        fnv_value(h, item);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const Value& value) {
+  std::uint64_t h = kFnvOffset;
+  fnv_value(h, value);
+  return h;
+}
+
+std::uint64_t fingerprint(const Dict& dict) {
+  std::uint64_t h = kFnvOffset;
+  const auto tag = static_cast<unsigned char>(Value::Type::kDict);
+  fnv_bytes(h, &tag, 1);
+  for (const auto& [key, item] : dict) {
+    fnv_bytes(h, key.data(), key.size());
+    fnv_value(h, item);
+  }
+  return h;
+}
+
 }  // namespace tempest::tmpl

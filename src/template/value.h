@@ -93,4 +93,13 @@ class Value {
       data_;
 };
 
+// Order-stable 64-bit structural fingerprint of a value tree (FNV-1a over
+// type tags and contents; dict iteration is deterministic because Dict is an
+// ordered map). Equal trees fingerprint equally — the response cache uses
+// this to attribute a cached rendered page to the data that produced it.
+std::uint64_t fingerprint(const Value& value);
+
+// Same hash a Value wrapping `dict` would produce, without copying the dict.
+std::uint64_t fingerprint(const Dict& dict);
+
 }  // namespace tempest::tmpl

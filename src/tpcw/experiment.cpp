@@ -61,6 +61,7 @@ void collect_server_side(Server& server, ExperimentResults& results) {
       pool_stats.idle_while_held_fraction();
   results.connection_acquire_wait_mean_paper_s =
       pool_stats.acquire_wait_paper_s.mean();
+  results.cache = stats.cache().snapshot();
 }
 
 }  // namespace

@@ -80,6 +80,9 @@ struct ExperimentResults {
   double connection_idle_while_held_fraction = 0;
   double connection_acquire_wait_mean_paper_s = 0;
 
+  // Render-output cache counters (zero when the cache is disabled).
+  server::CacheCounters::Snapshot cache;
+
   double wall_seconds = 0;
   double measured_paper_seconds = 0;
 

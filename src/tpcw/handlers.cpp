@@ -376,6 +376,11 @@ HandlerResult buy_confirm(HandlerContext& ctx, TpcwState& state) {
       "SELECT c_fname, c_lname FROM customer WHERE c_id = ?",
       {db::Value(c_id)});
 
+  // The purchase changed order_line (best-seller rankings) and item stock
+  // (product pages): drop every cached variant of both before responding.
+  ctx.invalidate("/best_sellers");
+  ctx.invalidate("/product_detail");
+
   tmpl::Dict data;
   data["c_id"] = tmpl::Value(c_id);
   data["o_id"] = tmpl::Value(o_id);
@@ -463,6 +468,13 @@ HandlerResult admin_response(HandlerContext& ctx, TpcwState& state) {
       {db::Value(image), db::Value(thumbnail), db::Value(20090704),
        db::Value(related1), db::Value(i_id)});
 
+  // The item update touches images, pub_date and recommendations, which feed
+  // every catalog page: drop them all.
+  ctx.invalidate("/home");
+  ctx.invalidate("/product_detail");
+  ctx.invalidate("/new_products");
+  ctx.invalidate("/best_sellers");
+
   auto item = conn(ctx).execute(
       "SELECT i_title, i_cost FROM item WHERE i_id = ?", {db::Value(i_id)});
   tmpl::Dict data;
@@ -486,12 +498,27 @@ Handler bind(HandlerResult (*fn)(HandlerContext&, TpcwState&),
 
 void register_tpcw_routes(server::Router& router,
                           std::shared_ptr<TpcwState> state) {
-  router.add("/home", bind(home, state));
-  router.add("/new_products", bind(new_products, state));
-  router.add("/best_sellers", bind(best_sellers, state));
-  router.add("/product_detail", bind(product_detail, state));
-  router.add("/search_request", bind(search_request, state));
-  router.add("/execute_search", bind(execute_search, state));
+  // Catalog pages are cacheable: their output is a pure function of the
+  // query parameters and the (slowly-changing) catalog tables, and the two
+  // write interactions below invalidate them explicitly. Session-state pages
+  // (cart, checkout, orders) and the write paths themselves are never cached.
+  server::CachePolicy catalog;
+  // The three inherently lengthy pages scan whole tables for results that
+  // only change when an order or admin update lands — the highest-value
+  // entries, invalidated on those writes.
+  server::CachePolicy lengthy_catalog;
+  lengthy_catalog.vary_params = {"subject", "c_id"};
+  server::CachePolicy search_results;
+  search_results.vary_params = {"type", "term", "c_id"};
+
+  router.add("/home", bind(home, state), catalog);
+  router.add("/new_products", bind(new_products, state), lengthy_catalog);
+  router.add("/best_sellers", bind(best_sellers, state), lengthy_catalog);
+  router.add("/product_detail", bind(product_detail, state),
+             server::CachePolicy{0.0, true, {"i_id", "c_id"}});
+  router.add("/search_request", bind(search_request, state),
+             server::CachePolicy{0.0, true, {"c_id"}});
+  router.add("/execute_search", bind(execute_search, state), search_results);
   router.add("/shopping_cart", bind(shopping_cart, state));
   router.add("/customer_registration", bind(customer_registration, state));
   router.add("/buy_request", bind(buy_request, state));

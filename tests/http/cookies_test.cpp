@@ -48,13 +48,18 @@ TEST(CookieTest, NoCookieHeaderIsEmpty) {
 }
 
 TEST(SetCookieTest, MinimalForm) {
-  SetCookie cookie{"sid", "xyz"};
+  SetCookie cookie;
+  cookie.name = "sid";
+  cookie.value = "xyz";
   cookie.http_only = false;
   EXPECT_EQ(cookie.to_header_value(), "sid=xyz; Path=/");
 }
 
 TEST(SetCookieTest, AllAttributes) {
-  SetCookie cookie{"sid", "xyz", "/shop"};
+  SetCookie cookie;
+  cookie.name = "sid";
+  cookie.value = "xyz";
+  cookie.path = "/shop";
   cookie.max_age_seconds = 3600;
   cookie.http_only = true;
   cookie.secure = true;
@@ -63,7 +68,9 @@ TEST(SetCookieTest, AllAttributes) {
 }
 
 TEST(SetCookieTest, RoundTripsThroughParser) {
-  SetCookie cookie{"session", "tok-42"};
+  SetCookie cookie;
+  cookie.name = "session";
+  cookie.value = "tok-42";
   const auto parsed = parse_cookie_header(
       cookie.name + "=" + cookie.value);  // client echoes name=value only
   EXPECT_EQ(parsed.at("session"), "tok-42");

@@ -1,21 +1,9 @@
 #!/usr/bin/env bash
-# Builds the tree with -fsanitize=thread (or $TEMPEST_SANITIZE) and runs the
-# suites that exercise the concurrent core — the bounded MPMC queue, worker
-# pools, stage traces, and both server variants — under the sanitizer.
+# Back-compat alias: the generic runner is tests/run_sanitized.sh; this keeps
+# the documented TSan entry point working.
 #
 # Usage: tests/run_tsan.sh            # thread sanitizer (default)
 #        TEMPEST_SANITIZE=address tests/run_tsan.sh
 set -euo pipefail
-
-repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-sanitizer="${TEMPEST_SANITIZE:-thread}"
-build_dir="${BUILD_DIR:-$repo_root/build-$sanitizer-san}"
-
-cmake -B "$build_dir" -S "$repo_root" -DTEMPEST_SANITIZE="$sanitizer" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$build_dir" -j --target common_test server_test
-
-# Run the binaries directly (ctest registration only covers built targets,
-# and a sanitizer failure must fail the script via the gtest exit code).
-"$build_dir/tests/common_test"
-"$build_dir/tests/server_test"
+export TEMPEST_SANITIZE="${TEMPEST_SANITIZE:-thread}"
+exec "$(dirname "$0")/run_sanitized.sh"

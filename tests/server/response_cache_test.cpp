@@ -1,0 +1,490 @@
+// Render-output cache: key derivation, TTL/LRU/byte-cap mechanics, prefix
+// invalidation, conditional GET at both layers (static store validators and
+// cached dynamic pages), and the staged-server integration — a hit must
+// short-circuit before the dynamic pools and a TPC-W buy must invalidate the
+// catalog pages it staled.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/http/parser.h"
+#include "src/server/baseline_server.h"
+#include "src/server/response_cache.h"
+#include "src/server/staged_server.h"
+#include "src/server/transport.h"
+#include "src/tpcw/handlers.h"
+#include "src/tpcw/populate.h"
+
+namespace tempest::server {
+namespace {
+
+ResponseCache::CachedResponse page(const std::string& body) {
+  ResponseCache::CachedResponse r;
+  r.body = body;
+  r.content_type = "text/html";
+  r.etag = http::strong_etag(body);
+  return r;
+}
+
+// --- key derivation ----------------------------------------------------------
+
+TEST(ResponseCacheKeyTest, PathOnlyWhenQueryIgnored) {
+  CachePolicy policy;
+  policy.vary_on_query = false;
+  const auto query = http::parse_query("b=2&a=1");
+  EXPECT_EQ(ResponseCache::make_key("/p", query, policy), "/p");
+}
+
+TEST(ResponseCacheKeyTest, QueryOrderDoesNotMatter) {
+  CachePolicy policy;
+  const auto forward = http::parse_query("a=1&b=2");
+  const auto backward = http::parse_query("b=2&a=1");
+  EXPECT_EQ(ResponseCache::make_key("/p", forward, policy),
+            ResponseCache::make_key("/p", backward, policy));
+  EXPECT_EQ(ResponseCache::make_key("/p", forward, policy), "/p?a=1&b=2");
+}
+
+TEST(ResponseCacheKeyTest, VaryParamsFilterTheKey) {
+  CachePolicy policy;
+  policy.vary_params = {"subject", "c_id"};
+  const auto query = http::parse_query("subject=ARTS&session=xyz&c_id=3");
+  EXPECT_EQ(ResponseCache::make_key("/best_sellers", query, policy),
+            "/best_sellers?c_id=3&subject=ARTS");
+}
+
+TEST(ResponseCacheKeyTest, KeysStartWithThePath) {
+  // invalidate(prefix) depends on this.
+  CachePolicy policy;
+  const auto query = http::parse_query("x=1");
+  const std::string key = ResponseCache::make_key("/page", query, policy);
+  EXPECT_EQ(key.rfind("/page", 0), 0u);
+}
+
+// --- TTL / LRU / caps --------------------------------------------------------
+
+TEST(ResponseCacheTest, TtlExpiryObservedAtLookup) {
+  CacheConfig config;
+  config.enabled = true;
+  CacheCounters counters;
+  ResponseCache cache(config, &counters);
+  CachePolicy policy;
+  policy.ttl_paper_s = 10.0;
+
+  cache.insert("/p", page("body"), policy, /*now=*/0.0);
+  EXPECT_NE(cache.find("/p", 5.0), nullptr);
+  EXPECT_EQ(cache.find("/p", 10.0), nullptr);  // deadline is exclusive
+  EXPECT_EQ(cache.size(), 0u);                 // expired entry was dropped
+  EXPECT_EQ(counters.snapshot().expirations, 1u);
+}
+
+TEST(ResponseCacheTest, DefaultTtlAppliesWhenPolicyHasNone) {
+  CacheConfig config;
+  config.default_ttl_paper_s = 2.0;
+  ResponseCache cache(config);
+  cache.insert("/p", page("body"), CachePolicy{}, 0.0);
+  EXPECT_NE(cache.find("/p", 1.0), nullptr);
+  EXPECT_EQ(cache.find("/p", 3.0), nullptr);
+}
+
+TEST(ResponseCacheTest, LruEvictionAtByteCap) {
+  CacheConfig config;
+  config.shards = 1;  // deterministic: every key shares one LRU
+  config.max_entries = 100;
+  config.max_bytes = 3 * (2 + 100);  // room for three (key + 100-byte body)
+  CacheCounters counters;
+  ResponseCache cache(config, &counters);
+  CachePolicy policy;
+  policy.ttl_paper_s = 1000.0;
+
+  const std::string body(100, 'x');
+  cache.insert("/a", page(body), policy, 0.0);
+  cache.insert("/b", page(body), policy, 0.0);
+  cache.insert("/c", page(body), policy, 0.0);
+  EXPECT_EQ(cache.size(), 3u);
+
+  // Touch /a so /b is the least recently used, then overflow the byte cap.
+  EXPECT_NE(cache.find("/a", 1.0), nullptr);
+  cache.insert("/d", page(body), policy, 1.0);
+
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.find("/b", 2.0), nullptr);  // evicted
+  EXPECT_NE(cache.find("/a", 2.0), nullptr);
+  EXPECT_NE(cache.find("/c", 2.0), nullptr);
+  EXPECT_NE(cache.find("/d", 2.0), nullptr);
+  EXPECT_EQ(counters.snapshot().evictions, 1u);
+}
+
+TEST(ResponseCacheTest, EntryCapEvictsLeastRecentlyUsed) {
+  CacheConfig config;
+  config.shards = 1;
+  config.max_entries = 2;
+  CacheCounters counters;
+  ResponseCache cache(config, &counters);
+  CachePolicy policy;
+  policy.ttl_paper_s = 1000.0;
+
+  cache.insert("/a", page("1"), policy, 0.0);
+  cache.insert("/b", page("2"), policy, 0.0);
+  cache.insert("/c", page("3"), policy, 0.0);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.find("/a", 1.0), nullptr);
+  EXPECT_EQ(counters.snapshot().evictions, 1u);
+}
+
+TEST(ResponseCacheTest, OversizedResponseIsNotCached) {
+  CacheConfig config;
+  config.shards = 1;
+  config.max_bytes = 64;
+  ResponseCache cache(config);
+  cache.insert("/big", page(std::string(1000, 'x')), CachePolicy{}, 0.0);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find("/big", 0.0), nullptr);
+}
+
+TEST(ResponseCacheTest, ReinsertReplacesInPlace) {
+  CacheConfig config;
+  ResponseCache cache(config);
+  CachePolicy policy;
+  policy.ttl_paper_s = 1000.0;
+  cache.insert("/p", page("old"), policy, 0.0);
+  cache.insert("/p", page("new"), policy, 1.0);
+  EXPECT_EQ(cache.size(), 1u);
+  const auto hit = cache.find("/p", 2.0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->body, "new");
+}
+
+TEST(ResponseCacheTest, InvalidatePrefixDropsAllVariants) {
+  CacheConfig config;
+  CacheCounters counters;
+  ResponseCache cache(config, &counters);
+  CachePolicy policy;
+  policy.ttl_paper_s = 1000.0;
+  cache.insert("/best_sellers?subject=ARTS", page("a"), policy, 0.0);
+  cache.insert("/best_sellers?subject=BIO", page("b"), policy, 0.0);
+  cache.insert("/home", page("h"), policy, 0.0);
+
+  EXPECT_EQ(cache.invalidate("/best_sellers"), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.find("/home", 1.0), nullptr);
+  EXPECT_EQ(counters.snapshot().invalidations, 2u);
+  EXPECT_EQ(cache.invalidate("/best_sellers"), 0u);
+}
+
+TEST(ResponseCacheTest, HitStaysValidAfterInvalidation) {
+  // find() hands out shared ownership: dropping the entry mid-flight must not
+  // pull the body out from under a hit still being serialized.
+  ResponseCache cache(CacheConfig{});
+  CachePolicy policy;
+  policy.ttl_paper_s = 1000.0;
+  cache.insert("/p", page("still here"), policy, 0.0);
+  const auto hit = cache.find("/p", 1.0);
+  ASSERT_NE(hit, nullptr);
+  cache.invalidate("/p");
+  EXPECT_EQ(hit->body, "still here");
+}
+
+TEST(ResponseCacheTest, ConcurrentHitInsertInvalidateHammer) {
+  CacheConfig config;
+  config.shards = 4;
+  config.max_entries = 64;
+  CacheCounters counters;
+  ResponseCache cache(config, &counters);
+  CachePolicy policy;
+  policy.ttl_paper_s = 1000.0;
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> hits{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const std::string key = "/p" + std::to_string((t * 7 + i) % 16);
+        if (auto hit = cache.find(key, 1.0)) {
+          hits.fetch_add(1, std::memory_order_relaxed);
+          EXPECT_FALSE(hit->body.empty());
+        } else {
+          cache.insert(key, page("body " + key), policy, 1.0);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      cache.invalidate("/p1");
+      std::this_thread::yield();
+    }
+  });
+  for (int t = 0; t < 4; ++t) threads[t].join();
+  stop.store(true);
+  threads.back().join();
+
+  EXPECT_GT(hits.load(), 0u);
+  EXPECT_LE(cache.size(), 64u);
+}
+
+// --- ETag helpers ------------------------------------------------------------
+
+TEST(EtagTest, StrongEtagIsDeterministicAndBodySensitive) {
+  const std::string a = http::strong_etag("hello");
+  EXPECT_EQ(a, http::strong_etag("hello"));
+  EXPECT_NE(a, http::strong_etag("hello!"));
+  EXPECT_EQ(a.front(), '"');
+  EXPECT_EQ(a.back(), '"');
+}
+
+TEST(EtagTest, IfNoneMatchForms) {
+  const std::string etag = http::strong_etag("body");
+  EXPECT_TRUE(http::etag_matches(etag, etag));
+  EXPECT_TRUE(http::etag_matches("*", etag));
+  EXPECT_TRUE(http::etag_matches("\"zzz\", " + etag, etag));
+  EXPECT_TRUE(http::etag_matches("W/" + etag, etag));
+  EXPECT_FALSE(http::etag_matches("\"zzz\"", etag));
+  EXPECT_FALSE(http::etag_matches("", etag));
+}
+
+// --- server integration ------------------------------------------------------
+
+class CacheServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TimeScale::set(0.0002);
+
+    auto app = std::make_shared<Application>();
+    auto loader = std::make_shared<tmpl::MemoryLoader>();
+    loader->add("page.html", "<p>render {{ n }}</p>");
+    app->templates = loader;
+
+    CachePolicy policy;
+    policy.ttl_paper_s = 1000.0;
+    app->router.add(
+        "/counted",
+        [this](HandlerContext&) -> HandlerResult {
+          const int n = handler_calls_.fetch_add(1) + 1;
+          tmpl::Dict data;
+          data["n"] = tmpl::Value(n);
+          return TemplateResponse{"page.html", std::move(data)};
+        },
+        policy);
+    app->router.add("/uncached", [this](HandlerContext&) -> HandlerResult {
+      handler_calls_.fetch_add(1);
+      return TemplateResponse{"page.html", {}};
+    });
+    app->router.add("/write", [](HandlerContext& ctx) -> HandlerResult {
+      ctx.invalidate("/counted");
+      return StringResponse{"written"};
+    });
+
+    app->static_store.add("/style.css", "body{color:red}", "text/css");
+    app_ = app;
+
+    config_.db_connections = 6;
+    config_.header_threads = 2;
+    config_.static_threads = 2;
+    config_.general_threads = 4;
+    config_.lengthy_threads = 1;
+    config_.render_threads = 2;
+    config_.treserve_min = 1;
+    config_.charge_service_costs = false;
+    config_.cache.enabled = true;
+  }
+
+  void TearDown() override { TimeScale::set(0.005); }
+
+  static std::string get(WebServer& server, const std::string& url,
+                         const std::string& extra_headers = "") {
+    InProcClient client(server);
+    return client.roundtrip("GET " + url + " HTTP/1.1\r\nHost: x\r\n" +
+                            extra_headers + "\r\n");
+  }
+
+  static std::string header_value(const std::string& response,
+                                  const std::string& name) {
+    const std::string needle = name + ": ";
+    const auto pos = response.find(needle);
+    if (pos == std::string::npos) return "";
+    const auto end = response.find("\r\n", pos);
+    return response.substr(pos + needle.size(), end - pos - needle.size());
+  }
+
+  db::Database db_;
+  std::shared_ptr<const Application> app_;
+  ServerConfig config_;
+  std::atomic<int> handler_calls_{0};
+};
+
+TEST_F(CacheServerTest, SecondRequestIsServedFromCache) {
+  StagedServer server(config_, app_, db_);
+  const std::string first = get(server, "/counted?q=1");
+  EXPECT_EQ(first.find("HTTP/1.1 200"), 0u);
+  EXPECT_EQ(header_value(first, "X-Cache"), "miss");
+  EXPECT_NE(first.find("render 1"), std::string::npos);
+
+  const std::string second = get(server, "/counted?q=1");
+  EXPECT_EQ(second.find("HTTP/1.1 200"), 0u);
+  EXPECT_EQ(header_value(second, "X-Cache"), "hit");
+  // The cached render, byte-for-byte: the handler ran exactly once.
+  EXPECT_NE(second.find("render 1"), std::string::npos);
+  EXPECT_EQ(handler_calls_.load(), 1);
+
+  const auto cache = server.stats().cache().snapshot();
+  EXPECT_EQ(cache.hits_total(), 1u);
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_EQ(cache.inserts, 1u);
+  server.shutdown();
+}
+
+TEST_F(CacheServerTest, DifferentQueryIsADifferentEntry) {
+  StagedServer server(config_, app_, db_);
+  get(server, "/counted?q=1");
+  get(server, "/counted?q=2");
+  EXPECT_EQ(handler_calls_.load(), 2);
+  EXPECT_EQ(server.stats().cache().snapshot().misses, 2u);
+  server.shutdown();
+}
+
+TEST_F(CacheServerTest, RoutesWithoutPolicyAreNeverCached) {
+  StagedServer server(config_, app_, db_);
+  get(server, "/uncached");
+  get(server, "/uncached");
+  EXPECT_EQ(handler_calls_.load(), 2);
+  const auto cache = server.stats().cache().snapshot();
+  EXPECT_EQ(cache.hits_total(), 0u);
+  EXPECT_EQ(cache.misses, 0u);  // not even a cacheable lookup
+  server.shutdown();
+}
+
+TEST_F(CacheServerTest, CacheDisabledIsTheUncachedPipeline) {
+  config_.cache.enabled = false;
+  StagedServer server(config_, app_, db_);
+  const std::string first = get(server, "/counted");
+  EXPECT_EQ(header_value(first, "X-Cache"), "");
+  get(server, "/counted");
+  EXPECT_EQ(handler_calls_.load(), 2);
+  server.shutdown();
+}
+
+TEST_F(CacheServerTest, WriteHandlerInvalidatesCachedPage) {
+  StagedServer server(config_, app_, db_);
+  get(server, "/counted");
+  get(server, "/counted");
+  EXPECT_EQ(handler_calls_.load(), 1);
+
+  get(server, "/write");
+  const std::string after = get(server, "/counted");
+  EXPECT_EQ(header_value(after, "X-Cache"), "miss");
+  EXPECT_NE(after.find("render 2"), std::string::npos);  // fresh render
+  EXPECT_EQ(handler_calls_.load(), 2);
+  EXPECT_EQ(server.stats().cache().snapshot().invalidations, 1u);
+  server.shutdown();
+}
+
+TEST_F(CacheServerTest, CachedPageAnswersConditionalGetWith304) {
+  StagedServer server(config_, app_, db_);
+  const std::string first = get(server, "/counted");
+  const std::string etag = header_value(first, "ETag");
+  ASSERT_FALSE(etag.empty());
+
+  const std::string conditional =
+      get(server, "/counted", "If-None-Match: " + etag + "\r\n");
+  EXPECT_EQ(conditional.find("HTTP/1.1 304"), 0u);
+  EXPECT_EQ(header_value(conditional, "Content-Length"), "0");
+  EXPECT_EQ(server.stats().cache().snapshot().not_modified, 1u);
+  server.shutdown();
+}
+
+TEST_F(CacheServerTest, CacheHitAppearsAsItsOwnStage) {
+  StagedServer server(config_, app_, db_);
+  get(server, "/counted");
+  get(server, "/counted");
+  bool saw_cache_stage = false;
+  for (const auto& row : server.stats().stage_breakdown()) {
+    if (row.stage == Stage::kCache) {
+      saw_cache_stage = true;
+      EXPECT_GE(row.service.count, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_cache_stage);
+  server.shutdown();
+}
+
+TEST_F(CacheServerTest, StaticEtagRoundTripOnBothServers) {
+  config_.baseline_threads = 6;
+  for (const bool staged : {false, true}) {
+    std::unique_ptr<WebServer> server;
+    if (staged) {
+      server = std::make_unique<StagedServer>(config_, app_, db_);
+    } else {
+      server = std::make_unique<BaselineServer>(config_, app_, db_);
+    }
+    const std::string first = get(*server, "/style.css");
+    EXPECT_EQ(first.find("HTTP/1.1 200"), 0u) << staged;
+    const std::string etag = header_value(first, "ETag");
+    const std::string last_modified = header_value(first, "Last-Modified");
+    ASSERT_FALSE(etag.empty()) << staged;
+    ASSERT_FALSE(last_modified.empty()) << staged;
+
+    const std::string by_etag =
+        get(*server, "/style.css", "If-None-Match: " + etag + "\r\n");
+    EXPECT_EQ(by_etag.find("HTTP/1.1 304"), 0u) << staged;
+
+    const std::string by_date = get(
+        *server, "/style.css", "If-Modified-Since: " + last_modified + "\r\n");
+    EXPECT_EQ(by_date.find("HTTP/1.1 304"), 0u) << staged;
+
+    // A stale validator still gets the full body.
+    const std::string stale =
+        get(*server, "/style.css", "If-None-Match: \"nope\"\r\n");
+    EXPECT_EQ(stale.find("HTTP/1.1 200"), 0u) << staged;
+    EXPECT_NE(stale.find("body{color:red}"), std::string::npos) << staged;
+    server->shutdown();
+  }
+}
+
+// A TPC-W buy must leave the catalog fresh: best-sellers is cached until
+// buy_confirm's writes invalidate it.
+TEST(TpcwCacheTest, BuyConfirmInvalidatesBestSellers) {
+  TimeScale::set(0.0002);
+  db::Database db;
+  const auto scale = tpcw::Scale::tiny();
+  const auto pop = tpcw::populate_tpcw(db, scale);
+  auto app = tpcw::make_tpcw_application(tpcw::TpcwState::from_population(
+      scale, pop));
+
+  ServerConfig config;
+  config.db_connections = 6;
+  config.header_threads = 2;
+  config.static_threads = 2;
+  config.general_threads = 4;
+  config.lengthy_threads = 1;
+  config.render_threads = 2;
+  config.treserve_min = 1;
+  config.charge_service_costs = false;
+  config.cache.enabled = true;
+
+  StagedServer server(config, app, db);
+  const auto get = [&server](const std::string& url) {
+    InProcClient client(server);
+    return client.roundtrip("GET " + url + " HTTP/1.1\r\nHost: x\r\n\r\n");
+  };
+
+  get("/best_sellers?subject=ARTS&c_id=1");
+  get("/best_sellers?subject=ARTS&c_id=1");
+  EXPECT_EQ(server.stats().cache().snapshot().hits_total(), 1u);
+
+  // The purchase writes order_line, staling the ranking.
+  get("/buy_confirm?c_id=1");
+  EXPECT_GE(server.stats().cache().snapshot().invalidations, 1u);
+
+  const std::string after = get("/best_sellers?subject=ARTS&c_id=1");
+  EXPECT_EQ(after.find("HTTP/1.1 200"), 0u);
+  EXPECT_EQ(server.stats().cache().snapshot().hits_total(), 1u);  // a miss
+  server.shutdown();
+  TimeScale::set(0.005);
+}
+
+}  // namespace
+}  // namespace tempest::server
