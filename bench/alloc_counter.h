@@ -1,0 +1,47 @@
+// Allocation-counting interface for benchmarks and zero-copy tests.
+//
+// Pair this header with bench/alloc_interpose.cpp, which overrides the
+// global operator new/delete to count every heap allocation in the process.
+// The interposer TU must be linked into the binary for the counters to move
+// (add alloc_interpose.cpp to the target's sources); binaries without it
+// simply never link this accessor.
+//
+// Usage:
+//   const AllocSnapshot before = alloc_counts();
+//   ... code under measurement ...
+//   const AllocDelta d = alloc_counts() - before;
+//   // d.count allocations totalling d.bytes happened in between.
+//
+// Counters are process-wide relaxed atomics: cheap enough to leave enabled
+// for a whole benchmark run, but attribute deltas to a single thread only
+// when nothing else is allocating (quiesce background threads first, or
+// measure across enough requests that the noise amortizes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tempest::bench {
+
+struct AllocSnapshot {
+  std::uint64_t count = 0;  // operator new calls so far
+  std::uint64_t bytes = 0;  // bytes requested so far
+};
+
+struct AllocDelta {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+
+inline AllocDelta operator-(const AllocSnapshot& after,
+                            const AllocSnapshot& before) {
+  return {after.count - before.count, after.bytes - before.bytes};
+}
+
+// Current process-wide totals. Defined in alloc_interpose.cpp.
+AllocSnapshot alloc_counts();
+
+// True when the interposer is linked in (the counters actually move).
+bool alloc_counting_enabled();
+
+}  // namespace tempest::bench

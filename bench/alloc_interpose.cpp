@@ -1,0 +1,68 @@
+// Global operator new/delete interposer that counts allocations.
+//
+// Linked into benchmark and zero-copy-test binaries (see alloc_counter.h).
+// The replacements forward to malloc/free and bump process-wide relaxed
+// atomics; alloc_counts() lives in this same TU so that any reference to it
+// pulls this object file — and with it the operator overrides — out of a
+// static library.
+//
+// Deliberately not installed into the production targets: the servers don't
+// need it, and sanitizer builds want their own allocator hooks unimpeded.
+#include "bench/alloc_counter.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+// Namespace-scope atomics are constant-initialized, so counting is safe even
+// for allocations made before main() from static constructors.
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace tempest::bench {
+
+AllocSnapshot alloc_counts() {
+  return {g_alloc_count.load(std::memory_order_relaxed),
+          g_alloc_bytes.load(std::memory_order_relaxed)};
+}
+
+bool alloc_counting_enabled() { return true; }
+
+}  // namespace tempest::bench

@@ -1,0 +1,331 @@
+// Figure 13 (ours, not in the paper): what the zero-copy response path buys.
+//
+//  1. Render A/B: the TPC-W home template rendered into a fresh string per
+//     request (the pre-pool design) vs into a pooled RenderBuffer sized by
+//     the template's EWMA hint. Measures wall time and heap allocations per
+//     render with the operator-new interposer.
+//  2. Dynamic response path A/B: handler result -> wire-ready payload, the
+//     exact code this PR changed. Legacy leg: render to string, copy the
+//     body into a flat serialize_response() wire image. Zero-copy leg:
+//     pooled render, header-block-only serialization, body rides in the
+//     payload by shared reference. Allocations per response is the headline
+//     number (the issue's >= 2x gate).
+//  3. Hot-page hammer: closed-loop clients fetching /home through the staged
+//     server with config.zero_copy_responses off vs on, service-cost sleeps
+//     disabled so the measured delta is real server-path work. Reports
+//     req/s, p50/p99 latency, and allocations per completed response.
+//
+// Extra flags: --window=SEC wall hammer window (default 1.0),
+// --hammer-threads=N closed-loop clients in part 3 (default 8),
+// --iters=N render/response iterations in parts 1-2 (default 2000).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/alloc_counter.h"
+#include "bench/bench_util.h"
+#include "src/common/clock.h"
+#include "src/common/render_buffer.h"
+#include "src/db/database.h"
+#include "src/metrics/table.h"
+#include "src/server/outbound.h"
+#include "src/server/staged_server.h"
+#include "src/server/transport.h"
+#include "src/tpcw/populate.h"
+#include "src/tpcw/templates.h"
+
+namespace {
+
+using namespace tempest;
+using Clock = std::chrono::steady_clock;
+
+tmpl::Dict home_page_data() {
+  tmpl::List promos;
+  for (int i = 0; i < 5; ++i) {
+    tmpl::Dict promo;
+    promo["i_id"] = tmpl::Value(i);
+    promo["i_title"] = tmpl::Value("a book title " + std::to_string(i));
+    promo["i_cost"] = tmpl::Value(12.5);
+    promo["i_thumbnail"] = tmpl::Value("/img/thumb_1.gif");
+    promos.push_back(tmpl::Value(std::move(promo)));
+  }
+  tmpl::Dict data;
+  data["c_id"] = tmpl::Value(7);
+  data["c_fname"] = tmpl::Value("Ada");
+  data["c_lname"] = tmpl::Value("Lovelace");
+  data["promotions"] = tmpl::Value(std::move(promos));
+  return data;
+}
+
+struct MeasuredLoop {
+  double ns_per_iter = 0;
+  double allocs_per_iter = 0;
+  double alloc_bytes_per_iter = 0;
+};
+
+template <typename Fn>
+MeasuredLoop measure(int iters, Fn&& fn) {
+  // Warm-up settles the buffer pool and the template's EWMA size hint.
+  for (int i = 0; i < 100; ++i) fn();
+  const auto before = bench::alloc_counts();
+  const auto start = Clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const double ns =
+      std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+  const auto delta = bench::alloc_counts() - before;
+  return {ns / iters, static_cast<double>(delta.count) / iters,
+          static_cast<double>(delta.bytes) / iters};
+}
+
+struct HammerResult {
+  double rps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double allocs_per_response = 0;
+};
+
+// Completes a closed-loop request without flattening the payload, so both
+// legs are measured up to the moment the payload is wire-ready (the epoll
+// writer takes over from there in production).
+struct DrainWriter : server::ResponseWriter {
+  std::promise<server::OutboundPayload> promise;
+  void send(server::OutboundPayload payload) override {
+    promise.set_value(std::move(payload));
+  }
+};
+
+HammerResult hammer(server::StagedServer& server, int threads,
+                    double window_s) {
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> latencies_us(threads);
+  std::vector<std::thread> fleet;
+  fleet.reserve(threads);
+  const auto alloc_before = bench::alloc_counts();
+  const auto start = Clock::now();
+  for (int t = 0; t < threads; ++t) {
+    fleet.emplace_back([&, t] {
+      latencies_us[t].reserve(1 << 16);
+      const std::string raw = "GET /home?c_id=" + std::to_string(t + 1) +
+                              " HTTP/1.1\r\nHost: bench\r\n\r\n";
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto writer = std::make_shared<DrainWriter>();
+        auto future = writer->promise.get_future();
+        const auto t0 = Clock::now();
+        server.submit({raw, writer});
+        server::OutboundPayload payload = future.get();
+        const auto t1 = Clock::now();
+        if (payload.head.find("HTTP/1.1 200") == 0) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+          latencies_us[t].push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(window_s));
+  stop.store(true);
+  for (auto& t : fleet) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  const auto alloc_delta = bench::alloc_counts() - alloc_before;
+
+  std::vector<double> all;
+  for (auto& v : latencies_us) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  const auto pct = [&](double p) {
+    if (all.empty()) return 0.0;
+    return all[std::min(all.size() - 1,
+                        static_cast<std::size_t>(p * all.size()))];
+  };
+  const double n = static_cast<double>(completed.load());
+  return {n / elapsed, pct(0.50), pct(0.99),
+          n > 0 ? static_cast<double>(alloc_delta.count) / n : 0.0};
+}
+
+server::ServerConfig hammer_config(bool zero_copy) {
+  server::ServerConfig config;
+  config.db_connections = 8;
+  config.header_threads = 2;
+  config.static_threads = 1;
+  config.general_threads = 6;
+  config.lengthy_threads = 2;
+  config.render_threads = 4;
+  // Measure real server-path work, not simulated paper-time sleeps.
+  config.charge_service_costs = false;
+  config.zero_copy_responses = zero_copy;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto run = bench::BenchRun::init(argc, argv);
+  if (!run.options.has("scale")) TimeScale::set(0.001);
+  const double window_s = run.options.get_double("window", 1.0);
+  const int hammer_threads = run.options.get_int("hammer-threads", 8);
+  const int iters = run.options.get_int("iters", 2000);
+
+  if (!bench::alloc_counting_enabled()) {
+    std::printf("alloc interposer not linked; cannot measure\n");
+    return 1;
+  }
+
+  std::printf(
+      "=== Figure 13: zero-copy response path, off vs on ===\n"
+      "part 1: TPC-W home render, fresh string vs pooled buffer (%d iters)\n"
+      "part 2: handler result -> wire-ready payload (%d iters)\n"
+      "part 3: %d closed-loop clients on /home, %.1fs wall window per cell\n\n",
+      iters, iters, hammer_threads, window_s);
+
+  bench::BenchJson json(run, "fig13_render");
+
+  // --- Part 1: render into fresh string vs pooled buffer --------------------
+  const auto loader = tpcw::make_template_loader();
+  const auto home = loader->load("home.html");
+  const tmpl::Dict data = home_page_data();
+
+  const MeasuredLoop fresh = measure(iters, [&] {
+    std::string html = home->render(data, loader.get());
+    if (html.empty()) std::abort();
+  });
+  auto& pool = RenderBufferPool::instance();
+  const MeasuredLoop pooled = measure(iters, [&] {
+    PooledBuffer buffer = pool.acquire(home->size_hint());
+    home->render_to(*buffer, data, loader.get());
+    if (buffer->empty()) std::abort();
+  });
+
+  metrics::Table render_table(
+      {"render", "ns/render", "allocs/render", "bytes/render"});
+  render_table.add_row({"fresh string", metrics::format_double(fresh.ns_per_iter, 0),
+                        metrics::format_double(fresh.allocs_per_iter, 2),
+                        metrics::format_double(fresh.alloc_bytes_per_iter, 0)});
+  render_table.add_row({"pooled", metrics::format_double(pooled.ns_per_iter, 0),
+                        metrics::format_double(pooled.allocs_per_iter, 2),
+                        metrics::format_double(pooled.alloc_bytes_per_iter, 0)});
+  std::printf("%s\n", render_table.to_string().c_str());
+
+  json.add_scalar("render_fresh", "allocs_per_render", fresh.allocs_per_iter);
+  json.add_scalar("render_fresh", "ns_per_render", fresh.ns_per_iter);
+  json.add_scalar("render_pooled", "allocs_per_render", pooled.allocs_per_iter);
+  json.add_scalar("render_pooled", "ns_per_render", pooled.ns_per_iter);
+
+  // --- Part 2: handler result -> wire-ready payload -------------------------
+  const MeasuredLoop legacy_path = measure(iters, [&] {
+    // Pre-PR shape: render to a string, copy the body into one flat wire
+    // image via serialize_response inside make_payload's legacy leg.
+    std::string html = home->render(data, loader.get());
+    http::Response response = http::Response::make(
+        http::Status::kOk, std::move(html));
+    server::OutboundPayload payload = server::make_payload(
+        std::move(response), /*head_only=*/false,
+        http::ConnectionDirective::kKeepAlive, /*zero_copy=*/false);
+    if (payload.size() == 0) std::abort();
+  });
+  const MeasuredLoop zc_path = measure(iters, [&] {
+    PooledBuffer buffer = pool.acquire(home->size_hint());
+    home->render_to(*buffer, data, loader.get());
+    http::Response response = http::Response::from_shared(
+        http::Status::kOk, std::move(buffer).share());
+    server::OutboundPayload payload = server::make_payload(
+        std::move(response), /*head_only=*/false,
+        http::ConnectionDirective::kKeepAlive, /*zero_copy=*/true);
+    if (payload.size() == 0) std::abort();
+  });
+
+  const double alloc_count_speedup =
+      zc_path.allocs_per_iter > 0
+          ? legacy_path.allocs_per_iter / zc_path.allocs_per_iter
+          : 0.0;
+  const double alloc_bytes_speedup =
+      zc_path.alloc_bytes_per_iter > 0
+          ? legacy_path.alloc_bytes_per_iter / zc_path.alloc_bytes_per_iter
+          : 0.0;
+
+  metrics::Table path_table({"response path", "ns/resp", "allocs/resp",
+                             "bytes/resp", "vs legacy"});
+  path_table.add_row(
+      {"legacy (flat copy)", metrics::format_double(legacy_path.ns_per_iter, 0),
+       metrics::format_double(legacy_path.allocs_per_iter, 2),
+       metrics::format_double(legacy_path.alloc_bytes_per_iter, 0), "1.00"});
+  path_table.add_row(
+      {"zero-copy", metrics::format_double(zc_path.ns_per_iter, 0),
+       metrics::format_double(zc_path.allocs_per_iter, 2),
+       metrics::format_double(zc_path.alloc_bytes_per_iter, 0),
+       metrics::format_double(alloc_count_speedup, 2) + "x fewer allocs"});
+  std::printf("%s\n", path_table.to_string().c_str());
+
+  json.add_scalar("response_path_legacy", "allocs_per_response",
+                  legacy_path.allocs_per_iter);
+  json.add_scalar("response_path_legacy", "alloc_bytes_per_response",
+                  legacy_path.alloc_bytes_per_iter);
+  json.add_scalar("response_path_zero_copy", "allocs_per_response",
+                  zc_path.allocs_per_iter);
+  json.add_scalar("response_path_zero_copy", "alloc_bytes_per_response",
+                  zc_path.alloc_bytes_per_iter);
+  json.add_scalar("response_path_zero_copy", "alloc_count_speedup",
+                  alloc_count_speedup);
+  json.add_scalar("response_path_zero_copy", "alloc_bytes_speedup",
+                  alloc_bytes_speedup);
+
+  // --- Part 3: hot-page hammer through the staged server --------------------
+  db::Database db;
+  const auto scale = tpcw::Scale::tiny();
+  const auto pop = tpcw::populate_tpcw(db, scale);
+  auto app = tpcw::make_tpcw_application(
+      tpcw::TpcwState::from_population(scale, pop));
+
+  HammerResult off;
+  HammerResult on;
+  {
+    server::StagedServer web(hammer_config(false), app, db);
+    off = hammer(web, hammer_threads, window_s);
+    web.shutdown();
+  }
+  {
+    server::StagedServer web(hammer_config(true), app, db);
+    on = hammer(web, hammer_threads, window_s);
+    web.shutdown();
+  }
+  const double rps_speedup = off.rps > 0 ? on.rps / off.rps : 0.0;
+  const double p50_speedup = on.p50_us > 0 ? off.p50_us / on.p50_us : 0.0;
+
+  metrics::Table hammer_table({"zero-copy", "req/s", "p50 us", "p99 us",
+                               "allocs/resp"});
+  hammer_table.add_row({"off", metrics::format_double(off.rps, 0),
+                        metrics::format_double(off.p50_us, 1),
+                        metrics::format_double(off.p99_us, 1),
+                        metrics::format_double(off.allocs_per_response, 1)});
+  hammer_table.add_row({"on", metrics::format_double(on.rps, 0),
+                        metrics::format_double(on.p50_us, 1),
+                        metrics::format_double(on.p99_us, 1),
+                        metrics::format_double(on.allocs_per_response, 1)});
+  std::printf("%s\n", hammer_table.to_string().c_str());
+  std::printf("hammer: %.2fx req/s, %.2fx p50 (off/on)\n\n", rps_speedup,
+              p50_speedup);
+
+  json.add_scalar("hammer_off", "hammer_rps", off.rps);
+  json.add_scalar("hammer_off", "p50_us", off.p50_us);
+  json.add_scalar("hammer_off", "allocs_per_response",
+                  off.allocs_per_response);
+  json.add_scalar("hammer_on", "hammer_rps", on.rps);
+  json.add_scalar("hammer_on", "p50_us", on.p50_us);
+  json.add_scalar("hammer_on", "allocs_per_response", on.allocs_per_response);
+  json.add_scalar("hammer_on", "rps_speedup", rps_speedup);
+  json.add_scalar("hammer_on", "p50_speedup", p50_speedup);
+
+  // Gate: the issue's acceptance bar. The response-path allocation count must
+  // drop by at least 2x with the zero-copy path on.
+  const bool alloc_ok = alloc_count_speedup >= 2.0;
+  std::printf("response-path allocations reduced >= 2x: %s (%.2fx)\n",
+              alloc_ok ? "yes" : "NO", alloc_count_speedup);
+  json.write();
+  return alloc_ok ? 0 : 1;
+}

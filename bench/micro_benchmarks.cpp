@@ -5,12 +5,15 @@
 
 #include <future>
 
+#include "bench/alloc_counter.h"
 #include "src/common/clock.h"
+#include "src/common/render_buffer.h"
 #include "src/common/mpmc_queue.h"
 #include "src/common/worker_pool.h"
 #include "src/db/executor.h"
 #include "src/http/parser.h"
 #include "src/http/serializer.h"
+#include "src/server/outbound.h"
 #include "src/server/reserve_controller.h"
 #include "src/template/loader.h"
 #include "src/tpcw/populate.h"
@@ -64,11 +67,47 @@ void BM_TemplateRenderTpcwHome(benchmark::State& state) {
   data["c_fname"] = tmpl::Value("Ada");
   data["c_lname"] = tmpl::Value("Lovelace");
   data["promotions"] = tmpl::Value(std::move(promos));
+  const auto before = bench::alloc_counts();
   for (auto _ : state) {
     benchmark::DoNotOptimize(tmpl->render(data, loader.get()));
   }
+  const auto delta = bench::alloc_counts() - before;
+  state.counters["allocs_per_render"] = benchmark::Counter(
+      static_cast<double>(delta.count), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_TemplateRenderTpcwHome);
+
+// The zero-copy counterpart: pooled buffer + the allocation-light node
+// paths. Compare allocs_per_render with BM_TemplateRenderTpcwHome above.
+void BM_TemplateRenderTpcwHomePooled(benchmark::State& state) {
+  const auto loader = tpcw::make_template_loader();
+  const auto tmpl = loader->load("home.html");
+  tmpl::List promos;
+  for (int i = 0; i < 5; ++i) {
+    tmpl::Dict promo;
+    promo["i_id"] = tmpl::Value(i);
+    promo["i_title"] = tmpl::Value("a book title " + std::to_string(i));
+    promo["i_cost"] = tmpl::Value(12.5);
+    promo["i_thumbnail"] = tmpl::Value("/img/thumb_1.gif");
+    promos.push_back(tmpl::Value(std::move(promo)));
+  }
+  tmpl::Dict data;
+  data["c_id"] = tmpl::Value(7);
+  data["c_fname"] = tmpl::Value("Ada");
+  data["c_lname"] = tmpl::Value("Lovelace");
+  data["promotions"] = tmpl::Value(std::move(promos));
+  auto& pool = RenderBufferPool::instance();
+  const auto before = bench::alloc_counts();
+  for (auto _ : state) {
+    PooledBuffer buffer = pool.acquire(tmpl->size_hint());
+    tmpl->render_to(*buffer, data, loader.get());
+    benchmark::DoNotOptimize(buffer->size());
+  }
+  const auto delta = bench::alloc_counts() - before;
+  state.counters["allocs_per_render"] = benchmark::Counter(
+      static_cast<double>(delta.count), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_TemplateRenderTpcwHomePooled);
 
 // --- HTTP --------------------------------------------------------------------
 
@@ -101,6 +140,84 @@ void BM_HttpSerializeResponse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HttpSerializeResponse)->Arg(1024)->Arg(16384);
+
+// Header-block-only serialization — the zero-copy path's serializer. The
+// entity bytes never pass through it, so cost is independent of body size.
+void BM_HttpSerializeHeaders(benchmark::State& state) {
+  const auto response = http::Response::make(
+      http::Status::kOk, std::string(static_cast<std::size_t>(state.range(0)), 'x'));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(http::serialize_headers(
+        response, response.body_size(), http::ConnectionDirective::kKeepAlive));
+  }
+}
+BENCHMARK(BM_HttpSerializeHeaders)->Arg(1024)->Arg(16384);
+
+void BM_HttpDateView(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(http::http_date_view());
+  }
+}
+BENCHMARK(BM_HttpDateView);
+
+// Full response-path allocation profiles: render + serialize + payload
+// assembly, legacy (flattened wire string) vs zero-copy (pooled buffer
+// shared into a two-chunk payload). The allocs_per_response counters are
+// the headline fig13 metric in microbenchmark form.
+void response_path_bench(benchmark::State& state, bool zero_copy) {
+  const auto loader = tpcw::make_template_loader();
+  const auto tmpl = loader->load("home.html");
+  tmpl::Dict data;
+  data["c_id"] = tmpl::Value(7);
+  data["c_fname"] = tmpl::Value("Ada");
+  data["c_lname"] = tmpl::Value("Lovelace");
+  tmpl::List promos;
+  for (int i = 0; i < 5; ++i) {
+    tmpl::Dict promo;
+    promo["i_id"] = tmpl::Value(i);
+    promo["i_title"] = tmpl::Value("a book title " + std::to_string(i));
+    promo["i_cost"] = tmpl::Value(12.5);
+    promo["i_thumbnail"] = tmpl::Value("/img/thumb_1.gif");
+    promos.push_back(tmpl::Value(std::move(promo)));
+  }
+  data["promotions"] = tmpl::Value(std::move(promos));
+  auto& pool = RenderBufferPool::instance();
+  const auto before = bench::alloc_counts();
+  for (auto _ : state) {
+    server::OutboundPayload payload;
+    if (zero_copy) {
+      PooledBuffer buffer = pool.acquire(tmpl->size_hint());
+      tmpl->render_to(*buffer, data, loader.get());
+      auto response = http::Response::from_shared(http::Status::kOk,
+                                                  std::move(buffer).share());
+      payload = server::make_payload(std::move(response), /*head_only=*/false,
+                                     http::ConnectionDirective::kKeepAlive,
+                                     /*zero_copy=*/true);
+    } else {
+      auto response = http::Response::make(http::Status::kOk,
+                                           tmpl->render(data, loader.get()));
+      payload = server::make_payload(std::move(response), /*head_only=*/false,
+                                     http::ConnectionDirective::kKeepAlive,
+                                     /*zero_copy=*/false);
+    }
+    benchmark::DoNotOptimize(payload.size());
+  }
+  const auto delta = bench::alloc_counts() - before;
+  state.counters["allocs_per_response"] = benchmark::Counter(
+      static_cast<double>(delta.count), benchmark::Counter::kAvgIterations);
+  state.counters["alloc_bytes_per_response"] = benchmark::Counter(
+      static_cast<double>(delta.bytes), benchmark::Counter::kAvgIterations);
+}
+
+void BM_ResponsePathLegacy(benchmark::State& state) {
+  response_path_bench(state, /*zero_copy=*/false);
+}
+BENCHMARK(BM_ResponsePathLegacy);
+
+void BM_ResponsePathZeroCopy(benchmark::State& state) {
+  response_path_bench(state, /*zero_copy=*/true);
+}
+BENCHMARK(BM_ResponsePathZeroCopy);
 
 // --- SQL engine ----------------------------------------------------------------
 

@@ -1,0 +1,123 @@
+#include "src/common/render_buffer.h"
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tempest {
+
+struct RenderBufferPool::Shard {
+  mutable std::mutex mu;
+  std::vector<std::unique_ptr<RenderBuffer>> free;
+  Counters counters;
+};
+
+RenderBufferPool::RenderBufferPool(std::size_t max_retained_bytes,
+                                   std::size_t max_free_per_shard)
+    : max_retained_bytes_(max_retained_bytes),
+      max_free_per_shard_(max_free_per_shard),
+      shards_(new Shard[kShards]) {}
+
+RenderBufferPool::~RenderBufferPool() { delete[] shards_; }
+
+RenderBufferPool& RenderBufferPool::instance() {
+  static RenderBufferPool* pool = new RenderBufferPool();  // leaked on purpose
+  return *pool;
+}
+
+PooledBuffer RenderBufferPool::acquire(std::size_t reserve_bytes) {
+  const std::size_t start =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  // Probe the home shard first, then steal from the others: releases land on
+  // the reactor thread's shard, which is rarely the acquiring worker's.
+  for (std::size_t i = 0; i < kShards; ++i) {
+    Shard& shard = shards_[(start + i) % kShards];
+    std::unique_ptr<RenderBuffer> buffer;
+    {
+      std::lock_guard lock(shard.mu);
+      if (i == 0) ++shard.counters.acquires;
+      if (!shard.free.empty()) {
+        buffer = std::move(shard.free.back());
+        shard.free.pop_back();
+        ++shard.counters.reuses;
+      }
+    }
+    if (buffer) {
+      buffer->clear();
+      if (buffer->capacity() < reserve_bytes) buffer->reserve(reserve_bytes);
+      return PooledBuffer(this, std::move(buffer));
+    }
+  }
+  {
+    Shard& home = shards_[start];
+    std::lock_guard lock(home.mu);
+    ++home.counters.allocs;
+  }
+  return PooledBuffer(this, std::make_unique<RenderBuffer>(reserve_bytes));
+}
+
+void RenderBufferPool::release(std::unique_ptr<RenderBuffer> buffer) {
+  if (!buffer) return;
+  Shard& shard = shards_[std::hash<std::thread::id>{}(
+                             std::this_thread::get_id()) %
+                         kShards];
+  std::lock_guard lock(shard.mu);
+  if (buffer->capacity() > max_retained_bytes_ ||
+      shard.free.size() >= max_free_per_shard_) {
+    ++shard.counters.discards;
+    return;  // unique_ptr frees the oversize/overflow buffer
+  }
+  ++shard.counters.releases;
+  shard.free.push_back(std::move(buffer));
+}
+
+RenderBufferPool::Counters RenderBufferPool::counters() const {
+  Counters total;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    std::lock_guard lock(shards_[i].mu);
+    total.acquires += shards_[i].counters.acquires;
+    total.reuses += shards_[i].counters.reuses;
+    total.allocs += shards_[i].counters.allocs;
+    total.releases += shards_[i].counters.releases;
+    total.discards += shards_[i].counters.discards;
+  }
+  return total;
+}
+
+std::size_t RenderBufferPool::free_count() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    std::lock_guard lock(shards_[i].mu);
+    total += shards_[i].free.size();
+  }
+  return total;
+}
+
+PooledBuffer::~PooledBuffer() {
+  if (pool_ && buffer_) pool_->release(std::move(buffer_));
+}
+
+PooledBuffer& PooledBuffer::operator=(PooledBuffer&& other) noexcept {
+  if (this != &other) {
+    if (pool_ && buffer_) pool_->release(std::move(buffer_));
+    pool_ = other.pool_;
+    buffer_ = std::move(other.buffer_);
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+std::shared_ptr<const std::string> PooledBuffer::share() && {
+  if (!buffer_) return nullptr;
+  RenderBufferPool* pool = pool_;
+  RenderBuffer* raw = buffer_.release();
+  pool_ = nullptr;
+  // Aliasing-style shared_ptr: points at the backing string, owns the whole
+  // buffer, and the deleter re-pools it instead of freeing.
+  return std::shared_ptr<const std::string>(
+      &raw->str(), [pool, raw](const std::string*) {
+        pool->release(std::unique_ptr<RenderBuffer>(raw));
+      });
+}
+
+}  // namespace tempest

@@ -1,0 +1,136 @@
+// Reusable output buffers for the zero-copy response path.
+//
+// RenderBuffer is a growable byte sink the template engine renders into.
+// PooledBuffer is an RAII handle on a RenderBuffer checked out of a
+// RenderBufferPool: destroying the handle returns the buffer (capacity
+// intact) to its pool, so steady-state rendering performs no heap growth at
+// all — the buffer that served the previous request serves the next one.
+//
+// A rendered body usually has to outlive the worker thread that produced it
+// (the epoll reactor writes it to the socket later, possibly in several
+// partial writes). `std::move(pooled).share()` converts the handle into a
+// copyable `std::shared_ptr<const std::string>` whose deleter returns the
+// buffer to the pool when the last reference drops — on whichever thread
+// that happens. The pool is therefore a sharded global free list rather than
+// a thread_local one: buffers are acquired on pool threads and released on
+// the reactor thread, and per-thread lists would strand every buffer on the
+// releasing side.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace tempest {
+
+// A growable byte sink. Deliberately string-backed: the template AST appends
+// into a std::string, so exposing the backing string lets render_to() reuse
+// every Node::render overload unchanged while still pooling the storage.
+class RenderBuffer {
+ public:
+  RenderBuffer() = default;
+  explicit RenderBuffer(std::size_t reserve_bytes) { data_.reserve(reserve_bytes); }
+
+  void clear() { data_.clear(); }
+  void reserve(std::size_t bytes) { data_.reserve(bytes); }
+  void append(std::string_view bytes) { data_.append(bytes); }
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t capacity() const { return data_.capacity(); }
+  bool empty() const { return data_.empty(); }
+  std::string_view view() const { return data_; }
+
+  // The backing string, for code that renders via std::string& sinks.
+  std::string& str() { return data_; }
+  const std::string& str() const { return data_; }
+
+  // Moves the contents out (capacity goes with them); the buffer is left
+  // empty. Used by the compatibility render() wrapper.
+  std::string take() && { return std::move(data_); }
+
+ private:
+  std::string data_;
+};
+
+class RenderBufferPool;
+
+// Move-only checkout handle. Returns the buffer to its pool on destruction
+// unless it has been moved from or converted via share().
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  PooledBuffer(RenderBufferPool* pool, std::unique_ptr<RenderBuffer> buffer)
+      : pool_(pool), buffer_(std::move(buffer)) {}
+  ~PooledBuffer();
+
+  PooledBuffer(PooledBuffer&&) noexcept = default;
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept;
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  explicit operator bool() const { return buffer_ != nullptr; }
+  RenderBuffer& operator*() { return *buffer_; }
+  RenderBuffer* operator->() { return buffer_.get(); }
+
+  // Converts the handle into a copyable shared reference to the rendered
+  // bytes. The buffer rejoins the pool when the last shared_ptr drops, from
+  // whatever thread that happens on (the reactor, usually). Costs one
+  // control-block allocation — the only per-render allocation at steady
+  // state. Empty handle yields nullptr.
+  std::shared_ptr<const std::string> share() &&;
+
+ private:
+  RenderBufferPool* pool_ = nullptr;
+  std::unique_ptr<RenderBuffer> buffer_;
+};
+
+// Sharded free list of RenderBuffers. Workers acquire on their own thread
+// and the reactor releases on its thread; shards (selected by thread id)
+// keep the mutex uncontended for the common case of a few dozen threads.
+class RenderBufferPool {
+ public:
+  struct Counters {
+    std::uint64_t acquires = 0;   // total acquire() calls
+    std::uint64_t reuses = 0;     // acquires satisfied from a free list
+    std::uint64_t allocs = 0;     // acquires that built a fresh buffer
+    std::uint64_t releases = 0;   // buffers returned to a free list
+    std::uint64_t discards = 0;   // buffers dropped (oversize / full shard)
+  };
+
+  // `max_retained_bytes`: a returning buffer whose capacity exceeds this is
+  // freed instead of retained, so one huge render cannot pin memory forever.
+  // `max_free_per_shard` bounds each shard's list length the same way.
+  explicit RenderBufferPool(std::size_t max_retained_bytes = 1 << 20,
+                            std::size_t max_free_per_shard = 64);
+  ~RenderBufferPool();
+
+  RenderBufferPool(const RenderBufferPool&) = delete;
+  RenderBufferPool& operator=(const RenderBufferPool&) = delete;
+
+  // Checks out a cleared buffer with at least `reserve_bytes` of capacity
+  // (a reused buffer keeps its previous, usually larger, capacity).
+  PooledBuffer acquire(std::size_t reserve_bytes = 0);
+
+  // Process-wide pool used by the response path. Leaky singleton: shared
+  // bodies may be released from detached threads during teardown, after
+  // static destructors would have run.
+  static RenderBufferPool& instance();
+
+  Counters counters() const;
+  std::size_t free_count() const;
+
+ private:
+  friend class PooledBuffer;
+  void release(std::unique_ptr<RenderBuffer> buffer);
+
+  struct Shard;
+  static constexpr std::size_t kShards = 8;
+
+  const std::size_t max_retained_bytes_;
+  const std::size_t max_free_per_shard_;
+  Shard* shards_;  // array of kShards; raw so the singleton can leak cleanly
+};
+
+}  // namespace tempest

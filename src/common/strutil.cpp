@@ -129,17 +129,27 @@ std::string url_encode(std::string_view s) {
 std::string html_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '&': out += "&amp;"; break;
-      case '<': out += "&lt;"; break;
-      case '>': out += "&gt;"; break;
-      case '"': out += "&quot;"; break;
-      case '\'': out += "&#x27;"; break;
-      default: out.push_back(c);
-    }
-  }
+  html_escape_append(s, out);
   return out;
+}
+
+void html_escape_append(std::string_view s, std::string& out) {
+  std::size_t run = 0;  // start of the current unescaped run
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char* replacement = nullptr;
+    switch (s[i]) {
+      case '&': replacement = "&amp;"; break;
+      case '<': replacement = "&lt;"; break;
+      case '>': replacement = "&gt;"; break;
+      case '"': replacement = "&quot;"; break;
+      case '\'': replacement = "&#x27;"; break;
+      default: continue;
+    }
+    out.append(s, run, i - run);
+    out += replacement;
+    run = i + 1;
+  }
+  out.append(s, run, s.size() - run);
 }
 
 bool starts_with(std::string_view s, std::string_view prefix) {

@@ -32,6 +32,10 @@ std::string url_encode(std::string_view s);
 // Minimal HTML escaping for template autoescape: & < > " '.
 std::string html_escape(std::string_view s);
 
+// Escapes `s` directly onto the end of `out` — the render hot path's form:
+// no temporary string, and unescaped runs are appended in bulk.
+void html_escape_append(std::string_view s, std::string& out);
+
 bool starts_with(std::string_view s, std::string_view prefix);
 bool ends_with(std::string_view s, std::string_view suffix);
 

@@ -16,6 +16,16 @@ Response Response::make(Status status, std::string body,
   return r;
 }
 
+Response Response::from_shared(Status status,
+                               std::shared_ptr<const std::string> body,
+                               std::string content_type) {
+  Response r;
+  r.status = status;
+  r.shared_body = std::move(body);
+  r.headers.set("Content-Type", std::move(content_type));
+  return r;
+}
+
 Response Response::not_found(const std::string& path) {
   return make(Status::kNotFound, "<html><body><h1>404 Not Found</h1><p>" +
                                      html_escape(path) + "</p></body></html>");

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -13,8 +15,31 @@ struct Response {
   HeaderMap headers;
   std::string body;
 
+  // Zero-copy alternative to `body`: a shared reference to bytes owned
+  // elsewhere (a StaticStore entry, a ResponseCache entry, or a pooled
+  // render buffer). When set it takes precedence over `body`, which stays
+  // empty — the serving path never copies the referenced bytes. Plain
+  // `body` remains for error pages and handler-built strings.
+  std::shared_ptr<const std::string> shared_body;
+
+  // The entity bytes, wherever they live.
+  std::string_view body_view() const {
+    return shared_body ? std::string_view(*shared_body)
+                       : std::string_view(body);
+  }
+  std::size_t body_size() const {
+    return shared_body ? shared_body->size() : body.size();
+  }
+
   static Response make(Status status, std::string body,
                        std::string content_type = "text/html; charset=utf-8");
+
+  // Zero-copy factory: the response references `body` instead of owning a
+  // copy. Null `body` is treated as an empty entity.
+  static Response from_shared(Status status,
+                              std::shared_ptr<const std::string> body,
+                              std::string content_type =
+                                  "text/html; charset=utf-8");
 
   static Response not_found(const std::string& path);
   static Response bad_request(const std::string& detail = "");

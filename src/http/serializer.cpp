@@ -1,22 +1,50 @@
 #include "src/http/serializer.h"
 
+#include <cstdio>
 #include <ctime>
 
 namespace tempest::http {
 
-std::string http_date_now() {
-  char buf[64];
-  const std::time_t now = std::time(nullptr);
-  std::tm tm_utc{};
-  gmtime_r(&now, &tm_utc);
-  std::strftime(buf, sizeof(buf), "%a, %d %b %Y %H:%M:%S GMT", &tm_utc);
-  return buf;
+namespace {
+
+// Appends a decimal integer without a std::to_string temporary.
+void append_uint(std::string& out, std::size_t value) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof(buf), "%zu", value);
+  out.append(buf, static_cast<std::size_t>(n));
 }
 
-std::string serialize_response(const Response& response, bool head_only,
-                               ConnectionDirective conn) {
-  std::string out = "HTTP/1.1 ";
-  out += std::to_string(status_code(response.status));
+}  // namespace
+
+std::string_view http_date_view() {
+  // Per-thread cache: the IMF-fixdate only changes once a second, and a
+  // thread_local avoids both the reformat and any cross-core sharing on the
+  // response hot path (no atomic pointer swap to bounce between caches).
+  struct DateCache {
+    std::time_t second = -1;
+    char text[32];
+    std::size_t len = 0;
+  };
+  thread_local DateCache cache;
+  const std::time_t now = std::time(nullptr);
+  if (now != cache.second) {
+    std::tm tm_utc{};
+    gmtime_r(&now, &tm_utc);
+    cache.len = std::strftime(cache.text, sizeof(cache.text),
+                              "%a, %d %b %Y %H:%M:%S GMT", &tm_utc);
+    cache.second = now;
+  }
+  return {cache.text, cache.len};
+}
+
+std::string http_date_now() { return std::string(http_date_view()); }
+
+std::string serialize_headers(const Response& response, std::size_t body_size,
+                              ConnectionDirective conn) {
+  std::string out;
+  out.reserve(256);  // covers a typical header block in one allocation
+  out += "HTTP/1.1 ";
+  append_uint(out, static_cast<std::size_t>(status_code(response.status)));
   out += ' ';
   out += reason_phrase(response.status);
   out += "\r\n";
@@ -36,9 +64,15 @@ std::string serialize_response(const Response& response, bool head_only,
     if (e.name == "Connection") has_connection = true;
   }
   if (!has_length) {
-    out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+    out += "Content-Length: ";
+    append_uint(out, body_size);
+    out += "\r\n";
   }
-  if (!has_date) out += "Date: " + http_date_now() + "\r\n";
+  if (!has_date) {
+    out += "Date: ";
+    out += http_date_view();
+    out += "\r\n";
+  }
   if (!has_server) out += "Server: tempest/1.0\r\n";
   if (!has_connection && conn != ConnectionDirective::kNone) {
     out += conn == ConnectionDirective::kKeepAlive
@@ -46,7 +80,13 @@ std::string serialize_response(const Response& response, bool head_only,
                : "Connection: close\r\n";
   }
   out += "\r\n";
-  if (!head_only) out += response.body;
+  return out;
+}
+
+std::string serialize_response(const Response& response, bool head_only,
+                               ConnectionDirective conn) {
+  std::string out = serialize_headers(response, response.body_size(), conn);
+  if (!head_only) out += response.body_view();
   return out;
 }
 

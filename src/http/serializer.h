@@ -3,7 +3,9 @@
 // measure output size and set this header, which streaming generators cannot.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <string_view>
 
 #include "src/http/request.h"
 #include "src/http/response.h"
@@ -20,10 +22,22 @@ enum class ConnectionDirective {
   kClose,      // "Connection: close" — transport closes after this response
 };
 
-// Serializes `response` to wire format, setting Content-Length (from body
-// size), Date, and Server headers if absent. `head_only` elides the body
-// (HEAD requests) while keeping the Content-Length of the full entity.
+// Serializes only the header block — status line through the blank line —
+// setting Content-Length (from `body_size`), Date, and Server if absent.
 // `conn` adds a Connection header (unless the response already set one).
+// This is the zero-copy path's serializer: the entity bytes never pass
+// through it; the transport writes them from the response's own storage
+// with a vectored write. Pass the full entity size even for HEAD responses
+// (Content-Length advertises the entity, not the wire payload).
+std::string serialize_headers(const Response& response, std::size_t body_size,
+                              ConnectionDirective conn =
+                                  ConnectionDirective::kNone);
+
+// Serializes `response` to wire format — header block plus entity in one
+// string. `head_only` elides the body (HEAD requests) while keeping the
+// Content-Length of the full entity. Compatibility/reference path; the
+// transports assemble the wire image from serialize_headers + a body
+// reference instead.
 std::string serialize_response(const Response& response,
                                bool head_only = false,
                                ConnectionDirective conn =
@@ -34,5 +48,10 @@ std::string serialize_request(const Request& request);
 
 // RFC 7231 IMF-fixdate for the Date header (UTC).
 std::string http_date_now();
+
+// Same, as a view of a cached formatting. Each thread reformats at most
+// once per wall-clock second and serves the cached bytes otherwise; the
+// view stays valid on the calling thread until its next second rollover.
+std::string_view http_date_view();
 
 }  // namespace tempest::http

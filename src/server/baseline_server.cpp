@@ -67,7 +67,7 @@ void BaselineServer::handle(RequestContext&& ctx) {
   auto request = http::parse_request(ctx.incoming.raw, &parse_error);
   if (!request) {
     send_and_record(std::move(ctx), http::Response::bad_request(parse_error),
-                    stats_, "malformed");
+                    config_, stats_, "malformed");
     return;
   }
   ctx.request = std::move(*request);
@@ -77,18 +77,19 @@ void BaselineServer::handle(RequestContext&& ctx) {
   if (!http::path_extension(path).empty()) {
     ctx.cls = RequestClass::kStatic;
     const StaticStore::Entry* entry = app_->static_store.find(path);
-    const http::Response response =
+    http::Response response =
         entry ? serve_static(*entry, config_, ctx.request)
               : http::Response::not_found(path);
-    send_and_record(std::move(ctx), response, stats_, "static");
+    send_and_record(std::move(ctx), std::move(response), config_, stats_,
+                    "static");
     return;
   }
 
   ctx.request.uri.query = http::parse_query(ctx.request.uri.raw_query);
   const Handler* handler = app_->router.find(path);
   if (handler == nullptr) {
-    send_and_record(std::move(ctx), http::Response::not_found(path), stats_,
-                    path);
+    send_and_record(std::move(ctx), http::Response::not_found(path), config_,
+                    stats_, path);
     return;
   }
 
@@ -102,14 +103,14 @@ void BaselineServer::handle(RequestContext&& ctx) {
   if (const auto* tr = std::get_if<TemplateResponse>(&result)) {
     response = render_template_response(*app_, config_, *tr);
   } else {
-    response = to_response(std::get<StringResponse>(result));
+    response = to_response(std::move(std::get<StringResponse>(result)));
   }
   // Reporting-only classification; measured time includes rendering because
   // this server cannot tell the phases apart.
   tracker_.record(path, service_watch.elapsed_paper());
   ctx.cls = tracker_.is_lengthy(path) ? RequestClass::kLengthyDynamic
                                       : RequestClass::kQuickDynamic;
-  send_and_record(std::move(ctx), response, stats_, path);
+  send_and_record(std::move(ctx), std::move(response), config_, stats_, path);
 }
 
 }  // namespace tempest::server

@@ -1,0 +1,49 @@
+#include "src/server/outbound.h"
+
+namespace tempest::server {
+
+std::size_t OutboundPayload::fill_iov(std::size_t offset, iovec iov[2]) const {
+  const std::string_view chunks[2] = {head, body()};
+  std::size_t n = 0;
+  for (const std::string_view chunk : chunks) {
+    if (offset >= chunk.size()) {
+      offset -= chunk.size();
+      continue;
+    }
+    iov[n].iov_base = const_cast<char*>(chunk.data() + offset);
+    iov[n].iov_len = chunk.size() - offset;
+    offset = 0;
+    ++n;
+  }
+  return n;
+}
+
+std::string OutboundPayload::flatten() const {
+  std::string wire;
+  const std::string_view entity = body();
+  wire.reserve(head.size() + entity.size());
+  wire += head;
+  wire += entity;
+  return wire;
+}
+
+OutboundPayload make_payload(http::Response&& response, bool head_only,
+                             http::ConnectionDirective conn, bool zero_copy) {
+  OutboundPayload payload;
+  if (!zero_copy) {
+    payload.head = http::serialize_response(response, head_only, conn);
+    return payload;
+  }
+  payload.head =
+      http::serialize_headers(response, response.body_size(), conn);
+  if (!head_only) {
+    if (response.shared_body) {
+      payload.body_shared = std::move(response.shared_body);
+    } else {
+      payload.body_owned = std::move(response.body);
+    }
+  }
+  return payload;
+}
+
+}  // namespace tempest::server

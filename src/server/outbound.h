@@ -1,0 +1,64 @@
+// The unit of outbound transmission: a response as 1-2 chunks of bytes that
+// the transport writes with a single vectored syscall instead of gluing into
+// one wire string.
+//
+//   head        — the serialized header block (status line .. CRLF CRLF)
+//   body_owned  — entity bytes this payload owns (error pages, handler
+//                 strings); or
+//   body_shared — a shared reference to entity bytes owned elsewhere: a
+//                 StaticStore entry, a ResponseCache entry, or a pooled
+//                 render buffer. The referenced bytes are never copied; when
+//                 the last reference drops (payload fully written), a pooled
+//                 buffer returns to its pool via its deleter.
+//
+// For legacy single-chunk flows (the pre-zero-copy wire image, transport
+// 400/413 responses) `head` simply holds the whole serialized response and
+// both bodies stay empty.
+#pragma once
+
+#include <sys/uio.h>
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/http/response.h"
+#include "src/http/serializer.h"
+
+namespace tempest::server {
+
+struct OutboundPayload {
+  std::string head;
+  std::string body_owned;
+  std::shared_ptr<const std::string> body_shared;
+
+  std::string_view body() const {
+    return body_shared ? std::string_view(*body_shared)
+                       : std::string_view(body_owned);
+  }
+
+  std::size_t size() const { return head.size() + body().size(); }
+
+  // Fills up to 2 iovecs with the bytes remaining after `offset` (bytes
+  // already written on the wire). Returns the number of iovecs filled; 0
+  // means the payload is complete. Pure bookkeeping over the chunk
+  // boundaries, so short writes that land inside either chunk — or exactly
+  // on the seam — resume correctly.
+  std::size_t fill_iov(std::size_t offset, iovec iov[2]) const;
+
+  // Single contiguous wire image (in-process transport, tests).
+  std::string flatten() const;
+};
+
+// Builds the payload for `response`. With `zero_copy` set, the header block
+// is serialized on its own and the entity rides as a reference (shared when
+// the response carries one, owned-by-move otherwise). With it clear, the
+// whole response is flattened through http::serialize_response into `head`
+// — byte-identical to the pre-zero-copy serializer, kept as the A/B leg for
+// bench/fig13_render and the `zero_copy_responses=false` escape hatch.
+OutboundPayload make_payload(http::Response&& response, bool head_only,
+                             http::ConnectionDirective conn,
+                             bool zero_copy = true);
+
+}  // namespace tempest::server

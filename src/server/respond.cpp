@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/common/render_buffer.h"
 #include "src/http/serializer.h"
 
 namespace tempest::server {
@@ -18,17 +19,19 @@ http::ConnectionDirective directive(const RequestContext& ctx) {
 
 }  // namespace
 
-void send_and_record(RequestContext&& ctx, const http::Response& response,
-                     ServerStats& stats, const std::string& page) {
+void send_and_record(RequestContext&& ctx, http::Response response,
+                     const ServerConfig& config, ServerStats& stats,
+                     const std::string& page) {
   ctx.trace.complete();
-  std::string wire =
-      http::serialize_response(response, ctx.head_only(), directive(ctx));
+  OutboundPayload payload =
+      make_payload(std::move(response), ctx.head_only(), directive(ctx),
+                   config.zero_copy_responses);
   // Record before releasing the response to the client so anyone observing
   // the response also observes the completion in the stats.
   const double response_time = to_paper(WallClock::now() - ctx.incoming.accepted);
   stats.record_completion(ctx.cls, page, paper_now(), response_time);
   stats.record_trace(ctx.trace, ctx.cls);
-  ctx.incoming.writer->send(std::move(wire));
+  ctx.incoming.writer->send(std::move(payload));
 }
 
 void shed_request(RequestContext&& ctx, const ServerConfig& config,
@@ -42,8 +45,9 @@ void shed_request(RequestContext&& ctx, const ServerConfig& config,
   response.headers.set("Retry-After", std::to_string(retry_after));
   stats.record_shed(ctx.cls);
   // Sheds are not completions: they must not inflate the throughput figures.
-  ctx.incoming.writer->send(
-      http::serialize_response(response, ctx.head_only(), directive(ctx)));
+  ctx.incoming.writer->send(make_payload(std::move(response), ctx.head_only(),
+                                         directive(ctx),
+                                         config.zero_copy_responses));
 }
 
 http::Response render_template_response(const Application& app,
@@ -54,14 +58,27 @@ http::Response render_template_response(const Application& app,
   }
   try {
     const auto compiled = app.templates->load(tr.template_name);
-    std::string body = compiled->render(tr.data, app.templates.get());
+    if (!config.zero_copy_responses) {
+      // Pre-zero-copy path (the fig13 A/B leg): a fresh result string per
+      // render, later copied into the flattened wire image.
+      std::string body = compiled->render(tr.data, app.templates.get());
+      paper_sleep_for(config.render_cost(body.size()));
+      return http::Response::make(tr.status, std::move(body), tr.content_type);
+    }
+    // Render into a pooled buffer sized by the template's EWMA — at steady
+    // state the buffer that served the previous request is reused with its
+    // capacity intact, so rendering performs no heap growth at all.
+    PooledBuffer buffer =
+        RenderBufferPool::instance().acquire(compiled->size_hint());
+    compiled->render_to(*buffer, tr.data, app.templates.get());
     // Rendering in its own stage lets the server measure the output and set
-    // Content-Length (serialize_response does so from body size); charge the
+    // Content-Length (serialize_headers does so from body size); charge the
     // simulated rendering service time proportional to that output.
-    paper_sleep_for(config.render_cost(body.size()));
-    http::Response response =
-        http::Response::make(tr.status, std::move(body), tr.content_type);
-    return response;
+    paper_sleep_for(config.render_cost(buffer->size()));
+    // share() converts the checkout into a shared body reference; the
+    // buffer rejoins the pool when the transport finishes writing it.
+    return http::Response::from_shared(tr.status, std::move(buffer).share(),
+                                       tr.content_type);
   } catch (const tmpl::TemplateError& e) {
     LOG_WARN << "template error rendering " << tr.template_name << ": "
              << e.what();
@@ -87,10 +104,15 @@ http::Response serve_static(const StaticStore::Entry& entry,
     paper_sleep_for(config.static_cost(0));
     return http::Response::not_modified(entry.etag, entry.last_modified);
   }
-  paper_sleep_for(config.static_cost(entry.content.size()));
-  http::Response response = http::Response::make(http::Status::kOk,
-                                                 entry.content,
-                                                 entry.mime_type);
+  paper_sleep_for(config.static_cost(entry.content->size()));
+  // Zero-copy: the response references the store's bytes; nothing is copied
+  // per request. (Legacy leg copies, as the pre-zero-copy server did.)
+  http::Response response =
+      config.zero_copy_responses
+          ? http::Response::from_shared(http::Status::kOk, entry.content,
+                                        entry.mime_type)
+          : http::Response::make(http::Status::kOk, *entry.content,
+                                 entry.mime_type);
   response.headers.set("ETag", entry.etag);
   response.headers.set("Last-Modified", entry.last_modified);
   return response;
@@ -110,8 +132,9 @@ HandlerResult run_handler(const Handler& handler, const http::Request& request,
   }
 }
 
-http::Response to_response(const StringResponse& sr) {
-  return http::Response::make(sr.status, sr.body, sr.content_type);
+http::Response to_response(StringResponse sr) {
+  return http::Response::make(sr.status, std::move(sr.body),
+                              std::move(sr.content_type));
 }
 
 }  // namespace tempest::server

@@ -14,11 +14,15 @@
 
 namespace tempest::server {
 
-// Completes a request: stamps the final stage-completion instant, serializes
-// and sends `response`, and records the completion (class, page, response
-// time from transport accept to send) plus the per-stage latency trace.
-void send_and_record(RequestContext&& ctx, const http::Response& response,
-                     ServerStats& stats, const std::string& page);
+// Completes a request: stamps the final stage-completion instant, builds the
+// outbound payload (header block + body reference; config.zero_copy_responses
+// selects the legacy flattened wire image instead), sends it, and records the
+// completion (class, page, response time from transport accept to send) plus
+// the per-stage latency trace. Takes the response by value: its body moves
+// into the payload instead of being copied.
+void send_and_record(RequestContext&& ctx, http::Response response,
+                     const ServerConfig& config, ServerStats& stats,
+                     const std::string& page);
 
 // Sheds a request that a bounded stage queue refused: answers 503 with a
 // Retry-After header (config.retry_after_paper_s, whole paper-seconds) and
@@ -49,6 +53,7 @@ HandlerResult run_handler(const Handler& handler, const http::Request& request,
                           db::Connection* conn,
                           ResponseCache* cache = nullptr);
 
-http::Response to_response(const StringResponse& sr);
+// Takes the StringResponse by value so its body moves into the Response.
+http::Response to_response(StringResponse sr);
 
 }  // namespace tempest::server

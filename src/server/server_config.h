@@ -124,6 +124,13 @@ struct ServerConfig {
   // functional behaviour).
   bool charge_service_costs = true;
 
+  // Zero-copy response path: render into pooled buffers, serialize only the
+  // header block, and hand static/cache/rendered bodies to the transport by
+  // reference for vectored writes. Off = the pre-zero-copy path (string
+  // render, full-wire-image serializer, single-chunk payloads), kept as the
+  // A/B leg for bench/fig13_render and as an escape hatch.
+  bool zero_copy_responses = true;
+
   double static_cost(std::size_t bytes) const {
     return charge_service_costs
                ? static_base_cost_paper_s +

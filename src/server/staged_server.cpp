@@ -153,8 +153,8 @@ void StagedServer::header_stage(RequestContext&& ctx) {
   auto first_line = http::parse_request_line_only(ctx.incoming.raw);
   if (!first_line) {
     send_and_record(std::move(ctx),
-                    http::Response::bad_request("bad request line"), stats_,
-                    "malformed");
+                    http::Response::bad_request("bad request line"), config_,
+                    stats_, "malformed");
     return;
   }
 
@@ -172,7 +172,7 @@ void StagedServer::header_stage(RequestContext&& ctx) {
   auto request = http::parse_request(ctx.incoming.raw, &parse_error);
   if (!request) {
     send_and_record(std::move(ctx), http::Response::bad_request(parse_error),
-                    stats_, "malformed");
+                    config_, stats_, "malformed");
     return;
   }
   request->uri.query = http::parse_query(request->uri.raw_query);
@@ -191,7 +191,7 @@ void StagedServer::header_stage(RequestContext&& ctx) {
       std::string key = ResponseCache::make_key(
           ctx.request.uri.path, ctx.request.uri.query, *policy);
       if (auto hit = cache_->find(key, paper_now())) {
-        serve_cache_hit(std::move(ctx), *hit);
+        serve_cache_hit(std::move(ctx), std::move(hit));
         return;
       }
       stats_.cache().on_miss();
@@ -216,8 +216,9 @@ void StagedServer::header_stage(RequestContext&& ctx) {
   }
 }
 
-void StagedServer::serve_cache_hit(RequestContext&& ctx,
-                                   const ResponseCache::CachedResponse& hit) {
+void StagedServer::serve_cache_hit(
+    RequestContext&& ctx,
+    std::shared_ptr<const ResponseCache::CachedResponse> hit) {
   stats_.cache().on_hit(ctx.cls);
   // The hit is served right here on the header-pool thread, but it gets its
   // own virtual stage visit so cache service shows up in the stage metrics
@@ -227,17 +228,26 @@ void StagedServer::serve_cache_hit(RequestContext&& ctx,
   ctx.trace.dequeue();
   const std::string page = ctx.request.uri.path;
   if (const auto inm = ctx.request.headers.get("If-None-Match");
-      inm && http::etag_matches(*inm, hit.etag)) {
+      inm && http::etag_matches(*inm, hit->etag)) {
     stats_.cache().on_not_modified();
     send_and_record(std::move(ctx),
-                    http::Response::not_modified(hit.etag, ""), stats_, page);
+                    http::Response::not_modified(hit->etag, ""), config_,
+                    stats_, page);
     return;
   }
+  // Aliasing shared_ptr: the response's body reference shares ownership of
+  // the whole cache entry while pointing at its body string, so a hit is
+  // served without copying the stored bytes.
   http::Response response =
-      http::Response::make(hit.status, hit.body, hit.content_type);
-  response.headers.set("ETag", hit.etag);
+      config_.zero_copy_responses
+          ? http::Response::from_shared(
+                hit->status,
+                std::shared_ptr<const std::string>(hit, &hit->body),
+                hit->content_type)
+          : http::Response::make(hit->status, hit->body, hit->content_type);
+  response.headers.set("ETag", hit->etag);
   response.headers.set("X-Cache", "hit");
-  send_and_record(std::move(ctx), response, stats_, page);
+  send_and_record(std::move(ctx), std::move(response), config_, stats_, page);
 }
 
 void StagedServer::static_stage(RequestContext&& ctx) {
@@ -247,19 +257,20 @@ void StagedServer::static_stage(RequestContext&& ctx) {
   auto request = http::parse_request(ctx.incoming.raw, &parse_error);
   if (!request) {
     send_and_record(std::move(ctx), http::Response::bad_request(parse_error),
-                    stats_, "malformed");
+                    config_, stats_, "malformed");
     return;
   }
   ctx.request = std::move(*request);
   const StaticStore::Entry* entry =
       app_->static_store.find(ctx.request.uri.path);
-  const http::Response response =
+  http::Response response =
       entry ? serve_static(*entry, config_, ctx.request)
             : http::Response::not_found(ctx.request.uri.path);
   if (entry && response.status == http::Status::kNotModified) {
     stats_.cache().on_not_modified();
   }
-  send_and_record(std::move(ctx), response, stats_, "static");
+  send_and_record(std::move(ctx), std::move(response), config_, stats_,
+                  "static");
 }
 
 void StagedServer::dynamic_stage(RequestContext&& ctx) {
@@ -268,8 +279,8 @@ void StagedServer::dynamic_stage(RequestContext&& ctx) {
 
   const Handler* handler = app_->router.find(path);
   if (handler == nullptr) {
-    send_and_record(std::move(ctx), http::Response::not_found(path), stats_,
-                    path);
+    send_and_record(std::move(ctx), http::Response::not_found(path), config_,
+                    stats_, path);
     return;
   }
 
@@ -289,8 +300,9 @@ void StagedServer::dynamic_stage(RequestContext&& ctx) {
 
   // Backward compatibility: an already-rendered string is sent directly from
   // this thread (the scheduling optimization cannot apply).
-  const http::Response response = to_response(std::get<StringResponse>(result));
-  send_and_record(std::move(ctx), response, stats_, path);
+  http::Response response =
+      to_response(std::move(std::get<StringResponse>(result)));
+  send_and_record(std::move(ctx), std::move(response), config_, stats_, path);
 }
 
 void StagedServer::render_stage(RequestContext&& ctx) {
@@ -306,9 +318,11 @@ void StagedServer::render_stage(RequestContext&& ctx) {
             app_->router.cache_policy(ctx.request.uri.path)) {
       ResponseCache::CachedResponse cached;
       cached.status = response.status;
-      cached.body = response.body;
+      // One copy into the cache on a miss-insert (the entry must own stable
+      // bytes); every later hit serves it back by reference.
+      cached.body = std::string(response.body_view());
       cached.content_type = ctx.render->content_type;
-      cached.etag = http::strong_etag(response.body);
+      cached.etag = http::strong_etag(response.body_view());
       cached.template_name = ctx.render->template_name;
       cached.data_fingerprint = tmpl::fingerprint(ctx.render->data);
       response.headers.set("ETag", cached.etag);
@@ -317,7 +331,7 @@ void StagedServer::render_stage(RequestContext&& ctx) {
     }
   }
   const std::string page = ctx.request.uri.path;
-  send_and_record(std::move(ctx), response, stats_, page);
+  send_and_record(std::move(ctx), std::move(response), config_, stats_, page);
 }
 
 }  // namespace tempest::server

@@ -57,9 +57,12 @@ class StagedServer : public WebServer {
  private:
   void header_stage(RequestContext&& ctx);
   // Serves a cache hit inline on the header-pool thread (no DB connection is
-  // consumed), answering conditional GETs with 304.
+  // consumed), answering conditional GETs with 304. Takes the entry by
+  // shared_ptr: the response aliases the stored body through it, so a hit
+  // copies nothing and the bytes stay alive even if the entry is evicted
+  // while the response is still being written.
   void serve_cache_hit(RequestContext&& ctx,
-                       const ResponseCache::CachedResponse& hit);
+                       std::shared_ptr<const ResponseCache::CachedResponse> hit);
   void static_stage(RequestContext&& ctx);
   void dynamic_stage(RequestContext&& ctx);
   void render_stage(RequestContext&& ctx);

@@ -6,8 +6,9 @@ namespace tempest::server {
 
 void StaticStore::add(std::string path, std::string content,
                       std::string mime_type) {
-  Entry entry{std::move(content), std::move(mime_type), "", ""};
-  entry.etag = http::strong_etag(entry.content);
+  Entry entry{std::make_shared<const std::string>(std::move(content)),
+              std::move(mime_type), "", ""};
+  entry.etag = http::strong_etag(*entry.content);
   entry.last_modified = http::http_date_now();
   entries_[std::move(path)] = std::move(entry);
 }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,9 +19,12 @@ namespace tempest::server {
 class StaticStore {
  public:
   struct Entry {
-    std::string content;
+    // Shared so the serving path can hand the bytes to a response (and on
+    // to the transport) by reference — a static hit copies nothing. Always
+    // non-null for a registered entry.
+    std::shared_ptr<const std::string> content;
     std::string mime_type;
-    std::string etag;           // strong validator over `content`
+    std::string etag;           // strong validator over `*content`
     std::string last_modified;  // IMF-fixdate stamped at add() time
   };
 

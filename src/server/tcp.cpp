@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <stdexcept>
 #include <unordered_map>
@@ -76,9 +77,9 @@ int make_listen_socket(std::uint16_t port, int backlog, std::uint16_t* bound) {
   return fd;
 }
 
-std::string transport_error_wire(http::Response response) {
-  return http::serialize_response(response, /*head_only=*/false,
-                                  http::ConnectionDirective::kClose);
+OutboundPayload transport_error_payload(http::Response response) {
+  return make_payload(std::move(response), /*head_only=*/false,
+                      http::ConnectionDirective::kClose);
 }
 
 // epoll user-data tags for the two non-connection fds; connection ids start
@@ -96,7 +97,7 @@ constexpr std::uint64_t kFirstConnId = 2;
 // A finished response travelling from a pool thread back to the reactor.
 struct Completion {
   std::uint64_t conn_id = 0;
-  std::string bytes;
+  OutboundPayload payload;
   bool close_after = false;
 };
 
@@ -144,12 +145,12 @@ class ReactorWriter : public ResponseWriter {
         close_after_(close_after) {}
 
   ~ReactorWriter() override {
-    if (!sent_) shared_->post({conn_id_, std::string(), true});
+    if (!sent_) shared_->post({conn_id_, OutboundPayload{}, true});
   }
 
-  void send(std::string bytes) override {
+  void send(OutboundPayload payload) override {
     sent_ = true;
-    shared_->post({conn_id_, std::move(bytes), close_after_});
+    shared_->post({conn_id_, std::move(payload), close_after_});
   }
 
  private:
@@ -170,8 +171,14 @@ struct TcpListener::Conn {
   std::string inbuf;  // read but not yet consumed by the parser
   std::string raw;    // wire bytes of the request currently being assembled
 
-  std::string outbuf;  // serialized response(s) awaiting write
+  // Responses awaiting write, oldest first; out_off counts the bytes of the
+  // front payload already on the wire (short writes resume mid-chunk).
+  // Payloads carry the entity by reference — popping a completed payload is
+  // what releases a pooled render buffer back to its pool.
+  std::deque<OutboundPayload> outq;
   std::size_t out_off = 0;
+
+  bool out_pending() const { return !outq.empty(); }
 
   std::uint32_t events = 0;  // currently-registered epoll interest
   bool read_closed = false;  // client half-closed its sending side
@@ -402,7 +409,9 @@ void TcpListener::drain_completions() {
     Conn& conn = *it->second;
     conn.in_flight = false;
     conn.close_after_flush |= completion.close_after;
-    conn.outbuf.append(completion.bytes);
+    if (completion.payload.size() > 0) {
+      conn.outq.push_back(std::move(completion.payload));
+    }
     try_flush(conn);
   }
 }
@@ -419,7 +428,7 @@ void TcpListener::on_readable(Conn& conn) {
       // no response is pending, process_input gets to answer with a 413
       // first; mid-response the ordering guarantee forbids that, so close.
       if (conn.inbuf.size() > config_.max_request_bytes + 1) {
-        if (conn.in_flight || !conn.outbuf.empty()) {
+        if (conn.in_flight || conn.out_pending()) {
           counters_->on_oversized();
           close_conn(id);
           return;
@@ -440,7 +449,7 @@ void TcpListener::on_readable(Conn& conn) {
   if (conn.read_closed) {
     // Nothing more will arrive; keep only write interest (responses for
     // requests already received may still need delivery).
-    update_interest(conn, false, !conn.outbuf.empty());
+    update_interest(conn, false, conn.out_pending());
   }
   process_input(conn);
 }
@@ -450,7 +459,7 @@ void TcpListener::process_input(Conn& conn) {
   // One request at a time per connection: responses must leave in request
   // order, so the next request is parsed only once the previous response
   // has fully flushed. (Pipelined bytes wait in inbuf.)
-  while (!conn.in_flight && conn.outbuf.empty() && !conn.close_after_flush &&
+  while (!conn.in_flight && !conn.out_pending() && !conn.close_after_flush &&
          !conn.inbuf.empty()) {
     const std::size_t n = conn.parser.feed(conn.inbuf);
     conn.raw.append(conn.inbuf, 0, n);
@@ -458,14 +467,14 @@ void TcpListener::process_input(Conn& conn) {
     if (conn.parser.failed()) {
       counters_->on_parse_error();
       respond_directly(
-          conn, transport_error_wire(
+          conn, transport_error_payload(
                     http::Response::bad_request(conn.parser.error())));
       return;
     }
     if (conn.raw.size() > config_.max_request_bytes) {
       counters_->on_oversized();
       respond_directly(conn,
-                       transport_error_wire(http::Response::make(
+                       transport_error_payload(http::Response::make(
                            http::Status::kPayloadTooLarge,
                            "<html><body><h1>413 Payload Too Large</h1>"
                            "</body></html>")));
@@ -478,14 +487,14 @@ void TcpListener::process_input(Conn& conn) {
     }
   }
 
-  if (conn.read_closed && !conn.in_flight && conn.outbuf.empty()) {
+  if (conn.read_closed && !conn.in_flight && !conn.out_pending()) {
     // EOF with nothing pending: either a clean close between requests or an
     // incomplete request we will never be able to answer.
     close_conn(id);
     return;
   }
 
-  if (!conn.in_flight && conn.outbuf.empty()) {
+  if (!conn.in_flight && !conn.out_pending()) {
     if (conn.idle()) {
       conn.header_armed = false;
       arm(conn, config_.idle_timeout_ms);
@@ -523,20 +532,38 @@ void TcpListener::dispatch(Conn& conn) {
   server_.submit(std::move(incoming));
 }
 
-void TcpListener::respond_directly(Conn& conn, const std::string& wire) {
+void TcpListener::respond_directly(Conn& conn, OutboundPayload payload) {
   conn.close_after_flush = true;
-  conn.outbuf.append(wire);
+  if (payload.size() > 0) conn.outq.push_back(std::move(payload));
   try_flush(conn);
 }
 
 void TcpListener::try_flush(Conn& conn) {
   const std::uint64_t id = conn.id;
-  while (conn.out_off < conn.outbuf.size()) {
-    const ssize_t n =
-        ::send(conn.fd, conn.outbuf.data() + conn.out_off,
-               conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+  while (!conn.outq.empty()) {
+    const OutboundPayload& front = conn.outq.front();
+    iovec iov[2];
+    const std::size_t iov_count = front.fill_iov(conn.out_off, iov);
+    if (iov_count == 0) {  // fully written (or empty payload)
+      conn.outq.pop_front();
+      conn.out_off = 0;
+      continue;
+    }
+    // Vectored write straight from the payload's chunks: header block and
+    // entity go out in one syscall with no concatenation. sendmsg rather
+    // than writev for MSG_NOSIGNAL (a dead client must not raise SIGPIPE).
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iov_count;
+    const ssize_t n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
       conn.out_off += static_cast<std::size_t>(n);
+      if (conn.out_off >= front.size()) {
+        // Dropping the payload releases its body reference — for a pooled
+        // render buffer, this is the moment it rejoins the pool.
+        conn.outq.pop_front();
+        conn.out_off = 0;
+      }
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -551,7 +578,6 @@ void TcpListener::try_flush(Conn& conn) {
     close_conn(id);  // EPIPE / ECONNRESET: client is gone
     return;
   }
-  conn.outbuf.clear();
   conn.out_off = 0;
   after_flush(conn);
 }
@@ -605,7 +631,7 @@ void TcpListener::expire(std::uint64_t id) {
     wheel_->schedule(id, conn.deadline);  // re-armed since scheduling
     return;
   }
-  if (!conn.outbuf.empty()) {
+  if (conn.out_pending()) {
     counters_->on_slow_eviction();
   } else if (conn.idle()) {
     counters_->on_idle_timeout();
@@ -654,8 +680,11 @@ class SocketWriter : public ResponseWriter {
   ~SocketWriter() override {
     if (fd_ >= 0) ::close(fd_);
   }
-  void send(std::string bytes) override {
-    send_all(fd_, bytes);
+  void send(OutboundPayload payload) override {
+    const std::string_view entity = payload.body();
+    if (send_all(fd_, payload.head.data(), payload.head.size())) {
+      send_all(fd_, entity.data(), entity.size());
+    }
     ::close(fd_);
     fd_ = -1;
   }
@@ -758,10 +787,15 @@ std::size_t parse_content_length(std::string_view headers) {
 
 }  // namespace
 
-TcpClient::TcpClient(std::uint16_t port, int io_timeout_ms) {
+TcpClient::TcpClient(std::uint16_t port, int io_timeout_ms, int rcvbuf_bytes) {
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) throw std::runtime_error("socket() failed");
   set_io_timeouts(fd_, io_timeout_ms);
+  if (rcvbuf_bytes > 0) {
+    // Must happen before connect(): the window is negotiated at handshake.
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+  }
   // Without this, a fragmented send on a long-lived connection stalls on
   // Nagle waiting for the server's delayed ACK (~40ms per request).
   int one = 1;

@@ -4,9 +4,11 @@
 // non-blocking accept4, feeds arriving bytes incrementally into a
 // per-connection http::RequestParser, and hands complete requests to the
 // WebServer's pools. Worker threads never touch the socket — completed
-// responses come back through an eventfd-woken outbound queue and are
-// written non-blockingly, driven by EPOLLOUT, so a slow-reading client can
-// never stall a pool thread. Connections are HTTP/1.1 keep-alive by default
+// responses come back through an eventfd-woken outbound queue as
+// OutboundPayloads (header block + body reference) and are written
+// non-blockingly with vectored sendmsg, driven by EPOLLOUT, so a
+// slow-reading client can never stall a pool thread and the entity bytes
+// are never copied into a transport buffer. Connections are HTTP/1.1 keep-alive by default
 // (Connection: close honored, per-connection request caps configurable) and
 // guarded by a timer wheel: header-read, keep-alive-idle, and write-stall
 // timeouts, plus max-connection and max-request-size limits.
@@ -68,7 +70,7 @@ class TcpListener {
   void on_writable(Conn& conn);
   void process_input(Conn& conn);
   void dispatch(Conn& conn);
-  void respond_directly(Conn& conn, const std::string& wire);
+  void respond_directly(Conn& conn, OutboundPayload payload);
   void try_flush(Conn& conn);
   void after_flush(Conn& conn);
   void update_interest(Conn& conn, bool want_read, bool want_write);
@@ -136,7 +138,11 @@ class BlockingTcpListener {
 class TcpClient {
  public:
   // Connects immediately. Throws std::runtime_error on failure.
-  explicit TcpClient(std::uint16_t port, int io_timeout_ms = 10000);
+  // `rcvbuf_bytes` > 0 shrinks SO_RCVBUF before connecting, so a large
+  // response overruns the socket buffers and forces the server through its
+  // partial-write (EAGAIN mid-payload) path — for short-write tests.
+  explicit TcpClient(std::uint16_t port, int io_timeout_ms = 10000,
+                     int rcvbuf_bytes = 0);
   ~TcpClient();
 
   TcpClient(const TcpClient&) = delete;

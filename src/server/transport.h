@@ -11,14 +11,17 @@
 #include <string>
 
 #include "src/common/clock.h"
+#include "src/server/outbound.h"
 
 namespace tempest::server {
 
 class ResponseWriter {
  public:
   virtual ~ResponseWriter() = default;
-  // Delivers the serialized HTTP response. Called exactly once per request.
-  virtual void send(std::string bytes) = 0;
+  // Delivers the response as chunks (header block + body reference) for the
+  // transport to write — vectored, without flattening — or to flatten if it
+  // must (in-process transport). Called exactly once per request.
+  virtual void send(OutboundPayload payload) = 0;
 };
 
 struct IncomingRequest {
@@ -62,8 +65,8 @@ class InProcClient {
  private:
   struct PromiseWriter : ResponseWriter {
     std::promise<std::string> promise;
-    void send(std::string bytes) override {
-      promise.set_value(std::move(bytes));
+    void send(OutboundPayload payload) override {
+      promise.set_value(payload.flatten());
     }
   };
 

@@ -15,8 +15,41 @@ void render_nodes(const NodeList& nodes, Context& ctx, RenderState& state,
   }
 }
 
+namespace {
+
+// Appends `value`'s display form, escaping when requested. Strings escape
+// straight from their storage; numbers/bools cannot contain escapable
+// characters; containers (rare in output position) take the string detour.
+void append_value(const Value& value, bool escape, std::string& out) {
+  if (escape) {
+    if (value.is_string()) {
+      html_escape_append(value.as_string(), out);
+      return;
+    }
+    if (value.is_list() || value.is_dict()) {
+      html_escape_append(value.str(), out);
+      return;
+    }
+  }
+  value.append_str(out);
+}
+
+}  // namespace
+
 void VariableNode::render(Context& ctx, RenderState& state,
                           std::string& out) const {
+  if (state.alloc_light) {
+    if (const Value* borrowed = expr_.peek(ctx)) {
+      append_value(*borrowed, state.autoescape, out);
+      return;
+    }
+    if (expr_.filters.empty()) return;  // unbound path renders empty
+    const FilterExpr::Result result = expr_.evaluate(ctx);
+    append_value(result.value, state.autoescape && !result.safe, out);
+    return;
+  }
+  // Legacy profile: a value copy, a stringify temporary, and an escape
+  // temporary per substitution — kept verbatim for A/B measurement.
   const FilterExpr::Result result = expr_.evaluate(ctx);
   const std::string text = result.value.str();
   if (state.autoescape && !result.safe) {
@@ -37,53 +70,92 @@ void IfNode::render(Context& ctx, RenderState& state, std::string& out) const {
 
 void ForNode::render(Context& ctx, RenderState& state,
                      std::string& out) const {
-  const Value iterable = iterable_.evaluate(ctx).value;
+  // Resolve the iterable. The alloc-light path borrows a plain variable
+  // straight out of the context — no Value copy, and for lists no
+  // per-element copies. The borrow stays valid through the loop: the body
+  // only sets variables in the scope pushed below, never in outer scopes.
+  Value storage;
+  const Value* resolved = state.alloc_light ? iterable_.peek(ctx) : nullptr;
+  if (resolved == nullptr) {
+    storage = iterable_.evaluate(ctx).value;
+    resolved = &storage;
+  }
+  const Value& iterable = *resolved;
 
-  // Materialize the items: lists iterate values; dicts iterate keys (one
-  // loop var) or key/value pairs (two loop vars), as in Django.
-  List items;
+  // Iterate lists in place when possible; otherwise materialize: dicts
+  // iterate keys (one loop var) or key/value pairs (two loop vars), as in
+  // Django, and {% for ... reversed %} needs a reversible copy.
+  List materialized;
+  const List* items = &materialized;
   if (iterable.is_list()) {
-    items = iterable.as_list();
+    if (reversed_) {
+      materialized = iterable.as_list();
+    } else {
+      items = &iterable.as_list();
+    }
   } else if (iterable.is_dict()) {
     for (const auto& [key, value] : iterable.as_dict()) {
       if (loop_vars_.size() >= 2) {
-        items.push_back(Value(List{Value(key), value}));
+        materialized.push_back(Value(List{Value(key), value}));
       } else {
-        items.push_back(Value(key));
+        materialized.push_back(Value(key));
       }
     }
   } else if (!iterable.is_null()) {
     throw TemplateError(std::string("cannot iterate over ") +
                         iterable.type_name());
   }
-  if (reversed_) std::reverse(items.begin(), items.end());
+  if (reversed_) std::reverse(materialized.begin(), materialized.end());
 
-  if (items.empty()) {
+  if (items->empty()) {
     render_nodes(empty_body_, ctx, state, out);
     return;
   }
 
   Context::Scope scope(ctx);
-  const std::size_t n = items.size();
+  const std::size_t n = items->size();
+
+  // Alloc-light: one forloop dict for the whole loop, counters mutated in
+  // place each iteration (the context shares it, so updates are visible).
+  // A template that captures forloop and reads it after the loop would see
+  // the final iteration's values — same as reading forloop late in Django.
+  std::shared_ptr<Dict> shared_forloop;
+  if (state.alloc_light) {
+    shared_forloop = std::make_shared<Dict>();
+    (*shared_forloop)["length"] = Value(static_cast<std::int64_t>(n));
+    ctx.set("forloop", Value(shared_forloop));
+  }
+
   for (std::size_t i = 0; i < n; ++i) {
-    Dict forloop;
-    forloop["counter"] = Value(static_cast<std::int64_t>(i + 1));
-    forloop["counter0"] = Value(static_cast<std::int64_t>(i));
-    forloop["revcounter"] = Value(static_cast<std::int64_t>(n - i));
-    forloop["revcounter0"] = Value(static_cast<std::int64_t>(n - i - 1));
-    forloop["first"] = Value(i == 0);
-    forloop["last"] = Value(i == n - 1);
-    forloop["length"] = Value(static_cast<std::int64_t>(n));
-    ctx.set("forloop", Value(std::move(forloop)));
+    if (state.alloc_light) {
+      Dict& forloop = *shared_forloop;
+      forloop["counter"] = Value(static_cast<std::int64_t>(i + 1));
+      forloop["counter0"] = Value(static_cast<std::int64_t>(i));
+      forloop["revcounter"] = Value(static_cast<std::int64_t>(n - i));
+      forloop["revcounter0"] = Value(static_cast<std::int64_t>(n - i - 1));
+      forloop["first"] = Value(i == 0);
+      forloop["last"] = Value(i == n - 1);
+    } else {
+      // Legacy profile: a fresh dict (and its control block) per iteration.
+      Dict forloop;
+      forloop["counter"] = Value(static_cast<std::int64_t>(i + 1));
+      forloop["counter0"] = Value(static_cast<std::int64_t>(i));
+      forloop["revcounter"] = Value(static_cast<std::int64_t>(n - i));
+      forloop["revcounter0"] = Value(static_cast<std::int64_t>(n - i - 1));
+      forloop["first"] = Value(i == 0);
+      forloop["last"] = Value(i == n - 1);
+      forloop["length"] = Value(static_cast<std::int64_t>(n));
+      ctx.set("forloop", Value(std::move(forloop)));
+    }
 
     if (loop_vars_.size() >= 2) {
       // Unpack a 2-element list into the two loop variables.
-      const Value* a = items[i].index(0);
-      const Value* b = items[i].index(1);
+      const Value* a = (*items)[i].index(0);
+      const Value* b = (*items)[i].index(1);
       ctx.set(loop_vars_[0], a ? *a : Value());
       ctx.set(loop_vars_[1], b ? *b : Value());
     } else {
-      ctx.set(loop_vars_[0], items[i]);
+      ctx.set(loop_vars_[0], (*items)[i]);
     }
     render_nodes(body_, ctx, state, out);
   }
@@ -116,7 +188,9 @@ void CycleNode::render(Context& ctx, RenderState& state,
   std::size_t& position = state.cycle_positions[this];
   const Value value = values_[position % values_.size()].resolve(ctx);
   ++position;
-  if (state.autoescape) {
+  if (state.alloc_light) {
+    append_value(value, state.autoescape, out);
+  } else if (state.autoescape) {
     out += html_escape(value.str());
   } else {
     out += value.str();
@@ -128,7 +202,9 @@ void FirstOfNode::render(Context& ctx, RenderState& state,
   for (const Operand& operand : values_) {
     const Value value = operand.resolve(ctx);
     if (value.truthy()) {
-      if (state.autoescape) {
+      if (state.alloc_light) {
+        append_value(value, state.autoescape, out);
+      } else if (state.autoescape) {
         out += html_escape(value.str());
       } else {
         out += value.str();

@@ -20,6 +20,12 @@ class BlockNode;
 struct RenderState {
   const TemplateLoader* loader = nullptr;  // for {% include %} / {% extends %}
   bool autoescape = true;
+  // Allocation-light node paths: borrowed variable lookups, in-place
+  // escaping, and a reused forloop dict. On for render_to() (the pooled
+  // zero-copy pipeline); off for the legacy render() API, which keeps the
+  // original per-node allocation profile so A/B benches measure the pre-pool
+  // design faithfully.
+  bool alloc_light = false;
   // Child-most override for each block name (template inheritance).
   std::map<std::string, const BlockNode*> block_overrides;
   // Per-render node state (nodes themselves are immutable and shared across

@@ -107,6 +107,12 @@ Value Operand::resolve(const Context& ctx) const {
   return v ? *v : Value();
 }
 
+const Value* FilterExpr::peek(const Context& ctx) const {
+  if (!filters.empty()) return nullptr;
+  if (operand.kind == Operand::Kind::kLiteral) return &operand.literal;
+  return ctx.lookup_path(operand.path);
+}
+
 FilterExpr::Result FilterExpr::evaluate(const Context& ctx) const {
   Result result;
   result.value = operand.resolve(ctx);

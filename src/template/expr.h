@@ -41,6 +41,13 @@ struct FilterExpr {
   };
 
   Result evaluate(const Context& ctx) const;
+
+  // Borrowed fast path for the no-filter case: returns a pointer to the
+  // value inside the context (or to the literal) without copying it, or
+  // nullptr when filters are present / the path is unbound. The pointer is
+  // valid while the resolved scope is alive — i.e., for the duration of the
+  // enclosing node's render. Callers needing filters use evaluate().
+  const Value* peek(const Context& ctx) const;
 };
 
 // Boolean expression tree for {% if %}.

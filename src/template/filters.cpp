@@ -203,7 +203,10 @@ const std::map<std::string, FilterFn>& registry() {
        }},
       {"stringformat",
        [](Result in, const std::optional<Value>& arg) {
-         const std::string spec = "%" + require_arg(arg, "stringformat").str();
+         // Built with += rather than `"%" + str()`: GCC 12's -Wrestrict
+         // fires a false positive on inserting into the moved temporary.
+         std::string spec = "%";
+         spec += require_arg(arg, "stringformat").str();
          char buf[128];
          if (spec.find('d') != std::string::npos) {
            std::snprintf(buf, sizeof(buf), spec.c_str(),

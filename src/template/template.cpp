@@ -1,5 +1,7 @@
 #include "src/template/template.h"
 
+#include <algorithm>
+
 #include "src/template/loader.h"
 #include "src/template/parser.h"
 
@@ -36,9 +38,32 @@ std::string Template::render(const Dict& data, const TemplateLoader* loader,
 
 std::string Template::render(Context& ctx, const TemplateLoader* loader,
                              bool autoescape) const {
+  RenderBuffer out(size_hint());
+  // alloc_light off: render() keeps the original per-node allocation
+  // profile, so the string API measures (and behaves) like the pre-pool
+  // design — the A/B benches rely on this.
+  render_with(out, ctx, loader, autoescape, /*alloc_light=*/false);
+  return std::move(out).take();
+}
+
+void Template::render_to(RenderBuffer& out, const Dict& data,
+                         const TemplateLoader* loader, bool autoescape) const {
+  Context ctx(data);
+  render_to(out, ctx, loader, autoescape);
+}
+
+void Template::render_to(RenderBuffer& out, Context& ctx,
+                         const TemplateLoader* loader, bool autoescape) const {
+  render_with(out, ctx, loader, autoescape, /*alloc_light=*/true);
+}
+
+void Template::render_with(RenderBuffer& out, Context& ctx,
+                           const TemplateLoader* loader, bool autoescape,
+                           bool alloc_light) const {
   RenderState state;
   state.loader = loader;
   state.autoescape = autoescape;
+  state.alloc_light = alloc_light;
 
   // Template inheritance: walk up the {% extends %} chain, recording the
   // child-most override for each block name, then render the root ancestor.
@@ -61,10 +86,30 @@ std::string Template::render(Context& ctx, const TemplateLoader* loader,
   }
   state.depth = 0;
 
-  std::string out;
-  out.reserve(1024);
-  current->render_into(ctx, state, out);
-  return out;
+  if (out.capacity() < size_hint()) out.reserve(size_hint());
+  const std::size_t start = out.size();
+  current->render_into(ctx, state, out.str());
+  note_render_size(out.size() - start);
+}
+
+std::size_t Template::size_hint() const {
+  constexpr std::size_t kDefault = 1024;
+  const std::uint32_t ewma = render_size_ewma_.load(std::memory_order_relaxed);
+  if (ewma == 0) return kDefault;
+  // +1/8 headroom so a typical render never triggers a final doubling.
+  return static_cast<std::size_t>(ewma) + ewma / 8;
+}
+
+void Template::note_render_size(std::size_t bytes) const {
+  const auto sample = static_cast<std::uint32_t>(
+      std::min<std::size_t>(bytes, 1u << 30));
+  const std::uint32_t old = render_size_ewma_.load(std::memory_order_relaxed);
+  // First render seeds the average; afterwards blend 1/4 of each new sample.
+  const std::uint32_t next =
+      old == 0 ? sample
+               : static_cast<std::uint32_t>(
+                     old + (static_cast<std::int64_t>(sample) - old) / 4);
+  render_size_ewma_.store(next == 0 ? 1 : next, std::memory_order_relaxed);
 }
 
 void Template::render_into(Context& ctx, RenderState& state,

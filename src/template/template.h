@@ -9,11 +9,14 @@
 // threads concurrently.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "src/common/render_buffer.h"
 #include "src/template/ast.h"
 
 namespace tempest::tmpl {
@@ -28,12 +31,34 @@ class Template {
 
   // Renders with a fresh context seeded from `data`. The loader is needed
   // only when the template uses {% include %} or {% extends %}.
+  // Compatibility wrapper over render_to(); the returned string carries a
+  // size_hint()-based reservation but is freshly allocated every call.
   std::string render(const Dict& data,
                      const TemplateLoader* loader = nullptr,
                      bool autoescape = true) const;
 
   std::string render(Context& ctx, const TemplateLoader* loader = nullptr,
                      bool autoescape = true) const;
+
+  // Appends the rendered output into `out` without allocating a result
+  // string. This is the zero-copy hot path: the server hands in a pooled
+  // RenderBuffer, the AST appends into its backing storage with the
+  // allocation-light node paths (borrowed lookups, in-place escaping), and
+  // the buffer travels to the transport by reference. Also feeds the EWMA
+  // behind size_hint(), so a recycled (or fresh) buffer is pre-reserved to
+  // roughly this template's typical output size. (render() above keeps the
+  // original per-node allocation profile for faithful A/B comparison.)
+  void render_to(RenderBuffer& out, const Dict& data,
+                 const TemplateLoader* loader = nullptr,
+                 bool autoescape = true) const;
+
+  void render_to(RenderBuffer& out, Context& ctx,
+                 const TemplateLoader* loader = nullptr,
+                 bool autoescape = true) const;
+
+  // Suggested initial reservation for a render: an EWMA of previous render
+  // sizes plus headroom, or a small default before the first render.
+  std::size_t size_hint() const;
 
   const std::string& name() const { return name_; }
   const std::optional<std::string>& parent_name() const { return parent_; }
@@ -48,10 +73,22 @@ class Template {
   friend struct TemplateBuilder;
   Template() = default;
 
+  void note_render_size(std::size_t bytes) const;
+
+  void render_with(RenderBuffer& out, Context& ctx,
+                   const TemplateLoader* loader, bool autoescape,
+                   bool alloc_light) const;
+
   NodeList nodes_;
   std::string name_;
   std::optional<std::string> parent_;
   std::map<std::string, const BlockNode*> blocks_;
+
+  // EWMA of recent render output sizes, in bytes (0 = never rendered).
+  // Relaxed and lossy under concurrent renders — a dropped update only
+  // costs one suboptimal reservation, never correctness — which keeps the
+  // compiled template logically immutable and shareable across threads.
+  mutable std::atomic<std::uint32_t> render_size_ewma_{0};
 };
 
 }  // namespace tempest::tmpl

@@ -102,6 +102,37 @@ std::string Value::str() const {
   return "";
 }
 
+void Value::append_str(std::string& out) const {
+  switch (type()) {
+    case Type::kNull: return;
+    case Type::kBool:
+      out += std::get<bool>(data_) ? "True" : "False";
+      return;
+    case Type::kInt: {
+      char buf[24];
+      const int n = std::snprintf(buf, sizeof(buf), "%lld",
+                                  static_cast<long long>(
+                                      std::get<std::int64_t>(data_)));
+      out.append(buf, static_cast<std::size_t>(n));
+      return;
+    }
+    case Type::kDouble: {
+      char buf[64];
+      const int n =
+          std::snprintf(buf, sizeof(buf), "%g", std::get<double>(data_));
+      out.append(buf, static_cast<std::size_t>(n));
+      return;
+    }
+    case Type::kString:
+      out += std::get<std::string>(data_);
+      return;
+    case Type::kList:
+    case Type::kDict:
+      out += str();  // rare in output position; readability over speed
+      return;
+  }
+}
+
 const Value* Value::member(std::string_view key) const {
   if (const auto* d = std::get_if<std::shared_ptr<Dict>>(&data_)) {
     const auto it = (*d)->find(key);

@@ -42,6 +42,15 @@ class Value {
   Value(std::string s) : data_(std::move(s)) {}
   Value(List l) : data_(std::make_shared<List>(std::move(l))) {}
   Value(Dict d) : data_(std::make_shared<Dict>(std::move(d))) {}
+  // Shares an existing container instead of re-wrapping it — lets the render
+  // hot path hand the same dict to the context repeatedly without a fresh
+  // control-block allocation per handoff.
+  Value(std::shared_ptr<List> l) {
+    if (l) data_ = std::move(l);  // null pointer degrades to kNull
+  }
+  Value(std::shared_ptr<Dict> d) {
+    if (d) data_ = std::move(d);
+  }
 
   Type type() const;
   const char* type_name() const;
@@ -68,6 +77,12 @@ class Value {
 
   // Display form used when substituting into output.
   std::string str() const;
+
+  // Appends the display form directly onto `out` without materializing a
+  // temporary: strings append their bytes, numbers format into a stack
+  // buffer. (Lists/dicts fall back to str(); they are rare in output
+  // position.) The allocation-light render path is built on this.
+  void append_str(std::string& out) const;
 
   // Container helpers. Return nullptr when absent / wrong type.
   const Value* member(std::string_view key) const;

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <string_view>
+
 #include "src/http/parser.h"
 
 namespace tempest::http {
@@ -88,6 +92,47 @@ TEST(SerializerTest, RequestBodyGetsContentLength) {
   const auto reparsed = parse_request(wire);
   ASSERT_TRUE(reparsed.has_value());
   EXPECT_EQ(reparsed->body, "payload");
+}
+
+TEST(SerializerTest, HeaderBlockMatchesFullSerialization) {
+  Response response = Response::make(Status::kOk, "hello body", "text/plain");
+  const std::string head =
+      serialize_headers(response, response.body_size(),
+                        ConnectionDirective::kKeepAlive);
+  const std::string full =
+      serialize_response(response, /*head_only=*/false,
+                         ConnectionDirective::kKeepAlive);
+  // The header block is exactly the full wire image minus the entity.
+  EXPECT_EQ(head + response.body, full);
+  EXPECT_EQ(head.rfind("\r\n\r\n"), head.size() - 4);
+  EXPECT_NE(head.find("Content-Length: 10\r\n"), std::string::npos);
+  EXPECT_EQ(head.find("hello"), std::string::npos);
+}
+
+TEST(SerializerTest, HeaderBlockUsesCallerProvidedBodySize) {
+  Response response = Response::make(Status::kOk, "");
+  // HEAD handling serializes the true entity length with no body present.
+  const std::string head = serialize_headers(response, 12345);
+  EXPECT_NE(head.find("Content-Length: 12345\r\n"), std::string::npos);
+}
+
+TEST(SerializerTest, SharedBodySerializesLikeOwnedBody) {
+  auto body = std::make_shared<const std::string>("shared payload");
+  Response shared = Response::from_shared(Status::kOk, body, "text/plain");
+  Response owned = Response::make(Status::kOk, "shared payload", "text/plain");
+  EXPECT_EQ(shared.body_view(), owned.body_view());
+  EXPECT_EQ(shared.body_size(), owned.body_size());
+  EXPECT_EQ(serialize_response(shared), serialize_response(owned));
+}
+
+TEST(SerializerTest, DateViewMatchesDateNowAndIsCachedPerSecond) {
+  const std::string_view view = http_date_view();
+  EXPECT_EQ(http_date_now(), view);
+  // IMF-fixdate: "Sun, 06 Nov 1994 08:49:37 GMT" — 29 chars, GMT suffix.
+  EXPECT_EQ(view.size(), 29u);
+  EXPECT_EQ(view.substr(26), "GMT");
+  // Within the same wall-clock second the cache returns the same storage.
+  EXPECT_EQ(http_date_view().data(), view.data());
 }
 
 }  // namespace

@@ -47,7 +47,7 @@ TEST(StaticStoreTest, AddAndFind) {
   store.add("/x.css", "body{}", "text/css");
   const auto* entry = store.find("/x.css");
   ASSERT_NE(entry, nullptr);
-  EXPECT_EQ(entry->content, "body{}");
+  EXPECT_EQ(*entry->content, "body{}");
   EXPECT_EQ(entry->mime_type, "text/css");
   EXPECT_EQ(store.find("/nope.css"), nullptr);
 }
@@ -57,8 +57,8 @@ TEST(StaticStoreTest, BlobsAreDeterministicAndSized) {
   StaticStore b;
   a.add_blob("/img.gif", 500, "image/gif");
   b.add_blob("/img.gif", 500, "image/gif");
-  EXPECT_EQ(a.find("/img.gif")->content.size(), 500u);
-  EXPECT_EQ(a.find("/img.gif")->content, b.find("/img.gif")->content);
+  EXPECT_EQ(a.find("/img.gif")->content->size(), 500u);
+  EXPECT_EQ(*a.find("/img.gif")->content, *b.find("/img.gif")->content);
 }
 
 TEST(ServiceTimeTrackerTest, UnknownPagesDefaultToQuick) {

@@ -308,6 +308,51 @@ TEST_F(TransportTest, ConcurrentKeepAliveClients) {
   server.shutdown();
 }
 
+// --- partial vectored writes ------------------------------------------------
+
+// A response far larger than the socket buffers forces ::sendmsg to return
+// short counts and EAGAIN mid-payload, repeatedly, at arbitrary offsets —
+// including inside the header block and across the header/body iovec seam.
+// The client shrinks its receive window and drains with pauses so the
+// reactor's write state machine (out_off bookkeeping, EPOLLOUT re-arming,
+// payload completion) is exercised for real. Bytes must survive intact.
+TEST_F(TransportTest, HugeResponseSurvivesPartialWrites) {
+  auto app = std::make_shared<Application>();
+  app->static_store.add_blob("/huge.bin", 3 << 19,  // 1.5 MiB
+                             "application/octet-stream");
+  auto app_const = std::static_pointer_cast<const Application>(app);
+  StagedServer server(config_, app_const, db_);
+  TcpListener listener(server, 0, config_.transport, &server.stats());
+
+  TcpClient client(listener.port(), /*io_timeout_ms=*/10000,
+                   /*rcvbuf_bytes=*/4096);
+  client.send_raw(get("/huge.bin"));
+  // Give the server time to fill every buffer in the path and hit EAGAIN
+  // before the client starts draining.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const std::string response = client.read_response();
+
+  EXPECT_EQ(response.find("HTTP/1.1 200"), 0u);
+  const std::size_t header_end = response.find("\r\n\r\n");
+  ASSERT_NE(header_end, std::string::npos);
+  const std::string_view body =
+      std::string_view(response).substr(header_end + 4);
+  const StaticStore::Entry* entry = app->static_store.find("/huge.bin");
+  ASSERT_NE(entry, nullptr);
+  ASSERT_EQ(body.size(), entry->content->size());
+  // Byte-exact: any off-by-one in iovec offset accounting corrupts this.
+  EXPECT_TRUE(body == *entry->content);
+
+  // The connection state machine must come out of the big transfer clean:
+  // keep-alive still works on the same connection.
+  const std::string next = client.request(get("/huge.bin"));
+  EXPECT_EQ(next.find("HTTP/1.1 200"), 0u);
+  EXPECT_EQ(listener.counters().snapshot().keepalive_reuse, 1u);
+
+  listener.stop();
+  server.shutdown();
+}
+
 // --- the blocking baseline still works (bench comparison path) -------------
 
 TEST_F(TransportTest, BlockingListenerStillServes) {

@@ -1,0 +1,307 @@
+// Zero-copy response-path verification: payload chunking (fill_iov over
+// every offset), body references that alias the StaticStore / ResponseCache
+// / render-buffer-pool storage instead of copying it, and — with the
+// operator-new interposer from bench/alloc_interpose.cpp linked into this
+// binary — allocation counts proving static and cache-hit responses copy
+// zero body bytes.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+
+#include "bench/alloc_counter.h"
+#include "src/common/clock.h"
+#include "src/common/render_buffer.h"
+#include "src/db/database.h"
+#include "src/http/uri.h"
+#include "src/server/outbound.h"
+#include "src/server/response_cache.h"
+#include "src/server/staged_server.h"
+#include "src/server/transport.h"
+#include "src/template/loader.h"
+
+namespace tempest::server {
+namespace {
+
+// ---------------------------------------------------------------------------
+// OutboundPayload chunk bookkeeping
+// ---------------------------------------------------------------------------
+
+TEST(OutboundPayloadTest, FillIovCoversEveryOffset) {
+  OutboundPayload payload;
+  payload.head = "HEAD";
+  payload.body_owned = "BODYBYTES";
+  const std::string wire = payload.flatten();
+  ASSERT_EQ(wire, "HEADBODYBYTES");
+  ASSERT_EQ(payload.size(), wire.size());
+
+  // Reassemble the wire image from every possible partial-write offset; any
+  // bookkeeping error at the chunk seam shows up as a mismatch.
+  for (std::size_t offset = 0; offset <= wire.size(); ++offset) {
+    iovec iov[2];
+    const std::size_t n = payload.fill_iov(offset, iov);
+    std::string rest;
+    for (std::size_t i = 0; i < n; ++i) {
+      rest.append(static_cast<const char*>(iov[i].iov_base), iov[i].iov_len);
+    }
+    EXPECT_EQ(rest, wire.substr(offset)) << "offset " << offset;
+    if (offset == wire.size()) {
+      EXPECT_EQ(n, 0u);
+    }
+  }
+}
+
+TEST(OutboundPayloadTest, FillIovUsesTwoChunksBeforeSeamOneAfter) {
+  OutboundPayload payload;
+  payload.head = "AAAA";
+  payload.body_shared = std::make_shared<const std::string>("BBBB");
+  iovec iov[2];
+  EXPECT_EQ(payload.fill_iov(0, iov), 2u);
+  EXPECT_EQ(payload.fill_iov(3, iov), 2u);
+  EXPECT_EQ(payload.fill_iov(4, iov), 1u);  // exactly at the seam
+  EXPECT_EQ(payload.fill_iov(7, iov), 1u);
+  EXPECT_EQ(payload.fill_iov(8, iov), 0u);
+}
+
+TEST(OutboundPayloadTest, EmptyBodyPayloadIsHeadOnly) {
+  OutboundPayload payload;
+  payload.head = "only";
+  iovec iov[2];
+  EXPECT_EQ(payload.fill_iov(0, iov), 1u);
+  EXPECT_EQ(payload.size(), 4u);
+  EXPECT_EQ(payload.flatten(), "only");
+}
+
+TEST(MakePayloadTest, SharedBodyRidesByReference) {
+  auto body = std::make_shared<const std::string>("shared entity");
+  const std::string* raw = body.get();
+  http::Response response =
+      http::Response::from_shared(http::Status::kOk, body, "text/plain");
+  OutboundPayload payload =
+      make_payload(std::move(response), /*head_only=*/false,
+                   http::ConnectionDirective::kNone);
+  EXPECT_EQ(payload.body_shared.get(), raw);  // the same bytes, not a copy
+  EXPECT_NE(payload.head.find("Content-Length: 13"), std::string::npos);
+  EXPECT_EQ(payload.flatten().substr(payload.head.size()), "shared entity");
+}
+
+TEST(MakePayloadTest, HeadOnlyElidesBodyButKeepsEntityLength) {
+  http::Response response =
+      http::Response::make(http::Status::kOk, "0123456789");
+  OutboundPayload payload =
+      make_payload(std::move(response), /*head_only=*/true,
+                   http::ConnectionDirective::kKeepAlive);
+  EXPECT_EQ(payload.body().size(), 0u);
+  EXPECT_NE(payload.head.find("Content-Length: 10"), std::string::npos);
+}
+
+TEST(MakePayloadTest, LegacyModeFlattensToSingleChunk) {
+  auto body = std::make_shared<const std::string>("entity");
+  http::Response response =
+      http::Response::from_shared(http::Status::kOk, body, "text/plain");
+  OutboundPayload payload =
+      make_payload(std::move(response), /*head_only=*/false,
+                   http::ConnectionDirective::kClose, /*zero_copy=*/false);
+  EXPECT_EQ(payload.body_shared, nullptr);
+  EXPECT_TRUE(payload.body_owned.empty());
+  EXPECT_NE(payload.head.find("\r\n\r\nentity"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end body aliasing through the staged server
+// ---------------------------------------------------------------------------
+
+// Captures the payload a server sends, before any flattening.
+struct CaptureWriter : ResponseWriter {
+  std::promise<OutboundPayload> promise;
+  void send(OutboundPayload payload) override {
+    promise.set_value(std::move(payload));
+  }
+};
+
+class ZeroCopyServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TimeScale::set(0.0002);
+
+    auto app = std::make_shared<Application>();
+    auto loader = std::make_shared<tmpl::MemoryLoader>();
+    loader->add("page.html", "<p>{{ value }}</p>");
+    app->templates = loader;
+    app->router.add(
+        "/page",
+        [](HandlerContext& ctx) -> HandlerResult {
+          tmpl::Dict data;
+          data["value"] = tmpl::Value(ctx.param("v", "x"));
+          return TemplateResponse{"page.html", std::move(data)};
+        },
+        CachePolicy{});
+    app->static_store.add_blob("/small.bin", 4 << 10, "image/gif");
+    app->static_store.add_blob("/big.bin", 256 << 10, "image/gif");
+    app_ = app;
+
+    config_.db_connections = 4;
+    config_.header_threads = 1;
+    config_.static_threads = 1;
+    config_.general_threads = 3;
+    config_.lengthy_threads = 1;
+    config_.render_threads = 1;
+    config_.treserve_min = 1;
+    config_.charge_service_costs = false;
+  }
+
+  void TearDown() override { TimeScale::set(0.005); }
+
+  static OutboundPayload fetch(WebServer& server, const std::string& target,
+                               const std::string& method = "GET",
+                               const std::string& extra = "") {
+    auto writer = std::make_shared<CaptureWriter>();
+    std::future<OutboundPayload> future = writer->promise.get_future();
+    IncomingRequest incoming;
+    incoming.raw =
+        method + " " + target + " HTTP/1.1\r\nHost: x\r\n" + extra + "\r\n";
+    incoming.writer = writer;
+    server.submit(std::move(incoming));
+    return future.get();
+  }
+
+  std::shared_ptr<const Application> app_;
+  ServerConfig config_;
+  db::Database db_;
+};
+
+TEST_F(ZeroCopyServerTest, StaticBodyAliasesStoreEntry) {
+  StagedServer server(config_, app_, db_);
+  OutboundPayload payload = fetch(server, "/big.bin");
+  const StaticStore::Entry* entry = app_->static_store.find("/big.bin");
+  ASSERT_NE(entry, nullptr);
+  ASSERT_NE(payload.body_shared, nullptr);
+  // Pointer identity: the response references the store's string itself.
+  EXPECT_EQ(payload.body_shared.get(), entry->content.get());
+  EXPECT_EQ(payload.size(), payload.head.size() + entry->content->size());
+}
+
+TEST_F(ZeroCopyServerTest, CacheHitBodyAliasesCacheEntry) {
+  config_.cache.enabled = true;
+  StagedServer server(config_, app_, db_);
+
+  OutboundPayload miss = fetch(server, "/page?v=hot");
+  EXPECT_NE(miss.head.find("X-Cache: miss"), std::string::npos);
+
+  OutboundPayload hit = fetch(server, "/page?v=hot");
+  ASSERT_NE(hit.head.find("X-Cache: hit"), std::string::npos);
+  ASSERT_NE(hit.body_shared, nullptr);
+
+  http::QueryDict query = http::parse_query("v=hot");
+  const std::string key = ResponseCache::make_key("/page", query, CachePolicy{});
+  auto stored = server.cache()->find(key, paper_now());
+  ASSERT_NE(stored, nullptr);
+  // The hit's body is the cached string itself (aliasing shared_ptr), and it
+  // shares ownership with the cache entry rather than copying it.
+  EXPECT_EQ(hit.body_shared->data(), stored->body.data());
+  EXPECT_EQ(std::string(*hit.body_shared), stored->body);
+}
+
+TEST_F(ZeroCopyServerTest, RenderedBodyComesFromBufferPool) {
+  StagedServer server(config_, app_, db_);
+  const auto before = RenderBufferPool::instance().counters();
+
+  OutboundPayload first = fetch(server, "/page?v=one");
+  ASSERT_NE(first.body_shared, nullptr);
+  EXPECT_EQ(*first.body_shared, "<p>one</p>");
+  first = OutboundPayload{};  // drop: buffer returns to the pool
+
+  OutboundPayload second = fetch(server, "/page?v=two");
+  ASSERT_NE(second.body_shared, nullptr);
+  EXPECT_EQ(*second.body_shared, "<p>two</p>");
+  second = OutboundPayload{};
+
+  const auto after = RenderBufferPool::instance().counters();
+  EXPECT_EQ(after.acquires - before.acquires, 2u);
+  // The second render reused the buffer the first one returned.
+  EXPECT_GE(after.reuses - before.reuses, 1u);
+}
+
+TEST_F(ZeroCopyServerTest, HeadRequestCarriesNoBodyChunk) {
+  StagedServer server(config_, app_, db_);
+  OutboundPayload payload = fetch(server, "/big.bin", "HEAD");
+  EXPECT_EQ(payload.body().size(), 0u);
+  EXPECT_NE(payload.head.find("Content-Length: 262144"), std::string::npos);
+}
+
+TEST_F(ZeroCopyServerTest, LegacyModeStillServesIdenticalBytes) {
+  config_.zero_copy_responses = false;
+  StagedServer legacy_server(config_, app_, db_);
+  ServerConfig zc = config_;
+  zc.zero_copy_responses = true;
+  StagedServer zc_server(zc, app_, db_);
+
+  for (const std::string target : {"/small.bin", "/page?v=same"}) {
+    OutboundPayload a = fetch(legacy_server, target);
+    OutboundPayload b = fetch(zc_server, target);
+    EXPECT_EQ(a.body_shared, nullptr) << target;  // legacy = one flat chunk
+    // Identical entities either way (Date header may differ by a second, so
+    // compare the entity bytes, not the whole wire image).
+    const std::string wa = a.flatten();
+    const std::string wb = b.flatten();
+    EXPECT_EQ(wa.substr(wa.find("\r\n\r\n")), wb.substr(wb.find("\r\n\r\n")))
+        << target;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Allocation counting: zero body copies, verified
+// ---------------------------------------------------------------------------
+
+TEST_F(ZeroCopyServerTest, StaticResponsesCopyZeroBodyBytes) {
+  ASSERT_TRUE(bench::alloc_counting_enabled());
+  StagedServer server(config_, app_, db_);
+
+  // Warm up: first touches populate parser scratch, pool queues, etc.
+  for (int i = 0; i < 20; ++i) {
+    (void)fetch(server, "/big.bin");
+  }
+
+  constexpr int kRequests = 100;
+  const auto before = bench::alloc_counts();
+  for (int i = 0; i < kRequests; ++i) {
+    (void)fetch(server, "/big.bin");
+  }
+  const auto delta = bench::alloc_counts() - before;
+
+  const double bytes_per_request =
+      static_cast<double>(delta.bytes) / kRequests;
+  const double body_size = 256 << 10;
+  // A single body copy per request would show up as >= 256 KiB per request;
+  // the whole zero-copy request path allocates a small fraction of that
+  // (request string, header block, queue nodes, control blocks).
+  EXPECT_LT(bytes_per_request, body_size / 8)
+      << "per-request heap bytes suggest the body is being copied";
+}
+
+TEST_F(ZeroCopyServerTest, StaticAllocCountIsBodySizeIndependent) {
+  ASSERT_TRUE(bench::alloc_counting_enabled());
+  StagedServer server(config_, app_, db_);
+  constexpr int kRequests = 100;
+
+  const auto measure = [&](const std::string& target) {
+    for (int i = 0; i < 20; ++i) (void)fetch(server, target);
+    const auto before = bench::alloc_counts();
+    for (int i = 0; i < kRequests; ++i) {
+      (void)fetch(server, target);
+    }
+    const auto delta = bench::alloc_counts() - before;
+    return static_cast<double>(delta.count) / kRequests;
+  };
+
+  const double small = measure("/small.bin");
+  const double big = measure("/big.bin");
+  // Zero-copy: a 64x larger body must not change the allocation count per
+  // request in any size-proportional way (copying would at least add the
+  // doubling-growth allocations of a 256 KiB string).
+  EXPECT_LT(big, small * 1.5 + 8.0);
+}
+
+}  // namespace
+}  // namespace tempest::server

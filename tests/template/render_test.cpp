@@ -276,5 +276,43 @@ TEST(LoaderTest, ConcurrentRendersOfSharedTemplate) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+TEST(RenderToTest, MatchesStringRenderAndAppends) {
+  MemoryLoader loader;
+  loader.add("t.html", "Hello {{ name }}!");
+  const auto tmpl = loader.load("t.html");
+  Dict data{{"name", Value("pool")}};
+
+  RenderBuffer out(16);
+  out.append("prefix|");  // render_to appends; existing bytes are preserved
+  tmpl->render_to(out, data, &loader);
+  EXPECT_EQ(out.view(), "prefix|Hello pool!");
+  EXPECT_EQ(tmpl->render(data, &loader), "Hello pool!");
+}
+
+TEST(RenderToTest, SizeHintTracksObservedOutputSizes) {
+  MemoryLoader loader;
+  loader.add("t.html", "{{ body }}");
+  const auto tmpl = loader.load("t.html");
+
+  // Before any render the hint is a fixed default.
+  const std::size_t initial = tmpl->size_hint();
+  EXPECT_GT(initial, 0u);
+
+  const std::string big(8000, 'x');
+  for (int i = 0; i < 8; ++i) {
+    (void)tmpl->render({{"body", Value(big)}}, &loader);
+  }
+  // The EWMA converges toward the observed size, plus headroom.
+  EXPECT_GT(tmpl->size_hint(), 4000u);
+  EXPECT_LT(tmpl->size_hint(), 16000u);
+
+  // A later render reserves at least the hint up front: the buffer arrives
+  // pre-sized, so the body lands without growth reallocations.
+  RenderBuffer out;
+  tmpl->render_to(out, {{"body", Value(big)}}, &loader);
+  EXPECT_EQ(out.size(), big.size());
+  EXPECT_GE(out.capacity(), 8000u);
+}
+
 }  // namespace
 }  // namespace tempest::tmpl
