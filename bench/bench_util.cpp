@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "src/common/clock.h"
+#include "src/common/fault.h"
 #include "src/metrics/table.h"
 
 namespace tempest::bench {
@@ -37,6 +38,11 @@ tpcw::ExperimentConfig BenchRun::experiment(bool staged) const {
     config.scale.customers = std::max<std::int64_t>(64, config.scale.items);
     config.scale.orders = config.scale.items * 9 / 10;
     config.scale.best_seller_window = std::max<std::int64_t>(16, config.scale.orders / 8);
+  }
+  // Any bench runs under a chaos plan without a code change (DESIGN.md §12).
+  if (auto plan = FaultPlan::from_env()) {
+    config.server.fault_plan = plan;
+    config.server.transport.fault_plan = plan;
   }
   return config;
 }

@@ -1,0 +1,269 @@
+// Figure 14 (ours, not in the paper): what degraded-mode serving buys during
+// a database brown-out.
+//
+// A seeded FaultPlan makes every DB statement stall and then fail for a
+// fixed paper-time window (default 10 paper-seconds) while closed-loop
+// clients hammer the hot cacheable catalog pages. Two cells:
+//
+//   degraded   serve_stale_when_degraded=true (this PR): while the DB is
+//              faulting, the header stage answers from expired render-cache
+//              entries, marked `Warning: 110` / `X-Cache: stale`, touching
+//              no DB connection.
+//   fail-closed  serve_stale_when_degraded=false (seed-equivalent
+//              behaviour): every request rides the dynamic pool into the
+//              brown-out, pays the injected stalls and the retry budget,
+//              and comes back a 500.
+//
+// Both cells warm the cache before the window, let the entries expire (so
+// plain cache hits cannot mask the difference), and probe recovery after the
+// window closes. The gate: the degraded cell must answer the brown-out with
+// stale 200s and zero errors, the fail-closed cell with errors and zero
+// stale serves, and both must recover to fresh 200s afterwards.
+//
+// Extra flags: --brownout=SEC paper-time window (default 10),
+// --hammer-threads=N closed-loop clients (default 8).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/clock.h"
+#include "src/common/fault.h"
+#include "src/db/database.h"
+#include "src/metrics/table.h"
+#include "src/server/staged_server.h"
+#include "src/server/transport.h"
+#include "src/tpcw/populate.h"
+
+namespace {
+
+using namespace tempest;
+
+// The hot cacheable catalog pages (same set as fig12); all three are warmed
+// before the brown-out opens.
+constexpr const char* kHotPages[] = {
+    "/best_sellers?subject=ARTS&c_id=1",
+    "/new_products?subject=ARTS&c_id=1",
+    "/home?c_id=1",
+};
+
+struct CellResult {
+  std::uint64_t stale_200 = 0;  // 200 with X-Cache: stale (degraded serve)
+  std::uint64_t fresh_200 = 0;  // 200 without the stale marker
+  std::uint64_t errors_500 = 0;
+  std::uint64_t shed_503 = 0;
+  std::uint64_t other = 0;
+  double mean_wall_ms = 0.0;  // mean per-request latency inside the window
+  bool recovered = false;     // fresh 200 after the window closed
+  FaultCounters::Snapshot faults;
+
+  std::uint64_t total() const {
+    return stale_200 + fresh_200 + errors_500 + shed_503 + other;
+  }
+};
+
+CellResult run_cell(bool degraded, db::Database& db,
+                    const std::shared_ptr<const server::Application>& app,
+                    std::uint64_t seed, double brownout_paper_s, int threads) {
+  // During the brown-out every statement first stalls, then fails; the
+  // retry budget turns each fail-closed request into three stalls + a 500.
+  auto plan = std::make_shared<FaultPlan>(seed);
+
+  server::ServerConfig config;
+  config.db_connections = 16;
+  config.header_threads = 4;
+  config.static_threads = 2;
+  config.general_threads = 12;
+  config.lengthy_threads = 4;
+  config.render_threads = 8;
+  config.cache.enabled = true;
+  // Short TTL so the warmed entries are already expired when the brown-out
+  // opens: only degraded-mode stale serving (not ordinary freshness) can
+  // answer from the cache during the window.
+  config.cache.default_ttl_paper_s = 2.0;
+  config.serve_stale_when_degraded = degraded;
+  config.fault_plan = plan;
+
+  server::StagedServer server(config, app, db);
+  CellResult cell;
+
+  {  // Warm the cache while the DB is healthy.
+    server::InProcClient client(server);
+    for (const char* url : kHotPages) {
+      client.roundtrip("GET " + std::string(url) +
+                       " HTTP/1.1\r\nHost: bench\r\n\r\n");
+    }
+  }
+  // Let the warmed entries expire.
+  paper_sleep_for(config.cache.default_ttl_paper_s + 1.0);
+
+  // Open the brown-out. The server is quiescent between requests, so
+  // installing rules here is the supported configuration-time mutation.
+  const double window_end = paper_now() + brownout_paper_s;
+  FaultRule stall;
+  stall.enabled = true;
+  stall.delay_paper_s = 1.0;
+  stall.window_end_paper_s = window_end;
+  plan->set(FaultSite::kDbDelay, stall);
+  FaultRule error = stall;
+  error.delay_paper_s = 0.0;
+  plan->set(FaultSite::kDbError, error);
+
+  std::atomic<std::uint64_t> stale{0}, fresh{0}, errors{0}, shed{0}, other{0};
+  std::atomic<std::uint64_t> wall_us{0};
+  std::vector<std::thread> fleet;
+  fleet.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    fleet.emplace_back([&, t] {
+      server::InProcClient client(server);
+      std::size_t i = static_cast<std::size_t>(t);
+      while (paper_now() < window_end) {
+        const std::string url = kHotPages[i++ % std::size(kHotPages)];
+        const auto start = WallClock::now();
+        const std::string response = client.roundtrip(
+            "GET " + url + " HTTP/1.1\r\nHost: bench\r\n\r\n");
+        wall_us.fetch_add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                WallClock::now() - start)
+                .count()));
+        if (response.find("HTTP/1.1 200") == 0) {
+          (response.find("X-Cache: stale") != std::string::npos ? stale
+                                                                : fresh)
+              .fetch_add(1);
+        } else if (response.find("HTTP/1.1 500") == 0) {
+          errors.fetch_add(1);
+        } else if (response.find("HTTP/1.1 503") == 0) {
+          shed.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : fleet) t.join();
+
+  cell.stale_200 = stale.load();
+  cell.fresh_200 = fresh.load();
+  cell.errors_500 = errors.load();
+  cell.shed_503 = shed.load();
+  cell.other = other.load();
+  cell.mean_wall_ms =
+      cell.total() > 0
+          ? static_cast<double>(wall_us.load()) / 1000.0 /
+                static_cast<double>(cell.total())
+          : 0.0;
+
+  // The window is closed: the next misses must reach the DB and succeed.
+  {
+    server::InProcClient client(server);
+    for (int attempt = 0; attempt < 200 && !cell.recovered; ++attempt) {
+      const std::string response = client.roundtrip(
+          "GET /home?c_id=1 HTTP/1.1\r\nHost: bench\r\n\r\n");
+      if (response.find("HTTP/1.1 200") == 0 &&
+          response.find("X-Cache: stale") == std::string::npos) {
+        cell.recovered = true;
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+  }
+
+  cell.faults = server.stats().faults().snapshot();
+  server.shutdown();
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto run = bench::BenchRun::init(argc, argv);
+  // Wall-rate measurement; compress paper time hard unless the user picked a
+  // scale (same convention as fig12).
+  if (!run.options.has("scale")) TimeScale::set(0.001);
+  const double brownout_s = run.options.get_double("brownout", 10.0);
+  const int threads = run.options.get_int("hammer-threads", 8);
+  const auto seed =
+      static_cast<std::uint64_t>(run.options.get_int("seed", 42));
+
+  std::printf(
+      "=== Figure 14: degraded-mode serving through a DB brown-out ===\n"
+      "%.0f paper-s window, every DB statement stalls 1 paper-s then fails;\n"
+      "%d closed-loop clients on the hot catalog pages, cache warmed then\n"
+      "expired before the window opens (seed=%llu)\n\n",
+      brownout_s, threads, static_cast<unsigned long long>(seed));
+
+  db::Database db;
+  const auto scale = tpcw::Scale::tiny();
+  const auto pop = tpcw::populate_tpcw(db, scale, seed);
+  auto app = tpcw::make_tpcw_application(
+      tpcw::TpcwState::from_population(scale, pop));
+
+  const CellResult degraded =
+      run_cell(/*degraded=*/true, db, app, seed, brownout_s, threads);
+  const CellResult fail_closed =
+      run_cell(/*degraded=*/false, db, app, seed, brownout_s, threads);
+
+  metrics::Table table({"mode", "requests", "stale 200", "fresh 200", "500",
+                        "503", "mean ms", "db retries", "recovered"});
+  const auto row = [&](const char* name, const CellResult& cell) {
+    table.add_row(
+        {name, metrics::format_int(static_cast<std::int64_t>(cell.total())),
+         metrics::format_int(static_cast<std::int64_t>(cell.stale_200)),
+         metrics::format_int(static_cast<std::int64_t>(cell.fresh_200)),
+         metrics::format_int(static_cast<std::int64_t>(cell.errors_500)),
+         metrics::format_int(static_cast<std::int64_t>(cell.shed_503)),
+         metrics::format_double(cell.mean_wall_ms, 3),
+         metrics::format_int(static_cast<std::int64_t>(cell.faults.db_retries)),
+         cell.recovered ? "yes" : "NO"});
+  };
+  row("degraded", degraded);
+  row("fail-closed", fail_closed);
+  std::printf("%s\n", table.to_string().c_str());
+
+  bench::BenchJson json(run, "fig14_chaos");
+  const auto emit = [&](const std::string& variant, const CellResult& cell) {
+    json.add_scalar(variant, "requests", static_cast<double>(cell.total()));
+    json.add_scalar(variant, "stale_200",
+                    static_cast<double>(cell.stale_200));
+    json.add_scalar(variant, "fresh_200",
+                    static_cast<double>(cell.fresh_200));
+    json.add_scalar(variant, "errors_500",
+                    static_cast<double>(cell.errors_500));
+    json.add_scalar(variant, "shed_503", static_cast<double>(cell.shed_503));
+    json.add_scalar(variant, "mean_wall_ms", cell.mean_wall_ms);
+    json.add_scalar(variant, "degraded_stale_served",
+                    static_cast<double>(cell.faults.degraded_stale_served));
+    json.add_scalar(variant, "db_retries",
+                    static_cast<double>(cell.faults.db_retries));
+    json.add_scalar(variant, "recovered", cell.recovered ? 1.0 : 0.0);
+  };
+  emit("degraded", degraded);
+  emit("fail_closed", fail_closed);
+  json.write();
+
+  // The gate, spelled out. Degraded mode turns the brown-out into stale
+  // 200s with no errors; the seed-equivalent config eats it as stalls and
+  // 500s with no stale serves; both heal once the window closes.
+  const bool degraded_ok = degraded.stale_200 > 0 && degraded.errors_500 == 0;
+  const bool fail_ok =
+      fail_closed.stale_200 == 0 && fail_closed.errors_500 > 0;
+  const bool recovered = degraded.recovered && fail_closed.recovered;
+  std::printf(
+      "degraded mode serves the brown-out from stale cache: %s "
+      "(%llu stale 200s, %llu 500s)\n"
+      "fail-closed config stalls and errors instead: %s "
+      "(%llu 500s, %.3f ms mean vs %.3f ms degraded)\n"
+      "both recover after the window: %s\n",
+      degraded_ok ? "yes" : "NO",
+      static_cast<unsigned long long>(degraded.stale_200),
+      static_cast<unsigned long long>(degraded.errors_500),
+      fail_ok ? "yes" : "NO",
+      static_cast<unsigned long long>(fail_closed.errors_500),
+      fail_closed.mean_wall_ms, degraded.mean_wall_ms,
+      recovered ? "yes" : "NO");
+  return degraded_ok && fail_ok && recovered ? 0 : 1;
+}

@@ -11,6 +11,7 @@
 
 #include "src/common/config.h"
 #include "src/common/clock.h"
+#include "src/common/fault.h"
 #include "src/db/database.h"
 #include "src/server/staged_server.h"
 #include "src/server/tcp.h"
@@ -51,6 +52,12 @@ int main(int argc, char** argv) {
 
   server::ServerConfig config;
   config.cache.enabled = true;  // catalog routes opt in; X-Cache shows hit/miss
+  if (auto plan = FaultPlan::from_env()) {
+    std::printf("TEMPEST_FAULT_PLAN armed (seed=%llu)\n",
+                static_cast<unsigned long long>(plan->seed()));
+    config.fault_plan = plan;
+    config.transport.fault_plan = plan;
+  }
   server::StagedServer web(config, app, db);
   server::TcpListener listener(
       web, static_cast<std::uint16_t>(options.get_int("port", 0)),

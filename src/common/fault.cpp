@@ -1,0 +1,182 @@
+#include "src/common/fault.h"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace tempest {
+
+namespace {
+
+constexpr const char* kSiteNames[kNumFaultSites] = {
+    "db.statement.delay", "db.statement.error", "db.connection.drop",
+    "handler.throw",      "render.fail",        "transport.reset",
+    "transport.short_write",
+};
+
+// splitmix64: cheap, well-mixed, and stateless — the decision for check N is
+// hash(seed, site, N), so no RNG stream is shared between threads.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double uniform01(std::uint64_t seed, FaultSite site, std::uint64_t check) {
+  const std::uint64_t h =
+      mix64(mix64(seed ^ (static_cast<std::uint64_t>(site) + 1) *
+                             0xd6e8feb86659fd93ULL) ^
+            check);
+  // 53 mantissa bits -> [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double parse_number(std::string_view text, std::string_view what) {
+  const std::string s(text);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    throw std::invalid_argument("fault plan: bad number for " +
+                                std::string(what) + ": '" + s + "'");
+  }
+  return v;
+}
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t next = text.find(sep, pos);
+    if (next == std::string_view::npos) next = text.size();
+    if (next > pos) out.push_back(text.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  return kSiteNames[static_cast<std::size_t>(site)];
+}
+
+bool fault_site_from_name(std::string_view name, FaultSite* out) {
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    if (name == kSiteNames[i]) {
+      *out = static_cast<FaultSite>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::should_fire(FaultSite site, FaultCounters* counters,
+                            double now_paper_s) const {
+  const FaultRule& rule = rules_[static_cast<std::size_t>(site)];
+  if (!rule.enabled) return false;
+  if (!rule.in_window(now_paper_s)) return false;
+
+  SiteState& state = state_[static_cast<std::size_t>(site)];
+  // The check index — not a shared RNG — decides, so concurrent checkers
+  // consume decisions from a fixed per-site sequence.
+  const std::uint64_t check =
+      state.checks.fetch_add(1, std::memory_order_relaxed);
+  if (rule.probability < 1.0 &&
+      uniform01(seed_, site, check) >= rule.probability) {
+    return false;
+  }
+  if (rule.max_fires > 0) {
+    // Claim a fire slot; back out if the budget was already spent.
+    const std::uint64_t prior =
+        state.fires.fetch_add(1, std::memory_order_relaxed);
+    if (prior >= rule.max_fires) {
+      state.fires.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+  } else {
+    state.fires.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (counters != nullptr) counters->on_injected(site);
+  return true;
+}
+
+bool FaultPlan::db_faulting(double now_paper_s) const {
+  for (const FaultSite site :
+       {FaultSite::kDbDelay, FaultSite::kDbError, FaultSite::kDbDrop}) {
+    const FaultRule& r = rule(site);
+    if (!r.enabled || r.probability <= 0.0 || !r.in_window(now_paper_s)) {
+      continue;
+    }
+    if (r.max_fires > 0 && fires(site) >= r.max_fires) continue;
+    return true;
+  }
+  return false;
+}
+
+std::shared_ptr<FaultPlan> FaultPlan::parse(std::string_view spec) {
+  std::uint64_t seed = 0;
+  struct Pending {
+    FaultSite site;
+    FaultRule rule;
+  };
+  std::vector<Pending> pending;
+
+  for (const std::string_view entry : split(spec, ';')) {
+    if (entry.rfind("seed=", 0) == 0) {
+      seed = static_cast<std::uint64_t>(
+          parse_number(entry.substr(5), "seed"));
+      continue;
+    }
+    const std::size_t colon = entry.find(':');
+    const std::string_view name =
+        colon == std::string_view::npos ? entry : entry.substr(0, colon);
+    FaultSite site;
+    if (!fault_site_from_name(name, &site)) {
+      throw std::invalid_argument("fault plan: unknown site '" +
+                                  std::string(name) + "'");
+    }
+    FaultRule rule;
+    rule.enabled = true;
+    if (colon != std::string_view::npos) {
+      for (const std::string_view kv : split(entry.substr(colon + 1), ',')) {
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string_view::npos) {
+          throw std::invalid_argument("fault plan: expected key=value, got '" +
+                                      std::string(kv) + "'");
+        }
+        const std::string_view key = kv.substr(0, eq);
+        const std::string_view value = kv.substr(eq + 1);
+        if (key == "p" || key == "probability") {
+          rule.probability = parse_number(value, key);
+        } else if (key == "max" || key == "count") {
+          rule.max_fires =
+              static_cast<std::uint64_t>(parse_number(value, key));
+        } else if (key == "start") {
+          rule.window_start_paper_s = parse_number(value, key);
+        } else if (key == "end") {
+          rule.window_end_paper_s = parse_number(value, key);
+        } else if (key == "delay") {
+          rule.delay_paper_s = parse_number(value, key);
+        } else {
+          throw std::invalid_argument("fault plan: unknown key '" +
+                                      std::string(key) + "' for site '" +
+                                      std::string(name) + "'");
+        }
+      }
+    }
+    pending.push_back({site, rule});
+  }
+
+  auto plan = std::make_shared<FaultPlan>(seed);
+  for (const Pending& p : pending) plan->set(p.site, p.rule);
+  return plan;
+}
+
+std::shared_ptr<FaultPlan> FaultPlan::from_env() {
+  const char* spec = std::getenv("TEMPEST_FAULT_PLAN");
+  if (spec == nullptr || *spec == '\0') return nullptr;
+  return parse(spec);
+}
+
+}  // namespace tempest

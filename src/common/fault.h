@@ -1,0 +1,230 @@
+// Fault-injection plan: deterministic, seeded failure injection for chaos
+// testing the request pipeline.
+//
+// A FaultPlan is a set of per-site rules (probability, fire budget,
+// paper-time window, optional delay). Injectors at named sites — DB
+// statement delay/error, connection drops, handler exceptions, render
+// failures, socket resets, short writes — call should_fire() on the plan
+// the server was configured with. When no plan is installed every site is a
+// single null-pointer check, so the layer costs nothing on the hot path.
+//
+// Determinism: the decision for the Nth check of a site is a pure function
+// of (plan seed, site, N) — a counter-indexed hash, not a shared RNG stream.
+// Two runs that perform the same number of checks per site therefore inject
+// the identical fault sequence and end with identical counters, regardless
+// of thread interleaving, so any chaos failure reproduces from the one-line
+// seed printed by the test.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/common/clock.h"
+
+namespace tempest {
+
+// Every place the pipeline can be made to fail. Fixed enum (not free-form
+// strings) so counters are lock-free atomic arrays and config parsing can
+// reject typos.
+enum class FaultSite : std::uint8_t {
+  kDbDelay = 0,    // extra service time on a DB statement
+  kDbError,        // DB statement throws (retryable)
+  kDbDrop,         // the connection breaks mid-statement (not retryable)
+  kHandler,        // dynamic handler throws
+  kRender,         // template render stage fails
+  kSocketReset,    // transport aborts the connection (RST) at dispatch
+  kShortWrite,     // transport writes at most one byte per sendmsg
+};
+
+inline constexpr std::size_t kNumFaultSites = 7;
+
+// Canonical site name ("db.statement.delay", ...), used by the config-spec
+// parser and the stats tables.
+const char* fault_site_name(FaultSite site);
+
+// Reverse lookup; returns false when `name` matches no site.
+bool fault_site_from_name(std::string_view name, FaultSite* out);
+
+// When and how often one site fires.
+struct FaultRule {
+  bool enabled = false;
+  // Chance that a given check fires, in [0, 1].
+  double probability = 1.0;
+  // Total fires allowed (0 = unlimited). Once spent the site goes quiet.
+  std::uint64_t max_fires = 0;
+  // Active paper-time window [start, end). Defaults to "always".
+  double window_start_paper_s = 0.0;
+  double window_end_paper_s = std::numeric_limits<double>::infinity();
+  // Extra paper-seconds of service time, for delay-flavoured sites.
+  double delay_paper_s = 0.0;
+
+  bool in_window(double now_paper_s) const {
+    return now_paper_s >= window_start_paper_s &&
+           now_paper_s < window_end_paper_s;
+  }
+};
+
+// Monotonic fault/recovery accounting, one instance per ServerStats (the
+// same sink pattern as TransportCounters / CacheCounters). Injection sites
+// count what they injected; the recovery paths — retries, reconnects,
+// deadline rejections, degraded serves, exception barriers — count what they
+// did about it, so a chaos run can assert the books balance.
+class FaultCounters {
+ public:
+  struct Snapshot {
+    std::array<std::uint64_t, kNumFaultSites> injected{};
+    std::uint64_t deadline_rejected = 0;   // 503s for expired request budgets
+    std::uint64_t db_retries = 0;          // statement retries attempted
+    std::uint64_t db_retry_successes = 0;  // statements that recovered
+    std::uint64_t connections_reopened = 0;  // broken connections repaired
+    std::uint64_t acquire_timeouts = 0;    // pool acquire_for() deadlines hit
+    std::uint64_t handler_errors = 0;      // handler exceptions turned to 500s
+    std::uint64_t stage_exceptions = 0;    // escapes caught by a pool barrier
+    std::uint64_t degraded_stale_served = 0;  // stale cache hits in degraded mode
+
+    std::uint64_t injected_at(FaultSite site) const {
+      return injected[static_cast<std::size_t>(site)];
+    }
+    std::uint64_t injected_total() const {
+      std::uint64_t total = 0;
+      for (const auto n : injected) total += n;
+      return total;
+    }
+    bool operator==(const Snapshot&) const = default;
+  };
+
+  void on_injected(FaultSite site) {
+    injected_[static_cast<std::size_t>(site)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  void on_deadline_rejected() {
+    deadline_rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_db_retry() { db_retries_.fetch_add(1, std::memory_order_relaxed); }
+  void on_db_retry_success() {
+    db_retry_successes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_connections_reopened(std::uint64_t n) {
+    connections_reopened_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void on_acquire_timeout() {
+    acquire_timeouts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_handler_error() {
+    handler_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_stage_exception() {
+    stage_exceptions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_degraded_stale() {
+    degraded_stale_served_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+      s.injected[i] = injected_[i].load(std::memory_order_relaxed);
+    }
+    s.deadline_rejected = deadline_rejected_.load(std::memory_order_relaxed);
+    s.db_retries = db_retries_.load(std::memory_order_relaxed);
+    s.db_retry_successes =
+        db_retry_successes_.load(std::memory_order_relaxed);
+    s.connections_reopened =
+        connections_reopened_.load(std::memory_order_relaxed);
+    s.acquire_timeouts = acquire_timeouts_.load(std::memory_order_relaxed);
+    s.handler_errors = handler_errors_.load(std::memory_order_relaxed);
+    s.stage_exceptions = stage_exceptions_.load(std::memory_order_relaxed);
+    s.degraded_stale_served =
+        degraded_stale_served_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumFaultSites> injected_{};
+  std::atomic<std::uint64_t> deadline_rejected_{0};
+  std::atomic<std::uint64_t> db_retries_{0};
+  std::atomic<std::uint64_t> db_retry_successes_{0};
+  std::atomic<std::uint64_t> connections_reopened_{0};
+  std::atomic<std::uint64_t> acquire_timeouts_{0};
+  std::atomic<std::uint64_t> handler_errors_{0};
+  std::atomic<std::uint64_t> stage_exceptions_{0};
+  std::atomic<std::uint64_t> degraded_stale_served_{0};
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0) : seed_(seed) {}
+
+  // Installs/overwrites the rule for one site (configuration time only —
+  // not safe against concurrent should_fire()).
+  void set(FaultSite site, FaultRule rule) {
+    rules_[static_cast<std::size_t>(site)] = rule;
+  }
+
+  const FaultRule& rule(FaultSite site) const {
+    return rules_[static_cast<std::size_t>(site)];
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+  // One check at `site`: returns true when the fault fires, recording the
+  // injection into `counters` (nullable). Thread-safe; the decision sequence
+  // per site is fixed by the seed (see file comment).
+  bool should_fire(FaultSite site, FaultCounters* counters = nullptr,
+                   double now_paper_s = paper_now()) const;
+
+  // Extra service delay for `site` (delay-flavoured sites read this after a
+  // should_fire hit).
+  double delay_of(FaultSite site) const {
+    return rule(site).delay_paper_s;
+  }
+
+  // True while any DB-flavoured site is live (enabled, inside its window,
+  // fire budget not exhausted). The staged server uses this as the
+  // degraded-mode signal: while the DB is faulting, cacheable routes may be
+  // served from stale cache entries rather than risking the dynamic pools.
+  bool db_faulting(double now_paper_s) const;
+
+  // Fires recorded so far at `site` (for tests and reports).
+  std::uint64_t fires(FaultSite site) const {
+    return state_[static_cast<std::size_t>(site)].fires.load(
+        std::memory_order_relaxed);
+  }
+  // Checks performed so far at `site`.
+  std::uint64_t checks(FaultSite site) const {
+    return state_[static_cast<std::size_t>(site)].checks.load(
+        std::memory_order_relaxed);
+  }
+
+  // Parses a plan spec:
+  //
+  //   seed=42;db.statement.delay:p=1,delay=5,start=10,end=20;transport.reset:p=0.01
+  //
+  // ';'-separated entries; an optional leading seed=N; every other entry is
+  // <site>:<key>=<value>,... with keys p (probability), max (fire budget),
+  // start/end (paper-s window), delay (paper-s). Throws
+  // std::invalid_argument on unknown sites/keys or malformed numbers.
+  static std::shared_ptr<FaultPlan> parse(std::string_view spec);
+
+  // Plan from the TEMPEST_FAULT_PLAN environment variable, or nullptr when
+  // it is unset/empty. Lets any bench or example run under a chaos plan
+  // without a code change.
+  static std::shared_ptr<FaultPlan> from_env();
+
+ private:
+  struct SiteState {
+    std::atomic<std::uint64_t> checks{0};
+    std::atomic<std::uint64_t> fires{0};
+  };
+
+  std::uint64_t seed_ = 0;
+  std::array<FaultRule, kNumFaultSites> rules_{};
+  mutable std::array<SiteState, kNumFaultSites> state_{};
+};
+
+}  // namespace tempest

@@ -32,6 +32,9 @@ enum class OverflowPolicy { kBlock, kReject };
 struct WorkerPoolOptions {
   std::size_t queue_capacity = 0;  // 0 = unbounded
   OverflowPolicy overflow = OverflowPolicy::kBlock;
+  // Called (in the worker thread) whenever an exception escapes the handler
+  // and is absorbed by the pool's exception barrier.
+  std::function<void()> on_uncaught;
 };
 
 template <typename T>
@@ -117,6 +120,11 @@ class WorkerPool {
     return rejected_.load(std::memory_order_relaxed);
   }
 
+  // Exceptions that escaped the handler and were absorbed by the barrier.
+  std::uint64_t uncaught() const {
+    return uncaught_.load(std::memory_order_relaxed);
+  }
+
  private:
   void run() {
     // Counting busy inside the dequeue's critical section closes the race
@@ -125,7 +133,18 @@ class WorkerPool {
     // a lengthy request into the reserved general-pool headroom (Table 1).
     while (auto item = queue_.pop(
                [this] { busy_.fetch_add(1, std::memory_order_relaxed); })) {
-      handler_(std::move(*item));
+      // Exception barrier: an escape must not kill the thread — a dead
+      // worker would silently shrink the pool forever, inflating the
+      // spare-thread count the scheduler steers by (tspare) and leaking the
+      // thread's DB connection until shutdown. The servers' stage wrappers
+      // answer the request with a 500 before the exception gets here; this
+      // is the backstop that keeps the pool at full strength regardless.
+      try {
+        handler_(std::move(*item));
+      } catch (...) {
+        uncaught_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.on_uncaught) options_.on_uncaught();
+      }
       busy_.fetch_sub(1, std::memory_order_relaxed);
       processed_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -138,6 +157,7 @@ class WorkerPool {
   std::atomic<std::size_t> busy_{0};
   std::atomic<std::uint64_t> processed_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> uncaught_{0};
   std::vector<std::thread> threads_;
 };
 

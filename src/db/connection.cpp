@@ -8,6 +8,50 @@ namespace tempest::db {
 
 ResultSet Connection::execute(const std::string& sql,
                               const std::vector<Value>& params) {
+  int attempt = 0;
+  double backoff = retry_.backoff_paper_s;
+  for (;;) {
+    try {
+      ResultSet result = execute_attempt(sql, params);
+      if (attempt > 0 && fault_counters_ != nullptr) {
+        fault_counters_->on_db_retry_success();
+      }
+      return result;
+    } catch (const InjectedDbError&) {
+      // Transient: retry in place with exponential backoff until the policy
+      // budget is spent, then let the error reach the handler.
+      if (attempt >= retry_.max_retries) throw;
+      ++attempt;
+      if (fault_counters_ != nullptr) fault_counters_->on_db_retry();
+      paper_sleep_for(backoff);
+      backoff *= retry_.backoff_multiplier;
+    }
+    // ConnectionDropped and real DbErrors propagate: a broken connection
+    // cannot be retried here, only replaced via the pool.
+  }
+}
+
+ResultSet Connection::execute_attempt(const std::string& sql,
+                                      const std::vector<Value>& params) {
+  if (broken()) {
+    throw ConnectionDropped("connection " + std::to_string(id_) +
+                            " is broken");
+  }
+  if (fault_plan_ != nullptr) {
+    if (fault_plan_->should_fire(FaultSite::kDbDelay, fault_counters_)) {
+      paper_sleep_for(fault_plan_->delay_of(FaultSite::kDbDelay));
+    }
+    if (fault_plan_->should_fire(FaultSite::kDbDrop, fault_counters_)) {
+      mark_broken();
+      throw ConnectionDropped("injected drop on connection " +
+                              std::to_string(id_));
+    }
+    if (fault_plan_->should_fire(FaultSite::kDbError, fault_counters_)) {
+      throw InjectedDbError("injected statement error on connection " +
+                            std::to_string(id_));
+    }
+  }
+
   const Stopwatch watch;
   const auto stmt = db_.cached_statement(sql);
 

@@ -2,6 +2,14 @@
 // referenced tables' locks (shared for reads, exclusive for writes) for the
 // statement's simulated service time — the MyISAM behaviour behind the
 // paper's admin-response anomaly (Section 4.2.1).
+//
+// Fault injection (src/common/fault.h) hooks in here: a configured FaultPlan
+// can stretch a statement's service time (db.statement.delay), make it throw
+// a retryable InjectedDbError (db.statement.error), or break the connection
+// outright (db.connection.drop) — after which every statement fails with
+// ConnectionDropped until the pool repairs it. Retryable injected errors are
+// retried in-place with exponential backoff per the RetryPolicy, so a
+// transient fault costs latency instead of a 500.
 #pragma once
 
 #include <atomic>
@@ -10,23 +18,56 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/fault.h"
 #include "src/db/database.h"
 #include "src/db/executor.h"
 #include "src/db/latency.h"
 
 namespace tempest::db {
 
+// A fault-injected statement failure. Retryable: the same statement may
+// succeed on the next attempt (a transient error, not a broken connection).
+class InjectedDbError : public DbError {
+ public:
+  using DbError::DbError;
+};
+
+// The connection broke (injected drop). Not retryable on this connection —
+// the holder must release it so the pool can repair it, and acquire another.
+class ConnectionDropped : public DbError {
+ public:
+  using DbError::DbError;
+};
+
+// In-place retry of statements that failed with an InjectedDbError.
+struct RetryPolicy {
+  int max_retries = 0;               // 0 = fail on first error
+  double backoff_paper_s = 0.05;     // sleep before retry #1
+  double backoff_multiplier = 2.0;   // backoff grows per attempt
+};
+
 class Connection {
  public:
-  Connection(Database& db, LatencyModel model, int id)
-      : db_(db), executor_(db), model_(model), id_(id) {}
+  Connection(Database& db, LatencyModel model, int id,
+             std::shared_ptr<const FaultPlan> fault_plan = nullptr,
+             FaultCounters* fault_counters = nullptr,
+             RetryPolicy retry = {})
+      : db_(db),
+        executor_(db),
+        model_(model),
+        id_(id),
+        fault_plan_(std::move(fault_plan)),
+        fault_counters_(fault_counters),
+        retry_(retry) {}
 
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
   // Executes one statement. Blocks for lock acquisition plus the simulated
   // service time (scaled to wall time). Thread-compatible: one statement at a
-  // time per connection, like a real DB-API connection.
+  // time per connection, like a real DB-API connection. Throws
+  // ConnectionDropped if the connection is (or becomes) broken; retries
+  // InjectedDbError per the RetryPolicy before letting it escape.
   ResultSet execute(const std::string& sql,
                     const std::vector<Value>& params = {});
 
@@ -41,16 +82,30 @@ class Connection {
     return busy_paper_us_.load(std::memory_order_relaxed) / 1e6;
   }
 
+  // A broken connection fails every statement until reopen(). The pool
+  // shelves broken connections on give-back and repairs them off the idle
+  // path (ConnectionPool::repair_broken).
+  bool broken() const { return broken_.load(std::memory_order_relaxed); }
+  void mark_broken() { broken_.store(true, std::memory_order_relaxed); }
+  void reopen() { broken_.store(false, std::memory_order_relaxed); }
+
   // When true (default), the statement's simulated service time is charged
   // while table locks are held. Tests can disable the charge for speed.
   void set_charge_latency(bool charge) { charge_latency_ = charge; }
 
  private:
+  ResultSet execute_attempt(const std::string& sql,
+                            const std::vector<Value>& params);
+
   Database& db_;
   Executor executor_;
   LatencyModel model_;
   const int id_;
+  const std::shared_ptr<const FaultPlan> fault_plan_;
+  FaultCounters* const fault_counters_;
+  const RetryPolicy retry_;
   bool charge_latency_ = true;
+  std::atomic<bool> broken_{false};
   std::atomic<std::uint64_t> statements_{0};
   std::atomic<std::uint64_t> busy_paper_us_{0};
 };

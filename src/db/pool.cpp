@@ -1,15 +1,21 @@
 #include "src/db/pool.h"
 
+#include <chrono>
+
 namespace tempest::db {
 
 ConnectionPool::ConnectionPool(Database& db, std::size_t size,
-                               LatencyModel model) {
+                               LatencyModel model,
+                               std::shared_ptr<const FaultPlan> fault_plan,
+                               FaultCounters* fault_counters,
+                               RetryPolicy retry)
+    : fault_counters_(fault_counters) {
   connections_.reserve(size);
   idle_.reserve(size);
   checked_out_at_.resize(size);
   for (std::size_t i = 0; i < size; ++i) {
-    connections_.push_back(
-        std::make_unique<Connection>(db, model, static_cast<int>(i)));
+    connections_.push_back(std::make_unique<Connection>(
+        db, model, static_cast<int>(i), fault_plan, fault_counters, retry));
     idle_.push_back(connections_.back().get());
   }
 }
@@ -18,6 +24,21 @@ ConnectionPool::Lease ConnectionPool::acquire() {
   const Stopwatch wait;
   std::unique_lock lock(mu_);
   available_cv_.wait(lock, [&] { return !idle_.empty(); });
+  Connection* conn = idle_.back();
+  idle_.pop_back();
+  acquire_wait_.add(wait.elapsed_paper());
+  checked_out_at_[static_cast<std::size_t>(conn->id())] = WallClock::now();
+  return Lease(this, conn);
+}
+
+ConnectionPool::Lease ConnectionPool::acquire_for(double timeout_paper_s) {
+  const Stopwatch wait;
+  std::unique_lock lock(mu_);
+  if (!available_cv_.wait_for(lock, to_wall(timeout_paper_s),
+                              [&] { return !idle_.empty(); })) {
+    if (fault_counters_ != nullptr) fault_counters_->on_acquire_timeout();
+    return Lease();
+  }
   Connection* conn = idle_.back();
   idle_.pop_back();
   acquire_wait_.add(wait.elapsed_paper());
@@ -34,18 +55,48 @@ void ConnectionPool::Lease::release() {
 }
 
 void ConnectionPool::give_back(Connection* conn, double held_paper_s) {
+  bool usable;
   {
     std::lock_guard lock(mu_);
     total_held_paper_s_ += held_paper_s;
     checked_out_at_[static_cast<std::size_t>(conn->id())] = {};
-    idle_.push_back(conn);
+    usable = !conn->broken();
+    if (usable) {
+      idle_.push_back(conn);
+    } else {
+      // Shelve it: a broken connection must not reach the next requester.
+      broken_.push_back(conn);
+    }
   }
-  available_cv_.notify_one();
+  if (usable) available_cv_.notify_one();
+}
+
+std::size_t ConnectionPool::repair_broken() {
+  std::vector<Connection*> repaired;
+  {
+    std::lock_guard lock(mu_);
+    if (broken_.empty()) return 0;
+    repaired.swap(broken_);
+    for (Connection* conn : repaired) {
+      conn->reopen();
+      idle_.push_back(conn);
+    }
+  }
+  available_cv_.notify_all();
+  if (fault_counters_ != nullptr) {
+    fault_counters_->on_connections_reopened(repaired.size());
+  }
+  return repaired.size();
 }
 
 std::size_t ConnectionPool::available() const {
   std::lock_guard lock(mu_);
   return idle_.size();
+}
+
+std::size_t ConnectionPool::broken_count() const {
+  std::lock_guard lock(mu_);
+  return broken_.size();
 }
 
 ConnectionPool::Stats ConnectionPool::stats() const {

@@ -6,6 +6,13 @@
 // (b) the fraction of checked-out time the connection actually spends
 // executing statements — the "idle while held" waste that the modified
 // server eliminates by giving connections only to data-generation threads.
+//
+// Fault handling: a connection broken by an injected drop is shelved on
+// give-back instead of returning to the idle list, so a faulting connection
+// is never handed to the next requester. repair_broken() — called from the
+// servers' periodic control loops — reopens shelved connections and puts
+// them back into rotation, counting the repairs. acquire_for() bounds the
+// wait so pool exhaustion during a fault surfaces as a 503, not a stall.
 #pragma once
 
 #include <condition_variable>
@@ -14,6 +21,7 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/fault.h"
 #include "src/common/stats.h"
 #include "src/db/connection.h"
 
@@ -21,7 +29,10 @@ namespace tempest::db {
 
 class ConnectionPool {
  public:
-  ConnectionPool(Database& db, std::size_t size, LatencyModel model = {});
+  ConnectionPool(Database& db, std::size_t size, LatencyModel model = {},
+                 std::shared_ptr<const FaultPlan> fault_plan = nullptr,
+                 FaultCounters* fault_counters = nullptr,
+                 RetryPolicy retry = {});
 
   // RAII checkout handle; returns the connection on destruction.
   class Lease {
@@ -59,8 +70,20 @@ class ConnectionPool {
   // Blocks until a connection is free.
   Lease acquire();
 
+  // Blocks at most `timeout_paper_s` paper-seconds. Returns an empty Lease
+  // (operator bool == false) on timeout, counting an acquire timeout, so an
+  // exhausted pool becomes a shed request instead of a hung thread.
+  Lease acquire_for(double timeout_paper_s);
+
+  // Reopens every shelved broken connection and returns it to the idle list.
+  // Returns the number repaired. Called off the request path (controller /
+  // sampler loops) — repairing a connection stands in for the reconnect a
+  // real driver would perform.
+  std::size_t repair_broken();
+
   std::size_t size() const { return connections_.size(); }
   std::size_t available() const;
+  std::size_t broken_count() const;
 
   struct Stats {
     OnlineStats acquire_wait_paper_s;   // time spent waiting for a connection
@@ -81,9 +104,12 @@ class ConnectionPool {
   void give_back(Connection* conn, double held_paper_s);
 
   std::vector<std::unique_ptr<Connection>> connections_;
+  FaultCounters* fault_counters_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable available_cv_;
   std::vector<Connection*> idle_;
+  // Connections broken by an injected drop, awaiting repair_broken().
+  std::vector<Connection*> broken_;
   OnlineStats acquire_wait_;
   double total_held_paper_s_ = 0;
   // Checkout time per connection id; default-constructed when idle.

@@ -12,7 +12,10 @@ BaselineServer::BaselineServer(ServerConfig config,
                                db::Database& db)
     : config_(config),
       app_(std::move(app)),
-      db_pool_(db, config.db_connections, config.db_latency),
+      db_pool_(db, config.db_connections, config.db_latency,
+               config.fault_plan, &stats_.faults(),
+               db::RetryPolicy{config.db_max_retries,
+                               config.db_retry_backoff_paper_s}),
       tracker_(config.lengthy_cutoff_paper_s) {
   if (config_.baseline_threads > config_.db_connections) {
     throw std::invalid_argument(
@@ -21,7 +24,23 @@ BaselineServer::BaselineServer(ServerConfig config,
   }
   workers_ = std::make_unique<WorkerPool<RequestContext>>(
       "workers", config_.baseline_threads,
-      [this](RequestContext&& ctx) { handle(std::move(ctx)); },
+      [this](RequestContext&& ctx) {
+        // Per-request exception guard: count the escape and, when the
+        // request was not yet answered (writer still non-null), fail it with
+        // a 500 so the client never hangs. The pool's own barrier backstops
+        // anything that escapes from here.
+        try {
+          handle(ctx);
+        } catch (...) {
+          stats_.faults().on_stage_exception();
+          if (ctx.incoming.writer != nullptr) {
+            send_and_record(
+                std::move(ctx),
+                http::Response::server_error("unhandled worker error"),
+                config_, stats_, "error");
+          }
+        }
+      },
       [this] { worker_connection::adopt(db_pool_); },
       [] { worker_connection::release(); },
       WorkerPoolOptions{config_.baseline_queue_capacity,
@@ -54,14 +73,17 @@ void BaselineServer::shutdown() {
 void BaselineServer::sampler_loop() {
   std::unique_lock lock(stop_mu_);
   while (!stop_.load()) {
+    // Reconnect duty, as in the staged server's controller loop.
+    db_pool_.repair_broken();
     stats_.sample_queue("dynamic", paper_now(), workers_->queue_length());
     stop_cv_.wait_for(lock, to_wall(config_.controller_period_paper_s),
                       [this] { return stop_.load(); });
   }
 }
 
-void BaselineServer::handle(RequestContext&& ctx) {
+void BaselineServer::handle(RequestContext& ctx) {
   ctx.trace.dequeue();
+  if (reject_if_expired(ctx, config_, stats_)) return;
   // The worker thread does everything: parse the full request first.
   std::string parse_error;
   auto request = http::parse_request(ctx.incoming.raw, &parse_error);
@@ -93,15 +115,26 @@ void BaselineServer::handle(RequestContext&& ctx) {
     return;
   }
 
+  // The thread's stored connection, replaced first if an injected drop broke
+  // it; shed with 503 rather than wedge the worker when none is available.
+  db::Connection* conn =
+      worker_connection::ensure(db_pool_, config_.db_acquire_timeout_paper_s);
+  if (conn == nullptr) {
+    send_unavailable(std::move(ctx), config_, stats_,
+                     "no database connection available");
+    return;
+  }
+
   // Data generation AND rendering on this thread, with the thread's
   // connection held throughout — the waste the paper targets.
   const Stopwatch service_watch;
   HandlerResult result =
-      run_handler(*handler, ctx.request, worker_connection::current());
+      run_handler(*handler, ctx.request, conn, nullptr,
+                  config_.fault_plan.get(), &stats_.faults());
 
   http::Response response;
   if (const auto* tr = std::get_if<TemplateResponse>(&result)) {
-    response = render_template_response(*app_, config_, *tr);
+    response = render_template_response(*app_, config_, *tr, &stats_.faults());
   } else {
     response = to_response(std::move(std::get<StringResponse>(result)));
   }

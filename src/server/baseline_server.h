@@ -40,13 +40,17 @@ class BaselineServer : public WebServer {
   std::size_t queue_length() const { return workers_->queue_length(); }
 
  private:
-  void handle(RequestContext&& ctx);
+  // By reference so the guard in the pool lambda can answer with a 500 when
+  // the handler escapes before the request was sent (writer still non-null).
+  void handle(RequestContext& ctx);
   void sampler_loop();
 
   const ServerConfig config_;
   const std::shared_ptr<const Application> app_;
-  db::ConnectionPool db_pool_;
+  // Before db_pool_: the pool reports into stats_.faults() for its whole
+  // lifetime, so stats_ must outlive (construct before) it.
   ServerStats stats_;
+  db::ConnectionPool db_pool_;
   // Classifies pages for reporting only (the baseline scheduler ignores it);
   // tracks whole-handler time since the baseline cannot separate data
   // generation from rendering — the measurement-accuracy point of Section 1.

@@ -1,6 +1,7 @@
 #include "src/server/respond.h"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "src/common/logging.h"
 #include "src/common/render_buffer.h"
@@ -15,6 +16,22 @@ namespace {
 http::ConnectionDirective directive(const RequestContext& ctx) {
   return ctx.incoming.keep_alive ? http::ConnectionDirective::kKeepAlive
                                  : http::ConnectionDirective::kClose;
+}
+
+void send_503(RequestContext&& ctx, const ServerConfig& config,
+              ServerStats& stats, const std::string& reason) {
+  http::Response response = http::Response::make(
+      http::Status::kServiceUnavailable,
+      "<html><body><h1>503 Service Unavailable</h1><p>" + reason +
+          "</p></body></html>");
+  const auto retry_after = static_cast<long long>(
+      std::max(1.0, std::ceil(config.retry_after_paper_s)));
+  response.headers.set("Retry-After", std::to_string(retry_after));
+  stats.record_shed(ctx.cls);
+  // Sheds are not completions: they must not inflate the throughput figures.
+  ctx.incoming.writer->send(make_payload(std::move(response), ctx.head_only(),
+                                         directive(ctx),
+                                         config.zero_copy_responses));
 }
 
 }  // namespace
@@ -36,23 +53,32 @@ void send_and_record(RequestContext&& ctx, http::Response response,
 
 void shed_request(RequestContext&& ctx, const ServerConfig& config,
                   ServerStats& stats) {
-  http::Response response = http::Response::make(
-      http::Status::kServiceUnavailable,
-      "<html><body><h1>503 Service Unavailable</h1>"
-      "<p>server overloaded, retry shortly</p></body></html>");
-  const auto retry_after = static_cast<long long>(
-      std::max(1.0, std::ceil(config.retry_after_paper_s)));
-  response.headers.set("Retry-After", std::to_string(retry_after));
-  stats.record_shed(ctx.cls);
-  // Sheds are not completions: they must not inflate the throughput figures.
-  ctx.incoming.writer->send(make_payload(std::move(response), ctx.head_only(),
-                                         directive(ctx),
-                                         config.zero_copy_responses));
+  send_503(std::move(ctx), config, stats, "server overloaded, retry shortly");
+}
+
+void send_unavailable(RequestContext&& ctx, const ServerConfig& config,
+                      ServerStats& stats, const std::string& reason) {
+  send_503(std::move(ctx), config, stats, reason);
+}
+
+bool reject_if_expired(RequestContext& ctx, const ServerConfig& config,
+                       ServerStats& stats) {
+  if (config.request_deadline_paper_s <= 0.0) return false;
+  const double age = to_paper(WallClock::now() - ctx.incoming.accepted);
+  if (age <= config.request_deadline_paper_s) return false;
+  stats.faults().on_deadline_rejected();
+  send_503(std::move(ctx), config, stats, "request deadline exceeded");
+  return true;
 }
 
 http::Response render_template_response(const Application& app,
                                         const ServerConfig& config,
-                                        const TemplateResponse& tr) {
+                                        const TemplateResponse& tr,
+                                        FaultCounters* faults) {
+  if (config.fault_plan != nullptr &&
+      config.fault_plan->should_fire(FaultSite::kRender, faults)) {
+    return http::Response::server_error("injected render fault");
+  }
   if (!app.templates) {
     return http::Response::server_error("no template loader configured");
   }
@@ -119,12 +145,17 @@ http::Response serve_static(const StaticStore::Entry& entry,
 }
 
 HandlerResult run_handler(const Handler& handler, const http::Request& request,
-                          db::Connection* conn, ResponseCache* cache) {
+                          db::Connection* conn, ResponseCache* cache,
+                          const FaultPlan* plan, FaultCounters* faults) {
   try {
+    if (plan != nullptr && plan->should_fire(FaultSite::kHandler, faults)) {
+      throw std::runtime_error("injected handler fault");
+    }
     HandlerContext ctx{request, conn, cache};
     return handler(ctx);
   } catch (const std::exception& e) {
     LOG_WARN << "handler error for " << request.uri.path << ": " << e.what();
+    if (faults != nullptr) faults->on_handler_error();
     return StringResponse{
         "<html><body><h1>500 Internal Server Error</h1></body></html>",
         http::Status::kInternalServerError,

@@ -31,12 +31,30 @@ void send_and_record(RequestContext&& ctx, http::Response response,
 void shed_request(RequestContext&& ctx, const ServerConfig& config,
                   ServerStats& stats);
 
+// Answers 503 + Retry-After for a request the server cannot serve right now
+// (expired deadline, no DB connection within the acquire timeout). Counted
+// as a shed, not a completion — same accounting as shed_request — with the
+// reason in the body for diagnosability.
+void send_unavailable(RequestContext&& ctx, const ServerConfig& config,
+                      ServerStats& stats, const std::string& reason);
+
+// Deadline gate, called at every stage handoff when
+// config.request_deadline_paper_s > 0: if the request's end-to-end budget
+// (measured from transport accept) is already spent, answers 503 +
+// Retry-After, counts a deadline rejection, and returns true — so an
+// expired request never consumes a DB connection or a render slot.
+bool reject_if_expired(RequestContext& ctx, const ServerConfig& config,
+                       ServerStats& stats);
+
 // Renders a TemplateResponse into an http::Response using the app's loader,
 // charging the configured render cost (paper-time). The caller decides which
 // thread this runs on — worker thread (baseline) or render pool (staged).
+// Chaos site render.fail: with a plan armed, a firing check yields a 500
+// instead of rendering.
 http::Response render_template_response(const Application& app,
                                         const ServerConfig& config,
-                                        const TemplateResponse& tr);
+                                        const TemplateResponse& tr,
+                                        FaultCounters* faults = nullptr);
 
 // Builds the response for a static-store hit, honoring conditional-GET
 // validators: a matching If-None-Match (or, absent that header, an exact
@@ -47,11 +65,15 @@ http::Response serve_static(const StaticStore::Entry& entry,
                             const http::Request& request);
 
 // Runs `handler` with the thread's connection, translating exceptions into
-// a 500 StringResponse. `cache` (nullable) is exposed to the handler so
-// write paths can invalidate cached pages.
+// a 500 StringResponse (counted into `faults` when supplied). Chaos site
+// handler.throw: with `plan` armed, a firing check throws inside the same
+// try block a real handler bug would. `cache` (nullable) is exposed to the
+// handler so write paths can invalidate cached pages.
 HandlerResult run_handler(const Handler& handler, const http::Request& request,
                           db::Connection* conn,
-                          ResponseCache* cache = nullptr);
+                          ResponseCache* cache = nullptr,
+                          const FaultPlan* plan = nullptr,
+                          FaultCounters* faults = nullptr);
 
 // Takes the StringResponse by value so its body moves into the Response.
 http::Response to_response(StringResponse sr);

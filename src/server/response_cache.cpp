@@ -63,16 +63,23 @@ void ResponseCache::erase_locked(Shard& shard, LruList::iterator it) {
 }
 
 std::shared_ptr<const ResponseCache::CachedResponse> ResponseCache::find(
-    std::string_view key, double now_paper_s) {
+    std::string_view key, double now_paper_s, bool allow_stale,
+    bool* was_stale) {
+  if (was_stale != nullptr) *was_stale = false;
   Shard& shard = shard_for(key);
   std::lock_guard lock(shard.mu);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) return nullptr;
   LruList::iterator node = it->second;
   if (now_paper_s >= node->expires_paper_s) {
-    erase_locked(shard, node);
-    if (counters_) counters_->on_expire();
-    return nullptr;
+    if (!allow_stale) {
+      erase_locked(shard, node);
+      if (counters_) counters_->on_expire();
+      return nullptr;
+    }
+    // Degraded mode: serve the corpse but leave it in place (and don't count
+    // an expiration) — it may be the only copy until the DB recovers.
+    if (was_stale != nullptr) *was_stale = true;
   }
   // Refresh recency: splice the node to the front without invalidating the
   // index (list iterators survive splice).

@@ -142,9 +142,15 @@ class ResponseCache {
 
   // Returns the live entry for `key`, refreshing its LRU position, or null.
   // An entry past its deadline is removed (counted as an expiration) and
-  // reported as a miss.
+  // reported as a miss — unless `allow_stale` is set (degraded-mode serving
+  // while the DB is faulting, DESIGN.md §12): then the expired entry is
+  // returned as-is, kept in the cache for the next degraded request, and
+  // `*was_stale` is set so the caller can mark the response (Warning header)
+  // and count the degraded serve.
   std::shared_ptr<const CachedResponse> find(std::string_view key,
-                                             double now_paper_s);
+                                             double now_paper_s,
+                                             bool allow_stale = false,
+                                             bool* was_stale = nullptr);
 
   // Stores `response` under `key` with the policy's TTL (falling back to the
   // config default), evicting LRU entries to respect the per-shard entry and

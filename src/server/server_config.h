@@ -12,7 +12,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
+#include "src/common/fault.h"
 #include "src/common/worker_pool.h"
 #include "src/db/latency.h"
 #include "src/server/response_cache.h"
@@ -52,6 +54,12 @@ struct TransportConfig {
   // slow-client eviction threshold, refreshed on every write that makes
   // progress.
   int write_timeout_ms = 5000;
+
+  // Chaos plan for the transport sites (transport.reset at dispatch,
+  // transport.short_write in the flush path). Null = no injection; every
+  // site is then one pointer check. Set it to the same plan as
+  // ServerConfig::fault_plan to chaos-test the whole stack with one seed.
+  std::shared_ptr<const FaultPlan> fault_plan;
 };
 
 struct ServerConfig {
@@ -119,6 +127,26 @@ struct ServerConfig {
   // reproduction figures measure the uncached pipeline; fig12 and the
   // cache tests flip it on. Routes opt in via a CachePolicy at registration.
   CacheConfig cache;
+
+  // Fault injection + resilience (src/common/fault.h, DESIGN.md §12).
+  // `fault_plan` arms the DB/handler/render injection sites; null (default)
+  // compiles every site down to a pointer check. FaultPlan::from_env() turns
+  // the TEMPEST_FAULT_PLAN variable into a plan for benches and examples.
+  std::shared_ptr<const FaultPlan> fault_plan;
+  // End-to-end request budget in paper seconds (0 = no deadline). Checked at
+  // every stage handoff; an expired request is answered 503 + Retry-After
+  // immediately instead of consuming a DB connection or a render slot.
+  double request_deadline_paper_s = 0.0;
+  // How long a dynamic-pool thread waits to replace a broken DB connection
+  // before shedding the request with 503 (paper seconds).
+  double db_acquire_timeout_paper_s = 1.0;
+  // Retry policy for retryable (injected transient) DB statement errors.
+  int db_max_retries = 2;
+  double db_retry_backoff_paper_s = 0.05;
+  // While the DB is faulting (FaultPlan::db_faulting), cacheable routes may
+  // be served from expired render-cache entries, marked with a Warning
+  // header, instead of risking the dynamic pools.
+  bool serve_stale_when_degraded = true;
 
   // Disable all simulated service costs (unit tests that only check
   // functional behaviour).

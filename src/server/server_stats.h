@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/fault.h"
 #include "src/common/stats.h"
 #include "src/server/request_context.h"
 #include "src/server/response_cache.h"
@@ -168,6 +169,12 @@ class ServerStats {
   CacheCounters& cache() { return cache_; }
   const CacheCounters& cache() const { return cache_; }
 
+  // Fault-injection and recovery counters (src/common/fault.h): injection
+  // sites record what they injected, the recovery paths (retries, repairs,
+  // deadline rejections, degraded serves) record what they did about it.
+  FaultCounters& faults() { return faults_; }
+  const FaultCounters& faults() const { return faults_; }
+
   std::uint64_t shed(RequestClass cls) const;
   std::uint64_t shed_total() const;
 
@@ -198,6 +205,7 @@ class ServerStats {
   std::array<std::atomic<std::uint64_t>, 3> shed_{};
   TransportCounters transport_;
   CacheCounters cache_;
+  FaultCounters faults_;
 
   mutable std::mutex mu_;
   std::array<Histogram, 3> response_hist_;

@@ -11,7 +11,10 @@ StagedServer::StagedServer(ServerConfig config,
                            db::Database& db)
     : config_(config),
       app_(std::move(app)),
-      db_pool_(db, config.db_connections, config.db_latency),
+      db_pool_(db, config.db_connections, config.db_latency,
+               config.fault_plan, &stats_.faults(),
+               db::RetryPolicy{config.db_max_retries,
+                               config.db_retry_backoff_paper_s}),
       tracker_(config.lengthy_cutoff_paper_s),
       // Cap treserve at 3/4 of the general pool: reserving every thread
       // would permanently block lengthy spillover (tspare can never exceed
@@ -46,33 +49,43 @@ StagedServer::StagedServer(ServerConfig config,
   // does not exist yet.
   render_pool_ = std::make_unique<WorkerPool<RequestContext>>(
       "render", config_.render_threads,
-      [this](RequestContext&& ctx) { render_stage(std::move(ctx)); },
+      [this](RequestContext&& ctx) {
+        run_guarded(std::move(ctx), &StagedServer::render_stage);
+      },
       WorkerPool<RequestContext>::ThreadHook{},
       WorkerPool<RequestContext>::ThreadHook{},
       pool_options(config_.render_queue_capacity));
   static_pool_ = std::make_unique<WorkerPool<RequestContext>>(
       "static", config_.static_threads,
-      [this](RequestContext&& ctx) { static_stage(std::move(ctx)); },
+      [this](RequestContext&& ctx) {
+        run_guarded(std::move(ctx), &StagedServer::static_stage);
+      },
       WorkerPool<RequestContext>::ThreadHook{},
       WorkerPool<RequestContext>::ThreadHook{},
       pool_options(config_.static_queue_capacity));
   general_pool_ = std::make_unique<WorkerPool<RequestContext>>(
       "general", general_threads,
-      [this](RequestContext&& ctx) { dynamic_stage(std::move(ctx)); },
+      [this](RequestContext&& ctx) {
+        run_guarded(std::move(ctx), &StagedServer::dynamic_stage);
+      },
       [this] { worker_connection::adopt(db_pool_); },
       [] { worker_connection::release(); },
       pool_options(config_.general_queue_capacity));
   if (lengthy_threads > 0) {
     lengthy_pool_ = std::make_unique<WorkerPool<RequestContext>>(
         "lengthy", lengthy_threads,
-        [this](RequestContext&& ctx) { dynamic_stage(std::move(ctx)); },
+        [this](RequestContext&& ctx) {
+          run_guarded(std::move(ctx), &StagedServer::dynamic_stage);
+        },
         [this] { worker_connection::adopt(db_pool_); },
         [] { worker_connection::release(); },
         pool_options(config_.lengthy_queue_capacity));
   }
   header_pool_ = std::make_unique<WorkerPool<RequestContext>>(
       "header", config_.header_threads,
-      [this](RequestContext&& ctx) { header_stage(std::move(ctx)); },
+      [this](RequestContext&& ctx) {
+        run_guarded(std::move(ctx), &StagedServer::header_stage);
+      },
       WorkerPool<RequestContext>::ThreadHook{},
       WorkerPool<RequestContext>::ThreadHook{},
       pool_options(config_.header_queue_capacity));
@@ -96,6 +109,23 @@ void StagedServer::forward(RequestContext&& ctx,
   ctx.trace.enqueue(stage);
   if (auto refused = pool.submit(std::move(ctx))) {
     shed_request(std::move(*refused), config_, stats_);
+  }
+}
+
+void StagedServer::run_guarded(RequestContext&& ctx,
+                               void (StagedServer::*stage)(RequestContext&)) {
+  try {
+    (this->*stage)(ctx);
+  } catch (...) {
+    stats_.faults().on_stage_exception();
+    // A null writer means the stage already answered or forwarded the
+    // request before throwing; nothing to clean up. Otherwise the request is
+    // still ours to answer.
+    if (ctx.incoming.writer != nullptr) {
+      send_and_record(std::move(ctx),
+                      http::Response::server_error("unhandled stage error"),
+                      config_, stats_, "error");
+    }
   }
 }
 
@@ -130,6 +160,9 @@ void StagedServer::controller_loop() {
   std::unique_lock lock(stop_mu_);
   while (!stop_.load()) {
     const double now = paper_now();
+    // Reconnect duty: connections broken by injected drops sit on the pool's
+    // repair shelf until this tick puts them back into rotation.
+    db_pool_.repair_broken();
     const std::int64_t tspare = general_spare();
     if (config_.adaptive_reserve) {
       reserve_.tick(tspare);
@@ -147,8 +180,9 @@ void StagedServer::controller_loop() {
   }
 }
 
-void StagedServer::header_stage(RequestContext&& ctx) {
+void StagedServer::header_stage(RequestContext& ctx) {
   ctx.trace.dequeue();
+  if (reject_if_expired(ctx, config_, stats_)) return;
   // Parse only the request line: enough to route static vs dynamic.
   auto first_line = http::parse_request_line_only(ctx.incoming.raw);
   if (!first_line) {
@@ -185,13 +219,20 @@ void StagedServer::header_stage(RequestContext&& ctx) {
   // Cache probe — before the dynamic pools, so a hit never consumes a
   // database connection (the resource the paper's scheduling protects).
   // Only GETs on routes that opted in via a CachePolicy are cacheable.
+  // Degraded mode (DESIGN.md §12): while the DB is faulting, an expired
+  // entry is still served — marked stale — rather than sending the request
+  // into a dynamic pool whose connection may be about to fail.
   if (cache_ && ctx.request.method == http::Method::kGet) {
     if (const CachePolicy* policy =
             app_->router.cache_policy(ctx.request.uri.path)) {
       std::string key = ResponseCache::make_key(
           ctx.request.uri.path, ctx.request.uri.query, *policy);
-      if (auto hit = cache_->find(key, paper_now())) {
-        serve_cache_hit(std::move(ctx), std::move(hit));
+      const bool degraded = config_.serve_stale_when_degraded &&
+                            config_.fault_plan != nullptr &&
+                            config_.fault_plan->db_faulting(paper_now());
+      bool stale = false;
+      if (auto hit = cache_->find(key, paper_now(), degraded, &stale)) {
+        serve_cache_hit(std::move(ctx), std::move(hit), stale);
         return;
       }
       stats_.cache().on_miss();
@@ -218,8 +259,9 @@ void StagedServer::header_stage(RequestContext&& ctx) {
 
 void StagedServer::serve_cache_hit(
     RequestContext&& ctx,
-    std::shared_ptr<const ResponseCache::CachedResponse> hit) {
+    std::shared_ptr<const ResponseCache::CachedResponse> hit, bool stale) {
   stats_.cache().on_hit(ctx.cls);
+  if (stale) stats_.faults().on_degraded_stale();
   // The hit is served right here on the header-pool thread, but it gets its
   // own virtual stage visit so cache service shows up in the stage metrics
   // (enqueue and dequeue coincide: a hit never waits in a queue).
@@ -227,8 +269,10 @@ void StagedServer::serve_cache_hit(
   ctx.trace.enqueue(Stage::kCache);
   ctx.trace.dequeue();
   const std::string page = ctx.request.uri.path;
+  // A stale entry's validator must not confirm freshness, so the 304 path
+  // only applies to live hits.
   if (const auto inm = ctx.request.headers.get("If-None-Match");
-      inm && http::etag_matches(*inm, hit->etag)) {
+      !stale && inm && http::etag_matches(*inm, hit->etag)) {
     stats_.cache().on_not_modified();
     send_and_record(std::move(ctx),
                     http::Response::not_modified(hit->etag, ""), config_,
@@ -247,11 +291,18 @@ void StagedServer::serve_cache_hit(
           : http::Response::make(hit->status, hit->body, hit->content_type);
   response.headers.set("ETag", hit->etag);
   response.headers.set("X-Cache", "hit");
+  if (stale) {
+    // RFC 9111 §5.5: 110 = "Response is Stale". Clients (and the chaos
+    // tests) can tell a degraded serve from a fresh hit.
+    response.headers.set("Warning", "110 - \"Response is Stale\"");
+    response.headers.set("X-Cache", "stale");
+  }
   send_and_record(std::move(ctx), std::move(response), config_, stats_, page);
 }
 
-void StagedServer::static_stage(RequestContext&& ctx) {
+void StagedServer::static_stage(RequestContext& ctx) {
   ctx.trace.dequeue();
+  if (reject_if_expired(ctx, config_, stats_)) return;
   // Parse the full request (headers were deferred for static requests).
   std::string parse_error;
   auto request = http::parse_request(ctx.incoming.raw, &parse_error);
@@ -273,8 +324,9 @@ void StagedServer::static_stage(RequestContext&& ctx) {
                   "static");
 }
 
-void StagedServer::dynamic_stage(RequestContext&& ctx) {
+void StagedServer::dynamic_stage(RequestContext& ctx) {
   ctx.trace.dequeue();
+  if (reject_if_expired(ctx, config_, stats_)) return;
   const std::string path = ctx.request.uri.path;
 
   const Handler* handler = app_->router.find(path);
@@ -284,12 +336,23 @@ void StagedServer::dynamic_stage(RequestContext&& ctx) {
     return;
   }
 
+  // The thread's stored connection, replaced first if an injected drop broke
+  // it. A bounded wait: when the whole pool is broken or checked out, the
+  // request is shed rather than wedging a dynamic-pool thread.
+  db::Connection* conn =
+      worker_connection::ensure(db_pool_, config_.db_acquire_timeout_paper_s);
+  if (conn == nullptr) {
+    send_unavailable(std::move(ctx), config_, stats_,
+                     "no database connection available");
+    return;
+  }
+
   // The paper's measurement: from acquiring the request to queueing the
   // unrendered template — pure data-generation time.
   const Stopwatch datagen_watch;
-  HandlerResult result = run_handler(*handler, ctx.request,
-                                     worker_connection::current(),
-                                     cache_.get());
+  HandlerResult result =
+      run_handler(*handler, ctx.request, conn, cache_.get(),
+                  config_.fault_plan.get(), &stats_.faults());
   tracker_.record(path, datagen_watch.elapsed_paper());
 
   if (auto* tr = std::get_if<TemplateResponse>(&result)) {
@@ -305,10 +368,12 @@ void StagedServer::dynamic_stage(RequestContext&& ctx) {
   send_and_record(std::move(ctx), std::move(response), config_, stats_, path);
 }
 
-void StagedServer::render_stage(RequestContext&& ctx) {
+void StagedServer::render_stage(RequestContext& ctx) {
   ctx.trace.dequeue();
+  if (reject_if_expired(ctx, config_, stats_)) return;
   http::Response response =
-      ctx.render ? render_template_response(*app_, config_, *ctx.render)
+      ctx.render ? render_template_response(*app_, config_, *ctx.render,
+                                            &stats_.faults())
                  : http::Response::server_error("render stage without template");
   // A header-stage miss left the key behind: store the rendered page so the
   // next request short-circuits. Only clean 200s are cacheable.

@@ -55,18 +55,31 @@ class StagedServer : public WebServer {
   ResponseCache* cache() { return cache_.get(); }
 
  private:
-  void header_stage(RequestContext&& ctx);
+  // Stage bodies take the context by reference so the guard below can still
+  // reach it after an escape: a context that was already answered (or
+  // forwarded) has a moved-from (null) writer, one abandoned mid-stage does
+  // not, and the guard answers the latter with a 500.
+  void header_stage(RequestContext& ctx);
   // Serves a cache hit inline on the header-pool thread (no DB connection is
   // consumed), answering conditional GETs with 304. Takes the entry by
   // shared_ptr: the response aliases the stored body through it, so a hit
   // copies nothing and the bytes stay alive even if the entry is evicted
-  // while the response is still being written.
+  // while the response is still being written. `stale` marks a degraded-mode
+  // serve of an expired entry (Warning header, fault counter).
   void serve_cache_hit(RequestContext&& ctx,
-                       std::shared_ptr<const ResponseCache::CachedResponse> hit);
-  void static_stage(RequestContext&& ctx);
-  void dynamic_stage(RequestContext&& ctx);
-  void render_stage(RequestContext&& ctx);
+                       std::shared_ptr<const ResponseCache::CachedResponse> hit,
+                       bool stale);
+  void static_stage(RequestContext& ctx);
+  void dynamic_stage(RequestContext& ctx);
+  void render_stage(RequestContext& ctx);
   void controller_loop();
+
+  // Per-stage exception guard, wrapped around every pool handler: catches
+  // anything a stage lets escape, counts it, and — when the request was not
+  // yet answered — fails it with a 500 so the client never hangs. The
+  // WorkerPool's own barrier remains the backstop for escapes from here.
+  void run_guarded(RequestContext&& ctx,
+                   void (StagedServer::*stage)(RequestContext&));
 
   // Stamps the handoff (complete current stage, enqueue into `stage`) and
   // submits; sheds with 503 if the target pool's bounded queue refuses.
@@ -75,10 +88,10 @@ class StagedServer : public WebServer {
 
   const ServerConfig config_;
   const std::shared_ptr<const Application> app_;
-  db::ConnectionPool db_pool_;
+  // Before db_pool_ and cache_: both report into stats_'s counter sinks for
+  // their whole lifetime, so stats_ must outlive (construct before) them.
   ServerStats stats_;
-  // After stats_: the cache reports events into stats_.cache() for its whole
-  // lifetime, so it must be destroyed first.
+  db::ConnectionPool db_pool_;
   std::unique_ptr<ResponseCache> cache_;
   ServiceTimeTracker tracker_;
   ReserveController reserve_;

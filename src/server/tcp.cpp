@@ -253,9 +253,12 @@ TcpListener::TcpListener(WebServer& server, std::uint16_t port,
     : server_(server), config_(config) {
   if (stats != nullptr) {
     counters_ = &stats->transport();
+    fault_counters_ = &stats->faults();
   } else {
     owned_counters_ = std::make_unique<TransportCounters>();
     counters_ = owned_counters_.get();
+    owned_fault_counters_ = std::make_unique<FaultCounters>();
+    fault_counters_ = owned_fault_counters_.get();
   }
 
   listen_fd_ = make_listen_socket(port, config_.listen_backlog, &port_);
@@ -481,7 +484,7 @@ void TcpListener::process_input(Conn& conn) {
       return;
     }
     if (conn.parser.complete()) {
-      dispatch(conn);
+      if (!dispatch(conn)) return;  // injected reset destroyed the conn
     } else {
       break;  // need more bytes
     }
@@ -507,7 +510,16 @@ void TcpListener::process_input(Conn& conn) {
   }
 }
 
-void TcpListener::dispatch(Conn& conn) {
+bool TcpListener::dispatch(Conn& conn) {
+  // Chaos site transport.reset: the connection dies with an RST exactly when
+  // a complete request is about to enter the pipeline — the worst spot for a
+  // client (request received, no response will ever come).
+  if (config_.fault_plan != nullptr &&
+      config_.fault_plan->should_fire(FaultSite::kSocketReset,
+                                      fault_counters_)) {
+    abort_conn(conn.id);
+    return false;
+  }
   const http::Request& request = conn.parser.request();
   ++conn.served;
   counters_->on_request(conn.served > 1);
@@ -530,6 +542,7 @@ void TcpListener::dispatch(Conn& conn) {
   disarm(conn);  // server-side processing time is the pools' business
   update_interest(conn, false, false);
   server_.submit(std::move(incoming));
+  return true;
 }
 
 void TcpListener::respond_directly(Conn& conn, OutboundPayload payload) {
@@ -543,11 +556,20 @@ void TcpListener::try_flush(Conn& conn) {
   while (!conn.outq.empty()) {
     const OutboundPayload& front = conn.outq.front();
     iovec iov[2];
-    const std::size_t iov_count = front.fill_iov(conn.out_off, iov);
+    std::size_t iov_count = front.fill_iov(conn.out_off, iov);
     if (iov_count == 0) {  // fully written (or empty payload)
       conn.outq.pop_front();
       conn.out_off = 0;
       continue;
+    }
+    // Chaos site transport.short_write: clamp this syscall to a single byte,
+    // forcing the partial-write resume machinery (out_off, fill_iov) to
+    // carry the rest — the same path a tiny congestion window exercises.
+    if (config_.fault_plan != nullptr &&
+        config_.fault_plan->should_fire(FaultSite::kShortWrite,
+                                        fault_counters_)) {
+      iov[0].iov_len = 1;
+      iov_count = 1;
     }
     // Vectored write straight from the payload's chunks: header block and
     // entity go out in one syscall with no concatenation. sendmsg rather
@@ -638,6 +660,18 @@ void TcpListener::expire(std::uint64_t id) {
   } else {
     counters_->on_header_timeout();
   }
+  close_conn(id);
+}
+
+void TcpListener::abort_conn(std::uint64_t id) {
+  auto it = impl_->conns.find(id);
+  if (it == impl_->conns.end()) return;
+  // SO_LINGER with zero timeout makes close() send an RST instead of a FIN —
+  // the client sees ECONNRESET, as it would from a crashed peer.
+  linger hard{};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  ::setsockopt(it->second->fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
   close_conn(id);
 }
 

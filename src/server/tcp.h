@@ -69,7 +69,10 @@ class TcpListener {
   void on_readable(Conn& conn);
   void on_writable(Conn& conn);
   void process_input(Conn& conn);
-  void dispatch(Conn& conn);
+  // Returns false when the connection was destroyed (injected reset) — the
+  // caller must not touch `conn` again.
+  bool dispatch(Conn& conn);
+  void abort_conn(std::uint64_t id);
   void respond_directly(Conn& conn, OutboundPayload payload);
   void try_flush(Conn& conn);
   void after_flush(Conn& conn);
@@ -83,6 +86,8 @@ class TcpListener {
   const TransportConfig config_;
   TransportCounters* counters_;  // stats->transport() or owned_counters_
   std::unique_ptr<TransportCounters> owned_counters_;
+  FaultCounters* fault_counters_;  // stats->faults() or owned_fault_counters_
+  std::unique_ptr<FaultCounters> owned_fault_counters_;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;

@@ -12,4 +12,17 @@ void release() { t_lease.release(); }
 
 db::Connection* current() { return t_lease.get(); }
 
+db::Connection* ensure(db::ConnectionPool& pool, double timeout_paper_s) {
+  db::Connection* conn = t_lease.get();
+  if (conn != nullptr && !conn->broken()) return conn;
+  // Release the broken lease BEFORE acquiring: give_back shelves it for
+  // repair_broken(), and in a fully-adopted pool the replacement this thread
+  // is about to wait for can only ever be that same connection, repaired.
+  // (Move-assigning the new lease over the old one would hold the broken
+  // connection hostage through the whole wait.)
+  t_lease.release();
+  t_lease = pool.acquire_for(timeout_paper_s);
+  return t_lease.get();
+}
+
 }  // namespace tempest::server::worker_connection

@@ -16,4 +16,11 @@ void release();
 // Null on threads that do not own a connection (header/static/render pools).
 db::Connection* current();
 
+// Returns this thread's connection, replacing it first if it is missing or
+// broken (an injected drop breaks a connection mid-lease; the broken one goes
+// back to the pool's repair shelf and a fresh one is leased). Waits at most
+// `timeout_paper_s` for the replacement; returns null on timeout so the
+// caller can shed the request instead of stalling a dynamic-pool thread.
+db::Connection* ensure(db::ConnectionPool& pool, double timeout_paper_s);
+
 }  // namespace tempest::server::worker_connection

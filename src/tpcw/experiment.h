@@ -83,6 +83,9 @@ struct ExperimentResults {
   // Render-output cache counters (zero when the cache is disabled).
   server::CacheCounters::Snapshot cache;
 
+  // Fault-injection and recovery counters (all zero with no FaultPlan).
+  FaultCounters::Snapshot faults;
+
   double wall_seconds = 0;
   double measured_paper_seconds = 0;
 

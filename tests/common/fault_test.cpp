@@ -1,0 +1,209 @@
+// FaultPlan mechanics: spec parsing, per-site rules (probability, budget,
+// window), counter accounting, and — the property the whole chaos suite
+// leans on — determinism: the fault decisions are a pure function of
+// (seed, site, check index), so equal check counts give equal injections.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/common/fault.h"
+
+namespace tempest {
+namespace {
+
+TEST(FaultSiteTest, NamesRoundTrip) {
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    FaultSite parsed;
+    ASSERT_TRUE(fault_site_from_name(fault_site_name(site), &parsed))
+        << fault_site_name(site);
+    EXPECT_EQ(parsed, site);
+  }
+  FaultSite ignored;
+  EXPECT_FALSE(fault_site_from_name("db.statement.typo", &ignored));
+}
+
+TEST(FaultPlanTest, DisabledSitesNeverFire) {
+  FaultPlan plan(1);
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    EXPECT_FALSE(plan.should_fire(static_cast<FaultSite>(i), nullptr, 0.0));
+  }
+  EXPECT_FALSE(plan.db_faulting(0.0));
+}
+
+TEST(FaultPlanTest, ProbabilityOneAlwaysFiresAndCounts) {
+  FaultPlan plan(7);
+  FaultRule rule;
+  rule.enabled = true;
+  plan.set(FaultSite::kDbError, rule);
+  FaultCounters counters;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(plan.should_fire(FaultSite::kDbError, &counters, 0.0));
+  }
+  EXPECT_EQ(plan.fires(FaultSite::kDbError), 5u);
+  EXPECT_EQ(plan.checks(FaultSite::kDbError), 5u);
+  EXPECT_EQ(counters.snapshot().injected_at(FaultSite::kDbError), 5u);
+  EXPECT_EQ(counters.snapshot().injected_total(), 5u);
+}
+
+TEST(FaultPlanTest, MaxFiresCapsInjections) {
+  FaultPlan plan(7);
+  FaultRule rule;
+  rule.enabled = true;
+  rule.max_fires = 3;
+  plan.set(FaultSite::kHandler, rule);
+  int fired = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (plan.should_fire(FaultSite::kHandler, nullptr, 0.0)) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(plan.fires(FaultSite::kHandler), 3u);
+}
+
+TEST(FaultPlanTest, WindowGatesFiring) {
+  FaultPlan plan(7);
+  FaultRule rule;
+  rule.enabled = true;
+  rule.window_start_paper_s = 10.0;
+  rule.window_end_paper_s = 20.0;
+  plan.set(FaultSite::kRender, rule);
+  EXPECT_FALSE(plan.should_fire(FaultSite::kRender, nullptr, 9.9));
+  EXPECT_TRUE(plan.should_fire(FaultSite::kRender, nullptr, 10.0));
+  EXPECT_TRUE(plan.should_fire(FaultSite::kRender, nullptr, 19.9));
+  EXPECT_FALSE(plan.should_fire(FaultSite::kRender, nullptr, 20.0));
+  // Out-of-window checks do not consume decision indices.
+  EXPECT_EQ(plan.checks(FaultSite::kRender), 2u);
+}
+
+TEST(FaultPlanTest, FractionalProbabilityFiresRoughlyThatOften) {
+  FaultPlan plan(12345);
+  FaultRule rule;
+  rule.enabled = true;
+  rule.probability = 0.3;
+  plan.set(FaultSite::kDbDelay, rule);
+  int fired = 0;
+  constexpr int kChecks = 10000;
+  for (int i = 0; i < kChecks; ++i) {
+    if (plan.should_fire(FaultSite::kDbDelay, nullptr, 0.0)) ++fired;
+  }
+  EXPECT_GT(fired, kChecks * 0.25);
+  EXPECT_LT(fired, kChecks * 0.35);
+}
+
+TEST(FaultPlanTest, SameSeedSameDecisionSequence) {
+  const auto run = [](std::uint64_t seed) {
+    FaultPlan plan(seed);
+    FaultRule rule;
+    rule.enabled = true;
+    rule.probability = 0.5;
+    plan.set(FaultSite::kSocketReset, rule);
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) {
+      fires.push_back(plan.should_fire(FaultSite::kSocketReset, nullptr, 0.0));
+    }
+    return fires;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(FaultPlanTest, ConcurrentCheckersFireExactlyThePlannedCount) {
+  // The determinism contract under threads: N checks at p=0.5 consume
+  // decision indices 0..N-1 in some order, so the TOTAL fires equals the
+  // number of true decisions in that index range regardless of interleaving.
+  const auto planned = [] {
+    FaultPlan plan(99);
+    FaultRule rule;
+    rule.enabled = true;
+    rule.probability = 0.5;
+    plan.set(FaultSite::kDbError, rule);
+    std::uint64_t fires = 0;
+    for (int i = 0; i < 4000; ++i) {
+      if (plan.should_fire(FaultSite::kDbError, nullptr, 0.0)) ++fires;
+    }
+    return fires;
+  }();
+
+  FaultPlan plan(99);
+  FaultRule rule;
+  rule.enabled = true;
+  rule.probability = 0.5;
+  plan.set(FaultSite::kDbError, rule);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&plan] {
+      for (int i = 0; i < 1000; ++i) {
+        plan.should_fire(FaultSite::kDbError, nullptr, 0.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(plan.checks(FaultSite::kDbError), 4000u);
+  EXPECT_EQ(plan.fires(FaultSite::kDbError), planned);
+}
+
+TEST(FaultPlanTest, ParsesFullSpec) {
+  const auto plan = FaultPlan::parse(
+      "seed=42;db.statement.delay:p=0.5,delay=5,start=10,end=20,max=3;"
+      "transport.reset:p=0.01");
+  EXPECT_EQ(plan->seed(), 42u);
+  const FaultRule& delay = plan->rule(FaultSite::kDbDelay);
+  EXPECT_TRUE(delay.enabled);
+  EXPECT_DOUBLE_EQ(delay.probability, 0.5);
+  EXPECT_DOUBLE_EQ(delay.delay_paper_s, 5.0);
+  EXPECT_DOUBLE_EQ(delay.window_start_paper_s, 10.0);
+  EXPECT_DOUBLE_EQ(delay.window_end_paper_s, 20.0);
+  EXPECT_EQ(delay.max_fires, 3u);
+  const FaultRule& reset = plan->rule(FaultSite::kSocketReset);
+  EXPECT_TRUE(reset.enabled);
+  EXPECT_DOUBLE_EQ(reset.probability, 0.01);
+  EXPECT_FALSE(plan->rule(FaultSite::kHandler).enabled);
+}
+
+TEST(FaultPlanTest, BareSiteNameEnablesWithDefaults) {
+  const auto plan = FaultPlan::parse("handler.throw");
+  EXPECT_TRUE(plan->rule(FaultSite::kHandler).enabled);
+  EXPECT_DOUBLE_EQ(plan->rule(FaultSite::kHandler).probability, 1.0);
+}
+
+TEST(FaultPlanTest, ParseRejectsGarbage) {
+  EXPECT_THROW(FaultPlan::parse("no.such.site"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("handler.throw:bogus=1"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("handler.throw:p=abc"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("handler.throw:p"), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, DbFaultingTracksWindowAndBudget) {
+  const auto plan =
+      FaultPlan::parse("db.statement.error:start=10,end=20,max=2");
+  EXPECT_FALSE(plan->db_faulting(5.0));
+  EXPECT_TRUE(plan->db_faulting(15.0));
+  EXPECT_FALSE(plan->db_faulting(25.0));
+  // Spend the budget: the site goes quiet even inside the window.
+  EXPECT_TRUE(plan->should_fire(FaultSite::kDbError, nullptr, 15.0));
+  EXPECT_TRUE(plan->should_fire(FaultSite::kDbError, nullptr, 15.0));
+  EXPECT_FALSE(plan->db_faulting(15.0));
+  // A non-DB site never makes db_faulting true.
+  const auto render = FaultPlan::parse("render.fail");
+  EXPECT_FALSE(render->db_faulting(0.0));
+}
+
+TEST(FaultCountersTest, SnapshotsCompareEqualForEqualHistories) {
+  FaultCounters a, b;
+  a.on_injected(FaultSite::kDbDrop);
+  a.on_db_retry();
+  a.on_deadline_rejected();
+  b.on_injected(FaultSite::kDbDrop);
+  b.on_db_retry();
+  b.on_deadline_rejected();
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+  b.on_degraded_stale();
+  EXPECT_FALSE(a.snapshot() == b.snapshot());
+}
+
+}  // namespace
+}  // namespace tempest

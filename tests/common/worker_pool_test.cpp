@@ -7,6 +7,7 @@
 #include <memory>
 #include <semaphore>
 #include <set>
+#include <stdexcept>
 
 namespace tempest {
 namespace {
@@ -210,6 +211,33 @@ TEST(WorkerPoolTest, SubmitAfterShutdownReturnsItemBack) {
   auto refused = pool.submit(41);
   ASSERT_TRUE(refused.has_value());
   EXPECT_EQ(*refused, 41);
+}
+
+TEST(WorkerPoolTest, WorkerSurvivesHandlerException) {
+  // Regression: a throwing handler used to escape run() and terminate the
+  // worker thread (std::thread + uncaught exception = std::terminate). The
+  // barrier must swallow it, count it, fire the hook, and keep the thread
+  // serving subsequent items.
+  std::atomic<int> hook_calls{0};
+  std::atomic<int> processed_ok{0};
+  WorkerPoolOptions options;
+  options.on_uncaught = [&] { hook_calls.fetch_add(1); };
+  WorkerPool<int> pool(
+      "throwy", 1,
+      [&](int&& item) {
+        if (item < 0) throw std::runtime_error("boom");
+        processed_ok.fetch_add(1);
+      },
+      WorkerPool<int>::ThreadHook{}, WorkerPool<int>::ThreadHook{}, options);
+
+  pool.submit(-1);
+  pool.submit(-2);
+  pool.submit(1);
+  pool.shutdown();  // drains the queue before joining
+  EXPECT_EQ(pool.uncaught(), 2u);
+  EXPECT_EQ(hook_calls.load(), 2);
+  EXPECT_EQ(processed_ok.load(), 1);
+  EXPECT_EQ(pool.processed(), 3u);  // throwers still count as processed
 }
 
 }  // namespace

@@ -191,5 +191,143 @@ TEST_F(ConnectionTest, ManyThreadsShareThePoolSafely) {
   EXPECT_EQ(pool.available(), 4u);
 }
 
+// --- fault injection and recovery --------------------------------------------
+
+std::shared_ptr<FaultPlan> plan_with(FaultSite site, FaultRule rule,
+                                     std::uint64_t seed = 1) {
+  auto plan = std::make_shared<FaultPlan>(seed);
+  rule.enabled = true;
+  plan->set(site, rule);
+  return plan;
+}
+
+TEST_F(ConnectionTest, InjectedErrorRetriedToSuccess) {
+  FaultRule rule;
+  rule.max_fires = 1;  // first attempt fails, the retry lands
+  FaultCounters counters;
+  Connection conn(db_, LatencyModel{}, 0,
+                  plan_with(FaultSite::kDbError, rule), &counters,
+                  RetryPolicy{2, 0.01});
+  conn.set_charge_latency(false);
+  const auto rs = conn.execute("SELECT v FROM t WHERE id = ?", {Value(7)});
+  EXPECT_EQ(rs.at(0, "v").as_int(), 70);
+  const auto s = counters.snapshot();
+  EXPECT_EQ(s.injected_at(FaultSite::kDbError), 1u);
+  EXPECT_EQ(s.db_retries, 1u);
+  EXPECT_EQ(s.db_retry_successes, 1u);
+}
+
+TEST_F(ConnectionTest, RetryBudgetExhaustedPropagatesInjectedError) {
+  FaultCounters counters;
+  Connection conn(db_, LatencyModel{}, 0,
+                  plan_with(FaultSite::kDbError, FaultRule{}), &counters,
+                  RetryPolicy{2, 0.01});
+  conn.set_charge_latency(false);
+  EXPECT_THROW(conn.execute("SELECT v FROM t WHERE id = 1"), InjectedDbError);
+  const auto s = counters.snapshot();
+  EXPECT_EQ(s.db_retries, 2u);
+  EXPECT_EQ(s.db_retry_successes, 0u);
+  // 1 original attempt + 2 retries, all injected.
+  EXPECT_EQ(s.injected_at(FaultSite::kDbError), 3u);
+  // The connection is intact: clear the plan path by spending nothing more —
+  // a fresh connection without a plan still works against the same database.
+  Connection clean(db_, LatencyModel{}, 1);
+  clean.set_charge_latency(false);
+  EXPECT_EQ(clean.execute("SELECT v FROM t WHERE id = 7").at(0, "v").as_int(),
+            70);
+}
+
+TEST_F(ConnectionTest, InjectedDelayChargesExtraServiceTime) {
+  FaultRule rule;
+  rule.delay_paper_s = 10.0;  // 10 ms wall at this scale
+  rule.max_fires = 1;
+  Connection conn(db_, LatencyModel{}, 0,
+                  plan_with(FaultSite::kDbDelay, rule), nullptr);
+  conn.set_charge_latency(false);
+  const Stopwatch watch;
+  conn.execute("SELECT v FROM t WHERE id = 1");
+  EXPECT_GE(watch.elapsed_paper(), 9.0);
+  const Stopwatch second;  // budget spent: back to full speed
+  conn.execute("SELECT v FROM t WHERE id = 1");
+  EXPECT_LT(second.elapsed_paper(), 5.0);
+}
+
+TEST_F(ConnectionTest, InjectedDropBreaksConnectionUntilPoolRepairsIt) {
+  FaultRule rule;
+  rule.max_fires = 1;
+  FaultCounters counters;
+  ConnectionPool pool(db_, 1, LatencyModel{},
+                      plan_with(FaultSite::kDbDrop, rule), &counters);
+  {
+    auto lease = pool.acquire();
+    lease->set_charge_latency(false);
+    EXPECT_THROW(lease->execute("SELECT v FROM t WHERE id = 1"),
+                 ConnectionDropped);
+    EXPECT_TRUE(lease->broken());
+    // A broken connection refuses further statements instead of lying.
+    EXPECT_THROW(lease->execute("SELECT v FROM t WHERE id = 1"),
+                 ConnectionDropped);
+  }
+  // give_back shelves the broken connection: it must NOT return to the idle
+  // set where the next acquire would receive a dead connection.
+  EXPECT_EQ(pool.available(), 0u);
+  EXPECT_EQ(pool.broken_count(), 1u);
+
+  EXPECT_EQ(pool.repair_broken(), 1u);
+  EXPECT_EQ(pool.broken_count(), 0u);
+  EXPECT_EQ(pool.available(), 1u);
+  EXPECT_EQ(counters.snapshot().connections_reopened, 1u);
+
+  auto lease = pool.acquire();
+  lease->set_charge_latency(false);
+  EXPECT_EQ(lease->execute("SELECT v FROM t WHERE id = 7").at(0, "v").as_int(),
+            70);
+}
+
+TEST_F(ConnectionTest, AcquireForTimesOutInsteadOfBlockingForever) {
+  FaultCounters counters;
+  ConnectionPool pool(db_, 1, LatencyModel{}, nullptr, &counters);
+  auto held = pool.acquire();
+  const Stopwatch watch;
+  auto lease = pool.acquire_for(5.0);  // 5 paper-s = 5 ms wall
+  EXPECT_FALSE(static_cast<bool>(lease));
+  EXPECT_GE(watch.elapsed_paper(), 4.0);
+  EXPECT_EQ(counters.snapshot().acquire_timeouts, 1u);
+}
+
+TEST_F(ConnectionTest, AcquireForSucceedsOnceAConnectionFrees) {
+  ConnectionPool pool(db_, 1);
+  auto held = pool.acquire();
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    held.release();
+  });
+  auto lease = pool.acquire_for(1000.0);
+  EXPECT_TRUE(static_cast<bool>(lease));
+  releaser.join();
+}
+
+TEST_F(ConnectionTest, RepairedConnectionWakesAcquireForWaiter) {
+  FaultRule rule;
+  rule.max_fires = 1;
+  ConnectionPool pool(db_, 1, LatencyModel{},
+                      plan_with(FaultSite::kDbDrop, rule));
+  {
+    auto lease = pool.acquire();
+    lease->set_charge_latency(false);
+    EXPECT_THROW(lease->execute("SELECT 1 FROM t WHERE id = 1"),
+                 ConnectionDropped);
+  }
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    auto lease = pool.acquire_for(2000.0);
+    got.store(static_cast<bool>(lease));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(pool.repair_broken(), 1u);
+  waiter.join();
+  EXPECT_TRUE(got.load());
+}
+
 }  // namespace
 }  // namespace tempest::db

@@ -1,0 +1,164 @@
+// Seeded chaos soak (ctest label: soak): a bounded, randomized run of the
+// TPC-W mix over real sockets with EVERY injection site armed at low
+// probability — DB delays, transient errors, connection drops, handler and
+// render faults, socket resets, short writes — all driven by one seed.
+//
+// The soak asserts survival invariants, not exact outcomes:
+//   * every response that arrives is well-formed (a known status);
+//   * the fault ledger is internally consistent;
+//   * when the fault windows close, the server returns to full health
+//     (requests succeed again) — no wedged pool, no leaked connection.
+// Wall time is bounded (~5 s) so it can ride in the default ctest sweep;
+// the nightly CI job selects it with `ctest -L soak`.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/fault.h"
+#include "src/common/rng.h"
+#include "src/server/staged_server.h"
+#include "src/server/tcp.h"
+#include "src/tpcw/handlers.h"
+#include "src/tpcw/mix.h"
+#include "src/tpcw/populate.h"
+
+namespace tempest::server {
+namespace {
+
+constexpr std::uint64_t kSoakSeed = 20090629;
+constexpr double kSoakWallSeconds = 4.0;
+
+TEST(ChaosSoakTest, TpcwMixSurvivesEverySiteFaulting) {
+  SCOPED_TRACE("chaos soak seed=" + std::to_string(kSoakSeed));
+  TimeScale::set(0.0002);
+
+  db::Database db;
+  const auto pop = tpcw::populate_tpcw(db, tpcw::Scale::tiny(), kSoakSeed);
+  auto app = tpcw::make_tpcw_application(
+      tpcw::TpcwState::from_population(tpcw::Scale::tiny(), pop));
+
+  // Fault windows close before the soak loop ends, so the tail of the run
+  // doubles as the recovery check.
+  const double window_end = paper_now() + (kSoakWallSeconds - 1.0) / 0.0002;
+  auto plan = std::make_shared<FaultPlan>(kSoakSeed);
+  const auto arm = [&](FaultSite site, double p, double delay = 0.0) {
+    FaultRule rule;
+    rule.enabled = true;
+    rule.probability = p;
+    rule.window_end_paper_s = window_end;
+    rule.delay_paper_s = delay;
+    plan->set(site, rule);
+  };
+  arm(FaultSite::kDbDelay, 0.02, /*delay=*/0.5);
+  arm(FaultSite::kDbError, 0.02);
+  arm(FaultSite::kDbDrop, 0.005);
+  arm(FaultSite::kHandler, 0.01);
+  arm(FaultSite::kRender, 0.01);
+  arm(FaultSite::kSocketReset, 0.003);
+  arm(FaultSite::kShortWrite, 0.001);
+
+  ServerConfig config;
+  config.charge_service_costs = false;
+  config.db_connections = 8;
+  config.header_threads = 2;
+  config.static_threads = 2;
+  config.general_threads = 6;
+  config.lengthy_threads = 2;
+  config.render_threads = 2;
+  config.cache.enabled = true;
+  config.request_deadline_paper_s = 10000.0;
+  config.db_acquire_timeout_paper_s = 2000.0;
+  config.fault_plan = plan;
+  config.transport.fault_plan = plan;  // one seed chaos-tests the whole stack
+
+  StagedServer server(config, app, db);
+  TcpListener listener(server, 0, config.transport, &server.stats());
+
+  std::atomic<std::uint64_t> well_formed{0};
+  std::atomic<std::uint64_t> severed{0};
+  std::atomic<std::uint64_t> malformed{0};
+  const Stopwatch wall;
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(kSoakSeed + static_cast<std::uint64_t>(c));
+      std::unique_ptr<TcpClient> conn;
+      while (wall.elapsed_wall_seconds() < kSoakWallSeconds) {
+        const std::string url = tpcw::build_url(
+            tpcw::sample_page(rng), rng, tpcw::Scale::tiny(), 1 + c);
+        try {
+          if (!conn) {
+            conn = std::make_unique<TcpClient>(listener.port(),
+                                               /*io_timeout_ms=*/5000);
+          }
+          const std::string response =
+              conn->request("GET " + url + " HTTP/1.1\r\nHost: x\r\n\r\n");
+          if (response.empty()) {  // closed before any byte arrived
+            severed.fetch_add(1);
+            conn.reset();
+            continue;
+          }
+          const bool known = response.find("HTTP/1.1 200") == 0 ||
+                             response.find("HTTP/1.1 304") == 0 ||
+                             response.find("HTTP/1.1 404") == 0 ||
+                             response.find("HTTP/1.1 500") == 0 ||
+                             response.find("HTTP/1.1 503") == 0;
+          (known ? well_formed : malformed).fetch_add(1);
+          if (!conn->connected()) conn.reset();
+        } catch (const std::runtime_error&) {
+          // Injected reset (or a response lost to one): sever and reconnect,
+          // as a browser would.
+          severed.fetch_add(1);
+          conn.reset();
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  // Survival: traffic flowed, and every completed response was well-formed.
+  EXPECT_EQ(malformed.load(), 0u);
+  EXPECT_GT(well_formed.load(), 100u) << "severed=" << severed.load();
+
+  // The windows are closed: the server must be fully healthy again. Broken
+  // connections may still be a controller-tick away from repair, so probe
+  // with patience, but demand eventual clean 200s.
+  int clean = 0;
+  for (int attempt = 0; attempt < 200 && clean < 5; ++attempt) {
+    const std::string response = tcp_roundtrip(
+        listener.port(), "GET /home?c_id=1 HTTP/1.1\r\nHost: x\r\n\r\n");
+    if (response.find("HTTP/1.1 200") == 0) {
+      ++clean;
+    } else {
+      clean = 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_EQ(clean, 5) << "server did not return to health after the windows";
+
+  // The ledger balances.
+  const auto s = server.stats().faults().snapshot();
+  EXPECT_LE(s.db_retry_successes, s.db_retries);
+  EXPECT_LE(s.connections_reopened, s.injected_at(FaultSite::kDbDrop));
+  EXPECT_GT(s.injected_total(), 0u) << "soak injected nothing";
+
+  listener.stop();
+  server.shutdown();
+
+  // Shutdown returned: no wedged worker. Every dynamic thread released its
+  // lease, so the pool holds its full complement (broken ones included).
+  EXPECT_EQ(server.connection_pool().available() +
+                server.connection_pool().broken_count(),
+            config.db_connections);
+  TimeScale::set(0.005);
+}
+
+}  // namespace
+}  // namespace tempest::server

@@ -80,6 +80,35 @@ TEST(ResponseCacheTest, TtlExpiryObservedAtLookup) {
   EXPECT_EQ(counters.snapshot().expirations, 1u);
 }
 
+TEST(ResponseCacheTest, AllowStaleReturnsExpiredEntryWithoutDropping) {
+  // Degraded-mode lookups: while the DB is faulting, an expired entry may be
+  // the only copy of the page we can serve, so allow_stale hands it out AND
+  // keeps it cached for the next degraded request (no expiration recorded).
+  CacheConfig config;
+  config.enabled = true;
+  CacheCounters counters;
+  ResponseCache cache(config, &counters);
+  CachePolicy policy;
+  policy.ttl_paper_s = 10.0;
+  cache.insert("/p", page("old"), policy, 0.0);
+
+  bool stale = true;
+  ASSERT_NE(cache.find("/p", 5.0, /*allow_stale=*/true, &stale), nullptr);
+  EXPECT_FALSE(stale);  // fresh hits are not flagged
+
+  const auto hit = cache.find("/p", 20.0, /*allow_stale=*/true, &stale);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(stale);
+  EXPECT_EQ(hit->body, "old");
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(counters.snapshot().expirations, 0u);
+
+  // The strict lookup still expires it for real once the DB is healthy.
+  EXPECT_EQ(cache.find("/p", 20.0), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(counters.snapshot().expirations, 1u);
+}
+
 TEST(ResponseCacheTest, DefaultTtlAppliesWhenPolicyHasNone) {
   CacheConfig config;
   config.default_ttl_paper_s = 2.0;

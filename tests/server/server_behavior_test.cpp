@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "src/common/clock.h"
 #include "src/http/parser.h"
@@ -154,11 +156,21 @@ TEST_F(ServerBehaviorTest, WorkerThreadsHaveConnectionsOnBaseline) {
   server.shutdown();
 }
 
+// Worker threads adopt their connections as they start, concurrently with
+// the first request; on a loaded machine the last adoption can trail the
+// first response. Wait (bounded) for the count to settle before asserting.
+void wait_for_available(db::ConnectionPool& pool, std::size_t want) {
+  for (int i = 0; i < 2000 && pool.available() != want; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
 TEST_F(ServerBehaviorTest, OnlyDynamicThreadsConsumeConnections) {
   // Staged: general(4) + lengthy(1) of 6 connections are held; header,
   // static, and render threads must not take any.
   StagedServer server(config_, app_, db_);
   get(server, "/templated");  // ensure pools are up
+  wait_for_available(server.connection_pool(), 1);
   EXPECT_EQ(server.connection_pool().available(), 1u);
   server.shutdown();
 }
@@ -166,6 +178,7 @@ TEST_F(ServerBehaviorTest, OnlyDynamicThreadsConsumeConnections) {
 TEST_F(ServerBehaviorTest, BaselineHoldsAllConnections) {
   BaselineServer server(config_, app_, db_);
   get(server, "/legacy");
+  wait_for_available(server.connection_pool(), 0);
   EXPECT_EQ(server.connection_pool().available(), 0u);
   server.shutdown();
 }
