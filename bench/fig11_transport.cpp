@@ -15,12 +15,35 @@
 //     acceptor thread is wedged reading the trickler, so the probe stalls;
 //     the reactor just waits for the trickler's bytes between events.
 //
+// A third load measures the sharded reactor (reactor_shards > 1): a
+// connection-count sweep with an epoll-multiplexed client fleet (1k-10k
+// keep-alive connections, shards 1 vs N), reported as req/s per cell plus
+// the per-shard counter breakdown. Off by default; enable with --sweep-conns.
+//
 // Extra flags: --conns=N (default 64), --window=SEC wall (default 1.0),
 // --gap-us=N segment gap (default 1000; 0 = whole request in one write),
-// --slow=N slow clients among conns (default 4, trickling 1 byte/5ms).
+// --slow=N slow clients among conns (default 4, trickling 1 byte/5ms),
+// --sweep-conns=A,B,... connection counts for the shard sweep (empty =
+// sweep disabled; the acceptance run uses 1000,5000,10000),
+// --sweep-shards=A,B,... shard counts per cell (default 1,4; the first
+// entry is the speedup denominator), --sweep-window=SEC (default 2.0),
+// --sweep-stall runs the slow-client probe against every sweep cell too.
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -182,6 +205,217 @@ double slow_client_probe_ms(std::uint16_t port) {
   return worst_ms;
 }
 
+// --- sharded-reactor connection sweep ---------------------------------------
+
+// 10k clients cannot be thread-per-connection, so the sweep fleet is itself
+// a handful of epoll loops, each multiplexing its slice of non-blocking
+// keep-alive connections: connect, send kRequest in one write, count bytes
+// until one full response has arrived (responses to kRequest are all the
+// same length — Date headers are fixed-width), send the next.
+struct SweepConn {
+  int fd = -1;
+  bool established = false;
+  std::size_t sent = 0;      // bytes of the current request written
+  std::size_t received = 0;  // bytes of the current response read
+};
+
+void raise_nofile_limit() {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) == 0 && rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &rl);
+  }
+}
+
+void sweep_driver(std::uint16_t port, int conns, std::size_t resp_len,
+                  std::atomic<std::uint64_t>& completed,
+                  std::atomic<int>& established,
+                  const std::atomic<bool>& stop) {
+  const std::string request = kRequest;
+  const int ep = ::epoll_create1(EPOLL_CLOEXEC);
+  if (ep < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+
+  std::vector<SweepConn> table(static_cast<std::size_t>(conns));
+
+  const auto set_events = [&](int idx, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u32 = static_cast<std::uint32_t>(idx);
+    ::epoll_ctl(ep, EPOLL_CTL_MOD, table[idx].fd, &ev);
+  };
+  const auto open_conn = [&](int idx) {
+    SweepConn& c = table[idx];
+    c = SweepConn{};
+    c.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (c.fd < 0) return;
+    const int one = 1;
+    ::setsockopt(c.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (::connect(c.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0 &&
+        errno != EINPROGRESS) {
+      ::close(c.fd);
+      c.fd = -1;
+      return;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLOUT | EPOLLIN;
+    ev.data.u32 = static_cast<std::uint32_t>(idx);
+    ::epoll_ctl(ep, EPOLL_CTL_ADD, c.fd, &ev);
+  };
+  const auto drop_conn = [&](int idx) {
+    SweepConn& c = table[idx];
+    if (c.fd < 0) return;
+    if (c.established) established.fetch_sub(1, std::memory_order_relaxed);
+    ::epoll_ctl(ep, EPOLL_CTL_DEL, c.fd, nullptr);
+    ::close(c.fd);
+    c.fd = -1;
+  };
+  // 1 = request fully on the wire, 0 = would block, -1 = connection error.
+  const auto push_request = [&](SweepConn& c) -> int {
+    while (c.sent < request.size()) {
+      const ssize_t n = ::send(c.fd, request.data() + c.sent,
+                               request.size() - c.sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        c.sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return 0;
+      return -1;
+    }
+    return 1;
+  };
+
+  for (int i = 0; i < conns; ++i) open_conn(i);
+
+  std::array<epoll_event, 256> events;
+  char buf[32768];
+  while (!stop.load(std::memory_order_relaxed)) {
+    const int n = ::epoll_wait(ep, events.data(),
+                               static_cast<int>(events.size()), 50);
+    for (int i = 0; i < n; ++i) {
+      const int idx = static_cast<int>(events[i].data.u32);
+      SweepConn& c = table[idx];
+      if (c.fd < 0) continue;
+      const std::uint32_t ev = events[i].events;
+      if (ev & (EPOLLERR | EPOLLHUP)) {
+        drop_conn(idx);
+        open_conn(idx);  // refused under the connect storm: retry
+        continue;
+      }
+      if (!c.established && (ev & EPOLLOUT)) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0) {
+          drop_conn(idx);
+          open_conn(idx);
+          continue;
+        }
+        c.established = true;
+        established.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (c.established && c.sent < request.size() && (ev & EPOLLOUT)) {
+        const int pushed = push_request(c);
+        if (pushed < 0) {
+          drop_conn(idx);
+          open_conn(idx);
+          continue;
+        }
+        if (pushed == 1) set_events(idx, EPOLLIN);  // stop EPOLLOUT storms
+      }
+      if ((ev & EPOLLIN) && c.sent >= request.size()) {
+        bool dead = false;
+        for (;;) {
+          const ssize_t r = ::recv(c.fd, buf, sizeof(buf), 0);
+          if (r > 0) {
+            c.received += static_cast<std::size_t>(r);
+            continue;
+          }
+          if (r < 0 && errno == EINTR) continue;
+          if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          dead = true;  // server closed or reset
+          break;
+        }
+        if (dead) {
+          drop_conn(idx);
+          open_conn(idx);
+          continue;
+        }
+        while (c.received >= resp_len) {  // full response: fire the next
+          c.received -= resp_len;
+          completed.fetch_add(1, std::memory_order_relaxed);
+          c.sent = 0;
+          const int pushed = push_request(c);
+          if (pushed < 0) {
+            drop_conn(idx);
+            open_conn(idx);
+            break;
+          }
+          if (pushed == 0) {
+            set_events(idx, EPOLLIN | EPOLLOUT);
+            break;
+          }
+        }
+      }
+    }
+  }
+  for (int i = 0; i < conns; ++i) {
+    if (table[i].fd >= 0) ::close(table[i].fd);
+  }
+  ::close(ep);
+}
+
+// Connects `conns` keep-alive clients and measures steady-state req/s over
+// `window_s` (measurement starts once >= 95% of the fleet is established, so
+// the connect storm is excluded).
+double sweep_throughput(std::uint16_t port, int conns, double window_s,
+                        std::size_t resp_len) {
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<int> established{0};
+  std::atomic<bool> stop{false};
+  const int drivers =
+      std::min(8, std::max(1, conns / 256 + (conns % 256 != 0)));
+  std::vector<std::thread> threads;
+  threads.reserve(drivers);
+  for (int d = 0; d < drivers; ++d) {
+    const int share = conns / drivers + (d < conns % drivers ? 1 : 0);
+    threads.emplace_back([&, share] {
+      sweep_driver(port, share, resp_len, completed, established, stop);
+    });
+  }
+  const auto connect_start = Clock::now();
+  while (established.load(std::memory_order_relaxed) < conns * 95 / 100 &&
+         seconds_since(connect_start) < 15.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const std::uint64_t before = completed.load(std::memory_order_relaxed);
+  const auto start = Clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(window_s));
+  const std::uint64_t after = completed.load(std::memory_order_relaxed);
+  const double elapsed = seconds_since(start);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  return static_cast<double>(after - before) / elapsed;
+}
+
+std::vector<int> parse_int_list(const std::string& spec) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const int value = std::atoi(spec.substr(pos, comma - pos).c_str());
+    if (value > 0) out.push_back(value);
+    pos = comma + 1;
+  }
+  return out;
+}
+
 struct TransportRow {
   std::string server;
   double blocking_rps = 0;
@@ -284,6 +518,73 @@ int main(int argc, char** argv) {
       "epoll >= 4x blocking throughput: %s\n"
       "slow client isolated (>=10x less probe stall than blocking): %s\n",
       speedup_ok ? "yes" : "NO", isolation_ok ? "yes" : "NO");
+
+  // --- sharded-reactor connection sweep (--sweep-conns=1000,5000,10000) ----
+  const std::vector<int> sweep_conns =
+      parse_int_list(run.options.get_string("sweep-conns", ""));
+  if (!sweep_conns.empty()) {
+    raise_nofile_limit();
+    const std::vector<int> sweep_shards =
+        parse_int_list(run.options.get_string("sweep-shards", "1,4"));
+    const double sweep_window = run.options.get_double("sweep-window", 2.0);
+    const bool sweep_stall = run.options.get_bool("sweep-stall", false);
+
+    std::printf(
+        "\n=== Sharded reactor: keep-alive connection sweep ===\n"
+        "epoll-multiplexed client fleet, %.1fs measured window per cell "
+        "(connect storm excluded)\n\n",
+        sweep_window);
+
+    metrics::Table sweep_table(
+        {"conns", "shards", "req/s", "speedup vs 1st", "stall ms"});
+    for (const int conns : sweep_conns) {
+      double base_rps = 0;
+      for (const int shards : sweep_shards) {
+        server::ServerConfig sweep_config = config;
+        sweep_config.transport.reactor_shards =
+            static_cast<std::size_t>(shards);
+        sweep_config.transport.max_connections =
+            static_cast<std::size_t>(conns) + 64;
+        sweep_config.transport.listen_backlog = 4096;
+        server::StagedServer web(sweep_config, app, db);
+        server::TcpListener listener(web, 0, sweep_config.transport,
+                                     &web.stats());
+        // One blocking round trip pins the (constant) response length the
+        // byte-counting fleet frames on.
+        const std::size_t resp_len =
+            server::tcp_roundtrip(listener.port(), kRequest).size();
+        const double rps =
+            sweep_throughput(listener.port(), conns, sweep_window, resp_len);
+        if (shards == sweep_shards.front()) base_rps = rps;
+        const double stall_ms =
+            sweep_stall ? slow_client_probe_ms(listener.port()) : 0.0;
+
+        sweep_table.add_row(
+            {std::to_string(conns), std::to_string(shards),
+             metrics::format_double(rps, 0),
+             metrics::format_double(base_rps > 0 ? rps / base_rps : 1.0, 2),
+             sweep_stall ? metrics::format_double(stall_ms, 1) : "-"});
+        const std::string cell =
+            "c" + std::to_string(conns) + "_s" + std::to_string(shards);
+        json.add_scalar("sweep", cell + "_rps", rps);
+        if (shards != sweep_shards.front() && base_rps > 0) {
+          json.add_scalar("sweep", cell + "_shard_speedup", rps / base_rps);
+        }
+        if (sweep_stall) {
+          json.add_scalar("sweep", cell + "_stall_ms", stall_ms);
+        }
+        // Per-shard counter breakdown: shows how the kernel (REUSEPORT) or
+        // the hand-off round-robin spread the fleet.
+        std::printf("conns=%d shards=%d reuse_port=%s\n%s", conns, shards,
+                    listener.reuse_port_active() ? "yes" : "no",
+                    listener.counters().text().c_str());
+        listener.stop();
+        web.shutdown();
+      }
+    }
+    std::printf("\n%s\n", sweep_table.to_string().c_str());
+  }
+
   json.write();
   return speedup_ok && isolation_ok ? 0 : 1;
 }

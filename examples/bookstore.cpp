@@ -1,11 +1,13 @@
 // The TPC-W online bookstore served over real TCP sockets.
 //
-//   ./build/examples/bookstore [--port N] [--serve]
+//   ./build/examples/bookstore [--port N] [--serve] [--shards N]
 //
 // Without --serve, it starts the staged server on a loopback port, walks a
 // shopper's session over real sockets (home -> search -> product -> cart ->
 // checkout), prints what happened, and exits. With --serve it keeps running
-// so you can point curl or a browser at it.
+// so you can point curl or a browser at it. --shards N runs the transport as
+// N reactor shards (0 = one per core); the exit dump then shows the
+// per-shard counter breakdown.
 #include <cstdio>
 #include <thread>
 
@@ -58,12 +60,18 @@ int main(int argc, char** argv) {
     config.fault_plan = plan;
     config.transport.fault_plan = plan;
   }
+  config.transport.reactor_shards =
+      static_cast<std::size_t>(options.get_int("shards", 1));
   server::StagedServer web(config, app, db);
   server::TcpListener listener(
       web, static_cast<std::uint16_t>(options.get_int("port", 0)),
       config.transport, &web.stats());
-  std::printf("bookstore listening on http://127.0.0.1:%u/home?c_id=1\n\n",
-              listener.port());
+  std::printf(
+      "bookstore listening on http://127.0.0.1:%u/home?c_id=1 "
+      "(%zu reactor shard%s%s)\n\n",
+      listener.port(), listener.shard_count(),
+      listener.shard_count() == 1 ? "" : "s",
+      listener.reuse_port_active() ? ", SO_REUSEPORT" : "");
 
   if (options.get_bool("serve", false)) {
     std::printf("serving until interrupted (Ctrl-C to stop)...\n");
@@ -94,13 +102,7 @@ int main(int argc, char** argv) {
 
   std::printf("\norders on file after checkout: %zu (started with %lld)\n",
               db.table("orders").row_count(), static_cast<long long>(pop.orders));
-  const auto transport = listener.counters().snapshot();
-  std::printf(
-      "transport: %llu connection(s), %llu requests (%llu on reused "
-      "keep-alive connections)\n",
-      static_cast<unsigned long long>(transport.accepted),
-      static_cast<unsigned long long>(transport.requests),
-      static_cast<unsigned long long>(transport.keepalive_reuse));
+  std::printf("%s", listener.counters().text().c_str());
   listener.stop();
   web.shutdown();
   return 0;

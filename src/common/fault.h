@@ -160,6 +160,16 @@ class FaultPlan {
  public:
   explicit FaultPlan(std::uint64_t seed = 0) : seed_(seed) {}
 
+  // Derived plan: same rules as `base`, fresh check/fire state, new seed.
+  // The sharded transport gives each reactor shard its own derived plan
+  // (seed offset by the shard index) so the counter-indexed determinism
+  // contract holds PER SHARD: a shard's Nth check decides the same way in
+  // every run, regardless of how the other shards interleave. Note that the
+  // base plan's fires()/checks() then no longer see the derived plan's
+  // activity — read the FaultCounters ledger for totals.
+  FaultPlan(const FaultPlan& base, std::uint64_t seed)
+      : seed_(seed), rules_(base.rules_) {}
+
   // Installs/overwrites the rule for one site (configuration time only —
   // not safe against concurrent should_fire()).
   void set(FaultSite site, FaultRule rule) {

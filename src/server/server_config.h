@@ -36,7 +36,22 @@ struct TransportConfig {
   // Max requests served on one connection before the transport closes it
   // (0 = unlimited). Bounds per-connection resource pinning.
   std::size_t max_requests_per_connection = 0;
-  // Concurrent connection cap; accepts beyond it are closed immediately.
+  // Reactor shards: independent event-loop threads, each owning its epoll
+  // fd, listen socket, timer wheel, and outbound queue end-to-end, with
+  // connections pinned to the shard that accepted them (the symmetric
+  // multi-reactor of Voras & Žagar; DESIGN.md §13). 1 (the default)
+  // preserves the single-reactor behavior exactly; 0 sizes to the hardware
+  // (one shard per core, capped at 16).
+  std::size_t reactor_shards = 1;
+  // With multiple shards, give every shard its own listen socket via
+  // SO_REUSEPORT so the kernel spreads incoming connections (no shared
+  // accept lock). false — or a kernel that rejects SO_REUSEPORT — selects
+  // the accept-and-hand-off fallback: shard 0 accepts and round-robins the
+  // fds to the other shards through their wake queues. The fallback is also
+  // the deterministic-placement mode the shard tests use.
+  bool reuse_port = true;
+  // Concurrent connection cap ACROSS ALL SHARDS; accepts beyond it are
+  // closed immediately.
   std::size_t max_connections = 1024;
   // Reject requests whose accumulated bytes (request line + headers + body)
   // exceed this with 413 and a close.

@@ -1,5 +1,7 @@
 #include "src/server/server_stats.h"
 
+#include <sstream>
+
 namespace tempest::server {
 
 const char* to_string(RequestClass cls) {
@@ -33,6 +35,98 @@ std::size_t class_index(RequestClass cls) {
 std::size_t stage_index(Stage stage) { return static_cast<std::size_t>(stage); }
 
 }  // namespace
+
+// --- TransportStats ---------------------------------------------------------
+
+TransportCounters& TransportStats::shard(std::size_t index) {
+  std::lock_guard lock(mu_);
+  while (shards_.size() <= index) {
+    shards_.push_back(std::make_unique<TransportCounters>());
+  }
+  return *shards_[index];
+}
+
+std::size_t TransportStats::shard_count() const {
+  std::lock_guard lock(mu_);
+  return shards_.size();
+}
+
+TransportCounters::Snapshot TransportStats::snapshot() const {
+  TransportCounters::Snapshot total;
+  std::lock_guard lock(mu_);
+  for (const auto& shard : shards_) total += shard->snapshot();
+  return total;
+}
+
+std::vector<TransportCounters::Snapshot> TransportStats::per_shard() const {
+  std::vector<TransportCounters::Snapshot> out;
+  std::lock_guard lock(mu_);
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(shard->snapshot());
+  return out;
+}
+
+namespace {
+
+void append_counters_text(std::ostringstream& out,
+                          const TransportCounters::Snapshot& s) {
+  out << "accepted=" << s.accepted << " closed=" << s.closed
+      << " open=" << s.open() << " requests=" << s.requests
+      << " keepalive_reuse=" << s.keepalive_reuse
+      << " idle_timeouts=" << s.idle_timeouts
+      << " header_timeouts=" << s.header_timeouts
+      << " slow_client_evictions=" << s.slow_client_evictions
+      << " refused=" << s.refused_max_connections
+      << " oversized=" << s.oversized_rejected
+      << " parse_errors=" << s.parse_errors;
+}
+
+void append_counters_json(std::ostringstream& out,
+                          const TransportCounters::Snapshot& s) {
+  out << "{\"accepted\":" << s.accepted << ",\"closed\":" << s.closed
+      << ",\"open\":" << s.open() << ",\"requests\":" << s.requests
+      << ",\"keepalive_reuse\":" << s.keepalive_reuse
+      << ",\"idle_timeouts\":" << s.idle_timeouts
+      << ",\"header_timeouts\":" << s.header_timeouts
+      << ",\"slow_client_evictions\":" << s.slow_client_evictions
+      << ",\"refused_max_connections\":" << s.refused_max_connections
+      << ",\"oversized_rejected\":" << s.oversized_rejected
+      << ",\"parse_errors\":" << s.parse_errors << "}";
+}
+
+}  // namespace
+
+std::string TransportStats::text() const {
+  const auto shards = per_shard();
+  TransportCounters::Snapshot total;
+  for (const auto& s : shards) total += s;
+  std::ostringstream out;
+  out << "transport: ";
+  append_counters_text(out, total);
+  out << "\n";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    out << "  shard " << i << ": ";
+    append_counters_text(out, shards[i]);
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string TransportStats::json() const {
+  const auto shards = per_shard();
+  TransportCounters::Snapshot total;
+  for (const auto& s : shards) total += s;
+  std::ostringstream out;
+  out << "{\"rollup\":";
+  append_counters_json(out, total);
+  out << ",\"shards\":[";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (i > 0) out << ",";
+    append_counters_json(out, shards[i]);
+  }
+  out << "]}";
+  return out.str();
+}
 
 void StageMetrics::record(const StageTrace& trace, RequestClass cls) {
   std::lock_guard lock(mu_);

@@ -54,8 +54,10 @@ class StageMetrics {
 
 // Connection-layer counters maintained by the socket transports (tcp.h).
 // All fields are monotonically increasing and safe to read concurrently;
-// snapshot() gives a plain-struct copy for reporting.
-class TransportCounters {
+// snapshot() gives a plain-struct copy for reporting. One instance exists
+// per reactor shard (see TransportStats below), cache-line aligned so two
+// shards bumping their counters never share a line.
+class alignas(64) TransportCounters {
  public:
   struct Snapshot {
     std::uint64_t accepted = 0;          // connections accepted
@@ -68,6 +70,24 @@ class TransportCounters {
     std::uint64_t refused_max_connections = 0;
     std::uint64_t oversized_rejected = 0;  // 413: request bytes over cap
     std::uint64_t parse_errors = 0;        // 400 answered by the transport
+
+    // Connections currently open. Shards own their connections end-to-end,
+    // so this holds per shard, not just for the roll-up.
+    std::uint64_t open() const { return accepted - closed; }
+
+    Snapshot& operator+=(const Snapshot& other) {
+      accepted += other.accepted;
+      closed += other.closed;
+      requests += other.requests;
+      keepalive_reuse += other.keepalive_reuse;
+      idle_timeouts += other.idle_timeouts;
+      header_timeouts += other.header_timeouts;
+      slow_client_evictions += other.slow_client_evictions;
+      refused_max_connections += other.refused_max_connections;
+      oversized_rejected += other.oversized_rejected;
+      parse_errors += other.parse_errors;
+      return *this;
+    }
   };
 
   void on_accept() { accepted_.fetch_add(1, std::memory_order_relaxed); }
@@ -109,6 +129,38 @@ class TransportCounters {
   std::atomic<std::uint64_t> refused_{0};
   std::atomic<std::uint64_t> oversized_{0};
   std::atomic<std::uint64_t> parse_{0};
+};
+
+// Transport counters for a (possibly sharded) listener: one TransportCounters
+// instance per reactor shard, rolled up on read. Shards record into their own
+// instance with no synchronization (shard() hands out a stable reference);
+// readers get either the summed roll-up (snapshot(), the pre-sharding API) or
+// the per-shard breakdown, which is what makes uneven SO_REUSEPORT
+// distribution visible.
+class TransportStats {
+ public:
+  // Counter sink for shard `index`, created on first use. The reference
+  // stays valid for the lifetime of this TransportStats.
+  TransportCounters& shard(std::size_t index);
+
+  std::size_t shard_count() const;
+
+  // Roll-up across all shards.
+  TransportCounters::Snapshot snapshot() const;
+
+  // One snapshot per shard, indexed by shard id.
+  std::vector<TransportCounters::Snapshot> per_shard() const;
+
+  // Human-readable dump: the roll-up line followed by one line per shard
+  // (accepted/closed/open/requests/reuse/timeouts/evictions), indented.
+  std::string text() const;
+
+  // Machine-readable dump: {"rollup": {...}, "shards": [{...}, ...]}.
+  std::string json() const;
+
+ private:
+  mutable std::mutex mu_;  // guards the vector, not the counters
+  std::vector<std::unique_ptr<TransportCounters>> shards_;
 };
 
 class ServerStats {
@@ -159,9 +211,11 @@ class ServerStats {
   // paper-seconds. Backing data for machine-readable bench output.
   LatencySummary response_summary(RequestClass cls) const;
 
-  // Counters maintained by the socket transport serving this server.
-  TransportCounters& transport() { return transport_; }
-  const TransportCounters& transport() const { return transport_; }
+  // Counters maintained by the socket transport serving this server: one
+  // TransportCounters per reactor shard, rolled up on read (snapshot()) with
+  // the per-shard breakdown available (per_shard(), text(), json()).
+  TransportStats& transport() { return transport_; }
+  const TransportStats& transport() const { return transport_; }
 
   // Render-output cache counters: hits per class and 304s are counted by the
   // serving path; inserts/evictions/expirations/invalidations by the cache
@@ -203,7 +257,7 @@ class ServerStats {
   WindowedCounter lengthy_counter_;
   StageMetrics stage_metrics_;
   std::array<std::atomic<std::uint64_t>, 3> shed_{};
-  TransportCounters transport_;
+  TransportStats transport_;
   CacheCounters cache_;
   FaultCounters faults_;
 

@@ -53,11 +53,21 @@ bool send_all(int fd, const std::string& data) {
   return send_all(fd, data.data(), data.size());
 }
 
-int make_listen_socket(std::uint16_t port, int backlog, std::uint16_t* bound) {
+// Loopback listen socket. With `reuse_port`, SO_REUSEPORT is set (and its
+// absence is an error, so the caller can fall back to hand-off mode): every
+// reactor shard binds its own socket to the same port and the kernel
+// spreads incoming connections across them.
+int make_listen_socket(std::uint16_t port, int backlog, bool reuse_port,
+                       std::uint16_t* bound) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) throw std::runtime_error("socket() failed");
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("setsockopt(SO_REUSEPORT) failed");
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -83,10 +93,15 @@ OutboundPayload transport_error_payload(http::Response response) {
 }
 
 // epoll user-data tags for the two non-connection fds; connection ids start
-// above these.
+// above these (and carry the shard index in their top bits, so an id names
+// its owning shard globally — see ReactorShard::make_conn_id).
 constexpr std::uint64_t kListenTag = 0;
 constexpr std::uint64_t kWakeTag = 1;
 constexpr std::uint64_t kFirstConnId = 2;
+
+// Seed offset between the derived per-shard fault plans (golden-ratio step,
+// same constant as splitmix64): shard 0 keeps the configured seed.
+constexpr std::uint64_t kShardSeedStep = 0x9e3779b97f4a7c15ULL;
 
 }  // namespace
 
@@ -101,20 +116,34 @@ struct Completion {
   bool close_after = false;
 };
 
-// State shared between the reactor thread and ResponseWriters living on pool
-// threads: the outbound completion queue and the eventfd that wakes the
-// reactor when something lands in it.
+// State shared between ONE reactor shard and the ResponseWriters of the
+// requests it dispatched (living on pool threads): the outbound completion
+// queue, the adopted-fd queue (accept-and-hand-off mode), and the eventfd
+// that wakes the shard when something lands in either. Completions always
+// route back to the shard that owns the connection, because each writer
+// holds the shared state of the shard that created it.
 struct TransportShared {
   std::mutex mu;
   std::vector<Completion> queue;
+  std::vector<int> adopted;  // accepted fds handed to this shard for adoption
   bool stopped = false;
   int wake_fd = -1;
 
   void post(Completion completion) {
     std::lock_guard lock(mu);
-    if (stopped) return;  // listener gone: drop the response bytes
+    if (stopped) return;  // shard gone: drop the response bytes
     queue.push_back(std::move(completion));
     wake_locked();
+  }
+
+  // Hands an accepted fd to this shard. Returns false when the shard has
+  // stopped — the caller still owns (and must close) the fd.
+  bool post_fd(int fd) {
+    std::lock_guard lock(mu);
+    if (stopped) return false;
+    adopted.push_back(fd);
+    wake_locked();
+    return true;
   }
 
   void wake() {
@@ -132,7 +161,7 @@ struct TransportShared {
 
 namespace {
 
-// Hands the serialized response from a pool thread to the reactor. One
+// Hands the serialized response from a pool thread to the owning shard. One
 // writer per request; if the server ever drops a request without sending
 // (it shouldn't — pools drain on shutdown), the destructor posts an empty
 // close so the connection is torn down instead of leaking until stop().
@@ -162,148 +191,249 @@ class ReactorWriter : public ResponseWriter {
 
 }  // namespace
 
-// Per-connection state machine. All fields are reactor-thread-only.
-struct TcpListener::Conn {
-  int fd = -1;
-  std::uint64_t id = 0;
-
-  http::RequestParser parser;
-  std::string inbuf;  // read but not yet consumed by the parser
-  std::string raw;    // wire bytes of the request currently being assembled
-
-  // Responses awaiting write, oldest first; out_off counts the bytes of the
-  // front payload already on the wire (short writes resume mid-chunk).
-  // Payloads carry the entity by reference — popping a completed payload is
-  // what releases a pooled render buffer back to its pool.
-  std::deque<OutboundPayload> outq;
-  std::size_t out_off = 0;
-
-  bool out_pending() const { return !outq.empty(); }
-
-  std::uint32_t events = 0;  // currently-registered epoll interest
-  bool read_closed = false;  // client half-closed its sending side
-  bool in_flight = false;    // a request is inside the server pipeline
-  bool close_after_flush = false;
-  bool header_armed = false;  // header timeout set for the current request
-  std::uint64_t served = 0;   // requests dispatched on this connection
-
-  bool timer_armed = false;
-  SteadyClock::time_point deadline{};
-
-  bool idle() const {
-    return raw.empty() &&
-           parser.state() == http::RequestParser::State::kRequestLine;
-  }
-};
-
-// Hashed timer wheel. Deadlines are bucketed into kTickMs slots; entries are
-// lazily validated against the connection's live deadline when their slot
-// drains, so re-arming never needs removal.
-class TcpListener::Wheel {
+// One reactor shard: an event-loop thread owning its epoll fd, listen
+// socket (absent on non-acceptor shards in hand-off mode), timer wheel,
+// connection table, and outbound queue end-to-end. Connections are pinned
+// to their shard for life; nothing here is shared with other shards except
+// the listener-wide open-connection count (a relaxed atomic) and the
+// counter sinks, which are per-shard instances.
+class ReactorShard {
  public:
-  static constexpr int kTickMs = 20;
-  static constexpr std::size_t kSlots = 256;
+  ReactorShard(WebServer& server, const TransportConfig& config,
+               std::size_t index, std::size_t shard_count, int listen_fd,
+               std::shared_ptr<TransportShared> shared,
+               std::vector<std::shared_ptr<TransportShared>> peers,
+               TransportCounters& counters, FaultCounters& fault_counters,
+               std::atomic<std::size_t>& open_total);
+  ~ReactorShard();
 
-  explicit Wheel(SteadyClock::time_point now) : last_tick_(tick_of(now)) {}
+  ReactorShard(const ReactorShard&) = delete;
+  ReactorShard& operator=(const ReactorShard&) = delete;
 
-  void schedule(std::uint64_t id, SteadyClock::time_point deadline) {
-    slots_[static_cast<std::size_t>(tick_of(deadline)) % kSlots].push_back(id);
-  }
-
-  // Drains every slot whose tick has passed into `out` (candidates only —
-  // the caller re-checks each connection's current deadline).
-  void advance(SteadyClock::time_point now, std::vector<std::uint64_t>& out) {
-    const std::int64_t now_tick = tick_of(now);
-    const std::int64_t span = now_tick - last_tick_;
-    if (span <= 0) return;
-    const std::int64_t steps =
-        std::min<std::int64_t>(span, static_cast<std::int64_t>(kSlots));
-    for (std::int64_t i = 1; i <= steps; ++i) {
-      auto& slot = slots_[static_cast<std::size_t>(last_tick_ + i) % kSlots];
-      out.insert(out.end(), slot.begin(), slot.end());
-      slot.clear();
-    }
-    last_tick_ = now_tick;
-  }
+  // Thread lifecycle is split out of the constructor so TcpListener can
+  // fully wire every shard (peers included) before any loop runs.
+  void start();
+  void request_stop();
+  void join();
 
  private:
-  static std::int64_t tick_of(SteadyClock::time_point t) {
-    return std::chrono::duration_cast<std::chrono::milliseconds>(
-               t.time_since_epoch())
-               .count() /
-           kTickMs;
+  // Per-connection state machine. All fields are shard-thread-only.
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+
+    http::RequestParser parser;
+    std::string inbuf;  // read but not yet consumed by the parser
+    std::string raw;    // wire bytes of the request currently being assembled
+
+    // Responses awaiting write, oldest first; out_off counts the bytes of
+    // the front payload already on the wire (short writes resume
+    // mid-chunk). Payloads carry the entity by reference — popping a
+    // completed payload is what releases a pooled render buffer back to its
+    // pool.
+    std::deque<OutboundPayload> outq;
+    std::size_t out_off = 0;
+
+    bool out_pending() const { return !outq.empty(); }
+
+    std::uint32_t events = 0;  // currently-registered epoll interest
+    bool read_closed = false;  // client half-closed its sending side
+    bool in_flight = false;    // a request is inside the server pipeline
+    bool close_after_flush = false;
+    bool header_armed = false;  // header timeout set for the current request
+    std::uint64_t served = 0;   // requests dispatched on this connection
+
+    bool timer_armed = false;
+    SteadyClock::time_point deadline{};
+
+    bool idle() const {
+      return raw.empty() &&
+             parser.state() == http::RequestParser::State::kRequestLine;
+    }
+  };
+
+  // Hashed timer wheel (one per shard). Deadlines are bucketed into kTickMs
+  // slots; entries are lazily validated against the connection's live
+  // deadline when their slot drains, so re-arming never needs removal.
+  class Wheel {
+   public:
+    static constexpr int kTickMs = 20;
+    static constexpr std::size_t kSlots = 256;
+
+    explicit Wheel(SteadyClock::time_point now) : last_tick_(tick_of(now)) {}
+
+    void schedule(std::uint64_t id, SteadyClock::time_point deadline) {
+      slots_[static_cast<std::size_t>(tick_of(deadline)) % kSlots].push_back(
+          id);
+    }
+
+    // Drains every slot whose tick has passed into `out` (candidates only —
+    // the caller re-checks each connection's current deadline).
+    void advance(SteadyClock::time_point now, std::vector<std::uint64_t>& out) {
+      const std::int64_t now_tick = tick_of(now);
+      const std::int64_t span = now_tick - last_tick_;
+      if (span <= 0) return;
+      const std::int64_t steps =
+          std::min<std::int64_t>(span, static_cast<std::int64_t>(kSlots));
+      for (std::int64_t i = 1; i <= steps; ++i) {
+        auto& slot = slots_[static_cast<std::size_t>(last_tick_ + i) % kSlots];
+        out.insert(out.end(), slot.begin(), slot.end());
+        slot.clear();
+      }
+      last_tick_ = now_tick;
+    }
+
+   private:
+    static std::int64_t tick_of(SteadyClock::time_point t) {
+      return std::chrono::duration_cast<std::chrono::milliseconds>(
+                 t.time_since_epoch())
+                 .count() /
+             kTickMs;
+    }
+
+    std::array<std::vector<std::uint64_t>, kSlots> slots_;
+    std::int64_t last_tick_;
+  };
+
+  std::uint64_t make_conn_id() {
+    return (static_cast<std::uint64_t>(index_) << 48) | next_local_id_++;
   }
 
-  std::array<std::vector<std::uint64_t>, kSlots> slots_;
-  std::int64_t last_tick_;
+  void reactor_loop();
+  void accept_ready();
+  void register_conn(int fd);
+  void drain_completions();
+  void on_readable(Conn& conn);
+  void on_writable(Conn& conn);
+  void process_input(Conn& conn);
+  // Returns false when the connection was destroyed (injected reset) — the
+  // caller must not touch `conn` again.
+  bool dispatch(Conn& conn);
+  void abort_conn(std::uint64_t id);
+  void respond_directly(Conn& conn, OutboundPayload payload);
+  void try_flush(Conn& conn);
+  void after_flush(Conn& conn);
+  void update_interest(Conn& conn, bool want_read, bool want_write);
+  void arm(Conn& conn, int timeout_ms);
+  void disarm(Conn& conn);
+  void expire(std::uint64_t id);
+  void close_conn(std::uint64_t id);
+
+  WebServer& server_;
+  const TransportConfig& config_;  // owned by the TcpListener, outlives us
+  const std::size_t index_;
+  const std::size_t shard_count_;
+  // The chaos plan this shard consults. With one shard it is the configured
+  // plan itself (so plan->fires() observers keep working); with several,
+  // each shard derives a private plan (same rules, seed offset by the shard
+  // index) so the counter-indexed determinism contract — the Nth check of a
+  // site decides the same way in every run — holds per shard no matter how
+  // the shards interleave.
+  std::shared_ptr<const FaultPlan> plan_;
+  TransportCounters& counters_;
+  FaultCounters& fault_counters_;
+  std::atomic<std::size_t>& open_total_;
+
+  int listen_fd_;  // -1 on non-acceptor shards in hand-off mode
+  int epoll_fd_ = -1;
+  std::shared_ptr<TransportShared> shared_;  // outbound + adopted + wake
+  // Hand-off routing table (acceptor shard only; includes self at index_):
+  // accepted fds go to peers_[next_target_++ % shard_count_].
+  std::vector<std::shared_ptr<TransportShared>> peers_;
+  std::size_t next_target_ = 0;
+
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::unique_ptr<Wheel> wheel_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_local_id_ = kFirstConnId;
+  std::vector<std::uint64_t> expired_;  // scratch for wheel drains
+
+  std::thread thread_;
 };
 
-struct TcpListener::Impl {
-  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
-  std::uint64_t next_id = kFirstConnId;
-  std::vector<std::uint64_t> expired;  // scratch for wheel drains
-};
-
-// ---------------------------------------------------------------------------
-// TcpListener
-// ---------------------------------------------------------------------------
-
-TcpListener::TcpListener(WebServer& server, std::uint16_t port,
-                         TransportConfig config, ServerStats* stats)
-    : server_(server), config_(config) {
-  if (stats != nullptr) {
-    counters_ = &stats->transport();
-    fault_counters_ = &stats->faults();
+ReactorShard::ReactorShard(WebServer& server, const TransportConfig& config,
+                           std::size_t index, std::size_t shard_count,
+                           int listen_fd,
+                           std::shared_ptr<TransportShared> shared,
+                           std::vector<std::shared_ptr<TransportShared>> peers,
+                           TransportCounters& counters,
+                           FaultCounters& fault_counters,
+                           std::atomic<std::size_t>& open_total)
+    : server_(server),
+      config_(config),
+      index_(index),
+      shard_count_(shard_count),
+      counters_(counters),
+      fault_counters_(fault_counters),
+      open_total_(open_total),
+      listen_fd_(listen_fd),
+      shared_(std::move(shared)),
+      peers_(std::move(peers)) {
+  if (config_.fault_plan != nullptr && shard_count_ > 1) {
+    plan_ = std::make_shared<const FaultPlan>(
+        *config_.fault_plan, config_.fault_plan->seed() + kShardSeedStep * index_);
   } else {
-    owned_counters_ = std::make_unique<TransportCounters>();
-    counters_ = owned_counters_.get();
-    owned_fault_counters_ = std::make_unique<FaultCounters>();
-    fault_counters_ = owned_fault_counters_.get();
+    plan_ = config_.fault_plan;
   }
-
-  listen_fd_ = make_listen_socket(port, config_.listen_backlog, &port_);
-  const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
-  ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
 
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) {
-    ::close(listen_fd_);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
     throw std::runtime_error("epoll_create1() failed");
   }
 
-  shared_ = std::make_shared<TransportShared>();
-  shared_->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (shared_->wake_fd < 0) {
-    ::close(epoll_fd_);
-    ::close(listen_fd_);
-    throw std::runtime_error("eventfd() failed");
-  }
-
   epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = kListenTag;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  if (listen_fd_ >= 0) {
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenTag;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  }
   ev.events = EPOLLIN;
   ev.data.u64 = kWakeTag;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, shared_->wake_fd, &ev);
 
   wheel_ = std::make_unique<Wheel>(SteadyClock::now());
-  impl_ = std::make_unique<Impl>();
-  reactor_ = std::thread([this] { reactor_loop(); });
 }
 
-TcpListener::~TcpListener() { stop(); }
+ReactorShard::~ReactorShard() {
+  if (thread_.joinable()) {
+    request_stop();
+    thread_.join();
+  } else if (!started_) {
+    // The loop never ran, so its teardown never happened: release the fds
+    // here (constructor-failure unwinding in TcpListener).
+    std::lock_guard lock(shared_->mu);
+    shared_->stopped = true;
+    if (shared_->wake_fd >= 0) {
+      ::close(shared_->wake_fd);
+      shared_->wake_fd = -1;
+    }
+    for (const int fd : shared_->adopted) ::close(fd);
+    shared_->adopted.clear();
+    ::close(epoll_fd_);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+}
 
-void TcpListener::stop() {
-  if (stop_.exchange(true)) return;
+void ReactorShard::start() {
+  started_ = true;
+  thread_ = std::thread([this] { reactor_loop(); });
+}
+
+void ReactorShard::request_stop() {
+  stop_.store(true, std::memory_order_release);
   shared_->wake();
-  if (reactor_.joinable()) reactor_.join();
 }
 
-void TcpListener::reactor_loop() {
+void ReactorShard::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void ReactorShard::reactor_loop() {
   std::array<epoll_event, 128> events;
   while (!stop_.load(std::memory_order_acquire)) {
-    const int timeout_ms = impl_->conns.empty() ? -1 : Wheel::kTickMs;
+    const int timeout_ms = conns_.empty() ? -1 : Wheel::kTickMs;
     const int n = ::epoll_wait(epoll_fd_, events.data(),
                                static_cast<int>(events.size()), timeout_ms);
     if (n < 0) {
@@ -325,90 +455,123 @@ void TcpListener::reactor_loop() {
         drain_completions();
         continue;
       }
-      auto it = impl_->conns.find(tag);
-      if (it == impl_->conns.end()) continue;  // closed earlier in this batch
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;  // closed earlier in this batch
       if (ev & (EPOLLERR | EPOLLHUP)) {
         close_conn(tag);
         continue;
       }
       if (ev & EPOLLOUT) {
         on_writable(*it->second);
-        it = impl_->conns.find(tag);  // may have closed during the write
-        if (it == impl_->conns.end()) continue;
+        it = conns_.find(tag);  // may have closed during the write
+        if (it == conns_.end()) continue;
       }
       if (ev & (EPOLLIN | EPOLLRDHUP)) on_readable(*it->second);
     }
     if (stop_.load(std::memory_order_acquire)) break;
 
-    impl_->expired.clear();
-    wheel_->advance(SteadyClock::now(), impl_->expired);
-    for (const std::uint64_t id : impl_->expired) expire(id);
+    expired_.clear();
+    wheel_->advance(SteadyClock::now(), expired_);
+    for (const std::uint64_t id : expired_) expire(id);
   }
 
-  // Teardown (reactor thread still owns everything here). Mark the shared
-  // state stopped first so pool threads stop posting, then release fds.
+  // Teardown (shard thread still owns everything here). Mark the shared
+  // state stopped first so pool threads stop posting — and the acceptor
+  // shard stops handing us fds — then release fds. Handed-off fds that were
+  // never adopted are closed unserved.
   {
     std::lock_guard lock(shared_->mu);
     shared_->stopped = true;
     ::close(shared_->wake_fd);
     shared_->wake_fd = -1;
+    for (const int fd : shared_->adopted) ::close(fd);
+    shared_->adopted.clear();
   }
-  for (auto& [id, conn] : impl_->conns) {
+  for (auto& [id, conn] : conns_) {
     ::close(conn->fd);
-    counters_->on_close();
+    counters_.on_close();
+    open_total_.fetch_sub(1, std::memory_order_relaxed);
   }
-  impl_->conns.clear();
-  open_connections_.store(0, std::memory_order_relaxed);
+  conns_.clear();
   ::close(epoll_fd_);
-  ::close(listen_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
 }
 
-void TcpListener::accept_ready() {
+void ReactorShard::accept_ready() {
   for (;;) {
     const int fd =
         ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      // Out of fds/memory: retrying immediately would busy-spin (the level-
+      // triggered backlog stays ready). Leave the pending connections queued
+      // until resources free up.
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        break;
+      }
       if (stop_.load(std::memory_order_acquire)) break;
       continue;  // ECONNABORTED etc. — keep accepting
     }
-    if (impl_->conns.size() >= config_.max_connections) {
-      counters_->on_refused();
+    // The connection cap is listener-wide: shards share one relaxed count
+    // (the only cross-shard state on the accept path).
+    if (open_total_.load(std::memory_order_relaxed) >=
+        config_.max_connections) {
+      counters_.on_refused();
       ::close(fd);
       continue;
     }
-    counters_->on_accept();
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
-    auto conn = std::make_unique<Conn>();
-    conn->fd = fd;
-    conn->id = impl_->next_id++;
-
-    epoll_event ev{};
-    ev.events = conn->events = EPOLLIN | EPOLLRDHUP;
-    ev.data.u64 = conn->id;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
-      ::close(fd);
-      counters_->on_close();
-      continue;
+    if (!peers_.empty()) {
+      // Hand-off mode: round-robin the fd across all shards (self included)
+      // — deterministic placement, which the shard tests rely on.
+      const std::size_t target = next_target_++ % shard_count_;
+      if (target != index_) {
+        if (!peers_[target]->post_fd(fd)) ::close(fd);
+        continue;
+      }
     }
-    arm(*conn, config_.idle_timeout_ms);  // nothing received yet
-    impl_->conns.emplace(conn->id, std::move(conn));
-    open_connections_.store(impl_->conns.size(), std::memory_order_relaxed);
+    register_conn(fd);
   }
 }
 
-void TcpListener::drain_completions() {
+// Adopts `fd` into this shard's connection table: from accept_ready on the
+// owning shard, or from a hand-off by the acceptor. The owning shard counts
+// the accept, so the per-shard breakdown shows where connections live.
+void ReactorShard::register_conn(int fd) {
+  counters_.on_accept();
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->id = make_conn_id();
+
+  epoll_event ev{};
+  ev.events = conn->events = EPOLLIN | EPOLLRDHUP;
+  ev.data.u64 = conn->id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    counters_.on_close();
+    return;
+  }
+  arm(*conn, config_.idle_timeout_ms);  // nothing received yet
+  conns_.emplace(conn->id, std::move(conn));
+  open_total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ReactorShard::drain_completions() {
   std::vector<Completion> batch;
+  std::vector<int> adopted;
   {
     std::lock_guard lock(shared_->mu);
     batch.swap(shared_->queue);
+    adopted.swap(shared_->adopted);
   }
+  for (const int fd : adopted) register_conn(fd);
   for (Completion& completion : batch) {
-    auto it = impl_->conns.find(completion.conn_id);
-    if (it == impl_->conns.end()) continue;  // client already went away
+    auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) continue;  // client already went away
     Conn& conn = *it->second;
     conn.in_flight = false;
     conn.close_after_flush |= completion.close_after;
@@ -419,7 +582,7 @@ void TcpListener::drain_completions() {
   }
 }
 
-void TcpListener::on_readable(Conn& conn) {
+void ReactorShard::on_readable(Conn& conn) {
   const std::uint64_t id = conn.id;
   char buf[16384];
   for (;;) {
@@ -432,7 +595,7 @@ void TcpListener::on_readable(Conn& conn) {
       // first; mid-response the ordering guarantee forbids that, so close.
       if (conn.inbuf.size() > config_.max_request_bytes + 1) {
         if (conn.in_flight || conn.out_pending()) {
-          counters_->on_oversized();
+          counters_.on_oversized();
           close_conn(id);
           return;
         }
@@ -457,7 +620,7 @@ void TcpListener::on_readable(Conn& conn) {
   process_input(conn);
 }
 
-void TcpListener::process_input(Conn& conn) {
+void ReactorShard::process_input(Conn& conn) {
   const std::uint64_t id = conn.id;
   // One request at a time per connection: responses must leave in request
   // order, so the next request is parsed only once the previous response
@@ -468,14 +631,14 @@ void TcpListener::process_input(Conn& conn) {
     conn.raw.append(conn.inbuf, 0, n);
     conn.inbuf.erase(0, n);
     if (conn.parser.failed()) {
-      counters_->on_parse_error();
+      counters_.on_parse_error();
       respond_directly(
           conn, transport_error_payload(
                     http::Response::bad_request(conn.parser.error())));
       return;
     }
     if (conn.raw.size() > config_.max_request_bytes) {
-      counters_->on_oversized();
+      counters_.on_oversized();
       respond_directly(conn,
                        transport_error_payload(http::Response::make(
                            http::Status::kPayloadTooLarge,
@@ -510,19 +673,18 @@ void TcpListener::process_input(Conn& conn) {
   }
 }
 
-bool TcpListener::dispatch(Conn& conn) {
+bool ReactorShard::dispatch(Conn& conn) {
   // Chaos site transport.reset: the connection dies with an RST exactly when
   // a complete request is about to enter the pipeline — the worst spot for a
   // client (request received, no response will ever come).
-  if (config_.fault_plan != nullptr &&
-      config_.fault_plan->should_fire(FaultSite::kSocketReset,
-                                      fault_counters_)) {
+  if (plan_ != nullptr &&
+      plan_->should_fire(FaultSite::kSocketReset, &fault_counters_)) {
     abort_conn(conn.id);
     return false;
   }
   const http::Request& request = conn.parser.request();
   ++conn.served;
-  counters_->on_request(conn.served > 1);
+  counters_.on_request(conn.served > 1);
 
   const bool keep_alive =
       config_.keep_alive && request.keep_alive() && !conn.read_closed &&
@@ -545,13 +707,13 @@ bool TcpListener::dispatch(Conn& conn) {
   return true;
 }
 
-void TcpListener::respond_directly(Conn& conn, OutboundPayload payload) {
+void ReactorShard::respond_directly(Conn& conn, OutboundPayload payload) {
   conn.close_after_flush = true;
   if (payload.size() > 0) conn.outq.push_back(std::move(payload));
   try_flush(conn);
 }
 
-void TcpListener::try_flush(Conn& conn) {
+void ReactorShard::try_flush(Conn& conn) {
   const std::uint64_t id = conn.id;
   while (!conn.outq.empty()) {
     const OutboundPayload& front = conn.outq.front();
@@ -565,9 +727,8 @@ void TcpListener::try_flush(Conn& conn) {
     // Chaos site transport.short_write: clamp this syscall to a single byte,
     // forcing the partial-write resume machinery (out_off, fill_iov) to
     // carry the rest — the same path a tiny congestion window exercises.
-    if (config_.fault_plan != nullptr &&
-        config_.fault_plan->should_fire(FaultSite::kShortWrite,
-                                        fault_counters_)) {
+    if (plan_ != nullptr &&
+        plan_->should_fire(FaultSite::kShortWrite, &fault_counters_)) {
       iov[0].iov_len = 1;
       iov_count = 1;
     }
@@ -604,7 +765,7 @@ void TcpListener::try_flush(Conn& conn) {
   after_flush(conn);
 }
 
-void TcpListener::after_flush(Conn& conn) {
+void ReactorShard::after_flush(Conn& conn) {
   if (conn.close_after_flush) {
     close_conn(conn.id);
     return;
@@ -615,10 +776,10 @@ void TcpListener::after_flush(Conn& conn) {
   process_input(conn);
 }
 
-void TcpListener::on_writable(Conn& conn) { try_flush(conn); }
+void ReactorShard::on_writable(Conn& conn) { try_flush(conn); }
 
-void TcpListener::update_interest(Conn& conn, bool want_read,
-                                  bool want_write) {
+void ReactorShard::update_interest(Conn& conn, bool want_read,
+                                   bool want_write) {
   std::uint32_t events = 0;
   if (want_read && !conn.read_closed) events |= EPOLLIN;
   if (want_write) events |= EPOLLOUT;
@@ -631,7 +792,7 @@ void TcpListener::update_interest(Conn& conn, bool want_read,
   conn.events = events;
 }
 
-void TcpListener::arm(Conn& conn, int timeout_ms) {
+void ReactorShard::arm(Conn& conn, int timeout_ms) {
   if (timeout_ms <= 0) {
     conn.timer_armed = false;
     return;
@@ -641,11 +802,11 @@ void TcpListener::arm(Conn& conn, int timeout_ms) {
   wheel_->schedule(conn.id, conn.deadline);
 }
 
-void TcpListener::disarm(Conn& conn) { conn.timer_armed = false; }
+void ReactorShard::disarm(Conn& conn) { conn.timer_armed = false; }
 
-void TcpListener::expire(std::uint64_t id) {
-  auto it = impl_->conns.find(id);
-  if (it == impl_->conns.end()) return;
+void ReactorShard::expire(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
   Conn& conn = *it->second;
   if (!conn.timer_armed) return;  // stale wheel entry
   const auto now = SteadyClock::now();
@@ -654,18 +815,18 @@ void TcpListener::expire(std::uint64_t id) {
     return;
   }
   if (conn.out_pending()) {
-    counters_->on_slow_eviction();
+    counters_.on_slow_eviction();
   } else if (conn.idle()) {
-    counters_->on_idle_timeout();
+    counters_.on_idle_timeout();
   } else {
-    counters_->on_header_timeout();
+    counters_.on_header_timeout();
   }
   close_conn(id);
 }
 
-void TcpListener::abort_conn(std::uint64_t id) {
-  auto it = impl_->conns.find(id);
-  if (it == impl_->conns.end()) return;
+void ReactorShard::abort_conn(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
   // SO_LINGER with zero timeout makes close() send an RST instead of a FIN —
   // the client sees ECONNRESET, as it would from a crashed peer.
   linger hard{};
@@ -675,14 +836,118 @@ void TcpListener::abort_conn(std::uint64_t id) {
   close_conn(id);
 }
 
-void TcpListener::close_conn(std::uint64_t id) {
-  auto it = impl_->conns.find(id);
-  if (it == impl_->conns.end()) return;
+void ReactorShard::close_conn(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  // Settle the books before close(): the peer sees FIN the instant close()
+  // runs, and tests read the counters as soon as they observe EOF.
+  open_total_.fetch_sub(1, std::memory_order_relaxed);
+  counters_.on_close();
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
   ::close(it->second->fd);
-  impl_->conns.erase(it);
-  open_connections_.store(impl_->conns.size(), std::memory_order_relaxed);
-  counters_->on_close();
+  conns_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// TcpListener: the shard facade
+// ---------------------------------------------------------------------------
+
+TcpListener::TcpListener(WebServer& server, std::uint16_t port,
+                         TransportConfig config, ServerStats* stats)
+    : config_(std::move(config)) {
+  if (stats != nullptr) {
+    stats_ = &stats->transport();
+    fault_counters_ = &stats->faults();
+  } else {
+    owned_stats_ = std::make_unique<TransportStats>();
+    stats_ = owned_stats_.get();
+    owned_fault_counters_ = std::make_unique<FaultCounters>();
+    fault_counters_ = owned_fault_counters_.get();
+  }
+
+  std::size_t shard_count = config_.reactor_shards;
+  if (shard_count == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    shard_count = std::min<std::size_t>(hw == 0 ? 1 : hw, 16);
+  }
+
+  // Listen sockets. Multi-shard first tries one SO_REUSEPORT socket per
+  // shard (kernel-spread accepts, no shared accept path at all); if the
+  // kernel rejects SO_REUSEPORT — or reuse_port is off — fall back to a
+  // single socket on shard 0 with accept-and-hand-off.
+  std::vector<int> listen_fds;
+  if (shard_count > 1 && config_.reuse_port) {
+    try {
+      listen_fds.push_back(make_listen_socket(port, config_.listen_backlog,
+                                              /*reuse_port=*/true, &port_));
+      for (std::size_t i = 1; i < shard_count; ++i) {
+        std::uint16_t bound = 0;
+        listen_fds.push_back(make_listen_socket(
+            port_, config_.listen_backlog, /*reuse_port=*/true, &bound));
+      }
+      reuse_port_active_ = true;
+    } catch (const std::runtime_error&) {
+      for (const int fd : listen_fds) ::close(fd);
+      listen_fds.clear();
+    }
+  }
+  if (listen_fds.empty()) {
+    listen_fds.push_back(make_listen_socket(port, config_.listen_backlog,
+                                            /*reuse_port=*/false, &port_));
+  }
+  for (const int fd : listen_fds) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+
+  std::vector<std::shared_ptr<TransportShared>> shareds;
+  shareds.reserve(shard_count);
+  try {
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      auto shared = std::make_shared<TransportShared>();
+      shared->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+      if (shared->wake_fd < 0) throw std::runtime_error("eventfd() failed");
+      shareds.push_back(std::move(shared));
+    }
+
+    const bool handoff = !reuse_port_active_ && shard_count > 1;
+    shards_.reserve(shard_count);
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      // In REUSEPORT mode every shard gets its own socket; otherwise only
+      // shard 0 listens and routes via the peer table.
+      const int lfd = i < listen_fds.size() ? listen_fds[i] : -1;
+      shards_.push_back(std::make_unique<ReactorShard>(
+          server, config_, i, shard_count, lfd, shareds[i],
+          handoff ? shareds : std::vector<std::shared_ptr<TransportShared>>{},
+          stats_->shard(i), *fault_counters_, open_connections_));
+    }
+  } catch (...) {
+    // Unwind: constructed shards release their fds in ~ReactorShard (never
+    // started); close what was never handed to a shard. A throwing
+    // ReactorShard constructor closes its own listen fd.
+    const std::size_t consumed = shards_.size() + 1;  // +1 for the thrower
+    for (std::size_t j = consumed; j < listen_fds.size(); ++j) {
+      ::close(listen_fds[j]);
+    }
+    for (std::size_t j = shards_.size(); j < shareds.size(); ++j) {
+      if (shareds[j]->wake_fd >= 0) ::close(shareds[j]->wake_fd);
+    }
+    shards_.clear();
+    throw;
+  }
+
+  for (auto& shard : shards_) shard->start();
+}
+
+TcpListener::~TcpListener() { stop(); }
+
+void TcpListener::stop() {
+  if (stopped_.exchange(true)) return;
+  // Signal every shard first, then join: shards shut down in parallel, and
+  // the hand-off acceptor can still safely post to peers mid-teardown
+  // (post_fd refuses once a peer marks itself stopped).
+  for (auto& shard : shards_) shard->request_stop();
+  for (auto& shard : shards_) shard->join();
 }
 
 // ---------------------------------------------------------------------------
@@ -733,12 +998,13 @@ BlockingTcpListener::BlockingTcpListener(WebServer& server, std::uint16_t port,
                                          ServerStats* stats)
     : server_(server) {
   if (stats != nullptr) {
-    counters_ = &stats->transport();
+    stats_ = &stats->transport();
   } else {
-    owned_counters_ = std::make_unique<TransportCounters>();
-    counters_ = owned_counters_.get();
+    owned_stats_ = std::make_unique<TransportStats>();
+    stats_ = owned_stats_.get();
   }
-  listen_fd_ = make_listen_socket(port, 256, &port_);
+  counters_ = &stats_->shard(0);
+  listen_fd_ = make_listen_socket(port, 256, /*reuse_port=*/false, &port_);
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
@@ -819,9 +1085,23 @@ std::size_t parse_content_length(std::string_view headers) {
   return 0;
 }
 
+std::string connect_error_message(int err) {
+  if (err == EADDRNOTAVAIL || err == EAGAIN) {
+    // The error every too-ambitious connection sweep hits first: all
+    // ephemeral source ports to this destination are in use (or in
+    // TIME_WAIT). Name it, so the fix is obvious from the test log.
+    return std::string("connect() failed: ephemeral port range exhausted (") +
+           std::strerror(err) +
+           ") — reuse connections, lower the sweep size, or widen "
+           "net.ipv4.ip_local_port_range";
+  }
+  return std::string("connect() failed: ") + std::strerror(err);
+}
+
 }  // namespace
 
-TcpClient::TcpClient(std::uint16_t port, int io_timeout_ms, int rcvbuf_bytes) {
+TcpClient::TcpClient(std::uint16_t port, int io_timeout_ms, int rcvbuf_bytes,
+                     int connect_timeout_ms) {
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) throw std::runtime_error("socket() failed");
   set_io_timeouts(fd_, io_timeout_ms);
@@ -838,11 +1118,48 @@ TcpClient::TcpClient(std::uint16_t port, int io_timeout_ms, int rcvbuf_bytes) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+
+  if (connect_timeout_ms <= 0) connect_timeout_ms = io_timeout_ms;
+  const auto fail = [this](std::string message) {
     ::close(fd_);
     fd_ = -1;
-    throw std::runtime_error("connect() failed");
+    throw std::runtime_error(std::move(message));
+  };
+
+  // Bounded non-blocking connect. SO_SNDTIMEO does not reliably bound a
+  // blocking connect, and a connect interrupted by EINTR must NOT be
+  // re-issued (the kernel keeps completing the first attempt; a second
+  // connect can misreport EADDRINUSE) — polling for writability then
+  // reading SO_ERROR handles both.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  const int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+    fail(connect_error_message(errno));
   }
+  if (rc != 0) {
+    const auto deadline = SteadyClock::now() +
+                          std::chrono::milliseconds(connect_timeout_ms);
+    for (;;) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline - SteadyClock::now());
+      if (remaining.count() <= 0) {
+        fail("connect() timed out after " +
+             std::to_string(connect_timeout_ms) + "ms");
+      }
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int n = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+      if (n > 0) break;
+      if (n < 0 && errno != EINTR) fail("poll() failed during connect");
+      // n == 0 or EINTR: loop re-checks the deadline
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) fail(connect_error_message(err));
+  }
+  ::fcntl(fd_, F_SETFL, flags);  // back to blocking; I/O uses SO_*TIMEO
   connected_ = true;
 }
 

@@ -1,17 +1,32 @@
 // Real-socket transports.
 //
-// TcpListener is an epoll-based reactor: one event-loop thread does
-// non-blocking accept4, feeds arriving bytes incrementally into a
-// per-connection http::RequestParser, and hands complete requests to the
+// TcpListener is a sharded epoll reactor: N ReactorShards (one event-loop
+// thread each) own their connections end-to-end — epoll fd, listen socket,
+// timer wheel, outbound completion queue, and wake eventfd are all
+// per-shard, so no lock is shared between shards on any hot path. Each
+// shard does non-blocking accept4, feeds arriving bytes incrementally into
+// a per-connection http::RequestParser, and hands complete requests to the
 // WebServer's pools. Worker threads never touch the socket — completed
-// responses come back through an eventfd-woken outbound queue as
-// OutboundPayloads (header block + body reference) and are written
+// responses come back through the owning shard's eventfd-woken outbound
+// queue as OutboundPayloads (header block + body reference) and are written
 // non-blockingly with vectored sendmsg, driven by EPOLLOUT, so a
 // slow-reading client can never stall a pool thread and the entity bytes
-// are never copied into a transport buffer. Connections are HTTP/1.1 keep-alive by default
-// (Connection: close honored, per-connection request caps configurable) and
-// guarded by a timer wheel: header-read, keep-alive-idle, and write-stall
-// timeouts, plus max-connection and max-request-size limits.
+// are never copied into a transport buffer.
+//
+// With reactor_shards > 1, every shard gets its own listen socket bound via
+// SO_REUSEPORT (the kernel picks the shard per connection, scaling accept
+// with cores); when the kernel lacks SO_REUSEPORT — or reuse_port is off —
+// shard 0 accepts and round-robins the fds to the other shards
+// (accept-and-hand-off). Either way a connection lives and dies on one
+// shard: its timers, its partial writes, and its ResponseWriter completions
+// all route back to the owning shard. reactor_shards = 1 (the default) is
+// exactly the pre-sharding single reactor.
+//
+// Connections are HTTP/1.1 keep-alive by default (Connection: close
+// honored, per-connection request caps configurable) and guarded by a
+// per-shard timer wheel: header-read, keep-alive-idle, and write-stall
+// timeouts, plus max-connection (global across shards) and max-request-size
+// limits.
 //
 // BlockingTcpListener is the seed transport — a single acceptor thread doing
 // blocking reads of one request per connection — kept as the comparison
@@ -24,6 +39,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/server/server_config.h"
 #include "src/server/server_stats.h"
@@ -31,16 +47,18 @@
 
 namespace tempest::server {
 
-// State shared between the reactor thread and in-flight ResponseWriters:
-// the outbound completion queue and its wake eventfd. Defined in tcp.cpp.
-struct TransportShared;
+// One reactor shard: epoll loop, listen socket, timer wheel, connection
+// table, outbound queue. Defined in tcp.cpp; owned by TcpListener.
+class ReactorShard;
 
 class TcpListener {
  public:
-  // Binds to 127.0.0.1:`port` (0 picks an ephemeral port) and starts the
-  // reactor thread. Counters are recorded into `stats->transport()` when a
-  // ServerStats is supplied, else into an internal instance (see counters()).
-  // Throws std::runtime_error on socket/bind/epoll failure.
+  // Binds to 127.0.0.1:`port` (0 picks an ephemeral port) and starts
+  // config.reactor_shards event-loop threads (see TransportConfig). Counters
+  // are recorded into `stats->transport()` — one TransportCounters per shard
+  // — when a ServerStats is supplied, else into an internal TransportStats
+  // (see counters()). Throws std::runtime_error on socket/bind/epoll
+  // failure.
   TcpListener(WebServer& server, std::uint16_t port,
               TransportConfig config = {}, ServerStats* stats = nullptr);
   ~TcpListener();
@@ -50,9 +68,18 @@ class TcpListener {
 
   std::uint16_t port() const { return port_; }
 
-  const TransportCounters& counters() const { return *counters_; }
+  // Per-shard counters with roll-up on read: counters().snapshot() is the
+  // total, counters().per_shard() the breakdown.
+  const TransportStats& counters() const { return *stats_; }
 
-  // Connections currently open (reactor-thread-maintained, racy-read ok).
+  // Reactor shards actually running (1 unless configured higher).
+  std::size_t shard_count() const { return shards_.size(); }
+
+  // True when every shard has its own SO_REUSEPORT listen socket; false in
+  // single-shard and accept-and-hand-off modes.
+  bool reuse_port_active() const { return reuse_port_active_; }
+
+  // Connections currently open across all shards (racy-read ok).
   std::size_t open_connections() const {
     return open_connections_.load(std::memory_order_relaxed);
   }
@@ -60,48 +87,17 @@ class TcpListener {
   void stop();
 
  private:
-  struct Conn;
-  class Wheel;
-
-  void reactor_loop();
-  void accept_ready();
-  void drain_completions();
-  void on_readable(Conn& conn);
-  void on_writable(Conn& conn);
-  void process_input(Conn& conn);
-  // Returns false when the connection was destroyed (injected reset) — the
-  // caller must not touch `conn` again.
-  bool dispatch(Conn& conn);
-  void abort_conn(std::uint64_t id);
-  void respond_directly(Conn& conn, OutboundPayload payload);
-  void try_flush(Conn& conn);
-  void after_flush(Conn& conn);
-  void update_interest(Conn& conn, bool want_read, bool want_write);
-  void arm(Conn& conn, int timeout_ms);
-  void disarm(Conn& conn);
-  void expire(std::uint64_t id);
-  void close_conn(std::uint64_t id);
-
-  WebServer& server_;
   const TransportConfig config_;
-  TransportCounters* counters_;  // stats->transport() or owned_counters_
-  std::unique_ptr<TransportCounters> owned_counters_;
+  TransportStats* stats_;  // &server_stats->transport() or owned_stats_
+  std::unique_ptr<TransportStats> owned_stats_;
   FaultCounters* fault_counters_;  // stats->faults() or owned_fault_counters_
   std::unique_ptr<FaultCounters> owned_fault_counters_;
 
-  int listen_fd_ = -1;
-  int epoll_fd_ = -1;
   std::uint16_t port_ = 0;
-  std::atomic<bool> stop_{false};
+  bool reuse_port_active_ = false;
+  std::atomic<bool> stopped_{false};
   std::atomic<std::size_t> open_connections_{0};
-  std::shared_ptr<TransportShared> shared_;  // outbound queue + wake eventfd
-  std::unique_ptr<Wheel> wheel_;
-
-  // Reactor-thread-only state, defined in tcp.cpp.
-  struct Impl;
-  std::unique_ptr<Impl> impl_;
-
-  std::thread reactor_;
+  std::vector<std::unique_ptr<ReactorShard>> shards_;
 };
 
 // The seed transport: accepts one connection at a time, blocking-reads the
@@ -118,7 +114,7 @@ class BlockingTcpListener {
   BlockingTcpListener& operator=(const BlockingTcpListener&) = delete;
 
   std::uint16_t port() const { return port_; }
-  const TransportCounters& counters() const { return *counters_; }
+  const TransportStats& counters() const { return *stats_; }
 
   void stop();
 
@@ -126,8 +122,9 @@ class BlockingTcpListener {
   void accept_loop();
 
   WebServer& server_;
-  TransportCounters* counters_;
-  std::unique_ptr<TransportCounters> owned_counters_;
+  TransportStats* stats_;
+  std::unique_ptr<TransportStats> owned_stats_;
+  TransportCounters* counters_;  // stats_->shard(0)
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
@@ -142,12 +139,17 @@ class BlockingTcpListener {
 // test instead of hanging it.
 class TcpClient {
  public:
-  // Connects immediately. Throws std::runtime_error on failure.
+  // Connects immediately, with a bounded non-blocking connect (EINTR-safe:
+  // an interrupted connect is resumed by polling for completion, never
+  // re-issued). Throws std::runtime_error on failure, with distinct
+  // messages for refusal, connect timeout, and ephemeral-port exhaustion
+  // (EADDRNOTAVAIL — the error a 10k-connection sweep hits first).
   // `rcvbuf_bytes` > 0 shrinks SO_RCVBUF before connecting, so a large
   // response overruns the socket buffers and forces the server through its
   // partial-write (EAGAIN mid-payload) path — for short-write tests.
+  // `connect_timeout_ms` bounds the connect itself (0 = use io_timeout_ms).
   explicit TcpClient(std::uint16_t port, int io_timeout_ms = 10000,
-                     int rcvbuf_bytes = 0);
+                     int rcvbuf_bytes = 0, int connect_timeout_ms = 0);
   ~TcpClient();
 
   TcpClient(const TcpClient&) = delete;

@@ -76,6 +76,13 @@ TEST(ChaosSoakTest, TpcwMixSurvivesEverySiteFaulting) {
   config.fault_plan = plan;
   config.transport.fault_plan = plan;  // one seed chaos-tests the whole stack
 
+  // The nightly CI soak re-runs this with TEMPEST_REACTOR_SHARDS=4 so every
+  // shard soaks its own wheel, outbound queue, and derived fault plan.
+  if (const char* shards = std::getenv("TEMPEST_REACTOR_SHARDS")) {
+    config.transport.reactor_shards =
+        static_cast<std::size_t>(std::strtoul(shards, nullptr, 10));
+  }
+
   StagedServer server(config, app, db);
   TcpListener listener(server, 0, config.transport, &server.stats());
 

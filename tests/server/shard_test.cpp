@@ -1,0 +1,449 @@
+// The sharded reactor (reactor_shards > 1): connection placement, shard
+// affinity of keep-alive connections, per-shard timer wheels, partial-write
+// resume across shards, graceful stop with in-flight connections on every
+// shard, global connection caps, per-shard chaos determinism, and the
+// per-shard counter breakdown. Most tests run in accept-and-hand-off mode
+// (reuse_port = false) because its round-robin placement is deterministic;
+// SO_REUSEPORT mode gets its own smoke tests (the kernel's shard choice on
+// loopback is not predictable, so those only assert roll-up behaviour).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/fault.h"
+#include "src/server/staged_server.h"
+#include "src/server/tcp.h"
+#include "src/tpcw/handlers.h"
+#include "src/tpcw/populate.h"
+
+namespace tempest::server {
+namespace {
+
+std::string get(const std::string& path) {
+  return "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n";
+}
+
+class ShardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TimeScale::set(0.0001);
+    pop_ = tpcw::populate_tpcw(db_, tpcw::Scale::tiny());
+    app_ = tpcw::make_tpcw_application(
+        tpcw::TpcwState::from_population(tpcw::Scale::tiny(), pop_));
+    config_.db_connections = 8;
+    config_.baseline_threads = 8;
+    config_.header_threads = 2;
+    config_.static_threads = 2;
+    config_.general_threads = 6;
+    config_.lengthy_threads = 2;
+    config_.render_threads = 2;
+  }
+
+  void TearDown() override { TimeScale::set(0.005); }
+
+  // Deterministic-placement transport: 4 shards, hand-off mode.
+  static TransportConfig handoff(std::size_t shards = 4) {
+    TransportConfig transport;
+    transport.reactor_shards = shards;
+    transport.reuse_port = false;
+    return transport;
+  }
+
+  db::Database db_;
+  tpcw::PopulationSummary pop_;
+  std::shared_ptr<const Application> app_;
+  ServerConfig config_;
+};
+
+// --- placement and affinity -------------------------------------------------
+
+// Hand-off mode round-robins accepted connections across shards (self
+// included), so 8 sequential connections land 2 on each of 4 shards — and
+// the per-shard breakdown shows exactly that.
+TEST_F(ShardTest, HandoffRoundRobinsConnectionsAcrossShards) {
+  StagedServer server(config_, app_, db_);
+  TcpListener listener(server, 0, handoff(), &server.stats());
+  ASSERT_EQ(listener.shard_count(), 4u);
+  EXPECT_FALSE(listener.reuse_port_active());
+
+  std::vector<std::unique_ptr<TcpClient>> clients;
+  for (int i = 0; i < 8; ++i) {
+    clients.push_back(std::make_unique<TcpClient>(listener.port()));
+    // Serve one request before the next connect so placement is sequential.
+    EXPECT_EQ(clients.back()->request(get("/img/logo.gif"))
+                  .find("HTTP/1.1 200"),
+              0u);
+  }
+
+  const auto shards = listener.counters().per_shard();
+  ASSERT_EQ(shards.size(), 4u);
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    EXPECT_EQ(shards[i].accepted, 2u) << "shard " << i;
+    EXPECT_EQ(shards[i].requests, 2u) << "shard " << i;
+  }
+  const auto total = listener.counters().snapshot();
+  EXPECT_EQ(total.accepted, 8u);
+  EXPECT_EQ(total.requests, 8u);
+
+  listener.stop();
+  server.shutdown();
+}
+
+// A keep-alive connection stays on the shard that adopted it: every request
+// it ever sends is counted by exactly one shard.
+TEST_F(ShardTest, KeepAliveConnectionStaysOnItsShard) {
+  StagedServer server(config_, app_, db_);
+  TcpListener listener(server, 0, handoff(), &server.stats());
+
+  TcpClient client(listener.port());
+  for (int i = 0; i < 10; ++i) {
+    const std::string url =
+        i % 2 ? "/home?c_id=" + std::to_string(i + 1) : "/img/logo.gif";
+    EXPECT_EQ(client.request(get(url)).find("HTTP/1.1 200"), 0u)
+        << "request " << i;
+  }
+
+  const auto shards = listener.counters().per_shard();
+  std::size_t owners = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (shards[i].requests == 0) continue;
+    ++owners;
+    EXPECT_EQ(shards[i].accepted, 1u) << "shard " << i;
+    EXPECT_EQ(shards[i].requests, 10u) << "shard " << i;
+    EXPECT_EQ(shards[i].keepalive_reuse, 9u) << "shard " << i;
+  }
+  EXPECT_EQ(owners, 1u);
+
+  listener.stop();
+  server.shutdown();
+}
+
+// --- per-shard timer wheels -------------------------------------------------
+
+// Each shard runs its own wheel: park one idle connection on every shard and
+// all four must be expired by their owners.
+TEST_F(ShardTest, EveryShardTimesOutItsOwnIdleConnections) {
+  TransportConfig transport = handoff();
+  transport.idle_timeout_ms = 100;
+  StagedServer server(config_, app_, db_);
+  TcpListener listener(server, 0, transport, &server.stats());
+
+  std::vector<std::unique_ptr<TcpClient>> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.push_back(std::make_unique<TcpClient>(listener.port()));
+    // One served request pins the adoption before the next connect (and
+    // makes the later close an *idle* timeout, between requests).
+    EXPECT_EQ(clients.back()->request(get("/img/logo.gif"))
+                  .find("HTTP/1.1 200"),
+              0u);
+  }
+  for (auto& client : clients) {
+    EXPECT_TRUE(client->server_closed(3000));
+  }
+
+  const auto shards = listener.counters().per_shard();
+  ASSERT_EQ(shards.size(), 4u);
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    EXPECT_EQ(shards[i].idle_timeouts, 1u) << "shard " << i;
+    EXPECT_EQ(shards[i].open(), 0u) << "shard " << i;
+  }
+  EXPECT_EQ(listener.open_connections(), 0u);
+
+  listener.stop();
+  server.shutdown();
+}
+
+// --- partial writes under sharding ------------------------------------------
+
+// The partial-write resume machinery (out_off, EPOLLOUT re-arming, iovec
+// seams) lives per shard; concurrent huge transfers on different shards must
+// each come through byte-exact.
+TEST_F(ShardTest, PartialWritesResumeIndependentlyPerShard) {
+  auto app = std::make_shared<Application>();
+  app->static_store.add_blob("/huge.bin", 3 << 18,  // 768 KiB
+                            "application/octet-stream");
+  auto app_const = std::static_pointer_cast<const Application>(app);
+  StagedServer server(config_, app_const, db_);
+  TcpListener listener(server, 0, handoff(2), &server.stats());
+
+  const StaticStore::Entry* entry = app->static_store.find("/huge.bin");
+  ASSERT_NE(entry, nullptr);
+
+  // Two tiny-window clients, one per shard, draining concurrently.
+  TcpClient a(listener.port(), /*io_timeout_ms=*/10000, /*rcvbuf_bytes=*/4096);
+  TcpClient b(listener.port(), /*io_timeout_ms=*/10000, /*rcvbuf_bytes=*/4096);
+  a.send_raw(get("/huge.bin"));
+  b.send_raw(get("/huge.bin"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::string response_b;
+  std::thread drain_b([&] { response_b = b.read_response(); });
+  const std::string response_a = a.read_response();
+  drain_b.join();
+
+  const std::string* responses[] = {&response_a, &response_b};
+  for (const std::string* response : responses) {
+    EXPECT_EQ(response->find("HTTP/1.1 200"), 0u);
+    const std::size_t header_end = response->find("\r\n\r\n");
+    ASSERT_NE(header_end, std::string::npos);
+    const std::string_view body =
+        std::string_view(*response).substr(header_end + 4);
+    ASSERT_EQ(body.size(), entry->content->size());
+    EXPECT_TRUE(body == *entry->content);
+  }
+
+  const auto shards = listener.counters().per_shard();
+  EXPECT_EQ(shards[0].accepted, 1u);
+  EXPECT_EQ(shards[1].accepted, 1u);
+
+  listener.stop();
+  server.shutdown();
+}
+
+// --- shutdown ---------------------------------------------------------------
+
+// stop() with live (and mid-request) connections parked on every shard must
+// join all shard threads promptly and leave no connection open.
+TEST_F(ShardTest, StopWithInFlightConnectionsOnEveryShard) {
+  StagedServer server(config_, app_, db_);
+  auto listener = std::make_unique<TcpListener>(server, 0, handoff(),
+                                                &server.stats());
+
+  std::vector<std::unique_ptr<TcpClient>> clients;
+  for (int i = 0; i < 8; ++i) {
+    clients.push_back(std::make_unique<TcpClient>(listener->port()));
+    EXPECT_EQ(clients.back()->request(get("/img/logo.gif"))
+                  .find("HTTP/1.1 200"),
+              0u);
+  }
+  // Half the clients leave a request in flight when the listener stops.
+  for (std::size_t i = 0; i < clients.size(); i += 2) {
+    clients[i]->send_raw(get("/home?c_id=" + std::to_string(i + 1)));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  listener->stop();
+  listener.reset();  // must not hang
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            10);
+  server.shutdown();  // pool threads' late completions are dropped safely
+  SUCCEED();
+}
+
+// --- global connection cap --------------------------------------------------
+
+// max_connections is listener-wide, not per shard: with 4 shards and a cap
+// of 2, the third connection is refused even though two shards are empty.
+TEST_F(ShardTest, MaxConnectionsIsGlobalAcrossShards) {
+  TransportConfig transport = handoff();
+  transport.max_connections = 2;
+  StagedServer server(config_, app_, db_);
+  TcpListener listener(server, 0, transport, &server.stats());
+
+  TcpClient first(listener.port());
+  TcpClient second(listener.port());
+  EXPECT_EQ(first.request(get("/img/logo.gif")).find("HTTP/1.1 200"), 0u);
+  EXPECT_EQ(second.request(get("/img/logo.gif")).find("HTTP/1.1 200"), 0u);
+
+  TcpClient third(listener.port());
+  EXPECT_TRUE(third.server_closed(3000));
+  EXPECT_GE(listener.counters().snapshot().refused_max_connections, 1u);
+
+  listener.stop();
+  server.shutdown();
+}
+
+// --- chaos determinism per shard --------------------------------------------
+
+// Same seed, same sequential request sequence, hand-off placement => the
+// fault ledger is identical run to run even with 4 shards: each shard
+// derives its own plan (seed offset by shard index) and sees a
+// deterministic subsequence of connections.
+TEST_F(ShardTest, ChaosResetLedgerIsDeterministicAcrossShardedRuns) {
+  const auto run_once = [&]() -> std::uint64_t {
+    auto plan = std::make_shared<FaultPlan>(/*seed=*/7);
+    FaultRule rule;
+    rule.enabled = true;
+    rule.probability = 0.5;
+    plan->set(FaultSite::kSocketReset, rule);
+
+    ServerConfig config = config_;
+    config.transport = handoff();
+    config.transport.fault_plan = plan;
+    StagedServer server(config, app_, db_);
+    TcpListener listener(server, 0, config.transport, &server.stats());
+
+    int served = 0;
+    for (int i = 0; i < 24; ++i) {
+      // One request per connection; a reset surfaces as an empty response.
+      const std::string response =
+          tcp_roundtrip(listener.port(), get("/img/logo.gif"));
+      if (response.find("HTTP/1.1 200") == 0) ++served;
+    }
+    const std::uint64_t injected =
+        server.stats().faults().snapshot().injected_at(FaultSite::kSocketReset);
+    EXPECT_EQ(served + static_cast<int>(injected), 24);
+    EXPECT_GT(injected, 0u);
+
+    listener.stop();
+    server.shutdown();
+    return injected;
+  };
+
+  const std::uint64_t first = run_once();
+  const std::uint64_t second = run_once();
+  EXPECT_EQ(first, second);
+}
+
+// Short writes injected per shard still deliver byte-identical responses —
+// the chaos clamp only changes syscall granularity, never bytes.
+TEST_F(ShardTest, ChaosShortWritesDeliverExactBytesOnEveryShard) {
+  auto plan = std::make_shared<FaultPlan>(/*seed=*/11);
+  FaultRule rule;
+  rule.enabled = true;
+  rule.probability = 1.0;  // every sendmsg clamped to one byte
+  plan->set(FaultSite::kShortWrite, rule);
+
+  TransportConfig transport = handoff();
+  transport.fault_plan = plan;
+  StagedServer server(config_, app_, db_);
+  TcpListener listener(server, 0, transport, &server.stats());
+
+  // Reference bytes from an uninjected listener on the same server.
+  TcpListener clean(server, 0, handoff(), &server.stats());
+  std::string expected = tcp_roundtrip(clean.port(), get("/img/logo.gif"));
+  ASSERT_EQ(expected.find("HTTP/1.1 200"), 0u);
+
+  for (int i = 0; i < 4; ++i) {  // one connection per shard
+    std::string got = tcp_roundtrip(listener.port(), get("/img/logo.gif"));
+    // Date headers may differ between the two responses; blank them out.
+    const auto blank_date = [](std::string& s) {
+      const auto pos = s.find("Date: ");
+      if (pos == std::string::npos) return;
+      const auto end = s.find("\r\n", pos);
+      s.replace(pos, end - pos, "Date: X");
+    };
+    blank_date(got);
+    std::string want = expected;
+    blank_date(want);
+    EXPECT_EQ(got, want) << "connection " << i;
+  }
+  EXPECT_GT(
+      server.stats().faults().snapshot().injected_at(FaultSite::kShortWrite),
+      0u);
+
+  clean.stop();
+  listener.stop();
+  server.shutdown();
+}
+
+// --- SO_REUSEPORT mode ------------------------------------------------------
+
+// The kernel-spread mode serves correctly with every shard listening on its
+// own socket. Placement is the kernel's choice, so only roll-ups and the
+// mode flag are asserted.
+TEST_F(ShardTest, ReuseportModeServesAcrossConnections) {
+  TransportConfig transport;
+  transport.reactor_shards = 4;  // reuse_port stays default-on
+  StagedServer server(config_, app_, db_);
+  TcpListener listener(server, 0, transport, &server.stats());
+  ASSERT_EQ(listener.shard_count(), 4u);
+  EXPECT_TRUE(listener.reuse_port_active());
+
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back([&, i] {
+      TcpClient client(listener.port());
+      for (int j = 0; j < 4; ++j) {
+        const std::string url =
+            (i + j) % 2 ? "/home?c_id=" + std::to_string(i + 1)
+                        : "/img/logo.gif";
+        if (client.request(get(url)).find("HTTP/1.1 200") == 0) ++ok;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), 32);
+  const auto total = listener.counters().snapshot();
+  EXPECT_EQ(total.accepted, 8u);
+  EXPECT_EQ(total.requests, 32u);
+
+  listener.stop();
+  server.shutdown();
+}
+
+// reactor_shards = 0 sizes to the hardware (>= 1) and still serves.
+TEST_F(ShardTest, AutoShardCountServes) {
+  TransportConfig transport;
+  transport.reactor_shards = 0;
+  StagedServer server(config_, app_, db_);
+  TcpListener listener(server, 0, transport, &server.stats());
+  EXPECT_GE(listener.shard_count(), 1u);
+  EXPECT_LE(listener.shard_count(), 16u);
+  EXPECT_EQ(tcp_roundtrip(listener.port(), get("/img/logo.gif"))
+                .find("HTTP/1.1 200"),
+            0u);
+  listener.stop();
+  server.shutdown();
+}
+
+// --- stats surfaces ---------------------------------------------------------
+
+// The text and JSON dumps carry the roll-up plus one entry per shard.
+TEST_F(ShardTest, TransportStatsDumpShowsPerShardBreakdown) {
+  StagedServer server(config_, app_, db_);
+  TcpListener listener(server, 0, handoff(), &server.stats());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(tcp_roundtrip(listener.port(), get("/img/logo.gif"))
+                  .find("HTTP/1.1 200"),
+              0u);
+  }
+
+  const std::string text = server.stats().transport().text();
+  EXPECT_NE(text.find("transport: accepted=4"), std::string::npos) << text;
+  EXPECT_NE(text.find("shard 0: accepted=1"), std::string::npos) << text;
+  EXPECT_NE(text.find("shard 3: accepted=1"), std::string::npos) << text;
+
+  const std::string json = server.stats().transport().json();
+  EXPECT_NE(json.find("\"rollup\":{\"accepted\":4"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"shards\":["), std::string::npos) << json;
+
+  listener.stop();
+  server.shutdown();
+}
+
+// --- TcpClient hardening ----------------------------------------------------
+
+// Connecting to a dead port fails promptly with a connect() error, not an
+// I/O timeout much later.
+TEST_F(ShardTest, ClientConnectToDeadPortFailsFast) {
+  // Bind-then-close to get a port that is almost certainly unused.
+  std::uint16_t dead_port = 0;
+  {
+    StagedServer server(config_, app_, db_);
+    TcpListener listener(server, 0, TransportConfig{}, &server.stats());
+    dead_port = listener.port();
+    listener.stop();
+    server.shutdown();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(
+      { TcpClient client(dead_port, /*io_timeout_ms=*/200); },
+      std::runtime_error);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(
+      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+      5000);
+}
+
+}  // namespace
+}  // namespace tempest::server
