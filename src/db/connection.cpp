@@ -1,12 +1,13 @@
 #include "src/db/connection.h"
 
-#include <algorithm>
 #include <mutex>
 #include <shared_mutex>
 
+#include "src/db/plan.h"
+
 namespace tempest::db {
 
-ResultSet Connection::execute(const std::string& sql,
+ResultSet Connection::execute(std::string_view sql,
                               const std::vector<Value>& params) {
   int attempt = 0;
   double backoff = retry_.backoff_paper_s;
@@ -31,7 +32,7 @@ ResultSet Connection::execute(const std::string& sql,
   }
 }
 
-ResultSet Connection::execute_attempt(const std::string& sql,
+ResultSet Connection::execute_attempt(std::string_view sql,
                                       const std::vector<Value>& params) {
   if (broken()) {
     throw ConnectionDropped("connection " + std::to_string(id_) +
@@ -53,60 +54,116 @@ ResultSet Connection::execute_attempt(const std::string& sql,
   }
 
   const Stopwatch watch;
-  const auto stmt = db_.cached_statement(sql);
+  // The whole control plane — parse, name resolution, index choice, lock
+  // order — replays from the cached plan; on a hit this is one sharded hash
+  // probe with no allocation.
+  const auto plan = db_.cached_plan(sql);
 
-  // Collect referenced tables, deduplicated and sorted by name so every
-  // connection acquires locks in the same global order (no deadlocks).
-  std::vector<std::string> tables = stmt->referenced_tables();
-  std::sort(tables.begin(), tables.end());
-  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  ResultSet result = locking_ == LockingMode::kSnapshot
+                         ? execute_snapshot(*plan, params)
+                         : execute_myisam(*plan, params);
 
-  std::string write_target;
-  switch (stmt->kind) {
-    case StatementKind::kInsert: write_target = stmt->insert.table; break;
-    case StatementKind::kUpdate: write_target = stmt->update.table; break;
-    case StatementKind::kDelete: write_target = stmt->del.table; break;
-    default: break;
-  }
+  statements_.fetch_add(1, std::memory_order_relaxed);
+  busy_paper_us_.fetch_add(
+      static_cast<std::uint64_t>(watch.elapsed_paper() * 1e6),
+      std::memory_order_relaxed);
+  return result;
+}
 
+// Paper-accurate MyISAM discipline: every referenced table is locked (shared
+// for reads, exclusive on the write target) in the plan's precomputed global
+// order. Reads release before their simulated service is charged (the shared
+// lock covers only in-memory execution, so long scans never block writers);
+// writes hold their exclusive lock across the full service time, so the
+// admin UPDATE convoys every reader of its table — the Section 4.2.1 stall.
+ResultSet Connection::execute_myisam(const BoundPlan& plan,
+                                     const std::vector<Value>& params) {
   std::vector<std::shared_lock<std::shared_mutex>> read_locks;
   std::vector<std::unique_lock<std::shared_mutex>> write_locks;
-  read_locks.reserve(tables.size());
-  for (const std::string& name : tables) {
-    Table& table = db_.table(name);
-    if (name == write_target) {
-      write_locks.emplace_back(table.lock());
+  read_locks.reserve(plan.locks().size());
+  for (const TableLock& entry : plan.locks()) {
+    if (entry.exclusive) {
+      write_locks.emplace_back(entry.table->lock());
     } else {
-      read_locks.emplace_back(table.lock());
+      read_locks.emplace_back(entry.table->lock());
     }
   }
+  Table* const target = plan.write_target();
+  if (target != nullptr) target->begin_write();
 
-  ResultSet result = executor_.execute(*stmt, params);
+  ResultSet result;
+  try {
+    result = executor_.execute(plan, params);
+  } catch (...) {
+    if (target != nullptr) target->end_write();
+    throw;
+  }
 
   const double service =
       charge_latency_
-          ? model_.cost(*stmt, result.rows_scanned, result.rows_probed,
+          ? model_.cost(plan.stmt(), result.rows_scanned, result.rows_probed,
                         result.rows.size(), result.rows_affected)
           : 0.0;
 
-  // Lock discipline (see DESIGN.md): reads are MVCC-like — the shared lock
-  // covers only the in-memory execution, and the simulated service time is
-  // charged after release, so long scans never block writers. Writes hold
-  // their exclusive lock for the full (short) statement service time, so
-  // writers serialize per table like a real engine's write path.
-  if (stmt->is_write()) {
+  if (plan.is_write()) {
     paper_sleep_for(service);
     read_locks.clear();
     write_locks.clear();
+    target->end_write();
   } else {
     read_locks.clear();
     write_locks.clear();
     paper_sleep_for(service);
   }
-  statements_.fetch_add(1, std::memory_order_relaxed);
-  busy_paper_us_.fetch_add(
-      static_cast<std::uint64_t>(watch.elapsed_paper() * 1e6),
-      std::memory_order_relaxed);
+  return result;
+}
+
+// Snapshot-mode discipline (DESIGN.md §14): readers latch tables shared for
+// only the in-memory execution and charge their service after release —
+// identical to the MyISAM read path. Writers serialize per table on the
+// writer gate for the full service time (write throughput is unchanged),
+// but stage their mutations in a WriteBatch under the shared latch and
+// commit under a brief exclusive latch at the *end* of the service time.
+// Readers therefore always see a consistent pre- or post-commit epoch and
+// never wait out a writer's sleep — the table-lock convoy is gone.
+ResultSet Connection::execute_snapshot(const BoundPlan& plan,
+                                       const std::vector<Value>& params) {
+  Table* const target = plan.write_target();
+  std::unique_lock<std::mutex> gate;
+  if (target != nullptr) {
+    gate = std::unique_lock(target->writer_gate());
+    target->begin_write();
+  }
+
+  ResultSet result;
+  WriteBatch batch;
+  try {
+    std::vector<std::shared_lock<std::shared_mutex>> latches;
+    latches.reserve(plan.locks().size());
+    for (const TableLock& entry : plan.locks()) {
+      latches.emplace_back(entry.table->lock());
+    }
+    result = executor_.execute(plan, params, target ? &batch : nullptr);
+  } catch (...) {
+    if (target != nullptr) target->end_write();
+    throw;
+  }
+
+  const double service =
+      charge_latency_
+          ? model_.cost(plan.stmt(), result.rows_scanned, result.rows_probed,
+                        result.rows.size(), result.rows_affected)
+          : 0.0;
+  paper_sleep_for(service);
+
+  if (target != nullptr) {
+    {
+      std::unique_lock<std::shared_mutex> apply_latch(target->lock());
+      batch.apply();
+    }
+    result.table_version = target->version();
+    target->end_write();
+  }
   return result;
 }
 

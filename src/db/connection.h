@@ -1,7 +1,14 @@
 // Database connection: executes SQL text with bound parameters, holding the
-// referenced tables' locks (shared for reads, exclusive for writes) for the
-// statement's simulated service time — the MyISAM behaviour behind the
-// paper's admin-response anomaly (Section 4.2.1).
+// referenced tables' locks per the active LockingMode (src/db/table.h):
+// MyISAM-style full-duration locks — the behaviour behind the paper's
+// admin-response anomaly (Section 4.2.1) — or snapshot-mode epoch reads
+// where only writers serialize and readers never wait out a write's
+// simulated service time.
+//
+// Every statement resolves through Database::cached_plan(), so the hot path
+// is: one sharded hash probe (no allocation on hit), the plan's precomputed
+// lock list (no sort, no catalog lookups), and a plan replay in the
+// executor (no name resolution).
 //
 // Fault injection (src/common/fault.h) hooks in here: a configured FaultPlan
 // can stretch a statement's service time (db.statement.delay), make it throw
@@ -15,6 +22,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -51,14 +59,16 @@ class Connection {
   Connection(Database& db, LatencyModel model, int id,
              std::shared_ptr<const FaultPlan> fault_plan = nullptr,
              FaultCounters* fault_counters = nullptr,
-             RetryPolicy retry = {})
+             RetryPolicy retry = {},
+             LockingMode locking = LockingMode::kMyisam)
       : db_(db),
         executor_(db),
         model_(model),
         id_(id),
         fault_plan_(std::move(fault_plan)),
         fault_counters_(fault_counters),
-        retry_(retry) {}
+        retry_(retry),
+        locking_(locking) {}
 
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
@@ -68,8 +78,12 @@ class Connection {
   // time per connection, like a real DB-API connection. Throws
   // ConnectionDropped if the connection is (or becomes) broken; retries
   // InjectedDbError per the RetryPolicy before letting it escape.
-  ResultSet execute(const std::string& sql,
-                    const std::vector<Value>& params = {});
+  // string_view: callers pass literals without building a std::string; a
+  // plan-cache hit allocates nothing for the lookup.
+  ResultSet execute(std::string_view sql, const std::vector<Value>& params = {});
+
+  LockingMode locking_mode() const { return locking_; }
+  void set_locking_mode(LockingMode mode) { locking_ = mode; }
 
   int id() const { return id_; }
   std::uint64_t statements_executed() const {
@@ -94,8 +108,12 @@ class Connection {
   void set_charge_latency(bool charge) { charge_latency_ = charge; }
 
  private:
-  ResultSet execute_attempt(const std::string& sql,
+  ResultSet execute_attempt(std::string_view sql,
                             const std::vector<Value>& params);
+  ResultSet execute_myisam(const BoundPlan& plan,
+                           const std::vector<Value>& params);
+  ResultSet execute_snapshot(const BoundPlan& plan,
+                             const std::vector<Value>& params);
 
   Database& db_;
   Executor executor_;
@@ -104,6 +122,7 @@ class Connection {
   const std::shared_ptr<const FaultPlan> fault_plan_;
   FaultCounters* const fault_counters_;
   const RetryPolicy retry_;
+  LockingMode locking_ = LockingMode::kMyisam;
   bool charge_latency_ = true;
   std::atomic<bool> broken_{false};
   std::atomic<std::uint64_t> statements_{0};

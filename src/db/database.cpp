@@ -1,55 +1,100 @@
 #include "src/db/database.h"
 
+#include "src/db/plan.h"
 #include "src/db/sql.h"
 
 namespace tempest::db {
 
 Table& Database::create_table(TableSchema schema) {
-  std::lock_guard lock(mu_);
+  std::unique_lock lock(catalog_mu_);
   const std::string name = schema.name;
   auto [it, inserted] =
       tables_.emplace(name, std::make_unique<Table>(std::move(schema)));
   if (!inserted) throw DbError("table already exists: " + name);
+  // Release-publish so a plan bound after this point observes the new table.
+  catalog_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return *it->second;
 }
 
-Table& Database::table(const std::string& name) {
-  std::lock_guard lock(mu_);
+Table& Database::table(std::string_view name) {
+  std::shared_lock lock(catalog_mu_);
   const auto it = tables_.find(name);
-  if (it == tables_.end()) throw DbError("no such table: " + name);
+  if (it == tables_.end()) {
+    throw DbError("no such table: " + std::string(name));
+  }
   return *it->second;
 }
 
-const Table& Database::table(const std::string& name) const {
-  std::lock_guard lock(mu_);
+const Table& Database::table(std::string_view name) const {
+  std::shared_lock lock(catalog_mu_);
   const auto it = tables_.find(name);
-  if (it == tables_.end()) throw DbError("no such table: " + name);
+  if (it == tables_.end()) {
+    throw DbError("no such table: " + std::string(name));
+  }
   return *it->second;
 }
 
-bool Database::has_table(const std::string& name) const {
-  std::lock_guard lock(mu_);
-  return tables_.count(name) > 0;
+bool Database::has_table(std::string_view name) const {
+  std::shared_lock lock(catalog_mu_);
+  return tables_.find(name) != tables_.end();
 }
 
 std::vector<std::string> Database::table_names() const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(catalog_mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
   return names;
 }
 
-std::shared_ptr<const Statement> Database::cached_statement(
-    const std::string& sql) {
+std::shared_ptr<const BoundPlan> Database::cached_plan(std::string_view sql) {
+  PlanShard& shard = shard_for(sql);
   {
-    std::lock_guard lock(mu_);
-    const auto it = statements_.find(sql);
-    if (it != statements_.end()) return it->second;
+    std::shared_lock lock(shard.mu);
+    const auto it = shard.plans.find(sql);
+    if (it != shard.plans.end() &&
+        it->second->catalog_epoch() == catalog_epoch()) {
+      plan_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
-  auto stmt = parse_sql(sql);
-  std::lock_guard lock(mu_);
-  return statements_.emplace(sql, std::move(stmt)).first->second;
+
+  // Miss or epoch-stale: parse (reusing the cached Statement when only the
+  // catalog moved) and bind outside any cache lock, then publish. A racing
+  // thread may bind the same statement concurrently; last writer wins and
+  // both results are equivalent.
+  std::shared_ptr<const Statement> stmt;
+  bool rebind = false;
+  {
+    std::shared_lock lock(shard.mu);
+    const auto it = shard.plans.find(sql);
+    if (it != shard.plans.end()) {
+      stmt = it->second->statement();
+      rebind = true;
+    }
+  }
+  if (!stmt) stmt = parse_sql(std::string(sql));
+  auto plan = BoundPlan::bind(*this, std::move(stmt));
+  (rebind ? plan_rebinds_ : plan_misses_)
+      .fetch_add(1, std::memory_order_relaxed);
+  {
+    std::unique_lock lock(shard.mu);
+    shard.plans.insert_or_assign(std::string(sql), plan);
+  }
+  return plan;
+}
+
+std::shared_ptr<const Statement> Database::cached_statement(
+    std::string_view sql) {
+  return cached_plan(sql)->statement();
+}
+
+Database::PlanCacheStats Database::plan_cache_stats() const {
+  PlanCacheStats out;
+  out.hits = plan_hits_.load(std::memory_order_relaxed);
+  out.misses = plan_misses_.load(std::memory_order_relaxed);
+  out.rebinds = plan_rebinds_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace tempest::db

@@ -1,10 +1,37 @@
-// Database catalog: named tables plus a shared statement cache.
+// Database catalog: named tables plus a bound-plan cache.
+//
+// The plan cache is the per-statement hot path — every Connection::execute
+// goes through cached_plan() — so it is built to be contention-free:
+//
+//   * Lookups are striped across kPlanShards independent shards (picked by
+//     the hash of the SQL text), each guarded by its own shared_mutex taken
+//     in shared mode on hits. Concurrent executions of distinct statements
+//     touch distinct shards; concurrent executions of the same statement
+//     share a reader lock. No global mutex, no std::map walk.
+//   * Lookup is heterogeneous: a std::string_view probes the cache without
+//     materializing a std::string (zero allocations on a hit).
+//   * A cache hit returns a BoundPlan — tables, columns, index choice, and
+//     lock order already resolved — so the executor replays it without ever
+//     touching the catalog.
+//
+// Catalog changes (create_table) bump `catalog_epoch_`; a cached plan bound
+// against an older epoch is transparently re-bound from its already-parsed
+// Statement on next lookup (counted in PlanCacheStats::rebinds). Tables are
+// never destroyed, so stale plans are merely conservative, but re-binding
+// keeps the rule simple: a plan served from the cache was bound against the
+// current catalog.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/db/table.h"
@@ -12,6 +39,7 @@
 namespace tempest::db {
 
 struct Statement;  // parsed SQL, defined in sql.h
+class BoundPlan;   // resolved plan, defined in plan.h
 
 class Database {
  public:
@@ -21,20 +49,69 @@ class Database {
 
   Table& create_table(TableSchema schema);
 
-  Table& table(const std::string& name);
-  const Table& table(const std::string& name) const;
-  bool has_table(const std::string& name) const;
+  // Heterogeneous lookup: callers pass string literals or string_views
+  // without constructing a std::string.
+  Table& table(std::string_view name);
+  const Table& table(std::string_view name) const;
+  bool has_table(std::string_view name) const;
 
   std::vector<std::string> table_names() const;
 
-  // Parsed-statement cache keyed by SQL text (parse once per distinct query
-  // shape; TPC-W uses a fixed set of parameterized statements).
-  std::shared_ptr<const Statement> cached_statement(const std::string& sql);
+  // Bumped on every catalog mutation; plans pin the epoch they bound against.
+  std::uint64_t catalog_epoch() const {
+    return catalog_epoch_.load(std::memory_order_acquire);
+  }
+
+  // The bound-plan cache, keyed by SQL text (TPC-W uses a fixed set of
+  // parameterized statements, so after warm-up every call is a shared-lock
+  // hash probe). Parse + bind errors propagate and are never cached.
+  std::shared_ptr<const BoundPlan> cached_plan(std::string_view sql);
+
+  // Parse-only view of the cache, for callers that want the Statement.
+  std::shared_ptr<const Statement> cached_statement(std::string_view sql);
+
+  struct PlanCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;    // parsed + bound + inserted
+    std::uint64_t rebinds = 0;   // epoch-stale plans re-bound in place
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses + rebinds;
+      return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                       : 0.0;
+    }
+  };
+  PlanCacheStats plan_cache_stats() const;
 
  private:
-  mutable std::mutex mu_;  // guards catalog mutation and the statement cache
-  std::map<std::string, std::unique_ptr<Table>> tables_;
-  std::map<std::string, std::shared_ptr<const Statement>> statements_;
+  // Transparent string hashing for heterogeneous unordered_map lookup.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  static constexpr std::size_t kPlanShards = 16;
+  struct PlanShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<const BoundPlan>,
+                       StringHash, std::equal_to<>>
+        plans;
+  };
+
+  PlanShard& shard_for(std::string_view sql) {
+    return plan_shards_[StringHash{}(sql) % kPlanShards];
+  }
+
+  mutable std::shared_mutex catalog_mu_;  // guards tables_
+  // std::less<> enables find(string_view) without a temporary std::string.
+  std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
+  std::atomic<std::uint64_t> catalog_epoch_{0};
+
+  std::array<PlanShard, kPlanShards> plan_shards_;
+  mutable std::atomic<std::uint64_t> plan_hits_{0};
+  mutable std::atomic<std::uint64_t> plan_misses_{0};
+  mutable std::atomic<std::uint64_t> plan_rebinds_{0};
 };
 
 }  // namespace tempest::db

@@ -7,33 +7,75 @@ namespace tempest::db {
 
 namespace {
 
-struct BoundTable {
-  std::string alias;
-  const Table* table;
-};
-
-struct ColumnBinding {
-  std::size_t table_idx;
-  std::size_t col_idx;
-};
-
 // Row positions per bound table forming one joined tuple.
 using Tuple = std::vector<std::size_t>;
 
+bool eval_predicate(const Value& lhs, const Predicate& pred,
+                    const std::vector<Value>& params) {
+  if (pred.op == CmpOp::kIn) {
+    for (const Scalar& candidate : pred.rhs_list) {
+      if (lhs == candidate.bind(params)) return true;
+    }
+    return false;
+  }
+  const Value& rhs = pred.rhs.bind(params);
+  switch (pred.op) {
+    case CmpOp::kEq: return lhs == rhs;
+    case CmpOp::kNe: return lhs != rhs;
+    case CmpOp::kLt: return Value::compare(lhs, rhs) < 0;
+    case CmpOp::kLe: return Value::compare(lhs, rhs) <= 0;
+    case CmpOp::kGt: return Value::compare(lhs, rhs) > 0;
+    case CmpOp::kGe: return Value::compare(lhs, rhs) >= 0;
+    case CmpOp::kLike: return like_match(lhs.str(), rhs.str());
+    case CmpOp::kIn: return false;  // handled above
+  }
+  return false;
+}
+
+// Candidate positions for one table per its bound access path, plus the
+// scanned/probed accounting the latency model is calibrated against.
+std::vector<std::size_t> access_candidates(const Table& table,
+                                           const IndexChoice& access,
+                                           const std::vector<Value>& params,
+                                           std::uint64_t* scanned,
+                                           std::uint64_t* probed) {
+  std::vector<std::size_t> candidates;
+  switch (access.kind) {
+    case IndexChoice::Kind::kPrimaryKey: {
+      const std::size_t pos = table.find_by_pk(access.key->bind(params));
+      if (pos != Table::kNotFound) candidates.push_back(pos);
+      *probed += candidates.size();
+      return candidates;
+    }
+    case IndexChoice::Kind::kSecondary: {
+      candidates = table.find_by_index(access.col_idx, access.key->bind(params));
+      *probed += candidates.size();
+      return candidates;
+    }
+    case IndexChoice::Kind::kScan:
+      break;
+  }
+  candidates.reserve(table.row_count());
+  for (std::size_t i = 0; i < table.slot_count(); ++i) {
+    if (table.is_live(i)) candidates.push_back(i);
+  }
+  *scanned += candidates.size();
+  return candidates;
+}
+
 class SelectRunner {
  public:
-  SelectRunner(Database& db, const SelectStatement& sel,
-               const std::vector<Value>& params)
-      : db_(db), sel_(sel), params_(params) {}
+  SelectRunner(const BoundSelect& sel, const std::vector<Value>& params)
+      : sel_(sel), params_(params) {}
 
   ResultSet run() {
-    bind_tables();
     std::vector<Tuple> tuples = scan_base();
     for (std::size_t j = 0; j < sel_.joins.size(); ++j) {
       tuples = apply_join(std::move(tuples), j);
     }
     ResultSet rs;
-    if (!sel_.group_by.empty() || has_aggregates()) {
+    rs.columns = sel_.output_columns;
+    if (sel_.grouped) {
       project_grouped(tuples, rs);
       sort_output(rs);
     } else {
@@ -50,131 +92,22 @@ class SelectRunner {
   }
 
  private:
-  void bind_tables() {
-    tables_.push_back(
-        {sel_.alias.empty() ? sel_.table : sel_.alias, &db_.table(sel_.table)});
-    for (const auto& join : sel_.joins) {
-      tables_.push_back(
-          {join.alias.empty() ? join.table : join.alias, &db_.table(join.table)});
-    }
-  }
-
-  ColumnBinding resolve(const ColumnRef& ref) const {
-    if (!ref.table_alias.empty()) {
-      for (std::size_t t = 0; t < tables_.size(); ++t) {
-        if (tables_[t].alias == ref.table_alias ||
-            tables_[t].table->name() == ref.table_alias) {
-          return {t, tables_[t].table->schema().require_column(ref.column)};
-        }
-      }
-      throw DbError("unknown table alias '" + ref.table_alias + "'");
-    }
-    std::optional<ColumnBinding> found;
-    for (std::size_t t = 0; t < tables_.size(); ++t) {
-      if (auto c = tables_[t].table->schema().column_index(ref.column)) {
-        if (found) throw DbError("ambiguous column '" + ref.column + "'");
-        found = ColumnBinding{t, *c};
-      }
-    }
-    if (!found) throw DbError("unknown column '" + ref.column + "'");
-    return *found;
-  }
-
-  // Resolve only within tables [0, limit); nullopt if not found there.
-  std::optional<ColumnBinding> try_resolve_within(const ColumnRef& ref,
-                                                  std::size_t limit) const {
-    for (std::size_t t = 0; t < limit; ++t) {
-      if (!ref.table_alias.empty()) {
-        if (tables_[t].alias != ref.table_alias &&
-            tables_[t].table->name() != ref.table_alias) {
-          continue;
-        }
-        if (auto c = tables_[t].table->schema().column_index(ref.column)) {
-          return ColumnBinding{t, *c};
-        }
-        return std::nullopt;
-      }
-      if (auto c = tables_[t].table->schema().column_index(ref.column)) {
-        return ColumnBinding{t, *c};
-      }
-    }
-    return std::nullopt;
-  }
-
-  const Value& tuple_value(const Tuple& tuple, ColumnBinding b) const {
-    return tables_[b.table_idx].table->row_at(tuple[b.table_idx])[b.col_idx];
-  }
-
-  bool eval_predicate(const Value& lhs, const Predicate& pred) const {
-    if (pred.op == CmpOp::kIn) {
-      for (const Scalar& candidate : pred.rhs_list) {
-        if (lhs == candidate.bind(params_)) return true;
-      }
-      return false;
-    }
-    const Value& rhs = pred.rhs.bind(params_);
-    switch (pred.op) {
-      case CmpOp::kEq: return lhs == rhs;
-      case CmpOp::kNe: return lhs != rhs;
-      case CmpOp::kLt: return Value::compare(lhs, rhs) < 0;
-      case CmpOp::kLe: return Value::compare(lhs, rhs) <= 0;
-      case CmpOp::kGt: return Value::compare(lhs, rhs) > 0;
-      case CmpOp::kGe: return Value::compare(lhs, rhs) >= 0;
-      case CmpOp::kLike: return like_match(lhs.str(), rhs.str());
-      case CmpOp::kIn: return false;  // handled above
-    }
-    return false;
-  }
-
-  // Predicates applying to table `t` (given earlier tables already bound).
-  std::vector<std::pair<ColumnBinding, const Predicate*>> predicates_for(
-      std::size_t t) const {
-    std::vector<std::pair<ColumnBinding, const Predicate*>> out;
-    for (const auto& pred : sel_.where) {
-      const ColumnBinding b = resolve(pred.column);
-      if (b.table_idx == t) out.emplace_back(b, &pred);
-    }
-    return out;
+  const Value& tuple_value(const Tuple& tuple, ColumnSlot slot) const {
+    return sel_.tables[slot.table_idx]->row_at(tuple[slot.table_idx])
+        [slot.col_idx];
   }
 
   std::vector<Tuple> scan_base() {
-    const Table& base = *tables_[0].table;
-    const auto preds = predicates_for(0);
-
-    // Prefer an equality predicate on an indexed column.
-    std::vector<std::size_t> candidates;
-    bool used_index = false;
-    for (const auto& [binding, pred] : preds) {
-      if (pred->op != CmpOp::kEq) continue;
-      const Value key = pred->rhs.bind(params_);
-      if (base.schema().primary_key && *base.schema().primary_key == binding.col_idx) {
-        const std::size_t pos = base.find_by_pk(key);
-        if (pos != Table::kNotFound) candidates.push_back(pos);
-        used_index = true;
-        break;
-      }
-      if (base.has_index_on(binding.col_idx)) {
-        candidates = base.find_by_index(binding.col_idx, key);
-        used_index = true;
-        break;
-      }
-    }
-    if (!used_index) {
-      candidates.reserve(base.row_count());
-      for (std::size_t i = 0; i < base.slot_count(); ++i) {
-        if (base.is_live(i)) candidates.push_back(i);
-      }
-      rows_scanned_ += candidates.size();
-    } else {
-      rows_probed_ += candidates.size();
-    }
-
+    const Table& base = *sel_.tables[0];
+    const auto candidates = access_candidates(base, sel_.base_access, params_,
+                                              &rows_scanned_, &rows_probed_);
     std::vector<Tuple> tuples;
     tuples.reserve(candidates.size());
     for (std::size_t pos : candidates) {
       bool keep = true;
-      for (const auto& [binding, pred] : preds) {
-        if (!eval_predicate(base.row_at(pos)[binding.col_idx], *pred)) {
+      for (const auto& bp : sel_.base_preds) {
+        if (!eval_predicate(base.row_at(pos)[bp.slot.col_idx], *bp.pred,
+                            params_)) {
           keep = false;
           break;
         }
@@ -185,38 +118,17 @@ class SelectRunner {
   }
 
   std::vector<Tuple> apply_join(std::vector<Tuple> tuples, std::size_t j) {
-    const std::size_t t = j + 1;  // bound-table index of the joined table
-    const JoinClause& join = sel_.joins[j];
-    const Table& table = *tables_[t].table;
-
-    // Resolve the join columns: `right` must be in the joined table, `left`
-    // in an earlier table (the parser normalizes but be defensive).
-    ColumnRef right_ref = join.right;
-    ColumnRef left_ref = join.left;
-    auto right_in_joined = try_resolve_within_table(right_ref, t);
-    if (!right_in_joined) {
-      std::swap(right_ref, left_ref);
-      right_in_joined = try_resolve_within_table(right_ref, t);
-      if (!right_in_joined) {
-        throw DbError("join condition does not reference joined table " +
-                      join.table);
-      }
-    }
-    const std::size_t right_col = *right_in_joined;
-    const auto left_binding = try_resolve_within(left_ref, t);
-    if (!left_binding) {
-      throw DbError("join condition does not reference earlier tables");
-    }
-
-    const auto preds = predicates_for(t);
-    const bool indexed = table.has_index_on(right_col);
+    const BoundJoin& join = sel_.joins[j];
+    const Table& table = *join.table;
 
     // Without an index, build a hash table over the joined table once.
     std::unordered_multimap<Value, std::size_t, ValueHash> hash;
-    if (!indexed) {
+    if (!join.indexed) {
       hash.reserve(table.row_count());
       for (std::size_t pos = 0; pos < table.slot_count(); ++pos) {
-        if (table.is_live(pos)) hash.emplace(table.row_at(pos)[right_col], pos);
+        if (table.is_live(pos)) {
+          hash.emplace(table.row_at(pos)[join.right_col], pos);
+        }
       }
       rows_scanned_ += table.row_count();
     }
@@ -224,14 +136,14 @@ class SelectRunner {
     std::vector<Tuple> out;
     out.reserve(tuples.size());
     for (const Tuple& tuple : tuples) {
-      const Value& key = tuple_value(tuple, *left_binding);
+      const Value& key = tuple_value(tuple, join.left);
       std::vector<std::size_t> matches;
-      if (indexed) {
-        if (table.schema().primary_key && *table.schema().primary_key == right_col) {
+      if (join.indexed) {
+        if (join.right_is_pk) {
           const std::size_t pos = table.find_by_pk(key);
           if (pos != Table::kNotFound) matches.push_back(pos);
         } else {
-          matches = table.find_by_index(right_col, key);
+          matches = table.find_by_index(join.right_col, key);
         }
         rows_probed_ += matches.size() + 1;
       } else {
@@ -240,8 +152,9 @@ class SelectRunner {
       }
       for (std::size_t pos : matches) {
         bool keep = true;
-        for (const auto& [binding, pred] : preds) {
-          if (!eval_predicate(table.row_at(pos)[binding.col_idx], *pred)) {
+        for (const auto& bp : join.preds) {
+          if (!eval_predicate(table.row_at(pos)[bp.slot.col_idx], *bp.pred,
+                              params_)) {
             keep = false;
             break;
           }
@@ -255,51 +168,14 @@ class SelectRunner {
     return out;
   }
 
-  // Resolve `ref` against exactly table `t`.
-  std::optional<std::size_t> try_resolve_within_table(const ColumnRef& ref,
-                                                      std::size_t t) const {
-    if (!ref.table_alias.empty() && tables_[t].alias != ref.table_alias &&
-        tables_[t].table->name() != ref.table_alias) {
-      return std::nullopt;
-    }
-    return tables_[t].table->schema().column_index(ref.column);
-  }
-
-  bool has_aggregates() const {
-    for (const auto& item : sel_.items) {
-      if (item.agg != AggFunc::kNone) return true;
-    }
-    return false;
-  }
-
-  std::string item_output_name(const SelectItem& item) const {
-    if (!item.alias.empty()) return item.alias;
-    if (item.star) return "*";
-    return item.column.column;
-  }
-
   void project_plain(const std::vector<Tuple>& tuples, ResultSet& rs) const {
-    // Expand '*' items into all columns of all tables.
-    std::vector<ColumnBinding> bindings;
-    for (const auto& item : sel_.items) {
-      if (item.star) {
-        for (std::size_t t = 0; t < tables_.size(); ++t) {
-          const auto& cols = tables_[t].table->schema().columns;
-          for (std::size_t c = 0; c < cols.size(); ++c) {
-            bindings.push_back({t, c});
-            rs.columns.push_back(cols[c].name);
-          }
-        }
-      } else {
-        bindings.push_back(resolve(item.column));
-        rs.columns.push_back(item_output_name(item));
-      }
-    }
     rs.rows.reserve(tuples.size());
     for (const Tuple& tuple : tuples) {
       Row row;
-      row.reserve(bindings.size());
-      for (const ColumnBinding& b : bindings) row.push_back(tuple_value(tuple, b));
+      row.reserve(sel_.plain_slots.size());
+      for (const ColumnSlot slot : sel_.plain_slots) {
+        row.push_back(tuple_value(tuple, slot));
+      }
       rs.rows.push_back(std::move(row));
     }
   }
@@ -314,25 +190,6 @@ class SelectRunner {
   };
 
   void project_grouped(const std::vector<Tuple>& tuples, ResultSet& rs) const {
-    // Output columns: group-by refs appearing as plain items keep their
-    // positions; aggregate items computed per group.
-    std::vector<ColumnBinding> plain_bindings(sel_.items.size(),
-                                              ColumnBinding{0, 0});
-    std::vector<ColumnBinding> agg_bindings(sel_.items.size(),
-                                            ColumnBinding{0, 0});
-    for (std::size_t i = 0; i < sel_.items.size(); ++i) {
-      const SelectItem& item = sel_.items[i];
-      if (item.agg == AggFunc::kNone) {
-        if (item.star) throw DbError("'*' not allowed with GROUP BY");
-        plain_bindings[i] = resolve(item.column);
-      } else if (!item.star) {
-        agg_bindings[i] = resolve(item.column);
-      }
-      rs.columns.push_back(item_output_name(item));
-    }
-    std::vector<ColumnBinding> group_bindings;
-    for (const auto& ref : sel_.group_by) group_bindings.push_back(resolve(ref));
-
     struct KeyHash {
       std::size_t operator()(const std::vector<Value>& key) const {
         std::size_t h = 1469598103934665603ULL;
@@ -345,8 +202,10 @@ class SelectRunner {
 
     for (const Tuple& tuple : tuples) {
       std::vector<Value> key;
-      key.reserve(group_bindings.size());
-      for (const auto& b : group_bindings) key.push_back(tuple_value(tuple, b));
+      key.reserve(sel_.group_slots.size());
+      for (const auto slot : sel_.group_slots) {
+        key.push_back(tuple_value(tuple, slot));
+      }
       auto [it, inserted] = groups.try_emplace(key);
       GroupAgg& agg = it->second;
       if (inserted) {
@@ -355,22 +214,22 @@ class SelectRunner {
         agg.maxs.assign(sel_.items.size(), Value());
         agg.counts.assign(sel_.items.size(), 0);
         agg.group_values.reserve(sel_.items.size());
-        for (std::size_t i = 0; i < sel_.items.size(); ++i) {
-          agg.group_values.push_back(sel_.items[i].agg == AggFunc::kNone
-                                         ? tuple_value(tuple, plain_bindings[i])
+        for (const BoundItem& item : sel_.items) {
+          agg.group_values.push_back(item.agg == AggFunc::kNone
+                                         ? tuple_value(tuple, item.slot)
                                          : Value());
         }
         order.push_back(&it->first);
       }
       ++agg.tuples;
       for (std::size_t i = 0; i < sel_.items.size(); ++i) {
-        const SelectItem& item = sel_.items[i];
+        const BoundItem& item = sel_.items[i];
         if (item.agg == AggFunc::kNone) continue;
         if (item.star) {
           ++agg.counts[i];
           continue;
         }
-        const Value& v = tuple_value(tuple, agg_bindings[i]);
+        const Value& v = tuple_value(tuple, item.slot);
         if (v.is_null()) continue;
         ++agg.counts[i];
         if (v.is_number()) agg.sums[i] += v.as_double();
@@ -389,21 +248,20 @@ class SelectRunner {
       Row row;
       row.reserve(sel_.items.size());
       for (std::size_t i = 0; i < sel_.items.size(); ++i) {
-        const SelectItem& item = sel_.items[i];
-        switch (item.agg) {
+        switch (sel_.items[i].agg) {
           case AggFunc::kNone:
             row.push_back(agg.group_values[i]);
             break;
           case AggFunc::kCount:
-            row.push_back(Value(static_cast<std::int64_t>(
-                item.star ? agg.counts[i] : agg.counts[i])));
+            row.push_back(Value(static_cast<std::int64_t>(agg.counts[i])));
             break;
           case AggFunc::kSum:
             row.push_back(Value(agg.sums[i]));
             break;
           case AggFunc::kAvg:
             row.push_back(agg.counts[i]
-                              ? Value(agg.sums[i] / static_cast<double>(agg.counts[i]))
+                              ? Value(agg.sums[i] /
+                                      static_cast<double>(agg.counts[i]))
                               : Value());
             break;
           case AggFunc::kMin:
@@ -421,16 +279,12 @@ class SelectRunner {
   // Sort joined tuples (pre-projection) for non-grouped ORDER BY so sort
   // keys need not be projected.
   void sort_tuples(std::vector<Tuple>& tuples) const {
-    if (sel_.order_by.empty()) return;
-    std::vector<std::pair<ColumnBinding, bool>> keys;
-    for (const auto& key : sel_.order_by) {
-      keys.emplace_back(resolve(key.column), key.desc);
-    }
+    if (sel_.order_tuples.empty()) return;
     std::stable_sort(tuples.begin(), tuples.end(),
                      [&](const Tuple& a, const Tuple& b) {
-                       for (const auto& [binding, desc] : keys) {
-                         const int c = Value::compare(tuple_value(a, binding),
-                                                      tuple_value(b, binding));
+                       for (const auto& [slot, desc] : sel_.order_tuples) {
+                         const int c = Value::compare(tuple_value(a, slot),
+                                                      tuple_value(b, slot));
                          if (c != 0) return desc ? c > 0 : c < 0;
                        }
                        return false;
@@ -439,20 +293,10 @@ class SelectRunner {
 
   // Sort projected output rows (grouped queries order by output columns).
   void sort_output(ResultSet& rs) const {
-    if (sel_.order_by.empty()) return;
-    std::vector<std::pair<std::size_t, bool>> keys;
-    for (const auto& key : sel_.order_by) {
-      auto idx = rs.column_index(key.column.column);
-      if (!idx) idx = rs.column_index(key.column.display());
-      if (!idx) {
-        throw DbError("ORDER BY key '" + key.column.display() +
-                      "' not in grouped output");
-      }
-      keys.emplace_back(*idx, key.desc);
-    }
+    if (sel_.order_output.empty()) return;
     std::stable_sort(rs.rows.begin(), rs.rows.end(),
                      [&](const Row& a, const Row& b) {
-                       for (const auto& [idx, desc] : keys) {
+                       for (const auto& [idx, desc] : sel_.order_output) {
                          const int c = Value::compare(a[idx], b[idx]);
                          if (c != 0) return desc ? c > 0 : c < 0;
                        }
@@ -460,31 +304,53 @@ class SelectRunner {
                      });
   }
 
-  Database& db_;
-  const SelectStatement& sel_;
+  const BoundSelect& sel_;
   const std::vector<Value>& params_;
-  std::vector<BoundTable> tables_;
   std::uint64_t rows_scanned_ = 0;
   std::uint64_t rows_probed_ = 0;
 };
 
+bool row_matches(const Table& table, std::size_t pos,
+                 const std::vector<BoundPredicate>& preds,
+                 const std::vector<Value>& params) {
+  for (const auto& bp : preds) {
+    if (!eval_predicate(table.row_at(pos)[bp.slot.col_idx], *bp.pred, params)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
-ResultSet Executor::execute(const Statement& stmt,
-                            const std::vector<Value>& params) {
-  if (params.size() < stmt.param_count) {
-    throw DbError("statement needs " + std::to_string(stmt.param_count) +
+void WriteBatch::apply() {
+  if (table == nullptr || empty()) return;
+  for (auto& [pos, cells] : updates) {
+    for (auto& [col, value] : cells) {
+      table->update_cell(pos, col, std::move(value));
+    }
+  }
+  for (std::size_t pos : erases) table->erase(pos);
+  for (Row& row : inserts) table->insert(std::move(row));
+  table->bump_version();
+}
+
+ResultSet Executor::execute(const BoundPlan& plan,
+                            const std::vector<Value>& params,
+                            WriteBatch* deferred) {
+  if (params.size() < plan.param_count()) {
+    throw DbError("statement needs " + std::to_string(plan.param_count()) +
                   " parameters, got " + std::to_string(params.size()));
   }
-  switch (stmt.kind) {
+  switch (plan.kind()) {
     case StatementKind::kSelect:
-      return execute_select(stmt.select, params);
+      return execute_select(plan.select(), params);
     case StatementKind::kInsert:
-      return execute_insert(stmt.insert, params);
+      return execute_insert(plan.insert(), plan.stmt(), params, deferred);
     case StatementKind::kUpdate:
-      return execute_update(stmt.update, params);
+      return execute_update(plan.write(), params, deferred);
     case StatementKind::kDelete:
-      return execute_delete(stmt.del, params);
+      return execute_delete(plan.write(), params, deferred);
     case StatementKind::kBegin:
     case StatementKind::kCommit:
       return ResultSet{};
@@ -492,133 +358,113 @@ ResultSet Executor::execute(const Statement& stmt,
   throw DbError("unhandled statement kind");
 }
 
-ResultSet Executor::execute_select(const SelectStatement& sel,
+ResultSet Executor::execute(const Statement& stmt,
+                            const std::vector<Value>& params) {
+  // Non-owning aliasing shared_ptr: the transient plan must not outlive
+  // `stmt`, which this overload's contract already requires.
+  const auto plan = BoundPlan::bind(
+      db_, std::shared_ptr<const Statement>(std::shared_ptr<void>(), &stmt));
+  return execute(*plan, params);
+}
+
+ResultSet Executor::execute_select(const BoundSelect& sel,
                                    const std::vector<Value>& params) {
-  SelectRunner runner(db_, sel, params);
+  SelectRunner runner(sel, params);
   return runner.run();
 }
 
-ResultSet Executor::execute_insert(const InsertStatement& ins,
-                                   const std::vector<Value>& params) {
-  Table& table = db_.table(ins.table);
-  const TableSchema& schema = table.schema();
-  Row row(schema.columns.size());  // unnamed columns default to NULL
+ResultSet Executor::execute_insert(const BoundInsert& ins,
+                                   const Statement& stmt,
+                                   const std::vector<Value>& params,
+                                   WriteBatch* deferred) {
+  Table& table = *ins.table;
+  Row row(table.schema().columns.size());  // unnamed columns default to NULL
   for (std::size_t i = 0; i < ins.columns.size(); ++i) {
-    row[schema.require_column(ins.columns[i])] = ins.values[i].bind(params);
+    row[ins.columns[i]] = stmt.insert.values[i].bind(params);
   }
-  table.insert(std::move(row));
   ResultSet rs;
   rs.rows_affected = 1;
   rs.rows_probed = 1;
   rs.rows_examined = 1;
+  if (deferred != nullptr) {
+    // Validate now (under the shared latch, racing writers excluded by the
+    // writer gate) so the error surfaces before the commit point.
+    if (table.schema().primary_key &&
+        table.find_by_pk(row[*table.schema().primary_key]) !=
+            Table::kNotFound) {
+      throw DbError("duplicate primary key " +
+                    row[*table.schema().primary_key].str() + " in table " +
+                    table.name());
+    }
+    deferred->table = &table;
+    deferred->inserts.push_back(std::move(row));
+    rs.table_version = table.version();
+    return rs;
+  }
+  table.insert(std::move(row));
+  table.bump_version();
+  rs.table_version = table.version();
   return rs;
 }
 
-namespace {
-
-bool row_matches(const Table& table, std::size_t pos,
-                 const std::vector<Predicate>& where,
-                 const std::vector<Value>& params) {
-  const TableSchema& schema = table.schema();
-  for (const auto& pred : where) {
-    const std::size_t col = schema.require_column(pred.column.column);
-    const Value& lhs = table.row_at(pos)[col];
-    bool ok = false;
-    if (pred.op == CmpOp::kIn) {
-      for (const Scalar& candidate : pred.rhs_list) {
-        if (lhs == candidate.bind(params)) {
-          ok = true;
-          break;
-        }
-      }
-    } else {
-      const Value& rhs = pred.rhs.bind(params);
-      switch (pred.op) {
-        case CmpOp::kEq: ok = lhs == rhs; break;
-        case CmpOp::kNe: ok = lhs != rhs; break;
-        case CmpOp::kLt: ok = Value::compare(lhs, rhs) < 0; break;
-        case CmpOp::kLe: ok = Value::compare(lhs, rhs) <= 0; break;
-        case CmpOp::kGt: ok = Value::compare(lhs, rhs) > 0; break;
-        case CmpOp::kGe: ok = Value::compare(lhs, rhs) >= 0; break;
-        case CmpOp::kLike: ok = like_match(lhs.str(), rhs.str()); break;
-        case CmpOp::kIn: break;  // handled above
-      }
-    }
-    if (!ok) return false;
-  }
-  return true;
-}
-
-// Candidate positions for a single-table write statement: PK/index equality
-// when available, else a live-row scan. Sets scanned/probed accounting.
-std::vector<std::size_t> write_candidates(const Table& table,
-                                          const std::vector<Predicate>& where,
-                                          const std::vector<Value>& params,
-                                          std::uint64_t* scanned,
-                                          std::uint64_t* probed) {
-  const TableSchema& schema = table.schema();
-  std::vector<std::size_t> candidates;
-  bool used_index = false;
-  for (const auto& pred : where) {
-    if (pred.op != CmpOp::kEq) continue;
-    const std::size_t col = schema.require_column(pred.column.column);
-    const Value key = pred.rhs.bind(params);
-    if (schema.primary_key && *schema.primary_key == col) {
-      const std::size_t pos = table.find_by_pk(key);
-      if (pos != Table::kNotFound) candidates.push_back(pos);
-      used_index = true;
-      break;
-    }
-    if (table.has_index_on(col)) {
-      candidates = table.find_by_index(col, key);
-      used_index = true;
-      break;
-    }
-  }
-  if (!used_index) {
-    candidates.reserve(table.row_count());
-    for (std::size_t i = 0; i < table.slot_count(); ++i) {
-      if (table.is_live(i)) candidates.push_back(i);
-    }
-    *scanned += candidates.size();
-  } else {
-    *probed += candidates.size();
-  }
-  return candidates;
-}
-
-}  // namespace
-
-ResultSet Executor::execute_update(const UpdateStatement& upd,
-                                   const std::vector<Value>& params) {
-  Table& table = db_.table(upd.table);
-  const TableSchema& schema = table.schema();
+ResultSet Executor::execute_update(const BoundWrite& upd,
+                                   const std::vector<Value>& params,
+                                   WriteBatch* deferred) {
+  Table& table = *upd.table;
   ResultSet rs;
-  const auto candidates =
-      write_candidates(table, upd.where, params, &rs.rows_scanned, &rs.rows_probed);
+  const auto candidates = access_candidates(table, upd.access, params,
+                                            &rs.rows_scanned, &rs.rows_probed);
+  if (deferred != nullptr) deferred->table = &table;
+  const auto pk = table.schema().primary_key;
   for (std::size_t pos : candidates) {
-    if (!row_matches(table, pos, upd.where, params)) continue;
-    for (const auto& assign : upd.sets) {
-      table.update_cell(pos, schema.require_column(assign.column),
-                        assign.value.bind(params));
+    if (!row_matches(table, pos, upd.preds, params)) continue;
+    if (deferred != nullptr) {
+      std::vector<std::pair<std::size_t, Value>> cells;
+      cells.reserve(upd.sets.size());
+      for (const auto& assign : upd.sets) {
+        Value v = assign.value->bind(params);
+        // Pre-validate PK moves so a duplicate fails before the commit point
+        // (apply() re-validates defensively).
+        if (pk && assign.col_idx == *pk && !(table.row_at(pos)[*pk] == v) &&
+            table.find_by_pk(v) != Table::kNotFound) {
+          throw DbError("duplicate primary key " + v.str() + " in table " +
+                        table.name());
+        }
+        cells.emplace_back(assign.col_idx, std::move(v));
+      }
+      deferred->updates.emplace_back(pos, std::move(cells));
+    } else {
+      for (const auto& assign : upd.sets) {
+        table.update_cell(pos, assign.col_idx, assign.value->bind(params));
+      }
     }
     ++rs.rows_affected;
   }
+  if (deferred == nullptr && rs.rows_affected > 0) table.bump_version();
+  rs.table_version = table.version();
   rs.rows_examined = rs.rows_scanned + rs.rows_probed;
   return rs;
 }
 
-ResultSet Executor::execute_delete(const DeleteStatement& del,
-                                   const std::vector<Value>& params) {
-  Table& table = db_.table(del.table);
+ResultSet Executor::execute_delete(const BoundWrite& del,
+                                   const std::vector<Value>& params,
+                                   WriteBatch* deferred) {
+  Table& table = *del.table;
   ResultSet rs;
-  const auto candidates =
-      write_candidates(table, del.where, params, &rs.rows_scanned, &rs.rows_probed);
+  const auto candidates = access_candidates(table, del.access, params,
+                                            &rs.rows_scanned, &rs.rows_probed);
+  if (deferred != nullptr) deferred->table = &table;
   for (std::size_t pos : candidates) {
-    if (!row_matches(table, pos, del.where, params)) continue;
-    table.erase(pos);
+    if (!row_matches(table, pos, del.preds, params)) continue;
+    if (deferred != nullptr) {
+      deferred->erases.push_back(pos);
+    } else {
+      table.erase(pos);
+    }
     ++rs.rows_affected;
   }
+  if (deferred == nullptr && rs.rows_affected > 0) table.bump_version();
+  rs.table_version = table.version();
   rs.rows_examined = rs.rows_scanned + rs.rows_probed;
   return rs;
 }

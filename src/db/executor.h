@@ -1,4 +1,4 @@
-// Query executor: runs parsed statements against the catalog.
+// Query executor: replays bound plans against the catalog.
 //
 // Planning is deliberately simple but honest about cost: point lookups and
 // equality predicates use hash indexes; joins use an index on the join column
@@ -8,16 +8,21 @@
 // (indexed selects and inserts are fast even on huge tables; the best-seller
 // / new-products / search scans are slow).
 //
-// The executor does NOT acquire table locks; the Connection layer holds them
-// for the full (simulated) statement duration, as MyISAM does.
+// All name/index resolution happens once, at plan-bind time (src/db/plan.h);
+// execute() only binds parameter values and walks rows. The executor does
+// NOT acquire table locks; the Connection layer holds them per the active
+// LockingMode (MyISAM-style full-duration locks, or snapshot-mode latches
+// with a deferred WriteBatch).
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/db/database.h"
+#include "src/db/plan.h"
 #include "src/db/sql.h"
 
 namespace tempest::db {
@@ -30,6 +35,8 @@ struct ResultSet {
   std::uint64_t rows_scanned = 0;  // touched via full scans / hash builds
   std::uint64_t rows_probed = 0;   // touched via index lookups
   std::uint64_t rows_affected = 0;
+  // Version of the write target after this statement applied (writes only).
+  std::uint64_t table_version = 0;
 
   std::optional<std::size_t> column_index(const std::string& name) const {
     for (std::size_t i = 0; i < columns.size(); ++i) {
@@ -48,23 +55,56 @@ struct ResultSet {
   std::size_t size() const { return rows.size(); }
 };
 
+// Mutations computed but not yet applied: snapshot-mode writes fill a batch
+// under a shared data latch (validating as they go), sleep the statement's
+// simulated service time, then apply() under a brief exclusive latch — the
+// commit point at which the whole statement becomes visible atomically.
+struct WriteBatch {
+  Table* table = nullptr;
+  std::vector<Row> inserts;
+  // Row position -> (column, new value) cell updates.
+  std::vector<std::pair<std::size_t,
+                        std::vector<std::pair<std::size_t, Value>>>>
+      updates;
+  std::vector<std::size_t> erases;
+
+  bool empty() const {
+    return inserts.empty() && updates.empty() && erases.empty();
+  }
+
+  // Caller must hold `table`'s data latch exclusively. Bumps the table
+  // version when anything changed.
+  void apply();
+};
+
 class Executor {
  public:
   explicit Executor(Database& db) : db_(db) {}
 
-  // Caller must hold the referenced tables' locks (shared for SELECT,
-  // exclusive for the INSERT/UPDATE target).
+  // Replays a bound plan. Caller must hold the plan's table locks/latches
+  // per the active locking mode. With `deferred` non-null, write statements
+  // validate and stage their mutations into the batch instead of applying
+  // them (rows_affected still counts the rows that will change); with
+  // nullptr they apply in place.
+  ResultSet execute(const BoundPlan& plan, const std::vector<Value>& params,
+                    WriteBatch* deferred = nullptr);
+
+  // Convenience: bind an un-cached statement and execute it in place.
+  // Resolution cost is paid per call — tests and one-off statements only.
   ResultSet execute(const Statement& stmt, const std::vector<Value>& params);
 
  private:
-  ResultSet execute_select(const SelectStatement& sel,
+  ResultSet execute_select(const BoundSelect& sel,
                            const std::vector<Value>& params);
-  ResultSet execute_insert(const InsertStatement& ins,
-                           const std::vector<Value>& params);
-  ResultSet execute_update(const UpdateStatement& upd,
-                           const std::vector<Value>& params);
-  ResultSet execute_delete(const DeleteStatement& del,
-                           const std::vector<Value>& params);
+  ResultSet execute_insert(const BoundInsert& ins, const Statement& stmt,
+                           const std::vector<Value>& params,
+                           WriteBatch* deferred);
+  ResultSet execute_update(const BoundWrite& upd,
+                           const std::vector<Value>& params,
+                           WriteBatch* deferred);
+  ResultSet execute_delete(const BoundWrite& del,
+                           const std::vector<Value>& params,
+                           WriteBatch* deferred);
 
   Database& db_;
 };

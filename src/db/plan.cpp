@@ -1,0 +1,316 @@
+#include "src/db/plan.h"
+
+#include <algorithm>
+
+#include "src/db/database.h"
+
+namespace tempest::db {
+
+namespace {
+
+// Alias context for name resolution: the statement's tables with their
+// effective aliases (explicit alias, else the table name).
+struct AliasedTable {
+  std::string alias;
+  Table* table;
+};
+
+ColumnSlot resolve(const std::vector<AliasedTable>& tables,
+                   const ColumnRef& ref) {
+  if (!ref.table_alias.empty()) {
+    for (std::size_t t = 0; t < tables.size(); ++t) {
+      if (tables[t].alias == ref.table_alias ||
+          tables[t].table->name() == ref.table_alias) {
+        return {t, tables[t].table->schema().require_column(ref.column)};
+      }
+    }
+    throw DbError("unknown table alias '" + ref.table_alias + "'");
+  }
+  std::optional<ColumnSlot> found;
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    if (auto c = tables[t].table->schema().column_index(ref.column)) {
+      if (found) throw DbError("ambiguous column '" + ref.column + "'");
+      found = ColumnSlot{t, *c};
+    }
+  }
+  if (!found) throw DbError("unknown column '" + ref.column + "'");
+  return *found;
+}
+
+// Resolve only within tables [0, limit); nullopt if not found there.
+std::optional<ColumnSlot> try_resolve_within(
+    const std::vector<AliasedTable>& tables, const ColumnRef& ref,
+    std::size_t limit) {
+  for (std::size_t t = 0; t < limit; ++t) {
+    if (!ref.table_alias.empty()) {
+      if (tables[t].alias != ref.table_alias &&
+          tables[t].table->name() != ref.table_alias) {
+        continue;
+      }
+      if (auto c = tables[t].table->schema().column_index(ref.column)) {
+        return ColumnSlot{t, *c};
+      }
+      return std::nullopt;
+    }
+    if (auto c = tables[t].table->schema().column_index(ref.column)) {
+      return ColumnSlot{t, *c};
+    }
+  }
+  return std::nullopt;
+}
+
+// Resolve `ref` against exactly table `t`.
+std::optional<std::size_t> try_resolve_within_table(
+    const std::vector<AliasedTable>& tables, const ColumnRef& ref,
+    std::size_t t) {
+  if (!ref.table_alias.empty() && tables[t].alias != ref.table_alias &&
+      tables[t].table->name() != ref.table_alias) {
+    return std::nullopt;
+  }
+  return tables[t].table->schema().column_index(ref.column);
+}
+
+// First equality predicate (in WHERE order) on an indexed column of table
+// `table_idx` drives the access path; everything else scans — the same rule
+// the executor applied per call before plans existed, so plan replay keeps
+// the identical rows_scanned/rows_probed accounting (and therefore identical
+// simulated latency).
+IndexChoice choose_access(const Table& table,
+                          const std::vector<BoundPredicate>& preds,
+                          std::size_t table_idx) {
+  IndexChoice choice;
+  for (const auto& bp : preds) {
+    if (bp.slot.table_idx != table_idx || bp.pred->op != CmpOp::kEq) continue;
+    const std::size_t col = bp.slot.col_idx;
+    if (table.schema().primary_key && *table.schema().primary_key == col) {
+      choice.kind = IndexChoice::Kind::kPrimaryKey;
+      choice.col_idx = col;
+      choice.key = &bp.pred->rhs;
+      return choice;
+    }
+    if (table.has_index_on(col)) {
+      choice.kind = IndexChoice::Kind::kSecondary;
+      choice.col_idx = col;
+      choice.key = &bp.pred->rhs;
+      return choice;
+    }
+  }
+  return choice;
+}
+
+std::string item_output_name(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.star) return "*";
+  return item.column.column;
+}
+
+void bind_select(Database& db, const SelectStatement& sel,
+                 BoundSelect& out) {
+  std::vector<AliasedTable> tables;
+  tables.push_back({sel.alias.empty() ? sel.table : sel.alias,
+                    &db.table(sel.table)});
+  for (const auto& join : sel.joins) {
+    tables.push_back({join.alias.empty() ? join.table : join.alias,
+                      &db.table(join.table)});
+  }
+  out.tables.reserve(tables.size());
+  for (const auto& at : tables) out.tables.push_back(at.table);
+
+  // Assign each WHERE predicate to the single table its LHS resolves to.
+  std::vector<std::vector<BoundPredicate>> per_table(tables.size());
+  for (const auto& pred : sel.where) {
+    const ColumnSlot slot = resolve(tables, pred.column);
+    per_table[slot.table_idx].push_back({slot, &pred});
+  }
+  out.base_preds = std::move(per_table[0]);
+  out.base_access = choose_access(*tables[0].table, out.base_preds, 0);
+
+  for (std::size_t j = 0; j < sel.joins.size(); ++j) {
+    const std::size_t t = j + 1;
+    const JoinClause& join = sel.joins[j];
+    BoundJoin bj;
+    bj.table = tables[t].table;
+
+    // `right` must be in the joined table, `left` in an earlier table (the
+    // parser normalizes but be defensive).
+    ColumnRef right_ref = join.right;
+    ColumnRef left_ref = join.left;
+    auto right_in_joined = try_resolve_within_table(tables, right_ref, t);
+    if (!right_in_joined) {
+      std::swap(right_ref, left_ref);
+      right_in_joined = try_resolve_within_table(tables, right_ref, t);
+      if (!right_in_joined) {
+        throw DbError("join condition does not reference joined table " +
+                      join.table);
+      }
+    }
+    bj.right_col = *right_in_joined;
+    const auto left_slot = try_resolve_within(tables, left_ref, t);
+    if (!left_slot) {
+      throw DbError("join condition does not reference earlier tables");
+    }
+    bj.left = *left_slot;
+    bj.right_is_pk = bj.table->schema().primary_key &&
+                     *bj.table->schema().primary_key == bj.right_col;
+    bj.indexed = bj.table->has_index_on(bj.right_col);
+    bj.preds = std::move(per_table[t]);
+    out.joins.push_back(std::move(bj));
+  }
+
+  bool has_aggregates = false;
+  for (const auto& item : sel.items) {
+    if (item.agg != AggFunc::kNone) has_aggregates = true;
+  }
+  out.grouped = has_aggregates || !sel.group_by.empty();
+
+  if (out.grouped) {
+    out.items.reserve(sel.items.size());
+    for (const auto& item : sel.items) {
+      BoundItem bi;
+      bi.agg = item.agg;
+      bi.star = item.star;
+      if (item.agg == AggFunc::kNone) {
+        if (item.star) throw DbError("'*' not allowed with GROUP BY");
+        bi.slot = resolve(tables, item.column);
+      } else if (!item.star) {
+        bi.slot = resolve(tables, item.column);
+      }
+      out.items.push_back(bi);
+      out.output_columns.push_back(item_output_name(item));
+    }
+    for (const auto& ref : sel.group_by) {
+      out.group_slots.push_back(resolve(tables, ref));
+    }
+    // Grouped ORDER BY sorts the projected output by column name (plain name
+    // first, then the qualified display name).
+    for (const auto& key : sel.order_by) {
+      std::optional<std::size_t> idx;
+      for (std::size_t i = 0; i < out.output_columns.size(); ++i) {
+        if (out.output_columns[i] == key.column.column) {
+          idx = i;
+          break;
+        }
+      }
+      if (!idx) {
+        const std::string display = key.column.display();
+        for (std::size_t i = 0; i < out.output_columns.size(); ++i) {
+          if (out.output_columns[i] == display) {
+            idx = i;
+            break;
+          }
+        }
+      }
+      if (!idx) {
+        throw DbError("ORDER BY key '" + key.column.display() +
+                      "' not in grouped output");
+      }
+      out.order_output.push_back({*idx, key.desc});
+    }
+  } else {
+    // Plain projection: expand '*' into all columns of all tables.
+    for (const auto& item : sel.items) {
+      if (item.star) {
+        for (std::size_t t = 0; t < tables.size(); ++t) {
+          const auto& cols = tables[t].table->schema().columns;
+          for (std::size_t c = 0; c < cols.size(); ++c) {
+            out.plain_slots.push_back({t, c});
+            out.output_columns.push_back(cols[c].name);
+          }
+        }
+      } else {
+        out.plain_slots.push_back(resolve(tables, item.column));
+        out.output_columns.push_back(item_output_name(item));
+      }
+    }
+    for (const auto& key : sel.order_by) {
+      out.order_tuples.push_back({resolve(tables, key.column), key.desc});
+    }
+  }
+  out.limit = sel.limit;
+}
+
+void bind_update(Database& db, const UpdateStatement& upd,
+                 BoundWrite& out) {
+  out.table = &db.table(upd.table);
+  const std::vector<AliasedTable> tables = {{upd.table, out.table}};
+  for (const auto& pred : upd.where) {
+    out.preds.push_back({resolve(tables, pred.column), &pred});
+  }
+  out.access = choose_access(*out.table, out.preds, 0);
+  const TableSchema& schema = out.table->schema();
+  out.sets.reserve(upd.sets.size());
+  for (const auto& assign : upd.sets) {
+    out.sets.push_back({schema.require_column(assign.column), &assign.value});
+  }
+}
+
+void bind_delete(Database& db, const DeleteStatement& del,
+                 BoundWrite& out) {
+  out.table = &db.table(del.table);
+  const std::vector<AliasedTable> tables = {{del.table, out.table}};
+  for (const auto& pred : del.where) {
+    out.preds.push_back({resolve(tables, pred.column), &pred});
+  }
+  out.access = choose_access(*out.table, out.preds, 0);
+}
+
+void bind_insert(Database& db, const InsertStatement& ins,
+                 BoundInsert& out) {
+  out.table = &db.table(ins.table);
+  const TableSchema& schema = out.table->schema();
+  out.columns.reserve(ins.columns.size());
+  for (const auto& name : ins.columns) {
+    out.columns.push_back(schema.require_column(name));
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const BoundPlan> BoundPlan::bind(
+    Database& db, std::shared_ptr<const Statement> stmt) {
+  auto plan = std::shared_ptr<BoundPlan>(new BoundPlan());
+  plan->stmt_ = std::move(stmt);
+  plan->catalog_epoch_ = db.catalog_epoch();
+  const Statement& s = *plan->stmt_;
+
+  switch (s.kind) {
+    case StatementKind::kSelect:
+      bind_select(db, s.select, plan->select_);
+      break;
+    case StatementKind::kInsert:
+      bind_insert(db, s.insert, plan->insert_);
+      plan->write_target_ = plan->insert_.table;
+      break;
+    case StatementKind::kUpdate:
+      bind_update(db, s.update, plan->write_);
+      plan->write_target_ = plan->write_.table;
+      break;
+    case StatementKind::kDelete:
+      bind_delete(db, s.del, plan->write_);
+      plan->write_target_ = plan->write_.table;
+      break;
+    case StatementKind::kBegin:
+    case StatementKind::kCommit:
+      break;
+  }
+
+  // Lock list: every referenced table once, sorted by name (the global
+  // acquisition order), exclusive on the write target. Computed here so the
+  // per-call path never sorts or deduplicates again.
+  std::vector<Table*> tables;
+  if (s.kind == StatementKind::kSelect) {
+    tables = plan->select_.tables;
+  } else if (plan->write_target_ != nullptr) {
+    tables.push_back(plan->write_target_);
+  }
+  std::sort(tables.begin(), tables.end(),
+            [](const Table* a, const Table* b) { return a->name() < b->name(); });
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  plan->locks_.reserve(tables.size());
+  for (Table* t : tables) {
+    plan->locks_.push_back({t, t == plan->write_target_});
+  }
+  return plan;
+}
+
+}  // namespace tempest::db

@@ -1,0 +1,162 @@
+// Bound execution plans: the control-plane decision made once per distinct
+// SQL text and replayed cheaply per call (the Execution Templates move).
+//
+// Parsing resolves names; binding resolves *meaning* against the catalog:
+// table pointers, column positions, the access path (primary key, secondary
+// index, or scan), per-table predicate lists, join strategy, projection
+// layout, and the sorted-deduped lock list. All of that is invariant across
+// calls of the same statement — only the bound parameter values change — so
+// the executor replays a BoundPlan without touching the catalog, resolving a
+// name, or sorting a lock list.
+//
+// A BoundPlan owns its parsed Statement (shared_ptr) and pins the catalog
+// epoch it was bound against; Database::cached_plan() rebinds a plan whose
+// epoch is stale (a table was created after binding). Table pointers stay
+// valid for the Database's lifetime — tables are never destroyed — so a
+// *successfully* bound plan can outlive any number of later catalog changes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/db/sql.h"
+#include "src/db/table.h"
+
+namespace tempest::db {
+
+class Database;
+
+// Where a column's value lives in a joined tuple: which bound table, which
+// column within that table's rows.
+struct ColumnSlot {
+  std::size_t table_idx = 0;
+  std::size_t col_idx = 0;
+};
+
+// A WHERE predicate with its LHS resolved. The op and RHS scalars stay in
+// the owning Statement (the plan shares its lifetime).
+struct BoundPredicate {
+  ColumnSlot slot;
+  const Predicate* pred = nullptr;
+};
+
+// Access path chosen at bind time for a table's candidate rows. The driving
+// equality predicate's RHS (literal or parameter) is bound per call.
+struct IndexChoice {
+  enum class Kind { kScan, kPrimaryKey, kSecondary };
+  Kind kind = Kind::kScan;
+  std::size_t col_idx = 0;      // indexed column, when kind != kScan
+  const Scalar* key = nullptr;  // RHS supplying the probe key
+};
+
+struct BoundJoin {
+  Table* table = nullptr;
+  std::size_t right_col = 0;  // join column within `table`
+  bool right_is_pk = false;
+  bool indexed = false;       // probe right_col's index vs build a hash table
+  ColumnSlot left;            // join key source among earlier tables
+  std::vector<BoundPredicate> preds;  // single-table predicates on `table`
+};
+
+struct BoundOrderKey {
+  ColumnSlot slot;  // pre-projection tuple sort (plain SELECT)
+  bool desc = false;
+};
+
+struct BoundOutputKey {
+  std::size_t column = 0;  // output-column sort (grouped SELECT)
+  bool desc = false;
+};
+
+struct BoundItem {
+  AggFunc agg = AggFunc::kNone;
+  bool star = false;  // COUNT(*)
+  ColumnSlot slot;    // unused when star
+};
+
+struct BoundSelect {
+  std::vector<Table*> tables;  // base first, then joined tables in order
+  IndexChoice base_access;
+  std::vector<BoundPredicate> base_preds;
+  std::vector<BoundJoin> joins;
+  std::vector<std::string> output_columns;  // '*' expanded at bind time
+
+  // Plain projection (no aggregates, no GROUP BY): one slot per output.
+  std::vector<ColumnSlot> plain_slots;
+  std::vector<BoundOrderKey> order_tuples;
+
+  // Grouped projection.
+  bool grouped = false;
+  std::vector<BoundItem> items;
+  std::vector<ColumnSlot> group_slots;
+  std::vector<BoundOutputKey> order_output;
+
+  std::optional<std::int64_t> limit;
+};
+
+struct BoundAssignment {
+  std::size_t col_idx = 0;
+  const Scalar* value = nullptr;
+};
+
+// UPDATE / DELETE: single table, so predicate slots always have table_idx 0.
+struct BoundWrite {
+  Table* table = nullptr;
+  IndexChoice access;
+  std::vector<BoundPredicate> preds;
+  std::vector<BoundAssignment> sets;  // UPDATE only
+};
+
+struct BoundInsert {
+  Table* table = nullptr;
+  std::vector<std::size_t> columns;  // schema column index per VALUES scalar
+};
+
+// One entry of the statement's lock list: sorted by table name, deduplicated
+// (the global acquisition order that keeps multi-table statements
+// deadlock-free), exclusive on the write target.
+struct TableLock {
+  Table* table = nullptr;
+  bool exclusive = false;
+};
+
+class BoundPlan {
+ public:
+  // Resolves `stmt` against `db`'s catalog. Throws DbError when a referenced
+  // table or column does not exist (nothing is cached for failed binds).
+  static std::shared_ptr<const BoundPlan> bind(
+      Database& db, std::shared_ptr<const Statement> stmt);
+
+  const Statement& stmt() const { return *stmt_; }
+  const std::shared_ptr<const Statement>& statement() const { return stmt_; }
+  StatementKind kind() const { return stmt_->kind; }
+  bool is_write() const { return stmt_->is_write(); }
+  std::size_t param_count() const { return stmt_->param_count; }
+
+  // Catalog epoch this plan was bound against (Database::catalog_epoch()).
+  std::uint64_t catalog_epoch() const { return catalog_epoch_; }
+
+  const std::vector<TableLock>& locks() const { return locks_; }
+  // The exclusively-locked table, nullptr for reads.
+  Table* write_target() const { return write_target_; }
+
+  const BoundSelect& select() const { return select_; }
+  const BoundWrite& write() const { return write_; }
+  const BoundInsert& insert() const { return insert_; }
+
+ private:
+  BoundPlan() = default;
+
+  std::shared_ptr<const Statement> stmt_;
+  std::uint64_t catalog_epoch_ = 0;
+  std::vector<TableLock> locks_;
+  Table* write_target_ = nullptr;
+  BoundSelect select_;
+  BoundWrite write_;
+  BoundInsert insert_;
+};
+
+}  // namespace tempest::db

@@ -8,14 +8,15 @@ ConnectionPool::ConnectionPool(Database& db, std::size_t size,
                                LatencyModel model,
                                std::shared_ptr<const FaultPlan> fault_plan,
                                FaultCounters* fault_counters,
-                               RetryPolicy retry)
+                               RetryPolicy retry, LockingMode locking)
     : fault_counters_(fault_counters) {
   connections_.reserve(size);
   idle_.reserve(size);
   checked_out_at_.resize(size);
   for (std::size_t i = 0; i < size; ++i) {
     connections_.push_back(std::make_unique<Connection>(
-        db, model, static_cast<int>(i), fault_plan, fault_counters, retry));
+        db, model, static_cast<int>(i), fault_plan, fault_counters, retry,
+        locking));
     idle_.push_back(connections_.back().get());
   }
 }

@@ -32,7 +32,8 @@ class ConnectionPool {
   ConnectionPool(Database& db, std::size_t size, LatencyModel model = {},
                  std::shared_ptr<const FaultPlan> fault_plan = nullptr,
                  FaultCounters* fault_counters = nullptr,
-                 RetryPolicy retry = {});
+                 RetryPolicy retry = {},
+                 LockingMode locking = LockingMode::kMyisam);
 
   // RAII checkout handle; returns the connection on destruction.
   class Lease {

@@ -1,6 +1,18 @@
 #include "src/db/table.h"
 
+#include <cctype>
+#include <string>
+
 namespace tempest::db {
+
+LockingMode locking_mode_from_string(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) c = static_cast<char>(std::tolower(c));
+  if (lower == "myisam") return LockingMode::kMyisam;
+  if (lower == "snapshot") return LockingMode::kSnapshot;
+  throw DbError("unknown locking mode '" + std::string(name) +
+                "' (expected myisam or snapshot)");
+}
 
 Table::Table(TableSchema schema) : schema_(std::move(schema)) {
   for (std::size_t col : schema_.indexed_columns) {

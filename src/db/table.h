@@ -7,17 +7,50 @@
 // of the table"): readers hold the table lock in shared mode for the full
 // statement duration and writers need it exclusively. The Connection layer
 // acquires/holds these locks across the simulated statement service time.
+// Snapshot mode (LockingMode::kSnapshot, DESIGN.md §14) splits that single
+// lock into three pieces so readers stop convoying behind writers:
+//   * lock()         — the data latch. Held shared for the in-memory portion
+//                      of a read and exclusively for the brief apply of a
+//                      WriteBatch. Never held across a simulated sleep.
+//   * writer_gate()  — serializes writers per table for the full simulated
+//                      statement duration (MyISAM's one-writer-at-a-time
+//                      throughput behaviour survives for writes).
+//   * version()      — the table epoch, bumped once per applied write
+//                      statement. A reader observing version V sees exactly
+//                      the state as of epoch V: mutations become visible
+//                      atomically at the end of the write's service time.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <mutex>
 #include <shared_mutex>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "src/db/schema.h"
 
 namespace tempest::db {
+
+// How the Connection layer holds table locks across a statement's simulated
+// service time (DESIGN.md §14):
+//   * kMyisam   — paper-accurate: readers hold the shared lock and writers
+//                 the exclusive lock for the full statement duration, so the
+//                 admin UPDATE convoys the browsing mix (Section 4.2.1).
+//   * kSnapshot — epoch reads: readers latch only the in-memory execution;
+//                 writers serialize on the per-table writer gate, stage a
+//                 WriteBatch, and commit it under a brief exclusive latch at
+//                 the end of their service time. Readers always observe a
+//                 consistent pre- or post-commit snapshot and never wait out
+//                 a writer's service time.
+enum class LockingMode { kMyisam, kSnapshot };
+
+// "myisam" / "snapshot" (case-insensitive); throws DbError on other input.
+// Used by the TEMPEST_DB_LOCKING environment override in benches and soaks.
+LockingMode locking_mode_from_string(std::string_view name);
 
 class Table {
  public:
@@ -68,6 +101,26 @@ class Table {
   // The per-table statement lock (see file comment).
   std::shared_mutex& lock() const { return mu_; }
 
+  // Snapshot-mode writer serialization (see file comment). Held for the full
+  // simulated write duration; readers never touch it.
+  std::mutex& writer_gate() const { return writer_gate_; }
+
+  // Table epoch: incremented once per applied write statement that changed
+  // anything. Readers can pin it to prove which snapshot they observed.
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+  void bump_version() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
+  // Write statements in flight on this table (between lock/gate acquisition
+  // and final release), maintained by the Connection layer. Lets tests and
+  // stats observe "an admin UPDATE is mid-flight" without timing guesses.
+  std::uint64_t writes_in_flight() const {
+    return writes_in_flight_.load(std::memory_order_acquire);
+  }
+  void begin_write() { writes_in_flight_.fetch_add(1, std::memory_order_acq_rel); }
+  void end_write() { writes_in_flight_.fetch_sub(1, std::memory_order_acq_rel); }
+
   static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
 
  private:
@@ -83,6 +136,9 @@ class Table {
                      std::unordered_multimap<Value, std::size_t, ValueHash>>
       secondary_;
   mutable std::shared_mutex mu_;
+  mutable std::mutex writer_gate_;
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<std::uint64_t> writes_in_flight_{0};
 };
 
 }  // namespace tempest::db

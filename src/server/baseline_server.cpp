@@ -15,7 +15,8 @@ BaselineServer::BaselineServer(ServerConfig config,
       db_pool_(db, config.db_connections, config.db_latency,
                config.fault_plan, &stats_.faults(),
                db::RetryPolicy{config.db_max_retries,
-                               config.db_retry_backoff_paper_s}),
+                               config.db_retry_backoff_paper_s},
+               config.db_locking),
       tracker_(config.lengthy_cutoff_paper_s) {
   if (config_.baseline_threads > config_.db_connections) {
     throw std::invalid_argument(

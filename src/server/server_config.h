@@ -17,6 +17,7 @@
 #include "src/common/fault.h"
 #include "src/common/worker_pool.h"
 #include "src/db/latency.h"
+#include "src/db/table.h"
 #include "src/server/response_cache.h"
 
 namespace tempest::server {
@@ -132,6 +133,13 @@ struct ServerConfig {
   double render_per_byte_paper_s = 4.0e-5;
 
   db::LatencyModel db_latency;
+
+  // Table-lock discipline (DESIGN.md §14). kMyisam is the paper-accurate
+  // default — readers convoy behind the admin UPDATE's exclusive lock, which
+  // the reproduction figures depend on. kSnapshot gives readers epoch
+  // snapshots so they never wait out a write's service time; bench/fig15_db
+  // measures the A/B. The latency model is identical in both modes.
+  db::LockingMode db_locking = db::LockingMode::kMyisam;
 
   // Socket-transport knobs (keep-alive, timeouts, connection caps). Only
   // consulted by the TCP transports; the in-process transport has no

@@ -14,7 +14,8 @@ StagedServer::StagedServer(ServerConfig config,
       db_pool_(db, config.db_connections, config.db_latency,
                config.fault_plan, &stats_.faults(),
                db::RetryPolicy{config.db_max_retries,
-                               config.db_retry_backoff_paper_s}),
+                               config.db_retry_backoff_paper_s},
+               config.db_locking),
       tracker_(config.lengthy_cutoff_paper_s),
       // Cap treserve at 3/4 of the general pool: reserving every thread
       // would permanently block lengthy spillover (tspare can never exceed

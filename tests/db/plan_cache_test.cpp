@@ -1,0 +1,252 @@
+// Bound-plan cache: hit/miss/rebind accounting, catalog-epoch invalidation,
+// heterogeneous lookup, and the concurrent miss/insert hammer that the TSan
+// suite leans on (DESIGN.md §14).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/db/connection.h"
+#include "src/db/database.h"
+#include "src/db/plan.h"
+
+namespace tempest::db {
+namespace {
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableSchema schema;
+    schema.name = "t";
+    schema.columns = {{"id", ColumnType::kInt}, {"v", ColumnType::kInt}};
+    schema.primary_key = 0;
+    db_.create_table(schema);
+    auto& table = db_.table("t");
+    for (int i = 1; i <= 50; ++i) table.insert({Value(i), Value(i * 10)});
+  }
+
+  Database db_;
+};
+
+TEST_F(PlanCacheTest, SecondLookupIsAHit) {
+  const auto first = db_.cached_plan("SELECT v FROM t WHERE id = ?");
+  const auto second = db_.cached_plan("SELECT v FROM t WHERE id = ?");
+  EXPECT_EQ(first.get(), second.get());  // same plan object replayed
+  const auto stats = db_.plan_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.rebinds, 0u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST_F(PlanCacheTest, HeterogeneousStringViewLookup) {
+  // A string_view over a larger buffer must probe without materializing a
+  // std::string and hit the entry cached under the exact text.
+  const std::string buffer = "SELECT v FROM t WHERE id = ? -- trailing";
+  const std::string_view sql = std::string_view(buffer).substr(0, 28);
+  ASSERT_EQ(sql, "SELECT v FROM t WHERE id = ?");
+  const auto first = db_.cached_plan(sql);
+  const auto second = db_.cached_plan("SELECT v FROM t WHERE id = ?");
+  EXPECT_EQ(first.get(), second.get());
+}
+
+TEST_F(PlanCacheTest, PlanPrecomputesLocksSortedAndDeduped) {
+  const auto plan = db_.cached_plan(
+      "SELECT a.v FROM t a JOIN t b ON a.id = b.id WHERE a.id = ?");
+  // Self-join references `t` twice; the lock list holds it once.
+  ASSERT_EQ(plan->locks().size(), 1u);
+  EXPECT_EQ(plan->locks()[0].table->name(), "t");
+  EXPECT_FALSE(plan->locks()[0].exclusive);
+
+  const auto write = db_.cached_plan("UPDATE t SET v = ? WHERE id = ?");
+  ASSERT_EQ(write->locks().size(), 1u);
+  EXPECT_TRUE(write->locks()[0].exclusive);
+}
+
+TEST_F(PlanCacheTest, BindFailureIsNotCached) {
+  // `missing` doesn't exist: the statement parses but fails to bind, and the
+  // failure must not be cached — once the table appears the same SQL works.
+  EXPECT_THROW(db_.cached_plan("SELECT x FROM missing WHERE x = ?"), DbError);
+  EXPECT_THROW(db_.cached_plan("SELECT x FROM missing WHERE x = ?"), DbError);
+
+  TableSchema schema;
+  schema.name = "missing";
+  schema.columns = {{"x", ColumnType::kInt}};
+  schema.primary_key = 0;
+  db_.create_table(schema);
+  db_.table("missing").insert({Value(5)});
+
+  Connection conn(db_, LatencyModel{}, 0);
+  conn.set_charge_latency(false);
+  const auto rs = conn.execute("SELECT x FROM missing WHERE x = ?", {Value(5)});
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.at(0, "x").as_int(), 5);
+}
+
+TEST_F(PlanCacheTest, CatalogChangeRebindsCachedPlan) {
+  const auto before = db_.cached_plan("SELECT v FROM t WHERE id = ?");
+  const auto epoch_before = before->catalog_epoch();
+
+  TableSchema schema;
+  schema.name = "u";
+  schema.columns = {{"id", ColumnType::kInt}};
+  schema.primary_key = 0;
+  db_.create_table(schema);
+
+  // Same SQL after a catalog change: served re-bound against the new epoch,
+  // without re-parsing (counted as a rebind, not a miss).
+  const auto after = db_.cached_plan("SELECT v FROM t WHERE id = ?");
+  EXPECT_GT(after->catalog_epoch(), epoch_before);
+  EXPECT_EQ(after->statement().get(), before->statement().get());  // parse reused
+  const auto stats = db_.plan_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.rebinds, 1u);
+
+  // And the rebound plan is now current: next lookup is a plain hit.
+  const auto third = db_.cached_plan("SELECT v FROM t WHERE id = ?");
+  EXPECT_EQ(third.get(), after.get());
+  EXPECT_EQ(db_.plan_cache_stats().hits, 1u);
+}
+
+TEST_F(PlanCacheTest, ParseErrorsPropagateAndAreNotCached) {
+  EXPECT_THROW(db_.cached_plan("SELECT FROM WHERE"), DbError);
+  const auto stats = db_.plan_cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.rebinds, 0u);
+}
+
+// The TSan target: many threads race the same shard (same statement) and
+// distinct shards (per-thread statements) through the miss/insert path while
+// a catalog mutation forces mid-flight rebinds.
+TEST_F(PlanCacheTest, ConcurrentMissInsertHammer) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      Connection conn(db_, LatencyModel{}, tid);
+      conn.set_charge_latency(false);
+      // Per-thread statement text (distinct cache entries) + one shared one.
+      const std::string mine = "SELECT v FROM t WHERE id = ? LIMIT " +
+                               std::to_string(tid + 1);
+      for (int i = 0; i < kIters; ++i) {
+        const auto a = conn.execute(mine, {Value(7)});
+        const auto b =
+            conn.execute("SELECT v FROM t WHERE id = ?", {Value(tid + 1)});
+        if (a.size() != 1 || b.size() != 1 ||
+            b.at(0, "v").as_int() != (tid + 1) * 10) {
+          failed.store(true);
+        }
+      }
+    });
+  }
+  // Concurrent catalog mutations: every cached plan goes stale and rebinds
+  // while the hammer runs.
+  for (int n = 0; n < 4; ++n) {
+    TableSchema schema;
+    schema.name = "extra_" + std::to_string(n);
+    schema.columns = {{"id", ColumnType::kInt}};
+    schema.primary_key = 0;
+    db_.create_table(schema);
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+
+  const auto stats = db_.plan_cache_stats();
+  // kThreads distinct statements + 1 shared: at most one miss each (plus
+  // races losing the insert), and the vast majority of lookups are hits.
+  EXPECT_GE(stats.hits, static_cast<std::uint64_t>(kThreads * kIters));
+  EXPECT_GT(stats.hit_rate(), 0.9);
+}
+
+// Replay must preserve the executor's cost accounting: the plan chooses the
+// same index the per-call resolver chose, so rows_probed/rows_scanned — and
+// with them the calibrated latency model — are unchanged.
+TEST_F(PlanCacheTest, ReplayPreservesAccessPathAccounting) {
+  Connection conn(db_, LatencyModel{}, 0);
+  conn.set_charge_latency(false);
+
+  const auto pk = conn.execute("SELECT v FROM t WHERE id = ?", {Value(3)});
+  EXPECT_EQ(pk.rows_probed, 1u);  // PK probe, no scan
+  EXPECT_EQ(pk.rows_scanned, 0u);
+
+  const auto scan = conn.execute("SELECT v FROM t WHERE v > ?", {Value(0)});
+  EXPECT_EQ(scan.rows_scanned, 50u);  // full scan of 50 live rows
+  EXPECT_EQ(scan.rows_probed, 0u);
+
+  // Second replays hit the cache and must count identically.
+  const auto pk2 = conn.execute("SELECT v FROM t WHERE id = ?", {Value(3)});
+  EXPECT_EQ(pk2.rows_probed, pk.rows_probed);
+  const auto scan2 = conn.execute("SELECT v FROM t WHERE v > ?", {Value(0)});
+  EXPECT_EQ(scan2.rows_scanned, scan.rows_scanned);
+}
+
+// Round-trip edge cases through parse → bind → replay: quoted strings,
+// IN lists, and ORDER BY on select-item display names survive caching.
+TEST_F(PlanCacheTest, RoundTripQuotedStrings) {
+  TableSchema schema;
+  schema.name = "s";
+  schema.columns = {{"id", ColumnType::kInt}, {"name", ColumnType::kString}};
+  schema.primary_key = 0;
+  db_.create_table(schema);
+  auto& table = db_.table("s");
+  table.insert({Value(1), Value(std::string("WHERE clause"))});
+  table.insert({Value(2), Value(std::string("O%dd _chars"))});
+
+  Connection conn(db_, LatencyModel{}, 0);
+  conn.set_charge_latency(false);
+  // Keywords and spaces inside quotes are data, twice (cached replay).
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto rs =
+        conn.execute("SELECT id FROM s WHERE name = 'WHERE clause'");
+    ASSERT_EQ(rs.size(), 1u);
+    EXPECT_EQ(rs.at(0, "id").as_int(), 1);
+    // LIKE wildcards stored as data match literally via escaped predicate.
+    const auto like = conn.execute("SELECT id FROM s WHERE name LIKE 'O%_%'");
+    ASSERT_EQ(like.size(), 1u);
+    EXPECT_EQ(like.at(0, "id").as_int(), 2);
+  }
+}
+
+TEST_F(PlanCacheTest, RoundTripInListsMixLiteralsAndParams) {
+  Connection conn(db_, LatencyModel{}, 0);
+  conn.set_charge_latency(false);
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto rs = conn.execute(
+        "SELECT v FROM t WHERE id IN (1, ?, 3) ORDER BY id", {Value(2)});
+    ASSERT_EQ(rs.size(), 3u);
+    EXPECT_EQ(rs.at(0, "v").as_int(), 10);
+    EXPECT_EQ(rs.at(1, "v").as_int(), 20);
+    EXPECT_EQ(rs.at(2, "v").as_int(), 30);
+  }
+}
+
+TEST_F(PlanCacheTest, RoundTripOrderByDisplayNames) {
+  Connection conn(db_, LatencyModel{}, 0);
+  conn.set_charge_latency(false);
+  for (int pass = 0; pass < 2; ++pass) {
+    // ORDER BY names the aggregate's alias — resolved against output columns
+    // at bind time, stable across cached replays.
+    const auto rs = conn.execute(
+        "SELECT id, SUM(v) AS total FROM t WHERE id <= ? "
+        "GROUP BY id ORDER BY total DESC LIMIT 3",
+        {Value(10)});
+    ASSERT_EQ(rs.size(), 3u);
+    EXPECT_DOUBLE_EQ(rs.at(0, "total").as_double(), 100.0);
+    EXPECT_DOUBLE_EQ(rs.at(1, "total").as_double(), 90.0);
+    EXPECT_DOUBLE_EQ(rs.at(2, "total").as_double(), 80.0);
+    // And by a qualified order key against the bare output name.
+    const auto asc = conn.execute(
+        "SELECT a.id FROM t a WHERE a.id <= 3 ORDER BY a.id");
+    ASSERT_EQ(asc.size(), 3u);
+    EXPECT_EQ(asc.at(0, "id").as_int(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace tempest::db

@@ -1,0 +1,211 @@
+// Snapshot-mode epoch reads vs paper-accurate MyISAM locking (DESIGN.md §14):
+// a reader arriving while an UPDATE is mid-flight sees the pre-write epoch in
+// snapshot mode (and returns immediately) but blocks for the post-write state
+// in MyISAM mode; both modes agree on visibility once the write commits.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/db/connection.h"
+#include "src/db/database.h"
+
+namespace tempest::db {
+namespace {
+
+class SnapshotReadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TimeScale::set(0.001);  // 1 paper-s = 1 ms wall
+    TableSchema schema;
+    schema.name = "item";
+    schema.columns = {{"i_id", ColumnType::kInt},
+                      {"i_cost", ColumnType::kInt}};
+    schema.primary_key = 0;
+    db_.create_table(schema);
+    auto& table = db_.table("item");
+    for (int i = 1; i <= 20; ++i) table.insert({Value(i), Value(100)});
+  }
+
+  void TearDown() override { TimeScale::set(0.005); }
+
+  // A write whose simulated service time is long enough (~100 paper-s = 100 ms
+  // wall) for a reader to demonstrably arrive mid-flight.
+  LatencyModel slow_write_model() const {
+    LatencyModel model;
+    model.base_select = 0.0;
+    model.per_row_scanned = 0.0;
+    model.per_row_probed = 0.0;
+    model.per_row_returned = 0.0;
+    model.base_update = 100.0;
+    model.per_row_affected = 0.0;
+    return model;
+  }
+
+  // Spin until the admin UPDATE is between lock acquisition and release.
+  void wait_for_write_in_flight() {
+    const auto& table = db_.table("item");
+    while (table.writes_in_flight() == 0) std::this_thread::yield();
+  }
+
+  Database db_;
+};
+
+TEST_F(SnapshotReadTest, SnapshotReaderSeesPreWriteEpochMidUpdate) {
+  Connection writer(db_, slow_write_model(), 0, nullptr, nullptr, {},
+                    LockingMode::kSnapshot);
+  Connection reader(db_, LatencyModel{}, 1, nullptr, nullptr, {},
+                    LockingMode::kSnapshot);
+  reader.set_charge_latency(false);
+
+  const auto before_version = db_.table("item").version();
+  std::thread admin([&] {
+    writer.execute("UPDATE item SET i_cost = ? WHERE i_id > ?",
+                   {Value(999), Value(0)});
+  });
+  wait_for_write_in_flight();
+
+  // Mid-flight: the reader proceeds without waiting out the write's 100
+  // paper-s service time and sees the pre-write snapshot.
+  const Stopwatch watch;
+  const auto rs = reader.execute("SELECT i_cost FROM item WHERE i_id = ?",
+                                 {Value(5)});
+  EXPECT_LT(watch.elapsed_paper(), 50.0);  // far below the write's 100
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.at(0, "i_cost").as_int(), 100);
+  EXPECT_EQ(db_.table("item").version(), before_version);  // not yet applied
+
+  admin.join();
+  // Commit point passed: the whole statement became visible atomically.
+  EXPECT_EQ(db_.table("item").version(), before_version + 1);
+  const auto after = reader.execute("SELECT i_cost FROM item WHERE i_id = ?",
+                                    {Value(5)});
+  EXPECT_EQ(after.at(0, "i_cost").as_int(), 999);
+}
+
+TEST_F(SnapshotReadTest, MyisamReaderBlocksAndSeesPostWriteValue) {
+  Connection writer(db_, slow_write_model(), 0);  // kMyisam default
+  Connection reader(db_, LatencyModel{}, 1);
+  reader.set_charge_latency(false);
+
+  std::thread admin([&] {
+    writer.execute("UPDATE item SET i_cost = ? WHERE i_id > ?",
+                   {Value(999), Value(0)});
+  });
+  wait_for_write_in_flight();
+
+  // The paper's Section 4.2.1 anomaly: the reader convoys behind the
+  // exclusive table lock for the rest of the write's service time, then
+  // observes the post-write state.
+  const Stopwatch watch;
+  const auto rs = reader.execute("SELECT i_cost FROM item WHERE i_id = ?",
+                                 {Value(5)});
+  admin.join();
+  EXPECT_GT(watch.elapsed_paper(), 10.0);  // sat out most of the write
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.at(0, "i_cost").as_int(), 999);
+}
+
+TEST_F(SnapshotReadTest, WriteVisibilityAgreesAcrossModesOnceCommitted) {
+  for (const auto mode : {LockingMode::kMyisam, LockingMode::kSnapshot}) {
+    Connection conn(db_, LatencyModel{}, 0, nullptr, nullptr, {}, mode);
+    conn.set_charge_latency(false);
+    conn.execute("UPDATE item SET i_cost = ? WHERE i_id = ?",
+                 {Value(7), Value(1)});
+    const auto rs = conn.execute("SELECT i_cost FROM item WHERE i_id = ?",
+                                 {Value(1)});
+    EXPECT_EQ(rs.at(0, "i_cost").as_int(), 7);
+
+    // Cross-mode visibility: a reader in the other mode sees it too.
+    Connection other(db_, LatencyModel{}, 1, nullptr, nullptr, {},
+                     mode == LockingMode::kMyisam ? LockingMode::kSnapshot
+                                                  : LockingMode::kMyisam);
+    other.set_charge_latency(false);
+    const auto rs2 = other.execute("SELECT i_cost FROM item WHERE i_id = ?",
+                                   {Value(1)});
+    EXPECT_EQ(rs2.at(0, "i_cost").as_int(), 7);
+  }
+}
+
+TEST_F(SnapshotReadTest, VersionBumpsOncePerEffectiveWrite) {
+  Connection conn(db_, LatencyModel{}, 0, nullptr, nullptr, {},
+                  LockingMode::kSnapshot);
+  conn.set_charge_latency(false);
+  const auto& table = db_.table("item");
+  const auto v0 = table.version();
+
+  // Multi-row UPDATE: one statement, one epoch.
+  const auto up = conn.execute("UPDATE item SET i_cost = ? WHERE i_id <= ?",
+                               {Value(5), Value(10)});
+  EXPECT_EQ(up.rows_affected, 10u);
+  EXPECT_EQ(table.version(), v0 + 1);
+  EXPECT_EQ(up.table_version, v0 + 1);
+
+  // A write that matches nothing leaves the epoch alone.
+  const auto noop = conn.execute("UPDATE item SET i_cost = ? WHERE i_id = ?",
+                                 {Value(5), Value(12345)});
+  EXPECT_EQ(noop.rows_affected, 0u);
+  EXPECT_EQ(table.version(), v0 + 1);
+
+  // INSERT and DELETE are one epoch each too.
+  conn.execute("INSERT INTO item (i_id, i_cost) VALUES (?, ?)",
+               {Value(1000), Value(1)});
+  EXPECT_EQ(table.version(), v0 + 2);
+  conn.execute("DELETE FROM item WHERE i_id = ?", {Value(1000)});
+  EXPECT_EQ(table.version(), v0 + 3);
+}
+
+TEST_F(SnapshotReadTest, SnapshotWritersStillSerializePerTable) {
+  // MyISAM's one-writer-at-a-time throughput survives in snapshot mode: two
+  // concurrent 100 paper-s UPDATEs must take ~200 paper-s end to end.
+  Connection a(db_, slow_write_model(), 0, nullptr, nullptr, {},
+               LockingMode::kSnapshot);
+  Connection b(db_, slow_write_model(), 1, nullptr, nullptr, {},
+               LockingMode::kSnapshot);
+  const Stopwatch watch;
+  std::thread ta([&] {
+    a.execute("UPDATE item SET i_cost = ? WHERE i_id = ?",
+              {Value(1), Value(1)});
+  });
+  std::thread tb([&] {
+    b.execute("UPDATE item SET i_cost = ? WHERE i_id = ?",
+              {Value(2), Value(1)});
+  });
+  ta.join();
+  tb.join();
+  EXPECT_GE(watch.elapsed_paper(), 150.0);
+}
+
+TEST_F(SnapshotReadTest, SnapshotDeferredErrorsSurfaceBeforeCommit) {
+  Connection conn(db_, LatencyModel{}, 0, nullptr, nullptr, {},
+                  LockingMode::kSnapshot);
+  conn.set_charge_latency(false);
+  const auto& table = db_.table("item");
+  const auto v0 = table.version();
+
+  // Duplicate primary key: validated while staging, thrown before the commit
+  // point, nothing applied, epoch untouched.
+  EXPECT_THROW(conn.execute("INSERT INTO item (i_id, i_cost) VALUES (?, ?)",
+                            {Value(1), Value(0)}),
+               DbError);
+  EXPECT_EQ(table.version(), v0);
+  EXPECT_EQ(table.row_count(), 20u);
+  EXPECT_EQ(table.writes_in_flight(), 0u);  // cleanup ran on the error path
+
+  // Moving a row onto an existing primary key fails the same way.
+  EXPECT_THROW(conn.execute("UPDATE item SET i_id = ? WHERE i_id = ?",
+                            {Value(2), Value(1)}),
+               DbError);
+  EXPECT_EQ(table.version(), v0);
+}
+
+TEST_F(SnapshotReadTest, LockingModeFromString) {
+  EXPECT_EQ(locking_mode_from_string("myisam"), LockingMode::kMyisam);
+  EXPECT_EQ(locking_mode_from_string("MyISAM"), LockingMode::kMyisam);
+  EXPECT_EQ(locking_mode_from_string("snapshot"), LockingMode::kSnapshot);
+  EXPECT_EQ(locking_mode_from_string("SNAPSHOT"), LockingMode::kSnapshot);
+  EXPECT_THROW(locking_mode_from_string("innodb"), DbError);
+}
+
+}  // namespace
+}  // namespace tempest::db

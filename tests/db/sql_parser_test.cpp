@@ -131,6 +131,60 @@ TEST(SqlParserTest, NullLiteral) {
   EXPECT_TRUE(stmt->update.sets[0].value.literal.is_null());
 }
 
+TEST(SqlParserTest, QuotedStringEdgeCases) {
+  // Keywords, operators, wildcards, and whitespace inside quotes are data.
+  const auto stmt = parse_sql(
+      "SELECT a FROM t WHERE s = 'WHERE AND = ?' AND p LIKE '%_50% off_%'");
+  ASSERT_EQ(stmt->select.where.size(), 2u);
+  EXPECT_EQ(stmt->select.where[0].rhs.literal.as_string(), "WHERE AND = ?");
+  EXPECT_EQ(stmt->select.where[1].rhs.literal.as_string(), "%_50% off_%");
+  // A '?' inside quotes is not a parameter.
+  EXPECT_EQ(stmt->param_count, 0u);
+  // The empty string is a valid literal.
+  EXPECT_EQ(parse_sql("SELECT a FROM t WHERE s = ''")
+                ->select.where[0]
+                .rhs.literal.as_string(),
+            "");
+}
+
+TEST(SqlParserTest, InListEdgeCases) {
+  const auto stmt =
+      parse_sql("SELECT a FROM t WHERE id IN (1, ?, 'x', ?) AND b = ?");
+  ASSERT_EQ(stmt->select.where.size(), 2u);
+  const auto& in = stmt->select.where[0];
+  EXPECT_EQ(in.op, CmpOp::kIn);
+  ASSERT_EQ(in.rhs_list.size(), 4u);
+  EXPECT_FALSE(in.rhs_list[0].is_param);
+  EXPECT_EQ(in.rhs_list[0].literal.as_int(), 1);
+  // Positional parameters inside the list keep statement-wide ordering.
+  EXPECT_TRUE(in.rhs_list[1].is_param);
+  EXPECT_EQ(in.rhs_list[1].param_index, 0u);
+  EXPECT_EQ(in.rhs_list[3].param_index, 1u);
+  EXPECT_EQ(stmt->select.where[1].rhs.param_index, 2u);
+  EXPECT_EQ(stmt->param_count, 3u);
+  // One-element list is fine; an empty list is a syntax error.
+  EXPECT_EQ(parse_sql("SELECT a FROM t WHERE id IN (7)")
+                ->select.where[0]
+                .rhs_list.size(),
+            1u);
+  EXPECT_THROW(parse_sql("SELECT a FROM t WHERE id IN ()"), DbError);
+}
+
+TEST(SqlParserTest, OrderByDisplayNames) {
+  // ORDER BY may name a select-item alias, a bare column, or a qualified
+  // display name; the parser records them verbatim for bind-time resolution.
+  const auto stmt = parse_sql(
+      "SELECT o.c_id, COUNT(*) AS cnt FROM orders o "
+      "GROUP BY o.c_id ORDER BY cnt DESC, o.c_id");
+  ASSERT_EQ(stmt->select.order_by.size(), 2u);
+  EXPECT_EQ(stmt->select.order_by[0].column.column, "cnt");
+  EXPECT_TRUE(stmt->select.order_by[0].column.table_alias.empty());
+  EXPECT_TRUE(stmt->select.order_by[0].desc);
+  EXPECT_EQ(stmt->select.order_by[1].column.table_alias, "o");
+  EXPECT_EQ(stmt->select.order_by[1].column.display(), "o.c_id");
+  EXPECT_FALSE(stmt->select.order_by[1].desc);
+}
+
 TEST(SqlParserTest, SyntaxErrors) {
   EXPECT_THROW(parse_sql(""), DbError);
   EXPECT_THROW(parse_sql("DROP TABLE t"), DbError);

@@ -82,6 +82,11 @@ TEST(ChaosSoakTest, TpcwMixSurvivesEverySiteFaulting) {
     config.transport.reactor_shards =
         static_cast<std::size_t>(std::strtoul(shards, nullptr, 10));
   }
+  // ...and with TEMPEST_DB_LOCKING=snapshot so the epoch-read path (deferred
+  // WriteBatch commits racing readers) soaks under every injection site.
+  if (const char* locking = std::getenv("TEMPEST_DB_LOCKING")) {
+    config.db_locking = db::locking_mode_from_string(locking);
+  }
 
   StagedServer server(config, app, db);
   TcpListener listener(server, 0, config.transport, &server.stats());

@@ -269,6 +269,44 @@ TEST_F(ChaosTest, BaselineServerContainsFaultsTheSameWay) {
   server.shutdown();
 }
 
+TEST_F(ChaosTest, SnapshotLockingKeepsTheSameRecoveryInvariants) {
+  // The chaos invariants are locking-mode independent: with snapshot reads
+  // on, an error past the retry budget is still a contained 500, a dropped
+  // connection is still replaced, and serving resumes.
+  config_.db_locking = db::LockingMode::kSnapshot;
+  FaultRule rule;
+  rule.max_fires = 3;
+  config_.fault_plan = plan_with(FaultSite::kDbError, rule);
+  StagedServer server(config_, app_, db_);
+  InProcClient client(server);
+
+  EXPECT_EQ(client.roundtrip(raw_get("/db")).find("HTTP/1.1 500"), 0u);
+  EXPECT_EQ(client.roundtrip(raw_get("/db")).find("HTTP/1.1 200"), 0u);
+
+  const auto s = server.stats().faults().snapshot();
+  EXPECT_EQ(s.injected_at(FaultSite::kDbError), 3u);
+  EXPECT_EQ(s.db_retries, 2u);
+  EXPECT_EQ(s.handler_errors, 1u);
+  server.shutdown();
+}
+
+TEST_F(ChaosTest, SnapshotDroppedConnectionIsReplacedToo) {
+  config_.db_locking = db::LockingMode::kSnapshot;
+  FaultRule rule;
+  rule.max_fires = 1;
+  config_.fault_plan = plan_with(FaultSite::kDbDrop, rule);
+  StagedServer server(config_, app_, db_);
+  InProcClient client(server);
+
+  EXPECT_EQ(client.roundtrip(raw_get("/db")).find("HTTP/1.1 500"), 0u);
+  EXPECT_EQ(client.roundtrip(raw_get("/db")).find("HTTP/1.1 200"), 0u);
+
+  const auto s = server.stats().faults().snapshot();
+  EXPECT_EQ(s.injected_at(FaultSite::kDbDrop), 1u);
+  EXPECT_EQ(s.connections_reopened, 1u);
+  server.shutdown();
+}
+
 TEST_F(ChaosTest, ExpiredDeadlineIsShedWith503BeforeTheDynamicPool) {
   // 500 ms wall: roomy enough that /hold always reaches its handler within
   // budget even on a loaded CI box, small enough to age out in one sleep.
