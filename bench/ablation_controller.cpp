@@ -1,0 +1,298 @@
+// Ablation D: Controller 2.0 (DESIGN.md §15). A/Bs the paper's single-knob
+// treserve controller against the utility-based allocator on a workload the
+// static pool split handles badly: the quick/lengthy mix shifts mid-run and a
+// flash crowd of lengthy requests lands at the shift (the
+// examples/traffic_spike.cpp scenario, run closed-loop at benchmark scale).
+//
+//   phase 1 [0, 1/3):   quick-heavy — the render pool is the bottleneck
+//                       (quick pages render ~2 KB at 0.15 s + 40 us/byte).
+//   flash crowd:        a burst of lengthy requests arrives at once.
+//   phase 2 [1/3, 2/3): lengthy-heavy — the dynamic pools and the DB
+//                       connection budget are the bottleneck.
+//   phase 3 [2/3, 1):   quick-heavy again (tests the shift back).
+//
+// In paper mode every pool keeps its configured size, so each phase starves
+// one stage while another idles. Utility mode moves threads between the
+// render and dynamic pools, and grows the connection pool toward its budget
+// during the lengthy phase — the A/B is p95 latency, 503 sheds, throughput.
+//
+// Flags: the common bench flags (--scale, --seed, --json=DIR, --csv) plus
+//   --clients=N     closed-loop clients (default 24)
+//   --phase=SEC     paper-seconds per phase (default 40)
+//   --burst=N       flash-crowd size at the phase-1/2 boundary (default 60)
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/clock.h"
+#include "src/db/database.h"
+#include "src/metrics/table.h"
+#include "src/server/staged_server.h"
+#include "src/server/transport.h"
+#include "src/template/loader.h"
+
+namespace {
+
+using namespace tempest;
+
+struct Scenario {
+  std::size_t clients = 24;
+  double phase_paper_s = 40.0;
+  std::size_t burst = 60;
+  std::uint64_t seed = 42;
+};
+
+struct Outcome {
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  double quick_p95 = 0;
+  double quick_mean = 0;
+  double lengthy_p95 = 0;
+  double throughput_per_min = 0;
+  // Sheds relative to what the server was asked to do: the raw shed count
+  // penalizes the faster variant (closed-loop clients offer more load to a
+  // server that answers sooner).
+  double shed_fraction() const {
+    const double offered = static_cast<double>(completed + shed);
+    return offered > 0 ? static_cast<double>(shed) / offered : 0.0;
+  }
+  server::PoolController::Counters controller;
+  std::size_t final_general = 0, final_lengthy = 0, final_render = 0,
+              final_db = 0;
+};
+
+void populate(db::Database& db) {
+  db::TableSchema schema;
+  schema.name = "data";
+  schema.columns = {{"id", db::ColumnType::kInt}, {"v", db::ColumnType::kInt}};
+  schema.primary_key = 0;
+  db.create_table(schema);
+  // 60k rows puts the full scan at ~3.3 paper-s (base 5 ms + 55 us/row),
+  // safely past the 1.5 s lengthy cutoff; the indexed lookup stays ~5 ms.
+  for (int i = 1; i <= 60000; ++i) {
+    db.table("data").insert({db::Value(i), db::Value(i % 97)});
+  }
+}
+
+std::shared_ptr<server::Application> build_app() {
+  auto app = std::make_shared<server::Application>();
+  auto templates = std::make_shared<tmpl::MemoryLoader>();
+  templates->add("page.html", "<html><body>{{ body }}</body></html>");
+  app->templates = templates;
+  // Quick: indexed point lookup, but a ~2 KB page — its cost is RENDERING.
+  app->router.add(
+      "/quick", [](server::HandlerContext& ctx) -> server::HandlerResult {
+        auto rs =
+            ctx.db->execute("SELECT v FROM data WHERE id = ?", {db::Value(7)});
+        std::string body(2048, 'q');
+        body += std::to_string(rs.at(0, "v").as_int());
+        return server::TemplateResponse{"page.html",
+                                        {{"body", tmpl::Value(std::move(body))}}};
+      });
+  // Lengthy: full scan (paper-seconds of DB time), tiny page.
+  app->router.add(
+      "/lengthy", [](server::HandlerContext& ctx) -> server::HandlerResult {
+        auto rs = ctx.db->execute("SELECT COUNT(*) AS n FROM data WHERE v = 13");
+        return server::TemplateResponse{
+            "page.html",
+            {{"body", tmpl::Value(std::to_string(rs.at(0, "n").as_int()))}}};
+      });
+  return app;
+}
+
+server::ServerConfig make_config(server::ControllerMode mode) {
+  server::ServerConfig config;
+  // Deliberately tight: a budget the static split cannot serve both phases
+  // with. 2 render threads bottleneck the quick phase; 8 dynamic threads
+  // (== 8 connections) bottleneck the lengthy phase.
+  config.db_connections = 8;
+  config.header_threads = 4;
+  config.static_threads = 2;
+  config.general_threads = 6;
+  config.lengthy_threads = 2;
+  config.render_threads = 2;
+  config.treserve_min = 2;
+  config.controller_period_paper_s = 0.5;  // same cadence for both modes
+  // Bounded queues + shedding so overload shows up as countable 503s
+  // instead of unbounded latency.
+  config.general_queue_capacity = 32;
+  config.lengthy_queue_capacity = 16;
+  config.render_queue_capacity = 16;
+  config.overflow_policy = OverflowPolicy::kReject;
+  config.controller = mode;
+  // Utility budgets: rebalance the 10 general+lengthy+render threads freely,
+  // and open up to 4 extra DB connections during the lengthy phase.
+  config.utility.max_db_connections = 12;
+  return config;
+}
+
+void print_pool_series(const server::ServerStats& stats) {
+  for (const auto& name : stats.pool_size_names()) {
+    std::printf("pool_size,%s\n", name.c_str());
+    for (const auto& p : stats.pool_size_series(name)) {
+      std::printf("%.1f,%.0f\n", p.t, p.value);
+    }
+  }
+}
+
+Outcome run_variant(server::ControllerMode mode, const Scenario& scenario,
+                    bool csv) {
+  db::Database db;
+  populate(db);
+  auto app = build_app();
+  server::StagedServer web(make_config(mode), app, db);
+  server::InProcClient warm(web);
+  // Warm the classifier so /lengthy dispatches as lengthy from the start.
+  warm.roundtrip("GET /lengthy HTTP/1.1\r\nHost: x\r\n\r\n");
+
+  const double total = 3 * scenario.phase_paper_s;
+  const double epoch = paper_now();
+  // Lengthy-request probability by elapsed paper time: quick-heavy, then
+  // lengthy-heavy, then quick-heavy again.
+  const auto lengthy_probability = [&](double t) {
+    const double phase = t / scenario.phase_paper_s;
+    return phase >= 1.0 && phase < 2.0 ? 0.7 : 0.1;
+  };
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> fleet;
+  fleet.reserve(scenario.clients);
+  for (std::size_t i = 0; i < scenario.clients; ++i) {
+    fleet.emplace_back([&, i] {
+      server::InProcClient client(web);
+      std::mt19937_64 rng(scenario.seed * 7919 + i);
+      std::uniform_real_distribution<double> coin(0.0, 1.0);
+      std::exponential_distribution<double> think(1.0 / 0.6);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const bool lengthy =
+            coin(rng) < lengthy_probability(paper_now() - epoch);
+        client.roundtrip(lengthy ? "GET /lengthy HTTP/1.1\r\nHost: x\r\n\r\n"
+                                 : "GET /quick HTTP/1.1\r\nHost: x\r\n\r\n");
+        paper_sleep_for(std::min(3.0, std::max(0.1, think(rng))));
+      }
+    });
+  }
+
+  // Flash crowd at the phase-1/2 boundary: `burst` lengthy requests at once.
+  server::InProcClient burst_client(web);
+  std::vector<std::future<std::string>> burst;
+  while (paper_now() - epoch < scenario.phase_paper_s) paper_sleep_for(0.25);
+  for (std::size_t i = 0; i < scenario.burst; ++i) {
+    burst.push_back(
+        burst_client.send("GET /lengthy HTTP/1.1\r\nHost: x\r\n\r\n"));
+  }
+  while (paper_now() - epoch < total) paper_sleep_for(0.25);
+
+  stop.store(true);
+  for (auto& t : fleet) t.join();
+  for (auto& f : burst) f.get();
+
+  Outcome out;
+  const server::ServerStats& stats = web.stats();
+  out.completed = stats.completed_total();
+  out.shed = stats.shed_total();
+  const LatencySummary quick =
+      stats.response_summary(server::RequestClass::kQuickDynamic);
+  out.quick_p95 = quick.p95;
+  out.quick_mean = quick.mean;
+  out.lengthy_p95 =
+      stats.response_summary(server::RequestClass::kLengthyDynamic).p95;
+  out.throughput_per_min =
+      static_cast<double>(out.completed) / (total / 60.0);
+  if (const server::PoolController* pc = web.pool_controller()) {
+    out.controller = pc->counters();
+    out.final_general = pc->general_target();
+    out.final_lengthy = pc->lengthy_target();
+    out.final_render = pc->render_target();
+    out.final_db = pc->db_target();
+    if (csv) print_pool_series(stats);
+  }
+  web.shutdown();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tempest;
+  auto run = bench::BenchRun::init(argc, argv);
+  Scenario scenario;
+  scenario.clients =
+      static_cast<std::size_t>(run.options.get_int("clients", 24));
+  scenario.phase_paper_s = run.options.get_double("phase", 40.0);
+  scenario.burst = static_cast<std::size_t>(run.options.get_int("burst", 60));
+  scenario.seed = static_cast<std::uint64_t>(run.options.get_int("seed", 42));
+
+  std::printf("=== Ablation D: paper vs utility controller ===\n");
+  std::printf(
+      "clients=%zu  phase=%.0f paper-s x3  burst=%zu  time-scale=%.4f  "
+      "seed=%llu\n\n",
+      scenario.clients, scenario.phase_paper_s, scenario.burst,
+      TimeScale::get(), static_cast<unsigned long long>(scenario.seed));
+
+  std::printf("running paper controller (static pools + treserve)...\n");
+  const Outcome paper =
+      run_variant(server::ControllerMode::kPaper, scenario, run.csv);
+  std::printf("running utility controller (re-fits every pool)...\n\n");
+  const Outcome utility =
+      run_variant(server::ControllerMode::kUtility, scenario, run.csv);
+
+  metrics::Table table({"controller", "completed", "shed 503s", "shed frac",
+                        "quick mean (s)", "quick p95 (s)", "lengthy p95 (s)",
+                        "req/paper-min"});
+  const auto row = [&](const char* name, const Outcome& o) {
+    table.add_row({name,
+                   metrics::format_int(static_cast<std::int64_t>(o.completed)),
+                   metrics::format_int(static_cast<std::int64_t>(o.shed)),
+                   metrics::format_double(o.shed_fraction(), 3),
+                   metrics::format_double(o.quick_mean, 3),
+                   metrics::format_double(o.quick_p95, 3),
+                   metrics::format_double(o.lengthy_p95, 2),
+                   metrics::format_double(o.throughput_per_min, 1)});
+  };
+  row("paper", paper);
+  row("utility", utility);
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf(
+      "utility controller: %llu ticks, %llu thread moves, %llu db resizes, "
+      "%llu treserve sets; final sizes general=%zu lengthy=%zu render=%zu "
+      "db=%zu\n",
+      static_cast<unsigned long long>(utility.controller.ticks),
+      static_cast<unsigned long long>(utility.controller.thread_moves),
+      static_cast<unsigned long long>(utility.controller.db_resizes),
+      static_cast<unsigned long long>(utility.controller.treserve_sets),
+      utility.final_general, utility.final_lengthy, utility.final_render,
+      utility.final_db);
+
+  const bool p95_win = utility.quick_p95 < paper.quick_p95 ||
+                       (utility.quick_p95 == paper.quick_p95 &&
+                        utility.quick_mean < paper.quick_mean);
+  const bool shed_win = utility.shed_fraction() < paper.shed_fraction();
+  std::printf("utility vs paper: quick latency %s, 503 shed fraction %s -> %s\n",
+              p95_win ? "better" : "worse", shed_win ? "lower" : "higher",
+              (p95_win || shed_win) ? "UTILITY WINS" : "paper holds");
+
+  bench::BenchJson json(run, "ablation_controller");
+  const auto emit = [&](const char* name, const Outcome& o) {
+    json.add_scalar(name, "completed_total", static_cast<double>(o.completed));
+    json.add_scalar(name, "shed_503", static_cast<double>(o.shed));
+    json.add_scalar(name, "shed_fraction", o.shed_fraction());
+    json.add_scalar(name, "quick_mean_paper_s", o.quick_mean);
+    json.add_scalar(name, "quick_p95_paper_s", o.quick_p95);
+    json.add_scalar(name, "lengthy_p95_paper_s", o.lengthy_p95);
+    json.add_scalar(name, "throughput_per_paper_min", o.throughput_per_min);
+  };
+  emit("paper", paper);
+  emit("utility", utility);
+  // Gated ratio: utility's quick p95 relative to paper's (higher = better).
+  json.add_scalar("utility", "quick_p95_speedup",
+                  utility.quick_p95 > 0 ? paper.quick_p95 / utility.quick_p95
+                                        : 0.0);
+  json.write();
+  return 0;
+}

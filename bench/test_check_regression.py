@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench regression gate (check_regression.py).
+
+Stdlib-only (unittest + tempfile); runs as a CI step before the gate itself:
+
+    python3 bench/test_check_regression.py
+"""
+
+import contextlib
+import io
+import json
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import check_regression  # noqa: E402
+
+
+def run_gate(baseline_dir, current_dir, threshold=0.25):
+    """Invokes check_regression.main() with patched argv; returns (exit, out)."""
+    argv = sys.argv
+    sys.argv = ["check_regression.py",
+                "--baseline-dir", str(baseline_dir),
+                "--current-dir", str(current_dir),
+                "--threshold", str(threshold)]
+    out = io.StringIO()
+    try:
+        with contextlib.redirect_stdout(out):
+            code = check_regression.main()
+    finally:
+        sys.argv = argv
+    return code, out.getvalue()
+
+
+def write_bench(directory, name, variants):
+    path = pathlib.Path(directory) / f"BENCH_{name}.json"
+    path.write_text(json.dumps({"bench": name, "variants": variants}))
+    return path
+
+
+class CheckRegressionTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        root = pathlib.Path(self._tmp.name)
+        self.baseline_dir = root / "baselines"
+        self.current_dir = root / "current"
+        self.baseline_dir.mkdir()
+        self.current_dir.mkdir()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def test_no_baselines_passes(self):
+        code, out = run_gate(self.baseline_dir, self.current_dir)
+        self.assertEqual(code, 0)
+        self.assertIn("nothing to gate", out)
+
+    def test_pass_when_at_or_above_floor(self):
+        write_bench(self.baseline_dir, "x",
+                    {"paper": {"completed_total": 100}})
+        write_bench(self.current_dir, "x",
+                    {"paper": {"completed_total": 100}})
+        code, out = run_gate(self.baseline_dir, self.current_dir)
+        self.assertEqual(code, 0)
+        self.assertIn("OK", out)
+
+    def test_pass_within_threshold(self):
+        # 80 vs floor 100 with threshold 0.25: above 75%, still a pass.
+        write_bench(self.baseline_dir, "x",
+                    {"paper": {"completed_total": 100}})
+        write_bench(self.current_dir, "x",
+                    {"paper": {"completed_total": 80}})
+        code, _ = run_gate(self.baseline_dir, self.current_dir)
+        self.assertEqual(code, 0)
+
+    def test_fail_below_floor(self):
+        write_bench(self.baseline_dir, "x",
+                    {"paper": {"completed_total": 100}})
+        write_bench(self.current_dir, "x",
+                    {"paper": {"completed_total": 50}})
+        code, out = run_gate(self.baseline_dir, self.current_dir)
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("completed_total", out)
+
+    def test_fail_when_current_bench_missing(self):
+        write_bench(self.baseline_dir, "x",
+                    {"paper": {"completed_total": 100}})
+        code, out = run_gate(self.baseline_dir, self.current_dir)
+        self.assertEqual(code, 1)
+        self.assertIn("missing from current run", out)
+
+    def test_fail_when_gated_metric_missing(self):
+        write_bench(self.baseline_dir, "x",
+                    {"paper": {"completed_total": 100}})
+        write_bench(self.current_dir, "x",
+                    {"paper": {"other_metric": 1}})
+        code, out = run_gate(self.baseline_dir, self.current_dir)
+        self.assertEqual(code, 1)
+        self.assertIn("completed_total missing", out)
+
+    def test_non_gated_drop_is_informational(self):
+        # Latency-like keys never gate, no matter how far they fall.
+        write_bench(self.baseline_dir, "x",
+                    {"paper": {"quick_p95_paper_s": 1.0}})
+        write_bench(self.current_dir, "x",
+                    {"paper": {"quick_p95_paper_s": 50.0}})
+        code, out = run_gate(self.baseline_dir, self.current_dir)
+        self.assertEqual(code, 0)
+        self.assertIn("informational", out)
+
+    def test_speedup_and_rps_keys_gate(self):
+        write_bench(self.baseline_dir, "x",
+                    {"utility": {"quick_p95_speedup": 1.0,
+                                 "flush_rps": 1000}})
+        write_bench(self.current_dir, "x",
+                    {"utility": {"quick_p95_speedup": 0.5,
+                                 "flush_rps": 1000}})
+        code, out = run_gate(self.baseline_dir, self.current_dir)
+        self.assertEqual(code, 1)
+        self.assertIn("quick_p95_speedup", out)
+
+    def test_new_metric_without_baseline_skipped(self):
+        write_bench(self.baseline_dir, "x",
+                    {"paper": {"completed_total": 100}})
+        write_bench(self.current_dir, "x",
+                    {"paper": {"completed_total": 100,
+                               "brand_new_total": 5}})
+        code, out = run_gate(self.baseline_dir, self.current_dir)
+        self.assertEqual(code, 0)
+        self.assertIn("no baseline, skipped", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,6 +1,7 @@
 // The TPC-W online bookstore served over real TCP sockets.
 //
 //   ./build/examples/bookstore [--port N] [--serve] [--shards N]
+//                              [--controller paper|utility]
 //
 // Without --serve, it starts the staged server on a loopback port, walks a
 // shopper's session over real sockets (home -> search -> product -> cart ->
@@ -62,6 +63,10 @@ int main(int argc, char** argv) {
   }
   config.transport.reactor_shards =
       static_cast<std::size_t>(options.get_int("shards", 1));
+  // --controller=paper|utility: the Table 1-2 treserve heuristic, or the
+  // allocator that re-fits every pool from measured pressure (DESIGN.md §15).
+  config.controller = server::controller_mode_from_string(
+      options.get_string("controller", "paper"));
   server::StagedServer web(config, app, db);
   server::TcpListener listener(
       web, static_cast<std::uint16_t>(options.get_int("port", 0)),

@@ -2,12 +2,17 @@
 // traffic spike: a steady trickle of quick requests, then a burst of lengthy
 // ones. Watch tspare fall, treserve chase it up (protecting quick requests),
 // and then decay once the spike passes — the Table 2 dynamics live.
+//
+// --controller=utility swaps in the allocator that re-fits every pool
+// (DESIGN.md §15); treserve then follows measured quick demand instead of
+// chasing tspare dips.
 #include <cstdio>
 #include <future>
 #include <thread>
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/config.h"
 #include "src/db/database.h"
 #include "src/server/staged_server.h"
 #include "src/server/transport.h"
@@ -15,7 +20,8 @@
 
 using namespace tempest;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto options = Options::parse(argc, argv);
   TimeScale::set(0.01);  // 1 paper-second = 10 ms
 
   db::Database db;
@@ -55,6 +61,8 @@ int main() {
   config.static_threads = 2;
   config.render_threads = 4;
   config.treserve_min = 4;
+  config.controller = server::controller_mode_from_string(
+      options.get_string("controller", "paper"));
   server::StagedServer web(config, app, db);
   server::InProcClient client(web);
 

@@ -74,6 +74,31 @@ class MpmcQueue {
     return item;
   }
 
+  // As pop(on_take), but also returns (with nullopt) when `interrupted()`
+  // becomes true while the queue is empty. An available item always wins over
+  // an interrupt — consumers drain before reacting. The predicate is
+  // evaluated under the queue lock; kick() forces blocked consumers to
+  // re-evaluate it. Callers distinguish interrupt from close via closed().
+  template <typename OnTake, typename Interrupted>
+  std::optional<T> pop_or_interrupt(OnTake&& on_take,
+                                    Interrupted&& interrupted) {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] {
+      return closed_ || !items_.empty() || interrupted();
+    });
+    if (items_.empty()) return std::nullopt;  // closed-and-drained or interrupt
+    T item = std::move(items_.front());
+    items_.pop_front();
+    on_take();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Wakes every blocked consumer so it re-evaluates its interrupt predicate
+  // (used by WorkerPool::resize to retire idle threads promptly).
+  void kick() { not_empty_.notify_all(); }
+
   std::optional<T> try_pop() {
     std::unique_lock lock(mu_);
     if (items_.empty()) return std::nullopt;

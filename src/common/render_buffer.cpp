@@ -62,13 +62,33 @@ void RenderBufferPool::release(std::unique_ptr<RenderBuffer> buffer) {
                              std::this_thread::get_id()) %
                          kShards];
   std::lock_guard lock(shard.mu);
-  if (buffer->capacity() > max_retained_bytes_ ||
-      shard.free.size() >= max_free_per_shard_) {
+  if (buffer->capacity() >
+          max_retained_bytes_.load(std::memory_order_relaxed) ||
+      shard.free.size() >=
+          max_free_per_shard_.load(std::memory_order_relaxed)) {
     ++shard.counters.discards;
     return;  // unique_ptr frees the oversize/overflow buffer
   }
   ++shard.counters.releases;
   shard.free.push_back(std::move(buffer));
+}
+
+void RenderBufferPool::set_limits(std::size_t max_retained_bytes,
+                                  std::size_t max_free_per_shard) {
+  max_retained_bytes_.store(max_retained_bytes, std::memory_order_relaxed);
+  max_free_per_shard_.store(max_free_per_shard, std::memory_order_relaxed);
+  // Trim every shard down to the new caps right away so a shrink releases
+  // memory now, not on the next unlucky release().
+  for (std::size_t i = 0; i < kShards; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard lock(shard.mu);
+    while (shard.free.size() > max_free_per_shard ||
+           (!shard.free.empty() &&
+            shard.free.back()->capacity() > max_retained_bytes)) {
+      shard.free.pop_back();
+      ++shard.counters.discards;
+    }
+  }
 }
 
 RenderBufferPool::Counters RenderBufferPool::counters() const {

@@ -17,6 +17,7 @@
 // releasing side.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -118,18 +119,35 @@ class RenderBufferPool {
   // static destructors would have run.
   static RenderBufferPool& instance();
 
+  // Live-retunes the retention caps (the utility controller sizes the free
+  // list to the render pool's thread count, DESIGN.md §15). Shrinking the
+  // per-shard cap trims each shard's free list immediately; in-flight
+  // buffers are untouched — they are re-admitted or discarded against the
+  // new caps when released.
+  void set_limits(std::size_t max_retained_bytes,
+                  std::size_t max_free_per_shard);
+  std::size_t max_retained_bytes() const {
+    return max_retained_bytes_.load(std::memory_order_relaxed);
+  }
+  std::size_t max_free_per_shard() const {
+    return max_free_per_shard_.load(std::memory_order_relaxed);
+  }
+
   Counters counters() const;
   std::size_t free_count() const;
+
+  // Shard count, exposed so the utility controller can convert a pool-wide
+  // buffer budget into the per-shard cap set_limits() takes.
+  static constexpr std::size_t kShards = 8;
 
  private:
   friend class PooledBuffer;
   void release(std::unique_ptr<RenderBuffer> buffer);
 
   struct Shard;
-  static constexpr std::size_t kShards = 8;
 
-  const std::size_t max_retained_bytes_;
-  const std::size_t max_free_per_shard_;
+  std::atomic<std::size_t> max_retained_bytes_;
+  std::atomic<std::size_t> max_free_per_shard_;
   Shard* shards_;  // array of kShards; raw so the singleton can leak cleanly
 };
 

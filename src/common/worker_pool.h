@@ -1,4 +1,4 @@
-// Instrumented fixed-size worker pool over a synchronized queue.
+// Instrumented worker pool over a synchronized queue, resizable at runtime.
 //
 // Each of the five pools in the modified server (header parsing, static,
 // general dynamic, lengthy dynamic, template rendering — Section 3.2) and the
@@ -10,12 +10,23 @@
 // policy decides what happens to a new submission: kBlock parks the producer
 // until a slot frees up (upstream backpressure), kReject hands the item back
 // to the caller so it can shed load explicitly (the servers answer 503).
+//
+// resize() changes the live thread count (the utility controller's actuator,
+// DESIGN.md §15). Growth is eager: new threads spawn immediately and run the
+// thread_init hook (e.g. adopting a DB connection). Shrinking drains: no
+// queued or in-flight item is ever dropped — surplus threads retire when the
+// queue is empty or right after completing their current item, running the
+// thread_exit hook on the way out (releasing the DB connection back to its
+// pool). Retired std::threads are reaped lazily by the next resize()/
+// shutdown(), so the controller tick never blocks on a join.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -43,24 +54,22 @@ class WorkerPool {
   using Handler = std::function<void(T&&)>;
   using ThreadHook = std::function<void()>;
 
-  // `thread_init` / `thread_exit` run once in each worker thread; the servers
-  // use them to acquire/release the per-thread database connection the paper
-  // describes (a connection is "stored in each web server thread").
+  // `thread_init` / `thread_exit` run once in each worker thread — including
+  // threads added by a later resize(); the servers use them to acquire/
+  // release the per-thread database connection the paper describes (a
+  // connection is "stored in each web server thread").
   WorkerPool(std::string name, std::size_t num_threads, Handler handler,
              ThreadHook thread_init = {}, ThreadHook thread_exit = {},
              WorkerPoolOptions options = {})
       : name_(std::move(name)),
         handler_(std::move(handler)),
+        thread_init_(std::move(thread_init)),
+        thread_exit_(std::move(thread_exit)),
         options_(options),
         queue_(options.queue_capacity) {
-    threads_.reserve(num_threads);
-    for (std::size_t i = 0; i < num_threads; ++i) {
-      threads_.emplace_back([this, thread_init, thread_exit] {
-        if (thread_init) thread_init();
-        run();
-        if (thread_exit) thread_exit();
-      });
-    }
+    std::lock_guard lock(slots_mu_);
+    target_.store(num_threads, std::memory_order_relaxed);
+    spawn_locked(num_threads);
   }
 
   WorkerPool(const WorkerPool&) = delete;
@@ -84,16 +93,49 @@ class WorkerPool {
     return item;
   }
 
+  // Live-resizes the pool to `num_threads` workers (floored at 1: a pool
+  // with zero threads would strand its queue). Growth spawns immediately;
+  // shrinking marks surplus threads for retirement and kicks the queue so
+  // idle waiters notice — busy threads finish their current item first, and
+  // queued items are always drained by the survivors. Returns the new target.
+  // Thread-safe, but the caller (one controller tick at a time) should not
+  // expect two concurrent resizes to compose meaningfully.
+  std::size_t resize(std::size_t num_threads) {
+    if (num_threads == 0) num_threads = 1;
+    std::lock_guard lock(slots_mu_);
+    if (queue_.closed()) return target_.load(std::memory_order_relaxed);
+    reap_locked();
+    const std::size_t target = target_.load(std::memory_order_relaxed);
+    target_.store(num_threads, std::memory_order_relaxed);
+    if (num_threads > target) {
+      spawn_locked(num_threads - target);
+    } else if (num_threads < target) {
+      resizes_down_.fetch_add(1, std::memory_order_relaxed);
+      queue_.kick();  // wake idle waiters so they re-check retirement
+    }
+    return num_threads;
+  }
+
   // Closes the queue, lets workers drain it, and joins them. Idempotent.
   void shutdown() {
     queue_.close();
-    for (auto& t : threads_) {
-      if (t.joinable()) t.join();
+    std::lock_guard lock(slots_mu_);
+    for (auto& slot : slots_) {
+      if (slot->thread.joinable()) slot->thread.join();
     }
   }
 
   const std::string& name() const { return name_; }
-  std::size_t thread_count() const { return threads_.size(); }
+
+  // Threads currently alive (retired threads excluded as soon as they claim
+  // retirement, even if not yet reaped). This is what tspare is measured
+  // against, so a draining pool immediately stops counting surplus threads.
+  std::size_t thread_count() const {
+    return alive_.load(std::memory_order_relaxed);
+  }
+  std::size_t target_thread_count() const {
+    return target_.load(std::memory_order_relaxed);
+  }
   std::size_t queue_length() const { return queue_.size(); }
   std::size_t queue_capacity() const { return queue_.capacity(); }
   OverflowPolicy overflow_policy() const { return options_.overflow; }
@@ -108,7 +150,8 @@ class WorkerPool {
   // running item can never be observed as a spare thread.
   std::size_t spare_count() const {
     const std::size_t busy = busy_count();
-    return busy >= threads_.size() ? 0 : threads_.size() - busy;
+    const std::size_t alive = thread_count();
+    return busy >= alive ? 0 : alive - busy;
   }
 
   std::uint64_t processed() const {
@@ -125,14 +168,97 @@ class WorkerPool {
     return uncaught_.load(std::memory_order_relaxed);
   }
 
+  // Threads retired by shrinking resizes over the pool's lifetime.
+  std::uint64_t retired() const {
+    return retired_.load(std::memory_order_relaxed);
+  }
+  // Shrinking resize() calls (for controller accounting).
+  std::uint64_t resizes_down() const {
+    return resizes_down_.load(std::memory_order_relaxed);
+  }
+
  private:
+  // One spawned thread. The exited flag lets resize() reap finished threads
+  // without blocking on live ones (join on an exited thread returns at once).
+  struct Slot {
+    std::thread thread;
+    std::atomic<bool> exited{false};
+  };
+
+  // True while more threads are alive than the target wants — the signal a
+  // worker polls (after each item, and via the queue's interrupt predicate
+  // while idle) to decide whether to retire.
+  bool retire_wanted() const {
+    return alive_.load(std::memory_order_relaxed) >
+           target_.load(std::memory_order_relaxed);
+  }
+
+  // Atomically claims one retirement slot: decrements alive_ unless the pool
+  // is already at (or below) target. The CAS makes over-retirement impossible
+  // when several idle threads wake from the same kick().
+  bool claim_retirement() {
+    std::size_t alive = alive_.load(std::memory_order_relaxed);
+    while (alive > target_.load(std::memory_order_relaxed)) {
+      if (alive_.compare_exchange_weak(alive, alive - 1,
+                                       std::memory_order_relaxed)) {
+        retired_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void spawn_locked(std::size_t count) {
+    alive_.fetch_add(count, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < count; ++i) {
+      auto slot = std::make_unique<Slot>();
+      Slot* raw = slot.get();
+      raw->thread = std::thread([this, raw] {
+        if (thread_init_) thread_init_();
+        run();
+        if (thread_exit_) thread_exit_();
+        raw->exited.store(true, std::memory_order_release);
+      });
+      slots_.push_back(std::move(slot));
+    }
+  }
+
+  // Joins and discards slots whose thread has already exited (retired by a
+  // previous shrink). Caller holds slots_mu_.
+  void reap_locked() {
+    auto keep = slots_.begin();
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+      if ((*it)->exited.load(std::memory_order_acquire)) {
+        if ((*it)->thread.joinable()) (*it)->thread.join();
+      } else {
+        if (keep != it) *keep = std::move(*it);
+        ++keep;
+      }
+    }
+    slots_.erase(keep, slots_.end());
+  }
+
   void run() {
     // Counting busy inside the dequeue's critical section closes the race
     // where an item had left the queue but the thread was not yet counted:
     // during that window spare_count() overcounted, which could mis-dispatch
     // a lengthy request into the reserved general-pool headroom (Table 1).
-    while (auto item = queue_.pop(
-               [this] { busy_.fetch_add(1, std::memory_order_relaxed); })) {
+    for (;;) {
+      auto item = queue_.pop_or_interrupt(
+          [this] { busy_.fetch_add(1, std::memory_order_relaxed); },
+          [this] { return retire_wanted(); });
+      if (!item) {
+        if (queue_.closed()) {
+          // Shutdown drain complete. Account the exit so thread_count()
+          // reflects reality during teardown.
+          alive_.fetch_sub(1, std::memory_order_relaxed);
+          return;
+        }
+        // Woken to shrink while idle (the queue was empty — an available
+        // item always wins over the interrupt, so drain comes first).
+        if (claim_retirement()) return;
+        continue;  // raced another waiter for the retirement; keep serving
+      }
       // Exception barrier: an escape must not kill the thread — a dead
       // worker would silently shrink the pool forever, inflating the
       // spare-thread count the scheduler steers by (tspare) and leaking the
@@ -147,18 +273,28 @@ class WorkerPool {
       }
       busy_.fetch_sub(1, std::memory_order_relaxed);
       processed_.fetch_add(1, std::memory_order_relaxed);
+      // Drain-shrink: a busy thread retires only after completing its item,
+      // so shrinking never abandons accepted work.
+      if (retire_wanted() && claim_retirement()) return;
     }
   }
 
   const std::string name_;
   Handler handler_;
+  const ThreadHook thread_init_;
+  const ThreadHook thread_exit_;
   const WorkerPoolOptions options_;
   MpmcQueue<T> queue_;
   std::atomic<std::size_t> busy_{0};
+  std::atomic<std::size_t> alive_{0};
+  std::atomic<std::size_t> target_{0};
   std::atomic<std::uint64_t> processed_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> uncaught_{0};
-  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> retired_{0};
+  std::atomic<std::uint64_t> resizes_down_{0};
+  std::mutex slots_mu_;  // guards slots_ (spawn/reap/join), not the counters
+  std::vector<std::unique_ptr<Slot>> slots_;
 };
 
 }  // namespace tempest

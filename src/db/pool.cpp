@@ -1,5 +1,6 @@
 #include "src/db/pool.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace tempest::db {
@@ -9,14 +10,20 @@ ConnectionPool::ConnectionPool(Database& db, std::size_t size,
                                std::shared_ptr<const FaultPlan> fault_plan,
                                FaultCounters* fault_counters,
                                RetryPolicy retry, LockingMode locking)
-    : fault_counters_(fault_counters) {
+    : db_(db),
+      model_(model),
+      fault_plan_(std::move(fault_plan)),
+      retry_(retry),
+      locking_(locking),
+      fault_counters_(fault_counters),
+      target_size_(size) {
   connections_.reserve(size);
   idle_.reserve(size);
   checked_out_at_.resize(size);
   for (std::size_t i = 0; i < size; ++i) {
     connections_.push_back(std::make_unique<Connection>(
-        db, model, static_cast<int>(i), fault_plan, fault_counters, retry,
-        locking));
+        db_, model_, static_cast<int>(i), fault_plan_, fault_counters_,
+        retry_, locking_));
     idle_.push_back(connections_.back().get());
   }
 }
@@ -62,6 +69,13 @@ void ConnectionPool::give_back(Connection* conn, double held_paper_s) {
     total_held_paper_s_ += held_paper_s;
     checked_out_at_[static_cast<std::size_t>(conn->id())] = {};
     usable = !conn->broken();
+    if (usable && pending_retire_ > 0) {
+      // A shrink is still owed connections: retire this one instead of
+      // idling it (the drain half of the resize protocol).
+      --pending_retire_;
+      retired_.push_back(conn);
+      return;
+    }
     if (usable) {
       idle_.push_back(conn);
     } else {
@@ -80,7 +94,14 @@ std::size_t ConnectionPool::repair_broken() {
     repaired.swap(broken_);
     for (Connection* conn : repaired) {
       conn->reopen();
-      idle_.push_back(conn);
+      if (pending_retire_ > 0) {
+        // Repairing during a shrink: the reconnect happens, but the
+        // connection goes straight out of rotation.
+        --pending_retire_;
+        retired_.push_back(conn);
+      } else {
+        idle_.push_back(conn);
+      }
     }
   }
   available_cv_.notify_all();
@@ -88,6 +109,83 @@ std::size_t ConnectionPool::repair_broken() {
     fault_counters_->on_connections_reopened(repaired.size());
   }
   return repaired.size();
+}
+
+std::size_t ConnectionPool::resize(std::size_t target) {
+  if (target == 0) target = 1;
+  bool grew = false;
+  {
+    std::lock_guard lock(mu_);
+    // Recompute from scratch each call so resize(a); resize(b) composes:
+    // cancel any unfilled shrink debt first, then settle the difference
+    // against the new target.
+    const std::size_t active = connections_.size() - retired_.size();
+    // Cancelling the debt keeps its checked-out connections usable, so the
+    // new target settles against `active` — not `active - pending_retire_`,
+    // which would double-count the cancelled drain (grow would overshoot,
+    // repeated shrinks would under-shrink).
+    pending_retire_ = 0;
+    target_size_ = target;
+    if (target > active) {
+      std::size_t need = target - active;
+      // Revive parked connections first (ids and storage stay stable).
+      while (need > 0 && !retired_.empty()) {
+        Connection* conn = retired_.back();
+        retired_.pop_back();
+        conn->reopen();
+        idle_.push_back(conn);
+        --need;
+      }
+      // Then open fresh ones.
+      while (need > 0) {
+        connections_.push_back(std::make_unique<Connection>(
+            db_, model_, static_cast<int>(connections_.size()), fault_plan_,
+            fault_counters_, retry_, locking_));
+        checked_out_at_.emplace_back();
+        idle_.push_back(connections_.back().get());
+        --need;
+      }
+      grew = true;
+    } else if (target < active) {
+      std::size_t surplus = active - target;
+      // Broken connections retire first (they are out of rotation already;
+      // parking them cancels the pending reconnect and keeps every healthy
+      // connection serving)...
+      while (surplus > 0 && !broken_.empty()) {
+        Connection* conn = broken_.back();
+        broken_.pop_back();
+        conn->reopen();
+        retired_.push_back(conn);
+        --surplus;
+      }
+      // ...then idle ones...
+      while (surplus > 0 && !idle_.empty()) {
+        retired_.push_back(idle_.back());
+        idle_.pop_back();
+        --surplus;
+      }
+      // ...and the rest drain: give_back() retires returning leases.
+      pending_retire_ = surplus;
+    }
+  }
+  if (grew) available_cv_.notify_all();
+  return target;
+}
+
+std::size_t ConnectionPool::size() const {
+  std::lock_guard lock(mu_);
+  const std::size_t active = connections_.size() - retired_.size();
+  return active - std::min(active, pending_retire_);
+}
+
+std::size_t ConnectionPool::target_size() const {
+  std::lock_guard lock(mu_);
+  return target_size_;
+}
+
+std::size_t ConnectionPool::retired_count() const {
+  std::lock_guard lock(mu_);
+  return retired_.size() + pending_retire_;
 }
 
 std::size_t ConnectionPool::available() const {
@@ -102,16 +200,16 @@ std::size_t ConnectionPool::broken_count() const {
 
 ConnectionPool::Stats ConnectionPool::stats() const {
   Stats out;
-  {
-    std::lock_guard lock(mu_);
-    out.acquire_wait_paper_s = acquire_wait_;
-    out.total_held_paper_s = total_held_paper_s_;
-    // Leases still outstanding (worker threads hold theirs for their whole
-    // lifetime) count from checkout to now.
-    const auto now = WallClock::now();
-    for (const auto t : checked_out_at_) {
-      if (t != WallClock::time_point{}) out.total_held_paper_s += to_paper(now - t);
-    }
+  // The lock also covers connections_: resize() may be appending fresh
+  // connections concurrently (pre-resize the vector was immutable).
+  std::lock_guard lock(mu_);
+  out.acquire_wait_paper_s = acquire_wait_;
+  out.total_held_paper_s = total_held_paper_s_;
+  // Leases still outstanding (worker threads hold theirs for their whole
+  // lifetime) count from checkout to now.
+  const auto now = WallClock::now();
+  for (const auto t : checked_out_at_) {
+    if (t != WallClock::time_point{}) out.total_held_paper_s += to_paper(now - t);
   }
   for (const auto& conn : connections_) {
     out.total_busy_paper_s += conn->busy_paper_seconds();

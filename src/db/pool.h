@@ -79,10 +79,23 @@ class ConnectionPool {
   // Reopens every shelved broken connection and returns it to the idle list.
   // Returns the number repaired. Called off the request path (controller /
   // sampler loops) — repairing a connection stands in for the reconnect a
-  // real driver would perform.
+  // real driver would perform. While a shrink is pending, repaired
+  // connections retire instead of rejoining the idle list.
   std::size_t repair_broken();
 
-  std::size_t size() const { return connections_.size(); }
+  // Live-resizes the pool to `target` usable connections (floored at 1).
+  // Growth is eager: retired connections are revived first (reopened), then
+  // fresh ones are opened — acquire() waiters wake immediately. Shrinking
+  // drains: idle connections retire at once; the remainder retire as leases
+  // are given back (a checked-out connection is never yanked from its
+  // holder). Returns the new target. Called from the controller tick.
+  std::size_t resize(std::size_t target);
+
+  // Usable connections: open now, or checked out / broken but returning to
+  // rotation (i.e. everything except retired and pending-retire ones).
+  std::size_t size() const;
+  std::size_t target_size() const;
+  std::size_t retired_count() const;
   std::size_t available() const;
   std::size_t broken_count() const;
 
@@ -104,6 +117,16 @@ class ConnectionPool {
   friend class Lease;
   void give_back(Connection* conn, double held_paper_s);
 
+  // Everything needed to open a fresh connection at resize time.
+  Database& db_;
+  const LatencyModel model_;
+  const std::shared_ptr<const FaultPlan> fault_plan_;
+  const RetryPolicy retry_;
+  const LockingMode locking_;
+
+  // Owns every connection ever opened; never erased (ids index
+  // checked_out_at_, and leases hold raw pointers). Retired connections move
+  // to retired_ and are revived before new ones are opened on a grow.
   std::vector<std::unique_ptr<Connection>> connections_;
   FaultCounters* fault_counters_ = nullptr;
   mutable std::mutex mu_;
@@ -111,6 +134,12 @@ class ConnectionPool {
   std::vector<Connection*> idle_;
   // Connections broken by an injected drop, awaiting repair_broken().
   std::vector<Connection*> broken_;
+  // Connections parked by a shrinking resize (out of rotation, revivable).
+  std::vector<Connection*> retired_;
+  // Shrink debt not yet covered by idle connections: give_back() retires
+  // returning connections until this reaches zero.
+  std::size_t pending_retire_ = 0;
+  std::size_t target_size_ = 0;
   OnlineStats acquire_wait_;
   double total_held_paper_s_ = 0;
   // Checkout time per connection id; default-constructed when idle.

@@ -45,7 +45,7 @@ BaselineServer::BaselineServer(ServerConfig config,
       [this] { worker_connection::adopt(db_pool_); },
       [] { worker_connection::release(); },
       WorkerPoolOptions{config_.baseline_queue_capacity,
-                        config_.overflow_policy});
+                        config_.overflow_policy, {}});
   sampler_ = std::thread([this] { sampler_loop(); });
 }
 

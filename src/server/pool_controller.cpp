@@ -1,0 +1,318 @@
+#include "src/server/pool_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/render_buffer.h"
+
+namespace tempest::server {
+
+namespace {
+
+// Below this marginal gain a pool is considered satisfied: slack threads are
+// not handed to pools with (numerically) zero pressure, and two idle pools
+// never trade threads over noise.
+constexpr double kMinGain = 1e-9;
+
+// U(n) = -d·s/n. Marginal gain of growing n -> n+1.
+double marginal_gain(const PoolSignal& pool, std::size_t threads) {
+  const double pressure = pool.demand * pool.service_paper_s;
+  return pressure / (static_cast<double>(threads) *
+                     static_cast<double>(threads + 1));
+}
+
+// Marginal loss of shrinking n -> n-1 (infinite at the floor).
+double marginal_loss(const PoolSignal& pool, std::size_t threads) {
+  if (threads <= pool.min_threads || threads <= 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double pressure = pool.demand * pool.service_paper_s;
+  return pressure / (static_cast<double>(threads - 1) *
+                     static_cast<double>(threads));
+}
+
+}  // namespace
+
+std::vector<std::size_t> plan_rebalance(const std::vector<PoolSignal>& pools,
+                                        const PlanConstraints& constraints) {
+  std::vector<std::size_t> targets;
+  targets.reserve(pools.size());
+  for (const auto& pool : pools) targets.push_back(pool.threads);
+  if (pools.empty()) return targets;
+
+  std::vector<std::size_t> moved_in(pools.size(), 0);
+  std::vector<std::size_t> moved_out(pools.size(), 0);
+  std::size_t total = 0;
+  std::size_t db_used = 0;
+  for (std::size_t i = 0; i < pools.size(); ++i) {
+    total += targets[i];
+    if (pools[i].holds_db_connection) db_used += targets[i];
+  }
+
+  // One exchange (or slack draw) per iteration; the per-pool step caps bound
+  // the loop, the explicit limit is a backstop.
+  for (int iter = 0; iter < 256; ++iter) {
+    // Receiver: largest marginal gain among pools that may still grow.
+    int recv = -1;
+    double best_gain = kMinGain;
+    for (std::size_t i = 0; i < pools.size(); ++i) {
+      if (moved_in[i] >= constraints.max_step_per_tick) continue;
+      const double gain = marginal_gain(pools[i], targets[i]);
+      if (gain > best_gain) {
+        best_gain = gain;
+        recv = static_cast<int>(i);
+      }
+    }
+    if (recv < 0) break;
+    const bool recv_db = pools[static_cast<std::size_t>(recv)].holds_db_connection;
+
+    // Donor: smallest marginal loss among pools that may still shrink —
+    // or budget slack (loss 0) when the total is under the thread budget.
+    // A DB-holding receiver fed from slack or a non-DB donor needs a free
+    // connection under the DB budget; a DB->DB exchange is always neutral.
+    const bool db_headroom = db_used < constraints.db_connection_budget;
+    int donor = -1;  // -1 = none, -2 = slack
+    double best_loss = std::numeric_limits<double>::infinity();
+    if (total < constraints.thread_budget && (!recv_db || db_headroom)) {
+      donor = -2;
+      best_loss = 0.0;
+    }
+    for (std::size_t i = 0; i < pools.size(); ++i) {
+      if (static_cast<int>(i) == recv) continue;
+      if (moved_out[i] >= constraints.max_step_per_tick) continue;
+      if (recv_db && !pools[i].holds_db_connection && !db_headroom) continue;
+      const double loss = marginal_loss(pools[i], targets[i]);
+      if (loss < best_loss) {
+        best_loss = loss;
+        donor = static_cast<int>(i);
+      }
+    }
+    if (donor == -1) break;
+
+    // Hysteresis: act only when the receiver's gain clearly beats the
+    // donor's loss, so near-equal pressures do not ping-pong threads.
+    if (best_gain <= best_loss * (1.0 + constraints.hysteresis) ||
+        best_gain <= best_loss + kMinGain) {
+      break;
+    }
+
+    ++targets[static_cast<std::size_t>(recv)];
+    ++moved_in[static_cast<std::size_t>(recv)];
+    if (recv_db) ++db_used;
+    if (donor == -2) {
+      ++total;
+    } else {
+      --targets[static_cast<std::size_t>(donor)];
+      ++moved_out[static_cast<std::size_t>(donor)];
+      if (pools[static_cast<std::size_t>(donor)].holds_db_connection) {
+        --db_used;
+      }
+    }
+  }
+  return targets;
+}
+
+PoolController::PoolController(const ServerConfig& config,
+                               WorkerPool<RequestContext>& general_pool,
+                               WorkerPool<RequestContext>* lengthy_pool,
+                               WorkerPool<RequestContext>& render_pool,
+                               db::ConnectionPool& db_pool,
+                               ReserveController& reserve, ServerStats& stats)
+    : config_(config),
+      knobs_(config.utility),
+      general_pool_(general_pool),
+      lengthy_pool_(lengthy_pool),
+      render_pool_(render_pool),
+      db_pool_(db_pool),
+      reserve_(reserve),
+      stats_(stats),
+      general_target_(general_pool.target_thread_count()),
+      lengthy_target_(lengthy_pool ? lengthy_pool->target_thread_count() : 0),
+      render_target_(render_pool.target_thread_count()),
+      db_target_(db_pool.target_size()) {}
+
+PoolSignal PoolController::observe(const std::string& name,
+                                   WorkerPool<RequestContext>& pool,
+                                   Stage stage, std::size_t min_threads,
+                                   bool holds_db, PoolState& state) {
+  // Instantaneous pressure: threads working, items waiting, and items shed
+  // since the last tick (each shed is demand the queue could not even hold —
+  // without it a saturated bounded queue under-reports a hot pool).
+  const std::uint64_t rejected = pool.rejected();
+  const double shed_delta =
+      static_cast<double>(rejected - std::min(rejected, state.prev_rejected));
+  state.prev_rejected = rejected;
+  const double inst = static_cast<double>(pool.busy_count()) +
+                      static_cast<double>(pool.queue_length()) + shed_delta;
+
+  // Interval mean service time from the stage's cumulative summaries (all
+  // request classes folded together).
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  for (RequestClass cls :
+       {RequestClass::kStatic, RequestClass::kQuickDynamic,
+        RequestClass::kLengthyDynamic}) {
+    const LatencySummary s = stats_.stage_metrics().service(stage, cls);
+    count += s.count;
+    sum += static_cast<double>(s.count) * s.mean;
+  }
+  double interval_service = state.service_ewma;
+  if (count > state.prev_count) {
+    interval_service = (sum - state.prev_sum) /
+                       static_cast<double>(count - state.prev_count);
+  }
+  state.prev_count = count;
+  state.prev_sum = sum;
+
+  const double alpha = std::clamp(knobs_.ewma_alpha, 0.01, 1.0);
+  state.demand_ewma = state.demand_ewma == 0.0 && state.service_ewma == 0.0
+                          ? inst
+                          : alpha * inst + (1.0 - alpha) * state.demand_ewma;
+  if (interval_service > 0.0) {
+    state.service_ewma = state.service_ewma == 0.0
+                             ? interval_service
+                             : alpha * interval_service +
+                                   (1.0 - alpha) * state.service_ewma;
+  }
+
+  PoolSignal signal;
+  signal.name = name;
+  signal.threads = pool.target_thread_count();
+  signal.min_threads = min_threads;
+  signal.demand = state.demand_ewma;
+  signal.service_paper_s = state.service_ewma;
+  signal.holds_db_connection = holds_db;
+  return signal;
+}
+
+void PoolController::set_treserve_from_quick_demand() {
+  // Quick demand in threads via Little's law: quick completion rate in the
+  // general pool × quick service time there. The reservation follows demand
+  // instead of chasing tspare dips, so a lengthy flood cannot talk the
+  // server into reserving threads quick traffic will never use.
+  const LatencySummary quick =
+      stats_.stage_metrics().service(Stage::kGeneral, RequestClass::kQuickDynamic);
+  const double sum = static_cast<double>(quick.count) * quick.mean;
+  const double period = std::max(1e-9, config_.controller_period_paper_s);
+  double quick_threads = quick_threads_ewma_;
+  if (quick.count > prev_quick_count_) {
+    const double interval_mean =
+        (sum - prev_quick_sum_) /
+        static_cast<double>(quick.count - prev_quick_count_);
+    const double rate =
+        static_cast<double>(quick.count - prev_quick_count_) / period;
+    quick_threads = rate * interval_mean;
+  } else {
+    // No quick completions this tick: decay toward zero so a vanished quick
+    // stream releases its reservation.
+    quick_threads = 0.0;
+  }
+  prev_quick_count_ = quick.count;
+  prev_quick_sum_ = sum;
+  const double alpha = std::clamp(knobs_.ewma_alpha, 0.01, 1.0);
+  quick_threads_ewma_ =
+      alpha * quick_threads + (1.0 - alpha) * quick_threads_ewma_;
+
+  // +1: headroom so the reservation leads demand by one thread rather than
+  // trailing it (an arriving quick burst meets at least one spare).
+  const auto target =
+      static_cast<std::int64_t>(std::ceil(quick_threads_ewma_)) + 1;
+  const std::int64_t before = reserve_.treserve();
+  if (reserve_.set(target) != before) ++treserve_sets_;
+}
+
+void PoolController::tick(double now_paper_s) {
+  ++ticks_;
+
+  std::vector<PoolSignal> signals;
+  signals.push_back(observe("general", general_pool_, Stage::kGeneral,
+                            knobs_.min_general_threads, /*holds_db=*/true,
+                            general_state_));
+  if (lengthy_pool_ != nullptr) {
+    signals.push_back(observe("lengthy", *lengthy_pool_, Stage::kLengthy,
+                              knobs_.min_lengthy_threads, /*holds_db=*/true,
+                              lengthy_state_));
+  }
+  signals.push_back(observe("render", render_pool_, Stage::kRender,
+                            knobs_.min_render_threads, /*holds_db=*/false,
+                            render_state_));
+
+  PlanConstraints constraints;
+  const std::size_t configured_threads =
+      config_.general_threads +
+      (lengthy_pool_ != nullptr ? config_.lengthy_threads : 0) +
+      config_.render_threads;
+  constraints.thread_budget = knobs_.thread_budget != 0
+                                  ? knobs_.thread_budget
+                                  : configured_threads;
+  constraints.db_connection_budget = knobs_.max_db_connections != 0
+                                         ? knobs_.max_db_connections
+                                         : config_.db_connections;
+  constraints.max_step_per_tick = std::max<std::size_t>(1, knobs_.max_step_per_tick);
+  constraints.hysteresis = knobs_.hysteresis;
+
+  const std::vector<std::size_t> plan = plan_rebalance(signals, constraints);
+  const std::size_t general = plan[0];
+  const std::size_t lengthy = lengthy_pool_ != nullptr ? plan[1] : 0;
+  const std::size_t render = plan[lengthy_pool_ != nullptr ? 2 : 1];
+
+  std::size_t moves = 0;
+  const auto diff = [&moves](std::size_t a, std::size_t b) {
+    moves += a > b ? a - b : b - a;
+  };
+  diff(general, general_target_);
+  diff(lengthy, lengthy_target_);
+  diff(render, render_target_);
+  thread_moves_ += moves;
+
+  // Actuation. Resize protocol (DESIGN.md §15): the DB pool grows BEFORE the
+  // dynamic pools so a new worker's adopt() finds a connection waiting, and
+  // shrinks AFTER them so the drain debt is covered by the exiting workers'
+  // released leases — general+lengthy ≤ connections holds throughout.
+  const std::size_t db_needed = general + lengthy;
+  if (db_needed > db_target_) {
+    db_pool_.resize(db_needed);
+    ++db_resizes_;
+  }
+  // Shrinks before grows: within one tick the pool sum never overshoots the
+  // thread budget.
+  if (general < general_target_) general_pool_.resize(general);
+  if (lengthy_pool_ != nullptr && lengthy < lengthy_target_) {
+    lengthy_pool_->resize(lengthy);
+  }
+  if (render < render_target_) render_pool_.resize(render);
+  if (general > general_target_) general_pool_.resize(general);
+  if (lengthy_pool_ != nullptr && lengthy > lengthy_target_) {
+    lengthy_pool_->resize(lengthy);
+  }
+  if (render > render_target_) render_pool_.resize(render);
+  if (db_needed < db_target_) {
+    db_pool_.resize(db_needed);
+    ++db_resizes_;
+  }
+  general_target_ = general;
+  lengthy_target_ = lengthy;
+  render_target_ = render;
+  db_target_ = db_needed;
+
+  // Render-buffer free list follows the render pool: enough pooled buffers
+  // for every render thread to cycle, not enough to hoard after a shrink.
+  RenderBufferPool& buffers = RenderBufferPool::instance();
+  const std::size_t pool_wide =
+      std::max<std::size_t>(1, render * knobs_.render_buffers_per_thread);
+  buffers.set_limits(
+      buffers.max_retained_bytes(),
+      std::max<std::size_t>(1, pool_wide / RenderBufferPool::kShards));
+
+  set_treserve_from_quick_demand();
+
+  stats_.sample_pool_size("general", now_paper_s, general);
+  if (lengthy_pool_ != nullptr) {
+    stats_.sample_pool_size("lengthy", now_paper_s, lengthy);
+  }
+  stats_.sample_pool_size("render", now_paper_s, render);
+  stats_.sample_pool_size("db_connections", now_paper_s, db_needed);
+}
+
+}  // namespace tempest::server

@@ -1,0 +1,181 @@
+// Controller 2.0: utility-based sizing of every pool (DESIGN.md §15).
+//
+// The paper's adaptive controller moves one knob — treserve — while the pool
+// sizes, the DB connection count, and the render-buffer free list stay static
+// config. When the quick/lengthy mix shifts, that leaves threads idle in one
+// pool while another sheds 503s. This controller replaces the single-knob
+// heuristic with a measurement-driven allocator in the style of Lai et al.,
+// "Utility Optimal Thread Assignment and Resource Allocation in Multi-Server
+// Systems" (PAPERS.md):
+//
+//   * Signals (per resizable pool, per tick): instantaneous occupancy
+//     (busy + queued + sheds since the last tick) EWMA-smoothed into a
+//     "demand" in thread units, and the interval mean service time from the
+//     StageMetrics queue-wait/service decomposition (PR 1).
+//   * Utility model: pool i holding n threads with demand d and mean service
+//     time s accrues expected aggregate queue-wait cost d·s/n — the
+//     concave-utility form U_i(n) = -d_i·s_i/n. The marginal gain of thread
+//     n+1 is d·s/(n(n+1)) and the marginal loss of thread n is d·s/((n-1)n),
+//     both strictly decreasing in n, so the greedy exchange below is optimal
+//     for the fitted utilities.
+//   * Allocation: once per tick, repeatedly move one thread from the pool
+//     with the smallest marginal loss to the pool with the largest marginal
+//     gain — or draw from budget slack — while gain exceeds loss by the
+//     hysteresis factor, under per-tick step caps, per-pool floors, a global
+//     thread budget, and the DB-connection budget (each dynamic thread
+//     stores one connection, so Σ dynamic threads ≤ connections).
+//   * Actuation order: connections grow before the dynamic pools that will
+//     adopt them, and shrink after those pools drain — WorkerPool::resize
+//     grows eagerly and shrinks by draining; ConnectionPool::resize retires
+//     idle connections now and leased ones as they come back.
+//   * treserve stays the Table 1 dispatch knob, now one OUTPUT of the
+//     allocator: quick demand in threads via Little's law (quick completion
+//     rate × quick service time in the general pool), clamped to the
+//     ReserveController's [min, max] band. Paper mode never constructs this
+//     class, so the Table 2 reproduction is untouched.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/worker_pool.h"
+#include "src/db/pool.h"
+#include "src/server/request_context.h"
+#include "src/server/reserve_controller.h"
+#include "src/server/server_config.h"
+#include "src/server/server_stats.h"
+
+namespace tempest::server {
+
+// One resizable resource as the planner sees it. Pure data so the allocation
+// math is unit-testable without servers, threads, or clocks.
+struct PoolSignal {
+  std::string name;
+  std::size_t threads = 1;       // current size
+  std::size_t min_threads = 1;   // floor the planner must respect
+  double demand = 0.0;           // smoothed threads-wanted (busy+queued+shed)
+  double service_paper_s = 0.0;  // smoothed mean service time per item
+  bool holds_db_connection = false;  // general/lengthy: thread ⇒ connection
+};
+
+struct PlanConstraints {
+  // Total threads across all planned pools (slack above the current sum may
+  // be allocated; the plan never exceeds it).
+  std::size_t thread_budget = 0;
+  // Σ threads of pools with holds_db_connection must stay ≤ this.
+  std::size_t db_connection_budget = 0;
+  std::size_t max_step_per_tick = 2;
+  double hysteresis = 0.25;
+};
+
+// Fits new thread counts for `pools` under `constraints` by greedy marginal-
+// utility exchange (see file comment). Returns one target per input pool,
+// in order. Deterministic: ties break toward the lowest pool index.
+std::vector<std::size_t> plan_rebalance(const std::vector<PoolSignal>& pools,
+                                        const PlanConstraints& constraints);
+
+// The live allocator: owns the smoothing state, reads the signals off the
+// staged server's pools and StageMetrics each tick, plans, and actuates.
+class PoolController {
+ public:
+  struct Counters {
+    std::uint64_t ticks = 0;
+    std::uint64_t thread_moves = 0;   // threads moved/grown/shrunk, total
+    std::uint64_t db_resizes = 0;     // ConnectionPool::resize calls that acted
+    std::uint64_t treserve_sets = 0;  // reserve updates that changed the value
+  };
+
+  // `lengthy` may be null (merged-pool ablation): the controller then sizes
+  // only general/render. All referenced objects must outlive the controller.
+  PoolController(const ServerConfig& config,
+                 WorkerPool<RequestContext>& general_pool,
+                 WorkerPool<RequestContext>* lengthy_pool,
+                 WorkerPool<RequestContext>& render_pool,
+                 db::ConnectionPool& db_pool, ReserveController& reserve,
+                 ServerStats& stats);
+
+  // One allocation round. Single-ticker: called from the staged server's
+  // controller thread (or a test driving paper time by hand), never
+  // concurrently.
+  void tick(double now_paper_s);
+
+  // Snapshot of the tick/move/resize counters. Safe to call from any thread
+  // while the controller thread is ticking (tests, bench summaries, stats
+  // dumps read these live).
+  Counters counters() const {
+    Counters c;
+    c.ticks = ticks_.load(std::memory_order_relaxed);
+    c.thread_moves = thread_moves_.load(std::memory_order_relaxed);
+    c.db_resizes = db_resizes_.load(std::memory_order_relaxed);
+    c.treserve_sets = treserve_sets_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  // Last fitted targets (post-clamp), for tests and stats dumps; atomic for
+  // the same cross-thread readers as counters().
+  std::size_t general_target() const {
+    return general_target_.load(std::memory_order_relaxed);
+  }
+  std::size_t lengthy_target() const {
+    return lengthy_target_.load(std::memory_order_relaxed);
+  }
+  std::size_t render_target() const {
+    return render_target_.load(std::memory_order_relaxed);
+  }
+  std::size_t db_target() const {
+    return db_target_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Per-pool smoothing state and the previous tick's cumulative counters
+  // (for interval estimates).
+  struct PoolState {
+    double demand_ewma = 0.0;
+    double service_ewma = 0.0;
+    std::uint64_t prev_rejected = 0;
+    // Previous cumulative (count, count*mean) of the pool's stage service
+    // summary, summed over classes, for interval mean service time.
+    std::uint64_t prev_count = 0;
+    double prev_sum = 0.0;
+  };
+
+  // Updates `state` from the pool's instantaneous occupancy and its stage's
+  // interval service time; returns the PoolSignal for the planner.
+  PoolSignal observe(const std::string& name, WorkerPool<RequestContext>& pool,
+                     Stage stage, std::size_t min_threads, bool holds_db,
+                     PoolState& state);
+
+  void set_treserve_from_quick_demand();
+
+  const ServerConfig& config_;
+  const PoolControllerConfig knobs_;
+  WorkerPool<RequestContext>& general_pool_;
+  WorkerPool<RequestContext>* lengthy_pool_;
+  WorkerPool<RequestContext>& render_pool_;
+  db::ConnectionPool& db_pool_;
+  ReserveController& reserve_;
+  ServerStats& stats_;
+
+  PoolState general_state_;
+  PoolState lengthy_state_;
+  PoolState render_state_;
+  // Quick-demand smoothing for the treserve output.
+  double quick_threads_ewma_ = 0.0;
+  std::uint64_t prev_quick_count_ = 0;
+  double prev_quick_sum_ = 0.0;
+
+  std::atomic<std::size_t> general_target_{0};
+  std::atomic<std::size_t> lengthy_target_{0};
+  std::atomic<std::size_t> render_target_{0};
+  std::atomic<std::size_t> db_target_{0};
+
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::uint64_t> thread_moves_{0};
+  std::atomic<std::uint64_t> db_resizes_{0};
+  std::atomic<std::uint64_t> treserve_sets_{0};
+};
+
+}  // namespace tempest::server

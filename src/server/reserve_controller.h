@@ -35,23 +35,33 @@ class ReserveController {
 
   // Applies the once-per-second update given the sampled tspare.
   // Returns the new treserve.
+  //
+  // Written as a CAS loop so concurrent tickers cannot lose updates: the
+  // original load/store pair let two ticks read the same starting reserve
+  // and the second blindly overwrite the first's result. The servers run a
+  // single controller thread, but the controller is also ticked from tests
+  // and (in utility mode) set() races a paper-mode tick would otherwise
+  // clobber. Each retry recomputes from the freshly observed value, so every
+  // tick applies the paper's update rule to the latest state.
   std::int64_t tick(std::int64_t tspare) {
-    const std::int64_t reserve = treserve_.load(std::memory_order_relaxed);
-    std::int64_t next = reserve;
-    if (tspare < reserve) {
-      std::int64_t delta = reserve - tspare;
-      if (tspare < min_reserve_) delta += min_reserve_ - tspare;
-      next = std::min(reserve + delta, max_reserve_);
-    } else if (tspare > reserve) {
-      // Half the difference, but always at least one: integer halving of a
-      // difference of 1 would otherwise pin treserve forever. (This still
-      // reproduces the paper's Table 2 trace exactly — the one row with
-      // difference 1 is floored by the configured minimum.)
-      const std::int64_t delta = std::max<std::int64_t>(1, (tspare - reserve) / 2);
-      next = std::max(min_reserve_, reserve - delta);
-    }
-    treserve_.store(next, std::memory_order_relaxed);
+    std::int64_t reserve = treserve_.load(std::memory_order_relaxed);
+    std::int64_t next;
+    do {
+      next = next_reserve(reserve, tspare);
+    } while (!treserve_.compare_exchange_weak(reserve, next,
+                                              std::memory_order_relaxed));
     return next;
+  }
+
+  // Directly sets treserve (clamped to [min_reserve, max_reserve]). The
+  // utility controller (DESIGN.md §15) computes the reservation from quick
+  // demand via Little's law and publishes it here, so Table 1 dispatch keeps
+  // working unchanged in utility mode.
+  std::int64_t set(std::int64_t treserve) {
+    const std::int64_t clamped =
+        std::min(max_reserve_, std::max(min_reserve_, treserve));
+    treserve_.store(clamped, std::memory_order_relaxed);
+    return clamped;
   }
 
   // Table 1: should a *lengthy* request go to the lengthy pool?
@@ -68,6 +78,26 @@ class ReserveController {
   std::int64_t max_reserve() const { return max_reserve_; }
 
  private:
+  // The paper's Table 2 update rule, as a pure function of the observed
+  // state (used by tick()'s CAS loop).
+  std::int64_t next_reserve(std::int64_t reserve, std::int64_t tspare) const {
+    if (tspare < reserve) {
+      std::int64_t delta = reserve - tspare;
+      if (tspare < min_reserve_) delta += min_reserve_ - tspare;
+      return std::min(reserve + delta, max_reserve_);
+    }
+    if (tspare > reserve) {
+      // Half the difference, but always at least one: integer halving of a
+      // difference of 1 would otherwise pin treserve forever. (This still
+      // reproduces the paper's Table 2 trace exactly — the one row with
+      // difference 1 is floored by the configured minimum.)
+      const std::int64_t delta =
+          std::max<std::int64_t>(1, (tspare - reserve) / 2);
+      return std::max(min_reserve_, reserve - delta);
+    }
+    return reserve;
+  }
+
   const std::int64_t min_reserve_;
   const std::int64_t max_reserve_;
   std::atomic<std::int64_t> treserve_;

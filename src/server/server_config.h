@@ -13,6 +13,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "src/common/fault.h"
 #include "src/common/worker_pool.h"
@@ -78,6 +80,61 @@ struct TransportConfig {
   std::shared_ptr<const FaultPlan> fault_plan;
 };
 
+// Which controller drives the staged server's once-per-tick loop.
+//   kPaper   — the paper-accurate single-knob ReserveController: only
+//              treserve moves; every pool size stays static config. This is
+//              the default, and what the Table 2 reproduction runs under.
+//   kUtility — the measurement-driven allocator (pool_controller.h,
+//              DESIGN.md §15): re-fits general/lengthy/render thread counts,
+//              the DB connection count, and the render-buffer free list from
+//              per-stage queue-wait/service signals under a global budget,
+//              and derives treserve from quick demand.
+enum class ControllerMode { kPaper, kUtility };
+
+// "paper" / "utility"; throws std::invalid_argument otherwise. Used by the
+// TEMPEST_CONTROLLER env hook and the examples' --controller flags.
+inline ControllerMode controller_mode_from_string(const std::string& name) {
+  if (name == "paper") return ControllerMode::kPaper;
+  if (name == "utility") return ControllerMode::kUtility;
+  throw std::invalid_argument("unknown controller mode: " + name +
+                              " (expected paper|utility)");
+}
+
+inline const char* to_string(ControllerMode mode) {
+  return mode == ControllerMode::kUtility ? "utility" : "paper";
+}
+
+// Knobs for the utility controller (ControllerMode::kUtility). Defaults are
+// deliberately conservative: pure rebalancing within the configured sizes,
+// small per-tick steps, and a hysteresis band wide enough that measurement
+// noise does not cause oscillation.
+struct PoolControllerConfig {
+  // Total thread budget across the resizable pools (general + lengthy +
+  // render). 0 = the sum of the configured pool sizes, i.e. rebalance only.
+  std::size_t thread_budget = 0;
+  // Upper bound on DB connections the controller may open. 0 = the
+  // configured db_connections (the controller can then only shrink/restore).
+  std::size_t max_db_connections = 0;
+  // Per-pool floors: the allocator never drains a pool below these, so a
+  // mix shift can always be served (if slowly) while the allocator reacts.
+  std::size_t min_general_threads = 2;
+  std::size_t min_lengthy_threads = 1;
+  std::size_t min_render_threads = 1;
+  // At most this many threads move in or out of one pool per tick: the step
+  // cap that keeps a mis-estimated tick small and reversible.
+  std::size_t max_step_per_tick = 2;
+  // A move happens only when the receiving pool's marginal utility exceeds
+  // the donating pool's by this fraction — the hysteresis band that stops
+  // thread ping-pong between pools with near-equal pressure.
+  double hysteresis = 0.25;
+  // EWMA smoothing for the per-tick demand signals (0 < alpha <= 1; higher
+  // reacts faster, lower filters more noise).
+  double ewma_alpha = 0.5;
+  // Render-buffer free-list budget per render thread (pool-wide; the
+  // controller converts it to a per-shard cap).
+  std::size_t render_buffers_per_thread = 4;
+};
+
 struct ServerConfig {
   // Shared resource budget.
   std::size_t db_connections = 40;
@@ -97,6 +154,12 @@ struct ServerConfig {
   double lengthy_cutoff_paper_s = 1.5;     // quick/lengthy threshold
   double controller_period_paper_s = 1.0;  // treserve update cadence
   std::int64_t treserve_min = 4;
+
+  // Controller A/B (DESIGN.md §15): the paper's single-knob treserve
+  // heuristic (default), or the utility-based allocator that additionally
+  // re-fits pool sizes and the DB connection count each tick.
+  ControllerMode controller = ControllerMode::kPaper;
+  PoolControllerConfig utility;
 
   // Ablations. `split_dynamic_pools=false` merges general+lengthy into one
   // dynamic pool (still separate rendering); `adaptive_reserve=false`

@@ -227,6 +227,18 @@ void ServerStats::sample_reserve(double t_paper_s, std::int64_t tspare,
   treserve_series_.record(t_paper_s, static_cast<double>(treserve));
 }
 
+void ServerStats::sample_pool_size(const std::string& pool_name,
+                                   double t_paper_s, std::size_t size) {
+  TimeSeries* series = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    auto& slot = pool_sizes_[pool_name];
+    if (!slot) slot = std::make_unique<TimeSeries>();
+    series = slot.get();
+  }
+  series->record(t_paper_s, static_cast<double>(size));
+}
+
 const WindowedCounter& ServerStats::counter(RequestClass cls) const {
   switch (cls) {
     case RequestClass::kStatic: return static_counter_;
@@ -277,6 +289,25 @@ std::vector<TimeSeries::Point> ServerStats::queue_series(
     std::lock_guard lock(mu_);
     const auto it = queues_.find(name);
     if (it == queues_.end()) return {};
+    series = it->second.get();
+  }
+  return series->snapshot();
+}
+
+std::vector<std::string> ServerStats::pool_size_names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, series] : pool_sizes_) names.push_back(name);
+  return names;
+}
+
+std::vector<TimeSeries::Point> ServerStats::pool_size_series(
+    const std::string& name) const {
+  TimeSeries* series = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = pool_sizes_.find(name);
+    if (it == pool_sizes_.end()) return {};
     series = it->second.get();
   }
   return series->snapshot();

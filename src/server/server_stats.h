@@ -194,6 +194,11 @@ class ServerStats {
   void sample_reserve(double t_paper_s, std::int64_t tspare,
                       std::int64_t treserve);
 
+  // Appends a pool-size sample (threads or connections) for pool `name` —
+  // the utility controller's fitted targets over time (DESIGN.md §15).
+  void sample_pool_size(const std::string& pool_name, double t_paper_s,
+                        std::size_t size);
+
   // --- Snapshots -----------------------------------------------------------
 
   const WindowedCounter& counter(RequestClass cls) const;
@@ -241,6 +246,10 @@ class ServerStats {
   std::vector<std::string> queue_names() const;
   std::vector<TimeSeries::Point> queue_series(const std::string& name) const;
 
+  std::vector<std::string> pool_size_names() const;
+  std::vector<TimeSeries::Point> pool_size_series(
+      const std::string& name) const;
+
   std::vector<TimeSeries::Point> tspare_series() const {
     return tspare_series_.snapshot();
   }
@@ -266,6 +275,7 @@ class ServerStats {
   std::map<std::string, OnlineStats> page_response_;
   std::map<std::string, std::unique_ptr<WindowedCounter>> page_counters_;
   std::map<std::string, std::unique_ptr<TimeSeries>> queues_;
+  std::map<std::string, std::unique_ptr<TimeSeries>> pool_sizes_;
   TimeSeries tspare_series_;
   TimeSeries treserve_series_;
 };

@@ -43,7 +43,7 @@ StagedServer::StagedServer(ServerConfig config,
   }
 
   const auto pool_options = [this](std::size_t capacity) {
-    return WorkerPoolOptions{capacity, config_.overflow_policy};
+    return WorkerPoolOptions{capacity, config_.overflow_policy, {}};
   };
 
   // Downstream pools first so upstream stages never submit into a pool that
@@ -90,6 +90,12 @@ StagedServer::StagedServer(ServerConfig config,
       WorkerPool<RequestContext>::ThreadHook{},
       WorkerPool<RequestContext>::ThreadHook{},
       pool_options(config_.header_queue_capacity));
+
+  if (config_.controller == ControllerMode::kUtility) {
+    pool_controller_ = std::make_unique<PoolController>(
+        config_, *general_pool_, lengthy_pool_.get(), *render_pool_, db_pool_,
+        reserve_, stats_);
+  }
 
   controller_ = std::thread([this] { controller_loop(); });
 }
@@ -165,7 +171,12 @@ void StagedServer::controller_loop() {
     // repair shelf until this tick puts them back into rotation.
     db_pool_.repair_broken();
     const std::int64_t tspare = general_spare();
-    if (config_.adaptive_reserve) {
+    if (pool_controller_) {
+      // Utility mode: the allocator re-fits pool sizes and publishes
+      // treserve itself (from quick demand), so the paper tick is skipped —
+      // the two would fight over the same knob.
+      pool_controller_->tick(now);
+    } else if (config_.adaptive_reserve) {
       reserve_.tick(tspare);
     }
     stats_.sample_reserve(now, tspare, reserve_.treserve());

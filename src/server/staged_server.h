@@ -21,6 +21,7 @@
 #include "src/db/pool.h"
 #include "src/http/parser.h"
 #include "src/server/app.h"
+#include "src/server/pool_controller.h"
 #include "src/server/request_context.h"
 #include "src/server/reserve_controller.h"
 #include "src/server/server_config.h"
@@ -44,6 +45,11 @@ class StagedServer : public WebServer {
   db::ConnectionPool& connection_pool() { return db_pool_; }
   const ServiceTimeTracker& tracker() const { return tracker_; }
   const ReserveController& reserve() const { return reserve_; }
+
+  // The utility allocator, or nullptr in paper mode (DESIGN.md §15).
+  const PoolController* pool_controller() const {
+    return pool_controller_.get();
+  }
 
   // Spare threads in the general pool right now (tspare).
   std::int64_t general_spare() const;
@@ -101,6 +107,9 @@ class StagedServer : public WebServer {
   std::unique_ptr<WorkerPool<RequestContext>> general_pool_;
   std::unique_ptr<WorkerPool<RequestContext>> lengthy_pool_;
   std::unique_ptr<WorkerPool<RequestContext>> render_pool_;
+
+  // Constructed only in ControllerMode::kUtility, after the pools it sizes.
+  std::unique_ptr<PoolController> pool_controller_;
 
   std::thread controller_;
   std::atomic<bool> stop_{false};

@@ -59,8 +59,15 @@ TEST(WorkerPoolTest, SpareCountReflectsBusyThreads) {
   EXPECT_EQ(pool.busy_count(), 2u);
   EXPECT_EQ(pool.spare_count(), 2u);
   release.store(true);
-  pool.shutdown();
+  // Spares free up as the held items finish, before any shutdown.
+  for (int i = 0; i < 200 && pool.spare_count() < 4; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   EXPECT_EQ(pool.spare_count(), 4u);
+  pool.shutdown();
+  // thread_count() tracks live threads (the resize contract), so after
+  // shutdown every worker has exited and nothing is spare.
+  EXPECT_EQ(pool.spare_count(), 0u);
 }
 
 TEST(WorkerPoolTest, QueueLengthVisibleWhileWorkersBusy) {
@@ -155,7 +162,7 @@ TEST(WorkerPoolTest, RejectPolicyReturnsItemWhenQueueFull) {
       "reject", 1, [&](std::unique_ptr<int>&&) { gate.acquire(); },
       WorkerPool<std::unique_ptr<int>>::ThreadHook{},
       WorkerPool<std::unique_ptr<int>>::ThreadHook{},
-      WorkerPoolOptions{/*queue_capacity=*/1, OverflowPolicy::kReject});
+      WorkerPoolOptions{/*queue_capacity=*/1, OverflowPolicy::kReject, {}});
   EXPECT_EQ(pool.queue_capacity(), 1u);
   EXPECT_EQ(pool.overflow_policy(), OverflowPolicy::kReject);
 
@@ -182,7 +189,7 @@ TEST(WorkerPoolTest, BlockPolicyParksProducerUntilSpaceFrees) {
   WorkerPool<int> pool(
       "block", 1, [&](int&&) { gate.acquire(); },
       WorkerPool<int>::ThreadHook{}, WorkerPool<int>::ThreadHook{},
-      WorkerPoolOptions{/*queue_capacity=*/1, OverflowPolicy::kBlock});
+      WorkerPoolOptions{/*queue_capacity=*/1, OverflowPolicy::kBlock, {}});
 
   pool.submit(1);
   while (pool.busy_count() != 1) std::this_thread::yield();
@@ -238,6 +245,135 @@ TEST(WorkerPoolTest, WorkerSurvivesHandlerException) {
   EXPECT_EQ(hook_calls.load(), 2);
   EXPECT_EQ(processed_ok.load(), 1);
   EXPECT_EQ(pool.processed(), 3u);  // throwers still count as processed
+}
+
+// --- live resize (the utility controller's actuator, DESIGN.md §15) --------
+
+TEST(WorkerPoolResizeTest, GrowSpawnsThreadsAndRunsInitHooks) {
+  std::atomic<int> inits{0};
+  std::atomic<int> exits{0};
+  WorkerPool<int> pool(
+      "grow", 2, [](int&&) {}, [&] { ++inits; }, [&] { ++exits; });
+  EXPECT_EQ(pool.thread_count(), 2u);
+  // Init hooks run inside the worker threads, so give them a beat.
+  for (int i = 0; i < 500 && inits.load() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(inits.load(), 2);
+
+  EXPECT_EQ(pool.resize(5), 5u);
+  EXPECT_EQ(pool.thread_count(), 5u);
+  EXPECT_EQ(pool.target_thread_count(), 5u);
+  // Growth is eager: every new thread runs the init hook immediately.
+  for (int i = 0; i < 500 && inits.load() < 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(inits.load(), 5);
+  pool.shutdown();
+  EXPECT_EQ(exits.load(), 5);
+}
+
+TEST(WorkerPoolResizeTest, ShrinkRetiresIdleThreadsAndRunsExitHooks) {
+  std::atomic<int> exits{0};
+  WorkerPool<int> pool(
+      "shrink", 6, [](int&&) {}, WorkerPool<int>::ThreadHook{},
+      [&] { ++exits; });
+  EXPECT_EQ(pool.resize(2), 2u);
+  // Idle surplus threads notice the kick and retire without any traffic.
+  for (int i = 0; i < 500 && pool.thread_count() > 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.thread_count(), 2u);
+  EXPECT_EQ(pool.retired(), 4u);
+  for (int i = 0; i < 500 && exits.load() < 4; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(exits.load(), 4);
+
+  // The survivors still serve.
+  pool.submit(1);
+  pool.shutdown();
+  EXPECT_EQ(pool.processed(), 1u);
+  EXPECT_EQ(exits.load(), 6);
+}
+
+TEST(WorkerPoolResizeTest, ShrinkUnderLoadLosesNoJobs) {
+  std::atomic<int> processed{0};
+  WorkerPool<int> pool("drain", 8, [&](int&&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ++processed;
+  });
+  for (int i = 0; i < 200; ++i) pool.submit(i);
+  // Shrink mid-drain: retiring threads must finish their current item and
+  // the survivors must drain the whole queue — nothing dropped.
+  EXPECT_EQ(pool.resize(2), 2u);
+  for (int i = 0; i < 100; ++i) pool.submit(1000 + i);
+  pool.shutdown();
+  EXPECT_EQ(processed.load(), 300);
+  EXPECT_EQ(pool.processed(), 300u);
+  EXPECT_GE(pool.retired(), 1u);
+}
+
+TEST(WorkerPoolResizeTest, RepeatedResizeConvergesAndReapsSlots) {
+  std::atomic<int> processed{0};
+  WorkerPool<int> pool("churn", 4, [&](int&&) { ++processed; });
+  for (int round = 0; round < 10; ++round) {
+    pool.resize(round % 2 == 0 ? 1 : 6);
+    for (int i = 0; i < 20; ++i) pool.submit(i);
+  }
+  pool.resize(3);
+  for (int i = 0; i < 500 && pool.thread_count() != 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.thread_count(), 3u);
+  pool.shutdown();
+  EXPECT_EQ(processed.load(), 200);
+}
+
+TEST(WorkerPoolResizeTest, ResizeFloorsAtOneThread) {
+  WorkerPool<int> pool("floor", 2, [](int&&) {});
+  EXPECT_EQ(pool.resize(0), 1u);
+  for (int i = 0; i < 500 && pool.thread_count() > 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.thread_count(), 1u);
+  // A one-thread pool still serves.
+  pool.submit(7);
+  pool.shutdown();
+  EXPECT_EQ(pool.processed(), 1u);
+}
+
+TEST(WorkerPoolResizeTest, ResizeAfterShutdownIsANoOp) {
+  WorkerPool<int> pool("late", 2, [](int&&) {});
+  pool.shutdown();
+  EXPECT_EQ(pool.resize(8), 2u);  // returns the unchanged target
+}
+
+TEST(WorkerPoolResizeTest, BusyThreadRetiresAfterFinishingItsItem) {
+  std::counting_semaphore<> gate(0);
+  std::atomic<int> exits{0};
+  WorkerPool<int> pool(
+      "busy-retire", 2, [&](int&&) { gate.acquire(); },
+      WorkerPool<int>::ThreadHook{}, [&] { ++exits; });
+  pool.submit(1);
+  pool.submit(2);
+  while (pool.busy_count() != 2) std::this_thread::yield();
+
+  // Both threads are mid-item; the shrink must not abandon either item.
+  pool.resize(1);
+  EXPECT_EQ(pool.processed(), 0u);
+  gate.release(2);
+  // The retiring thread can exit before the surviving one finishes its item,
+  // so wait for both conditions, not just the thread count.
+  for (int i = 0;
+       i < 500 && (pool.thread_count() > 1 || pool.processed() < 2); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.thread_count(), 1u);
+  EXPECT_EQ(pool.processed(), 2u);
+  EXPECT_EQ(pool.retired(), 1u);
+  pool.shutdown();
+  EXPECT_EQ(exits.load(), 2);
 }
 
 }  // namespace

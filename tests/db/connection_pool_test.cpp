@@ -307,6 +307,179 @@ TEST_F(ConnectionTest, AcquireForSucceedsOnceAConnectionFrees) {
   releaser.join();
 }
 
+// --- live resize (the utility controller's actuator, DESIGN.md §15) ---------
+
+TEST_F(ConnectionTest, ResizeGrowOpensConnectionsAndWakesWaiters) {
+  ConnectionPool pool(db_, 1);
+  auto held = pool.acquire();
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    auto lease = pool.acquire_for(2000.0);
+    got.store(static_cast<bool>(lease));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(got.load());
+  EXPECT_EQ(pool.resize(3), 3u);  // growth is eager: waiters wake now
+  waiter.join();
+  EXPECT_TRUE(got.load());
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.target_size(), 3u);
+}
+
+TEST_F(ConnectionTest, ResizeShrinkRetiresIdleImmediately) {
+  ConnectionPool pool(db_, 4);
+  EXPECT_EQ(pool.resize(2), 2u);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.available(), 2u);
+  EXPECT_EQ(pool.retired_count(), 2u);
+  // The survivors still execute statements.
+  auto lease = pool.acquire();
+  lease->set_charge_latency(false);
+  EXPECT_EQ(lease->execute("SELECT v FROM t WHERE id = 7").at(0, "v").as_int(),
+            70);
+}
+
+TEST_F(ConnectionTest, ResizeShrinkDrainsCheckedOutViaGiveBack) {
+  ConnectionPool pool(db_, 3);
+  auto a = pool.acquire();
+  auto b = pool.acquire();
+  // One idle connection retires at once; one more is owed by the drain
+  // (retired_count reports parked + owed).
+  EXPECT_EQ(pool.resize(1), 1u);
+  EXPECT_EQ(pool.retired_count(), 2u);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.available(), 0u);
+  // A checked-out connection is never yanked: it retires on give-back.
+  a.release();
+  EXPECT_EQ(pool.available(), 0u);
+  // The debt is settled, so the last lease returns to the idle list.
+  b.release();
+  EXPECT_EQ(pool.retired_count(), 2u);
+  EXPECT_EQ(pool.available(), 1u);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST_F(ConnectionTest, ResizeGrowRevivesRetiredBeforeOpeningFresh) {
+  FaultCounters counters;
+  ConnectionPool pool(db_, 4, LatencyModel{}, nullptr, &counters);
+  pool.resize(2);
+  EXPECT_EQ(pool.retired_count(), 2u);
+  pool.resize(4);
+  EXPECT_EQ(pool.retired_count(), 0u);
+  EXPECT_EQ(pool.size(), 4u);
+  EXPECT_EQ(pool.available(), 4u);
+  // Revived, not newly opened: ids stay stable and the revived connections
+  // answer queries again.
+  auto lease = pool.acquire();
+  lease->set_charge_latency(false);
+  EXPECT_EQ(lease->execute("SELECT v FROM t WHERE id = 7").at(0, "v").as_int(),
+            70);
+}
+
+TEST_F(ConnectionTest, ResizeSupersedesUnfilledShrinkDebt) {
+  ConnectionPool pool(db_, 2);
+  auto a = pool.acquire();
+  auto b = pool.acquire();
+  pool.resize(1);  // nothing idle: debt of 1 outstanding
+  EXPECT_EQ(pool.retired_count(), 1u);
+  // Cancelling the debt keeps the checked-out connections usable — the pool
+  // must settle back at exactly 2, neither opening a 3rd connection nor
+  // retiring one on give-back.
+  pool.resize(2);
+  EXPECT_EQ(pool.retired_count(), 0u);
+  a.release();
+  b.release();
+  EXPECT_EQ(pool.retired_count(), 0u);
+  EXPECT_EQ(pool.available(), 2u);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST_F(ConnectionTest, ShrinkParksBrokenConnectionsInsteadOfRepairingThem) {
+  FaultRule rule;
+  rule.max_fires = 1;
+  ConnectionPool pool(db_, 2, LatencyModel{},
+                      plan_with(FaultSite::kDbDrop, rule));
+  {
+    auto lease = pool.acquire();
+    lease->set_charge_latency(false);
+    EXPECT_THROW(lease->execute("SELECT v FROM t WHERE id = 1"),
+                 ConnectionDropped);
+  }
+  EXPECT_EQ(pool.broken_count(), 1u);
+  // The shrink absorbs the broken connection directly: it parks (cancelling
+  // the pending reconnect) and the healthy idle one keeps serving.
+  pool.resize(1);
+  EXPECT_EQ(pool.broken_count(), 0u);
+  EXPECT_EQ(pool.retired_count(), 1u);
+  EXPECT_EQ(pool.available(), 1u);
+  EXPECT_EQ(pool.repair_broken(), 0u);
+}
+
+TEST_F(ConnectionTest, RepairDuringPendingShrinkRetiresInsteadOfRejoining) {
+  FaultRule rule;
+  rule.max_fires = 1;
+  ConnectionPool pool(db_, 2, LatencyModel{},
+                      plan_with(FaultSite::kDbDrop, rule));
+  auto a = pool.acquire();
+  auto b = pool.acquire();
+  pool.resize(1);  // nothing idle to retire: the shrink waits on the drain
+  // Lease `a` breaks mid-drain and is shelved; the debt stays outstanding
+  // (a broken give-back never pays it down).
+  a->set_charge_latency(false);
+  EXPECT_THROW(a->execute("SELECT v FROM t WHERE id = 1"), ConnectionDropped);
+  a.release();
+  EXPECT_EQ(pool.broken_count(), 1u);
+  // Repairing during the shrink reconnects, then parks: the repaired
+  // connection covers the debt instead of rejoining the idle list.
+  EXPECT_EQ(pool.repair_broken(), 1u);
+  EXPECT_EQ(pool.available(), 0u);
+  EXPECT_EQ(pool.retired_count(), 1u);
+  // The healthy survivor returns to the idle list as usual.
+  b.release();
+  EXPECT_EQ(pool.available(), 1u);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST_F(ConnectionTest, ResizeFloorsAtOneConnection) {
+  ConnectionPool pool(db_, 2);
+  EXPECT_EQ(pool.resize(0), 1u);
+  EXPECT_EQ(pool.target_size(), 1u);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST_F(ConnectionTest, RepeatedResizeUnderLoadLosesNoConnections) {
+  ConnectionPool pool(db_, 4);
+  std::atomic<bool> stop{false};
+  std::atomic<int> completed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load()) {
+        auto lease = pool.acquire_for(2000.0);
+        if (!lease) continue;
+        lease->set_charge_latency(false);
+        lease->execute("SELECT v FROM t WHERE id = ?",
+                       {Value(1 + completed.load() % 100)});
+        ++completed;
+      }
+    });
+  }
+  // The controller's tick cadence, compressed: alternate shrink and grow
+  // while the workers hammer the pool.
+  for (int round = 0; round < 30; ++round) {
+    pool.resize(round % 2 == 0 ? 1 : 6);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  pool.resize(3);
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  EXPECT_GT(completed.load(), 0);
+  // Every lease has been given back, so the drain has fully settled.
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.available(), 3u);
+  EXPECT_EQ(pool.broken_count(), 0u);
+}
+
 TEST_F(ConnectionTest, RepairedConnectionWakesAcquireForWaiter) {
   FaultRule rule;
   rule.max_fires = 1;

@@ -16,8 +16,16 @@ sanitizer="${TEMPEST_SANITIZE:-thread}"
 # build-address,undefined-san is an awkward path; commas become dashes.
 build_dir="${BUILD_DIR:-$repo_root/build-${sanitizer//,/-}-san}"
 
+# Sanitized rebuilds are the slowest CI legs; reuse compilations via ccache
+# whenever the launcher is installed (the ccache-action in CI, or locally).
+launcher_args=()
+if command -v ccache >/dev/null 2>&1; then
+  launcher_args=(-DCMAKE_C_COMPILER_LAUNCHER=ccache
+                 -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 cmake -B "$build_dir" -S "$repo_root" -DTEMPEST_SANITIZE="$sanitizer" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo "${launcher_args[@]}"
 cmake --build "$build_dir" -j --target common_test db_test server_test
 
 # Run the binaries directly (ctest registration only covers built targets,

@@ -87,6 +87,11 @@ TEST(ChaosSoakTest, TpcwMixSurvivesEverySiteFaulting) {
   if (const char* locking = std::getenv("TEMPEST_DB_LOCKING")) {
     config.db_locking = db::locking_mode_from_string(locking);
   }
+  // ...and with TEMPEST_CONTROLLER=utility so live pool/connection resizes
+  // (grow-eager, shrink-by-drain) soak concurrently with every fault site.
+  if (const char* controller = std::getenv("TEMPEST_CONTROLLER")) {
+    config.controller = controller_mode_from_string(controller);
+  }
 
   StagedServer server(config, app, db);
   TcpListener listener(server, 0, config.transport, &server.stats());

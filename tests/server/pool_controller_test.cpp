@@ -1,0 +1,258 @@
+// Controller 2.0 (DESIGN.md §15): the greedy marginal-utility planner as a
+// pure function, and the live allocator wired into a staged server.
+#include "src/server/pool_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/server/staged_server.h"
+#include "src/server/transport.h"
+
+namespace tempest::server {
+namespace {
+
+PoolSignal signal(const std::string& name, std::size_t threads, double demand,
+                  double service, bool holds_db = true,
+                  std::size_t min_threads = 1) {
+  PoolSignal s;
+  s.name = name;
+  s.threads = threads;
+  s.min_threads = min_threads;
+  s.demand = demand;
+  s.service_paper_s = service;
+  s.holds_db_connection = holds_db;
+  return s;
+}
+
+PlanConstraints constraints(std::size_t thread_budget, std::size_t db_budget,
+                            std::size_t step = 2, double hysteresis = 0.25) {
+  PlanConstraints c;
+  c.thread_budget = thread_budget;
+  c.db_connection_budget = db_budget;
+  c.max_step_per_tick = step;
+  c.hysteresis = hysteresis;
+  return c;
+}
+
+std::size_t sum(const std::vector<std::size_t>& v) {
+  return std::accumulate(v.begin(), v.end(), std::size_t{0});
+}
+
+TEST(PlanRebalanceTest, EmptyInputYieldsEmptyPlan) {
+  EXPECT_TRUE(plan_rebalance({}, constraints(8, 8)).empty());
+}
+
+TEST(PlanRebalanceTest, MovesThreadsFromIdleToLoadedPool) {
+  // Pool 0 is nearly idle; pool 1 has four times its thread count queued.
+  const std::vector<PoolSignal> pools = {signal("idle", 6, 0.5, 1.0),
+                                         signal("hot", 2, 8.0, 1.0)};
+  const auto plan = plan_rebalance(pools, constraints(8, 16));
+  // The per-tick step cap (2) bounds the exchange, so one tick converges
+  // partway: 6/2 -> 4/4.
+  EXPECT_EQ(plan[0], 4u);
+  EXPECT_EQ(plan[1], 4u);
+  EXPECT_EQ(sum(plan), 8u);  // pure exchange: the total is conserved
+}
+
+TEST(PlanRebalanceTest, HysteresisBlocksNearEqualPressures) {
+  // Gain of growing pool 1 (4.2/20 = 0.21) does not clearly beat the loss of
+  // shrinking pool 0 (4/12 = 0.33): no thread may move, in either direction.
+  const std::vector<PoolSignal> pools = {signal("a", 4, 4.0, 1.0),
+                                         signal("b", 4, 4.2, 1.0)};
+  const auto plan = plan_rebalance(pools, constraints(8, 16));
+  EXPECT_EQ(plan[0], 4u);
+  EXPECT_EQ(plan[1], 4u);
+}
+
+TEST(PlanRebalanceTest, RespectsPerPoolFloors) {
+  // Pool 0 sits at its floor: its marginal loss is infinite, so even a
+  // starving pool 1 cannot draw it below min_threads.
+  const std::vector<PoolSignal> pools = {
+      signal("floored", 2, 0.0, 1.0, true, /*min_threads=*/2),
+      signal("hot", 4, 20.0, 1.0)};
+  const auto plan = plan_rebalance(pools, constraints(6, 16));
+  EXPECT_EQ(plan[0], 2u);
+  EXPECT_EQ(plan[1], 4u);
+}
+
+TEST(PlanRebalanceTest, AllocatesBudgetSlackToPressuredPool) {
+  // One pool, demand 6 on 2 threads, budget 6: slack is free (loss 0), so
+  // the pool grows — but only by the per-tick step cap.
+  const std::vector<PoolSignal> pools = {signal("hot", 2, 6.0, 1.0)};
+  const auto plan = plan_rebalance(pools, constraints(6, 16));
+  EXPECT_EQ(plan[0], 4u);
+}
+
+TEST(PlanRebalanceTest, NeverExceedsThreadBudget) {
+  const std::vector<PoolSignal> pools = {signal("a", 2, 10.0, 1.0),
+                                         signal("b", 2, 10.0, 1.0)};
+  const auto plan = plan_rebalance(pools, constraints(5, 16));
+  EXPECT_LE(sum(plan), 5u);
+}
+
+TEST(PlanRebalanceTest, ZeroDemandPoolsDoNotChurn) {
+  // Slack exists, but nobody clears the minimum-gain bar: idle pools must
+  // not trade threads over numerical noise.
+  const std::vector<PoolSignal> pools = {signal("a", 3, 0.0, 0.0),
+                                         signal("b", 3, 0.0, 0.0)};
+  const auto plan = plan_rebalance(pools, constraints(12, 16));
+  EXPECT_EQ(plan[0], 3u);
+  EXPECT_EQ(plan[1], 3u);
+}
+
+TEST(PlanRebalanceTest, DbBudgetBlocksGrowthFromNonDbDonor) {
+  // The DB-holding receiver wants threads, the non-DB donor has plenty to
+  // give — but every connection is spoken for, so no exchange is legal.
+  const std::vector<PoolSignal> pools = {
+      signal("render", 6, 0.1, 1.0, /*holds_db=*/false),
+      signal("general", 2, 10.0, 1.0, /*holds_db=*/true)};
+  const auto blocked = plan_rebalance(pools, constraints(8, /*db=*/2));
+  EXPECT_EQ(blocked[0], 6u);
+  EXPECT_EQ(blocked[1], 2u);
+
+  // With connection headroom the same exchange goes through.
+  const auto allowed = plan_rebalance(pools, constraints(8, /*db=*/4));
+  EXPECT_EQ(allowed[0], 4u);
+  EXPECT_EQ(allowed[1], 4u);
+}
+
+TEST(PlanRebalanceTest, DbToDbExchangeIsNeutralUnderTightDbBudget) {
+  // Both pools hold connections: moving a thread also moves its connection,
+  // so a fully-committed DB budget does not block the exchange.
+  const std::vector<PoolSignal> pools = {
+      signal("general", 6, 0.1, 1.0, /*holds_db=*/true),
+      signal("lengthy", 2, 10.0, 1.0, /*holds_db=*/true)};
+  const auto plan = plan_rebalance(pools, constraints(8, /*db=*/8));
+  EXPECT_EQ(plan[0], 4u);
+  EXPECT_EQ(plan[1], 4u);
+}
+
+TEST(PlanRebalanceTest, TiesBreakTowardLowestIndexDeterministically) {
+  // Identical pressures competing for one slack thread: the plan must be a
+  // pure function of its inputs, and the first pool wins the tie.
+  const std::vector<PoolSignal> pools = {signal("a", 1, 5.0, 1.0),
+                                         signal("b", 1, 5.0, 1.0)};
+  const auto first = plan_rebalance(pools, constraints(3, 16, /*step=*/1));
+  ASSERT_EQ(first[0], 2u);
+  EXPECT_EQ(first[1], 1u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(plan_rebalance(pools, constraints(3, 16, 1)), first);
+  }
+}
+
+TEST(PlanRebalanceTest, StepCapBoundsEveryPoolPerTick) {
+  const std::vector<PoolSignal> pools = {signal("cold", 10, 0.1, 1.0),
+                                         signal("hot", 2, 50.0, 1.0)};
+  const auto plan = plan_rebalance(pools, constraints(12, 16, /*step=*/3));
+  EXPECT_EQ(plan[0], 7u);  // shrank by exactly the cap
+  EXPECT_EQ(plan[1], 5u);  // grew by exactly the cap
+}
+
+// --- the live allocator against a real staged server -------------------------
+
+class PoolControllerSmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TimeScale::set(0.0002);
+
+    db::TableSchema schema;
+    schema.name = "kv";
+    schema.columns = {{"k", db::ColumnType::kInt},
+                      {"v", db::ColumnType::kString}};
+    schema.primary_key = 0;
+    db_.create_table(schema);
+    db_.table("kv").insert({db::Value(1), db::Value("one")});
+
+    auto app = std::make_shared<Application>();
+    auto loader = std::make_shared<tmpl::MemoryLoader>();
+    loader->add("page.html", "<p>{{ value }}</p>");
+    app->templates = loader;
+    app->router.add("/q", [](HandlerContext& ctx) -> HandlerResult {
+      auto rs = ctx.db->execute("SELECT v FROM kv WHERE k = ?", {db::Value(1)});
+      tmpl::Dict data;
+      data["value"] = tmpl::Value(rs.at(0, "v").as_string());
+      return TemplateResponse{"page.html", std::move(data)};
+    });
+    app_ = app;
+
+    config_.db_connections = 6;
+    config_.header_threads = 2;
+    config_.static_threads = 1;
+    config_.general_threads = 3;
+    config_.lengthy_threads = 2;
+    config_.render_threads = 2;
+    config_.treserve_min = 1;
+    config_.controller = ControllerMode::kUtility;
+    // Tick fast so a short test sees many allocation rounds.
+    config_.controller_period_paper_s = 0.5;
+    config_.utility.max_db_connections = 8;
+  }
+
+  void TearDown() override { TimeScale::set(0.005); }
+
+  db::Database db_;
+  std::shared_ptr<const Application> app_;
+  ServerConfig config_;
+};
+
+TEST_F(PoolControllerSmokeTest, UtilityModeTicksResizesAndKeepsServing) {
+  StagedServer server(config_, app_, db_);
+  ASSERT_NE(server.pool_controller(), nullptr);
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&] {
+      InProcClient client(server);
+      for (int i = 0; i < 40; ++i) {
+        const std::string response =
+            client.roundtrip("GET /q HTTP/1.1\r\nHost: x\r\n\r\n");
+        EXPECT_EQ(response.find("HTTP/1.1 200"), 0u);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  // Let a few more controller periods elapse after the burst.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  const auto counters = server.pool_controller()->counters();
+  EXPECT_GT(counters.ticks, 0u);
+  // The fitted targets respect floors and budgets whatever the load did.
+  EXPECT_GE(server.pool_controller()->general_target(),
+            config_.utility.min_general_threads);
+  EXPECT_LE(server.pool_controller()->db_target(),
+            config_.utility.max_db_connections);
+  // treserve is an output now, still clamped to the reserve band.
+  EXPECT_GE(server.reserve().treserve(), server.reserve().min_reserve());
+  EXPECT_LE(server.reserve().treserve(), server.reserve().max_reserve());
+  // The controller publishes a pool-size time series for the stats dump.
+  const auto names = server.stats().pool_size_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "general"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "db_connections"),
+            names.end());
+
+  // Still serving after all that resizing.
+  InProcClient client(server);
+  const std::string response =
+      client.roundtrip("GET /q HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(response.find("HTTP/1.1 200"), 0u);
+  server.shutdown();
+}
+
+TEST_F(PoolControllerSmokeTest, PaperModeConstructsNoController) {
+  config_.controller = ControllerMode::kPaper;
+  StagedServer server(config_, app_, db_);
+  EXPECT_EQ(server.pool_controller(), nullptr);
+  InProcClient client(server);
+  EXPECT_EQ(client.roundtrip("GET /q HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("HTTP/1.1 200"),
+            0u);
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace tempest::server

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <latch>
+#include <thread>
+#include <vector>
+
 namespace tempest::server {
 namespace {
 
@@ -94,6 +98,39 @@ TEST(ReserveControllerTest, MaxClampedToAtLeastMin) {
   ReserveController controller(50, 10);
   EXPECT_EQ(controller.max_reserve(), 50);
   EXPECT_EQ(controller.min_reserve(), 50);
+}
+
+TEST(ReserveControllerTest, SetClampsToTheReserveBand) {
+  ReserveController controller(2, 10);
+  EXPECT_EQ(controller.set(5), 5);
+  EXPECT_EQ(controller.treserve(), 5);
+  EXPECT_EQ(controller.set(0), 2);    // floored at the minimum
+  EXPECT_EQ(controller.set(99), 10);  // capped at the maximum
+}
+
+TEST(ReserveControllerTest, ConcurrentTicksLoseNoUpdates) {
+  // Regression: tick() used a relaxed load/store pair, so two concurrent
+  // tickers could read the same starting reserve and the second would
+  // blindly overwrite the first's update. With min_reserve 0 and tspare 0
+  // every tick doubles the reserve, and doubling commutes — so T ticks from
+  // 1 must land on exactly 2^T no matter how they interleave. A lost update
+  // shows up as a smaller final value.
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  ReserveController controller(0, 1 << 20);
+  for (int round = 0; round < kRounds; ++round) {
+    controller.set(1);
+    std::latch start(kThreads);
+    std::vector<std::thread> tickers;
+    for (int t = 0; t < kThreads; ++t) {
+      tickers.emplace_back([&] {
+        start.arrive_and_wait();
+        controller.tick(0);
+      });
+    }
+    for (auto& t : tickers) t.join();
+    ASSERT_EQ(controller.treserve(), 1 << kThreads) << "round " << round;
+  }
 }
 
 }  // namespace
