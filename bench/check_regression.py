@@ -24,9 +24,10 @@ import pathlib
 import re
 import sys
 
-# Higher-is-better metrics that gate the build.
+# Higher-is-better metrics that gate the build. `hit_rate$` (not anchored at
+# the front) also catches fragment-cache rates like mix_fragment_hit_rate.
 THROUGHPUT_KEYS = re.compile(
-    r"(_rps$|_speedup$|^hit_rate$|^throughput_per_paper_min$|^completed_total$)"
+    r"(_rps$|_speedup$|hit_rate$|^throughput_per_paper_min$|^completed_total$)"
 )
 
 

@@ -1,4 +1,5 @@
-// Figure 12 (ours, not in the paper): what the render-output cache buys.
+// Figure 12 (ours, not in the paper): what the render-output cache buys —
+// and what the fragment cache reaches that it cannot.
 //
 //  1. Hot-page hammer: closed-loop clients all fetching the same lengthy
 //     catalog page (/best_sellers) through the staged server, cache off vs
@@ -9,9 +10,15 @@
 //     Browsing-heavy interactions hit the cached catalog pages while the
 //     buy/admin write paths invalidate them, so this measures the cache
 //     under churn rather than a best case.
+//  3. Personalized hammer: every request carries a fresh c_id, so the
+//     URL-keyed response cache misses by construction; the subject-keyed
+//     {% cache %} fragments are the only reuse available. A/B: fragment
+//     cache off vs on (response cache on in both cells).
+//  4. TPC-W mix with the fragment cache on top of the response cache:
+//     emits the mix fragment hit rate the CI gate floors.
 //
 // Extra flags: --window=SEC wall hammer window (default 1.0),
-// --hammer-threads=N closed-loop clients in part 1 (default 16).
+// --hammer-threads=N closed-loop clients in parts 1/3 (default 16).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -40,7 +47,16 @@ constexpr const char* kHotPages[] = {
     "/home?c_id=1",
 };
 
-double hammer_rps(server::StagedServer& server, int threads, double window_s) {
+// The two personalized catalog pages part 3 cycles through: the rotating
+// c_id suffix makes every URL distinct while the subject-keyed fragment
+// stays shared.
+constexpr const char* kPersonalizedPages[] = {
+    "/best_sellers?subject=ARTS&c_id=",
+    "/new_products?subject=ARTS&c_id=",
+};
+
+double hammer_rps(server::StagedServer& server, int threads, double window_s,
+                  bool personalized = false) {
   std::atomic<std::uint64_t> completed{0};
   std::atomic<bool> stop{false};
   std::vector<std::thread> fleet;
@@ -51,7 +67,12 @@ double hammer_rps(server::StagedServer& server, int threads, double window_s) {
       server::InProcClient client(server);
       std::size_t i = t;
       while (!stop.load(std::memory_order_relaxed)) {
-        const std::string url = kHotPages[i++ % std::size(kHotPages)];
+        const std::size_t n = i++;
+        const std::string url =
+            personalized
+                ? kPersonalizedPages[n % std::size(kPersonalizedPages)] +
+                      std::to_string(1 + n % 509)
+                : kHotPages[n % std::size(kHotPages)];
         const std::string response = client.roundtrip(
             "GET " + url + " HTTP/1.1\r\nHost: bench\r\n\r\n");
         if (response.find("HTTP/1.1 200") == 0) {
@@ -183,12 +204,97 @@ int main(int argc, char** argv) {
   json.add_scalar("mix_cache_on", "invalidations",
                   static_cast<double>(mix_on.cache.invalidations));
 
-  // The hammer is the gate. The mix is report-only: at smoke scale the write
-  // paths invalidate faster than browse repeats arrive, so its hit count and
-  // completed delta are noise — run with --paper for a meaningful mix A/B.
+  // --- Part 3: personalized hammer, fragment cache off vs on ----------------
+  double frag_off_rps = 0;
+  double frag_on_rps = 0;
+  server::FragmentCounters::Snapshot frag_hammer;
+  {
+    server::StagedServer web(hammer_config(true), app, db);
+    frag_off_rps = hammer_rps(web, hammer_threads, window_s,
+                              /*personalized=*/true);
+    web.shutdown();
+  }
+  {
+    auto config = hammer_config(true);
+    config.fragment_cache.enabled = true;
+    server::StagedServer web(config, app, db);
+    frag_on_rps = hammer_rps(web, hammer_threads, window_s,
+                             /*personalized=*/true);
+    frag_hammer = web.stats().fragments().snapshot();
+    web.shutdown();
+  }
+  const double frag_speedup =
+      frag_off_rps > 0 ? frag_on_rps / frag_off_rps : 0.0;
+
+  metrics::Table frag_table({"fragments", "req/s", "speedup", "frag hit rate",
+                             "splices", "misses"});
+  frag_table.add_row({"off", metrics::format_double(frag_off_rps, 0), "1.00",
+                      "-", "-", "-"});
+  frag_table.add_row(
+      {"on", metrics::format_double(frag_on_rps, 0),
+       metrics::format_double(frag_speedup, 2),
+       metrics::format_double(frag_hammer.hit_rate(), 3),
+       metrics::format_int(static_cast<std::int64_t>(frag_hammer.splices)),
+       metrics::format_int(static_cast<std::int64_t>(frag_hammer.misses))});
+  std::printf("%s\n", frag_table.to_string().c_str());
+
+  json.add_scalar("personalized_frag_off", "hammer_rps", frag_off_rps);
+  json.add_scalar("personalized_frag_on", "hammer_rps", frag_on_rps);
+  json.add_scalar("personalized_frag_on", "fragment_speedup", frag_speedup);
+  json.add_scalar("personalized_frag_on", "fragment_hit_rate",
+                  frag_hammer.hit_rate());
+
+  // --- Part 4: TPC-W mix with the fragment cache on -------------------------
+  const auto mix_frag = [&] {
+    auto config = run.experiment(/*staged=*/true);
+    config.server.cache.enabled = true;
+    config.server.fragment_cache.enabled = true;
+    return tpcw::run_experiment(config);
+  }();
+
+  metrics::Table frag_mix_table({"completed", "thr/paper-min", "frag hit rate",
+                                 "frag hits", "splices", "invalidations",
+                                 "stale rejects"});
+  const double frag_minutes = mix_frag.measured_paper_seconds / 60.0;
+  frag_mix_table.add_row(
+      {metrics::format_int(
+           static_cast<std::int64_t>(mix_frag.server_completed_total)),
+       metrics::format_double(
+           frag_minutes > 0 ? mix_frag.server_completed_total / frag_minutes
+                            : 0.0,
+           0),
+       metrics::format_double(mix_frag.fragments.hit_rate(), 3),
+       metrics::format_int(
+           static_cast<std::int64_t>(mix_frag.fragments.hits_total())),
+       metrics::format_int(
+           static_cast<std::int64_t>(mix_frag.fragments.splices)),
+       metrics::format_int(
+           static_cast<std::int64_t>(mix_frag.fragments.invalidations)),
+       metrics::format_int(
+           static_cast<std::int64_t>(mix_frag.fragments.stale_rejects))});
+  std::printf("TPC-W mix, response + fragment cache on:\n%s\n",
+              frag_mix_table.to_string().c_str());
+
+  json.add_experiment("mix_fragment_on", mix_frag);
+  json.add_scalar("mix_fragment_on", "mix_fragment_hit_rate",
+                  mix_frag.fragments.hit_rate());
+  json.add_scalar("mix_fragment_on", "fragment_invalidations",
+                  static_cast<double>(mix_frag.fragments.invalidations));
+  json.add_scalar("mix_fragment_on", "stale_rejects",
+                  static_cast<double>(mix_frag.fragments.stale_rejects));
+
+  // The hammers are the gate. Part 2's mix is report-only (at smoke scale
+  // the write paths invalidate faster than browse repeats arrive); part 4's
+  // fragment hit rate must be non-zero — the personalized pages share their
+  // subject-keyed fragments even while every URL is distinct.
   const bool hammer_ok = speedup >= 2.0;
+  const bool fragment_ok =
+      frag_hammer.hit_rate() > 0.0 && mix_frag.fragments.hit_rate() > 0.0;
   std::printf("hot-page speedup >= 2x with cache on: %s (%.2fx)\n",
               hammer_ok ? "yes" : "NO", speedup);
+  std::printf("fragment hit rate non-zero (hammer %.3f, mix %.3f): %s\n",
+              frag_hammer.hit_rate(), mix_frag.fragments.hit_rate(),
+              fragment_ok ? "yes" : "NO");
   json.write();
-  return hammer_ok ? 0 : 1;
+  return hammer_ok && fragment_ok ? 0 : 1;
 }

@@ -55,6 +55,9 @@ int main(int argc, char** argv) {
 
   server::ServerConfig config;
   config.cache.enabled = true;  // catalog routes opt in; X-Cache shows hit/miss
+  // Fragment cache: {% cache %}-marked catalog subtrees are shared across
+  // personalized URLs and invalidated by buy/admin writes (DESIGN.md §16).
+  config.fragment_cache.enabled = true;
   if (auto plan = FaultPlan::from_env()) {
     std::printf("TEMPEST_FAULT_PLAN armed (seed=%llu)\n",
                 static_cast<unsigned long long>(plan->seed()));

@@ -59,6 +59,15 @@ ResultSet Connection::execute_attempt(std::string_view sql,
   // probe with no allocation.
   const auto plan = db_.cached_plan(sql);
 
+  if (read_observer_ != nullptr) {
+    // The lock list is the statement's full table footprint; the shared
+    // entries are the reads. Reported before execution — a dependency is a
+    // dependency even if the statement later faults.
+    for (const TableLock& entry : plan->locks()) {
+      if (!entry.exclusive) read_observer_->on_table_read(entry.table->name());
+    }
+  }
+
   ResultSet result = locking_ == LockingMode::kSnapshot
                          ? execute_snapshot(*plan, params)
                          : execute_myisam(*plan, params);

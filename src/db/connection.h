@@ -54,6 +54,17 @@ struct RetryPolicy {
   double backoff_multiplier = 2.0;   // backoff grows per attempt
 };
 
+// Observes which tables a connection's statements read. The server's
+// fragment-cache dependency tracker implements this to learn, with zero
+// extra parsing, what data a handler's queries were derived from: the bound
+// plan's precomputed lock list already names every referenced table, and
+// the non-exclusive entries are exactly the reads.
+class ReadObserver {
+ public:
+  virtual ~ReadObserver() = default;
+  virtual void on_table_read(std::string_view table) = 0;
+};
+
 class Connection {
  public:
   Connection(Database& db, LatencyModel model, int id,
@@ -107,6 +118,11 @@ class Connection {
   // while table locks are held. Tests can disable the charge for speed.
   void set_charge_latency(bool charge) { charge_latency_ = charge; }
 
+  // Arms (or, with null, disarms) the per-request read observer. Set by
+  // run_handler() around a handler run on the thread that owns this
+  // connection; like execution itself, thread-compatible, not thread-safe.
+  void set_read_observer(ReadObserver* observer) { read_observer_ = observer; }
+
  private:
   ResultSet execute_attempt(std::string_view sql,
                             const std::vector<Value>& params);
@@ -124,6 +140,7 @@ class Connection {
   const RetryPolicy retry_;
   LockingMode locking_ = LockingMode::kMyisam;
   bool charge_latency_ = true;
+  ReadObserver* read_observer_ = nullptr;
   std::atomic<bool> broken_{false};
   std::atomic<std::uint64_t> statements_{0};
   std::atomic<std::uint64_t> busy_paper_us_{0};

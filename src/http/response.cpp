@@ -7,6 +7,14 @@
 
 namespace tempest::http {
 
+std::string Response::body_to_string() const {
+  if (!chunked()) return std::string(body_view());
+  std::string out;
+  out.reserve(body_size());
+  for (const BodyChunk& chunk : body_chunks) out += chunk.bytes;
+  return out;
+}
+
 Response Response::make(Status status, std::string body,
                         std::string content_type) {
   Response r;

@@ -4,11 +4,21 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/http/headers.h"
 #include "src/http/status.h"
 
 namespace tempest::http {
+
+// One piece of a multi-chunk entity: a view of bytes kept alive by `owner`.
+// The owner usually aliases a larger object (a whole render buffer, a whole
+// fragment-cache entry) while `bytes` names just the slice this chunk
+// contributes — nothing is copied to assemble the sequence.
+struct BodyChunk {
+  std::shared_ptr<const std::string> owner;
+  std::string_view bytes;
+};
 
 struct Response {
   Status status = Status::kOk;
@@ -22,14 +32,33 @@ struct Response {
   // `body` remains for error pages and handler-built strings.
   std::shared_ptr<const std::string> shared_body;
 
-  // The entity bytes, wherever they live.
+  // Multi-chunk zero-copy entity: rendered segments interleaved with spliced
+  // fragment-cache bodies, each chunk keeping its own backing storage alive.
+  // When non-empty it takes precedence over both fields above; the transport
+  // writes the sequence with one vectored syscall (outbound.h).
+  std::vector<BodyChunk> body_chunks;
+
+  bool chunked() const { return !body_chunks.empty(); }
+
+  // The entity bytes when they are contiguous. Chunked responses have no
+  // single view — use body_to_string() (a copy) or the chunks directly.
   std::string_view body_view() const {
     return shared_body ? std::string_view(*shared_body)
                        : std::string_view(body);
   }
   std::size_t body_size() const {
+    if (chunked()) {
+      std::size_t n = 0;
+      for (const BodyChunk& chunk : body_chunks) n += chunk.bytes.size();
+      return n;
+    }
     return shared_body ? shared_body->size() : body.size();
   }
+
+  // A contiguous copy of the entity, whatever its representation — for
+  // consumers that need owned stable bytes anyway (the response cache's
+  // miss-insert, the legacy flattened wire image).
+  std::string body_to_string() const;
 
   static Response make(Status status, std::string body,
                        std::string content_type = "text/html; charset=utf-8");

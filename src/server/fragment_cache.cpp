@@ -1,0 +1,429 @@
+#include "src/server/fragment_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace tempest::server {
+
+namespace {
+
+// Separator for "table\x1fkey" dependency labels: a byte that cannot appear
+// in a table name and is vanishingly unlikely in a row key.
+constexpr char kDepSep = '\x1f';
+
+std::string dep_label(std::string_view table, std::string_view key) {
+  std::string label(table);
+  if (!key.empty()) {
+    label += kDepSep;
+    label += key;
+  }
+  return label;
+}
+
+}  // namespace
+
+// --- FragmentCache ----------------------------------------------------------
+
+FragmentCache::FragmentCache(FragmentCacheConfig config,
+                             FragmentCounters* counters)
+    : config_(config),
+      per_shard_entries_(std::max<std::size_t>(
+          1, config.max_entries / std::max<std::size_t>(1, config.shards))),
+      per_shard_bytes_(std::max<std::size_t>(
+          1, config.max_bytes / std::max<std::size_t>(1, config.shards))),
+      counters_(counters) {
+  const std::size_t n = std::max<std::size_t>(1, config.shards);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (counters_) counters_->set_budget(config_.max_bytes);
+}
+
+std::string FragmentCache::make_key(std::string_view name,
+                                    std::uint64_t inputs_fp) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string key(name);
+  key += '#';
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    key += kHex[(inputs_fp >> shift) & 0xF];
+  }
+  return key;
+}
+
+FragmentCache::Shard& FragmentCache::shard_for(std::string_view key) {
+  return *shards_[std::hash<std::string_view>{}(key) % shards_.size()];
+}
+
+std::vector<std::string> FragmentCache::erase_locked(Shard& shard,
+                                                     LruList::iterator it) {
+  std::vector<std::string> deps = std::move(it->deps);
+  if (counters_) counters_->sub_bytes(it->bytes);
+  shard.index.erase(std::string_view(it->key));
+  shard.bytes -= it->bytes;
+  shard.lru.erase(it);
+  return deps;
+}
+
+void FragmentCache::unregister_deps_locked(
+    std::string_view key, const std::vector<std::string>& deps) {
+  for (const std::string& label : deps) {
+    const std::size_t sep = label.find(kDepSep);
+    const auto table_it = edges_.find(label.substr(0, sep));
+    if (table_it == edges_.end()) continue;
+    TableEdges& table = table_it->second;
+    if (sep == std::string::npos) {
+      table.broad.erase(std::string(key));
+    } else if (const auto row_it = table.by_row.find(label.substr(sep + 1));
+               row_it != table.by_row.end()) {
+      row_it->second.erase(std::string(key));
+      if (row_it->second.empty()) table.by_row.erase(row_it);
+    }
+  }
+}
+
+bool FragmentCache::erase_fragment(const std::string& key) {
+  Shard& shard = shard_for(key);
+  std::vector<std::string> deps;
+  {
+    std::lock_guard lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) return false;
+    deps = erase_locked(shard, it->second);
+  }
+  if (!deps.empty()) {
+    std::lock_guard lock(index_mu_);
+    unregister_deps_locked(key, deps);
+  }
+  return true;
+}
+
+std::shared_ptr<const std::string> FragmentCache::find(std::string_view key,
+                                                       double now_paper_s) {
+  Shard& shard = shard_for(key);
+  std::vector<std::string> expired_deps;
+  std::string expired_key;
+  {
+    std::lock_guard lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) return nullptr;
+    LruList::iterator node = it->second;
+    if (now_paper_s < node->expires_paper_s) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, node);
+      return node->body;
+    }
+    expired_key = node->key;  // copy before the node dies
+    expired_deps = erase_locked(shard, node);
+    if (counters_) counters_->on_expire();
+  }
+  if (!expired_deps.empty()) {
+    std::lock_guard lock(index_mu_);
+    unregister_deps_locked(expired_key, expired_deps);
+  }
+  return nullptr;
+}
+
+void FragmentCache::insert(std::string_view key, std::string body,
+                           const std::vector<TrackedDep>& deps,
+                           double ttl_paper_s, double now_paper_s) {
+  const double ttl =
+      ttl_paper_s > 0 ? ttl_paper_s : config_.default_ttl_paper_s;
+  Node node;
+  node.key = std::string(key);
+  node.bytes = node.key.size() + body.size();
+  node.expires_paper_s = now_paper_s + ttl;
+  node.body = std::make_shared<const std::string>(std::move(body));
+  node.deps.reserve(deps.size());
+  for (const TrackedDep& dep : deps) {
+    node.deps.push_back(dep_label(dep.table, dep.key));
+  }
+  if (node.bytes > per_shard_bytes_) return;  // bigger than a whole shard
+
+  // Register the dependency edges — and check the epoch fence — BEFORE the
+  // entry becomes findable. An invalidation that runs concurrently then
+  // either advances an epoch we check here (insert rejected) or sees our
+  // edges and kills the entry after it lands; either way no stale fragment
+  // survives a write that its data preceded.
+  {
+    std::lock_guard lock(index_mu_);
+    for (const TrackedDep& dep : deps) {
+      const auto it = edges_.find(dep.table);
+      const std::uint64_t current = it == edges_.end() ? 0 : it->second.epoch;
+      if (current != dep.epoch) {
+        if (counters_) counters_->on_stale_reject();
+        return;
+      }
+    }
+    for (const TrackedDep& dep : deps) {
+      TableEdges& table = edges_[dep.table];
+      if (dep.key.empty()) {
+        table.broad.insert(node.key);
+      } else {
+        table.by_row[dep.key].insert(node.key);
+      }
+    }
+  }
+
+  std::vector<std::vector<std::string>> evicted_deps;
+  std::vector<std::string> evicted_keys;
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard lock(shard.mu);
+    if (const auto it = shard.index.find(key); it != shard.index.end()) {
+      // Replace in place (a fresher render of the same inputs).
+      evicted_keys.push_back(it->second->key);
+      evicted_deps.push_back(erase_locked(shard, it->second));
+    }
+    while (shard.lru.size() >= per_shard_entries_ ||
+           shard.bytes + node.bytes > per_shard_bytes_) {
+      const auto victim = std::prev(shard.lru.end());
+      evicted_keys.push_back(victim->key);
+      evicted_deps.push_back(erase_locked(shard, victim));
+      if (counters_) counters_->on_evict();
+    }
+    shard.lru.push_front(std::move(node));
+    shard.bytes += shard.lru.front().bytes;
+    if (counters_) counters_->add_bytes(shard.lru.front().bytes);
+    shard.index.emplace(std::string_view(shard.lru.front().key),
+                        shard.lru.begin());
+  }
+  if (counters_) counters_->on_insert();
+  if (!evicted_keys.empty()) {
+    std::lock_guard lock(index_mu_);
+    for (std::size_t i = 0; i < evicted_keys.size(); ++i) {
+      unregister_deps_locked(evicted_keys[i], evicted_deps[i]);
+    }
+  }
+}
+
+std::size_t FragmentCache::invalidate_table(std::string_view table) {
+  std::vector<std::string> victims;
+  {
+    std::lock_guard lock(index_mu_);
+    TableEdges& edges = edges_[std::string(table)];
+    ++edges.epoch;  // fence in-flight inserts first
+    victims.assign(edges.broad.begin(), edges.broad.end());
+    for (const auto& [row, keys] : edges.by_row) {
+      victims.insert(victims.end(), keys.begin(), keys.end());
+    }
+  }
+  return invalidate_collected(std::move(victims));
+}
+
+std::size_t FragmentCache::invalidate_row(std::string_view table,
+                                          std::string_view key) {
+  std::vector<std::string> victims;
+  {
+    std::lock_guard lock(index_mu_);
+    TableEdges& edges = edges_[std::string(table)];
+    // Table-granular epochs: a row write fences the whole table's in-flight
+    // inserts. Worst case that costs a rejected insert of an unrelated
+    // fragment; row-level epochs would buy little for the bookkeeping.
+    ++edges.epoch;
+    victims.assign(edges.broad.begin(), edges.broad.end());
+    if (const auto it = edges.by_row.find(std::string(key));
+        it != edges.by_row.end()) {
+      victims.insert(victims.end(), it->second.begin(), it->second.end());
+    }
+  }
+  return invalidate_collected(std::move(victims));
+}
+
+std::size_t FragmentCache::invalidate_collected(
+    std::vector<std::string> victims) {
+  std::size_t removed = 0;
+  for (const std::string& key : victims) {
+    if (erase_fragment(key)) ++removed;
+  }
+  if (counters_ && removed > 0) counters_->on_invalidate(removed);
+  return removed;
+}
+
+std::uint64_t FragmentCache::table_epoch(std::string_view table) const {
+  std::lock_guard lock(index_mu_);
+  const auto it = edges_.find(std::string(table));
+  return it == edges_.end() ? 0 : it->second.epoch;
+}
+
+void FragmentCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    if (counters_) counters_->sub_bytes(shard->bytes);
+    shard->index.clear();
+    shard->lru.clear();
+    shard->bytes = 0;
+  }
+  std::lock_guard lock(index_mu_);
+  // Keep the epochs: clear() must not make a tracker's pre-clear snapshot
+  // look current again. Only the edges go.
+  for (auto& [table, edges] : edges_) {
+    edges.broad.clear();
+    edges.by_row.clear();
+  }
+}
+
+std::size_t FragmentCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    n += shard->lru.size();
+  }
+  return n;
+}
+
+std::size_t FragmentCache::bytes() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    n += shard->bytes;
+  }
+  return n;
+}
+
+// --- DependencyTracker ------------------------------------------------------
+
+DependencyTracker::PerTable& DependencyTracker::entry(std::string_view table) {
+  for (auto& [name, per] : tables_) {
+    if (name == table) return per;
+  }
+  tables_.emplace_back(std::string(table), PerTable{});
+  // Snapshot the table's epoch at first touch: if a write lands between now
+  // and the render-stage insert, the epochs differ and the insert is
+  // rejected — the stale-fragment fence.
+  tables_.back().second.epoch = cache_->table_epoch(table);
+  return tables_.back().second;
+}
+
+void DependencyTracker::on_table_read(std::string_view table) {
+  if (cache_ == nullptr) return;
+  entry(table).read = true;
+}
+
+void DependencyTracker::depend(std::string_view table, std::string_view key) {
+  if (cache_ == nullptr) return;
+  PerTable& per = entry(table);
+  const std::string row(key);
+  if (std::find(per.keys.begin(), per.keys.end(), row) == per.keys.end()) {
+    per.keys.push_back(row);
+  }
+}
+
+std::vector<TrackedDep> DependencyTracker::take() {
+  std::vector<TrackedDep> deps;
+  deps.reserve(tables_.size());
+  for (auto& [table, per] : tables_) {
+    if (!per.keys.empty()) {
+      // Row-precise refinement replaces the automatic table-broad edge.
+      for (std::string& key : per.keys) {
+        deps.push_back(TrackedDep{table, std::move(key), per.epoch});
+      }
+    } else if (per.read) {
+      deps.push_back(TrackedDep{table, {}, per.epoch});
+    }
+  }
+  tables_.clear();
+  return deps;
+}
+
+// --- InvalidationHub --------------------------------------------------------
+
+void InvalidationHub::subscribe(std::string table, std::string path_prefix) {
+  auto& list = prefixes_[std::move(table)];
+  if (std::find(list.begin(), list.end(), path_prefix) == list.end()) {
+    list.push_back(std::move(path_prefix));
+  }
+}
+
+std::size_t InvalidationHub::invalidate_prefixes(std::string_view table) {
+  if (responses_ == nullptr) return 0;
+  const auto it = prefixes_.find(std::string(table));
+  if (it == prefixes_.end()) return 0;
+  std::size_t removed = 0;
+  for (const std::string& prefix : it->second) {
+    removed += responses_->invalidate(prefix);
+  }
+  return removed;
+}
+
+std::size_t InvalidationHub::invalidate_table(std::string_view table) {
+  std::size_t removed = fragments_ ? fragments_->invalidate_table(table) : 0;
+  return removed + invalidate_prefixes(table);
+}
+
+std::size_t InvalidationHub::invalidate_row(std::string_view table,
+                                            std::string_view key) {
+  std::size_t removed =
+      fragments_ ? fragments_->invalidate_row(table, key) : 0;
+  // The response cache is URL-keyed: route granularity is the best it can
+  // do, so a row write sweeps the same subscribed prefixes a table write
+  // does. The fragment index above is where row precision pays off.
+  return removed + invalidate_prefixes(table);
+}
+
+// --- FragmentSplicer --------------------------------------------------------
+
+bool FragmentSplicer::try_emit(std::string_view name, std::uint64_t inputs_fp,
+                               std::string& out) {
+  const std::string key = FragmentCache::make_key(name, inputs_fp);
+  std::shared_ptr<const std::string> body = cache_->find(key, now_paper_s_);
+  if (body == nullptr) {
+    if (counters_) counters_->on_miss();
+    return false;
+  }
+  if (counters_) counters_->on_hit(cls_);
+  if (capture_depth_ == 0) {
+    // Top level: don't touch the buffer — record the cut and ride the cached
+    // bytes out as their own chunk in the vectored write.
+    if (counters_) counters_->on_splice();
+    splices_.push_back(Splice{out.size(), std::move(body)});
+  } else {
+    // Inside an enclosing miss capture: the outer fragment's body must be
+    // one contiguous range of the buffer, so the hit is copied in.
+    out.append(*body);
+  }
+  return true;
+}
+
+void FragmentSplicer::on_miss_end(std::string_view name,
+                                  std::uint64_t inputs_fp,
+                                  std::string_view body, double ttl_paper_s) {
+  --capture_depth_;
+  static const std::vector<TrackedDep> kNoDeps;
+  cache_->insert(FragmentCache::make_key(name, inputs_fp), std::string(body),
+                 deps_ ? *deps_ : kNoDeps, ttl_paper_s, now_paper_s_);
+}
+
+http::Response FragmentSplicer::finish(PooledBuffer&& buffer,
+                                       http::Status status,
+                                       std::string content_type) && {
+  std::shared_ptr<const std::string> rendered = std::move(buffer).share();
+  if (splices_.empty()) {
+    return http::Response::from_shared(status, std::move(rendered),
+                                       std::move(content_type));
+  }
+  http::Response response;
+  response.status = status;
+  response.headers.set("Content-Type", content_type);
+  response.body_chunks.reserve(splices_.size() * 2 + 1);
+  const std::string_view view =
+      rendered ? std::string_view(*rendered) : std::string_view();
+  std::size_t prev = 0;
+  for (Splice& splice : splices_) {
+    if (splice.cut > prev) {
+      // Aliased view of the shared render buffer: the chunk keeps the whole
+      // buffer alive but names only its slice.
+      response.body_chunks.push_back(http::BodyChunk{
+          rendered, view.substr(prev, splice.cut - prev)});
+      prev = splice.cut;
+    }
+    response.body_chunks.push_back(
+        http::BodyChunk{splice.body, std::string_view(*splice.body)});
+  }
+  if (prev < view.size()) {
+    response.body_chunks.push_back(
+        http::BodyChunk{rendered, view.substr(prev)});
+  }
+  return response;
+}
+
+}  // namespace tempest::server

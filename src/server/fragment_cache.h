@@ -1,0 +1,388 @@
+// Fragment cache: a sharded TTL + LRU cache for *rendered template
+// sub-trees*, the piece of Vcache the whole-response cache cannot reach.
+//
+// The response cache (response_cache.h) keys on the request URL, so a
+// personalized page — same expensive catalog fragment, different c_id —
+// misses every time, and a write-heavy mix invalidates whole pages for rows
+// they never displayed. Here the unit of caching is a `{% cache %}`-marked
+// template sub-tree, keyed by the fragment name plus a fingerprint of its
+// *resolved data inputs* (the Vcache insight: a dynamic document is a pure
+// function of its generating inputs). The surrounding page still renders per
+// request; the marked sub-tree renders once per distinct input set.
+//
+// Invalidation is by data dependency, not URL. While a fragment renders on a
+// miss, a DependencyTracker — armed as the db::Connection's read observer
+// for the whole handler run — records which tables the handler's queries
+// read (handlers refine to row granularity with HandlerContext::depend()).
+// insert() registers (table[, key]) -> fragment edges in an invalidation
+// index; write paths call invalidate_table()/invalidate_row() and precisely
+// the dependent fragments die. A per-table epoch counter closes the
+// insert-after-invalidate race: the tracker snapshots each table's epoch at
+// first read, and an insert whose dependency epochs have advanced is
+// rejected — a renderer that read pre-write data can never publish a stale
+// fragment after the write's invalidation ran.
+//
+// On a hit in the zero-copy pipeline the cached body is never copied: the
+// FragmentSplicer records a cut at the current render-buffer offset and the
+// fragment rides to the transport as its own shared_ptr chunk in the
+// response's vectored write (outbound.h).
+//
+// Time is paper-time, passed explicitly (`paper_now()`), as everywhere else.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/render_buffer.h"
+#include "src/db/connection.h"
+#include "src/http/response.h"
+#include "src/server/request_class.h"
+#include "src/server/response_cache.h"
+#include "src/template/ast.h"
+
+namespace tempest::server {
+
+// Server-wide knobs, carried in ServerConfig::fragment_cache alongside the
+// response cache's CacheConfig.
+struct FragmentCacheConfig {
+  // Master switch: when false the staged server builds no fragment cache and
+  // {% cache %} markers render inline (plain sub-tree renders).
+  bool enabled = false;
+  // Lock shards for the fragment store (the invalidation index is a single
+  // separate lock: it is touched once per miss/write, not per hit).
+  std::size_t shards = 8;
+  // Capacity caps summed across shards (each shard gets an equal slice).
+  std::size_t max_entries = 8192;
+  // The fragment-cache byte budget, reported next to live usage in
+  // ServerStats dumps.
+  std::size_t max_bytes = 8 << 20;
+  // TTL for {% cache %} markers that do not set ttl=, paper-seconds.
+  double default_ttl_paper_s = 30.0;
+};
+
+// Monotonic fragment-cache counters plus a live byte gauge, mirroring
+// CacheCounters: the splicer counts hits/misses/splices as it renders, the
+// cache itself counts inserts, evictions, expirations, invalidations, and
+// keeps `bytes` current so stats dumps can show usage against the budget.
+class FragmentCounters {
+ public:
+  struct Snapshot {
+    std::uint64_t hits[kNumRequestClasses] = {0, 0, 0};
+    std::uint64_t misses = 0;         // marked sub-trees that had to render
+    std::uint64_t inserts = 0;        // fragments stored after a miss render
+    std::uint64_t splices = 0;        // hits served as zero-copy iovec chunks
+    std::uint64_t evictions = 0;      // LRU departures at entry/byte cap
+    std::uint64_t expirations = 0;    // TTL deaths observed at lookup
+    std::uint64_t invalidations = 0;  // fragments killed by dependency writes
+    std::uint64_t stale_rejects = 0;  // inserts refused: dep epoch advanced
+    std::uint64_t bytes = 0;          // gauge: live body+key bytes
+    std::uint64_t budget_bytes = 0;   // configured max_bytes
+
+    std::uint64_t hits_total() const { return hits[0] + hits[1] + hits[2]; }
+    std::uint64_t lookups() const { return hits_total() + misses; }
+    double hit_rate() const {
+      return lookups() == 0
+                 ? 0.0
+                 : static_cast<double>(hits_total()) /
+                       static_cast<double>(lookups());
+    }
+  };
+
+  void on_hit(RequestClass cls) {
+    hits_[static_cast<std::size_t>(cls)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  }
+  void on_miss() { misses_.fetch_add(1, std::memory_order_relaxed); }
+  void on_insert() { inserts_.fetch_add(1, std::memory_order_relaxed); }
+  void on_splice() { splices_.fetch_add(1, std::memory_order_relaxed); }
+  void on_evict() { evictions_.fetch_add(1, std::memory_order_relaxed); }
+  void on_expire() { expirations_.fetch_add(1, std::memory_order_relaxed); }
+  void on_invalidate(std::uint64_t n) {
+    invalidations_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void on_stale_reject() {
+    stale_rejects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_bytes(std::uint64_t n) {
+    bytes_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void sub_bytes(std::uint64_t n) {
+    bytes_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  void set_budget(std::uint64_t n) {
+    budget_.store(n, std::memory_order_relaxed);
+  }
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    for (std::size_t c = 0; c < kNumRequestClasses; ++c) {
+      s.hits[c] = hits_[c].load(std::memory_order_relaxed);
+    }
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.inserts = inserts_.load(std::memory_order_relaxed);
+    s.splices = splices_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.expirations = expirations_.load(std::memory_order_relaxed);
+    s.invalidations = invalidations_.load(std::memory_order_relaxed);
+    s.stale_rejects = stale_rejects_.load(std::memory_order_relaxed);
+    s.bytes = bytes_.load(std::memory_order_relaxed);
+    s.budget_bytes = budget_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<std::uint64_t> hits_[kNumRequestClasses] = {};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::uint64_t> splices_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> expirations_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+  std::atomic<std::uint64_t> stale_rejects_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> budget_{0};
+};
+
+// One data dependency a fragment was rendered from: a whole table (key
+// empty) or one row of it, plus the table's invalidation epoch observed when
+// the dependency was first recorded. Collected by the DependencyTracker
+// during the handler run and carried to the render stage in RequestContext.
+struct TrackedDep {
+  std::string table;
+  std::string key;  // empty = depends on the whole table
+  std::uint64_t epoch = 0;
+};
+
+class FragmentCache {
+ public:
+  explicit FragmentCache(FragmentCacheConfig config,
+                         FragmentCounters* counters = nullptr);
+
+  // Cache key for a fragment: "<name>#<inputs fingerprint, hex>".
+  static std::string make_key(std::string_view name, std::uint64_t inputs_fp);
+
+  // Returns the live body for `key`, refreshing its LRU position, or null.
+  // An entry past its TTL deadline is removed (counted as an expiration).
+  std::shared_ptr<const std::string> find(std::string_view key,
+                                          double now_paper_s);
+
+  // Stores `body` under `key` with `ttl_paper_s` (<= 0 falls back to the
+  // config default), registering (table[, key]) -> fragment edges for every
+  // dependency. Rejected — counted as a stale_reject — when any dependency's
+  // table epoch has advanced past the tracked value: the fragment was
+  // rendered from data a concurrent write already invalidated. LRU entries
+  // are evicted to respect the per-shard entry and byte caps; a fragment
+  // bigger than a whole shard's byte budget is not cached at all.
+  void insert(std::string_view key, std::string body,
+              const std::vector<TrackedDep>& deps, double ttl_paper_s,
+              double now_paper_s);
+
+  // Kills every fragment that depends on `table` — row-level and
+  // table-broad subscribers alike — and bumps the table's epoch. Returns the
+  // number of fragments removed.
+  std::size_t invalidate_table(std::string_view table);
+
+  // Kills fragments depending on (table, key) or on the whole table, and
+  // bumps the table's epoch (epochs are table-granular: a row write also
+  // fences in-flight inserts against the table, which costs at most a missed
+  // insert, never a stale serve).
+  std::size_t invalidate_row(std::string_view table, std::string_view key);
+
+  // The table's current invalidation epoch (0 before any write). The
+  // DependencyTracker snapshots this at first read.
+  std::uint64_t table_epoch(std::string_view table) const;
+
+  // Drops everything, including the dependency index (keeps counters).
+  void clear();
+
+  std::size_t size() const;   // live fragments across shards
+  std::size_t bytes() const;  // cached body+key bytes across shards
+
+  const FragmentCacheConfig& config() const { return config_; }
+
+ private:
+  struct Node {
+    std::string key;
+    std::shared_ptr<const std::string> body;
+    // Dependency labels ("table" or "table\x1fkey") for index unregistration
+    // when this entry dies, whatever kills it.
+    std::vector<std::string> deps;
+    double expires_paper_s = 0;
+    std::size_t bytes = 0;
+  };
+  using LruList = std::list<Node>;
+
+  struct Shard {
+    mutable std::mutex mu;
+    LruList lru;  // front = most recently used
+    // Views point into the owning Node's `key`; list nodes never relocate.
+    std::unordered_map<std::string_view, LruList::iterator> index;
+    std::size_t bytes = 0;
+  };
+
+  // Fragments subscribed to one table, split by granularity.
+  struct TableEdges {
+    std::unordered_set<std::string> broad;  // depend on the whole table
+    std::unordered_map<std::string, std::unordered_set<std::string>>
+        by_row;  // row key -> fragment keys
+    std::uint64_t epoch = 0;
+  };
+
+  Shard& shard_for(std::string_view key);
+  // Removes `it` from `shard` and returns its dep labels for index cleanup.
+  // Caller holds the shard lock (and NOT the index lock: the lock order is
+  // one-at-a-time, never nested, so insert and invalidate cannot deadlock).
+  std::vector<std::string> erase_locked(Shard& shard, LruList::iterator it);
+  // Removes `key`'s edges from the index. Caller holds index_mu_.
+  void unregister_deps_locked(std::string_view key,
+                              const std::vector<std::string>& deps);
+  // Erases one fragment wherever it lives and unregisters its edges.
+  // Takes the shard lock, then (separately) the index lock.
+  bool erase_fragment(const std::string& key);
+
+  std::size_t invalidate_collected(std::vector<std::string> victims);
+
+  const FragmentCacheConfig config_;
+  const std::size_t per_shard_entries_;
+  const std::size_t per_shard_bytes_;
+  FragmentCounters* const counters_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // The invalidation index and the per-table epochs. Touched once per miss
+  // insert and per write-path invalidation — never on the hit path.
+  mutable std::mutex index_mu_;
+  std::unordered_map<std::string, TableEdges> edges_;
+};
+
+// Collects the data dependencies of one handler run. Armed as the worker
+// connection's read observer for the duration of run_handler(), it records a
+// table-broad dependency for every table the handler's SELECTs touch (from
+// the bound plan's precomputed lock list — zero extra parsing). Handlers
+// with row-precise knowledge refine via depend(table, key); any manual row
+// dependency for a table replaces the automatic table-broad edge, so a
+// product page depends on its one item row, not the whole item table.
+//
+// Single-threaded by design (one handler run, one thread); take() moves the
+// result out for the trip to the render stage.
+class DependencyTracker : public db::ReadObserver {
+ public:
+  // `cache` may be null (fragment caching disabled): the tracker then
+  // records nothing and armed() is false.
+  explicit DependencyTracker(FragmentCache* cache) : cache_(cache) {}
+
+  bool armed() const { return cache_ != nullptr; }
+
+  // db::ReadObserver: a SELECT read `table` (automatic, table-broad).
+  void on_table_read(std::string_view table) override;
+
+  // Row-precise refinement from the handler.
+  void depend(std::string_view table, std::string_view key);
+
+  std::vector<TrackedDep> take();
+
+ private:
+  struct PerTable {
+    bool read = false;              // saw an automatic table-broad read
+    std::vector<std::string> keys;  // manual row refinements
+    std::uint64_t epoch = 0;
+  };
+
+  PerTable& entry(std::string_view table);
+
+  FragmentCache* cache_;
+  std::vector<std::pair<std::string, PerTable>> tables_;  // few per request
+};
+
+// One write-path API over both caches — the dependency registry the
+// satellite task asks for. A write invalidates:
+//   * dependent fragments, row-precise, via the FragmentCache index; and
+//   * whole-response entries by route prefix, via subscriptions collected at
+//     server construction from each route's CachePolicy::depends_on (the
+//     response cache is URL-keyed, so its granularity is the route).
+// Either cache pointer may be null; HandlerContext::invalidate(prefix)
+// remains as a shim over the response cache for code not yet migrated.
+class InvalidationHub {
+ public:
+  InvalidationHub(FragmentCache* fragments, ResponseCache* responses)
+      : fragments_(fragments), responses_(responses) {}
+
+  // Registers `path_prefix` as depending on `table`. Construction-time only:
+  // not synchronized against invalidate calls.
+  void subscribe(std::string table, std::string path_prefix);
+
+  // Returns the number of cache entries (fragments + responses) removed.
+  std::size_t invalidate_table(std::string_view table);
+  std::size_t invalidate_row(std::string_view table, std::string_view key);
+
+ private:
+  std::size_t invalidate_prefixes(std::string_view table);
+
+  FragmentCache* fragments_;
+  ResponseCache* responses_;
+  std::unordered_map<std::string, std::vector<std::string>> prefixes_;
+};
+
+// The server-side FragmentSink: connects a {% cache %} node's render to the
+// FragmentCache and records splice points for the zero-copy response.
+//
+// Hits at capture depth 0 do not append to the render buffer at all — the
+// splicer records a cut at the current buffer offset, and finish() emits the
+// page as alternating [rendered segment][cached fragment] body chunks, each
+// an aliased shared_ptr the transport writes with one vectored syscall.
+// Hits *inside* an enclosing miss capture append bytes instead (the captured
+// outer fragment must own contiguous storage). Misses render inline; the
+// produced byte range is inserted with the request's tracked dependencies.
+class FragmentSplicer final : public tmpl::FragmentSink {
+ public:
+  // `cache` non-null; `deps` (nullable) are the handler-run dependencies
+  // attached to every fragment inserted during this render.
+  FragmentSplicer(FragmentCache* cache, const std::vector<TrackedDep>* deps,
+                  FragmentCounters* counters, RequestClass cls,
+                  double now_paper_s)
+      : cache_(cache),
+        deps_(deps),
+        counters_(counters),
+        cls_(cls),
+        now_paper_s_(now_paper_s) {}
+
+  // tmpl::FragmentSink:
+  bool try_emit(std::string_view name, std::uint64_t inputs_fp,
+                std::string& out) override;
+  void on_miss_start() override { ++capture_depth_; }
+  void on_miss_end(std::string_view name, std::uint64_t inputs_fp,
+                   std::string_view body, double ttl_paper_s) override;
+  void on_miss_abort() override { --capture_depth_; }
+
+  bool spliced() const { return !splices_.empty(); }
+
+  // Builds the response from the rendered buffer and the recorded splices.
+  // No splices: the plain single-chunk shared body (identical to the
+  // pre-fragment path). Otherwise: body chunks alternating between aliased
+  // views of the shared render buffer and the cached fragment bodies.
+  http::Response finish(PooledBuffer&& buffer, http::Status status,
+                        std::string content_type) &&;
+
+ private:
+  struct Splice {
+    std::size_t cut = 0;  // render-buffer offset the fragment goes at
+    std::shared_ptr<const std::string> body;
+  };
+
+  FragmentCache* const cache_;
+  const std::vector<TrackedDep>* const deps_;
+  FragmentCounters* const counters_;
+  const RequestClass cls_;
+  const double now_paper_s_;
+  int capture_depth_ = 0;
+  std::vector<Splice> splices_;  // cuts are non-decreasing (render order)
+};
+
+}  // namespace tempest::server

@@ -25,6 +25,7 @@
 #include "src/db/connection.h"
 #include "src/http/request.h"
 #include "src/http/status.h"
+#include "src/server/fragment_cache.h"
 #include "src/server/response_cache.h"
 #include "src/template/value.h"
 
@@ -57,12 +58,38 @@ struct HandlerContext {
   // Write paths call invalidate() so stale catalog pages never outlive the
   // writes that made them stale.
   ResponseCache* cache = nullptr;
+  // This request's fragment dependency tracker, or nullptr when fragment
+  // caching is disabled. Handlers refine auto-recorded table-broad reads to
+  // row-precise deps with depend().
+  DependencyTracker* deps = nullptr;
+  // The server's unified invalidation fan-out (fragment index + subscribed
+  // response-cache prefixes), or nullptr when no cache is configured.
+  InvalidationHub* invalidation = nullptr;
 
   // Drops every cached response whose key starts with `path_prefix` (keys
   // start with the route path, so "/best_sellers" clears all its variants).
   // Returns the number of entries dropped; safe no-op without a cache.
+  // Prefix shim kept for handlers that know pages, not data; new write
+  // paths should name what changed via invalidate_table()/invalidate_row().
   std::size_t invalidate(std::string_view path_prefix) const {
     return cache ? cache->invalidate(path_prefix) : 0;
+  }
+
+  // Declares that the data this handler read from `table` is identified by
+  // `key` (e.g. an item id), narrowing the auto-recorded table-broad
+  // dependency so row-precise writes don't evict unrelated fragments.
+  void depend(std::string_view table, std::string_view key) const {
+    if (deps != nullptr) deps->depend(table, key);
+  }
+
+  // Dependency-based invalidation: names the data that changed, and the hub
+  // maps that to the fragments (row-precise) and cached pages (via the
+  // routes' depends_on subscriptions) derived from it.
+  void invalidate_table(std::string_view table) const {
+    if (invalidation != nullptr) invalidation->invalidate_table(table);
+  }
+  void invalidate_row(std::string_view table, std::string_view key) const {
+    if (invalidation != nullptr) invalidation->invalidate_row(table, key);
   }
 
   // Query-string parameter access (CherryPy maps these to function args).

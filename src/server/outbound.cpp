@@ -2,28 +2,51 @@
 
 namespace tempest::server {
 
-std::size_t OutboundPayload::fill_iov(std::size_t offset, iovec iov[2]) const {
-  const std::string_view chunks[2] = {head, body()};
+std::size_t OutboundPayload::size() const {
+  std::size_t n = head.size();
+  if (chunked()) {
+    for (const http::BodyChunk& chunk : body_chunks) n += chunk.bytes.size();
+  } else {
+    n += body().size();
+  }
+  return n;
+}
+
+std::size_t OutboundPayload::fill_iov(std::size_t offset, iovec* iov,
+                                      std::size_t max_iov) const {
   std::size_t n = 0;
-  for (const std::string_view chunk : chunks) {
+  const auto emit = [&](std::string_view chunk) {
+    if (n >= max_iov) return;
     if (offset >= chunk.size()) {
       offset -= chunk.size();
-      continue;
+      return;
     }
     iov[n].iov_base = const_cast<char*>(chunk.data() + offset);
     iov[n].iov_len = chunk.size() - offset;
     offset = 0;
     ++n;
+  };
+  emit(head);
+  if (chunked()) {
+    for (const http::BodyChunk& chunk : body_chunks) {
+      if (n >= max_iov) break;
+      emit(chunk.bytes);
+    }
+  } else {
+    emit(body());
   }
   return n;
 }
 
 std::string OutboundPayload::flatten() const {
   std::string wire;
-  const std::string_view entity = body();
-  wire.reserve(head.size() + entity.size());
+  wire.reserve(size());
   wire += head;
-  wire += entity;
+  if (chunked()) {
+    for (const http::BodyChunk& chunk : body_chunks) wire += chunk.bytes;
+  } else {
+    wire += body();
+  }
   return wire;
 }
 
@@ -31,13 +54,21 @@ OutboundPayload make_payload(http::Response&& response, bool head_only,
                              http::ConnectionDirective conn, bool zero_copy) {
   OutboundPayload payload;
   if (!zero_copy) {
+    if (response.chunked()) {
+      // The legacy serializer needs a contiguous body; chunked responses
+      // only arise on the zero-copy path, so this copy is escape-hatch only.
+      response.body = response.body_to_string();
+      response.body_chunks.clear();
+    }
     payload.head = http::serialize_response(response, head_only, conn);
     return payload;
   }
   payload.head =
       http::serialize_headers(response, response.body_size(), conn);
   if (!head_only) {
-    if (response.shared_body) {
+    if (response.chunked()) {
+      payload.body_chunks = std::move(response.body_chunks);
+    } else if (response.shared_body) {
       payload.body_shared = std::move(response.shared_body);
     } else {
       payload.body_owned = std::move(response.body);

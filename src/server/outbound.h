@@ -1,4 +1,4 @@
-// The unit of outbound transmission: a response as 1-2 chunks of bytes that
+// The unit of outbound transmission: a response as N chunks of bytes that
 // the transport writes with a single vectored syscall instead of gluing into
 // one wire string.
 //
@@ -7,13 +7,17 @@
 //                 strings); or
 //   body_shared — a shared reference to entity bytes owned elsewhere: a
 //                 StaticStore entry, a ResponseCache entry, or a pooled
-//                 render buffer. The referenced bytes are never copied; when
-//                 the last reference drops (payload fully written), a pooled
-//                 buffer returns to its pool via its deleter.
+//                 render buffer; or
+//   body_chunks — a multi-chunk entity (fragment-cache splices): rendered
+//                 buffer segments interleaved with cached fragment bodies,
+//                 each chunk keeping its own backing storage alive.
+//
+// Referenced bytes are never copied; when the last reference drops (payload
+// fully written), a pooled buffer returns to its pool via its deleter.
 //
 // For legacy single-chunk flows (the pre-zero-copy wire image, transport
 // 400/413 responses) `head` simply holds the whole serialized response and
-// both bodies stay empty.
+// every body field stays empty.
 #pragma once
 
 #include <sys/uio.h>
@@ -22,6 +26,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/http/response.h"
 #include "src/http/serializer.h"
@@ -32,20 +37,31 @@ struct OutboundPayload {
   std::string head;
   std::string body_owned;
   std::shared_ptr<const std::string> body_shared;
+  std::vector<http::BodyChunk> body_chunks;  // takes precedence when non-empty
 
+  // iovec capacity the transports size their stack arrays to: head + a
+  // handful of body chunks per writev round. A payload with more chunks than
+  // this still drains fully — fill_iov() caps at `max_iov` and the flush
+  // loop re-enters at the updated offset.
+  static constexpr std::size_t kMaxIov = 8;
+
+  bool chunked() const { return !body_chunks.empty(); }
+
+  // The contiguous entity (non-chunked payloads only).
   std::string_view body() const {
     return body_shared ? std::string_view(*body_shared)
                        : std::string_view(body_owned);
   }
 
-  std::size_t size() const { return head.size() + body().size(); }
+  std::size_t size() const;
 
-  // Fills up to 2 iovecs with the bytes remaining after `offset` (bytes
-  // already written on the wire). Returns the number of iovecs filled; 0
-  // means the payload is complete. Pure bookkeeping over the chunk
-  // boundaries, so short writes that land inside either chunk — or exactly
-  // on the seam — resume correctly.
-  std::size_t fill_iov(std::size_t offset, iovec iov[2]) const;
+  // Fills up to `max_iov` iovecs with the bytes remaining after `offset`
+  // (bytes already written on the wire). Returns the number of iovecs
+  // filled; 0 means the payload is complete. Pure bookkeeping over the chunk
+  // boundaries, so short writes that land inside any chunk — or exactly on a
+  // seam — resume correctly.
+  std::size_t fill_iov(std::size_t offset, iovec* iov,
+                       std::size_t max_iov = kMaxIov) const;
 
   // Single contiguous wire image (in-process transport, tests).
   std::string flatten() const;

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/common/clock.h"
 #include "src/server/handler.h"
@@ -122,6 +123,11 @@ struct RequestContext {
   // missed: the render stage stores its output under this key. Empty
   // otherwise (cache disabled, uncacheable route, or a hit was served).
   std::string cache_key;
+  // What the handler's queries were derived from (auto-recorded table reads,
+  // refined by HandlerContext::depend). Taken from the request's
+  // DependencyTracker after the dynamic stage; the render stage attaches
+  // these to every fragment the render inserts.
+  std::vector<TrackedDep> deps;
   StageTrace trace;
 
   RequestContext() = default;

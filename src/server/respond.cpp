@@ -74,7 +74,8 @@ bool reject_if_expired(RequestContext& ctx, const ServerConfig& config,
 http::Response render_template_response(const Application& app,
                                         const ServerConfig& config,
                                         const TemplateResponse& tr,
-                                        FaultCounters* faults) {
+                                        FaultCounters* faults,
+                                        FragmentSplicer* splicer) {
   if (config.fault_plan != nullptr &&
       config.fault_plan->should_fire(FaultSite::kRender, faults)) {
     return http::Response::server_error("injected render fault");
@@ -96,11 +97,18 @@ http::Response render_template_response(const Application& app,
     // capacity intact, so rendering performs no heap growth at all.
     PooledBuffer buffer =
         RenderBufferPool::instance().acquire(compiled->size_hint());
-    compiled->render_to(*buffer, tr.data, app.templates.get());
+    compiled->render_to(*buffer, tr.data, app.templates.get(),
+                        /*autoescape=*/true, splicer);
     // Rendering in its own stage lets the server measure the output and set
     // Content-Length (serialize_headers does so from body size); charge the
-    // simulated rendering service time proportional to that output.
+    // simulated rendering service time proportional to that output. Spliced
+    // fragment hits never entered the buffer, so they are charged nothing —
+    // a fragment-heavy page pays render cost only for its unique bytes.
     paper_sleep_for(config.render_cost(buffer->size()));
+    if (splicer != nullptr) {
+      return std::move(*splicer).finish(std::move(buffer), tr.status,
+                                        tr.content_type);
+    }
     // share() converts the checkout into a shared body reference; the
     // buffer rejoins the pool when the transport finishes writing it.
     return http::Response::from_shared(tr.status, std::move(buffer).share(),
@@ -144,14 +152,40 @@ http::Response serve_static(const StaticStore::Entry& entry,
   return response;
 }
 
+namespace {
+
+// Arms `deps` as the connection's read observer for one handler run and
+// guarantees disarm on every exit path — the observer must never outlive the
+// request that owns it.
+class ScopedReadObserver {
+ public:
+  ScopedReadObserver(db::Connection* conn, DependencyTracker* deps)
+      : conn_(deps != nullptr && deps->armed() ? conn : nullptr) {
+    if (conn_ != nullptr) conn_->set_read_observer(deps);
+  }
+  ~ScopedReadObserver() {
+    if (conn_ != nullptr) conn_->set_read_observer(nullptr);
+  }
+  ScopedReadObserver(const ScopedReadObserver&) = delete;
+  ScopedReadObserver& operator=(const ScopedReadObserver&) = delete;
+
+ private:
+  db::Connection* conn_;
+};
+
+}  // namespace
+
 HandlerResult run_handler(const Handler& handler, const http::Request& request,
                           db::Connection* conn, ResponseCache* cache,
-                          const FaultPlan* plan, FaultCounters* faults) {
+                          const FaultPlan* plan, FaultCounters* faults,
+                          DependencyTracker* deps,
+                          InvalidationHub* invalidation) {
+  const ScopedReadObserver observe(conn, deps);
   try {
     if (plan != nullptr && plan->should_fire(FaultSite::kHandler, faults)) {
       throw std::runtime_error("injected handler fault");
     }
-    HandlerContext ctx{request, conn, cache};
+    HandlerContext ctx{request, conn, cache, deps, invalidation};
     return handler(ctx);
   } catch (const std::exception& e) {
     LOG_WARN << "handler error for " << request.uri.path << ": " << e.what();

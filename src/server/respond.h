@@ -50,11 +50,16 @@ bool reject_if_expired(RequestContext& ctx, const ServerConfig& config,
 // charging the configured render cost (paper-time). The caller decides which
 // thread this runs on — worker thread (baseline) or render pool (staged).
 // Chaos site render.fail: with a plan armed, a firing check yields a 500
-// instead of rendering.
+// instead of rendering. `splicer` (nullable, zero-copy path only) serves
+// {% cache %} sub-trees from the fragment cache: spliced fragments never
+// enter the render buffer, so the charged render cost covers only the bytes
+// actually rendered — that is the fragment cache's speedup mechanism — and
+// the response carries them as separate zero-copy body chunks.
 http::Response render_template_response(const Application& app,
                                         const ServerConfig& config,
                                         const TemplateResponse& tr,
-                                        FaultCounters* faults = nullptr);
+                                        FaultCounters* faults = nullptr,
+                                        FragmentSplicer* splicer = nullptr);
 
 // Builds the response for a static-store hit, honoring conditional-GET
 // validators: a matching If-None-Match (or, absent that header, an exact
@@ -68,12 +73,18 @@ http::Response serve_static(const StaticStore::Entry& entry,
 // a 500 StringResponse (counted into `faults` when supplied). Chaos site
 // handler.throw: with `plan` armed, a firing check throws inside the same
 // try block a real handler bug would. `cache` (nullable) is exposed to the
-// handler so write paths can invalidate cached pages.
+// handler so write paths can invalidate cached pages. `deps` (nullable) is
+// armed as the connection's read observer for the duration of the run, so
+// every table the handler's SELECTs touch becomes a fragment dependency;
+// `invalidation` (nullable) gives write paths the dependency-based
+// invalidate_table()/invalidate_row() API.
 HandlerResult run_handler(const Handler& handler, const http::Request& request,
                           db::Connection* conn,
                           ResponseCache* cache = nullptr,
                           const FaultPlan* plan = nullptr,
-                          FaultCounters* faults = nullptr);
+                          FaultCounters* faults = nullptr,
+                          DependencyTracker* deps = nullptr,
+                          InvalidationHub* invalidation = nullptr);
 
 // Takes the StringResponse by value so its body moves into the Response.
 http::Response to_response(StringResponse sr);

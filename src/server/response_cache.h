@@ -42,6 +42,12 @@ struct CachePolicy {
   // When non-empty, only these query parameters enter the key (canonical
   // order); others are ignored. Empty = every parameter varies the key.
   std::vector<std::string> vary_params;
+  // Tables this route's pages are derived from. The staged server subscribes
+  // the route's path prefix to each named table in its InvalidationHub at
+  // construction, so a dependency-based write invalidation
+  // (HandlerContext::invalidate_table/_row) also clears this route's cached
+  // responses — no handler-side prefix lists needed.
+  std::vector<std::string> depends_on;
 };
 
 // Server-wide knobs, carried in ServerConfig::cache.

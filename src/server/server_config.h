@@ -20,6 +20,7 @@
 #include "src/common/worker_pool.h"
 #include "src/db/latency.h"
 #include "src/db/table.h"
+#include "src/server/fragment_cache.h"
 #include "src/server/response_cache.h"
 
 namespace tempest::server {
@@ -213,6 +214,13 @@ struct ServerConfig {
   // reproduction figures measure the uncached pipeline; fig12 and the
   // cache tests flip it on. Routes opt in via a CachePolicy at registration.
   CacheConfig cache;
+
+  // Fragment cache (fragment_cache.h): caches {% cache %}-marked template
+  // sub-trees keyed by their resolved data inputs, invalidated by data
+  // dependency. Off by default for the same reason as `cache`; independent
+  // of it — the two compose (URL hit short-circuits first, fragment hits
+  // accelerate the renders that remain).
+  FragmentCacheConfig fragment_cache;
 
   // Fault injection + resilience (src/common/fault.h, DESIGN.md §12).
   // `fault_plan` arms the DB/handler/render injection sites; null (default)

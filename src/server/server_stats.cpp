@@ -313,4 +313,74 @@ std::vector<TimeSeries::Point> ServerStats::pool_size_series(
   return series->snapshot();
 }
 
+namespace {
+
+void append_cache_text(std::ostringstream& out,
+                       const CacheCounters::Snapshot& s) {
+  out << "hits=" << s.hits_total() << " (static=" << s.hits[0]
+      << " quick=" << s.hits[1] << " lengthy=" << s.hits[2] << ")"
+      << " misses=" << s.misses << " inserts=" << s.inserts
+      << " evictions=" << s.evictions << " expirations=" << s.expirations
+      << " invalidations=" << s.invalidations
+      << " not_modified=" << s.not_modified;
+}
+
+void append_cache_json(std::ostringstream& out,
+                       const CacheCounters::Snapshot& s) {
+  out << "{\"hits\":" << s.hits_total() << ",\"hits_static\":" << s.hits[0]
+      << ",\"hits_quick\":" << s.hits[1] << ",\"hits_lengthy\":" << s.hits[2]
+      << ",\"misses\":" << s.misses << ",\"inserts\":" << s.inserts
+      << ",\"evictions\":" << s.evictions
+      << ",\"expirations\":" << s.expirations
+      << ",\"invalidations\":" << s.invalidations
+      << ",\"not_modified\":" << s.not_modified << "}";
+}
+
+void append_fragments_text(std::ostringstream& out,
+                           const FragmentCounters::Snapshot& s) {
+  out << "hits=" << s.hits_total() << " (static=" << s.hits[0]
+      << " quick=" << s.hits[1] << " lengthy=" << s.hits[2] << ")"
+      << " misses=" << s.misses << " hit_rate=" << s.hit_rate()
+      << " inserts=" << s.inserts << " splices=" << s.splices
+      << " evictions=" << s.evictions << " expirations=" << s.expirations
+      << " invalidations=" << s.invalidations
+      << " stale_rejects=" << s.stale_rejects << " bytes=" << s.bytes << "/"
+      << s.budget_bytes;
+}
+
+void append_fragments_json(std::ostringstream& out,
+                           const FragmentCounters::Snapshot& s) {
+  out << "{\"hits\":" << s.hits_total() << ",\"hits_static\":" << s.hits[0]
+      << ",\"hits_quick\":" << s.hits[1] << ",\"hits_lengthy\":" << s.hits[2]
+      << ",\"misses\":" << s.misses << ",\"hit_rate\":" << s.hit_rate()
+      << ",\"inserts\":" << s.inserts << ",\"splices\":" << s.splices
+      << ",\"evictions\":" << s.evictions
+      << ",\"expirations\":" << s.expirations
+      << ",\"invalidations\":" << s.invalidations
+      << ",\"stale_rejects\":" << s.stale_rejects << ",\"bytes\":" << s.bytes
+      << ",\"budget_bytes\":" << s.budget_bytes << "}";
+}
+
+}  // namespace
+
+std::string ServerStats::text() const {
+  std::ostringstream out;
+  out << "cache: ";
+  append_cache_text(out, cache_.snapshot());
+  out << "\nfragments: ";
+  append_fragments_text(out, fragments_.snapshot());
+  out << "\n" << transport_.text();
+  return out.str();
+}
+
+std::string ServerStats::json() const {
+  std::ostringstream out;
+  out << "{\"cache\":";
+  append_cache_json(out, cache_.snapshot());
+  out << ",\"fragments\":";
+  append_fragments_json(out, fragments_.snapshot());
+  out << ",\"transport\":" << transport_.json() << "}";
+  return out.str();
+}
+
 }  // namespace tempest::server

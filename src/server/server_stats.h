@@ -14,6 +14,7 @@
 
 #include "src/common/fault.h"
 #include "src/common/stats.h"
+#include "src/server/fragment_cache.h"
 #include "src/server/request_context.h"
 #include "src/server/response_cache.h"
 
@@ -228,6 +229,20 @@ class ServerStats {
   CacheCounters& cache() { return cache_; }
   const CacheCounters& cache() const { return cache_; }
 
+  // Fragment-cache counters (fragment_cache.h): hits/misses/splices from the
+  // render-stage splicer, inserts/evictions/invalidations/stale-rejects and
+  // the live byte gauge from the cache itself.
+  FragmentCounters& fragments() { return fragments_; }
+  const FragmentCounters& fragments() const { return fragments_; }
+
+  // Human-readable roll-up of the cache, fragment, and transport counters —
+  // the operational dump examples print at shutdown.
+  std::string text() const;
+
+  // Machine-readable form of the same:
+  // {"cache": {...}, "fragments": {...}, "transport": {...}}.
+  std::string json() const;
+
   // Fault-injection and recovery counters (src/common/fault.h): injection
   // sites record what they injected, the recovery paths (retries, repairs,
   // deadline rejections, degraded serves) record what they did about it.
@@ -268,6 +283,7 @@ class ServerStats {
   std::array<std::atomic<std::uint64_t>, 3> shed_{};
   TransportStats transport_;
   CacheCounters cache_;
+  FragmentCounters fragments_;
   FaultCounters faults_;
 
   mutable std::mutex mu_;

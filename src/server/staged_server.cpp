@@ -41,6 +41,25 @@ StagedServer::StagedServer(ServerConfig config,
   if (config_.cache.enabled) {
     cache_ = std::make_unique<ResponseCache>(config_.cache, &stats_.cache());
   }
+  if (config_.fragment_cache.enabled) {
+    fragment_cache_ = std::make_unique<FragmentCache>(config_.fragment_cache,
+                                                      &stats_.fragments());
+  }
+  if (cache_ || fragment_cache_) {
+    invalidation_ = std::make_unique<InvalidationHub>(fragment_cache_.get(),
+                                                      cache_.get());
+    // Routes declared which tables their pages derive from; subscribe each
+    // route's path prefix so a dependency-named write also clears its
+    // URL-keyed response-cache entries. Construction-time only — the hub's
+    // subscription map is immutable once requests flow.
+    for (const std::string& path : app_->router.paths()) {
+      if (const CachePolicy* policy = app_->router.cache_policy(path)) {
+        for (const std::string& table : policy->depends_on) {
+          invalidation_->subscribe(table, path);
+        }
+      }
+    }
+  }
 
   const auto pool_options = [this](std::size_t capacity) {
     return WorkerPoolOptions{capacity, config_.overflow_policy, {}};
@@ -360,12 +379,17 @@ void StagedServer::dynamic_stage(RequestContext& ctx) {
   }
 
   // The paper's measurement: from acquiring the request to queueing the
-  // unrendered template — pure data-generation time.
+  // unrendered template — pure data-generation time. The tracker rides as
+  // the connection's read observer, so by the time the handler returns it
+  // holds the request's data dependencies for the render stage's fragments.
+  DependencyTracker deps(fragment_cache_.get());
   const Stopwatch datagen_watch;
   HandlerResult result =
       run_handler(*handler, ctx.request, conn, cache_.get(),
-                  config_.fault_plan.get(), &stats_.faults());
+                  config_.fault_plan.get(), &stats_.faults(), &deps,
+                  invalidation_.get());
   tracker_.record(path, datagen_watch.elapsed_paper());
+  ctx.deps = deps.take();
 
   if (auto* tr = std::get_if<TemplateResponse>(&result)) {
     ctx.render = std::move(*tr);
@@ -383,9 +407,16 @@ void StagedServer::dynamic_stage(RequestContext& ctx) {
 void StagedServer::render_stage(RequestContext& ctx) {
   ctx.trace.dequeue();
   if (reject_if_expired(ctx, config_, stats_)) return;
+  // Fragment splicing needs the zero-copy path: hits ride as separate body
+  // chunks of the vectored write. On the legacy leg the markers render
+  // inline (splicer stays null), preserving the A/B comparison.
+  FragmentSplicer splicer(fragment_cache_.get(), &ctx.deps,
+                          &stats_.fragments(), ctx.cls, paper_now());
+  FragmentSplicer* const use_splicer =
+      fragment_cache_ && config_.zero_copy_responses ? &splicer : nullptr;
   http::Response response =
       ctx.render ? render_template_response(*app_, config_, *ctx.render,
-                                            &stats_.faults())
+                                            &stats_.faults(), use_splicer)
                  : http::Response::server_error("render stage without template");
   // A header-stage miss left the key behind: store the rendered page so the
   // next request short-circuits. Only clean 200s are cacheable.
@@ -396,10 +427,11 @@ void StagedServer::render_stage(RequestContext& ctx) {
       ResponseCache::CachedResponse cached;
       cached.status = response.status;
       // One copy into the cache on a miss-insert (the entry must own stable
-      // bytes); every later hit serves it back by reference.
-      cached.body = std::string(response.body_view());
+      // bytes — body_to_string() also glues a fragment-spliced response's
+      // chunks back together); every later hit serves it by reference.
+      cached.body = response.body_to_string();
       cached.content_type = ctx.render->content_type;
-      cached.etag = http::strong_etag(response.body_view());
+      cached.etag = http::strong_etag(cached.body);
       cached.template_name = ctx.render->template_name;
       cached.data_fingerprint = tmpl::fingerprint(ctx.render->data);
       response.headers.set("ETag", cached.etag);

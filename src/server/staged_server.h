@@ -60,6 +60,14 @@ class StagedServer : public WebServer {
   // The render-output cache, or nullptr when config.cache.enabled is false.
   ResponseCache* cache() { return cache_.get(); }
 
+  // The fragment cache, or nullptr when config.fragment_cache.enabled is
+  // false.
+  FragmentCache* fragment_cache() { return fragment_cache_.get(); }
+
+  // The write-path invalidation fan-out, or nullptr when neither cache is
+  // configured.
+  InvalidationHub* invalidation() { return invalidation_.get(); }
+
  private:
   // Stage bodies take the context by reference so the guard below can still
   // reach it after an escape: a context that was already answered (or
@@ -99,6 +107,8 @@ class StagedServer : public WebServer {
   ServerStats stats_;
   db::ConnectionPool db_pool_;
   std::unique_ptr<ResponseCache> cache_;
+  std::unique_ptr<FragmentCache> fragment_cache_;
+  std::unique_ptr<InvalidationHub> invalidation_;
   ServiceTimeTracker tracker_;
   ReserveController reserve_;
 

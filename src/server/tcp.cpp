@@ -717,8 +717,9 @@ void ReactorShard::try_flush(Conn& conn) {
   const std::uint64_t id = conn.id;
   while (!conn.outq.empty()) {
     const OutboundPayload& front = conn.outq.front();
-    iovec iov[2];
-    std::size_t iov_count = front.fill_iov(conn.out_off, iov);
+    iovec iov[OutboundPayload::kMaxIov];
+    std::size_t iov_count =
+        front.fill_iov(conn.out_off, iov, OutboundPayload::kMaxIov);
     if (iov_count == 0) {  // fully written (or empty payload)
       conn.outq.pop_front();
       conn.out_off = 0;
@@ -980,9 +981,15 @@ class SocketWriter : public ResponseWriter {
     if (fd_ >= 0) ::close(fd_);
   }
   void send(OutboundPayload payload) override {
-    const std::string_view entity = payload.body();
     if (send_all(fd_, payload.head.data(), payload.head.size())) {
-      send_all(fd_, entity.data(), entity.size());
+      if (payload.chunked()) {
+        for (const http::BodyChunk& chunk : payload.body_chunks) {
+          if (!send_all(fd_, chunk.bytes.data(), chunk.bytes.size())) break;
+        }
+      } else {
+        const std::string_view entity = payload.body();
+        send_all(fd_, entity.data(), entity.size());
+      }
     }
     ::close(fd_);
     fd_ = -1;

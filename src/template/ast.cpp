@@ -266,4 +266,39 @@ void BlockNode::render(Context& ctx, RenderState& state,
   render_nodes(body_, ctx, state, out);
 }
 
+std::uint64_t CacheNode::inputs_fingerprint(const Context& ctx) const {
+  // FNV-1a over the key expressions' structural fingerprints, in declaration
+  // order. No key expressions = one entry per fragment name.
+  std::uint64_t fp = 14695981039346656037ull;
+  for (const FilterExpr& expr : key_exprs_) {
+    const std::uint64_t h = fingerprint(expr.evaluate(ctx).value);
+    for (int shift = 0; shift < 64; shift += 8) {
+      fp ^= (h >> shift) & 0xFF;
+      fp *= 1099511628211ull;
+    }
+  }
+  return fp;
+}
+
+void CacheNode::render(Context& ctx, RenderState& state,
+                       std::string& out) const {
+  FragmentSink* const sink = state.fragments;
+  if (sink == nullptr) {
+    render_nodes(body_, ctx, state, out);
+    return;
+  }
+  const std::uint64_t fp = inputs_fingerprint(ctx);
+  if (sink->try_emit(name_, fp, out)) return;
+  sink->on_miss_start();
+  const std::size_t start = out.size();
+  try {
+    render_nodes(body_, ctx, state, out);
+  } catch (...) {
+    sink->on_miss_abort();
+    throw;
+  }
+  sink->on_miss_end(name_, fp, std::string_view(out).substr(start),
+                    ttl_paper_s_);
+}
+
 }  // namespace tempest::tmpl

@@ -3,9 +3,11 @@
 // (the modified server's template-rendering pool relies on this).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/template/context.h"
@@ -16,9 +18,33 @@ namespace tempest::tmpl {
 class TemplateLoader;
 class BlockNode;
 
+// Hook a {% cache %} node calls at render time. The template engine knows
+// nothing about the cache behind it — the server installs an implementation
+// (FragmentSplicer) that consults the fragment cache and records zero-copy
+// splice points; renders without a sink treat {% cache %} as a no-op wrapper.
+//
+// Protocol per marked sub-tree, with `inputs_fp` the fingerprint of the
+// node's resolved key expressions:
+//   * try_emit() first: true = the fragment was served (the sink either
+//     appended the cached bytes to `out` or recorded a splice), skip
+//     rendering. False = miss, render inline:
+//   * on_miss_start(), then the body renders into `out`, then on_miss_end()
+//     with the produced byte range — or on_miss_abort() if the render threw.
+class FragmentSink {
+ public:
+  virtual ~FragmentSink() = default;
+  virtual bool try_emit(std::string_view name, std::uint64_t inputs_fp,
+                        std::string& out) = 0;
+  virtual void on_miss_start() = 0;
+  virtual void on_miss_end(std::string_view name, std::uint64_t inputs_fp,
+                           std::string_view body, double ttl_paper_s) = 0;
+  virtual void on_miss_abort() = 0;
+};
+
 // Per-render state threaded through the node tree.
 struct RenderState {
   const TemplateLoader* loader = nullptr;  // for {% include %} / {% extends %}
+  FragmentSink* fragments = nullptr;       // for {% cache %}; null = inline
   bool autoescape = true;
   // Allocation-light node paths: borrowed variable lookups, in-place
   // escaping, and a reused forloop dict. On for render_to() (the pooled
@@ -180,6 +206,33 @@ class SpacelessNode : public Node {
               std::string& out) const override;
 
  private:
+  NodeList body_;
+};
+
+// {% cache <name> [ttl=<paper-seconds>] [key-expr ...] %}body{% endcache %} —
+// marks the body as a cacheable fragment. The cache key is the fragment name
+// plus an order-stable fingerprint of the resolved key expressions (the
+// fragment's data inputs), so two pages embedding the same fragment with the
+// same inputs share one cached render. Without a FragmentSink in the render
+// state the marker is transparent.
+class CacheNode : public Node {
+ public:
+  CacheNode(std::string name, double ttl_paper_s,
+            std::vector<FilterExpr> key_exprs, NodeList body)
+      : name_(std::move(name)),
+        ttl_paper_s_(ttl_paper_s),
+        key_exprs_(std::move(key_exprs)),
+        body_(std::move(body)) {}
+
+  void render(Context& ctx, RenderState& state,
+              std::string& out) const override;
+
+ private:
+  std::uint64_t inputs_fingerprint(const Context& ctx) const;
+
+  std::string name_;
+  double ttl_paper_s_;  // 0 = the cache's configured default
+  std::vector<FilterExpr> key_exprs_;
   NodeList body_;
 };
 

@@ -1,6 +1,7 @@
 #include "src/template/parser.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "src/common/strutil.h"
 #include "src/template/lexer.h"
@@ -115,6 +116,7 @@ class Parser {
       }
       return std::make_unique<FirstOfNode>(std::move(operands));
     }
+    if (tag == "cache") return parse_cache(rest, line);
     if (tag == "ifchanged") {
       std::string stopped;
       NodeList body = parse_list({"endifchanged"}, &stopped);
@@ -204,6 +206,62 @@ class Parser {
     return std::make_unique<WithNode>(std::string(trim(name)),
                                       parse_filter_expr(trim(expr)),
                                       std::move(body));
+  }
+
+  // {% cache <name> [ttl=<paper-seconds>] [key-expr ...] %}
+  // The name is a bare identifier (or quoted string); every remaining token
+  // is a filter expression whose resolved value enters the fragment key.
+  NodePtr parse_cache(std::string_view rest, std::size_t line) {
+    // Whitespace-split, not tokenize_expression(): that splits "ttl=30" at
+    // the '='. Each piece is a name, a ttl=, or one key expression (quoted
+    // strings may hold spaces).
+    std::vector<std::string> toks;
+    std::size_t i = 0;
+    while (i < rest.size()) {
+      if (rest[i] == ' ' || rest[i] == '\t') {
+        ++i;
+        continue;
+      }
+      const std::size_t start = i;
+      char quote = 0;
+      for (; i < rest.size(); ++i) {
+        const char c = rest[i];
+        if (quote != 0) {
+          if (c == quote) quote = 0;
+        } else if (c == '\'' || c == '"') {
+          quote = c;
+        } else if (c == ' ' || c == '\t') {
+          break;
+        }
+      }
+      if (quote != 0) fail("unterminated string in cache tag", line);
+      toks.emplace_back(rest.substr(start, i - start));
+    }
+    if (toks.empty()) fail("cache requires a fragment name", line);
+    std::string frag_name = toks[0];
+    if (frag_name.size() >= 2 &&
+        (frag_name.front() == '"' || frag_name.front() == '\'') &&
+        frag_name.back() == frag_name.front()) {
+      frag_name = frag_name.substr(1, frag_name.size() - 2);
+    }
+    if (frag_name.empty()) fail("cache requires a fragment name", line);
+    double ttl = 0.0;
+    std::vector<FilterExpr> keys;
+    for (std::size_t i = 1; i < toks.size(); ++i) {
+      if (toks[i].rfind("ttl=", 0) == 0) {
+        char* end = nullptr;
+        ttl = std::strtod(toks[i].c_str() + 4, &end);
+        if (end != toks[i].c_str() + toks[i].size() || ttl < 0) {
+          fail("cache ttl= requires a non-negative number", line);
+        }
+        continue;
+      }
+      keys.push_back(parse_filter_expr(toks[i]));
+    }
+    std::string stopped;
+    NodeList body = parse_list({"endcache"}, &stopped);
+    return std::make_unique<CacheNode>(std::move(frag_name), ttl,
+                                       std::move(keys), std::move(body));
   }
 
   NodePtr parse_block(std::string_view rest, std::size_t line) {

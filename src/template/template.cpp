@@ -41,27 +41,32 @@ std::string Template::render(Context& ctx, const TemplateLoader* loader,
   RenderBuffer out(size_hint());
   // alloc_light off: render() keeps the original per-node allocation
   // profile, so the string API measures (and behaves) like the pre-pool
-  // design — the A/B benches rely on this.
-  render_with(out, ctx, loader, autoescape, /*alloc_light=*/false);
+  // design — the A/B benches rely on this. No fragment sink either: the
+  // legacy leg measures full re-renders.
+  render_with(out, ctx, loader, autoescape, /*alloc_light=*/false,
+              /*fragments=*/nullptr);
   return std::move(out).take();
 }
 
 void Template::render_to(RenderBuffer& out, const Dict& data,
-                         const TemplateLoader* loader, bool autoescape) const {
+                         const TemplateLoader* loader, bool autoescape,
+                         FragmentSink* fragments) const {
   Context ctx(data);
-  render_to(out, ctx, loader, autoescape);
+  render_to(out, ctx, loader, autoescape, fragments);
 }
 
 void Template::render_to(RenderBuffer& out, Context& ctx,
-                         const TemplateLoader* loader, bool autoescape) const {
-  render_with(out, ctx, loader, autoescape, /*alloc_light=*/true);
+                         const TemplateLoader* loader, bool autoescape,
+                         FragmentSink* fragments) const {
+  render_with(out, ctx, loader, autoescape, /*alloc_light=*/true, fragments);
 }
 
 void Template::render_with(RenderBuffer& out, Context& ctx,
                            const TemplateLoader* loader, bool autoescape,
-                           bool alloc_light) const {
+                           bool alloc_light, FragmentSink* fragments) const {
   RenderState state;
   state.loader = loader;
+  state.fragments = fragments;
   state.autoescape = autoescape;
   state.alloc_light = alloc_light;
 

@@ -48,13 +48,19 @@ class Template {
   // behind size_hint(), so a recycled (or fresh) buffer is pre-reserved to
   // roughly this template's typical output size. (render() above keeps the
   // original per-node allocation profile for faithful A/B comparison.)
+  // `fragments` (nullable) receives {% cache %} callbacks: the server's
+  // FragmentSplicer serves marked sub-trees from the fragment cache (zero
+  // re-render on a hit) and captures miss renders for insertion. Null — and
+  // every render() call — treats the markers as transparent wrappers.
   void render_to(RenderBuffer& out, const Dict& data,
                  const TemplateLoader* loader = nullptr,
-                 bool autoescape = true) const;
+                 bool autoescape = true,
+                 FragmentSink* fragments = nullptr) const;
 
   void render_to(RenderBuffer& out, Context& ctx,
                  const TemplateLoader* loader = nullptr,
-                 bool autoescape = true) const;
+                 bool autoescape = true,
+                 FragmentSink* fragments = nullptr) const;
 
   // Suggested initial reservation for a render: an EWMA of previous render
   // sizes plus headroom, or a small default before the first render.
@@ -77,7 +83,7 @@ class Template {
 
   void render_with(RenderBuffer& out, Context& ctx,
                    const TemplateLoader* loader, bool autoescape,
-                   bool alloc_light) const;
+                   bool alloc_light, FragmentSink* fragments) const;
 
   NodeList nodes_;
   std::string name_;

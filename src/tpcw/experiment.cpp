@@ -62,6 +62,7 @@ void collect_server_side(Server& server, ExperimentResults& results) {
   results.connection_acquire_wait_mean_paper_s =
       pool_stats.acquire_wait_paper_s.mean();
   results.cache = stats.cache().snapshot();
+  results.fragments = stats.fragments().snapshot();
   results.faults = stats.faults().snapshot();
 }
 

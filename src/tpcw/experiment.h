@@ -83,6 +83,9 @@ struct ExperimentResults {
   // Render-output cache counters (zero when the cache is disabled).
   server::CacheCounters::Snapshot cache;
 
+  // Fragment-cache counters (zero when the fragment cache is disabled).
+  server::FragmentCounters::Snapshot fragments;
+
   // Fault-injection and recovery counters (all zero with no FaultPlan).
   FaultCounters::Snapshot faults;
 

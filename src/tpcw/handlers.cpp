@@ -90,6 +90,9 @@ HandlerResult product_detail(HandlerContext& ctx, TpcwState& state) {
       clamp_id(ctx.param_int("i_id", 1), state.scale.items);
   auto item =
       conn(ctx).execute("SELECT * FROM item WHERE i_id = ?", {db::Value(i_id)});
+  // Refine the auto-recorded table-wide item dependency down to this row, so
+  // a purchase or admin update of another book leaves this fragment cached.
+  ctx.depend("item", std::to_string(i_id));
   tmpl::Dict data;
   data["c_id"] = tmpl::Value(ctx.param_int("c_id", 0));
   if (!item.empty()) {
@@ -377,9 +380,12 @@ HandlerResult buy_confirm(HandlerContext& ctx, TpcwState& state) {
       {db::Value(c_id)});
 
   // The purchase changed order_line (best-seller rankings) and item stock
-  // (product pages): drop every cached variant of both before responding.
-  ctx.invalidate("/best_sellers");
-  ctx.invalidate("/product_detail");
+  // (product pages): invalidate by dependency so only fragments and cached
+  // pages that actually read those tables — and for item, those rows — drop.
+  ctx.invalidate_table("order_line");
+  for (const Line& line : to_buy) {
+    ctx.invalidate_row("item", std::to_string(line.i_id));
+  }
 
   tmpl::Dict data;
   data["c_id"] = tmpl::Value(c_id);
@@ -468,12 +474,11 @@ HandlerResult admin_response(HandlerContext& ctx, TpcwState& state) {
       {db::Value(image), db::Value(thumbnail), db::Value(20090704),
        db::Value(related1), db::Value(i_id)});
 
-  // The item update touches images, pub_date and recommendations, which feed
-  // every catalog page: drop them all.
-  ctx.invalidate("/home");
-  ctx.invalidate("/product_detail");
-  ctx.invalidate("/new_products");
-  ctx.invalidate("/best_sellers");
+  // The item update touches images, pub_date and recommendations. One row
+  // write fans out through the dependency registry: row-keyed fragments for
+  // this book, table-wide fragments (catalog lists), and the URL-cache
+  // prefixes subscribed to the item table.
+  ctx.invalidate_row("item", std::to_string(i_id));
 
   auto item = conn(ctx).execute(
       "SELECT i_title, i_cost FROM item WHERE i_id = ?", {db::Value(i_id)});
@@ -503,19 +508,25 @@ void register_tpcw_routes(server::Router& router,
   // write interactions below invalidate them explicitly. Session-state pages
   // (cart, checkout, orders) and the write paths themselves are never cached.
   server::CachePolicy catalog;
+  catalog.depends_on = {"item", "customer"};
   // The three inherently lengthy pages scan whole tables for results that
   // only change when an order or admin update lands — the highest-value
-  // entries, invalidated on those writes.
+  // entries, invalidated on those writes through the dependency registry.
   server::CachePolicy lengthy_catalog;
   lengthy_catalog.vary_params = {"subject", "c_id"};
+  lengthy_catalog.depends_on = {"item"};
+  // Best-seller rankings additionally shift whenever an order lands.
+  server::CachePolicy best_seller_catalog = lengthy_catalog;
+  best_seller_catalog.depends_on.push_back("order_line");
   server::CachePolicy search_results;
   search_results.vary_params = {"type", "term", "c_id"};
+  search_results.depends_on = {"item", "author"};
 
   router.add("/home", bind(home, state), catalog);
   router.add("/new_products", bind(new_products, state), lengthy_catalog);
-  router.add("/best_sellers", bind(best_sellers, state), lengthy_catalog);
+  router.add("/best_sellers", bind(best_sellers, state), best_seller_catalog);
   router.add("/product_detail", bind(product_detail, state),
-             server::CachePolicy{0.0, true, {"i_id", "c_id"}});
+             server::CachePolicy{0.0, true, {"i_id", "c_id"}, {"item", "author"}});
   router.add("/search_request", bind(search_request, state),
              server::CachePolicy{0.0, true, {"c_id"}});
   router.add("/execute_search", bind(execute_search, state), search_results);

@@ -32,6 +32,7 @@ constexpr const char* kHome = R"HTML({% extends 'base.html' %}
 {% block content %}
 <h2 align="center">Welcome back, {{ c_fname }} {{ c_lname }}!</h2>
 <p>Today's promotions, selected for customer #{{ c_id }}:</p>
+{% cache home_promos ttl=30 c_id %}
 <table border="1" cellpadding="4">
 {% for promo in promotions %}
   <tr>
@@ -43,6 +44,7 @@ constexpr const char* kHome = R"HTML({% extends 'base.html' %}
   <tr><td>No promotions today.</td></tr>
 {% endfor %}
 </table>
+{% endcache %}
 {% endblock %}
 )HTML";
 
@@ -50,6 +52,7 @@ constexpr const char* kNewProducts = R"HTML({% extends 'base.html' %}
 {% block title %}New Products: {{ subject }}{% endblock %}
 {% block content %}
 <h2 align="center">New {{ subject }} releases</h2>
+{% cache new_products_list ttl=60 subject %}
 <ol>
 {% for book in books %}
   <li>
@@ -61,6 +64,7 @@ constexpr const char* kNewProducts = R"HTML({% extends 'base.html' %}
   <li>No new releases under {{ subject }}.</li>
 {% endfor %}
 </ol>
+{% endcache %}
 {% endblock %}
 )HTML";
 
@@ -68,6 +72,7 @@ constexpr const char* kBestSellers = R"HTML({% extends 'base.html' %}
 {% block title %}Best Sellers: {{ subject }}{% endblock %}
 {% block content %}
 <h2 align="center">Best selling {{ subject }} books</h2>
+{% cache bestseller_list ttl=60 subject %}
 <table border="1" cellpadding="4">
   <tr><th>#</th><th>Title</th><th>Author</th><th>Sold</th></tr>
 {% for book in books %}
@@ -81,12 +86,14 @@ constexpr const char* kBestSellers = R"HTML({% extends 'base.html' %}
   <tr><td colspan="4">No sales recorded for {{ subject }}.</td></tr>
 {% endfor %}
 </table>
+{% endcache %}
 {% endblock %}
 )HTML";
 
 constexpr const char* kProductDetail = R"HTML({% extends 'base.html' %}
 {% block title %}{{ i_title }}{% endblock %}
 {% block content %}
+{% cache product_info ttl=60 i_id %}
 <h2 align="center">{{ i_title }}</h2>
 <img src="{{ i_image }}" alt="cover">
 <p>by {{ a_fname }} {{ a_lname }}</p>
@@ -100,6 +107,7 @@ constexpr const char* kProductDetail = R"HTML({% extends 'base.html' %}
   <li>In stock: {{ i_stock }}</li>
 </ul>
 <p>{{ i_desc }}</p>
+{% endcache %}
 <form action="/shopping_cart" method="GET">
   <input type="hidden" name="c_id" value="{{ c_id }}">
   <input type="hidden" name="i_id" value="{{ i_id }}">
@@ -122,11 +130,13 @@ constexpr const char* kSearchRequest = R"HTML({% extends 'base.html' %}
   <input type="submit" value="Search">
 </form>
 <p>Browse by subject:</p>
+{% cache subject_list ttl=600 %}
 <ul>
 {% for subject in subjects %}
   <li><a href="/new_products?subject={{ subject|urlencode }}">{{ subject }}</a></li>
 {% endfor %}
 </ul>
+{% endcache %}
 {% endblock %}
 )HTML";
 

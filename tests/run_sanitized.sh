@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Builds the tree with -fsanitize=$TEMPEST_SANITIZE and runs the suites that
 # exercise the concurrent core — the bounded MPMC queue, worker pools, stage
-# traces, the response cache, the DB engine (sharded plan cache, snapshot
-# reads), and both server variants — under the sanitizer.
+# traces, the response and fragment caches, the DB engine (sharded plan
+# cache, snapshot reads), the template engine, and both server variants —
+# under the sanitizer.
 #
 # Usage: TEMPEST_SANITIZE=thread             tests/run_sanitized.sh
 #        TEMPEST_SANITIZE=address,undefined  tests/run_sanitized.sh
@@ -26,7 +27,7 @@ fi
 
 cmake -B "$build_dir" -S "$repo_root" -DTEMPEST_SANITIZE="$sanitizer" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo "${launcher_args[@]}"
-cmake --build "$build_dir" -j --target common_test db_test server_test
+cmake --build "$build_dir" -j --target common_test db_test template_test server_test
 
 # Run the binaries directly (ctest registration only covers built targets,
 # and a sanitizer failure must fail the script via the gtest exit code).
@@ -34,4 +35,5 @@ cmake --build "$build_dir" -j --target common_test db_test server_test
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 "$build_dir/tests/common_test"
 "$build_dir/tests/db_test"
+"$build_dir/tests/template_test"
 "$build_dir/tests/server_test"

@@ -1,0 +1,540 @@
+// Fragment cache: key derivation, TTL/LRU-at-byte-cap mechanics, dependency
+// registration and table/row invalidation, the epoch fence against
+// insert-after-invalidate, the DependencyTracker's broad-read/row-refinement
+// semantics, cross-thread hammering, and the staged-server integration — a
+// {% cache %} hit must splice the stored bytes without re-rendering, and a
+// TPC-W write must kill exactly the fragments that depend on the written
+// rows, never leaving a stale fragment servable.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/server/fragment_cache.h"
+#include "src/server/staged_server.h"
+#include "src/server/transport.h"
+#include "src/tpcw/handlers.h"
+#include "src/tpcw/populate.h"
+
+namespace tempest::server {
+namespace {
+
+std::vector<TrackedDep> deps_of(FragmentCache& cache,
+                                std::initializer_list<TrackedDep> deps) {
+  std::vector<TrackedDep> out;
+  for (TrackedDep d : deps) {
+    d.epoch = cache.table_epoch(d.table);
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+// --- key derivation ----------------------------------------------------------
+
+TEST(FragmentKeyTest, NameAndFingerprintFormTheKey) {
+  const std::string key = FragmentCache::make_key("frag", 0xabcdef);
+  EXPECT_EQ(key.rfind("frag#", 0), 0u);
+  EXPECT_EQ(key, FragmentCache::make_key("frag", 0xabcdef));
+  EXPECT_NE(key, FragmentCache::make_key("frag", 0xabcdf0));
+  EXPECT_NE(key, FragmentCache::make_key("other", 0xabcdef));
+}
+
+// --- store mechanics ---------------------------------------------------------
+
+TEST(FragmentCacheTest, InsertFindRoundTrip) {
+  FragmentCacheConfig config;
+  config.enabled = true;
+  FragmentCounters counters;
+  FragmentCache cache(config, &counters);
+
+  cache.insert("f#1", "body", {}, 100.0, /*now=*/0.0);
+  const auto hit = cache.find("f#1", 1.0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "body");
+  EXPECT_EQ(cache.find("f#2", 1.0), nullptr);
+  EXPECT_EQ(counters.snapshot().inserts, 1u);
+}
+
+TEST(FragmentCacheTest, TtlExpiryObservedAtLookup) {
+  FragmentCacheConfig config;
+  FragmentCounters counters;
+  FragmentCache cache(config, &counters);
+
+  cache.insert("f#1", "body", {}, 10.0, 0.0);
+  EXPECT_NE(cache.find("f#1", 5.0), nullptr);
+  EXPECT_EQ(cache.find("f#1", 10.0), nullptr);  // deadline is exclusive
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(counters.snapshot().expirations, 1u);
+}
+
+TEST(FragmentCacheTest, DefaultTtlAppliesWhenMarkerHasNone) {
+  FragmentCacheConfig config;
+  config.default_ttl_paper_s = 2.0;
+  FragmentCache cache(config);
+  cache.insert("f#1", "body", {}, /*ttl=*/0.0, 0.0);
+  EXPECT_NE(cache.find("f#1", 1.0), nullptr);
+  EXPECT_EQ(cache.find("f#1", 3.0), nullptr);
+}
+
+TEST(FragmentCacheTest, LruEvictionAtByteCap) {
+  FragmentCacheConfig config;
+  config.shards = 1;  // deterministic: every key shares one LRU
+  config.max_entries = 100;
+  config.max_bytes = 3 * (3 + 100);  // three (3-byte key + 100-byte body)
+  FragmentCounters counters;
+  FragmentCache cache(config, &counters);
+
+  const std::string body(100, 'x');
+  cache.insert("f#a", body, {}, 1000.0, 0.0);
+  cache.insert("f#b", body, {}, 1000.0, 0.0);
+  cache.insert("f#c", body, {}, 1000.0, 0.0);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.bytes(), 3 * (3 + 100));
+
+  // Touch f#a so f#b is least recently used, then overflow the byte cap.
+  EXPECT_NE(cache.find("f#a", 1.0), nullptr);
+  cache.insert("f#d", body, {}, 1000.0, 1.0);
+
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.find("f#b", 2.0), nullptr);  // evicted
+  EXPECT_NE(cache.find("f#a", 2.0), nullptr);
+  EXPECT_NE(cache.find("f#c", 2.0), nullptr);
+  EXPECT_NE(cache.find("f#d", 2.0), nullptr);
+  EXPECT_EQ(counters.snapshot().evictions, 1u);
+  EXPECT_LE(cache.bytes(), config.max_bytes);
+}
+
+TEST(FragmentCacheTest, EntryCapEvictsLeastRecentlyUsed) {
+  FragmentCacheConfig config;
+  config.shards = 1;
+  config.max_entries = 2;
+  FragmentCounters counters;
+  FragmentCache cache(config, &counters);
+  cache.insert("f#a", "1", {}, 1000.0, 0.0);
+  cache.insert("f#b", "2", {}, 1000.0, 0.0);
+  cache.insert("f#c", "3", {}, 1000.0, 0.0);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.find("f#a", 1.0), nullptr);
+  EXPECT_EQ(counters.snapshot().evictions, 1u);
+}
+
+TEST(FragmentCacheTest, OversizedFragmentIsNotCached) {
+  FragmentCacheConfig config;
+  config.shards = 1;
+  config.max_bytes = 64;
+  FragmentCache cache(config);
+  cache.insert("f#big", std::string(1000, 'x'), {}, 1000.0, 0.0);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(FragmentCacheTest, HitBodyOutlivesEviction) {
+  // find() hands out shared ownership: invalidation mid-splice must not pull
+  // the fragment bytes out from under a response still being written.
+  FragmentCache cache(FragmentCacheConfig{});
+  cache.insert("f#1", "still here",
+               deps_of(cache, {{"item", "", 0}}), 1000.0, 0.0);
+  const auto hit = cache.find("f#1", 1.0);
+  ASSERT_NE(hit, nullptr);
+  cache.invalidate_table("item");
+  EXPECT_EQ(*hit, "still here");
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// --- dependency invalidation -------------------------------------------------
+
+TEST(FragmentCacheTest, TableInvalidationKillsBroadAndRowDependents) {
+  FragmentCacheConfig config;
+  FragmentCounters counters;
+  FragmentCache cache(config, &counters);
+
+  cache.insert("f#broad", "b", deps_of(cache, {{"item", "", 0}}), 1000.0, 0.0);
+  cache.insert("f#row", "r", deps_of(cache, {{"item", "7", 0}}), 1000.0, 0.0);
+  cache.insert("f#other", "o", deps_of(cache, {{"author", "", 0}}), 1000.0,
+               0.0);
+
+  EXPECT_EQ(cache.invalidate_table("item"), 2u);
+  EXPECT_EQ(cache.find("f#broad", 1.0), nullptr);
+  EXPECT_EQ(cache.find("f#row", 1.0), nullptr);
+  EXPECT_NE(cache.find("f#other", 1.0), nullptr);
+  EXPECT_EQ(counters.snapshot().invalidations, 2u);
+  EXPECT_EQ(cache.invalidate_table("item"), 0u);
+}
+
+TEST(FragmentCacheTest, RowInvalidationIsRowPrecise) {
+  FragmentCache cache(FragmentCacheConfig{});
+  cache.insert("f#r7", "7", deps_of(cache, {{"item", "7", 0}}), 1000.0, 0.0);
+  cache.insert("f#r8", "8", deps_of(cache, {{"item", "8", 0}}), 1000.0, 0.0);
+  cache.insert("f#broad", "b", deps_of(cache, {{"item", "", 0}}), 1000.0, 0.0);
+
+  // A write to row 7 kills that row's dependents and every table-broad
+  // dependent (they may have displayed row 7), but spares row 8's.
+  EXPECT_EQ(cache.invalidate_row("item", "7"), 2u);
+  EXPECT_EQ(cache.find("f#r7", 1.0), nullptr);
+  EXPECT_EQ(cache.find("f#broad", 1.0), nullptr);
+  EXPECT_NE(cache.find("f#r8", 1.0), nullptr);
+}
+
+TEST(FragmentCacheTest, MultiDependencyFragmentDiesWithAnyOfThem) {
+  FragmentCache cache(FragmentCacheConfig{});
+  cache.insert("f#join", "j",
+               deps_of(cache, {{"item", "", 0}, {"order_line", "", 0}}),
+               1000.0, 0.0);
+  EXPECT_EQ(cache.invalidate_table("order_line"), 1u);
+  EXPECT_EQ(cache.find("f#join", 1.0), nullptr);
+  // Its edges were unregistered with it: the other table sees no victim.
+  EXPECT_EQ(cache.invalidate_table("item"), 0u);
+}
+
+TEST(FragmentCacheTest, EpochFenceRejectsStaleInsert) {
+  // The insert-after-invalidate race: a renderer reads pre-write data, the
+  // write invalidates, then the renderer tries to publish. The tracked epoch
+  // no longer matches the table's and the insert must be refused.
+  FragmentCacheConfig config;
+  FragmentCounters counters;
+  FragmentCache cache(config, &counters);
+
+  const auto deps = deps_of(cache, {{"item", "7", 0}});  // epoch snapshot
+  cache.invalidate_row("item", "7");                     // concurrent write
+  cache.insert("f#stale", "pre-write render", deps, 1000.0, 0.0);
+
+  EXPECT_EQ(cache.find("f#stale", 1.0), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(counters.snapshot().stale_rejects, 1u);
+  EXPECT_EQ(counters.snapshot().inserts, 0u);
+
+  // With a fresh epoch snapshot the same insert lands.
+  cache.insert("f#fresh", "post-write render",
+               deps_of(cache, {{"item", "7", 0}}), 1000.0, 0.0);
+  EXPECT_NE(cache.find("f#fresh", 1.0), nullptr);
+}
+
+TEST(DependencyTrackerTest, RowRefinementReplacesBroadRead) {
+  FragmentCache cache(FragmentCacheConfig{});
+  DependencyTracker tracker(&cache);
+  EXPECT_TRUE(tracker.armed());
+
+  tracker.on_table_read("item");    // automatic, from the bound plan
+  tracker.on_table_read("item");    // repeated reads collapse
+  tracker.on_table_read("author");
+  tracker.depend("item", "7");      // handler's row-precise refinement
+
+  const auto deps = tracker.take();
+  ASSERT_EQ(deps.size(), 2u);
+  bool saw_item_row = false, saw_author_broad = false;
+  for (const auto& d : deps) {
+    if (d.table == "item") {
+      EXPECT_EQ(d.key, "7");  // the broad edge was replaced
+      saw_item_row = true;
+    }
+    if (d.table == "author") {
+      EXPECT_TRUE(d.key.empty());
+      saw_author_broad = true;
+    }
+  }
+  EXPECT_TRUE(saw_item_row);
+  EXPECT_TRUE(saw_author_broad);
+}
+
+TEST(DependencyTrackerTest, UnarmedTrackerRecordsNothing) {
+  DependencyTracker tracker(nullptr);
+  EXPECT_FALSE(tracker.armed());
+  tracker.on_table_read("item");
+  tracker.depend("item", "7");
+  EXPECT_TRUE(tracker.take().empty());
+}
+
+// --- cross-thread hammer (exercised under TSan in run_sanitized.sh) ---------
+
+TEST(FragmentCacheTest, ConcurrentFindInsertInvalidateHammer) {
+  FragmentCacheConfig config;
+  config.shards = 4;
+  config.max_entries = 64;
+  config.max_bytes = 1 << 16;
+  FragmentCounters counters;
+  FragmentCache cache(config, &counters);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> hits{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const int n = (t * 7 + i) % 16;
+        const std::string key = "f#" + std::to_string(n);
+        if (auto hit = cache.find(key, 1.0)) {
+          hits.fetch_add(1, std::memory_order_relaxed);
+          EXPECT_FALSE(hit->empty());
+        } else {
+          const std::string row = std::to_string(n % 4);
+          cache.insert(key, "body " + key,
+                       deps_of(cache, {{"item", row, 0}}), 1000.0, 1.0);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      cache.invalidate_row("item", "1");
+      cache.invalidate_table("order_line");
+      std::this_thread::yield();
+    }
+  });
+  for (int t = 0; t < 4; ++t) threads[t].join();
+  stop.store(true);
+  threads.back().join();
+
+  EXPECT_GT(hits.load(), 0u);
+  EXPECT_LE(cache.size(), 64u);
+}
+
+// --- staged-server integration ----------------------------------------------
+
+class FragmentServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TimeScale::set(0.0002);
+
+    auto app = std::make_shared<Application>();
+    auto loader = std::make_shared<tmpl::MemoryLoader>();
+    // A personalized shell around a cacheable core: `n` re-renders per
+    // request, the marked sub-tree should render once per distinct `id`.
+    loader->add("page.html",
+                "<p>n={{ n }}</p>"
+                "{% cache core ttl=100000 id %}core {{ n }} for {{ id }}"
+                "{% endcache %}");
+    app->templates = loader;
+
+    app->router.add("/page", [this](HandlerContext& ctx) -> HandlerResult {
+      ctx.depend("widget", ctx.param("id", "1"));
+      tmpl::Dict data;
+      data["n"] = tmpl::Value(handler_calls_.fetch_add(1) + 1);
+      data["id"] = tmpl::Value(ctx.param("id", "1"));
+      return TemplateResponse{"page.html", std::move(data)};
+    });
+    app->router.add("/write_row", [](HandlerContext& ctx) -> HandlerResult {
+      ctx.invalidate_row("widget", ctx.param("id", "1"));
+      return StringResponse{"written"};
+    });
+    app->router.add("/write_table", [](HandlerContext& ctx) -> HandlerResult {
+      ctx.invalidate_table("widget");
+      return StringResponse{"written"};
+    });
+    app_ = app;
+
+    config_.db_connections = 6;
+    config_.header_threads = 2;
+    config_.static_threads = 2;
+    config_.general_threads = 4;
+    config_.lengthy_threads = 1;
+    config_.render_threads = 2;
+    config_.treserve_min = 1;
+    config_.charge_service_costs = false;
+    config_.fragment_cache.enabled = true;
+  }
+
+  void TearDown() override { TimeScale::set(0.005); }
+
+  static std::string get(WebServer& server, const std::string& url) {
+    InProcClient client(server);
+    return client.roundtrip("GET " + url + " HTTP/1.1\r\nHost: x\r\n\r\n");
+  }
+
+  db::Database db_;
+  std::shared_ptr<const Application> app_;
+  ServerConfig config_;
+  std::atomic<int> handler_calls_{0};
+};
+
+TEST_F(FragmentServerTest, HitSplicesStoredBytesWithoutReRender) {
+  StagedServer server(config_, app_, db_);
+  const std::string first = get(server, "/page?id=1");
+  EXPECT_NE(first.find("n=1"), std::string::npos);
+  EXPECT_NE(first.find("core 1 for 1"), std::string::npos);
+
+  const std::string second = get(server, "/page?id=1");
+  // The shell re-rendered (n=2) but the fragment is the first render's bytes.
+  EXPECT_NE(second.find("n=2"), std::string::npos);
+  EXPECT_NE(second.find("core 1 for 1"), std::string::npos);
+  EXPECT_EQ(second.find("core 2"), std::string::npos);
+
+  const auto frags = server.stats().fragments().snapshot();
+  EXPECT_EQ(frags.hits_total(), 1u);
+  EXPECT_EQ(frags.misses, 1u);
+  EXPECT_EQ(frags.inserts, 1u);
+  EXPECT_EQ(frags.splices, 1u);
+  EXPECT_GT(frags.bytes, 0u);
+  EXPECT_EQ(frags.budget_bytes, config_.fragment_cache.max_bytes);
+  server.shutdown();
+}
+
+TEST_F(FragmentServerTest, DistinctInputsAreDistinctFragments) {
+  StagedServer server(config_, app_, db_);
+  get(server, "/page?id=1");
+  get(server, "/page?id=2");
+  EXPECT_EQ(server.stats().fragments().snapshot().misses, 2u);
+  get(server, "/page?id=1");
+  get(server, "/page?id=2");
+  EXPECT_EQ(server.stats().fragments().snapshot().hits_total(), 2u);
+  server.shutdown();
+}
+
+TEST_F(FragmentServerTest, RowWriteInvalidatesOnlyItsRowsFragments) {
+  StagedServer server(config_, app_, db_);
+  get(server, "/page?id=1");
+  get(server, "/page?id=2");
+
+  get(server, "/write_row?id=1");
+  EXPECT_EQ(server.stats().fragments().snapshot().invalidations, 1u);
+
+  // id=1 re-renders against fresh state; id=2's fragment survived the write.
+  const std::string one = get(server, "/page?id=1");
+  EXPECT_EQ(one.find("core 1 for 1"), std::string::npos);  // no stale serve
+  const auto frags = server.stats().fragments().snapshot();
+  EXPECT_EQ(frags.misses, 3u);
+  get(server, "/page?id=2");
+  EXPECT_EQ(server.stats().fragments().snapshot().hits_total(), 1u);
+  server.shutdown();
+}
+
+TEST_F(FragmentServerTest, TableWriteInvalidatesEveryDependent) {
+  StagedServer server(config_, app_, db_);
+  get(server, "/page?id=1");
+  get(server, "/page?id=2");
+  get(server, "/write_table");
+  EXPECT_EQ(server.stats().fragments().snapshot().invalidations, 2u);
+  get(server, "/page?id=1");
+  get(server, "/page?id=2");
+  const auto frags = server.stats().fragments().snapshot();
+  EXPECT_EQ(frags.hits_total(), 0u);
+  EXPECT_EQ(frags.misses, 4u);
+  server.shutdown();
+}
+
+TEST_F(FragmentServerTest, DisabledFragmentCacheRendersInline) {
+  config_.fragment_cache.enabled = false;
+  StagedServer server(config_, app_, db_);
+  const std::string first = get(server, "/page?id=1");
+  const std::string second = get(server, "/page?id=1");
+  EXPECT_NE(first.find("core 1 for 1"), std::string::npos);
+  EXPECT_NE(second.find("core 2 for 1"), std::string::npos);  // re-rendered
+  const auto frags = server.stats().fragments().snapshot();
+  EXPECT_EQ(frags.lookups(), 0u);
+  server.shutdown();
+}
+
+TEST_F(FragmentServerTest, StatsDumpsCarryFragmentCounters) {
+  StagedServer server(config_, app_, db_);
+  get(server, "/page?id=1");
+  get(server, "/page?id=1");
+  const std::string text = server.stats().text();
+  EXPECT_NE(text.find("fragments"), std::string::npos);
+  const std::string json = server.stats().json();
+  EXPECT_NE(json.find("\"fragments\""), std::string::npos);
+  EXPECT_NE(json.find("\"splices\""), std::string::npos);
+  server.shutdown();
+}
+
+// --- TPC-W end-to-end: dependency writes leave no stale fragment ------------
+
+class TpcwFragmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Slow paper time (1 paper s = 50 ms wall) so the templates' ttl=30..60
+    // markers cannot expire mid-test; service costs are not charged, so
+    // nothing sleeps.
+    TimeScale::set(0.05);
+    const auto scale = tpcw::Scale::tiny();
+    const auto pop = tpcw::populate_tpcw(db_, scale);
+    app_ = tpcw::make_tpcw_application(
+        tpcw::TpcwState::from_population(scale, pop));
+
+    config_.db_connections = 6;
+    config_.header_threads = 2;
+    config_.static_threads = 2;
+    config_.general_threads = 4;
+    config_.lengthy_threads = 1;
+    config_.render_threads = 2;
+    config_.treserve_min = 1;
+    config_.charge_service_costs = false;
+    config_.fragment_cache.enabled = true;
+  }
+
+  void TearDown() override { TimeScale::set(0.005); }
+
+  static std::string get(WebServer& server, const std::string& url) {
+    InProcClient client(server);
+    return client.roundtrip("GET " + url + " HTTP/1.1\r\nHost: x\r\n\r\n");
+  }
+
+  db::Database db_;
+  std::shared_ptr<const Application> app_;
+  ServerConfig config_;
+};
+
+TEST_F(TpcwFragmentTest, PersonalizedPagesShareTheCatalogFragment) {
+  StagedServer server(config_, app_, db_);
+  // Different c_id = different URL: the response cache could never share
+  // these, the subject-keyed fragment does.
+  get(server, "/best_sellers?subject=ARTS&c_id=1");
+  const std::string second = get(server, "/best_sellers?subject=ARTS&c_id=2");
+  EXPECT_EQ(second.find("HTTP/1.1 200"), 0u);
+  const auto frags = server.stats().fragments().snapshot();
+  EXPECT_GE(frags.hits_total(), 1u);
+  EXPECT_GE(frags.splices, 1u);
+  server.shutdown();
+}
+
+TEST_F(TpcwFragmentTest, BuyConfirmInvalidatesTheBestSellerFragment) {
+  StagedServer server(config_, app_, db_);
+  get(server, "/best_sellers?subject=ARTS&c_id=1");
+  get(server, "/best_sellers?subject=ARTS&c_id=2");
+  EXPECT_GE(server.stats().fragments().snapshot().hits_total(), 1u);
+
+  // The purchase writes order_line, which the ranking fragment read.
+  get(server, "/buy_confirm?c_id=1");
+  EXPECT_GE(server.stats().fragments().snapshot().invalidations, 1u);
+
+  const auto before = server.stats().fragments().snapshot();
+  get(server, "/best_sellers?subject=ARTS&c_id=3");
+  const auto after = server.stats().fragments().snapshot();
+  EXPECT_GE(after.misses, before.misses + 1);  // re-rendered, not stale
+  server.shutdown();
+}
+
+TEST_F(TpcwFragmentTest, AdminUpdateLeavesNoStaleProductFragment) {
+  StagedServer server(config_, app_, db_);
+  get(server, "/product_detail?i_id=3&c_id=1");
+  const std::string warm = get(server, "/product_detail?i_id=3&c_id=2");
+  EXPECT_GE(server.stats().fragments().snapshot().hits_total(), 1u);
+  EXPECT_EQ(warm.find("/img/fragtest.gif"), std::string::npos);
+
+  // The admin update rewrites item row 3's image; the row-keyed fragment
+  // must die and the next render must show the new image.
+  get(server, "/admin_response?i_id=3&image=/img/fragtest.gif");
+  const std::string fresh = get(server, "/product_detail?i_id=3&c_id=1");
+  EXPECT_NE(fresh.find("/img/fragtest.gif"), std::string::npos)
+      << "stale fragment served after a dependency write";
+  server.shutdown();
+}
+
+TEST_F(TpcwFragmentTest, RowPrecisionSparesOtherProductsFragments) {
+  StagedServer server(config_, app_, db_);
+  get(server, "/product_detail?i_id=4&c_id=1");
+  get(server, "/product_detail?i_id=4&c_id=2");
+  const auto warm = server.stats().fragments().snapshot();
+  EXPECT_GE(warm.hits_total(), 1u);
+
+  // Write row 3: product 4's row-keyed fragment must survive.
+  get(server, "/admin_response?i_id=3&image=/img/other.gif");
+  const auto before = server.stats().fragments().snapshot();
+  get(server, "/product_detail?i_id=4&c_id=3");
+  const auto after = server.stats().fragments().snapshot();
+  EXPECT_GE(after.hits_total(), before.hits_total() + 1);
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace tempest::server

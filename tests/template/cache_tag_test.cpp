@@ -1,0 +1,144 @@
+// {% cache %} tag: parsing, the FragmentSink protocol (try_emit /
+// on_miss_start / on_miss_end / on_miss_abort), input fingerprinting, and
+// transparency when no sink is installed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/render_buffer.h"
+#include "src/template/template.h"
+
+namespace tempest::tmpl {
+namespace {
+
+// Records every sink callback; serves canned bodies for chosen keys.
+class RecordingSink : public FragmentSink {
+ public:
+  struct Miss {
+    std::string name;
+    std::uint64_t fp;
+    std::string body;
+    double ttl;
+  };
+
+  bool try_emit(std::string_view name, std::uint64_t fp,
+                std::string& out) override {
+    lookups.push_back({std::string(name), fp});
+    const auto it = canned.find(std::string(name));
+    if (it == canned.end()) return false;
+    out.append(it->second);
+    return true;
+  }
+  void on_miss_start() override { ++starts; }
+  void on_miss_end(std::string_view name, std::uint64_t fp,
+                   std::string_view body, double ttl) override {
+    misses.push_back({std::string(name), fp, std::string(body), ttl});
+  }
+  void on_miss_abort() override { ++aborts; }
+
+  std::map<std::string, std::string> canned;
+  std::vector<std::pair<std::string, std::uint64_t>> lookups;
+  std::vector<Miss> misses;
+  int starts = 0;
+  int aborts = 0;
+};
+
+std::string render_with(const Template& tmpl, const Dict& data,
+                        FragmentSink* sink) {
+  RenderBuffer out;
+  tmpl.render_to(out, data, nullptr, /*autoescape=*/true, sink);
+  return std::string(out.view());
+}
+
+TEST(CacheTagTest, TransparentWithoutSink) {
+  auto tmpl = Template::compile("a{% cache frag x %}[{{ x }}]{% endcache %}b");
+  EXPECT_EQ(tmpl->render({{"x", Value(7)}}), "a[7]b");
+  RenderBuffer out;
+  tmpl->render_to(out, {{"x", Value(7)}});
+  EXPECT_EQ(out.view(), "a[7]b");
+}
+
+TEST(CacheTagTest, MissRendersInlineAndReportsExactBody) {
+  auto tmpl = Template::compile(
+      "pre|{% cache frag ttl=12.5 x %}body {{ x }}{% endcache %}|post");
+  RecordingSink sink;
+  EXPECT_EQ(render_with(*tmpl, {{"x", Value(3)}}, &sink), "pre|body 3|post");
+  ASSERT_EQ(sink.misses.size(), 1u);
+  EXPECT_EQ(sink.misses[0].name, "frag");
+  EXPECT_EQ(sink.misses[0].body, "body 3");
+  EXPECT_DOUBLE_EQ(sink.misses[0].ttl, 12.5);
+  EXPECT_EQ(sink.starts, 1);
+  EXPECT_EQ(sink.aborts, 0);
+}
+
+TEST(CacheTagTest, HitSkipsTheBodyRender) {
+  auto tmpl = Template::compile(
+      "pre|{% cache frag %}{{ missing|boom }}{% endcache %}|post");
+  RecordingSink sink;
+  sink.canned["frag"] = "CACHED";
+  // The body would render something else entirely; the sink's bytes are
+  // emitted verbatim and the sub-tree never runs.
+  EXPECT_EQ(render_with(*tmpl, {}, &sink), "pre|CACHED|post");
+  EXPECT_TRUE(sink.misses.empty());
+  EXPECT_EQ(sink.starts, 0);
+}
+
+TEST(CacheTagTest, FingerprintTracksResolvedInputs) {
+  auto tmpl =
+      Template::compile("{% cache frag a b %}{{ a }}{{ b }}{% endcache %}");
+  RecordingSink sink;
+  render_with(*tmpl, {{"a", Value(1)}, {"b", Value("x")}}, &sink);
+  render_with(*tmpl, {{"a", Value(1)}, {"b", Value("x")}}, &sink);
+  render_with(*tmpl, {{"a", Value(2)}, {"b", Value("x")}}, &sink);
+  ASSERT_EQ(sink.lookups.size(), 3u);
+  EXPECT_EQ(sink.lookups[0].second, sink.lookups[1].second);  // same inputs
+  EXPECT_NE(sink.lookups[0].second, sink.lookups[2].second);  // a changed
+}
+
+TEST(CacheTagTest, KeylessFragmentHasStableFingerprint) {
+  auto tmpl = Template::compile("{% cache frag %}static{% endcache %}");
+  RecordingSink sink;
+  render_with(*tmpl, {{"a", Value(1)}}, &sink);
+  render_with(*tmpl, {{"a", Value(2)}}, &sink);
+  ASSERT_EQ(sink.lookups.size(), 2u);
+  EXPECT_EQ(sink.lookups[0].second, sink.lookups[1].second);
+}
+
+TEST(CacheTagTest, AbortOnThrowInsideBody) {
+  // A filter failure mid-body must unwind through on_miss_abort, not
+  // on_miss_end: a half-rendered fragment may never be inserted.
+  auto tmpl =
+      Template::compile("{% cache frag %}{{ n|boom }}{% endcache %}");
+  RecordingSink sink;
+  RenderBuffer out;
+  EXPECT_THROW(tmpl->render_to(out, {{"n", Value(4)}}, nullptr, true, &sink),
+               TemplateError);
+  EXPECT_EQ(sink.starts, 1);
+  EXPECT_EQ(sink.aborts, 1);
+  EXPECT_TRUE(sink.misses.empty());
+}
+
+TEST(CacheTagTest, NestedCacheReportsInnerThenOuter) {
+  auto tmpl = Template::compile(
+      "{% cache outer %}O[{% cache inner %}I{% endcache %}]{% endcache %}");
+  RecordingSink sink;
+  EXPECT_EQ(render_with(*tmpl, {}, &sink), "O[I]");
+  ASSERT_EQ(sink.misses.size(), 2u);
+  EXPECT_EQ(sink.misses[0].name, "inner");
+  EXPECT_EQ(sink.misses[0].body, "I");
+  EXPECT_EQ(sink.misses[1].name, "outer");
+  EXPECT_EQ(sink.misses[1].body, "O[I]");
+}
+
+TEST(CacheTagTest, ParseErrors) {
+  EXPECT_THROW(Template::compile("{% cache %}x{% endcache %}"), TemplateError);
+  EXPECT_THROW(Template::compile("{% cache frag %}x"), TemplateError);
+  EXPECT_THROW(Template::compile("{% cache frag ttl=abc %}x{% endcache %}"),
+               TemplateError);
+}
+
+}  // namespace
+}  // namespace tempest::tmpl
