@@ -31,14 +31,37 @@ THROUGHPUT_KEYS = re.compile(
 )
 
 
-def flatten(bench: dict) -> dict:
-    """{variant.key: number} for every scalar metric in a BENCH json."""
+def flatten(bench: dict) -> tuple:
+    """({variant.dotted.path: number}, {path: non-numeric leaf}) for a BENCH json.
+
+    Recurses into nested dicts so a bench that groups metrics
+    (variants.v.latency.p99_rps) still gates them -- a one-level walk would
+    silently skip the whole subtree, and a gated metric that exists but is
+    invisible to the gate reads as "missing baseline" forever. Non-numeric
+    leaves (strings, bools, lists, nulls) are returned separately so the
+    gate can fail a gated metric that degraded from a number into, say, the
+    string "NaN" instead of treating it as absent.
+    """
     flat = {}
+    non_numeric = {}
+
+    def walk(prefix: str, value) -> None:
+        if isinstance(value, bool):
+            non_numeric[prefix] = value
+        elif isinstance(value, (int, float)):
+            flat[prefix] = float(value)
+        elif isinstance(value, dict):
+            for key, child in value.items():
+                walk(f"{prefix}.{key}", child)
+        else:
+            non_numeric[prefix] = value
+
     for variant, fields in bench.get("variants", {}).items():
-        for key, value in fields.items():
-            if isinstance(value, (int, float)) and not isinstance(value, bool):
-                flat[f"{variant}.{key}"] = float(value)
-    return flat
+        if isinstance(fields, dict):
+            walk(variant, fields)
+        else:
+            non_numeric[variant] = fields
+    return flat, non_numeric
 
 
 def gated(metric: str) -> bool:
@@ -66,12 +89,18 @@ def main() -> int:
         if not current_path.exists():
             failures.append(f"{baseline_path.name}: missing from current run")
             continue
-        base = flatten(json.loads(baseline_path.read_text()))
-        cur = flatten(json.loads(current_path.read_text()))
+        base, _ = flatten(json.loads(baseline_path.read_text()))
+        cur, cur_bad = flatten(json.loads(current_path.read_text()))
         print(f"== {baseline_path.name}")
         for metric, base_value in sorted(base.items()):
             if metric not in cur:
-                if gated(metric):
+                if metric in cur_bad:
+                    print(f"  {metric}: {cur_bad[metric]!r} (non-numeric)")
+                    if gated(metric):
+                        failures.append(
+                            f"{baseline_path.name}: {metric} is non-numeric "
+                            f"({cur_bad[metric]!r})")
+                elif gated(metric):
                     failures.append(f"{baseline_path.name}: {metric} missing")
                 continue
             cur_value = cur[metric]

@@ -1,0 +1,247 @@
+// Figure 16 (ours, not in the paper): the session layer and the
+// authenticated TPC-W ordering mix under an OPEN-LOOP load harness.
+//
+// Every other bench in this repo drives closed-loop emulated browsers: N
+// clients, each waiting for its response before thinking about the next
+// click. That answers "what do N users experience?" but not "what does an
+// ARRIVAL RATE experience?" — a server that stalls silently slows closed
+// loops down with it and the stall never shows up in the numbers
+// (coordinated omission). Here arrivals follow a precomputed schedule
+// (Poisson by default) and every latency is measured from the request's
+// SCHEDULED time, so queueing behind a stall is charged to the request that
+// suffered it.
+//
+// The workload is the logged-in path end to end: each connection logs in
+// first (/login with the population's deterministic credentials), carries
+// its Set-Cookie session token on every subsequent request, and then draws
+// pages from the TPC-W ordering mix — the purchase-heavy profile where half
+// the interactions are personalized cart/checkout pages. Those pages bypass
+// the URL-keyed response cache (a shared cache must never serve one user's
+// page to another) and lean on the fragment cache, so the run exercises the
+// session map, cookie parsing, and fragment splicing on every request.
+//
+// Timing model: this bench measures harness + pipeline overhead at real
+// wall rates, so simulated service costs are disabled and paper time runs
+// at wall speed (TimeScale 1.0) unless --scale overrides it. At wall speed
+// the template TTLs keep their human-scale meaning (home promos: 30 s —
+// much longer than a smoke run), so fragment hit rates are real.
+//
+// Flags: --requests=N total arrivals (default 60000; the nightly soak uses
+// 1000000), --rate=RPS wall arrivals/second (default 4000), --conns=N
+// keep-alive connections (default 256), --fixed fixed-interval schedule
+// instead of Poisson, --drivers=N epoll driver threads (default auto),
+// --seed=N. Env: TEMPEST_CONTROLLER / TEMPEST_REACTOR_SHARDS select the
+// controller and reactor sharding like the nightly CI legs do.
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bench/loadgen.h"
+#include "src/common/clock.h"
+#include "src/db/database.h"
+#include "src/metrics/table.h"
+#include "src/server/staged_server.h"
+#include "src/server/tcp.h"
+#include "src/tpcw/mix.h"
+#include "src/tpcw/populate.h"
+
+namespace {
+
+using namespace tempest;
+
+// Duplicated from fig11 (file-static there): a million-request run over
+// hundreds of sockets should not die on a stingy default fd limit.
+void raise_nofile_limit() {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) == 0 && rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &rl);
+  }
+}
+
+double us_to_ms(std::uint64_t us) { return static_cast<double>(us) / 1e3; }
+double us_to_s(std::uint64_t us) { return static_cast<double>(us) / 1e6; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto run = bench::BenchRun::init(argc, argv);
+  // Wall-rate harness: paper time at wall speed so template TTLs stay
+  // human-scale (see the timing-model note above).
+  if (!run.options.has("scale")) TimeScale::set(1.0);
+
+  const std::size_t requests =
+      static_cast<std::size_t>(run.options.get_int("requests", 60000));
+  const double rate_rps = run.options.get_double("rate", 4000.0);
+  const std::size_t conns =
+      static_cast<std::size_t>(run.options.get_int("conns", 256));
+  const bool poisson = !run.options.get_bool("fixed", false);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(run.options.get_int("seed", 42));
+  const std::size_t drivers =
+      static_cast<std::size_t>(run.options.get_int("drivers", 0));
+
+  raise_nofile_limit();
+
+  std::printf(
+      "=== Figure 16: open-loop authenticated ordering mix ===\n"
+      "%zu requests at %.0f/s (%s schedule) over %zu keep-alive "
+      "connections;\neach connection logs in first and carries its session "
+      "cookie; latency is\nmeasured from the SCHEDULED send time "
+      "(coordinated-omission corrected)\n\n",
+      requests, rate_rps, poisson ? "Poisson" : "fixed-interval", conns);
+
+  db::Database db;
+  const tpcw::Scale scale = tpcw::Scale::tiny();
+  const auto pop = tpcw::populate_tpcw(db, scale);
+  auto app = tpcw::make_tpcw_application(
+      tpcw::TpcwState::from_population(scale, pop));
+
+  server::ServerConfig config;
+  config.charge_service_costs = false;
+  config.db_latency = db::LatencyModel{0, 0, 0, 0, 0, 0, 0};
+  config.sessions.enabled = true;
+  config.cache.enabled = true;
+  config.fragment_cache.enabled = true;
+  config.transport.max_connections = conns + 64;
+  config.transport.listen_backlog = 4096;
+  // Same env hooks the nightly CI legs use for the other benches.
+  if (const char* mode = std::getenv("TEMPEST_CONTROLLER")) {
+    config.controller = server::controller_mode_from_string(mode);
+  }
+  if (const char* shards = std::getenv("TEMPEST_REACTOR_SHARDS")) {
+    const int n = std::atoi(shards);
+    if (n > 0) config.transport.reactor_shards = static_cast<std::size_t>(n);
+  }
+
+  server::StagedServer web(config, app, db);
+  server::TcpListener listener(web, 0, config.transport, &web.stats());
+
+  bench::LoadgenConfig load;
+  load.port = listener.port();
+  load.connections = conns;
+  load.requests = requests;
+  load.rate_rps = rate_rps;
+  load.poisson = poisson;
+  load.seed = seed;
+  load.drivers = drivers;
+  const std::int64_t customers = scale.customers;
+  load.request_for = [&, customers](std::size_t conn, std::uint64_t seq) {
+    const std::int64_t c_id =
+        static_cast<std::int64_t>(conn % static_cast<std::size_t>(customers)) +
+        1;
+    if (seq == 0) return tpcw::build_login_url(c_id);
+    // Deterministic per-request stream: any (conn, seq) pair always draws
+    // the same page, so a run is replayable independent of driver count.
+    Rng rng(seed ^ (static_cast<std::uint64_t>(conn) * 0x9e3779b97f4a7c15ull) ^
+            (seq * 0xbf58476d1ce4e5b9ull));
+    const std::string& page = tpcw::sample_page(rng, tpcw::ordering_mix());
+    return tpcw::build_url(page, rng, scale, c_id);
+  };
+
+  const bench::LoadgenResult result = bench::run_open_loop(load);
+
+  const auto sessions = web.stats().sessions().snapshot();
+  const auto fragments = web.stats().fragments().snapshot();
+  listener.stop();
+  web.shutdown();
+
+  const double p50_s = us_to_s(result.latency_us.value_at_quantile(0.50));
+  const double p95_s = us_to_s(result.latency_us.value_at_quantile(0.95));
+  const double p99_s = us_to_s(result.latency_us.value_at_quantile(0.99));
+
+  metrics::Table table({"metric", "value"});
+  table.add_row({"completed", std::to_string(result.completed)});
+  table.add_row({"ok (2xx)", std::to_string(result.ok)});
+  table.add_row({"errors", std::to_string(result.errors)});
+  table.add_row({"elapsed s", metrics::format_double(result.elapsed_s, 2)});
+  table.add_row(
+      {"throughput req/s", metrics::format_double(result.throughput_rps(), 0)});
+  table.add_row({"latency p50 ms",
+                 metrics::format_double(
+                     us_to_ms(result.latency_us.value_at_quantile(0.50)), 3)});
+  table.add_row({"latency p95 ms",
+                 metrics::format_double(
+                     us_to_ms(result.latency_us.value_at_quantile(0.95)), 3)});
+  table.add_row({"latency p99 ms",
+                 metrics::format_double(
+                     us_to_ms(result.latency_us.value_at_quantile(0.99)), 3)});
+  table.add_row({"latency p99.9 ms",
+                 metrics::format_double(
+                     us_to_ms(result.latency_us.value_at_quantile(0.999)), 3)});
+  table.add_row(
+      {"latency max ms", metrics::format_double(us_to_ms(result.latency_us.max()), 3)});
+  table.add_row({"sessions issued", std::to_string(sessions.issued)});
+  table.add_row({"sessions live", std::to_string(sessions.live)});
+  table.add_row({"session validations", std::to_string(sessions.validated)});
+  table.add_row({"session hit rate",
+                 metrics::format_double(sessions.hit_rate(), 4)});
+  table.add_row({"sessions evicted (lru/ttl)",
+                 std::to_string(sessions.evicted_lru) + "/" +
+                     std::to_string(sessions.evicted_ttl)});
+  table.add_row({"fragment hits", std::to_string(fragments.hits_total())});
+  table.add_row({"fragment misses", std::to_string(fragments.misses)});
+  table.add_row({"fragment hit rate",
+                 metrics::format_double(fragments.hit_rate(), 4)});
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Latency budgets, wall seconds. These are deliberately generous (an
+  // in-memory pipeline with costs off answers in well under a millisecond);
+  // the gated speedups = budget / measured only trip when something makes
+  // tail latency collapse by orders of magnitude.
+  constexpr double kP50Budget = 0.25;
+  constexpr double kP95Budget = 0.50;
+  constexpr double kP99Budget = 1.00;
+
+  bench::BenchJson json(run, "fig16_openloop");
+  json.add_scalar("openloop", "openloop_rps", result.throughput_rps());
+  json.add_scalar("openloop", "completed_total",
+                  static_cast<double>(result.completed));
+  json.add_scalar("openloop", "session_hit_rate", sessions.hit_rate());
+  json.add_scalar("openloop", "personalized_fragment_hit_rate",
+                  fragments.hit_rate());
+  json.add_scalar("openloop", "p50_budget_speedup",
+                  p50_s > 0 ? kP50Budget / p50_s : 1e6);
+  json.add_scalar("openloop", "p95_budget_speedup",
+                  p95_s > 0 ? kP95Budget / p95_s : 1e6);
+  json.add_scalar("openloop", "p99_budget_speedup",
+                  p99_s > 0 ? kP99Budget / p99_s : 1e6);
+  // Informational (not gated): raw latencies and churn counters.
+  json.add_scalar("openloop", "errors", static_cast<double>(result.errors));
+  json.add_scalar("openloop", "ok", static_cast<double>(result.ok));
+  json.add_scalar("openloop", "p50_ms",
+                  us_to_ms(result.latency_us.value_at_quantile(0.50)));
+  json.add_scalar("openloop", "p95_ms",
+                  us_to_ms(result.latency_us.value_at_quantile(0.95)));
+  json.add_scalar("openloop", "p99_ms",
+                  us_to_ms(result.latency_us.value_at_quantile(0.99)));
+  json.add_scalar("openloop", "max_ms", us_to_ms(result.latency_us.max()));
+  json.add_scalar("openloop", "sessions_issued",
+                  static_cast<double>(sessions.issued));
+  json.add_scalar("openloop", "sessions_live",
+                  static_cast<double>(sessions.live));
+  json.add_scalar("openloop", "sessions_evicted_lru",
+                  static_cast<double>(sessions.evicted_lru));
+  json.add_scalar("openloop", "sessions_evicted_ttl",
+                  static_cast<double>(sessions.evicted_ttl));
+  json.write();
+
+  // Sanity gates: nearly every arrival must complete, sessions must be
+  // doing their job (tokens validate), and the personalized pages must be
+  // getting real fragment-cache traffic with a non-zero hit rate.
+  const bool completed_ok =
+      result.completed * 100 >= static_cast<std::uint64_t>(requests) * 95;
+  const bool sessions_ok = sessions.issued > 0 && sessions.hit_rate() > 0.5;
+  const bool fragments_ok = fragments.lookups() > 0 && fragments.hit_rate() > 0;
+  std::printf(
+      ">= 95%% of arrivals completed: %s\n"
+      "session tokens validating (> 0.5 hit rate): %s\n"
+      "fragment cache active on personalized pages: %s\n",
+      completed_ok ? "yes" : "NO", sessions_ok ? "yes" : "NO",
+      fragments_ok ? "yes" : "NO");
+
+  return completed_ok && sessions_ok && fragments_ok ? 0 : 1;
+}

@@ -1,0 +1,476 @@
+#include "bench/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "src/common/rng.h"
+
+namespace tempest::bench {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+constexpr std::size_t kNoLength = static_cast<std::size_t>(-1);
+}  // namespace
+
+// --- LoadHistogram -----------------------------------------------------------
+
+std::size_t LoadHistogram::slot(std::uint64_t value) {
+  const int width = std::bit_width(value | 1);
+  if (width <= kSubBits) return static_cast<std::size_t>(value);
+  const int e = width - kSubBits;  // >= 1
+  const std::uint64_t m = value >> e;  // in [kSub/2, kSub)
+  std::size_t s = static_cast<std::size_t>(kSub) +
+                  static_cast<std::size_t>(e - 1) *
+                      static_cast<std::size_t>(kSub / 2) +
+                  static_cast<std::size_t>(m - kSub / 2);
+  return std::min(s, kSlots - 1);
+}
+
+std::uint64_t LoadHistogram::slot_value(std::size_t slot) {
+  if (slot < kSub) return static_cast<std::uint64_t>(slot);
+  const std::size_t e = 1 + (slot - kSub) / (kSub / 2);
+  const std::uint64_t m = kSub / 2 + (slot - kSub) % (kSub / 2);
+  // Midpoint of the 2^e-wide bin.
+  return (m << e) + (1ull << (e - 1));
+}
+
+void LoadHistogram::record(std::uint64_t value) {
+  ++counts_[slot(value)];
+  ++count_;
+  sum_ += value;
+  if (value > max_) max_ = value;
+}
+
+void LoadHistogram::merge(const LoadHistogram& other) {
+  for (std::size_t i = 0; i < kSlots; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+std::uint64_t LoadHistogram::value_at_quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile observation (1-based, nearest-rank definition).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) return slot_value(i);
+  }
+  return max_;
+}
+
+// --- Schedule ----------------------------------------------------------------
+
+std::vector<double> make_schedule(std::size_t count, double rate_rps,
+                                  bool poisson, std::uint64_t seed) {
+  std::vector<double> offsets;
+  offsets.reserve(count);
+  if (rate_rps <= 0) rate_rps = 1.0;
+  if (poisson) {
+    Rng rng(seed);
+    double t = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      t += rng.exponential(1.0 / rate_rps);
+      offsets.push_back(t);
+    }
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      offsets.push_back(static_cast<double>(i + 1) / rate_rps);
+    }
+  }
+  return offsets;
+}
+
+// --- Open-loop engine --------------------------------------------------------
+
+namespace {
+
+struct Conn {
+  int fd = -1;
+  bool established = false;
+  bool busy = false;           // one request in flight
+  std::uint64_t seq = 0;       // requests started on this connection
+  double scheduled = 0.0;      // current request's scheduled offset
+  std::string out;             // request bytes not yet on the wire
+  std::size_t out_sent = 0;
+  std::string in;              // response bytes so far
+  std::size_t header_end = kNoLength;
+  std::size_t body_len = kNoLength;
+  int status = 0;
+  std::string cookie;  // captured "name=value" echoed on later requests
+};
+
+// Case-insensitive header-value lookup inside a raw header block.
+std::string_view find_header(std::string_view block, std::string_view name) {
+  for (std::size_t pos = 0; pos < block.size();) {
+    std::size_t eol = block.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = block.size();
+    const std::string_view line = block.substr(pos, eol - pos);
+    if (line.size() > name.size() + 1 && line[name.size()] == ':') {
+      bool match = true;
+      for (std::size_t i = 0; i < name.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(line[i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::string_view value = line.substr(name.size() + 1);
+        while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+        return value;
+      }
+    }
+    pos = eol + 2;
+  }
+  return {};
+}
+
+struct DriverStats {
+  std::uint64_t completed = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  double last_completion = 0.0;
+  LoadHistogram hist;
+};
+
+class Driver {
+ public:
+  Driver(const LoadgenConfig& config, std::vector<double> arrivals,
+         std::size_t conn_base, std::size_t conn_count,
+         Clock::time_point start)
+      : config_(config),
+        arrivals_(std::move(arrivals)),
+        conn_base_(conn_base),
+        start_(start),
+        conns_(conn_count) {}
+
+  DriverStats run() {
+    ep_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (ep_ < 0) {
+      stats_.errors = arrivals_.size();
+      return stats_;
+    }
+    addr_ = {};
+    addr_.sin_family = AF_INET;
+    addr_.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr_.sin_port = htons(config_.port);
+    for (std::size_t i = 0; i < conns_.size(); ++i) open_conn(i);
+
+    std::array<epoll_event, 256> events;
+    while (stats_.completed + stats_.errors < arrivals_.size()) {
+      const double now = now_s();
+      // Release arrivals that are due. An arrival with no idle connection
+      // queues with its SCHEDULED time intact — when a connection frees up,
+      // the request is charged the whole wait (no coordinated omission).
+      while (next_arrival_ < arrivals_.size() &&
+             arrivals_[next_arrival_] <= now) {
+        pending_.push_back(arrivals_[next_arrival_]);
+        ++next_arrival_;
+      }
+      dispatch_pending();
+
+      int timeout_ms = 50;
+      if (next_arrival_ < arrivals_.size()) {
+        const double dt = arrivals_[next_arrival_] - now_s();
+        timeout_ms = std::clamp(static_cast<int>(dt * 1e3), 0, 50);
+      }
+      const int n =
+          ::epoll_wait(ep_, events.data(), static_cast<int>(events.size()),
+                       timeout_ms);
+      for (int i = 0; i < n; ++i) {
+        handle(static_cast<std::size_t>(events[i].data.u32),
+               events[i].events);
+      }
+    }
+    for (Conn& c : conns_) {
+      if (c.fd >= 0) ::close(c.fd);
+    }
+    ::close(ep_);
+    return stats_;
+  }
+
+ private:
+  double now_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void set_events(std::size_t idx, std::uint32_t ev_mask) {
+    epoll_event ev{};
+    ev.events = ev_mask;
+    ev.data.u32 = static_cast<std::uint32_t>(idx);
+    ::epoll_ctl(ep_, EPOLL_CTL_MOD, conns_[idx].fd, &ev);
+  }
+
+  void open_conn(std::size_t idx) {
+    Conn& c = conns_[idx];
+    const std::uint64_t seq = c.seq;
+    const std::string cookie = std::move(c.cookie);
+    c = Conn{};
+    c.seq = seq;          // request numbering survives reconnects
+    c.cookie = cookie;    // so does the captured session
+    c.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (c.fd < 0) return;
+    const int one = 1;
+    ::setsockopt(c.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (::connect(c.fd, reinterpret_cast<sockaddr*>(&addr_), sizeof(addr_)) !=
+            0 &&
+        errno != EINPROGRESS) {
+      ::close(c.fd);
+      c.fd = -1;
+      return;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLOUT | EPOLLIN;
+    ev.data.u32 = static_cast<std::uint32_t>(idx);
+    ::epoll_ctl(ep_, EPOLL_CTL_ADD, c.fd, &ev);
+  }
+
+  // The connection died. A request in flight is charged as an error (its
+  // arrival is consumed — open-loop arrivals never retry); the connection
+  // reopens either way.
+  void fail_conn(std::size_t idx) {
+    Conn& c = conns_[idx];
+    if (c.busy) ++stats_.errors;
+    if (c.fd >= 0) {
+      ::epoll_ctl(ep_, EPOLL_CTL_DEL, c.fd, nullptr);
+      ::close(c.fd);
+      c.fd = -1;
+    }
+    open_conn(idx);
+    dispatch_pending();
+  }
+
+  void start_request(std::size_t idx, double scheduled) {
+    Conn& c = conns_[idx];
+    c.busy = true;
+    c.scheduled = scheduled;
+    c.in.clear();
+    c.header_end = kNoLength;
+    c.body_len = kNoLength;
+    c.status = 0;
+    const std::string target =
+        config_.request_for
+            ? config_.request_for(conn_base_ + idx, c.seq)
+            : std::string("/");
+    ++c.seq;
+    c.out = "GET " + target + " HTTP/1.1\r\nHost: loadgen\r\n";
+    if (!c.cookie.empty()) c.out += "Cookie: " + c.cookie + "\r\n";
+    c.out += "\r\n";
+    c.out_sent = 0;
+    push(idx);
+  }
+
+  void dispatch_pending() {
+    while (!pending_.empty()) {
+      // Any established, non-busy connection can take the next arrival.
+      std::size_t idx = conns_.size();
+      for (std::size_t i = 0; i < conns_.size(); ++i) {
+        if (conns_[i].fd >= 0 && conns_[i].established && !conns_[i].busy) {
+          idx = i;
+          break;
+        }
+      }
+      if (idx == conns_.size()) return;
+      const double scheduled = pending_.front();
+      pending_.pop_front();
+      start_request(idx, scheduled);
+    }
+  }
+
+  void push(std::size_t idx) {
+    Conn& c = conns_[idx];
+    while (c.out_sent < c.out.size()) {
+      const ssize_t n = ::send(c.fd, c.out.data() + c.out_sent,
+                               c.out.size() - c.out_sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        c.out_sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        set_events(idx, EPOLLIN | EPOLLOUT);
+        return;
+      }
+      fail_conn(idx);
+      return;
+    }
+    set_events(idx, EPOLLIN);
+  }
+
+  void on_response(std::size_t idx) {
+    Conn& c = conns_[idx];
+    const double now = now_s();
+    const double latency_s = std::max(0.0, now - c.scheduled);
+    stats_.hist.record(static_cast<std::uint64_t>(latency_s * 1e6));
+    ++stats_.completed;
+    if (c.status >= 200 && c.status < 300) ++stats_.ok;
+    stats_.last_completion = now;
+
+    const std::string_view headers =
+        std::string_view(c.in).substr(0, c.header_end);
+    const std::string_view set_cookie = find_header(headers, "Set-Cookie");
+    if (!set_cookie.empty()) {
+      // Keep the bare pair ("name=value"), dropping attributes — that's what
+      // a browser would echo back. Max-Age=0 (logout) clears it.
+      const std::string_view pair =
+          set_cookie.substr(0, set_cookie.find(';'));
+      if (set_cookie.find("Max-Age=0") != std::string_view::npos) {
+        c.cookie.clear();
+      } else {
+        c.cookie = std::string(pair);
+      }
+    }
+    const bool close_after =
+        find_header(headers, "Connection") == "close";
+
+    // Consume exactly one response; pipelined leftovers (never produced by
+    // this engine) would remain for the next parse.
+    c.in.erase(0, c.header_end + 4 + c.body_len);
+    c.busy = false;
+    c.header_end = kNoLength;
+    c.body_len = kNoLength;
+    if (close_after) {
+      ::epoll_ctl(ep_, EPOLL_CTL_DEL, c.fd, nullptr);
+      ::close(c.fd);
+      c.fd = -1;
+      open_conn(idx);
+    }
+    dispatch_pending();
+  }
+
+  void drain(std::size_t idx) {
+    Conn& c = conns_[idx];
+    char buf[32768];
+    for (;;) {
+      const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        c.in.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      fail_conn(idx);  // peer closed or reset
+      return;
+    }
+    if (!c.busy) return;
+    if (c.header_end == kNoLength) {
+      const std::size_t he = c.in.find("\r\n\r\n");
+      if (he == std::string::npos) return;
+      c.header_end = he;
+      const std::string_view headers = std::string_view(c.in).substr(0, he);
+      c.status = std::atoi(c.in.c_str() + 9);  // after "HTTP/1.1 "
+      const std::string_view cl = find_header(headers, "Content-Length");
+      c.body_len = cl.empty() ? 0
+                              : static_cast<std::size_t>(
+                                    std::strtoull(cl.data(), nullptr, 10));
+    }
+    if (c.in.size() >= c.header_end + 4 + c.body_len) on_response(idx);
+  }
+
+  void handle(std::size_t idx, std::uint32_t ev) {
+    Conn& c = conns_[idx];
+    if (c.fd < 0) return;
+    if (ev & (EPOLLERR | EPOLLHUP)) {
+      fail_conn(idx);
+      return;
+    }
+    if (!c.established && (ev & EPOLLOUT)) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        fail_conn(idx);
+        return;
+      }
+      c.established = true;
+      set_events(idx, EPOLLIN);
+      dispatch_pending();
+    }
+    if (c.busy && c.out_sent < c.out.size() && (ev & EPOLLOUT)) push(idx);
+    if (ev & EPOLLIN) drain(idx);
+  }
+
+  const LoadgenConfig& config_;
+  const std::vector<double> arrivals_;
+  const std::size_t conn_base_;
+  const Clock::time_point start_;
+  std::vector<Conn> conns_;
+  int ep_ = -1;
+  sockaddr_in addr_{};
+  std::size_t next_arrival_ = 0;
+  std::deque<double> pending_;  // due arrivals waiting for a connection
+  DriverStats stats_;
+};
+
+}  // namespace
+
+LoadgenResult run_open_loop(const LoadgenConfig& config) {
+  LoadgenResult result;
+  if (config.requests == 0) return result;
+
+  const std::vector<double> schedule = make_schedule(
+      config.requests, config.rate_rps, config.poisson, config.seed);
+
+  std::size_t drivers = config.drivers;
+  if (drivers == 0) {
+    drivers = std::min<std::size_t>(
+        8, std::max<std::size_t>(1, config.connections / 256 + 1));
+  }
+  drivers = std::min({drivers, config.connections, config.requests});
+  drivers = std::max<std::size_t>(1, drivers);
+
+  // Round-robin arrival partition: each driver's subsequence stays ascending
+  // and the drivers' aggregate reproduces the schedule's rate at all times.
+  std::vector<std::vector<double>> slices(drivers);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    slices[i % drivers].push_back(schedule[i]);
+  }
+
+  const Clock::time_point start = Clock::now();
+  std::mutex merge_mu;
+  std::vector<std::thread> threads;
+  threads.reserve(drivers);
+  std::size_t conn_base = 0;
+  for (std::size_t d = 0; d < drivers; ++d) {
+    const std::size_t share =
+        config.connections / drivers + (d < config.connections % drivers);
+    threads.emplace_back([&, d, conn_base, share] {
+      Driver driver(config, std::move(slices[d]), conn_base,
+                    std::max<std::size_t>(1, share), start);
+      DriverStats stats = driver.run();
+      std::lock_guard lock(merge_mu);
+      result.completed += stats.completed;
+      result.ok += stats.ok;
+      result.errors += stats.errors;
+      result.latency_us.merge(stats.hist);
+      result.elapsed_s = std::max(result.elapsed_s, stats.last_completion);
+    });
+    conn_base += std::max<std::size_t>(1, share);
+  }
+  for (std::thread& t : threads) t.join();
+  return result;
+}
+
+}  // namespace tempest::bench

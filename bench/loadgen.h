@@ -1,0 +1,111 @@
+// Open-loop HTTP load harness (Figure 16 driver).
+//
+// The closed-loop emulated-browser fleets used by the paper-figure benches
+// measure what N browsers experience; they cannot measure what an ARRIVAL
+// RATE experiences, because a stalled server silently slows the generators
+// down with it (coordinated omission). This harness is the complement:
+//
+//  * Arrivals follow a precomputed schedule (Poisson or fixed-interval),
+//    independent of how the server is doing. The schedule exists before the
+//    first byte is sent, so a test can replay it bit-for-bit.
+//  * Each request's latency is measured from its SCHEDULED send time, not
+//    from the instant the socket finally got to write it. A request that
+//    waited behind a stall is charged that wait — the coordinated-omission
+//    correction.
+//  * A small fleet of epoll driver threads multiplexes hundreds of
+//    keep-alive connections (same shape as fig11's sweep fleet), so a
+//    million requests need neither a million sockets nor a thread per
+//    connection. Responses are framed by Content-Length, so dynamic pages of
+//    varying size work; Set-Cookie values are captured per connection and
+//    echoed back, so session-carrying (logged-in) flows work.
+//
+// Latencies are recorded into an HDR-style histogram: log2 major buckets with
+// linear subbuckets, constant relative error (<2%) from microseconds to
+// minutes, fixed memory, O(1) record.
+//
+// Everything here measures WALL time: the harness exists to drive real
+// sockets at real rates, and the paper-time compression (TimeScale) already
+// happened inside the server's simulated service costs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tempest::bench {
+
+// HDR-style latency histogram over non-negative integer values (we record
+// microseconds). Not thread-safe: each driver owns one and merges at the end.
+class LoadHistogram {
+ public:
+  // value_for(slot(v)) is within ~1.6% of v (128 linear subbuckets per
+  // power-of-two major bucket).
+  static constexpr int kSubBits = 7;
+  static constexpr std::uint64_t kSub = 1ull << kSubBits;
+  static constexpr std::size_t kSlots = 4096;  // covers values past 2^40 us
+
+  void record(std::uint64_t value);
+  void merge(const LoadHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  // Value (bucket midpoint) at quantile q in [0, 1]; 0 when empty.
+  std::uint64_t value_at_quantile(double q) const;
+
+  static std::size_t slot(std::uint64_t value);
+  // Representative (midpoint) value of a slot.
+  static std::uint64_t slot_value(std::size_t slot);
+
+ private:
+  std::uint64_t counts_[kSlots] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+// Deterministic arrival schedule: offsets (wall seconds, ascending, from the
+// run's start instant) at which each request is due. A schedule is pure data
+// computed up front — the generator consults it, never the other way round.
+std::vector<double> make_schedule(std::size_t count, double rate_rps,
+                                  bool poisson, std::uint64_t seed);
+
+struct LoadgenConfig {
+  std::uint16_t port = 0;
+  std::size_t connections = 64;
+  std::size_t requests = 100000;
+  double rate_rps = 5000.0;  // wall arrivals/second
+  bool poisson = true;
+  std::uint64_t seed = 42;
+  std::size_t drivers = 0;  // 0 = auto (~1 per 256 connections, max 8)
+  // Produces the request target (path + query) for the `seq`-th request sent
+  // on connection `conn`. seq==0 is the connection's first request — an
+  // authenticated flow returns its login URL there and the harness carries
+  // the resulting session cookie on every later request of that connection.
+  std::function<std::string(std::size_t conn, std::uint64_t seq)> request_for;
+};
+
+struct LoadgenResult {
+  std::uint64_t completed = 0;  // full responses received
+  std::uint64_t ok = 0;         // of those, status 2xx
+  std::uint64_t errors = 0;     // resets/refusals (each consumes its arrival)
+  double elapsed_s = 0.0;       // first scheduled send -> last completion
+  // Completion minus SCHEDULED send time, microseconds (CO-corrected).
+  LoadHistogram latency_us;
+
+  double throughput_rps() const {
+    return elapsed_s > 0 ? static_cast<double>(completed) / elapsed_s : 0.0;
+  }
+};
+
+// Drives `config.requests` requests through real sockets against
+// 127.0.0.1:port on the open-loop schedule. Blocks until every scheduled
+// arrival has completed or errored.
+LoadgenResult run_open_loop(const LoadgenConfig& config);
+
+}  // namespace tempest::bench

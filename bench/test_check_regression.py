@@ -122,6 +122,56 @@ class CheckRegressionTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("quick_p95_speedup", out)
 
+    def test_nested_dicts_flatten_to_dotted_paths(self):
+        # A bench that groups metrics one level deeper must still gate them:
+        # the old one-level flatten skipped nested dicts entirely, so a
+        # regression inside one was invisible.
+        write_bench(self.baseline_dir, "x",
+                    {"paper": {"latency": {"probe_rps": 1000}}})
+        write_bench(self.current_dir, "x",
+                    {"paper": {"latency": {"probe_rps": 100}}})
+        code, out = run_gate(self.baseline_dir, self.current_dir)
+        self.assertEqual(code, 1)
+        self.assertIn("paper.latency.probe_rps", out)
+        self.assertIn("REGRESSION", out)
+
+    def test_nested_pass_at_floor(self):
+        write_bench(self.baseline_dir, "x",
+                    {"paper": {"latency": {"probe_rps": 1000}}})
+        write_bench(self.current_dir, "x",
+                    {"paper": {"latency": {"probe_rps": 1000}}})
+        code, out = run_gate(self.baseline_dir, self.current_dir)
+        self.assertEqual(code, 0)
+        self.assertIn("OK", out)
+
+    def test_fail_when_gated_metric_non_numeric(self):
+        # A gated metric that degraded from a number to a string (or bool)
+        # must fail, not read as "absent".
+        write_bench(self.baseline_dir, "x",
+                    {"paper": {"completed_total": 100}})
+        write_bench(self.current_dir, "x",
+                    {"paper": {"completed_total": "NaN"}})
+        code, out = run_gate(self.baseline_dir, self.current_dir)
+        self.assertEqual(code, 1)
+        self.assertIn("non-numeric", out)
+
+    def test_bool_is_not_a_number(self):
+        write_bench(self.baseline_dir, "x",
+                    {"paper": {"completed_total": 100}})
+        write_bench(self.current_dir, "x",
+                    {"paper": {"completed_total": True}})
+        code, out = run_gate(self.baseline_dir, self.current_dir)
+        self.assertEqual(code, 1)
+        self.assertIn("non-numeric", out)
+
+    def test_non_gated_non_numeric_is_ignored(self):
+        write_bench(self.baseline_dir, "x",
+                    {"paper": {"completed_total": 100, "note_s": 1.0}})
+        write_bench(self.current_dir, "x",
+                    {"paper": {"completed_total": 100, "note_s": "warm"}})
+        code, _ = run_gate(self.baseline_dir, self.current_dir)
+        self.assertEqual(code, 0)
+
     def test_new_metric_without_baseline_skipped(self):
         write_bench(self.baseline_dir, "x",
                     {"paper": {"completed_total": 100}})

@@ -1,0 +1,161 @@
+#include "src/common/hmac.h"
+
+#include <cstring>
+
+namespace tempest {
+
+namespace {
+
+constexpr std::uint32_t kInit[8] = {
+    0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+    0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u};
+
+constexpr std::uint32_t kRound[64] = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+    0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+    0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+    0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+    0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+    0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+    0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+    0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+    0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+    0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+    0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+    0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u};
+
+inline std::uint32_t rotr(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+void compress(std::uint32_t state[8], const std::uint8_t block[64]) {
+  std::uint32_t w[64];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (std::uint32_t(block[t * 4]) << 24) |
+           (std::uint32_t(block[t * 4 + 1]) << 16) |
+           (std::uint32_t(block[t * 4 + 2]) << 8) |
+           std::uint32_t(block[t * 4 + 3]);
+  }
+  for (int t = 16; t < 64; ++t) {
+    const std::uint32_t s0 =
+        rotr(w[t - 15], 7) ^ rotr(w[t - 15], 18) ^ (w[t - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[t - 2], 17) ^ rotr(w[t - 2], 19) ^ (w[t - 2] >> 10);
+    w[t] = w[t - 16] + s0 + w[t - 7] + s1;
+  }
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+  for (int t = 0; t < 64; ++t) {
+    const std::uint32_t S1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = h + S1 + ch + kRound[t] + w[t];
+    const std::uint32_t S0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = S0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 32> sha256(std::string_view data) {
+  std::uint32_t state[8];
+  std::memcpy(state, kInit, sizeof(state));
+
+  const auto* p = reinterpret_cast<const std::uint8_t*>(data.data());
+  std::size_t remaining = data.size();
+  while (remaining >= 64) {
+    compress(state, p);
+    p += 64;
+    remaining -= 64;
+  }
+
+  // Final block(s): message tail + 0x80 + zero pad + 64-bit bit length.
+  std::uint8_t tail[128] = {};
+  std::memcpy(tail, p, remaining);
+  tail[remaining] = 0x80;
+  const std::size_t tail_len = remaining + 1 + 8 <= 64 ? 64 : 128;
+  const std::uint64_t bits = std::uint64_t(data.size()) * 8;
+  for (int i = 0; i < 8; ++i) {
+    tail[tail_len - 1 - i] = std::uint8_t(bits >> (8 * i));
+  }
+  compress(state, tail);
+  if (tail_len == 128) compress(state, tail + 64);
+
+  std::array<std::uint8_t, 32> digest;
+  for (int i = 0; i < 8; ++i) {
+    digest[i * 4] = std::uint8_t(state[i] >> 24);
+    digest[i * 4 + 1] = std::uint8_t(state[i] >> 16);
+    digest[i * 4 + 2] = std::uint8_t(state[i] >> 8);
+    digest[i * 4 + 3] = std::uint8_t(state[i]);
+  }
+  return digest;
+}
+
+std::array<std::uint8_t, 32> hmac_sha256(std::string_view key,
+                                         std::string_view message) {
+  // RFC 2104: keys longer than the block are hashed first; shorter keys are
+  // zero-padded to the 64-byte block.
+  std::uint8_t key_block[64] = {};
+  if (key.size() > 64) {
+    const auto hashed = sha256(key);
+    std::memcpy(key_block, hashed.data(), hashed.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  std::string inner;
+  inner.reserve(64 + message.size());
+  for (int i = 0; i < 64; ++i) inner.push_back(char(key_block[i] ^ 0x36));
+  inner.append(message);
+  const auto inner_digest = sha256(inner);
+
+  std::string outer;
+  outer.reserve(64 + 32);
+  for (int i = 0; i < 64; ++i) outer.push_back(char(key_block[i] ^ 0x5c));
+  outer.append(reinterpret_cast<const char*>(inner_digest.data()),
+               inner_digest.size());
+  return sha256(outer);
+}
+
+std::string hex_digest(const std::array<std::uint8_t, 32>& digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (const std::uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xf]);
+  }
+  return out;
+}
+
+std::string hmac_sha256_hex(std::string_view key, std::string_view message) {
+  return hex_digest(hmac_sha256(key, message));
+}
+
+bool constant_time_equals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  unsigned char acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc |= static_cast<unsigned char>(a[i]) ^ static_cast<unsigned char>(b[i]);
+  }
+  return acc == 0;
+}
+
+}  // namespace tempest

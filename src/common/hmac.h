@@ -1,0 +1,31 @@
+// SHA-256 and HMAC-SHA256, self-contained (no OpenSSL dependency). Used by
+// the session layer to sign cookie tokens so a client cannot forge another
+// user's session id. This is a compact, allocation-light implementation of
+// FIPS 180-4 / RFC 2104, unit-tested against the RFC 4231 vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tempest {
+
+// Raw 32-byte SHA-256 digest of `data`.
+std::array<std::uint8_t, 32> sha256(std::string_view data);
+
+// Raw 32-byte HMAC-SHA256 of `message` under `key`.
+std::array<std::uint8_t, 32> hmac_sha256(std::string_view key,
+                                         std::string_view message);
+
+// Lowercase hex of a raw digest.
+std::string hex_digest(const std::array<std::uint8_t, 32>& digest);
+
+// hex_digest(hmac_sha256(key, message)) — the form tokens embed.
+std::string hmac_sha256_hex(std::string_view key, std::string_view message);
+
+// Constant-time string equality: comparison cost is independent of where the
+// first mismatch sits, so token validation leaks no prefix-length oracle.
+bool constant_time_equals(std::string_view a, std::string_view b);
+
+}  // namespace tempest

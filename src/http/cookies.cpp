@@ -6,11 +6,27 @@ namespace tempest::http {
 
 std::map<std::string, std::string> parse_cookie_header(std::string_view value) {
   std::map<std::string, std::string> cookies;
+  std::size_t accepted = 0;
   for (const auto& pair : split(value, ';', /*keep_empty=*/false)) {
+    // Adversarial input bound: a Cookie header stuffed with thousands of
+    // pairs must not balloon the map (each request re-parses it).
+    if (accepted >= kMaxCookiePairs) break;
     bool found = false;
     auto [name, val] = split_once(trim(pair), '=', &found);
-    if (!found || trim(name).empty()) continue;
-    cookies[std::string(trim(name))] = std::string(trim(val));
+    const std::string_view trimmed_name = trim(name);
+    const std::string_view trimmed_val = trim(val);
+    if (!found || trimmed_name.empty()) continue;
+    if (trimmed_name.size() > kMaxCookieNameBytes ||
+        trimmed_val.size() > kMaxCookieValueBytes) {
+      continue;  // oversized pair: skip it, keep the rest of the header
+    }
+    // RFC 6265 §5.4 step 2 semantics: when a name repeats, the first
+    // occurrence wins. (Assigning blindly would let an attacker-appended
+    // duplicate shadow the legitimate session cookie.)
+    auto [it, inserted] =
+        cookies.emplace(std::string(trimmed_name), std::string(trimmed_val));
+    (void)it;
+    if (inserted) ++accepted;
   }
   return cookies;
 }
@@ -19,8 +35,11 @@ std::map<std::string, std::string> request_cookies(const HeaderMap& headers) {
   std::map<std::string, std::string> cookies;
   for (const auto& value : headers.get_all("Cookie")) {
     for (auto& [name, val] : parse_cookie_header(value)) {
-      cookies[name] = std::move(val);
+      // First occurrence wins across headers too, matching the single-header
+      // rule: a second Cookie header cannot override the first one's pairs.
+      cookies.emplace(name, std::move(val));
     }
+    if (cookies.size() >= kMaxCookiePairs) break;
   }
   return cookies;
 }

@@ -12,8 +12,18 @@
 
 namespace tempest::http {
 
+// Hostile-input bounds for request cookie parsing: pairs beyond the count
+// cap, or with oversized names/values, are skipped without failing the rest
+// of the header. Sized generously above anything a real browser sends.
+inline constexpr std::size_t kMaxCookiePairs = 64;
+inline constexpr std::size_t kMaxCookieNameBytes = 256;
+inline constexpr std::size_t kMaxCookieValueBytes = 4096;
+
 // Parses a request "Cookie:" header value ("a=1; b=2") into a map. Malformed
-// fragments are skipped.
+// fragments are skipped; separators with or without the RFC's space both
+// parse ("a=1;b=2" == "a=1; b=2"). When a name repeats, the FIRST occurrence
+// wins (RFC 6265 §5.4 ordering: an appended duplicate cannot shadow the
+// original).
 std::map<std::string, std::string> parse_cookie_header(std::string_view value);
 
 // Convenience: all cookies of a request's header set.

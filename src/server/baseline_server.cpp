@@ -23,6 +23,10 @@ BaselineServer::BaselineServer(ServerConfig config,
         "thread-per-request workers each hold a connection: baseline_threads "
         "must not exceed db_connections");
   }
+  if (config_.sessions.enabled) {
+    sessions_ =
+        std::make_unique<SessionManager>(config_.sessions, &stats_.sessions());
+  }
   workers_ = std::make_unique<WorkerPool<RequestContext>>(
       "workers", config_.baseline_threads,
       [this](RequestContext&& ctx) {
@@ -76,6 +80,7 @@ void BaselineServer::sampler_loop() {
   while (!stop_.load()) {
     // Reconnect duty, as in the staged server's controller loop.
     db_pool_.repair_broken();
+    if (sessions_) sessions_->sweep(paper_now());
     stats_.sample_queue("dynamic", paper_now(), workers_->queue_length());
     stop_cv_.wait_for(lock, to_wall(config_.controller_period_paper_s),
                       [this] { return stop_.load(); });
@@ -131,7 +136,9 @@ void BaselineServer::handle(RequestContext& ctx) {
   const Stopwatch service_watch;
   HandlerResult result =
       run_handler(*handler, ctx.request, conn, nullptr,
-                  config_.fault_plan.get(), &stats_.faults());
+                  config_.fault_plan.get(), &stats_.faults(),
+                  /*deps=*/nullptr, /*invalidation=*/nullptr, sessions_.get(),
+                  &ctx.set_cookies);
 
   http::Response response;
   if (const auto* tr = std::get_if<TemplateResponse>(&result)) {
@@ -139,6 +146,10 @@ void BaselineServer::handle(RequestContext& ctx) {
   } else {
     response = to_response(std::move(std::get<StringResponse>(result)));
   }
+  for (std::string& cookie : ctx.set_cookies) {
+    response.headers.add("Set-Cookie", std::move(cookie));
+  }
+  ctx.set_cookies.clear();
   // Reporting-only classification; measured time includes rendering because
   // this server cannot tell the phases apart.
   tracker_.record(path, service_watch.elapsed_paper());

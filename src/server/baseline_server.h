@@ -39,6 +39,9 @@ class BaselineServer : public WebServer {
 
   std::size_t queue_length() const { return workers_->queue_length(); }
 
+  // The session map, or nullptr when config.sessions.enabled is false.
+  SessionManager* sessions() { return sessions_.get(); }
+
  private:
   // By reference so the guard in the pool lambda can answer with a 500 when
   // the handler escapes before the request was sent (writer still non-null).
@@ -55,6 +58,7 @@ class BaselineServer : public WebServer {
   // tracks whole-handler time since the baseline cannot separate data
   // generation from rendering — the measurement-accuracy point of Section 1.
   ServiceTimeTracker tracker_;
+  std::unique_ptr<SessionManager> sessions_;
   std::unique_ptr<WorkerPool<RequestContext>> workers_;
   std::thread sampler_;
   std::atomic<bool> stop_{false};

@@ -27,6 +27,7 @@
 #include "src/http/status.h"
 #include "src/server/fragment_cache.h"
 #include "src/server/response_cache.h"
+#include "src/server/session.h"
 #include "src/template/value.h"
 
 namespace tempest::server {
@@ -65,6 +66,29 @@ struct HandlerContext {
   // The server's unified invalidation fan-out (fragment index + subscribed
   // response-cache prefixes), or nullptr when no cache is configured.
   InvalidationHub* invalidation = nullptr;
+  // This request's lazy session accessor, or nullptr when sessions are
+  // disabled. Anonymous requests pay nothing: the Cookie header is parsed
+  // and the session map touched only when a handler calls one of the
+  // session methods below.
+  SessionScope* session_scope = nullptr;
+
+  // The request's live session, issuing a fresh one (with its Set-Cookie on
+  // the response) if the request carried none. Null when sessions are
+  // disabled — handlers must degrade to their anonymous behavior then.
+  Session* session() const {
+    return session_scope != nullptr ? session_scope->get_or_create() : nullptr;
+  }
+
+  // The request's live session, or null — never issues one. For handlers
+  // that personalize when logged in but stay anonymous otherwise.
+  Session* session_if_exists() const {
+    return session_scope != nullptr ? session_scope->existing() : nullptr;
+  }
+
+  // Logout: destroys the session and expires the client's cookie.
+  void end_session() const {
+    if (session_scope != nullptr) session_scope->destroy();
+  }
 
   // Drops every cached response whose key starts with `path_prefix` (keys
   // start with the route path, so "/best_sellers" clears all its variants).

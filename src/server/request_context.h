@@ -128,6 +128,11 @@ struct RequestContext {
   // DependencyTracker after the dynamic stage; the render stage attaches
   // these to every fragment the render inserts.
   std::vector<TrackedDep> deps;
+  // Set-Cookie header values the handler's session activity produced (issue
+  // on first use, expiry on logout). They ride the context so the stage that
+  // finally builds the response — render pool on the staged server, the
+  // worker thread on the baseline — can attach them.
+  std::vector<std::string> set_cookies;
   StageTrace trace;
 
   RequestContext() = default;

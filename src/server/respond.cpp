@@ -179,14 +179,25 @@ HandlerResult run_handler(const Handler& handler, const http::Request& request,
                           db::Connection* conn, ResponseCache* cache,
                           const FaultPlan* plan, FaultCounters* faults,
                           DependencyTracker* deps,
-                          InvalidationHub* invalidation) {
+                          InvalidationHub* invalidation,
+                          SessionManager* sessions,
+                          std::vector<std::string>* set_cookies_out) {
   const ScopedReadObserver observe(conn, deps);
+  // Cheap to construct (pointers + a double); the Cookie parse and session
+  // lookup happen only if the handler asks for its session.
+  SessionScope scope(sessions, &request, paper_now());
   try {
     if (plan != nullptr && plan->should_fire(FaultSite::kHandler, faults)) {
       throw std::runtime_error("injected handler fault");
     }
-    HandlerContext ctx{request, conn, cache, deps, invalidation};
-    return handler(ctx);
+    HandlerContext ctx{request, conn, cache, deps, invalidation, &scope};
+    HandlerResult result = handler(ctx);
+    if (set_cookies_out != nullptr && !scope.set_cookies().empty()) {
+      for (std::string& value : scope.take_set_cookies()) {
+        set_cookies_out->push_back(std::move(value));
+      }
+    }
+    return result;
   } catch (const std::exception& e) {
     LOG_WARN << "handler error for " << request.uri.path << ": " << e.what();
     if (faults != nullptr) faults->on_handler_error();

@@ -77,14 +77,19 @@ http::Response serve_static(const StaticStore::Entry& entry,
 // armed as the connection's read observer for the duration of the run, so
 // every table the handler's SELECTs touch becomes a fragment dependency;
 // `invalidation` (nullable) gives write paths the dependency-based
-// invalidate_table()/invalidate_row() API.
+// invalidate_table()/invalidate_row() API. `sessions` (nullable) arms a lazy
+// per-request SessionScope so handlers get ctx.session(); Set-Cookie values
+// it produced (issue/logout) are appended to `set_cookies_out` (nullable)
+// for the response-building stage to attach.
 HandlerResult run_handler(const Handler& handler, const http::Request& request,
                           db::Connection* conn,
                           ResponseCache* cache = nullptr,
                           const FaultPlan* plan = nullptr,
                           FaultCounters* faults = nullptr,
                           DependencyTracker* deps = nullptr,
-                          InvalidationHub* invalidation = nullptr);
+                          InvalidationHub* invalidation = nullptr,
+                          SessionManager* sessions = nullptr,
+                          std::vector<std::string>* set_cookies_out = nullptr);
 
 // Takes the StringResponse by value so its body moves into the Response.
 http::Response to_response(StringResponse sr);

@@ -22,6 +22,7 @@
 #include "src/db/table.h"
 #include "src/server/fragment_cache.h"
 #include "src/server/response_cache.h"
+#include "src/server/session.h"
 
 namespace tempest::server {
 
@@ -221,6 +222,15 @@ struct ServerConfig {
   // of it — the two compose (URL hit short-circuits first, fragment hits
   // accelerate the renders that remain).
   FragmentCacheConfig fragment_cache;
+
+  // Sessions (session.h, DESIGN.md §17): HMAC-signed cookie tokens backed by
+  // a sharded LRU + idle-TTL map. Off by default — the paper's workload is
+  // anonymous; the authenticated ordering mix and fig16 flip it on. When a
+  // request carries the session cookie, the URL-keyed response cache is
+  // bypassed for it (a shared cache must never serve one user's
+  // personalized page to another); personalized pages lean on the fragment
+  // cache instead.
+  SessionConfig sessions;
 
   // Fault injection + resilience (src/common/fault.h, DESIGN.md §12).
   // `fault_plan` arms the DB/handler/render injection sites; null (default)

@@ -361,6 +361,25 @@ void append_fragments_json(std::ostringstream& out,
       << ",\"budget_bytes\":" << s.budget_bytes << "}";
 }
 
+void append_sessions_text(std::ostringstream& out,
+                          const SessionCounters::Snapshot& s) {
+  out << "issued=" << s.issued << " validated=" << s.validated
+      << " rejected=" << s.rejected << " expired=" << s.expired
+      << " hit_rate=" << s.hit_rate() << " evicted_lru=" << s.evicted_lru
+      << " evicted_ttl=" << s.evicted_ttl << " destroyed=" << s.destroyed
+      << " live=" << s.live;
+}
+
+void append_sessions_json(std::ostringstream& out,
+                          const SessionCounters::Snapshot& s) {
+  out << "{\"issued\":" << s.issued << ",\"validated\":" << s.validated
+      << ",\"rejected\":" << s.rejected << ",\"expired\":" << s.expired
+      << ",\"hit_rate\":" << s.hit_rate()
+      << ",\"evicted_lru\":" << s.evicted_lru
+      << ",\"evicted_ttl\":" << s.evicted_ttl
+      << ",\"destroyed\":" << s.destroyed << ",\"live\":" << s.live << "}";
+}
+
 }  // namespace
 
 std::string ServerStats::text() const {
@@ -369,6 +388,8 @@ std::string ServerStats::text() const {
   append_cache_text(out, cache_.snapshot());
   out << "\nfragments: ";
   append_fragments_text(out, fragments_.snapshot());
+  out << "\nsessions: ";
+  append_sessions_text(out, sessions_.snapshot());
   out << "\n" << transport_.text();
   return out.str();
 }
@@ -379,6 +400,8 @@ std::string ServerStats::json() const {
   append_cache_json(out, cache_.snapshot());
   out << ",\"fragments\":";
   append_fragments_json(out, fragments_.snapshot());
+  out << ",\"sessions\":";
+  append_sessions_json(out, sessions_.snapshot());
   out << ",\"transport\":" << transport_.json() << "}";
   return out.str();
 }

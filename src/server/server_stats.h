@@ -17,6 +17,7 @@
 #include "src/server/fragment_cache.h"
 #include "src/server/request_context.h"
 #include "src/server/response_cache.h"
+#include "src/server/session.h"
 
 namespace tempest::server {
 
@@ -235,12 +236,18 @@ class ServerStats {
   FragmentCounters& fragments() { return fragments_; }
   const FragmentCounters& fragments() const { return fragments_; }
 
-  // Human-readable roll-up of the cache, fragment, and transport counters —
-  // the operational dump examples print at shutdown.
+  // Session-layer counters (session.h): issue/validate/reject from token
+  // handling, LRU + idle-TTL evictions from the sharded session map.
+  SessionCounters& sessions() { return sessions_; }
+  const SessionCounters& sessions() const { return sessions_; }
+
+  // Human-readable roll-up of the cache, fragment, session, and transport
+  // counters — the operational dump examples print at shutdown.
   std::string text() const;
 
   // Machine-readable form of the same:
-  // {"cache": {...}, "fragments": {...}, "transport": {...}}.
+  // {"cache": {...}, "fragments": {...}, "sessions": {...},
+  //  "transport": {...}}.
   std::string json() const;
 
   // Fault-injection and recovery counters (src/common/fault.h): injection
@@ -284,6 +291,7 @@ class ServerStats {
   TransportStats transport_;
   CacheCounters cache_;
   FragmentCounters fragments_;
+  SessionCounters sessions_;
   FaultCounters faults_;
 
   mutable std::mutex mu_;

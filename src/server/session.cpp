@@ -1,0 +1,264 @@
+#include "src/server/session.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/common/hmac.h"
+
+namespace tempest::server {
+
+namespace {
+
+// Per-process token salt: distinct across server instances so a token issued
+// by a previous incarnation (same ids, fresh map) never validates as live.
+std::uint64_t make_nonce() {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto ticks = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  // splitmix64 finalizer over (ticks, instance counter).
+  std::uint64_t x = ticks + 0x9e3779b97f4a7c15ULL *
+                                (counter.fetch_add(1) + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+SessionManager::SessionManager(SessionConfig config, SessionCounters* counters)
+    : config_(std::move(config)), counters_(counters), nonce_(make_nonce()) {
+  const std::size_t shards = config_.shards == 0 ? 1 : config_.shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::string SessionManager::sign(std::string_view payload) const {
+  return hmac_sha256_hex(config_.secret, payload);
+}
+
+std::optional<std::uint64_t> SessionManager::verify(
+    std::string_view token) const {
+  // token = "<id>.<nonce-hex>.<mac-hex>"; the MAC covers "<id>.<nonce-hex>".
+  const std::size_t last_dot = token.rfind('.');
+  if (last_dot == std::string_view::npos || last_dot == 0) return std::nullopt;
+  const std::string_view payload = token.substr(0, last_dot);
+  const std::string_view mac = token.substr(last_dot + 1);
+  if (mac.size() != 64) return std::nullopt;
+  if (!constant_time_equals(mac, sign(payload))) return std::nullopt;
+
+  const std::size_t mid_dot = payload.find('.');
+  if (mid_dot == std::string_view::npos) return std::nullopt;
+  std::uint64_t id = 0;
+  for (const char c : payload.substr(0, mid_dot)) {
+    if (c < '0' || c > '9') return std::nullopt;
+    id = id * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return id;
+}
+
+std::shared_ptr<Session> SessionManager::create(double now_paper_s) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  char nonce_hex[17];
+  std::snprintf(nonce_hex, sizeof(nonce_hex), "%016llx",
+                static_cast<unsigned long long>(nonce_));
+  std::string payload = std::to_string(id) + "." + nonce_hex;
+  std::string token = payload + "." + sign(payload);
+  auto session = std::make_shared<Session>(id, std::move(token));
+
+  Shard& shard = shard_for(id);
+  std::size_t evicted = 0;
+  {
+    std::lock_guard lock(shard.mu);
+    shard.lru.push_front(id);
+    shard.map[id] = Shard::Entry{session, now_paper_s, shard.lru.begin()};
+    // Per-shard share of the global cap (ceil so small caps still admit one).
+    const std::size_t cap =
+        (config_.max_sessions + shards_.size() - 1) / shards_.size();
+    while (shard.map.size() > cap && !shard.lru.empty()) {
+      evict_locked(shard, shard.lru.back());
+      ++evicted;
+    }
+  }
+  if (counters_ != nullptr) {
+    counters_->on_issue();
+    counters_->add_live(1);
+    for (std::size_t i = 0; i < evicted; ++i) {
+      counters_->on_evict_lru();
+      counters_->add_live(-1);
+    }
+  }
+  return session;
+}
+
+std::shared_ptr<Session> SessionManager::find(std::string_view token,
+                                              double now_paper_s) {
+  const auto id = verify(token);
+  if (!id) {
+    if (counters_ != nullptr) counters_->on_reject();
+    return nullptr;
+  }
+  Shard& shard = shard_for(*id);
+  bool ttl_evicted = false;
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard lock(shard.mu);
+    const auto it = shard.map.find(*id);
+    if (it != shard.map.end()) {
+      // A validly-signed token for a dead incarnation (id reused, token
+      // nonce differs) must not resurrect into someone else's session.
+      if (it->second.session->token() != token) {
+        if (counters_ != nullptr) counters_->on_reject();
+        return nullptr;
+      }
+      if (config_.idle_ttl_paper_s > 0.0 &&
+          now_paper_s - it->second.last_seen > config_.idle_ttl_paper_s) {
+        evict_locked(shard, *id);
+        ttl_evicted = true;
+      } else {
+        it->second.last_seen = now_paper_s;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+        it->second.lru_pos = shard.lru.begin();
+        session = it->second.session;
+      }
+    }
+  }
+  if (counters_ != nullptr) {
+    if (session) {
+      counters_->on_validate();
+    } else {
+      counters_->on_expired_token();
+      if (ttl_evicted) {
+        counters_->on_evict_ttl();
+        counters_->add_live(-1);
+      }
+    }
+  }
+  return session;
+}
+
+bool SessionManager::destroy(std::string_view token) {
+  const auto id = verify(token);
+  if (!id) return false;
+  Shard& shard = shard_for(*id);
+  bool removed = false;
+  {
+    std::lock_guard lock(shard.mu);
+    const auto it = shard.map.find(*id);
+    if (it != shard.map.end() && it->second.session->token() == token) {
+      evict_locked(shard, *id);
+      removed = true;
+    }
+  }
+  if (removed && counters_ != nullptr) {
+    counters_->on_destroy();
+    counters_->add_live(-1);
+  }
+  return removed;
+}
+
+std::size_t SessionManager::sweep(double now_paper_s) {
+  if (config_.idle_ttl_paper_s <= 0.0) return 0;
+  std::size_t evicted = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard lock(shard.mu);
+    // LRU back is the longest-idle session; stop at the first live one.
+    while (!shard.lru.empty()) {
+      const std::uint64_t id = shard.lru.back();
+      const auto it = shard.map.find(id);
+      if (it == shard.map.end()) {
+        shard.lru.pop_back();
+        continue;
+      }
+      if (now_paper_s - it->second.last_seen <= config_.idle_ttl_paper_s) break;
+      evict_locked(shard, id);
+      ++evicted;
+    }
+  }
+  if (counters_ != nullptr) {
+    for (std::size_t i = 0; i < evicted; ++i) {
+      counters_->on_evict_ttl();
+      counters_->add_live(-1);
+    }
+  }
+  return evicted;
+}
+
+std::size_t SessionManager::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    n += shard->map.size();
+  }
+  return n;
+}
+
+bool SessionManager::request_has_cookie(const http::HeaderMap& headers) const {
+  for (const auto& value : headers.get_all("Cookie")) {
+    // Substring pre-check ("name=") before the real parse: this runs in the
+    // header stage for every dynamic request, session-bearing or not.
+    if (value.find(config_.cookie_name + "=") == std::string::npos) continue;
+    const auto cookies = http::parse_cookie_header(value);
+    if (cookies.find(config_.cookie_name) != cookies.end()) return true;
+  }
+  return false;
+}
+
+void SessionManager::evict_locked(Shard& shard, std::uint64_t id) {
+  const auto it = shard.map.find(id);
+  if (it == shard.map.end()) return;
+  shard.lru.erase(it->second.lru_pos);
+  shard.map.erase(it);
+}
+
+// --- SessionScope -----------------------------------------------------------
+
+void SessionScope::resolve_existing() {
+  if (resolved_) return;
+  resolved_ = true;
+  if (manager_ == nullptr || request_ == nullptr) return;
+  const auto cookies = http::request_cookies(request_->headers);
+  const auto it = cookies.find(manager_->config().cookie_name);
+  if (it == cookies.end()) return;
+  session_ = manager_->find(it->second, now_);
+}
+
+Session* SessionScope::existing() {
+  resolve_existing();
+  return session_.get();
+}
+
+Session* SessionScope::get_or_create() {
+  resolve_existing();
+  if (session_ == nullptr && manager_ != nullptr) {
+    session_ = manager_->create(now_);
+    http::SetCookie cookie;
+    cookie.name = manager_->config().cookie_name;
+    cookie.value = session_->token();
+    set_cookies_.push_back(cookie.to_header_value());
+  }
+  return session_.get();
+}
+
+void SessionScope::destroy() {
+  resolve_existing();
+  if (manager_ == nullptr) return;
+  if (session_ != nullptr) {
+    manager_->destroy(session_->token());
+    session_.reset();
+  }
+  // Expire the cookie client-side regardless — a stale token on the wire is
+  // rejected anyway, but this keeps well-behaved clients from resending it.
+  http::SetCookie cookie;
+  cookie.name = manager_->config().cookie_name;
+  cookie.value = "";
+  cookie.max_age_seconds = 0;
+  set_cookies_.push_back(cookie.to_header_value());
+}
+
+}  // namespace tempest::server

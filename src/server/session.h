@@ -1,0 +1,246 @@
+// Server-side sessions (DESIGN.md §17): HMAC-signed cookie tokens mapping to
+// per-session server state, held in a sharded LRU map with idle-TTL eviction.
+//
+// The paper's workload is anonymous, which is exactly the regime where
+// whole-page caching looks artificially good. Sessions open the personalized
+// axis: a logged-in TPC-W ordering mix whose cart and identity live here,
+// whose pages must bypass the URL-keyed response cache, and whose
+// per-customer fragments exercise the fragment cache the way production
+// template servers are exercised.
+//
+// Token shape: "<id>.<nonce>.<hmac-sha256-hex(secret, id.nonce)>". The id is
+// the shard-map key; the nonce makes tokens unique across id reuse after a
+// server restart; the signature makes the whole thing unforgeable without
+// the server secret. Validation is constant-time on the signature compare.
+//
+// Anonymous requests pay nothing: the per-request SessionScope only parses
+// the Cookie header and touches the shard map when a handler actually calls
+// ctx.session() / ctx.session_if_exists().
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <atomic>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/http/cookies.h"
+#include "src/http/request.h"
+#include "src/template/value.h"
+
+namespace tempest::server {
+
+struct SessionConfig {
+  bool enabled = false;
+  // Signing secret for tokens. Deployments must override; the default keeps
+  // tests/benches self-contained.
+  std::string secret = "tempest-dev-secret";
+  std::string cookie_name = "tempest_sid";
+  // Live-session cap across all shards; beyond it the least-recently-used
+  // session is evicted (counted as evicted_lru).
+  std::size_t max_sessions = 100000;
+  // Sessions idle longer than this are evicted (paper seconds; 0 = never).
+  double idle_ttl_paper_s = 1800.0;
+  std::size_t shards = 8;
+};
+
+// Session-layer counters, surfaced through ServerStats (same idiom as
+// CacheCounters/FragmentCounters: relaxed atomics, plain-struct snapshot).
+class SessionCounters {
+ public:
+  struct Snapshot {
+    std::uint64_t issued = 0;        // sessions created
+    std::uint64_t validated = 0;     // tokens that mapped to a live session
+    std::uint64_t rejected = 0;      // bad signature / malformed token
+    std::uint64_t expired = 0;       // valid token, session already gone
+    std::uint64_t evicted_lru = 0;   // departures at the max_sessions cap
+    std::uint64_t evicted_ttl = 0;   // idle-TTL departures
+    std::uint64_t destroyed = 0;     // explicit logouts
+    std::uint64_t live = 0;          // gauge: sessions currently in the map
+
+    std::uint64_t lookups() const { return validated + rejected + expired; }
+    double hit_rate() const {
+      return lookups() == 0
+                 ? 0.0
+                 : static_cast<double>(validated) /
+                       static_cast<double>(lookups());
+    }
+  };
+
+  void on_issue() { issued_.fetch_add(1, std::memory_order_relaxed); }
+  void on_validate() { validated_.fetch_add(1, std::memory_order_relaxed); }
+  void on_reject() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void on_expired_token() { expired_.fetch_add(1, std::memory_order_relaxed); }
+  void on_evict_lru() { evicted_lru_.fetch_add(1, std::memory_order_relaxed); }
+  void on_evict_ttl() { evicted_ttl_.fetch_add(1, std::memory_order_relaxed); }
+  void on_destroy() { destroyed_.fetch_add(1, std::memory_order_relaxed); }
+  void add_live(std::int64_t n) {
+    live_.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+  }
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    s.issued = issued_.load(std::memory_order_relaxed);
+    s.validated = validated_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.expired = expired_.load(std::memory_order_relaxed);
+    s.evicted_lru = evicted_lru_.load(std::memory_order_relaxed);
+    s.evicted_ttl = evicted_ttl_.load(std::memory_order_relaxed);
+    s.destroyed = destroyed_.load(std::memory_order_relaxed);
+    s.live = live_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<std::uint64_t> issued_{0};
+  std::atomic<std::uint64_t> validated_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> evicted_lru_{0};
+  std::atomic<std::uint64_t> evicted_ttl_{0};
+  std::atomic<std::uint64_t> destroyed_{0};
+  std::atomic<std::uint64_t> live_{0};
+};
+
+// One live session: the signed token it travels as, plus a small Value::Dict
+// of state (identity, cart hints) behind its own mutex so concurrent requests
+// on the same session (browser tabs, the hammer test) stay race-free.
+class Session {
+ public:
+  Session(std::uint64_t id, std::string token) : id_(id), token_(std::move(token)) {}
+
+  std::uint64_t id() const { return id_; }
+  const std::string& token() const { return token_; }
+
+  tmpl::Value get(const std::string& key) const {
+    std::lock_guard lock(mu_);
+    const auto it = state_.find(key);
+    return it == state_.end() ? tmpl::Value() : it->second;
+  }
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    std::lock_guard lock(mu_);
+    const auto it = state_.find(key);
+    return it == state_.end() || !it->second.is_int() ? fallback
+                                                     : it->second.as_int();
+  }
+  void set(const std::string& key, tmpl::Value value) {
+    std::lock_guard lock(mu_);
+    state_[key] = std::move(value);
+  }
+  void erase(const std::string& key) {
+    std::lock_guard lock(mu_);
+    state_.erase(key);
+  }
+  // Copy of the whole state dict (for templates that render it).
+  tmpl::Dict state() const {
+    std::lock_guard lock(mu_);
+    return state_;
+  }
+
+ private:
+  const std::uint64_t id_;
+  const std::string token_;
+  mutable std::mutex mu_;
+  tmpl::Dict state_;
+};
+
+// Sharded token -> session map with LRU + idle-TTL eviction. Thread-safe:
+// each shard has its own mutex; Session state has its own (see above), so a
+// handler can mutate session state without holding any shard lock.
+class SessionManager {
+ public:
+  explicit SessionManager(SessionConfig config, SessionCounters* counters);
+
+  // Issues a fresh session and returns it (counted as issued).
+  std::shared_ptr<Session> create(double now_paper_s);
+
+  // Validates `token` (signature, then liveness) and bumps the session's
+  // last-seen time + LRU position. Null on forged/expired/unknown tokens.
+  std::shared_ptr<Session> find(std::string_view token, double now_paper_s);
+
+  // Logout: removes the session named by `token` (no-op on a bad token).
+  // Returns true if a live session was destroyed.
+  bool destroy(std::string_view token);
+
+  // Evicts sessions idle past the TTL. Called from the servers' controller /
+  // sampler loops once per tick. Returns the number evicted.
+  std::size_t sweep(double now_paper_s);
+
+  std::size_t size() const;
+
+  const SessionConfig& config() const { return config_; }
+
+  // True if the request carries this manager's session cookie at all — the
+  // cheap pre-check the header stage uses to bypass the URL-keyed response
+  // cache for session-bearing requests (a shared cache must never serve one
+  // user's personalized page to another).
+  bool request_has_cookie(const http::HeaderMap& headers) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // id -> (session, last-seen paper time, LRU position).
+    struct Entry {
+      std::shared_ptr<Session> session;
+      double last_seen = 0.0;
+      std::list<std::uint64_t>::iterator lru_pos;
+    };
+    std::unordered_map<std::uint64_t, Entry> map;
+    std::list<std::uint64_t> lru;  // front = most recent
+  };
+
+  Shard& shard_for(std::uint64_t id) { return *shards_[id % shards_.size()]; }
+  std::string sign(std::string_view payload) const;
+  // Parses and verifies a token; returns the session id on success.
+  std::optional<std::uint64_t> verify(std::string_view token) const;
+  void evict_locked(Shard& shard, std::uint64_t id);
+
+  const SessionConfig config_;
+  SessionCounters* const counters_;
+  std::atomic<std::uint64_t> next_id_{1};
+  const std::uint64_t nonce_;  // per-process salt baked into every token
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// Per-request lazy session accessor. Stages construct one (two pointers; no
+// parsing) and hand it to the handler via HandlerContext. The Cookie header
+// is parsed and the shard map touched only on first use. Set-Cookie values
+// produced by issue/destroy accumulate in `set_cookies()` for the response
+// path to attach.
+class SessionScope {
+ public:
+  SessionScope(SessionManager* manager, const http::Request* request,
+               double now_paper_s)
+      : manager_(manager), request_(request), now_(now_paper_s) {}
+
+  // The request's live session, or null (no manager, no/invalid cookie).
+  Session* existing();
+
+  // existing(), or a freshly issued session whose Set-Cookie rides back on
+  // the response. Null only when sessions are disabled.
+  Session* get_or_create();
+
+  // Logout: destroys the request's session (if any) and queues an expiring
+  // Set-Cookie so the client drops the token too.
+  void destroy();
+
+  const std::vector<std::string>& set_cookies() const { return set_cookies_; }
+  std::vector<std::string> take_set_cookies() { return std::move(set_cookies_); }
+
+ private:
+  void resolve_existing();
+
+  SessionManager* const manager_;
+  const http::Request* const request_;
+  const double now_;
+  bool resolved_ = false;
+  std::shared_ptr<Session> session_;
+  std::vector<std::string> set_cookies_;
+};
+
+}  // namespace tempest::server

@@ -61,6 +61,11 @@ StagedServer::StagedServer(ServerConfig config,
     }
   }
 
+  if (config_.sessions.enabled) {
+    sessions_ =
+        std::make_unique<SessionManager>(config_.sessions, &stats_.sessions());
+  }
+
   const auto pool_options = [this](std::size_t capacity) {
     return WorkerPoolOptions{capacity, config_.overflow_policy, {}};
   };
@@ -189,6 +194,9 @@ void StagedServer::controller_loop() {
     // Reconnect duty: connections broken by injected drops sit on the pool's
     // repair shelf until this tick puts them back into rotation.
     db_pool_.repair_broken();
+    // Session hygiene: retire idle sessions so abandoned logins release
+    // their memory without waiting for LRU pressure.
+    if (sessions_) sessions_->sweep(now);
     const std::int64_t tspare = general_spare();
     if (pool_controller_) {
       // Utility mode: the allocator re-fits pool sizes and publishes
@@ -253,7 +261,13 @@ void StagedServer::header_stage(RequestContext& ctx) {
   // Degraded mode (DESIGN.md §12): while the DB is faulting, an expired
   // entry is still served — marked stale — rather than sending the request
   // into a dynamic pool whose connection may be about to fail.
-  if (cache_ && ctx.request.method == http::Method::kGet) {
+  // Requests carrying a session cookie bypass the URL-keyed response cache
+  // entirely: their pages may be personalized, and a shared entry would
+  // leak one user's page to another. Personalized pages get their reuse
+  // from the fragment cache instead (DESIGN.md §16-17).
+  const bool session_bearing =
+      sessions_ != nullptr && sessions_->request_has_cookie(ctx.request.headers);
+  if (cache_ && !session_bearing && ctx.request.method == http::Method::kGet) {
     if (const CachePolicy* policy =
             app_->router.cache_policy(ctx.request.uri.path)) {
       std::string key = ResponseCache::make_key(
@@ -387,7 +401,7 @@ void StagedServer::dynamic_stage(RequestContext& ctx) {
   HandlerResult result =
       run_handler(*handler, ctx.request, conn, cache_.get(),
                   config_.fault_plan.get(), &stats_.faults(), &deps,
-                  invalidation_.get());
+                  invalidation_.get(), sessions_.get(), &ctx.set_cookies);
   tracker_.record(path, datagen_watch.elapsed_paper());
   ctx.deps = deps.take();
 
@@ -401,6 +415,10 @@ void StagedServer::dynamic_stage(RequestContext& ctx) {
   // this thread (the scheduling optimization cannot apply).
   http::Response response =
       to_response(std::move(std::get<StringResponse>(result)));
+  for (std::string& cookie : ctx.set_cookies) {
+    response.headers.add("Set-Cookie", std::move(cookie));
+  }
+  ctx.set_cookies.clear();
   send_and_record(std::move(ctx), std::move(response), config_, stats_, path);
 }
 
@@ -439,6 +457,13 @@ void StagedServer::render_stage(RequestContext& ctx) {
       cache_->insert(ctx.cache_key, std::move(cached), *policy, paper_now());
     }
   }
+  // Session cookies attach after the cache insert on purpose: a CachedResponse
+  // stores body + validators only, so a stored page can never replay one
+  // user's Set-Cookie to another.
+  for (std::string& cookie : ctx.set_cookies) {
+    response.headers.add("Set-Cookie", std::move(cookie));
+  }
+  ctx.set_cookies.clear();
   const std::string page = ctx.request.uri.path;
   send_and_record(std::move(ctx), std::move(response), config_, stats_, page);
 }

@@ -68,6 +68,9 @@ class StagedServer : public WebServer {
   // configured.
   InvalidationHub* invalidation() { return invalidation_.get(); }
 
+  // The session map, or nullptr when config.sessions.enabled is false.
+  SessionManager* sessions() { return sessions_.get(); }
+
  private:
   // Stage bodies take the context by reference so the guard below can still
   // reach it after an escape: a context that was already answered (or
@@ -109,6 +112,7 @@ class StagedServer : public WebServer {
   std::unique_ptr<ResponseCache> cache_;
   std::unique_ptr<FragmentCache> fragment_cache_;
   std::unique_ptr<InvalidationHub> invalidation_;
+  std::unique_ptr<SessionManager> sessions_;
   ServiceTimeTracker tracker_;
   ReserveController reserve_;
 

@@ -55,11 +55,22 @@ std::int64_t clamp_id(std::int64_t id, std::int64_t max) {
   return id;
 }
 
+// The request's effective customer. A logged-in session's stored identity
+// wins over the c_id query parameter (the anonymous mix's RBE-style hint), so
+// an authenticated browser cannot act as another customer by editing the URL.
+// Anonymous requests keep the query-parameter behaviour unchanged.
+std::int64_t effective_c_id(HandlerContext& ctx, TpcwState& state) {
+  if (server::Session* session = ctx.session_if_exists()) {
+    const std::int64_t sid = session->get_int("c_id", 0);
+    if (sid > 0) return clamp_id(sid, state.scale.customers);
+  }
+  return clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
+}
+
 // --- The 14 handlers ---------------------------------------------------------
 
 HandlerResult home(HandlerContext& ctx, TpcwState& state) {
-  const std::int64_t c_id =
-      clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
+  const std::int64_t c_id = effective_c_id(ctx, state);
   tmpl::Dict data;
   data["c_id"] = tmpl::Value(c_id);
 
@@ -186,8 +197,7 @@ HandlerResult best_sellers(HandlerContext& ctx, TpcwState& state) {
 }
 
 HandlerResult shopping_cart(HandlerContext& ctx, TpcwState& state) {
-  const std::int64_t c_id =
-      clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
+  const std::int64_t c_id = effective_c_id(ctx, state);
   const std::int64_t i_id = ctx.param_int("i_id", 0);
   const std::int64_t qty = std::max<std::int64_t>(1, ctx.param_int("qty", 1));
 
@@ -230,8 +240,7 @@ HandlerResult shopping_cart(HandlerContext& ctx, TpcwState& state) {
 }
 
 HandlerResult customer_registration(HandlerContext& ctx, TpcwState& state) {
-  const std::int64_t c_id =
-      clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
+  const std::int64_t c_id = effective_c_id(ctx, state);
   auto customer = conn(ctx).execute(
       "SELECT c_uname, c_fname, c_lname, c_email FROM customer WHERE c_id = ?",
       {db::Value(c_id)});
@@ -257,8 +266,7 @@ db::ResultSet checkout_lines(HandlerContext& ctx, std::int64_t c_id) {
 }
 
 HandlerResult buy_request(HandlerContext& ctx, TpcwState& state) {
-  const std::int64_t c_id =
-      clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
+  const std::int64_t c_id = effective_c_id(ctx, state);
   tmpl::Dict data;
   data["c_id"] = tmpl::Value(c_id);
 
@@ -298,8 +306,7 @@ HandlerResult buy_request(HandlerContext& ctx, TpcwState& state) {
 }
 
 HandlerResult buy_confirm(HandlerContext& ctx, TpcwState& state) {
-  const std::int64_t c_id =
-      clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
+  const std::int64_t c_id = effective_c_id(ctx, state);
   auto lines = checkout_lines(ctx, c_id);
 
   // TPC-W browsers can reach buy-confirm without having built a cart in this
@@ -400,8 +407,7 @@ HandlerResult buy_confirm(HandlerContext& ctx, TpcwState& state) {
 }
 
 HandlerResult order_inquiry(HandlerContext& ctx, TpcwState& state) {
-  const std::int64_t c_id =
-      clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
+  const std::int64_t c_id = effective_c_id(ctx, state);
   auto customer = conn(ctx).execute(
       "SELECT c_uname FROM customer WHERE c_id = ?", {db::Value(c_id)});
   tmpl::Dict data;
@@ -411,8 +417,7 @@ HandlerResult order_inquiry(HandlerContext& ctx, TpcwState& state) {
 }
 
 HandlerResult order_display(HandlerContext& ctx, TpcwState& state) {
-  const std::int64_t c_id =
-      clamp_id(ctx.param_int("c_id", 1), state.scale.customers);
+  const std::int64_t c_id = effective_c_id(ctx, state);
   auto order = conn(ctx).execute(
       "SELECT o_id, o_date, o_status, o_total FROM orders WHERE o_c_id = ? "
       "ORDER BY o_id DESC LIMIT 1",
@@ -492,6 +497,58 @@ HandlerResult admin_response(HandlerContext& ctx, TpcwState& state) {
   return TemplateResponse{"admin_response.html", std::move(data)};
 }
 
+// --- Authentication (the logged-in ordering mix's entry point) ---------------
+
+HandlerResult login(HandlerContext& ctx, TpcwState&) {
+  const std::string uname = ctx.param("uname");
+  tmpl::Dict data;
+  if (uname.empty()) {
+    // No credentials: render the form.
+    data["error"] = tmpl::Value(false);
+    data["logged_in"] = tmpl::Value(false);
+    return TemplateResponse{"login.html", std::move(data)};
+  }
+
+  auto customer = conn(ctx).execute(
+      "SELECT c_id, c_fname, c_lname, c_passwd FROM customer "
+      "WHERE c_uname = ?",
+      {db::Value(uname)});
+  if (customer.empty() ||
+      customer.at(0, "c_passwd").as_string() != ctx.param("passwd")) {
+    data["error"] = tmpl::Value(true);
+    data["logged_in"] = tmpl::Value(false);
+    data["uname"] = tmpl::Value(uname);
+    return TemplateResponse{"login.html", std::move(data),
+                            http::Status::kForbidden};
+  }
+
+  // Authenticated: bind the customer identity to this browser's session.
+  // ctx.session() issues a fresh session (and its Set-Cookie) when the
+  // request carried none. Null only when the server runs without sessions —
+  // then login degrades to a stateless welcome page.
+  const std::int64_t c_id = customer.at(0, "c_id").as_int();
+  if (server::Session* session = ctx.session()) {
+    session->set("c_id", tmpl::Value(c_id));
+    session->set("c_uname", tmpl::Value(uname));
+  }
+  data["error"] = tmpl::Value(false);
+  data["logged_in"] = tmpl::Value(true);
+  data["c_id"] = tmpl::Value(c_id);
+  data["c_fname"] = to_tmpl(customer.at(0, "c_fname"));
+  data["c_lname"] = to_tmpl(customer.at(0, "c_lname"));
+  return TemplateResponse{"login.html", std::move(data)};
+}
+
+HandlerResult logout(HandlerContext& ctx, TpcwState&) {
+  // Destroys the server-side session and queues the expiring Set-Cookie.
+  ctx.end_session();
+  tmpl::Dict data;
+  data["error"] = tmpl::Value(false);
+  data["logged_in"] = tmpl::Value(false);
+  data["logged_out"] = tmpl::Value(true);
+  return TemplateResponse{"login.html", std::move(data)};
+}
+
 Handler bind(HandlerResult (*fn)(HandlerContext&, TpcwState&),
              std::shared_ptr<TpcwState> state) {
   return [fn, state = std::move(state)](HandlerContext& ctx) {
@@ -538,6 +595,11 @@ void register_tpcw_routes(server::Router& router,
   router.add("/order_display", bind(order_display, state));
   router.add("/admin_request", bind(admin_request, state));
   router.add("/admin_response", bind(admin_response, state));
+  // Authentication endpoints (the logged-in ordering mix): never cached —
+  // their responses carry Set-Cookie headers and depend on credentials, not
+  // on the URL.
+  router.add("/login", bind(login, state));
+  router.add("/logout", bind(logout, state));
 }
 
 void register_tpcw_static(server::StaticStore& store) {

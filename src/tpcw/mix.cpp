@@ -27,11 +27,42 @@ const std::vector<MixEntry>& browsing_mix() {
   return kMix;
 }
 
+const std::vector<MixEntry>& ordering_mix() {
+  // TPC-W clause 5.3.1 ordering mix: ~50% of interactions are cart and
+  // checkout pages, which in this reproduction are the personalized,
+  // session-bound ones.
+  static const std::vector<MixEntry> kMix = {
+      {"/home", 9.12},
+      {"/new_products", 0.46},
+      {"/best_sellers", 0.46},
+      {"/product_detail", 12.35},
+      {"/search_request", 14.53},
+      {"/execute_search", 13.08},
+      {"/shopping_cart", 13.53},
+      {"/customer_registration", 12.86},
+      {"/buy_request", 12.73},
+      {"/buy_confirm", 10.18},
+      {"/order_inquiry", 0.25},
+      {"/order_display", 0.22},
+      {"/admin_request", 0.12},
+      {"/admin_response", 0.11},
+  };
+  return kMix;
+}
+
 const std::string& sample_page(Rng& rng) {
-  const auto& mix = browsing_mix();
+  return sample_page(rng, browsing_mix());
+}
+
+const std::string& sample_page(Rng& rng, const std::vector<MixEntry>& mix) {
+  // Cache the weight vector per mix (keyed by address — both standard mixes
+  // are function-local statics, so addresses are stable for process life).
+  static thread_local const std::vector<MixEntry>* cached = nullptr;
   static thread_local std::vector<double> weights;
-  if (weights.empty()) {
+  if (cached != &mix) {
+    weights.clear();
     for (const auto& entry : mix) weights.push_back(entry.weight);
+    cached = &mix;
   }
   return mix[rng.discrete(weights)].path;
 }
@@ -58,6 +89,11 @@ std::string build_url(const std::string& path, Rng& rng, const Scale& scale,
     }
   }
   return url;
+}
+
+std::string build_login_url(std::int64_t c_id) {
+  const std::string id = std::to_string(c_id);
+  return "/login?uname=user" + id + "&passwd=pw" + id;
 }
 
 std::vector<std::string> embedded_images(const std::string& path, Rng& rng) {

@@ -18,14 +18,31 @@ struct MixEntry {
 // Standard TPC-W browsing-mix weights (sum to 100).
 const std::vector<MixEntry>& browsing_mix();
 
-// Samples a page path from the mix.
+// Standard TPC-W ordering-mix weights (sum to 100): the purchase-heavy
+// profile where half the interactions are cart/checkout pages. This is the
+// mix the authenticated (session-carrying) load harness drives — its pages
+// are personalized, so they exercise the session map and the fragment cache
+// instead of the URL-keyed response cache.
+const std::vector<MixEntry>& ordering_mix();
+
+// Samples a page path from the browsing mix.
 const std::string& sample_page(Rng& rng);
+
+// Samples a page path from an arbitrary mix (browsing_mix(), ordering_mix(),
+// or a custom profile). `mix` must outlive the call and keep a stable
+// address; both standard mixes do.
+const std::string& sample_page(Rng& rng, const std::vector<MixEntry>& mix);
 
 // Builds the request URL (path + query string) for one interaction of
 // `path`, with parameters drawn the way the TPC-W remote browser emulator
 // would (customer/item ids, subjects, search terms).
 std::string build_url(const std::string& path, Rng& rng, const Scale& scale,
                       std::int64_t c_id);
+
+// The login URL for customer `c_id`, using the population's deterministic
+// credentials ("user<id>" / "pw<id>"). An authenticated emulated browser
+// requests this first; the Set-Cookie on the answer carries its session.
+std::string build_login_url(std::int64_t c_id);
 
 // Static images an emulated browser fetches after loading a page: the shared
 // banner/logo/buttons plus a few item thumbnails (14 objects — the paper's

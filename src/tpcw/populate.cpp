@@ -96,9 +96,12 @@ PopulationSummary populate_tpcw(db::Database& db, const Scale& scale,
     auto& customer = db.table("customer");
     auto& cart = db.table("shopping_cart");
     for (std::int64_t id = 1; id <= scale.customers; ++id) {
+      // Deterministic credentials ("user<id>" / "pw<id>"): load generators
+      // drive the authenticated ordering mix without an out-of-band password
+      // oracle, exactly like the TPC-W kit's SAP-style derived passwords.
       customer.insert({db::Value(id),
                        db::Value("user" + std::to_string(id)),
-                       db::Value(rng.alnum_string(8, 12)),
+                       db::Value("pw" + std::to_string(id)),
                        db::Value(make_phrase(rng, 1)),
                        db::Value(make_phrase(rng, 1) + std::to_string(id)),
                        db::Value(rng.uniform_int(1, scale.addresses())),

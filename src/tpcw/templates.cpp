@@ -292,6 +292,28 @@ constexpr const char* kAdminResponse = R"HTML({% extends 'base.html' %}
 {% endblock %}
 )HTML";
 
+constexpr const char* kLogin = R"HTML({% extends 'base.html' %}
+{% block title %}Sign In{% endblock %}
+{% block content %}
+{% if logged_in %}
+<h2 align="center">Welcome back, {{ c_fname }} {{ c_lname }}!</h2>
+<p>You are signed in as customer #{{ c_id }}.
+   <a href="/home">Continue shopping</a> or <a href="/logout">sign out</a>.</p>
+{% else %}
+<h2 align="center">Sign in</h2>
+{% if logged_out %}<p><i>You have been signed out.</i></p>{% endif %}
+{% if error %}<p><b>Unknown user name or wrong password.</b></p>{% endif %}
+<form action="/login" method="GET">
+  <table>
+    <tr><td>User name</td><td><input name="uname" value="{{ uname }}"></td></tr>
+    <tr><td>Password</td><td><input name="passwd" type="password"></td></tr>
+  </table>
+  <input type="submit" value="Sign in">
+</form>
+{% endif %}
+{% endblock %}
+)HTML";
+
 }  // namespace
 
 std::shared_ptr<tmpl::MemoryLoader> make_template_loader() {
@@ -311,6 +333,7 @@ std::shared_ptr<tmpl::MemoryLoader> make_template_loader() {
   loader->add("order_display.html", kOrderDisplay);
   loader->add("admin_request.html", kAdminRequest);
   loader->add("admin_response.html", kAdminResponse);
+  loader->add("login.html", kLogin);
   return loader;
 }
 

@@ -1,0 +1,251 @@
+// Open-loop load harness: schedule determinism, histogram accuracy, and the
+// coordinated-omission proof — a server stall must surface in the recorded
+// latencies even though the stalled requests were *sent* late.
+#include "bench/loadgen.h"
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tempest::bench {
+namespace {
+
+// --- schedule ----------------------------------------------------------------
+
+TEST(ScheduleTest, FixedIntervalIsExact) {
+  const auto schedule = make_schedule(5, 100.0, /*poisson=*/false, 1);
+  ASSERT_EQ(schedule.size(), 5u);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_NEAR(schedule[i], static_cast<double>(i + 1) / 100.0, 1e-12);
+  }
+}
+
+TEST(ScheduleTest, SameSeedReplaysBitForBit) {
+  const auto a = make_schedule(1000, 500.0, /*poisson=*/true, 42);
+  const auto b = make_schedule(1000, 500.0, /*poisson=*/true, 42);
+  EXPECT_EQ(a, b);  // exact double equality: the schedule is pure data
+  const auto c = make_schedule(1000, 500.0, /*poisson=*/true, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(ScheduleTest, PoissonIsAscendingWithMeanRate) {
+  const double rate = 200.0;
+  const auto schedule = make_schedule(4000, rate, /*poisson=*/true, 7);
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_GE(schedule[i], schedule[i - 1]);
+  }
+  // 4000 exponential gaps: the empirical rate lands within a few percent.
+  const double empirical = static_cast<double>(schedule.size()) / schedule.back();
+  EXPECT_NEAR(empirical, rate, rate * 0.10);
+}
+
+// --- histogram ---------------------------------------------------------------
+
+TEST(LoadHistogramTest, SlotRoundTripWithinRelativeError) {
+  for (std::uint64_t value : {0ull, 1ull, 100ull, 127ull, 128ull, 1000ull,
+                              65536ull, 999999ull, 123456789ull}) {
+    const std::uint64_t mid = LoadHistogram::slot_value(
+        LoadHistogram::slot(value));
+    // <2% relative error by construction (128 subbuckets per octave).
+    EXPECT_LE(std::abs(static_cast<double>(mid) - static_cast<double>(value)),
+              std::max(1.0, static_cast<double>(value) * 0.02))
+        << value;
+  }
+}
+
+TEST(LoadHistogramTest, QuantilesOfUniformRamp) {
+  LoadHistogram histogram;
+  for (std::uint64_t v = 1; v <= 10000; ++v) histogram.record(v);
+  EXPECT_EQ(histogram.count(), 10000u);
+  EXPECT_EQ(histogram.max(), 10000u);
+  EXPECT_NEAR(histogram.mean(), 5000.5, 1.0);
+  EXPECT_NEAR(static_cast<double>(histogram.value_at_quantile(0.5)), 5000.0,
+              5000.0 * 0.02);
+  EXPECT_NEAR(static_cast<double>(histogram.value_at_quantile(0.99)), 9900.0,
+              9900.0 * 0.02);
+  EXPECT_NEAR(static_cast<double>(histogram.value_at_quantile(1.0)), 10000.0,
+              10000.0 * 0.02);
+  EXPECT_EQ(histogram.value_at_quantile(0.0), histogram.value_at_quantile(0.0));
+}
+
+TEST(LoadHistogramTest, MergeIsAdditive) {
+  LoadHistogram a, b;
+  for (std::uint64_t v = 0; v < 500; ++v) a.record(10);
+  for (std::uint64_t v = 0; v < 500; ++v) b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1000u);
+  EXPECT_EQ(a.max(), 1000u);
+  // Half the mass at ~10, half at ~1000: the median sits on the low mode
+  // and p75 on the high one.
+  EXPECT_LE(a.value_at_quantile(0.49), 20u);
+  EXPECT_GE(a.value_at_quantile(0.75), 900u);
+}
+
+TEST(LoadHistogramTest, EmptyHistogramIsZero) {
+  LoadHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.value_at_quantile(0.99), 0u);
+  EXPECT_EQ(histogram.mean(), 0.0);
+}
+
+// --- coordinated-omission proof ----------------------------------------------
+
+// Minimal blocking HTTP server, one thread per connection: answers every
+// request with a fixed response, but sleeps `stall_ms` once, on request
+// number `stall_at` (counted across all connections). With a single client
+// connection everything serializes behind that stall — the stall every
+// closed-loop generator hides and the open-loop harness must expose.
+class StallServer {
+ public:
+  StallServer(int stall_at, int stall_ms)
+      : stall_at_(stall_at), stall_ms_(stall_ms) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    ::listen(listen_fd_, 64);
+    thread_ = std::thread([this] { serve(); });
+  }
+
+  ~StallServer() {
+    stop_.store(true);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    thread_.join();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve() {
+    while (!stop_.load()) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;
+      workers_.emplace_back([this, fd] { handle(fd); });
+    }
+  }
+
+  void handle(int fd) {
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t end;
+      bool dead = false;
+      while ((end = buffer.find("\r\n\r\n")) != std::string::npos) {
+        buffer.erase(0, end + 4);
+        const int served = served_.fetch_add(1) + 1;
+        if (served == stall_at_) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms_));
+        }
+        static constexpr char kResponse[] =
+            "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok";
+        if (::send(fd, kResponse, sizeof(kResponse) - 1, MSG_NOSIGNAL) < 0) {
+          dead = true;
+          break;
+        }
+      }
+      if (dead) break;
+    }
+    ::close(fd);
+  }
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  const int stall_at_;
+  const int stall_ms_;
+  std::atomic<int> served_{0};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  std::vector<std::thread> workers_;  // only touched by serve() + dtor
+};
+
+TEST(OpenLoopTest, CoordinatedOmissionStallIsCharged) {
+  // One keep-alive connection, 200 arrivals at 400/s; the server stalls
+  // 100 ms on request #50. Every arrival scheduled during the stall waits —
+  // and because latency is measured from the SCHEDULED time, that wait is
+  // recorded. Service time itself is microseconds, so any p-high latency in
+  // the tens of milliseconds can only come from the CO correction.
+  StallServer server(/*stall_at=*/50, /*stall_ms=*/100);
+  LoadgenConfig config;
+  config.port = server.port();
+  config.connections = 1;  // serialize: everything queues behind the stall
+  config.requests = 200;
+  config.rate_rps = 400.0;
+  config.poisson = false;  // exact schedule, exact arithmetic
+  config.request_for = [](std::size_t, std::uint64_t) {
+    return std::string("/");
+  };
+  const LoadgenResult result = run_open_loop(config);
+
+  ASSERT_EQ(result.completed, 200u);
+  EXPECT_EQ(result.errors, 0u);
+  // The stall itself: worst request waited ~the full 100 ms.
+  EXPECT_GE(result.latency_us.max(), 60000u);
+  // ~40 arrivals (100 ms at 400/s) queued behind the stall; the top 5% of
+  // 200 samples sit deep inside that stalled cohort.
+  EXPECT_GE(result.latency_us.value_at_quantile(0.95), 10000u);
+  // The unstalled majority stayed fast: the median must not see the stall.
+  EXPECT_LT(result.latency_us.value_at_quantile(0.50), 60000u);
+}
+
+TEST(OpenLoopTest, NoStallStaysFast) {
+  StallServer server(/*stall_at=*/-1, /*stall_ms=*/0);
+  LoadgenConfig config;
+  config.port = server.port();
+  config.connections = 4;
+  config.requests = 400;
+  config.rate_rps = 2000.0;
+  config.request_for = [](std::size_t, std::uint64_t) {
+    return std::string("/");
+  };
+  const LoadgenResult result = run_open_loop(config);
+  ASSERT_EQ(result.completed, 400u);
+  EXPECT_EQ(result.ok, 400u);
+  // Loopback + trivial server: even the tail stays well under the 100 ms
+  // stall the other test must detect.
+  EXPECT_LT(result.latency_us.value_at_quantile(0.99), 50000u);
+}
+
+TEST(OpenLoopTest, DeterministicRequestStream) {
+  // request_for receives (conn, seq) pairs forming a replayable stream:
+  // each connection's seq increments from 0 without gaps.
+  StallServer server(/*stall_at=*/-1, /*stall_ms=*/0);
+  std::atomic<std::uint64_t> calls{0};
+  LoadgenConfig config;
+  config.port = server.port();
+  config.connections = 3;
+  config.requests = 90;
+  config.rate_rps = 3000.0;
+  config.request_for = [&](std::size_t conn, std::uint64_t seq) {
+    calls.fetch_add(1);
+    EXPECT_LT(conn, 3u);
+    return "/c" + std::to_string(conn) + "/s" + std::to_string(seq);
+  };
+  const LoadgenResult result = run_open_loop(config);
+  EXPECT_EQ(result.completed, 90u);
+  EXPECT_EQ(calls.load(), 90u);
+}
+
+}  // namespace
+}  // namespace tempest::bench

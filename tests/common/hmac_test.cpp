@@ -1,0 +1,111 @@
+#include "src/common/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tempest {
+namespace {
+
+// --- SHA-256: FIPS 180-4 / NIST CAVP reference vectors -----------------------
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(hex_digest(sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(hex_digest(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(hex_digest(sha256(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  // FIPS 180-4 long-message vector; also exercises many compression rounds.
+  EXPECT_EQ(hex_digest(sha256(std::string(1000000, 'a'))),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, ExactlyOneBlockOfPadding) {
+  // 55 bytes: the largest message whose padding fits in a single block;
+  // 56 bytes forces the length into a second block. Both boundaries.
+  EXPECT_EQ(hex_digest(sha256(std::string(55, 'x'))),
+            "d5e285683cd4efc02d021a5c62014694958901005d6f71e89e0989fac77e4072");
+  EXPECT_EQ(hex_digest(sha256(std::string(56, 'x'))),
+            "04c26261370ee7541549d16dee320c723e3fd14671e66a099afe0a377c16888e");
+}
+
+// --- HMAC-SHA256: RFC 4231 test cases ---------------------------------------
+
+TEST(HmacSha256Test, Rfc4231Case1) {
+  const std::string key(20, '\x0b');
+  EXPECT_EQ(hmac_sha256_hex(key, "Hi There"),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Test, Rfc4231Case2) {
+  EXPECT_EQ(hmac_sha256_hex("Jefe", "what do ya want for nothing?"),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256Test, Rfc4231Case3) {
+  const std::string key(20, '\xaa');
+  const std::string msg(50, '\xdd');
+  EXPECT_EQ(hmac_sha256_hex(key, msg),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256Test, Rfc4231Case4) {
+  std::string key;
+  for (int i = 1; i <= 25; ++i) key.push_back(static_cast<char>(i));
+  const std::string msg(50, '\xcd');
+  EXPECT_EQ(hmac_sha256_hex(key, msg),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacSha256Test, Rfc4231Case6LongKey) {
+  // Key longer than the 64-byte block: must be hashed down first.
+  const std::string key(131, '\xaa');
+  EXPECT_EQ(hmac_sha256_hex(key,
+                            "Test Using Larger Than Block-Size Key - Hash "
+                            "Key First"),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256Test, Rfc4231Case7LongKeyAndData) {
+  const std::string key(131, '\xaa');
+  EXPECT_EQ(hmac_sha256_hex(key,
+                            "This is a test using a larger than block-size "
+                            "key and a larger than block-size data. The key "
+                            "needs to be hashed before being used by the "
+                            "HMAC algorithm."),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(HmacSha256Test, DistinctKeysDistinctMacs) {
+  EXPECT_NE(hmac_sha256_hex("key-a", "msg"), hmac_sha256_hex("key-b", "msg"));
+  EXPECT_NE(hmac_sha256_hex("key", "msg-a"), hmac_sha256_hex("key", "msg-b"));
+}
+
+// --- constant-time comparison ------------------------------------------------
+
+TEST(ConstantTimeEqualsTest, EqualAndUnequal) {
+  EXPECT_TRUE(constant_time_equals("", ""));
+  EXPECT_TRUE(constant_time_equals("abcdef", "abcdef"));
+  EXPECT_FALSE(constant_time_equals("abcdef", "abcdeg"));
+  EXPECT_FALSE(constant_time_equals("abcdef", "Xbcdef"));
+}
+
+TEST(ConstantTimeEqualsTest, LengthMismatchIsUnequal) {
+  EXPECT_FALSE(constant_time_equals("abc", "abcd"));
+  EXPECT_FALSE(constant_time_equals("abcd", "abc"));
+  EXPECT_FALSE(constant_time_equals("", "a"));
+}
+
+}  // namespace
+}  // namespace tempest

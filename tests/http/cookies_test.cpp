@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "src/http/parser.h"
+
 namespace tempest::http {
 namespace {
 
@@ -33,12 +37,108 @@ TEST(CookieTest, ValueMayContainEquals) {
   EXPECT_EQ(cookies.at("token"), "a=b=c");
 }
 
-TEST(CookieTest, RequestCookiesMergesMultipleHeaders) {
+TEST(CookieTest, RequestCookiesMergesMultipleHeadersFirstWins) {
   HeaderMap headers;
   headers.add("Cookie", "a=1");
-  headers.add("Cookie", "b=2; a=overridden");
+  headers.add("Cookie", "b=2; a=shadowed");
   const auto cookies = request_cookies(headers);
-  EXPECT_EQ(cookies.at("a"), "overridden");
+  // RFC 6265 §5.4 semantics across headers: the first occurrence of a name
+  // wins; an appended duplicate cannot override it.
+  EXPECT_EQ(cookies.at("a"), "1");
+  EXPECT_EQ(cookies.at("b"), "2");
+}
+
+// --- adversarial inputs ------------------------------------------------------
+
+TEST(CookieTest, DuplicateNamesFirstOccurrenceWins) {
+  const auto cookies = parse_cookie_header("sid=real; sid=forged; sid=again");
+  EXPECT_EQ(cookies.size(), 1u);
+  EXPECT_EQ(cookies.at("sid"), "real");
+}
+
+TEST(CookieTest, NoSpaceSeparators) {
+  // Clients are supposed to send "; " but plenty send bare ';'.
+  const auto cookies = parse_cookie_header("a=1;b=2;c=3");
+  EXPECT_EQ(cookies.size(), 3u);
+  EXPECT_EQ(cookies.at("a"), "1");
+  EXPECT_EQ(cookies.at("b"), "2");
+  EXPECT_EQ(cookies.at("c"), "3");
+}
+
+TEST(CookieTest, EmptyValueIsKept) {
+  const auto cookies = parse_cookie_header("cleared=; other=x");
+  EXPECT_EQ(cookies.at("cleared"), "");
+  EXPECT_EQ(cookies.at("other"), "x");
+}
+
+TEST(CookieTest, OversizedValueSkippedRestSurvives) {
+  const std::string huge(kMaxCookieValueBytes + 1, 'v');
+  const auto cookies =
+      parse_cookie_header("big=" + huge + "; sid=ok");
+  EXPECT_EQ(cookies.count("big"), 0u);
+  EXPECT_EQ(cookies.at("sid"), "ok");
+}
+
+TEST(CookieTest, OversizedNameSkippedRestSurvives) {
+  const std::string huge(kMaxCookieNameBytes + 1, 'n');
+  const auto cookies = parse_cookie_header(huge + "=x; sid=ok");
+  EXPECT_EQ(cookies.size(), 1u);
+  EXPECT_EQ(cookies.at("sid"), "ok");
+}
+
+TEST(CookieTest, ValueAtSizeLimitIsKept) {
+  const std::string max_value(kMaxCookieValueBytes, 'v');
+  const auto cookies = parse_cookie_header("v=" + max_value);
+  EXPECT_EQ(cookies.at("v"), max_value);
+}
+
+TEST(CookieTest, PairCountCapped) {
+  std::string header;
+  for (int i = 0; i < 1000; ++i) {
+    header += "k" + std::to_string(i) + "=" + std::to_string(i) + ";";
+  }
+  const auto cookies = parse_cookie_header(header);
+  EXPECT_EQ(cookies.size(), kMaxCookiePairs);
+  // The earliest pairs are the ones kept.
+  EXPECT_EQ(cookies.at("k0"), "0");
+}
+
+TEST(CookieTest, PairCountCappedAcrossHeaders) {
+  HeaderMap headers;
+  for (int h = 0; h < 40; ++h) {
+    std::string header;
+    for (int i = 0; i < 10; ++i) {
+      header += "h" + std::to_string(h) + "k" + std::to_string(i) + "=v;";
+    }
+    headers.add("Cookie", header);
+  }
+  EXPECT_LE(request_cookies(headers).size(), kMaxCookiePairs + 10);
+}
+
+TEST(CookieTest, CookieHeaderFragmentedAcrossReads) {
+  // A Cookie header split at arbitrary byte boundaries (TCP segmentation)
+  // must reassemble to the same cookies a single read produces.
+  const std::string raw =
+      "GET / HTTP/1.1\r\nHost: t\r\nCookie: sid=tok-1; theme=dark\r\n\r\n";
+  for (std::size_t split = 1; split < raw.size(); ++split) {
+    RequestParser parser;
+    EXPECT_EQ(parser.feed(raw.substr(0, split)), split);
+    parser.feed(raw.substr(split));
+    ASSERT_TRUE(parser.complete()) << "split at " << split;
+    const auto cookies = request_cookies(parser.request().headers);
+    EXPECT_EQ(cookies.at("sid"), "tok-1") << "split at " << split;
+    EXPECT_EQ(cookies.at("theme"), "dark") << "split at " << split;
+  }
+}
+
+TEST(CookieTest, CookieHeaderSplitIntoSingleBytes) {
+  const std::string raw =
+      "GET /x HTTP/1.1\r\nCookie: a=1;b=2\r\nHost: t\r\n\r\n";
+  RequestParser parser;
+  for (char c : raw) parser.feed(std::string_view(&c, 1));
+  ASSERT_TRUE(parser.complete());
+  const auto cookies = request_cookies(parser.request().headers);
+  EXPECT_EQ(cookies.at("a"), "1");
   EXPECT_EQ(cookies.at("b"), "2");
 }
 

@@ -1,0 +1,421 @@
+// Session layer: token integrity, eviction accounting, the lazy per-request
+// scope, cookie round-trips through both server variants over real sockets,
+// and a cross-thread hammer (the TSan/ASan suites build this file).
+#include "src/server/session.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/server/baseline_server.h"
+#include "src/server/staged_server.h"
+#include "src/server/tcp.h"
+#include "src/tpcw/handlers.h"
+#include "src/tpcw/populate.h"
+
+namespace tempest::server {
+namespace {
+
+SessionConfig small_config() {
+  SessionConfig config;
+  config.enabled = true;
+  config.shards = 1;  // deterministic LRU order across ids
+  config.max_sessions = 4;
+  config.idle_ttl_paper_s = 10.0;
+  return config;
+}
+
+// --- token integrity ---------------------------------------------------------
+
+TEST(SessionManagerTest, CreateThenFindValidates) {
+  SessionCounters counters;
+  SessionManager manager(small_config(), &counters);
+  auto session = manager.create(0.0);
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(manager.find(session->token(), 1.0).get(), session.get());
+  const auto snap = counters.snapshot();
+  EXPECT_EQ(snap.issued, 1u);
+  EXPECT_EQ(snap.validated, 1u);
+  EXPECT_EQ(snap.rejected, 0u);
+  EXPECT_EQ(snap.live, 1u);
+  EXPECT_DOUBLE_EQ(snap.hit_rate(), 1.0);
+}
+
+TEST(SessionManagerTest, TamperedMacRejected) {
+  SessionCounters counters;
+  SessionManager manager(small_config(), &counters);
+  std::string token = manager.create(0.0)->token();
+  // Flip one hex digit of the MAC (the suffix after the last dot).
+  token.back() = token.back() == 'a' ? 'b' : 'a';
+  EXPECT_EQ(manager.find(token, 0.0), nullptr);
+  EXPECT_EQ(counters.snapshot().rejected, 1u);
+}
+
+TEST(SessionManagerTest, TamperedIdRejected) {
+  SessionCounters counters;
+  SessionManager manager(small_config(), &counters);
+  const std::string token = manager.create(0.0)->token();
+  // Swap the id prefix for another number: the MAC no longer matches.
+  const std::string forged = "999" + token.substr(token.find('.'));
+  EXPECT_EQ(manager.find(forged, 0.0), nullptr);
+  EXPECT_EQ(counters.snapshot().rejected, 1u);
+}
+
+TEST(SessionManagerTest, MalformedTokensRejected) {
+  SessionCounters counters;
+  SessionManager manager(small_config(), &counters);
+  for (const char* garbage :
+       {"", "no-dots", "1.2", "1.2.3", ".payload.mac", "1..",
+        "99999999999999999999999999.aa.bb"}) {
+    EXPECT_EQ(manager.find(garbage, 0.0), nullptr) << garbage;
+  }
+  EXPECT_EQ(counters.snapshot().rejected, 7u);
+}
+
+TEST(SessionManagerTest, ForeignSecretRejected) {
+  // A token minted under one secret must not validate under another.
+  SessionCounters counters_a, counters_b;
+  SessionConfig config_b = small_config();
+  config_b.secret = "a-different-secret";
+  SessionManager alice(small_config(), &counters_a);
+  SessionManager bob(config_b, &counters_b);
+  const std::string token = alice.create(0.0)->token();
+  EXPECT_EQ(bob.find(token, 0.0), nullptr);
+  EXPECT_EQ(counters_b.snapshot().rejected, 1u);
+}
+
+TEST(SessionManagerTest, DestroyedSessionTokenCountsExpired) {
+  SessionCounters counters;
+  SessionManager manager(small_config(), &counters);
+  const std::string token = manager.create(0.0)->token();
+  EXPECT_TRUE(manager.destroy(token));
+  // Validly signed, but the session is gone: expired, not rejected.
+  EXPECT_EQ(manager.find(token, 0.0), nullptr);
+  const auto snap = counters.snapshot();
+  EXPECT_EQ(snap.destroyed, 1u);
+  EXPECT_EQ(snap.expired, 1u);
+  EXPECT_EQ(snap.rejected, 0u);
+  EXPECT_EQ(snap.live, 0u);
+}
+
+TEST(SessionManagerTest, DestroyOnForgedTokenIsNoop) {
+  SessionCounters counters;
+  SessionManager manager(small_config(), &counters);
+  manager.create(0.0);
+  EXPECT_FALSE(manager.destroy("1.deadbeef.notamac"));
+  EXPECT_EQ(manager.size(), 1u);
+}
+
+// --- eviction ----------------------------------------------------------------
+
+TEST(SessionManagerTest, LruEvictionAtCap) {
+  SessionCounters counters;
+  SessionManager manager(small_config(), &counters);  // cap 4, one shard
+  std::vector<std::string> tokens;
+  for (int i = 0; i < 4; ++i) tokens.push_back(manager.create(0.0)->token());
+  // Touch the oldest so it is no longer the LRU victim.
+  ASSERT_NE(manager.find(tokens[0], 1.0), nullptr);
+  manager.create(2.0);  // evicts tokens[1], the least recently used
+  EXPECT_EQ(manager.size(), 4u);
+  EXPECT_EQ(counters.snapshot().evicted_lru, 1u);
+  EXPECT_NE(manager.find(tokens[0], 3.0), nullptr);
+  EXPECT_EQ(manager.find(tokens[1], 3.0), nullptr);
+  EXPECT_EQ(counters.snapshot().live, 4u);
+}
+
+TEST(SessionManagerTest, SweepEvictsIdleSessions) {
+  SessionCounters counters;
+  SessionManager manager(small_config(), &counters);  // idle TTL 10
+  const std::string stale = manager.create(0.0)->token();
+  const std::string fresh = manager.create(8.0)->token();
+  EXPECT_EQ(manager.sweep(5.0), 0u);  // nothing idle past TTL yet
+  EXPECT_EQ(manager.sweep(15.0), 1u);
+  EXPECT_EQ(manager.size(), 1u);
+  EXPECT_EQ(counters.snapshot().evicted_ttl, 1u);
+  EXPECT_EQ(manager.find(stale, 15.0), nullptr);
+  EXPECT_NE(manager.find(fresh, 15.0), nullptr);
+}
+
+TEST(SessionManagerTest, FindEvictsExpiredOnTouch) {
+  // A token arriving after its session idled out is expired right at
+  // lookup, without waiting for the next sweep tick.
+  SessionCounters counters;
+  SessionManager manager(small_config(), &counters);
+  const std::string token = manager.create(0.0)->token();
+  EXPECT_EQ(manager.find(token, 100.0), nullptr);
+  const auto snap = counters.snapshot();
+  EXPECT_EQ(snap.expired, 1u);
+  EXPECT_EQ(snap.evicted_ttl, 1u);
+  EXPECT_EQ(manager.size(), 0u);
+}
+
+TEST(SessionManagerTest, FindBumpsIdleClock) {
+  SessionCounters counters;
+  SessionManager manager(small_config(), &counters);
+  const std::string token = manager.create(0.0)->token();
+  // Touched every 8 paper-seconds: never idle past the 10 s TTL.
+  for (double t = 8.0; t <= 40.0; t += 8.0) {
+    EXPECT_NE(manager.find(token, t), nullptr) << "t=" << t;
+  }
+  EXPECT_EQ(manager.sweep(45.0), 0u);
+}
+
+// --- session state -----------------------------------------------------------
+
+TEST(SessionTest, StateRoundTrip) {
+  SessionManager manager(small_config(), nullptr);
+  auto session = manager.create(0.0);
+  session->set("c_id", tmpl::Value(std::int64_t{42}));
+  session->set("c_uname", tmpl::Value(std::string("user42")));
+  EXPECT_EQ(session->get_int("c_id", 0), 42);
+  EXPECT_EQ(session->get_int("missing", -1), -1);
+  EXPECT_EQ(session->get_int("c_uname", -1), -1);  // wrong type -> fallback
+  session->erase("c_id");
+  EXPECT_EQ(session->get_int("c_id", 0), 0);
+  EXPECT_EQ(session->state().count("c_uname"), 1u);
+}
+
+// --- SessionScope (the per-request lazy accessor) ----------------------------
+
+http::Request request_with_cookie(const std::string& header_value) {
+  http::Request request;
+  if (!header_value.empty()) request.headers.add("Cookie", header_value);
+  return request;
+}
+
+TEST(SessionScopeTest, NoCookieTouchesNothing) {
+  SessionCounters counters;
+  SessionManager manager(small_config(), &counters);
+  const http::Request request = request_with_cookie("");
+  SessionScope scope(&manager, &request, 0.0);
+  EXPECT_EQ(scope.existing(), nullptr);
+  // Lazy: an anonymous request must not register as a session lookup.
+  EXPECT_EQ(counters.snapshot().lookups(), 0u);
+}
+
+TEST(SessionScopeTest, GetOrCreateQueuesSetCookie) {
+  SessionCounters counters;
+  SessionManager manager(small_config(), &counters);
+  const http::Request request = request_with_cookie("");
+  SessionScope scope(&manager, &request, 0.0);
+  Session* session = scope.get_or_create();
+  ASSERT_NE(session, nullptr);
+  ASSERT_EQ(scope.set_cookies().size(), 1u);
+  const std::string& header = scope.set_cookies()[0];
+  EXPECT_EQ(header.find("tempest_sid=" + session->token()), 0u);
+  // Idempotent within the request: no second cookie, same session.
+  EXPECT_EQ(scope.get_or_create(), session);
+  EXPECT_EQ(scope.set_cookies().size(), 1u);
+}
+
+TEST(SessionScopeTest, ExistingResolvesFromCookieHeader) {
+  SessionCounters counters;
+  SessionManager manager(small_config(), &counters);
+  auto session = manager.create(0.0);
+  const http::Request request =
+      request_with_cookie("theme=dark; tempest_sid=" + session->token());
+  SessionScope scope(&manager, &request, 1.0);
+  EXPECT_EQ(scope.existing(), session.get());
+  EXPECT_TRUE(scope.set_cookies().empty());
+  EXPECT_EQ(counters.snapshot().validated, 1u);
+}
+
+TEST(SessionScopeTest, DestroyQueuesExpiringCookie) {
+  SessionCounters counters;
+  SessionManager manager(small_config(), &counters);
+  auto session = manager.create(0.0);
+  const http::Request request =
+      request_with_cookie("tempest_sid=" + session->token());
+  SessionScope scope(&manager, &request, 1.0);
+  scope.destroy();
+  EXPECT_EQ(manager.size(), 0u);
+  ASSERT_EQ(scope.set_cookies().size(), 1u);
+  EXPECT_NE(scope.set_cookies()[0].find("Max-Age=0"), std::string::npos);
+}
+
+TEST(SessionScopeTest, NullManagerIsInert) {
+  const http::Request request = request_with_cookie("tempest_sid=x.y.z");
+  SessionScope scope(nullptr, &request, 0.0);
+  EXPECT_EQ(scope.existing(), nullptr);
+  EXPECT_EQ(scope.get_or_create(), nullptr);
+  scope.destroy();
+  EXPECT_TRUE(scope.set_cookies().empty());
+}
+
+TEST(SessionManagerTest, RequestHasCookiePreCheck) {
+  SessionManager manager(small_config(), nullptr);
+  http::HeaderMap with, without, other;
+  with.add("Cookie", "a=1; tempest_sid=tok");
+  without.add("Accept", "text/html");
+  other.add("Cookie", "theme=dark; not_tempest_sid_x=1");
+  EXPECT_TRUE(manager.request_has_cookie(with));
+  EXPECT_FALSE(manager.request_has_cookie(without));
+  EXPECT_FALSE(manager.request_has_cookie(other));
+}
+
+// --- cookie round-trip through both servers over TCP -------------------------
+
+class SessionTcpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TimeScale::set(0.0001);
+    pop_ = tpcw::populate_tpcw(db_, tpcw::Scale::tiny());
+    app_ = tpcw::make_tpcw_application(
+        tpcw::TpcwState::from_population(tpcw::Scale::tiny(), pop_));
+    config_.db_connections = 8;
+    config_.baseline_threads = 8;
+    config_.header_threads = 2;
+    config_.static_threads = 2;
+    config_.general_threads = 6;
+    config_.lengthy_threads = 2;
+    config_.render_threads = 2;
+    config_.charge_service_costs = false;
+    config_.sessions.enabled = true;
+  }
+
+  void TearDown() override { TimeScale::set(0.005); }
+
+  // The "tempest_sid=<token>" pair out of a response's Set-Cookie header.
+  static std::string extract_cookie_pair(const std::string& response) {
+    const std::size_t start = response.find("Set-Cookie: ");
+    if (start == std::string::npos) return "";
+    const std::size_t value = start + 12;
+    std::size_t end = response.find("\r\n", value);
+    const std::size_t semi = response.find(';', value);
+    if (semi != std::string::npos && semi < end) end = semi;
+    return response.substr(value, end - value);
+  }
+
+  static std::string get(std::uint16_t port, const std::string& target,
+                         const std::string& cookie = "") {
+    std::string request = "GET " + target + " HTTP/1.1\r\nHost: x\r\n";
+    if (!cookie.empty()) request += "Cookie: " + cookie + "\r\n";
+    request += "\r\n";
+    return tcp_roundtrip(port, request);
+  }
+
+  template <typename Server>
+  void run_round_trip() {
+    Server server(config_, app_, db_);
+    TcpListener listener(server, 0, config_.transport, &server.stats());
+
+    // 1. Login binds customer 7 to a fresh session.
+    const std::string login =
+        get(listener.port(), "/login?uname=user7&passwd=pw7");
+    EXPECT_EQ(login.find("HTTP/1.1 200"), 0u);
+    EXPECT_NE(login.find("customer #7"), std::string::npos);
+    const std::string cookie = extract_cookie_pair(login);
+    ASSERT_EQ(cookie.find("tempest_sid="), 0u);
+
+    // 2. The cookie carries the identity: no c_id in the URL, yet the page
+    //    is customer 7's (the anonymous default would be customer 1).
+    const std::string page =
+        get(listener.port(), "/customer_registration", cookie);
+    EXPECT_EQ(page.find("HTTP/1.1 200"), 0u);
+    EXPECT_NE(page.find("(user7)"), std::string::npos);
+    EXPECT_EQ(page.find("(user1)"), std::string::npos);
+
+    // 3. Wrong password: 403 and no cookie.
+    const std::string denied =
+        get(listener.port(), "/login?uname=user7&passwd=wrong");
+    EXPECT_EQ(denied.find("HTTP/1.1 403"), 0u);
+    EXPECT_EQ(denied.find("Set-Cookie"), std::string::npos);
+
+    // 4. Logout expires the cookie; the old token no longer resolves.
+    const std::string logout = get(listener.port(), "/logout", cookie);
+    EXPECT_NE(logout.find("Max-Age=0"), std::string::npos);
+    const std::string after =
+        get(listener.port(), "/customer_registration", cookie);
+    EXPECT_NE(after.find("(user1)"), std::string::npos);
+
+    const auto snap = server.stats().sessions().snapshot();
+    EXPECT_EQ(snap.issued, 1u);
+    EXPECT_GE(snap.validated, 2u);
+    EXPECT_EQ(snap.destroyed, 1u);
+    EXPECT_EQ(snap.expired, 1u);
+    EXPECT_EQ(snap.live, 0u);
+
+    listener.stop();
+    server.shutdown();
+  }
+
+  db::Database db_;
+  tpcw::PopulationSummary pop_;
+  std::shared_ptr<const Application> app_;
+  ServerConfig config_;
+};
+
+TEST_F(SessionTcpTest, StagedServerCookieRoundTrip) {
+  run_round_trip<StagedServer>();
+}
+
+TEST_F(SessionTcpTest, BaselineServerCookieRoundTrip) {
+  run_round_trip<BaselineServer>();
+}
+
+// --- cross-thread hammer -----------------------------------------------------
+
+TEST(SessionHammerTest, ConcurrentFindMutateCreateSweep) {
+  SessionConfig config;
+  config.enabled = true;
+  config.shards = 4;
+  config.max_sessions = 64;
+  config.idle_ttl_paper_s = 0.5;
+  SessionCounters counters;
+  SessionManager manager(config, &counters);
+
+  auto shared = manager.create(0.0);
+  const std::string token = shared->token();
+  constexpr int kIters = 2000;
+  std::atomic<std::uint64_t> validated{0};
+
+  std::vector<std::thread> threads;
+  // 4 threads hammer one session: find + state mutation through the result.
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const double now = static_cast<double>(i) * 0.001;
+        if (auto session = manager.find(token, now)) {
+          session->set("k" + std::to_string(i % 4),
+                       tmpl::Value(std::int64_t{t * kIters + i}));
+          (void)session->get_int("k0", 0);
+          validated.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // 2 threads churn other sessions through the LRU cap.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        const double now = static_cast<double>(i) * 0.001;
+        const std::string victim = manager.create(now)->token();
+        if (i % 3 == 0) manager.destroy(victim);
+      }
+    });
+  }
+  // 1 thread sweeps concurrently.
+  threads.emplace_back([&] {
+    for (int i = 0; i < kIters / 10; ++i) {
+      manager.sweep(static_cast<double>(i) * 0.01);
+    }
+  });
+  for (auto& thread : threads) thread.join();
+
+  // The hammered session is constantly touched (its `now` stays within the
+  // TTL of concurrent sweeps' clocks only sometimes — it may get swept), so
+  // the invariant is accounting consistency, not a specific count.
+  const auto snap = counters.snapshot();
+  EXPECT_EQ(snap.validated, validated.load());
+  EXPECT_EQ(snap.live,
+            snap.issued - snap.destroyed - snap.evicted_lru - snap.evicted_ttl);
+  EXPECT_EQ(manager.size(), snap.live);
+  EXPECT_LE(manager.size(), config.max_sessions + config.shards);
+}
+
+}  // namespace
+}  // namespace tempest::server

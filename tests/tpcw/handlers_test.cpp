@@ -58,11 +58,14 @@ class HandlersTest : public ::testing::Test {
   std::shared_ptr<tmpl::MemoryLoader> loader_;
 };
 
-TEST_F(HandlersTest, AllFourteenRoutesRegistered) {
-  EXPECT_EQ(router_.size(), 14u);
+TEST_F(HandlersTest, AllRoutesRegistered) {
+  // The 14 TPC-W pages plus the authentication pair (/login, /logout).
+  EXPECT_EQ(router_.size(), 16u);
   for (const auto& path : tpcw_page_paths()) {
     EXPECT_NE(router_.find(path), nullptr) << path;
   }
+  EXPECT_NE(router_.find("/login"), nullptr);
+  EXPECT_NE(router_.find("/logout"), nullptr);
 }
 
 TEST_F(HandlersTest, EveryPageReturnsUnrenderedTemplateWithData) {
